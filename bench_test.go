@@ -1,0 +1,599 @@
+// Package repro holds the top-level benchmark harness: one benchmark
+// family per experiment in DESIGN.md's E1–E10 index. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The absolute numbers are machine-dependent; the SHAPES the paper
+// commits to (TPNR's two-message normal mode beating the traditional
+// four-step baseline, fixed crypto cost amortizing with payload size,
+// platform checks being cheap but blind) are asserted by the test
+// suites and visible here as relative magnitudes.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/auditlog"
+	"repro/internal/bigobject"
+	"repro/internal/bridging"
+	"repro/internal/cloudsim/awssim"
+	"repro/internal/cloudsim/azuresim"
+	"repro/internal/cloudsim/gaesim"
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/deploy"
+	"repro/internal/evidence"
+	"repro/internal/merkle"
+	"repro/internal/metrics"
+	"repro/internal/pki"
+	"repro/internal/session"
+	"repro/internal/sks"
+	"repro/internal/storage"
+	"repro/internal/traditional"
+	"repro/internal/transport"
+)
+
+// --- E1: Azure SharedKey authorization ---------------------------------
+
+func BenchmarkE1AzureSharedKeySign(b *testing.B) {
+	svc := azuresim.New(storage.NewMem(nil), time.Now)
+	key, err := svc.CreateAccount("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := make([]byte, 4096)
+	req := &azuresim.Request{
+		Method: "PUT", Resource: "/c/b", Account: "bench", Date: time.Now(),
+		ContentMD5: cryptoutil.Sum(cryptoutil.MD5, body).Base64(), Body: body,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req.Sign(key)
+	}
+}
+
+func BenchmarkE1AzureSharedKeyHandlePut(b *testing.B) {
+	svc := azuresim.New(storage.NewMem(nil), time.Now)
+	key, err := svc.CreateAccount("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := azuresim.NewClient(svc, "bench", key)
+	body := make([]byte, 4096)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, resp := client.PutBlock(fmt.Sprintf("/c/b%d", i), body)
+		if resp.Status != 201 {
+			b.Fatalf("status %d", resp.Status)
+		}
+	}
+}
+
+// --- E2: AWS manifest + import job --------------------------------------
+
+func BenchmarkE2AWSManifestSignVerify(b *testing.B) {
+	svc := awssim.New(storage.NewMem(nil), awssim.DefaultParams())
+	secret, err := svc.CreateAccount("AKIA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := &awssim.User{AccessKeyID: "AKIA", Secret: secret}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, sig := u.BuildManifest(fmt.Sprintf("J%d", i), "D", "bucket/x", "import")
+		if !cryptoutil.VerifyHMACSHA256(secret, m.CanonicalBytes(), sig.MAC) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkE2AWSImportJob(b *testing.B) {
+	svc := awssim.New(storage.NewMem(nil), awssim.DefaultParams())
+	secret, err := svc.CreateAccount("AKIA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := &awssim.User{AccessKeyID: "AKIA", Secret: secret}
+	data := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		job := fmt.Sprintf("J%d", i)
+		m, sig := u.BuildManifest(job, "D", "bucket/x", "import")
+		svc.ReceiveManifestMail(awssim.Email{Manifest: m})
+		dev := awssim.NewDevice("D")
+		dev.Files["f"] = data
+		if _, err := svc.ProcessImport(sig, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: Azure put/get round trip ----------------------------------------
+
+func BenchmarkE3AzurePutGet(b *testing.B) {
+	svc := azuresim.New(storage.NewMem(nil), time.Now)
+	key, err := svc.CreateAccount("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := azuresim.NewClient(svc, "bench", key)
+	body := make([]byte, 16<<10)
+	b.SetBytes(int64(len(body)) * 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		client.PutBlock("/c/rt", body)
+		_, resp := client.GetBlock("/c/rt")
+		if !azuresim.VerifyMD5(resp) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+// --- E4: SDC signed request -----------------------------------------------
+
+func BenchmarkE4SDCSignedRequest(b *testing.B) {
+	src := storage.NewMem(nil)
+	src.Put("r/doc", make([]byte, 4096), cryptoutil.Digest{})
+	tunnel := gaesim.NewTunnelServer()
+	key := cryptoutil.InsecureTestKey(110)
+	der, err := cryptoutil.MarshalPublicKey(key.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tunnel.RegisterConsumer("c", der)
+	token, err := tunnel.IssueToken()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep := &gaesim.Deployment{Tunnel: tunnel, Agent: gaesim.NewAgent(src, []gaesim.Rule{{ViewerID: "*", ResourcePrefix: "r/"}})}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req, err := gaesim.BuildSignedRequest(key, "o", "v", "i", "a", "c", token, "r/doc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := dep.Request(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: tamper detection via the agreed digest ---------------------------
+
+func BenchmarkE5TamperDetectionCheck(b *testing.B) {
+	// The hot path of the E5 defense: verifying served data against
+	// the both-signed agreed digest.
+	data := make([]byte, 1<<20)
+	h := &evidence.Header{Kind: evidence.KindNRR, TxnID: "t", SenderID: "bob", RecipientID: "alice"}
+	h.SetDigests(data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !h.MatchesData(data) {
+			b.Fatal("mismatch")
+		}
+	}
+}
+
+// --- E6: the four bridging solutions --------------------------------------
+
+func benchBridge(b *testing.B, sol bridging.Solution) {
+	ca := pki.NewAuthority("bench-ca", cryptoutil.InsecureTestKey(111))
+	now := time.Now()
+	mk := func(name string, slot int) *pki.Identity {
+		id, err := pki.NewIdentity(ca, name, cryptoutil.InsecureTestKey(slot), now.Add(-time.Hour), now.Add(24*time.Hour))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return id
+	}
+	user, prov, tac := mk("u", 112), mk("p", 113), mk("t", 114)
+	data := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, err := bridging.New(sol, user, prov, tac, ca.Lookup, storage.NewMem(nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := br.Upload("k", data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := br.Dispute("k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6BridgingS1(b *testing.B) { benchBridge(b, bridging.S1NoTACNoSKS) }
+func BenchmarkE6BridgingS2(b *testing.B) { benchBridge(b, bridging.S2SKSOnly) }
+func BenchmarkE6BridgingS3(b *testing.B) { benchBridge(b, bridging.S3TACOnly) }
+func BenchmarkE6BridgingS4(b *testing.B) { benchBridge(b, bridging.S4TACAndSKS) }
+
+// --- E7: TPNR modes ---------------------------------------------------------
+
+func newBenchDeploy(b *testing.B) *deploy.Deployment {
+	b.Helper()
+	d, err := deploy.New(deploy.Config{TestKeys: true, ResponseTimeout: 30 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(d.Close)
+	return d
+}
+
+func BenchmarkE7TPNRNormalUpload(b *testing.B) {
+	d := newBenchDeploy(b)
+	conn, err := d.DialProvider()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	data := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := fmt.Sprintf("bench-n-%d", i)
+		if _, err := d.Client.Upload(conn, txn, "k"+txn, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7TPNRDownload(b *testing.B) {
+	d := newBenchDeploy(b)
+	conn, err := d.DialProvider()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	data := make([]byte, 64<<10)
+	if _, err := d.Client.Upload(conn, "bench-up", "obj", data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := fmt.Sprintf("bench-d-%d", i)
+		if _, err := d.Client.Download(conn, txn, "obj", "bench-up"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7TPNRAbort(b *testing.B) {
+	d := newBenchDeploy(b)
+	conn, err := d.DialProvider()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := fmt.Sprintf("bench-a-%d", i)
+		if _, err := d.Client.Abort(conn, txn, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7TPNRResolve(b *testing.B) {
+	d := newBenchDeploy(b)
+	conn, err := d.DialProvider()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	// One stalled upload per iteration, then resolve through the TTP.
+	d.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
+	short, err := deploy.New(deploy.Config{TestKeys: true, ResponseTimeout: 50 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer short.Close()
+	short.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
+	sconn, err := short.DialProvider()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sconn.Close()
+	data := make([]byte, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := fmt.Sprintf("bench-r-%d", i)
+		short.Client.Upload(sconn, txn, "k"+txn, data) // times out
+		short.Provider.SetMisbehavior(core.Misbehavior{})
+		ttpConn, err := short.DialTTP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := short.Client.Resolve(ttpConn, txn, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		ttpConn.Close()
+		short.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
+	}
+}
+
+// --- E8: TPNR vs traditional ------------------------------------------------
+
+func BenchmarkE8TPNRUpload64K(b *testing.B)        { benchTPNRUpload(b, 64<<10) }
+func BenchmarkE8TraditionalUpload64K(b *testing.B) { benchTraditionalUpload(b, 64<<10) }
+
+func benchTPNRUpload(b *testing.B, size int) {
+	d := newBenchDeploy(b)
+	conn, err := d.DialProvider()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	data := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := fmt.Sprintf("bench-e8-%d", i)
+		if _, err := d.Client.Upload(conn, txn, "k"+txn, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTraditionalUpload(b *testing.B, size int) {
+	ca := pki.NewAuthority("bench-ca", cryptoutil.InsecureTestKey(115))
+	now := time.Now()
+	mk := func(name string, slot int) *pki.Identity {
+		id, err := pki.NewIdentity(ca, name, cryptoutil.InsecureTestKey(slot), now.Add(-time.Hour), now.Add(24*time.Hour))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return id
+	}
+	a, bb, tt := mk("a", 116), mk("b", 117), mk("t", 118)
+	client := traditional.NewClient(a, ca.Lookup, &metrics.Counters{})
+	provider := traditional.NewProvider(bb, ca.Lookup, storage.NewMem(nil), &metrics.Counters{})
+	ttp := traditional.NewTTP(tt, ca.Lookup, &metrics.Counters{})
+	data := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Upload(fmt.Sprintf("L%d", i), "k", data, provider, ttp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: attack-defense hot paths -------------------------------------------
+
+func BenchmarkE9ReplayGuardCheck(b *testing.B) {
+	g := session.NewGuard(1 << 16)
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nonce := make([]byte, 16)
+		nonce[0], nonce[1], nonce[2], nonce[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		if err := g.Check("txn", uint64(i+1), nonce, time.Time{}, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9EvidenceOpenVerify(b *testing.B) {
+	alice := cryptoutil.InsecureTestKey(119)
+	bob := cryptoutil.InsecureTestKey(120)
+	h := &evidence.Header{Kind: evidence.KindNRO, TxnID: "t", SenderID: "alice", RecipientID: "bob"}
+	h.SetDigests(make([]byte, 4096))
+	_, sealed, err := evidence.Build(alice, bob.Public(), h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := evidence.Open(bob, alice.Public(), sealed, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: overhead sweep and primitives --------------------------------------
+
+func BenchmarkE10TPNRUpload(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("size=%dKiB", size>>10), func(b *testing.B) {
+			benchTPNRUpload(b, size)
+		})
+	}
+}
+
+func BenchmarkE10RawStorePut(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("size=%dKiB", size>>10), func(b *testing.B) {
+			s := storage.NewMem(nil)
+			data := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Put("k", data, cryptoutil.Digest{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE10HashMD5(b *testing.B)    { benchHash(b, cryptoutil.MD5) }
+func BenchmarkE10HashSHA256(b *testing.B) { benchHash(b, cryptoutil.SHA256) }
+
+func benchHash(b *testing.B, alg cryptoutil.HashAlg) {
+	data := make([]byte, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cryptoutil.Sum(alg, data)
+	}
+}
+
+func BenchmarkE10EvidenceBuild(b *testing.B) {
+	alice := cryptoutil.InsecureTestKey(121)
+	bob := cryptoutil.InsecureTestKey(122)
+	h := &evidence.Header{Kind: evidence.KindNRO, TxnID: "t", SenderID: "alice", RecipientID: "bob"}
+	h.SetDigests(make([]byte, 4096))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := evidence.Build(alice, bob.Public(), h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10SKSSplitReconstruct(b *testing.B) {
+	secret := make([]byte, 16) // an MD5 value
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		shares, err := sks.Split(secret, 3, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sks.Reconstruct(shares[:2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10TransportPipe(b *testing.B) {
+	x, y := transport.Pipe(64)
+	defer x.Close()
+	defer y.Close()
+	msg := make([]byte, 4096)
+	go func() {
+		for {
+			if _, err := y.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := x.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension features: Merkle chunking, audit log, chunked objects ---
+
+func BenchmarkXMerkleTree(b *testing.B) {
+	for _, chunks := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("chunks=%d", chunks), func(b *testing.B) {
+			data := make([][]byte, chunks)
+			for i := range data {
+				data[i] = make([]byte, 4096)
+				data[i][0] = byte(i)
+			}
+			b.SetBytes(int64(chunks) * 4096)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := merkle.New(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkXMerkleProveVerify(b *testing.B) {
+	data := make([][]byte, 1024)
+	for i := range data {
+		data[i] = make([]byte, 1024)
+		data[i][0] = byte(i)
+	}
+	tr, err := merkle.New(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := tr.Root()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		idx := i % len(data)
+		p, err := tr.Prove(idx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Verify(root, data[idx]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXAuditAppend(b *testing.B) {
+	l := auditlog.New(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append("upload", "txn", "benchmark event")
+	}
+}
+
+func BenchmarkXAuditVerifyChain(b *testing.B) {
+	l := auditlog.New(nil)
+	for i := 0; i < 1000; i++ {
+		l.Append("upload", "txn", "event")
+	}
+	entries := l.Entries()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := auditlog.Verify(entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXBigObjectUpload(b *testing.B) {
+	d := newBenchDeploy(b)
+	conn, err := d.DialProvider()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	data := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("big/%d", i)
+		if _, err := bigobject.Upload(d.Client, conn, fmt.Sprintf("bx-%d", i), key, data, 16<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10EvidenceSignOnly ablates the paper's confidentiality
+// requirement: evidence WITHOUT the hybrid encryption (signatures
+// only). Compare with BenchmarkE10EvidenceBuild to see what
+// "encrypted with the recipient's public key" (§4.1) costs.
+func BenchmarkE10EvidenceSignOnly(b *testing.B) {
+	alice := cryptoutil.InsecureTestKey(121)
+	h := &evidence.Header{Kind: evidence.KindNRO, TxnID: "t", SenderID: "alice", RecipientID: "bob"}
+	h.SetDigests(make([]byte, 4096))
+	hdr := h.Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cryptoutil.Sign(alice, hdr); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cryptoutil.Sign(alice, hdr[:64]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command arbiterd is the off-line TPNR arbitrator (Fig. 6d): given a
+// transaction's archived evidence and the data the provider currently
+// produces, it rules on the dispute and prints the findings.
+//
+//	arbiterd -state ./state -txn t1 -claimant alice -respondent bob -produced ./blobs/<file>
+//
+// Pass -produced "" (or omit the flag) when the provider cannot
+// produce any data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arbitrator"
+	"repro/internal/evidence"
+	"repro/internal/keystore"
+)
+
+func main() {
+	state := flag.String("state", "./state", "PKI state directory")
+	txn := flag.String("txn", "", "disputed transaction ID")
+	objectKey := flag.String("key", "", "disputed object key")
+	claimant := flag.String("claimant", "alice", "claimant identity")
+	respondent := flag.String("respondent", "bob", "respondent identity")
+	produced := flag.String("produced", "", "file containing the data the respondent produces")
+	flag.Parse()
+
+	if *txn == "" {
+		fmt.Fprintln(os.Stderr, "arbiterd: -txn is required")
+		os.Exit(2)
+	}
+	world, err := keystore.LoadWorld(*state)
+	if err != nil {
+		fail(err)
+	}
+	caKey, err := world.CAKey()
+	if err != nil {
+		fail(err)
+	}
+
+	c := &arbitrator.Case{
+		TxnID:        *txn,
+		ObjectKey:    *objectKey,
+		ClaimantID:   *claimant,
+		RespondentID: *respondent,
+	}
+	// Gather whatever evidence the archive holds; missing items are
+	// part of the case, not an error.
+	if ev, err := keystore.LoadEvidence(*state, *txn, evidence.RoleOwn, evidence.KindNRO); err == nil {
+		c.ClaimantNRO = ev
+	}
+	if ev, err := keystore.LoadEvidence(*state, *txn, evidence.RolePeer, evidence.KindNRR); err == nil {
+		c.ClaimantNRR = ev
+	}
+	if ev, err := keystore.LoadEvidence(*state, *txn, evidence.RolePeer, evidence.KindAbortAccept); err == nil {
+		c.AbortReceipt = ev
+	}
+	if ev, err := keystore.LoadEvidence(*state, *txn, evidence.RolePeer, evidence.KindResolveResponse); err == nil {
+		c.TTPStatement = ev
+	}
+	if *produced != "" {
+		data, err := os.ReadFile(*produced)
+		if err != nil {
+			fail(err)
+		}
+		c.ProducedData = data
+	}
+
+	arb := arbitrator.New(caKey, world.Lookup, nil)
+	dec := arb.Decide(c)
+	fmt.Printf("dispute over txn %s (object %q)\n", *txn, *objectKey)
+	fmt.Printf("claimant: %s   respondent: %s\n\nfindings:\n", *claimant, *respondent)
+	for i, f := range dec.Findings {
+		fmt.Printf("  %2d. %s\n", i+1, f)
+	}
+	fmt.Printf("\nVERDICT: %s\n", dec.Verdict)
+	if !dec.AgreedMD5.IsZero() {
+		fmt.Printf("agreed digest: %s\n", dec.AgreedMD5)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "arbiterd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Command experiments regenerates every table and figure of the paper
+// (the E1–E10 index in DESIGN.md) and prints the rendered artifacts.
+//
+//	experiments            # run all
+//	experiments E5 E9      # run selected experiments
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	ids := os.Args[1:]
+	var results []experiments.Result
+	if len(ids) == 0 {
+		all, err := experiments.All()
+		if err != nil {
+			fail(err)
+		}
+		results = all
+	} else {
+		for _, id := range ids {
+			runner := experiments.ByID(id)
+			if runner == nil {
+				fail(fmt.Errorf("unknown experiment %q (want E1..E10)", id))
+			}
+			res, err := runner()
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, res)
+		}
+	}
+	for _, r := range results {
+		fmt.Printf("==================================================================\n")
+		fmt.Printf("%s — %s\n", r.ID, r.Title)
+		fmt.Printf("==================================================================\n\n")
+		fmt.Println(r.Text)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

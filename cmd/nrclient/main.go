@@ -1,0 +1,192 @@
+// Command nrclient is the TPNR storage client (Alice). It runs the
+// protocol against an nrserver (and a ttpd for resolve), persisting
+// all evidence to the state directory so disputes can be arbitrated
+// later by arbiterd.
+//
+// Usage:
+//
+//	nrclient -state ./state upload   -txn t1 -key docs/a -file report.pdf
+//	nrclient -state ./state download -txn t2 -key docs/a -upload-txn t1 -out got.pdf
+//	nrclient -state ./state abort    -txn t1 -reason "peer silent"
+//	nrclient -state ./state resolve  -txn t1 -report "no NRR before deadline"
+//
+// Common flags: -name alice -server 127.0.0.1:9000 -ttp 127.0.0.1:9001
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evidence"
+	"repro/internal/keystore"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	op := os.Args[1]
+	fs := flag.NewFlagSet(op, flag.ExitOnError)
+	state := fs.String("state", "./state", "PKI state directory")
+	name := fs.String("name", "alice", "client identity name")
+	providerName := fs.String("provider", "bob", "provider identity name")
+	ttpName := fs.String("ttp-name", "ttp", "TTP identity name")
+	server := fs.String("server", "127.0.0.1:9000", "provider TCP address")
+	ttpAddr := fs.String("ttp", "127.0.0.1:9001", "TTP TCP address")
+	timeout := fs.Duration("timeout", 10*time.Second, "response timeout")
+
+	txn := fs.String("txn", "", "transaction ID")
+	key := fs.String("key", "", "object key")
+	file := fs.String("file", "", "file to upload")
+	out := fs.String("out", "", "file to write downloaded data to")
+	uploadTxn := fs.String("upload-txn", "", "upload transaction whose agreed digest the download must match")
+	reason := fs.String("reason", "client requested cancellation", "abort reason")
+	report := fs.String("report", "no response before time limit", "resolve anomaly report")
+	fs.Parse(os.Args[2:])
+
+	if *txn == "" {
+		fail(errors.New("-txn is required"))
+	}
+	client, err := buildClient(*state, *name, *providerName, *ttpName, *timeout)
+	if err != nil {
+		fail(err)
+	}
+
+	switch op {
+	case "upload":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		conn := dial(*server)
+		defer conn.Close()
+		res, err := client.Upload(conn, *txn, *key, data)
+		if err != nil {
+			fail(err)
+		}
+		saveEvidence(*state, *txn, evidence.RoleOwn, res.NRO)
+		saveEvidence(*state, *txn, evidence.RolePeer, res.NRR)
+		fmt.Printf("uploaded %d bytes as %q (txn %s)\n", len(data), *key, *txn)
+		fmt.Printf("agreed md5: %s\n", res.NRR.Header.DataMD5.Hex())
+		fmt.Println("evidence archived: NRO (own), NRR (provider-signed)")
+
+	case "download":
+		conn := dial(*server)
+		defer conn.Close()
+		// Reload the agreed receipt from the evidence archive, if any.
+		if *uploadTxn != "" {
+			if nrr, err := keystore.LoadEvidence(*state, *uploadTxn, evidence.RolePeer, evidence.KindNRR); err == nil {
+				client.Archive().Put(*uploadTxn, evidence.RolePeer, nrr)
+			}
+		}
+		res, err := client.Download(conn, *txn, *key, *uploadTxn)
+		if err != nil {
+			if errors.Is(err, core.ErrIntegrity) && res != nil {
+				saveEvidence(*state, *txn, evidence.RolePeer, res.Receipt)
+				fmt.Fprintln(os.Stderr, "INTEGRITY FAILURE: served data does not match the agreed upload digest")
+				fmt.Fprintln(os.Stderr, "the provider's receipt over the tampered bytes has been archived for arbitration")
+				os.Exit(3)
+			}
+			fail(err)
+		}
+		saveEvidence(*state, *txn, evidence.RolePeer, res.Receipt)
+		if *out != "" {
+			if err := os.WriteFile(*out, res.Data, 0o644); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Printf("downloaded %d bytes of %q (integrity verified against upload: %v)\n",
+			len(res.Data), *key, res.AgreedUpload != nil && res.IntegrityOK)
+
+	case "abort":
+		conn := dial(*server)
+		defer conn.Close()
+		res, err := client.Abort(conn, *txn, *reason)
+		if err != nil {
+			fail(err)
+		}
+		saveEvidence(*state, *txn, evidence.RolePeer, res.Receipt)
+		fmt.Printf("abort of %s: accepted=%v (%s)\n", *txn, res.Accepted, res.Receipt.Header.Note)
+
+	case "resolve":
+		// Resolve needs the archived own NRO.
+		if nro, err := keystore.LoadEvidence(*state, *txn, evidence.RoleOwn, evidence.KindNRO); err == nil {
+			client.Archive().Put(*txn, evidence.RoleOwn, nro)
+		} else {
+			fail(fmt.Errorf("no archived NRO for %s (did the upload run from this state dir?): %w", *txn, err))
+		}
+		conn := dial(*ttpAddr)
+		defer conn.Close()
+		res, err := client.Resolve(conn, *txn, *report)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("resolve outcome: %s\n", res.Outcome)
+		if res.PeerEvidence != nil {
+			saveEvidence(*state, *txn, evidence.RolePeer, res.PeerEvidence)
+			fmt.Println("provider evidence relayed by TTP and archived")
+		}
+		if res.TTPStatement != nil {
+			saveEvidence(*state, *txn, evidence.RolePeer, res.TTPStatement)
+			fmt.Println("TTP statement archived")
+		}
+
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: nrclient {upload|download|abort|resolve} [flags]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nrclient:", err)
+	os.Exit(1)
+}
+
+func dial(addr string) transport.Conn {
+	conn, err := transport.DialTCP(addr)
+	if err != nil {
+		fail(err)
+	}
+	return conn
+}
+
+func buildClient(state, name, providerName, ttpName string, timeout time.Duration) (*core.Client, error) {
+	id, err := keystore.LoadIdentity(state, name)
+	if err != nil {
+		return nil, err
+	}
+	world, err := keystore.LoadWorld(state)
+	if err != nil {
+		return nil, err
+	}
+	caKey, err := world.CAKey()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewClient(core.Options{
+		Identity:        id,
+		CAKey:           caKey,
+		Directory:       world.Lookup,
+		Counters:        &metrics.Counters{},
+		ResponseTimeout: timeout,
+	}, providerName, ttpName)
+}
+
+func saveEvidence(state, txn string, role evidence.Role, ev *evidence.Evidence) {
+	if ev == nil {
+		return
+	}
+	if err := keystore.SaveEvidence(state, txn, role, ev); err != nil {
+		fmt.Fprintln(os.Stderr, "nrclient: archiving evidence:", err)
+	}
+}

@@ -1,0 +1,77 @@
+// Command nrserver runs the TPNR cloud storage provider (Bob) over
+// TCP, backed by a disk blob store.
+//
+//	nrserver -state ./state -name bob -listen 127.0.0.1:9000 -store ./blobs
+//
+// The state directory must have been provisioned with pkitool init.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/keystore"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+func main() {
+	state := flag.String("state", "./state", "PKI state directory")
+	name := flag.String("name", "bob", "this provider's identity name")
+	listen := flag.String("listen", "127.0.0.1:9000", "TCP listen address")
+	storeDir := flag.String("store", "./blobs", "blob store directory")
+	flag.Parse()
+
+	provider, err := buildProvider(*state, *name, *storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nrserver:", err)
+		os.Exit(1)
+	}
+	l, err := transport.ListenTCP(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nrserver:", err)
+		os.Exit(1)
+	}
+	log.Printf("nrserver: provider %q listening on %s, store %s", *name, l.Addr(), *storeDir)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Printf("nrserver: accept: %v", err)
+			return
+		}
+		go func() {
+			if err := provider.Serve(conn); err != nil {
+				log.Printf("nrserver: connection: %v", err)
+			}
+		}()
+	}
+}
+
+func buildProvider(state, name, storeDir string) (*core.Provider, error) {
+	id, err := keystore.LoadIdentity(state, name)
+	if err != nil {
+		return nil, err
+	}
+	world, err := keystore.LoadWorld(state)
+	if err != nil {
+		return nil, err
+	}
+	caKey, err := world.CAKey()
+	if err != nil {
+		return nil, err
+	}
+	store, err := storage.NewDisk(storeDir, nil)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewProvider(core.Options{
+		Identity:  id,
+		CAKey:     caKey,
+		Directory: world.Lookup,
+		Counters:  &metrics.Counters{},
+	}, store)
+}

@@ -1,0 +1,84 @@
+// Command pkitool provisions the shared PKI state directory used by
+// the nrserver, ttpd, nrclient and arbiterd daemons: a CA, one
+// certified identity per party, and an evidence archive directory.
+//
+// Usage:
+//
+//	pkitool init  -state ./state [-parties alice,bob,ttp] [-bits 2048] [-validity 8760h]
+//	pkitool show  -state ./state
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/keystore"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "init":
+		runInit(os.Args[2:])
+	case "show":
+		runShow(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pkitool {init|show} [flags]")
+	os.Exit(2)
+}
+
+func runInit(args []string) {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	state := fs.String("state", "./state", "state directory to create")
+	parties := fs.String("parties", "alice,bob,ttp", "comma-separated identities to certify")
+	bits := fs.Int("bits", 2048, "RSA key size")
+	validity := fs.Duration("validity", 365*24*time.Hour, "certificate validity")
+	fs.Parse(args)
+
+	names := strings.Split(*parties, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	if err := keystore.Init(*state, names, *bits, *validity); err != nil {
+		fmt.Fprintln(os.Stderr, "pkitool:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("initialized %s with CA and identities %v (%d-bit RSA)\n", *state, names, *bits)
+}
+
+func runShow(args []string) {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	state := fs.String("state", "./state", "state directory")
+	fs.Parse(args)
+
+	w, err := keystore.LoadWorld(*state)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pkitool:", err)
+		os.Exit(1)
+	}
+	fmt.Println("identities:")
+	for _, name := range w.Names() {
+		cert, err := w.Lookup(name)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-12s serial=%d  valid %s → %s\n", name, cert.Serial,
+			cert.NotBefore.Format(time.RFC3339), cert.NotAfter.Format(time.RFC3339))
+	}
+	if files, err := keystore.ListEvidence(*state); err == nil && len(files) > 0 {
+		fmt.Println("archived evidence:")
+		for _, f := range files {
+			fmt.Println("  " + f)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command ttpd runs the TPNR trusted third party over TCP. It needs to
+// know how to reach the other parties for the in-line Resolve queries;
+// peers are given as repeated -peer name=addr flags.
+//
+//	ttpd -state ./state -name ttp -listen 127.0.0.1:9001 -peer bob=127.0.0.1:9000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/keystore"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/ttp"
+)
+
+// peerFlags collects repeated -peer name=addr flags.
+type peerFlags map[string]string
+
+func (p peerFlags) String() string { return fmt.Sprint(map[string]string(p)) }
+
+func (p peerFlags) Set(v string) error {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=addr, got %q", v)
+	}
+	p[name] = addr
+	return nil
+}
+
+func main() {
+	state := flag.String("state", "./state", "PKI state directory")
+	name := flag.String("name", "ttp", "this TTP's identity name")
+	listen := flag.String("listen", "127.0.0.1:9001", "TCP listen address")
+	peers := peerFlags{}
+	flag.Var(peers, "peer", "peer address mapping name=host:port (repeatable)")
+	flag.Parse()
+
+	id, err := keystore.LoadIdentity(*state, *name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttpd:", err)
+		os.Exit(1)
+	}
+	world, err := keystore.LoadWorld(*state)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttpd:", err)
+		os.Exit(1)
+	}
+	caKey, err := world.CAKey()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttpd:", err)
+		os.Exit(1)
+	}
+	server, err := ttp.New(core.Options{
+		Identity:  id,
+		CAKey:     caKey,
+		Directory: world.Lookup,
+		Counters:  &metrics.Counters{},
+	}, func(partyID string) (transport.Conn, error) {
+		addr, ok := peers[partyID]
+		if !ok {
+			return nil, fmt.Errorf("ttpd: no -peer mapping for %q", partyID)
+		}
+		return transport.DialTCP(addr)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttpd:", err)
+		os.Exit(1)
+	}
+
+	l, err := transport.ListenTCP(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttpd:", err)
+		os.Exit(1)
+	}
+	log.Printf("ttpd: TTP %q listening on %s, peers %v", *name, l.Addr(), peers)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Printf("ttpd: accept: %v", err)
+			return
+		}
+		go func() {
+			if err := server.Serve(conn); err != nil {
+				log.Printf("ttpd: connection: %v", err)
+			}
+		}()
+	}
+}

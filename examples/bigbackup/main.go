@@ -1,0 +1,64 @@
+// Bigbackup demonstrates the chunked-object extension for the paper's
+// target workload ("Cloud storage is only attractive to large volume
+// (TB) data backup", §6): a backup is split into chunks under a Merkle
+// manifest whose root is covered by TPNR evidence, and tampering is
+// LOCALIZED to the exact chunks instead of "somewhere in the
+// terabyte".
+//
+//	go run ./examples/bigbackup
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/bigobject"
+	"repro/internal/deploy"
+	"repro/internal/storage"
+)
+
+func main() {
+	d, err := deploy.New(deploy.Config{KeyBits: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	conn, err := d.DialProvider()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	// A "large" backup (scaled down for the example) in 4 KiB chunks.
+	backup := make([]byte, 64<<10)
+	for i := range backup {
+		backup[i] = byte(i * 13)
+	}
+	up, err := bigobject.Upload(d.Client, conn, "bk-2010", "backups/full", backup, 4<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded %d bytes as %d chunks; manifest root %s…\n",
+		len(backup), len(up.ChunkTxns), up.Manifest.Root.Hex()[:16])
+
+	// The insider corrupts chunks 3 and 11, fixing platform metadata.
+	tam := d.Store.(storage.Tamperer)
+	for _, i := range []int{3, 11} {
+		if err := tam.Tamper(bigobject.ChunkKey("backups/full", i), true, func(b []byte) []byte {
+			b[len(b)/2] ^= 0xFF
+			return b
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("insider corrupted chunks 3 and 11 (metadata fixed)")
+
+	down, err := bigobject.Download(d.Client, conn, "bk-2010-restore", "backups/full", up.ManifestTxn)
+	if !errors.Is(err, bigobject.ErrTampered) {
+		log.Fatalf("expected tamper detection, got %v", err)
+	}
+	fmt.Printf("restore detected and LOCALIZED tampering to chunks %v\n", down.BadChunks)
+	fmt.Printf("(%d of %d chunks are intact and were recovered)\n",
+		len(down.Manifest.Leaves)-len(down.BadChunks), len(down.Manifest.Leaves))
+}

@@ -1,0 +1,72 @@
+// Blackmail replays the paper's §2.4 blackmail scenario:
+//
+//	Alice stores some data in the cloud, downloads it intact, and then
+//	reports that her data were broken, claiming compensation. How can
+//	the service provider demonstrate her innocence?
+//
+// With TPNR the provider holds Alice's signed NRO and can produce data
+// matching the agreed digest — the arbitrator exposes the false claim.
+//
+//	go run ./examples/blackmail
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arbitrator"
+	"repro/internal/deploy"
+)
+
+func main() {
+	d, err := deploy.New(deploy.Config{KeyBits: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	conn, err := d.DialProvider()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	// 1. Alice uploads and later downloads her data — everything is
+	// intact.
+	data := []byte("backup archive, perfectly intact")
+	up, err := d.Client.Upload(conn, "txn-bk", "backups/archive", data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	down, err := d.Client.Download(conn, "txn-bk-dl", "backups/archive", "txn-bk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. Alice uploaded and downloaded %d bytes, integrity OK=%v\n", len(down.Data), down.IntegrityOK)
+
+	// 2. Alice nevertheless claims her data were corrupted and demands
+	// compensation. The provider produces the stored data plus the
+	// evidence both sides signed.
+	fmt.Println("2. Alice files a false tampering claim")
+	obj, _ := d.Store.Get("backups/archive")
+	arb := arbitrator.New(d.CA.PublicKey(), d.CA.Lookup, nil)
+	dec := arb.Decide(&arbitrator.Case{
+		TxnID:        "txn-bk",
+		ObjectKey:    "backups/archive",
+		ClaimantID:   deploy.ClientName,
+		RespondentID: deploy.ProviderName,
+		ClaimantNRO:  up.NRO,
+		ClaimantNRR:  up.NRR,
+		ProducedData: obj.Data,
+	})
+
+	// 3. The arbitrator: the produced data matches the digest Alice
+	// HERSELF signed in the NRO — the claim is false.
+	fmt.Println("3. arbitration findings:")
+	for _, f := range dec.Findings {
+		fmt.Println("   -", f)
+	}
+	fmt.Printf("   VERDICT: %s — the provider has demonstrated its innocence\n", dec.Verdict)
+	if dec.Verdict != arbitrator.VerdictClaimFalse {
+		log.Fatalf("unexpected verdict %v", dec.Verdict)
+	}
+}

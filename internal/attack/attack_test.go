@@ -1,0 +1,157 @@
+package attack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGauntletMatrix is the executable form of the paper's Table of §5
+// claims: every attack must FAIL against TPNR and SUCCEED against the
+// naive baseline.
+func TestGauntletMatrix(t *testing.T) {
+	outcomes, err := Gauntlet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 2*len(AllAttacks) {
+		t.Fatalf("gauntlet produced %d outcomes", len(outcomes))
+	}
+	for _, o := range outcomes {
+		switch o.Target {
+		case "TPNR":
+			if o.Succeeded {
+				t.Errorf("%s SUCCEEDED against TPNR: %s", o.Attack, o.Detail)
+			}
+		case "naive":
+			if !o.Succeeded {
+				t.Errorf("%s FAILED against the naive baseline (it should succeed): %s", o.Attack, o.Detail)
+			}
+		default:
+			t.Errorf("unknown target %q", o.Target)
+		}
+		if o.Detail == "" {
+			t.Errorf("%s vs %s: empty detail", o.Attack, o.Target)
+		}
+	}
+}
+
+func TestUnknownAttackRejected(t *testing.T) {
+	if _, err := RunTPNR("teleportation"); err == nil {
+		t.Error("unknown attack accepted for TPNR")
+	}
+	if _, err := RunNaive("teleportation"); err == nil {
+		t.Error("unknown attack accepted for naive")
+	}
+}
+
+func TestNaiveMsgRoundTrip(t *testing.T) {
+	m := NaivePut("alice", "tok", "key/1", []byte("data"))
+	got, err := DecodeNaive(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != "put" || got.User != "alice" || got.Key != "key/1" || !bytes.Equal(got.Data, []byte("data")) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := DecodeNaive([]byte("junk")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestNaiveServerBasics(t *testing.T) {
+	s := NewNaiveServer()
+	tok := s.Register("u")
+
+	// Valid put.
+	resp := s.Handle(NaivePut("u", tok, "k", []byte("v")).Encode())
+	m, err := DecodeNaive(resp)
+	if err != nil || m.Op != "ok" {
+		t.Fatalf("put: %+v %v", m, err)
+	}
+	// Wrong token.
+	resp = s.Handle(NaivePut("u", "bad", "k", []byte("v")).Encode())
+	if m, _ := DecodeNaive(resp); m.Op != "err:auth-failed" {
+		t.Fatalf("wrong token: %+v", m)
+	}
+	// Unknown user.
+	resp = s.Handle(NaivePut("ghost", tok, "k", []byte("v")).Encode())
+	if m, _ := DecodeNaive(resp); m.Op != "err:auth-failed" {
+		t.Fatalf("unknown user: %+v", m)
+	}
+	// MD5 mismatch.
+	bad := NaivePut("u", tok, "k", []byte("v"))
+	bad.MD5 = "00000000000000000000000000000000"
+	resp = s.Handle(bad.Encode())
+	if m, _ := DecodeNaive(resp); m.Op != "err:md5-mismatch" {
+		t.Fatalf("md5 mismatch: %+v", m)
+	}
+	// Get round trip.
+	resp = s.Handle((&NaiveMsg{Op: "get", User: "u", Token: tok, Key: "k"}).Encode())
+	m, _ = DecodeNaive(resp)
+	if m.Op != "ok" || !bytes.Equal(m.Data, []byte("v")) {
+		t.Fatalf("get: %+v", m)
+	}
+	// Missing object.
+	resp = s.Handle((&NaiveMsg{Op: "get", User: "u", Token: tok, Key: "ghost"}).Encode())
+	if m, _ := DecodeNaive(resp); m.Op != "err:not-found" {
+		t.Fatalf("missing: %+v", m)
+	}
+	// Bad op.
+	resp = s.Handle((&NaiveMsg{Op: "rm", User: "u", Token: tok}).Encode())
+	if m, _ := DecodeNaive(resp); m.Op != "err:bad-op" {
+		t.Fatalf("bad op: %+v", m)
+	}
+}
+
+func TestRewriteNaivePut(t *testing.T) {
+	orig := NaivePut("u", "t", "k", []byte("data")).Encode()
+	rewritten, ok := RewriteNaivePut(orig, func(b []byte) []byte { return []byte("evil") })
+	if !ok {
+		t.Fatal("rewrite reported failure")
+	}
+	m, err := DecodeNaive(rewritten)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Data, []byte("evil")) {
+		t.Fatalf("data = %q", m.Data)
+	}
+	// The rewritten MD5 is self-consistent — that is the vulnerability.
+	s := NewNaiveServer()
+	tok := s.Register("u")
+	re, _ := RewriteNaivePut(NaivePut("u", tok, "k", []byte("data")).Encode(), func(b []byte) []byte { return []byte("evil") })
+	resp := s.Handle(re)
+	if rm, _ := DecodeNaive(resp); rm.Op != "ok" {
+		t.Fatalf("server rejected self-consistent rewrite: %+v", rm)
+	}
+	// Identity mutation reports no rewrite.
+	if _, ok := RewriteNaivePut(orig, func(b []byte) []byte { return b }); ok {
+		t.Fatal("identity mutation reported as rewrite")
+	}
+	// Non-put passes through.
+	g := (&NaiveMsg{Op: "get"}).Encode()
+	if _, ok := RewriteNaivePut(g, func(b []byte) []byte { return []byte("x") }); ok {
+		t.Fatal("get rewritten")
+	}
+}
+
+func TestNaivePutAccepted(t *testing.T) {
+	req := NaivePut("u", "t", "k", []byte("v"))
+	// A genuine ok response.
+	resp := (&NaiveMsg{Op: "ok", MD5: req.MD5}).Encode()
+	if !NaivePutAccepted(resp, req.MD5) {
+		t.Error("genuine response rejected")
+	}
+	// The client's own echoed request also passes — the reflection bug.
+	if !NaivePutAccepted(req.Encode(), req.MD5) {
+		t.Error("echoed request rejected; the naive client should (wrongly) accept it")
+	}
+	// A response with a different MD5 is rejected.
+	other := (&NaiveMsg{Op: "ok", MD5: "beef"}).Encode()
+	if NaivePutAccepted(other, req.MD5) {
+		t.Error("mismatched MD5 accepted")
+	}
+	if NaivePutAccepted([]byte("junk"), req.MD5) {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,497 @@
+package attack
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/evidence"
+	"repro/internal/transport"
+)
+
+// Outcome is one cell of the §5 robustness matrix.
+type Outcome struct {
+	// Attack names the adversary (§5.1–§5.5).
+	Attack string
+	// Target is "TPNR" or "naive".
+	Target string
+	// Succeeded reports whether the ATTACKER achieved their goal.
+	Succeeded bool
+	// Detail explains what happened.
+	Detail string
+}
+
+// Attack names.
+const (
+	MITM         = "man-in-the-middle"
+	Reflection   = "reflection"
+	Interleaving = "interleaving"
+	Replay       = "replay"
+	Timeliness   = "timeliness"
+)
+
+// AllAttacks lists the five §5 adversaries in paper order.
+var AllAttacks = []string{MITM, Reflection, Interleaving, Replay, Timeliness}
+
+// tpnrDeploy builds a fresh TPNR deployment for one attack run.
+func tpnrDeploy(lifetime time.Duration) (*deploy.Deployment, error) {
+	return deploy.New(deploy.Config{
+		TestKeys:        true,
+		ResponseTimeout: 400 * time.Millisecond,
+		MessageLifetime: lifetime,
+	})
+}
+
+// naiveDeploy builds the naive target: server on an in-memory network.
+type naiveEnv struct {
+	server *NaiveServer
+	net    *transport.Network
+	user   string
+	token  string
+}
+
+func naiveDeployEnv() (*naiveEnv, error) {
+	env := &naiveEnv{server: NewNaiveServer(), net: transport.NewNetwork(), user: "alice"}
+	env.token = env.server.Register("alice")
+	l, err := env.net.Listen("naive")
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go env.server.Serve(c)
+		}
+	}()
+	return env, nil
+}
+
+// RunTPNR executes the named attack against a fresh TPNR deployment.
+func RunTPNR(name string) (Outcome, error) {
+	switch name {
+	case MITM:
+		return mitmTPNR()
+	case Reflection:
+		return reflectionTPNR()
+	case Interleaving:
+		return interleavingTPNR()
+	case Replay:
+		return replayTPNR()
+	case Timeliness:
+		return timelinessTPNR()
+	default:
+		return Outcome{}, fmt.Errorf("attack: unknown attack %q", name)
+	}
+}
+
+// RunNaive executes the named attack against the naive baseline.
+func RunNaive(name string) (Outcome, error) {
+	switch name {
+	case MITM:
+		return mitmNaive()
+	case Reflection:
+		return reflectionNaive()
+	case Interleaving:
+		return interleavingNaive()
+	case Replay:
+		return replayNaive()
+	case Timeliness:
+		return timelinessNaive()
+	default:
+		return Outcome{}, fmt.Errorf("attack: unknown attack %q", name)
+	}
+}
+
+// Gauntlet runs every attack against both targets: the E9 matrix.
+func Gauntlet() ([]Outcome, error) {
+	var out []Outcome
+	for _, name := range AllAttacks {
+		o, err := RunTPNR(name)
+		if err != nil {
+			return nil, fmt.Errorf("attack: %s vs TPNR: %w", name, err)
+		}
+		out = append(out, o)
+		o, err = RunNaive(name)
+		if err != nil {
+			return nil, fmt.Errorf("attack: %s vs naive: %w", name, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// --- §5.1 man-in-the-middle -------------------------------------------
+
+// mitmTPNR: the attacker rewrites the upload payload in flight. Goal:
+// make the provider store tampered data while the client believes the
+// upload succeeded.
+func mitmTPNR() (Outcome, error) {
+	d, err := tpnrDeploy(0)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer d.Close()
+	ic := func(dir transport.Direction, msg []byte) ([]byte, bool) {
+		if dir != transport.ClientToServer {
+			return msg, true
+		}
+		m, err := core.DecodeMessage(msg)
+		if err != nil || len(m.Payload) == 0 {
+			return msg, true
+		}
+		m.Payload = append([]byte("TAMPERED:"), m.Payload...)
+		return m.Encode(), true
+	}
+	conn, tap, err := transport.Spliced(d.DialProvider, ic)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer tap.Close()
+
+	_, upErr := d.Client.Upload(conn, "txn-mitm", "k", []byte("genuine"))
+	stored, getErr := d.Store.Get("k")
+	tamperedStored := getErr == nil && bytes.Contains(stored.Data, []byte("TAMPERED"))
+	clientFooled := upErr == nil
+	succeeded := tamperedStored || clientFooled
+	detail := fmt.Sprintf("client error=%v, tampered data stored=%v — the NRO signature over the data hash exposes the rewrite", upErr != nil, tamperedStored)
+	return Outcome{Attack: MITM, Target: "TPNR", Succeeded: succeeded, Detail: detail}, nil
+}
+
+// mitmNaive: the same rewrite, with the MD5 recomputed (nothing stops
+// the attacker). Goal identical.
+func mitmNaive() (Outcome, error) {
+	env, err := naiveDeployEnv()
+	if err != nil {
+		return Outcome{}, err
+	}
+	ic := func(dir transport.Direction, msg []byte) ([]byte, bool) {
+		if dir != transport.ClientToServer {
+			return msg, true
+		}
+		out, _ := RewriteNaivePut(msg, func(b []byte) []byte {
+			return append([]byte("TAMPERED:"), b...)
+		})
+		return out, true
+	}
+	conn, tap, err := transport.Spliced(func() (transport.Conn, error) { return env.net.Dial("naive") }, ic)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer tap.Close()
+
+	req := NaivePut(env.user, env.token, "k", []byte("genuine"))
+	if err := conn.Send(req.Encode()); err != nil {
+		return Outcome{}, err
+	}
+	resp, err := conn.Recv()
+	if err != nil {
+		return Outcome{}, err
+	}
+	// The naive client cannot detect the rewrite: the response's MD5 is
+	// the attacker's recomputed one; only a byte-for-byte comparison
+	// against the sent MD5 would notice, and the attacker can rewrite
+	// the response too. Here the server stored tampered data.
+	stored, getErr := env.server.Store().Get("k")
+	tamperedStored := getErr == nil && bytes.Contains(stored.Data, []byte("TAMPERED"))
+	m, _ := DecodeNaive(resp)
+	detail := fmt.Sprintf("server answered %q; tampered data stored=%v — bare MD5 authenticates nothing", m.Op, tamperedStored)
+	return Outcome{Attack: MITM, Target: "naive", Succeeded: tamperedStored, Detail: detail}, nil
+}
+
+// --- §5.2 reflection ---------------------------------------------------
+
+// reflectionTPNR: the attacker echoes the client's own message back as
+// the "response". Goal: make the client accept it.
+func reflectionTPNR() (Outcome, error) {
+	d, err := tpnrDeploy(0)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer d.Close()
+	var tapRef *transport.Tap
+	ic := func(dir transport.Direction, msg []byte) ([]byte, bool) {
+		if dir == transport.ClientToServer {
+			// Swallow the message and reflect it to the sender.
+			tapRef.Inject(transport.ServerToClient, msg)
+			return nil, false
+		}
+		return msg, true
+	}
+	conn, tap, err := transport.Spliced(d.DialProvider, ic)
+	if err != nil {
+		return Outcome{}, err
+	}
+	tapRef = tap
+	defer tap.Close()
+
+	_, upErr := d.Client.Upload(conn, "txn-refl", "k", []byte("v"))
+	// Success for the attacker = the client accepted its own message as
+	// a receipt (upErr == nil). TPNR rejects: the reflected header
+	// names Bob as recipient and Alice as sender.
+	detail := fmt.Sprintf("client result: %v — messages are asymmetric and carry sender/recipient IDs", upErr)
+	return Outcome{Attack: Reflection, Target: "TPNR", Succeeded: upErr == nil, Detail: detail}, nil
+}
+
+// reflectionNaive: same echo. The naive client's MD5-echo check
+// accepts its own request.
+func reflectionNaive() (Outcome, error) {
+	env, err := naiveDeployEnv()
+	if err != nil {
+		return Outcome{}, err
+	}
+	var tapRef *transport.Tap
+	ic := func(dir transport.Direction, msg []byte) ([]byte, bool) {
+		if dir == transport.ClientToServer {
+			tapRef.Inject(transport.ServerToClient, msg)
+			return nil, false
+		}
+		return msg, true
+	}
+	conn, tap, err := transport.Spliced(func() (transport.Conn, error) { return env.net.Dial("naive") }, ic)
+	if err != nil {
+		return Outcome{}, err
+	}
+	tapRef = tap
+	defer tap.Close()
+
+	req := NaivePut(env.user, env.token, "k", []byte("v"))
+	if err := conn.Send(req.Encode()); err != nil {
+		return Outcome{}, err
+	}
+	resp, err := conn.Recv()
+	if err != nil {
+		return Outcome{}, err
+	}
+	accepted := NaivePutAccepted(resp, req.MD5)
+	_, getErr := env.server.Store().Get("k")
+	detail := fmt.Sprintf("client accepted echo=%v while object stored=%v — symmetric format + MD5-echo check", accepted, getErr == nil)
+	return Outcome{Attack: Reflection, Target: "naive", Succeeded: accepted && getErr != nil, Detail: detail}, nil
+}
+
+// --- §5.3 interleaving -------------------------------------------------
+
+// interleavingTPNR: the attacker lifts the signed NRO from one session
+// and splices it into a parallel session under a different transaction
+// ID. Goal: get the provider to accept the transplanted message.
+func interleavingTPNR() (Outcome, error) {
+	d, err := tpnrDeploy(0)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer d.Close()
+
+	// Run a legitimate upload, capturing the NRO.
+	var captured []byte
+	ic := func(dir transport.Direction, msg []byte) ([]byte, bool) {
+		if dir == transport.ClientToServer && captured == nil {
+			captured = append([]byte(nil), msg...)
+		}
+		return msg, true
+	}
+	conn, tap, err := transport.Spliced(d.DialProvider, ic)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer tap.Close()
+	if _, err := d.Client.Upload(conn, "txn-session-A", "k", []byte("v")); err != nil {
+		return Outcome{}, err
+	}
+
+	// Transplant: rewrite the plaintext header to a new transaction and
+	// inject into a fresh session. The sealed evidence cannot be
+	// re-signed, so the header/evidence binding must break.
+	m, err := core.DecodeMessage(captured)
+	if err != nil {
+		return Outcome{}, err
+	}
+	h, err := m.Header()
+	if err != nil {
+		return Outcome{}, err
+	}
+	h.TxnID = "txn-session-B"
+	h.Nonce = append([]byte(nil), h.Nonce...)
+	h.Nonce[0] ^= 1 // fresh-looking nonce
+	m.HeaderBytes = h.Encode()
+
+	reply := d.Provider.HandleRaw(m.Encode())
+	accepted := replyIsNonError(reply)
+	detail := fmt.Sprintf("provider accepted transplanted NRO=%v — Sign(Plaintext) binds the transaction ID", accepted)
+	return Outcome{Attack: Interleaving, Target: "TPNR", Succeeded: accepted, Detail: detail}, nil
+}
+
+// interleavingNaive: the static token lifted from one session
+// authorizes arbitrary attacker messages in another. Goal: store
+// attacker data under the victim's account.
+func interleavingNaive() (Outcome, error) {
+	env, err := naiveDeployEnv()
+	if err != nil {
+		return Outcome{}, err
+	}
+	// Victim uploads once; the attacker observes the token.
+	var stolenToken string
+	ic := func(dir transport.Direction, msg []byte) ([]byte, bool) {
+		if dir == transport.ClientToServer && stolenToken == "" {
+			if m, err := DecodeNaive(msg); err == nil {
+				stolenToken = m.Token
+			}
+		}
+		return msg, true
+	}
+	conn, tap, err := transport.Spliced(func() (transport.Conn, error) { return env.net.Dial("naive") }, ic)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer tap.Close()
+	req := NaivePut(env.user, env.token, "victim-doc", []byte("victim data"))
+	conn.Send(req.Encode())
+	conn.Recv()
+
+	// The attacker opens their own session with the stolen token.
+	atkConn, err := env.net.Dial("naive")
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer atkConn.Close()
+	forged := NaivePut(env.user, stolenToken, "victim-doc", []byte("attacker data"))
+	atkConn.Send(forged.Encode())
+	resp, err := atkConn.Recv()
+	if err != nil {
+		return Outcome{}, err
+	}
+	m, _ := DecodeNaive(resp)
+	obj, _ := env.server.Store().Get("victim-doc")
+	overwritten := bytes.Equal(obj.Data, []byte("attacker data"))
+	detail := fmt.Sprintf("server answered %q; victim object overwritten=%v — static bearer token has no session binding", m.Op, overwritten)
+	return Outcome{Attack: Interleaving, Target: "naive", Succeeded: overwritten, Detail: detail}, nil
+}
+
+// --- §5.4 replay ---------------------------------------------------------
+
+func replayTPNR() (Outcome, error) {
+	d, err := tpnrDeploy(0)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer d.Close()
+	var captured []byte
+	ic := func(dir transport.Direction, msg []byte) ([]byte, bool) {
+		if dir == transport.ClientToServer && captured == nil {
+			captured = append([]byte(nil), msg...)
+		}
+		return msg, true
+	}
+	conn, tap, err := transport.Spliced(d.DialProvider, ic)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer tap.Close()
+	if _, err := d.Client.Upload(conn, "txn-replay", "k", []byte("v")); err != nil {
+		return Outcome{}, err
+	}
+	reply := d.Provider.HandleRaw(captured)
+	accepted := replyIsNonError(reply)
+	versions := versionCount(d, "k")
+	detail := fmt.Sprintf("replayed NRO accepted=%v, object versions=%d — unique sequence number + nonce", accepted, versions)
+	return Outcome{Attack: Replay, Target: "TPNR", Succeeded: accepted || versions > 1, Detail: detail}, nil
+}
+
+func replayNaive() (Outcome, error) {
+	env, err := naiveDeployEnv()
+	if err != nil {
+		return Outcome{}, err
+	}
+	req := NaivePut(env.user, env.token, "k", []byte("v")).Encode()
+	env.server.Handle(req)
+	resp := env.server.Handle(req) // verbatim replay
+	m, _ := DecodeNaive(resp)
+	n, _ := env.server.Store().Versions("k")
+	detail := fmt.Sprintf("replay answered %q, object versions=%d — nothing distinguishes the copies", m.Op, n)
+	return Outcome{Attack: Replay, Target: "naive", Succeeded: n > 1, Detail: detail}, nil
+}
+
+// --- §5.5 timeliness -------------------------------------------------------
+
+// timelinessTPNR: the attacker delays the upload past its time limit.
+// Goal: have the stale message accepted (or the client hang forever).
+func timelinessTPNR() (Outcome, error) {
+	d, err := tpnrDeploy(60 * time.Millisecond)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer d.Close()
+	ic := func(dir transport.Direction, msg []byte) ([]byte, bool) {
+		if dir == transport.ClientToServer {
+			time.Sleep(150 * time.Millisecond) // hold the message hostage
+		}
+		return msg, true
+	}
+	conn, tap, err := transport.Spliced(d.DialProvider, ic)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer tap.Close()
+
+	start := time.Now()
+	_, upErr := d.Client.Upload(conn, "txn-late", "k", []byte("v"))
+	elapsed := time.Since(start)
+	_, getErr := d.Store.Get("k")
+	staleAccepted := getErr == nil
+	hung := elapsed > 5*time.Second
+	detail := fmt.Sprintf("stale message stored=%v, client returned after %v (err=%v) — time-limit field bounds acceptance and timeouts bound execution", staleAccepted, elapsed.Round(time.Millisecond), upErr != nil)
+	return Outcome{Attack: Timeliness, Target: "TPNR", Succeeded: staleAccepted || hung, Detail: detail}, nil
+}
+
+func timelinessNaive() (Outcome, error) {
+	env, err := naiveDeployEnv()
+	if err != nil {
+		return Outcome{}, err
+	}
+	req := NaivePut(env.user, env.token, "k", []byte("v")).Encode()
+	time.Sleep(150 * time.Millisecond) // the same hostage delay
+	resp := env.server.Handle(req)
+	m, _ := DecodeNaive(resp)
+	_, getErr := env.server.Store().Get("k")
+	detail := fmt.Sprintf("delayed message answered %q, stored=%v — no deadline exists", m.Op, getErr == nil)
+	return Outcome{Attack: Timeliness, Target: "naive", Succeeded: getErr == nil, Detail: detail}, nil
+}
+
+// --- helpers -----------------------------------------------------------
+
+// replyIsNonError decodes a provider reply and reports whether it is a
+// non-error protocol message (i.e. the provider ACCEPTED the input).
+func replyIsNonError(reply []byte) bool {
+	if reply == nil {
+		return false
+	}
+	m, err := core.DecodeMessage(reply)
+	if err != nil {
+		return false
+	}
+	h, err := m.Header()
+	if err != nil {
+		return false
+	}
+	return h.Kind != evidence.KindError
+}
+
+// versionCount reads the version count of a key from the deployment's
+// in-memory store.
+func versionCount(d *deploy.Deployment, key string) int {
+	type versioned interface {
+		Versions(string) (int, error)
+	}
+	v, ok := d.Store.(versioned)
+	if !ok {
+		return -1
+	}
+	n, err := v.Versions(key)
+	if err != nil {
+		return 0
+	}
+	return n
+}

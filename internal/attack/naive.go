@@ -1,0 +1,175 @@
+// Package attack makes the paper's §5 robustness analysis executable:
+// it implements the five classic adversaries — man-in-the-middle,
+// reflection, interleaving, replay, and timeliness — and runs each one
+// against two targets: the TPNR deployment (which must resist) and a
+// deliberately naive MD5-only storage protocol standing in for the
+// "conventional mechanisms" of §2 (which must fall). Experiment E9
+// renders the resulting matrix.
+package attack
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// The naive protocol is a distilled §2 baseline: static bearer-token
+// authentication, bare MD5 transfer integrity, and — the §5-relevant
+// sins — the SAME message format in both directions (reflection bait),
+// no nonces or sequence numbers (replay/interleaving bait), and no
+// deadlines (timeliness bait).
+
+// NaiveMsg is both request and response ("a challenge-response
+// authentication system that uses the same protocol in both
+// directions", §5.2 — the precondition for reflection).
+type NaiveMsg struct {
+	Op    string // "put", "get", "ok", "err:<reason>"
+	User  string
+	Token string
+	Key   string
+	MD5   string
+	Data  []byte
+}
+
+// Encode serializes the message.
+func (m *NaiveMsg) Encode() []byte {
+	e := wire.NewEncoder(len(m.Data) + 64)
+	e.String(m.Op)
+	e.String(m.User)
+	e.String(m.Token)
+	e.String(m.Key)
+	e.String(m.MD5)
+	e.Bytes32(m.Data)
+	return e.Bytes()
+}
+
+// DecodeNaive parses a message.
+func DecodeNaive(raw []byte) (*NaiveMsg, error) {
+	d := wire.NewDecoder(raw)
+	m := &NaiveMsg{
+		Op:    d.String(),
+		User:  d.String(),
+		Token: d.String(),
+		Key:   d.String(),
+		MD5:   d.String(),
+		Data:  d.Bytes32(),
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NaiveServer is the baseline storage endpoint.
+type NaiveServer struct {
+	store *storage.Mem
+
+	mu     sync.Mutex
+	tokens map[string]string // user → static bearer token
+}
+
+// NewNaiveServer creates the baseline server.
+func NewNaiveServer() *NaiveServer {
+	return &NaiveServer{store: storage.NewMem(nil), tokens: make(map[string]string)}
+}
+
+// Register provisions a user and returns its static token (reused for
+// every request — the §5.3 interleaving weakness).
+func (s *NaiveServer) Register(user string) string {
+	tok := fmt.Sprintf("token-%x", cryptoutil.MustNonce())
+	s.mu.Lock()
+	s.tokens[user] = tok
+	s.mu.Unlock()
+	return tok
+}
+
+// Store exposes the backing store.
+func (s *NaiveServer) Store() *storage.Mem { return s.store }
+
+// Serve handles one connection.
+func (s *NaiveServer) Serve(conn transport.Conn) {
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if err := conn.Send(s.Handle(raw)); err != nil {
+			return
+		}
+	}
+}
+
+// Handle processes one request and returns the encoded response.
+func (s *NaiveServer) Handle(raw []byte) []byte {
+	m, err := DecodeNaive(raw)
+	if err != nil {
+		return (&NaiveMsg{Op: "err:bad-request"}).Encode()
+	}
+	s.mu.Lock()
+	want := s.tokens[m.User]
+	s.mu.Unlock()
+	if want == "" || m.Token != want {
+		return (&NaiveMsg{Op: "err:auth-failed"}).Encode()
+	}
+	switch m.Op {
+	case "put":
+		sum := cryptoutil.Sum(cryptoutil.MD5, m.Data)
+		if sum.Hex() != m.MD5 {
+			return (&NaiveMsg{Op: "err:md5-mismatch"}).Encode()
+		}
+		if _, err := s.store.Put(m.Key, m.Data, sum); err != nil {
+			return (&NaiveMsg{Op: "err:storage"}).Encode()
+		}
+		// The response echoes the request fields — same format, no
+		// responder binding.
+		return (&NaiveMsg{Op: "ok", User: m.User, Key: m.Key, MD5: sum.Hex()}).Encode()
+	case "get":
+		obj, err := s.store.Get(m.Key)
+		if err != nil {
+			return (&NaiveMsg{Op: "err:not-found"}).Encode()
+		}
+		return (&NaiveMsg{Op: "ok", User: m.User, Key: m.Key, MD5: obj.StoredMD5.Hex(), Data: obj.Data}).Encode()
+	default:
+		return (&NaiveMsg{Op: "err:bad-op"}).Encode()
+	}
+}
+
+// NaivePut builds an upload request.
+func NaivePut(user, token, key string, data []byte) *NaiveMsg {
+	return &NaiveMsg{
+		Op: "put", User: user, Token: token, Key: key,
+		MD5:  cryptoutil.Sum(cryptoutil.MD5, data).Hex(),
+		Data: data,
+	}
+}
+
+// NaivePutAccepted is the naive client's response check: it compares
+// only the echoed MD5 against what it sent — the sloppy-but-common
+// check that makes the reflection attack land (the client's own
+// request, echoed back, carries exactly that MD5).
+func NaivePutAccepted(raw []byte, sentMD5 string) bool {
+	m, err := DecodeNaive(raw)
+	if err != nil {
+		return false
+	}
+	return m.MD5 == sentMD5
+}
+
+// RewriteNaivePut mutates a captured upload's data, recomputing the
+// MD5 — which any man-in-the-middle can do, since nothing is signed.
+func RewriteNaivePut(raw []byte, mutate func([]byte) []byte) ([]byte, bool) {
+	m, err := DecodeNaive(raw)
+	if err != nil || m.Op != "put" {
+		return raw, false
+	}
+	newData := mutate(m.Data)
+	if bytes.Equal(newData, m.Data) {
+		return raw, false
+	}
+	return NaivePut(m.User, m.Token, m.Key, newData).Encode(), true
+}

@@ -1,0 +1,172 @@
+package bigobject_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/bigobject"
+	"repro/internal/deploy"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+func newDeploy(t *testing.T) (*deploy.Deployment, transport.Conn) {
+	t.Helper()
+	d, err := deploy.New(deploy.Config{TestKeys: true, ResponseTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	conn, err := d.DialProvider()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return d, conn
+}
+
+func testData(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i*7 + i>>8)
+	}
+	return data
+}
+
+func TestUploadDownloadRoundTrip(t *testing.T) {
+	d, conn := newDeploy(t)
+	data := testData(10_000)
+	up, err := bigobject.Upload(d.Client, conn, "big-1", "backups/tb", data, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(up.ChunkTxns), 10; got != want {
+		t.Fatalf("chunk transactions = %d, want %d", got, want)
+	}
+	if up.Manifest.TotalLen != 10_000 || len(up.Manifest.Leaves) != 10 {
+		t.Fatalf("manifest: %+v", up.Manifest)
+	}
+
+	down, err := bigobject.Download(d.Client, conn, "big-1-dl", "backups/tb", up.ManifestTxn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(down.Data, data) {
+		t.Fatal("reassembled data differs")
+	}
+	if len(down.BadChunks) != 0 {
+		t.Fatalf("clean download reported bad chunks %v", down.BadChunks)
+	}
+}
+
+// TestTamperLocalization is the feature's reason to exist: tamper two
+// specific chunks in storage (metadata fixed) and the download names
+// exactly those indices.
+func TestTamperLocalization(t *testing.T) {
+	d, conn := newDeploy(t)
+	data := testData(8192)
+	up, err := bigobject.Upload(d.Client, conn, "big-2", "backups/db", data, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tam := d.Store.(storage.Tamperer)
+	for _, i := range []int{2, 5} {
+		if err := tam.Tamper(bigobject.ChunkKey("backups/db", i), true, func(b []byte) []byte {
+			b[0] ^= 0xFF
+			return b
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	down, err := bigobject.Download(d.Client, conn, "big-2-dl", "backups/db", up.ManifestTxn)
+	if !errors.Is(err, bigobject.ErrTampered) {
+		t.Fatalf("err = %v, want ErrTampered", err)
+	}
+	if len(down.BadChunks) != 2 || down.BadChunks[0] != 2 || down.BadChunks[1] != 5 {
+		t.Fatalf("BadChunks = %v, want [2 5]", down.BadChunks)
+	}
+}
+
+// TestManifestTamperDetected: rewriting the manifest itself cannot
+// help the provider — the manifest's own TPNR evidence catches it.
+func TestManifestTamperDetected(t *testing.T) {
+	d, conn := newDeploy(t)
+	data := testData(4096)
+	up, err := bigobject.Upload(d.Client, conn, "big-3", "backups/m", data, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The provider substitutes a self-consistent manifest for different
+	// content (leaves and root recomputed, platform MD5 fixed).
+	forged, _, err := bigobject.BuildManifest("backups/m", []byte("substituted content"), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tam := d.Store.(storage.Tamperer)
+	if err := tam.Tamper(bigobject.ManifestKey("backups/m"), true, func([]byte) []byte {
+		return forged.Encode()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = bigobject.Download(d.Client, conn, "big-3-dl", "backups/m", up.ManifestTxn)
+	if err == nil {
+		t.Fatal("forged manifest accepted")
+	}
+}
+
+func TestManifestEncodeDecodeRoundTrip(t *testing.T) {
+	m, _, err := bigobject.BuildManifest("k", testData(5000), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bigobject.DecodeManifest(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ObjectKey != "k" || got.TotalLen != 5000 || got.ChunkSize != 512 ||
+		len(got.Leaves) != len(m.Leaves) || !got.Root.Equal(m.Root) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestDecodeManifestRejectsInconsistent(t *testing.T) {
+	m, _, err := bigobject.BuildManifest("k", testData(3000), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate one leaf: the root check must fail.
+	m.Leaves[1].Sum[0] ^= 1
+	if _, err := bigobject.DecodeManifest(m.Encode()); !errors.Is(err, bigobject.ErrBadManifest) {
+		t.Fatalf("err = %v, want ErrBadManifest", err)
+	}
+	if _, err := bigobject.DecodeManifest([]byte("junk")); !errors.Is(err, bigobject.ErrBadManifest) {
+		t.Fatalf("junk: %v", err)
+	}
+}
+
+func TestChunkKeys(t *testing.T) {
+	if bigobject.ManifestKey("a/b") != "a/b/manifest" {
+		t.Error("ManifestKey")
+	}
+	if bigobject.ChunkKey("a/b", 7) != "a/b/chunk/00000007" {
+		t.Errorf("ChunkKey = %q", bigobject.ChunkKey("a/b", 7))
+	}
+}
+
+func TestSingleChunkObject(t *testing.T) {
+	d, conn := newDeploy(t)
+	data := []byte("small")
+	up, err := bigobject.Upload(d.Client, conn, "big-4", "small", data, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up.ChunkTxns) != 1 {
+		t.Fatalf("chunks = %d", len(up.ChunkTxns))
+	}
+	down, err := bigobject.Download(d.Client, conn, "big-4-dl", "small", up.ManifestTxn)
+	if err != nil || !bytes.Equal(down.Data, data) {
+		t.Fatalf("download: %q, %v", down.Data, err)
+	}
+}

@@ -1,0 +1,387 @@
+// Package bridging implements the four preliminary solutions of paper
+// §3 for bridging the missing integrity link between uploading and
+// downloading sessions. The solutions are indexed by two booleans —
+// whether a Third Authority Certified (TAC) participates, and whether
+// the Secret Key Sharing technique (SKS) is used:
+//
+//	S1 (§3.1) neither TAC nor SKS:  exchange MD5 signatures (MSU/MSP)
+//	S2 (§3.2) SKS without TAC:      share the agreed MD5 via secret sharing
+//	S3 (§3.3) TAC without SKS:      MSU and MSP deposited at the TAC
+//	S4 (§3.4) both TAC and SKS:     TAC verifies the MD5s and distributes shares
+//
+// Each solution provides an uploading session, a downloading session
+// and a dispute procedure; experiment E6 compares their message costs
+// and dispute power. The full TPNR protocol (internal/core) supersedes
+// all four; this package exists because the paper proposes and
+// compares them.
+package bridging
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/pki"
+	"repro/internal/sks"
+	"repro/internal/storage"
+)
+
+// Solution identifies one of the four §3 schemes.
+type Solution int
+
+// The four solutions.
+const (
+	S1NoTACNoSKS Solution = iota + 1
+	S2SKSOnly
+	S3TACOnly
+	S4TACAndSKS
+)
+
+// String names the solution as the paper does.
+func (s Solution) String() string {
+	switch s {
+	case S1NoTACNoSKS:
+		return "S1 (neither TAC nor SKS)"
+	case S2SKSOnly:
+		return "S2 (SKS without TAC)"
+	case S3TACOnly:
+		return "S3 (TAC without SKS)"
+	case S4TACAndSKS:
+		return "S4 (TAC and SKS)"
+	default:
+		return fmt.Sprintf("solution(%d)", int(s))
+	}
+}
+
+// UsesTAC reports whether the solution involves the third authority.
+func (s Solution) UsesTAC() bool { return s == S3TACOnly || s == S4TACAndSKS }
+
+// UsesSKS reports whether the solution uses secret sharing.
+func (s Solution) UsesSKS() bool { return s == S2SKSOnly || s == S4TACAndSKS }
+
+// Errors.
+var (
+	ErrChecksum   = errors.New("bridging: MD5 mismatch")
+	ErrNoRecord   = errors.New("bridging: no upload record for object")
+	ErrBadAuth    = errors.New("bridging: request authentication failed")
+	ErrTACRefused = errors.New("bridging: TAC verification failed")
+)
+
+// signedMD5 is an MSU or MSP: a party's signature over an object's MD5.
+type signedMD5 struct {
+	Signer string
+	MD5    cryptoutil.Digest
+	Sig    []byte
+}
+
+func signMD5(id *pki.Identity, key string, md5 cryptoutil.Digest) (*signedMD5, error) {
+	sig, err := cryptoutil.Sign(id.Key, md5SignBytes(key, md5))
+	if err != nil {
+		return nil, err
+	}
+	return &signedMD5{Signer: id.Name, MD5: md5.Clone(), Sig: sig}, nil
+}
+
+func md5SignBytes(key string, md5 cryptoutil.Digest) []byte {
+	return []byte("bridging-md5-v1\x00" + key + "\x00" + md5.String())
+}
+
+// verifySignedMD5 checks a signed MD5 against the signer's certificate.
+func verifySignedMD5(dir func(string) (*pki.Certificate, error), sm *signedMD5, key string) error {
+	if sm == nil {
+		return fmt.Errorf("bridging: missing signed MD5")
+	}
+	cert, err := dir(sm.Signer)
+	if err != nil {
+		return err
+	}
+	pub, err := cert.PublicKey()
+	if err != nil {
+		return err
+	}
+	return cryptoutil.Verify(pub, md5SignBytes(key, sm.MD5), sm.Sig)
+}
+
+// uploadRecord is everything retained per object by the scheme's
+// participants after a completed upload.
+type uploadRecord struct {
+	key       string
+	agreedMD5 cryptoutil.Digest
+
+	// S1/S3: cross-held signatures.
+	msu *signedMD5 // user's signature (held by provider, and TAC in S3)
+	msp *signedMD5 // provider's signature (held by user, and TAC in S3)
+
+	// S2/S4: secret shares of the agreed MD5 bytes.
+	userShare, providerShare, tacShare *sks.Share
+}
+
+// Bridge runs one solution between a user, a provider (with its blob
+// store) and optionally a TAC.
+type Bridge struct {
+	Solution Solution
+	User     *pki.Identity
+	Provider *pki.Identity
+	TAC      *pki.Identity
+	Dir      func(string) (*pki.Certificate, error)
+
+	store storage.Store
+
+	// records indexes completed uploads by object key. In S3/S4 the
+	// tacVault holds the TAC's copies.
+	records  map[string]*uploadRecord
+	tacVault map[string]*uploadRecord
+
+	// Msgs counts protocol messages per phase for experiment E6.
+	Msgs struct {
+		Upload, Download, Dispute int
+	}
+}
+
+// New creates a bridge over the provider's store. TAC may be nil for
+// S1/S2.
+func New(sol Solution, user, provider, tac *pki.Identity, dir func(string) (*pki.Certificate, error), store storage.Store) (*Bridge, error) {
+	if sol.UsesTAC() && tac == nil {
+		return nil, fmt.Errorf("bridging: %v requires a TAC identity", sol)
+	}
+	return &Bridge{
+		Solution: sol,
+		User:     user,
+		Provider: provider,
+		TAC:      tac,
+		Dir:      dir,
+		store:    store,
+		records:  make(map[string]*uploadRecord),
+		tacVault: make(map[string]*uploadRecord),
+	}, nil
+}
+
+// Upload runs the solution's uploading session for one object.
+func (b *Bridge) Upload(key string, data []byte) error {
+	md5 := cryptoutil.Sum(cryptoutil.MD5, data)
+	rec := &uploadRecord{key: key, agreedMD5: md5.Clone()}
+
+	switch b.Solution {
+	case S1NoTACNoSKS, S3TACOnly:
+		// 1: user sends data + MD5 + MSU.
+		msu, err := signMD5(b.User, key, md5)
+		if err != nil {
+			return err
+		}
+		b.Msgs.Upload++
+		// 2: provider verifies the MD5 against the data...
+		if _, err := b.store.Put(key, data, md5); err != nil {
+			return fmt.Errorf("%w: %v", ErrChecksum, err)
+		}
+		if err := verifySignedMD5(b.Dir, msu, key); err != nil {
+			return fmt.Errorf("bridging: provider rejects MSU: %w", err)
+		}
+		// ...and replies with MD5 + MSP.
+		msp, err := signMD5(b.Provider, key, md5)
+		if err != nil {
+			return err
+		}
+		b.Msgs.Upload++
+		rec.msu, rec.msp = msu, msp
+		if b.Solution == S3TACOnly {
+			// 3: MSU and MSP are sent to the TAC.
+			b.Msgs.Upload++
+			b.tacVault[key] = &uploadRecord{key: key, agreedMD5: md5.Clone(), msu: msu, msp: msp}
+		}
+
+	case S2SKSOnly:
+		// 1: user sends data + MD5; 2: provider verifies and echoes MD5.
+		b.Msgs.Upload++
+		if _, err := b.store.Put(key, data, md5); err != nil {
+			return fmt.Errorf("%w: %v", ErrChecksum, err)
+		}
+		b.Msgs.Upload++
+		// 3: both share the MD5 with SKS (2-of-2).
+		shares, err := sks.Split(md5.Sum, 2, 2)
+		if err != nil {
+			return err
+		}
+		b.Msgs.Upload++ // the share exchange
+		rec.userShare, rec.providerShare = &shares[0], &shares[1]
+
+	case S4TACAndSKS:
+		// 1: user sends data + MD5; 2: provider verifies.
+		b.Msgs.Upload++
+		if _, err := b.store.Put(key, data, md5); err != nil {
+			return fmt.Errorf("%w: %v", ErrChecksum, err)
+		}
+		// 3: both send their MD5 to the TAC (2 messages).
+		b.Msgs.Upload += 2
+		userMD5, providerMD5 := md5, md5 // honest run: both report the same
+		if !userMD5.Equal(providerMD5) {
+			return ErrTACRefused
+		}
+		// 4: TAC verifies the match and distributes shares by SKS
+		// (2-of-3: user, provider, TAC).
+		shares, err := sks.Split(md5.Sum, 3, 2)
+		if err != nil {
+			return err
+		}
+		b.Msgs.Upload += 2 // TAC → user, TAC → provider
+		rec.userShare, rec.providerShare, rec.tacShare = &shares[0], &shares[1], &shares[2]
+		b.tacVault[key] = &uploadRecord{key: key, agreedMD5: md5.Clone(), tacShare: &shares[2]}
+
+	default:
+		return fmt.Errorf("bridging: unknown solution %v", b.Solution)
+	}
+	b.records[key] = rec
+	return nil
+}
+
+// Download runs the downloading session: request + authenticated
+// response; the user verifies the transfer MD5. The returned bool
+// reports whether the per-session MD5 check passed (it says nothing
+// about upload-to-download integrity — that is the dispute's job).
+func (b *Bridge) Download(key string) ([]byte, bool, error) {
+	b.Msgs.Download++ // request with authentication code
+	obj, err := b.store.Get(key)
+	if err != nil {
+		return nil, false, err
+	}
+	b.Msgs.Download++ // data + MD5 (+ MSP in S1)
+	// The provider sends the stored MD5; the user verifies the data
+	// hashes to it — a pure transfer check.
+	ok := obj.ComputedMD5().Equal(obj.StoredMD5)
+	return obj.Data, ok, nil
+}
+
+// DisputeOutcome reports what a dispute over an object established.
+type DisputeOutcome struct {
+	Solution Solution
+	// AgreedMD5Recovered is true when the procedure could establish the
+	// original agreed digest.
+	AgreedMD5Recovered bool
+	AgreedMD5          cryptoutil.Digest
+	// DataMatches reports whether the provider's current data matches
+	// the agreed digest (meaningful only when recovered).
+	DataMatches bool
+	// UserProven / ProviderProven: can each side prove its innocence?
+	// After recovery: data matches → provider proven (user's tamper
+	// claim fails); data differs → user proven (provider is at fault).
+	UserProven, ProviderProven bool
+	Explanation                string
+}
+
+// Dispute runs the solution's dispute procedure for an object,
+// given the data the provider currently serves.
+func (b *Bridge) Dispute(key string) (*DisputeOutcome, error) {
+	rec, ok := b.records[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoRecord, key)
+	}
+	out := &DisputeOutcome{Solution: b.Solution}
+
+	// Step 1: recover the agreed MD5 per the solution's mechanism.
+	switch b.Solution {
+	case S1NoTACNoSKS:
+		// Each side presents the opposite side's signature.
+		b.Msgs.Dispute += 2
+		if err := verifySignedMD5(b.Dir, rec.msp, key); err != nil {
+			out.Explanation = "user's copy of MSP does not verify: " + err.Error()
+			return out, nil
+		}
+		if err := verifySignedMD5(b.Dir, rec.msu, key); err != nil {
+			out.Explanation = "provider's copy of MSU does not verify: " + err.Error()
+			return out, nil
+		}
+		if !rec.msp.MD5.Equal(rec.msu.MD5) {
+			out.Explanation = "MSU and MSP disagree on the MD5; no agreement"
+			return out, nil
+		}
+		out.AgreedMD5 = rec.msp.MD5.Clone()
+
+	case S2SKSOnly:
+		// Both shares recombine to the agreed MD5.
+		b.Msgs.Dispute += 2
+		sum, err := sks.Reconstruct([]sks.Share{*rec.userShare, *rec.providerShare})
+		if err != nil {
+			out.Explanation = "share reconstruction failed: " + err.Error()
+			return out, nil
+		}
+		out.AgreedMD5 = cryptoutil.Digest{Alg: cryptoutil.MD5, Sum: sum}
+
+	case S3TACOnly:
+		// Fetch MSU and MSP from the TAC.
+		vault, ok := b.tacVault[key]
+		if !ok {
+			out.Explanation = "TAC holds no record for the object"
+			return out, nil
+		}
+		b.Msgs.Dispute += 2 // query + response
+		if err := verifySignedMD5(b.Dir, vault.msu, key); err != nil {
+			out.Explanation = "TAC's MSU does not verify: " + err.Error()
+			return out, nil
+		}
+		if err := verifySignedMD5(b.Dir, vault.msp, key); err != nil {
+			out.Explanation = "TAC's MSP does not verify: " + err.Error()
+			return out, nil
+		}
+		if !vault.msu.MD5.Equal(vault.msp.MD5) {
+			out.Explanation = "TAC's MSU and MSP disagree"
+			return out, nil
+		}
+		out.AgreedMD5 = vault.msu.MD5.Clone()
+
+	case S4TACAndSKS:
+		// Any two of the three shares recombine; parties check shared
+		// MD5 together, escalating to the TAC's share if one party
+		// withholds or corrupts its own.
+		b.Msgs.Dispute += 2
+		sum, err := sks.Reconstruct([]sks.Share{*rec.userShare, *rec.providerShare})
+		if err != nil {
+			// Escalate: TAC supplies its share.
+			vault, ok := b.tacVault[key]
+			if !ok {
+				out.Explanation = "reconstruction failed and TAC holds no share"
+				return out, nil
+			}
+			b.Msgs.Dispute += 2
+			sum, err = sks.Reconstruct([]sks.Share{*rec.userShare, *vault.tacShare})
+			if err != nil {
+				sum, err = sks.Reconstruct([]sks.Share{*rec.providerShare, *vault.tacShare})
+			}
+			if err != nil {
+				out.Explanation = "reconstruction failed even with the TAC share: " + err.Error()
+				return out, nil
+			}
+		}
+		out.AgreedMD5 = cryptoutil.Digest{Alg: cryptoutil.MD5, Sum: sum}
+	}
+	out.AgreedMD5Recovered = true
+
+	// Step 2: judge the currently served data against the agreed MD5.
+	obj, err := b.store.Get(key)
+	if err != nil {
+		out.DataMatches = false
+	} else {
+		out.DataMatches = obj.ComputedMD5().Equal(out.AgreedMD5)
+	}
+	if out.DataMatches {
+		out.ProviderProven = true
+		out.Explanation = "served data matches the agreed MD5: provider proves innocence; tamper claim fails"
+	} else {
+		out.UserProven = true
+		out.Explanation = "served data does not match the agreed MD5: user proves innocence; provider at fault"
+	}
+	return out, nil
+}
+
+// CorruptUserShare models a malicious user mangling their own share
+// before a dispute (only meaningful for SKS solutions).
+func (b *Bridge) CorruptUserShare(key string) error {
+	rec, ok := b.records[key]
+	if !ok || rec.userShare == nil {
+		return fmt.Errorf("%w: %q has no user share", ErrNoRecord, key)
+	}
+	rec.userShare.Data[0] ^= 0xFF
+	return nil
+}
+
+// Store exposes the provider's store (for tamper injection in tests
+// and experiments).
+func (b *Bridge) Store() storage.Store { return b.store }

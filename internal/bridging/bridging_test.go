@@ -1,0 +1,244 @@
+package bridging
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/pki"
+	"repro/internal/storage"
+)
+
+var allSolutions = []Solution{S1NoTACNoSKS, S2SKSOnly, S3TACOnly, S4TACAndSKS}
+
+func newBridge(t *testing.T, sol Solution) *Bridge {
+	t.Helper()
+	ca := pki.NewAuthority("bridge-ca", cryptoutil.InsecureTestKey(60))
+	now := time.Now()
+	user, err := pki.NewIdentity(ca, "user", cryptoutil.InsecureTestKey(61), now.Add(-time.Hour), now.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider, err := pki.NewIdentity(ca, "provider", cryptoutil.InsecureTestKey(62), now.Add(-time.Hour), now.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tac, err := pki.NewIdentity(ca, "tac", cryptoutil.InsecureTestKey(63), now.Add(-time.Hour), now.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(sol, user, provider, tac, ca.Lookup, storage.NewMem(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSolutionMetadata(t *testing.T) {
+	if S1NoTACNoSKS.UsesTAC() || S1NoTACNoSKS.UsesSKS() {
+		t.Error("S1 should use neither")
+	}
+	if S2SKSOnly.UsesTAC() || !S2SKSOnly.UsesSKS() {
+		t.Error("S2 should use SKS only")
+	}
+	if !S3TACOnly.UsesTAC() || S3TACOnly.UsesSKS() {
+		t.Error("S3 should use TAC only")
+	}
+	if !S4TACAndSKS.UsesTAC() || !S4TACAndSKS.UsesSKS() {
+		t.Error("S4 should use both")
+	}
+	seen := map[string]bool{}
+	for _, s := range allSolutions {
+		if seen[s.String()] {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s.String()] = true
+	}
+}
+
+func TestTACRequired(t *testing.T) {
+	ca := pki.NewAuthority("x", cryptoutil.InsecureTestKey(60))
+	now := time.Now()
+	user, _ := pki.NewIdentity(ca, "u", cryptoutil.InsecureTestKey(61), now, now.Add(time.Hour))
+	prov, _ := pki.NewIdentity(ca, "p", cryptoutil.InsecureTestKey(62), now, now.Add(time.Hour))
+	if _, err := New(S3TACOnly, user, prov, nil, ca.Lookup, storage.NewMem(nil)); err == nil {
+		t.Fatal("S3 without TAC accepted")
+	}
+	if _, err := New(S1NoTACNoSKS, user, prov, nil, ca.Lookup, storage.NewMem(nil)); err != nil {
+		t.Fatalf("S1 without TAC rejected: %v", err)
+	}
+}
+
+func TestUploadDownloadCleanAllSolutions(t *testing.T) {
+	data := []byte("backup archive v1")
+	for _, sol := range allSolutions {
+		t.Run(sol.String(), func(t *testing.T) {
+			b := newBridge(t, sol)
+			if err := b.Upload("backup", data); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := b.Download("backup")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok || !bytes.Equal(got, data) {
+				t.Fatalf("download: ok=%v data=%q", ok, got)
+			}
+		})
+	}
+}
+
+// TestDisputeProviderTamper: the provider tampers (fixing the platform
+// digest); every solution's dispute must recover the agreed MD5 and
+// prove the user right.
+func TestDisputeProviderTamper(t *testing.T) {
+	for _, sol := range allSolutions {
+		t.Run(sol.String(), func(t *testing.T) {
+			b := newBridge(t, sol)
+			if err := b.Upload("doc", []byte("original content")); err != nil {
+				t.Fatal(err)
+			}
+			tam := b.Store().(storage.Tamperer)
+			if err := tam.Tamper("doc", true, func([]byte) []byte { return []byte("tampered content") }); err != nil {
+				t.Fatal(err)
+			}
+			// The per-session download check passes — the gap.
+			_, ok, err := b.Download("doc")
+			if err != nil || !ok {
+				t.Fatalf("download check should pass after digest-fixing tamper: ok=%v err=%v", ok, err)
+			}
+			// The dispute catches it.
+			out, err := b.Dispute("doc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.AgreedMD5Recovered {
+				t.Fatalf("agreed MD5 not recovered: %s", out.Explanation)
+			}
+			if out.DataMatches || !out.UserProven || out.ProviderProven {
+				t.Fatalf("wrong outcome: %+v", out)
+			}
+		})
+	}
+}
+
+// TestDisputeBlackmail: the user falsely claims tampering; every
+// solution proves the provider innocent.
+func TestDisputeBlackmail(t *testing.T) {
+	for _, sol := range allSolutions {
+		t.Run(sol.String(), func(t *testing.T) {
+			b := newBridge(t, sol)
+			if err := b.Upload("doc", []byte("intact content")); err != nil {
+				t.Fatal(err)
+			}
+			out, err := b.Dispute("doc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.AgreedMD5Recovered || !out.DataMatches || !out.ProviderProven || out.UserProven {
+				t.Fatalf("wrong outcome: %+v", out)
+			}
+		})
+	}
+}
+
+// TestS2CorruptedShareBreaksDispute shows the S2 weakness the paper's
+// S4 fixes: without a TAC, a corrupted share makes the agreed MD5
+// unrecoverable.
+func TestS2CorruptedShareBreaksDispute(t *testing.T) {
+	b := newBridge(t, S2SKSOnly)
+	if err := b.Upload("doc", []byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CorruptUserShare("doc"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Dispute("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AgreedMD5Recovered {
+		t.Fatal("S2 dispute should fail with a corrupted share")
+	}
+}
+
+// TestS4SurvivesCorruptedShare: with the TAC holding a third share,
+// the dispute still recovers the agreed MD5.
+func TestS4SurvivesCorruptedShare(t *testing.T) {
+	b := newBridge(t, S4TACAndSKS)
+	if err := b.Upload("doc", []byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CorruptUserShare("doc"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Dispute("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AgreedMD5Recovered {
+		t.Fatalf("S4 dispute failed despite TAC share: %s", out.Explanation)
+	}
+	if !out.DataMatches || !out.ProviderProven {
+		t.Fatalf("wrong outcome: %+v", out)
+	}
+}
+
+func TestUploadChecksumRejected(t *testing.T) {
+	// A corrupted-in-transit upload is rejected by the provider's MD5
+	// check in every solution (the paper's step 2).
+	b := newBridge(t, S1NoTACNoSKS)
+	// Simulate by direct Put with wrong digest — the bridge's own
+	// Upload always computes the true MD5, so exercise the store check.
+	wrong := cryptoutil.Sum(cryptoutil.MD5, []byte("other"))
+	if _, err := b.Store().Put("k", []byte("data"), wrong); !errors.Is(err, storage.ErrChecksum) {
+		t.Fatalf("err = %v, want storage.ErrChecksum", err)
+	}
+}
+
+func TestDisputeUnknownObject(t *testing.T) {
+	b := newBridge(t, S1NoTACNoSKS)
+	if _, err := b.Dispute("ghost"); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("err = %v, want ErrNoRecord", err)
+	}
+}
+
+// TestMessageCounts pins the E6 message-cost comparison: S1 is the
+// cheapest (2 messages), S4 the dearest (5).
+func TestMessageCounts(t *testing.T) {
+	want := map[Solution]int{
+		S1NoTACNoSKS: 2,
+		S2SKSOnly:    3,
+		S3TACOnly:    3,
+		S4TACAndSKS:  5,
+	}
+	for _, sol := range allSolutions {
+		b := newBridge(t, sol)
+		if err := b.Upload("k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Msgs.Upload; got != want[sol] {
+			t.Errorf("%v: upload messages = %d, want %d", sol, got, want[sol])
+		}
+	}
+}
+
+func TestS3DisputeUsesTACCopies(t *testing.T) {
+	b := newBridge(t, S3TACOnly)
+	if err := b.Upload("doc", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Even if the parties' own records were lost, the TAC's copies
+	// decide the dispute.
+	delete(b.records, "doc")
+	b.records["doc"] = &uploadRecord{key: "doc", agreedMD5: cryptoutil.Sum(cryptoutil.MD5, []byte("v"))}
+	out, err := b.Dispute("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AgreedMD5Recovered || !out.DataMatches {
+		t.Fatalf("TAC-backed dispute failed: %+v", out)
+	}
+}

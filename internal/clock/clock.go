@@ -1,0 +1,125 @@
+// Package clock provides a clock abstraction so that protocol engines,
+// time limits, and shipping-latency models can run against either the
+// real wall clock or a deterministic virtual clock.
+//
+// The TPNR protocol (paper §4) depends on time limits in three places:
+// the per-message time-limit field (§5.5), the client's NRR wait
+// timeout that triggers the Resolve sub-protocol, and the TTP's
+// response deadline. All of them take a Clock so tests and experiments
+// can drive timeouts deterministically.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the repository.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that receives the then-current time once
+	// d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed.
+	Sleep(d time.Duration)
+}
+
+// Real returns a Clock backed by the system wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+// Virtual is a deterministic, manually advanced clock. The zero value
+// is not usable; construct with NewVirtual.
+//
+// Virtual time only moves when Advance (or AdvanceTo) is called.
+// Waiters registered through After or Sleep fire when the virtual time
+// passes their deadline.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewVirtual returns a Virtual clock starting at the given time.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After registers a waiter that fires when the virtual clock reaches
+// now+d. If d <= 0 the channel fires immediately.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := v.now.Add(d)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	v.waiters = append(v.waiters, &waiter{deadline: deadline, ch: ch})
+	return ch
+}
+
+// Sleep blocks until the virtual clock has been advanced past now+d by
+// another goroutine.
+func (v *Virtual) Sleep(d time.Duration) {
+	<-v.After(d)
+}
+
+// Advance moves the virtual clock forward by d, firing every waiter
+// whose deadline has passed.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	v.fireLocked()
+	v.mu.Unlock()
+}
+
+// AdvanceTo moves the virtual clock to t if t is later than the current
+// virtual time, firing any waiters whose deadlines have passed.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	if t.After(v.now) {
+		v.now = t
+		v.fireLocked()
+	}
+	v.mu.Unlock()
+}
+
+// Waiters reports how many timers are pending; used by tests to
+// synchronize with protocol goroutines.
+func (v *Virtual) Waiters() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}
+
+func (v *Virtual) fireLocked() {
+	kept := v.waiters[:0]
+	for _, w := range v.waiters {
+		if !w.deadline.After(v.now) {
+			w.ch <- v.now
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	v.waiters = kept
+}

@@ -1,0 +1,141 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockNow(t *testing.T) {
+	c := Real()
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealClockAfter(t *testing.T) {
+	c := Real()
+	start := time.Now()
+	<-c.After(time.Millisecond)
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("After fired too early: %v", elapsed)
+	}
+}
+
+func TestVirtualNowFixedUntilAdvance(t *testing.T) {
+	start := time.Date(2010, 9, 13, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", v.Now(), start)
+	}
+	v.Advance(3 * time.Hour)
+	want := start.Add(3 * time.Hour)
+	if !v.Now().Equal(want) {
+		t.Fatalf("Now after Advance = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualAfterFiresOnAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	ch := v.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	v.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	v.Advance(time.Second)
+	select {
+	case got := <-ch:
+		if !got.Equal(time.Unix(10, 0)) {
+			t.Fatalf("fired at %v, want %v", got, time.Unix(10, 0))
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+}
+
+func TestVirtualAfterNonPositiveFiresImmediately(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-v.After(-time.Second):
+	default:
+		t.Fatal("After(negative) did not fire immediately")
+	}
+}
+
+func TestVirtualSleepWakesSleepers(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	woke := make(chan int, 3)
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v.Sleep(time.Duration(i) * time.Second)
+			woke <- i
+		}(i)
+	}
+	// Wait until all three timers are registered.
+	for v.Waiters() != 3 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(2 * time.Second)
+	// Sleepers 1 and 2 wake; 3 still waits.
+	got := map[int]bool{<-woke: true, <-woke: true}
+	if !got[1] || !got[2] {
+		t.Fatalf("wrong sleepers woke: %v", got)
+	}
+	if v.Waiters() != 1 {
+		t.Fatalf("Waiters = %d, want 1", v.Waiters())
+	}
+	v.Advance(time.Second)
+	if w := <-woke; w != 3 {
+		t.Fatalf("last waker = %d, want 3", w)
+	}
+	wg.Wait()
+}
+
+func TestVirtualAdvanceTo(t *testing.T) {
+	v := NewVirtual(time.Unix(50, 0))
+	ch := v.After(10 * time.Second)
+	v.AdvanceTo(time.Unix(40, 0)) // earlier: no-op
+	if !v.Now().Equal(time.Unix(50, 0)) {
+		t.Fatalf("AdvanceTo moved clock backwards to %v", v.Now())
+	}
+	v.AdvanceTo(time.Unix(61, 0))
+	select {
+	case <-ch:
+	default:
+		t.Fatal("AdvanceTo past deadline did not fire timer")
+	}
+}
+
+func TestVirtualManyTimersSameDeadline(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	const n = 64
+	chans := make([]<-chan time.Time, n)
+	for i := range chans {
+		chans[i] = v.After(time.Minute)
+	}
+	v.Advance(time.Minute)
+	for i, ch := range chans {
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("timer %d did not fire", i)
+		}
+	}
+}

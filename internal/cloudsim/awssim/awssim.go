@@ -1,0 +1,369 @@
+// Package awssim simulates the Amazon AWS data paths the paper
+// analyzes (§2.1, Fig. 2): the Import/Export workflow for bulk data —
+// the user e-mails a signed manifest file, ships a storage device with
+// an attached signature file, and Amazon validates both, loads the
+// data, and e-mails back a log with byte counts and MD5 checksums — and
+// a small S3-style PUT/GET path for wire transfers.
+//
+// The behavioural detail experiment E5 depends on: on export, "a
+// recomputed MD5_2 is sent" (§2.4) — AWS hashes whatever bytes are in
+// storage *now*, so a tampered object arrives with a self-consistent
+// digest and the client-side transfer check passes.
+package awssim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/storage"
+)
+
+// Simulator errors.
+var (
+	ErrBadSignature   = errors.New("awssim: signature file does not validate against manifest")
+	ErrUnknownAccess  = errors.New("awssim: unknown AccessKeyID")
+	ErrNoManifest     = errors.New("awssim: no e-mailed manifest for job")
+	ErrDeviceMismatch = errors.New("awssim: device ID does not match manifest")
+)
+
+// Manifest is the import/export metadata file the user e-mails to the
+// provider ("AccessKeyID, DeviceID, Destination, etc.", §2.1).
+type Manifest struct {
+	JobID       string
+	AccessKeyID string
+	DeviceID    string
+	// Destination is the bucket/prefix data is loaded into (import) or
+	// exported from (export).
+	Destination string
+	// Operation is "import" or "export".
+	Operation string
+}
+
+// CanonicalBytes is the deterministic form covered by the signature
+// file.
+func (m *Manifest) CanonicalBytes() []byte {
+	return []byte(strings.Join([]string{
+		"aws-manifest-v1", m.JobID, m.AccessKeyID, m.DeviceID, m.Destination, m.Operation,
+	}, "\x00"))
+}
+
+// SignatureFile authenticates a manifest: HMAC-SHA256 over the
+// manifest's canonical bytes under the account's secret key, which
+// "uniquely identif[ies] and authenticate[s] the user request" (§2.1).
+type SignatureFile struct {
+	JobID  string
+	Cipher string // algorithm label, fixed "HMAC-SHA256"
+	MAC    []byte
+}
+
+// Device is a shipped storage device: a set of named files.
+type Device struct {
+	ID    string
+	Files map[string][]byte
+}
+
+// NewDevice returns an empty device.
+func NewDevice(id string) *Device { return &Device{ID: id, Files: make(map[string][]byte)} }
+
+// Clone deep-copies a device (shipping hands over a copy, not shared
+// memory).
+func (d *Device) Clone() *Device {
+	c := NewDevice(d.ID)
+	for k, v := range d.Files {
+		c.Files[k] = append([]byte(nil), v...)
+	}
+	return c
+}
+
+// SortedNames lists file names deterministically.
+func (d *Device) SortedNames() []string {
+	names := make([]string, 0, len(d.Files))
+	for n := range d.Files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Email is one message on the simulated e-mail channel.
+type Email struct {
+	From, To, Subject string
+	Body              string
+	// Manifest rides along when the mail carries one.
+	Manifest *Manifest
+	// Log rides along on job-completion mail.
+	Log *JobLog
+}
+
+// JobLog is what Amazon e-mails back after processing a job: "the
+// number of bytes saved, the MD5 of the bytes, the status of the load,
+// and the location ... of the AWS Import Export Log" (§2.1).
+type JobLog struct {
+	JobID    string
+	Status   string
+	Location string
+	Entries  []JobLogEntry
+}
+
+// JobLogEntry is one object's line in the log: "key names, number of
+// bytes, and MD5 checksum values".
+type JobLogEntry struct {
+	Key   string
+	Bytes int
+	MD5   cryptoutil.Digest
+}
+
+// Step is one timestamped event in a flow transcript (experiment E2
+// renders these as the Fig. 2 walk-through).
+type Step struct {
+	At     time.Time
+	Actor  string
+	Action string
+}
+
+// Params set the latency model: surface-mail shipping latency and the
+// effective device copy bandwidth.
+type Params struct {
+	// MailLatency is one-way shipping time (days, typically).
+	MailLatency time.Duration
+	// CopyBandwidth is bytes/second for device↔cloud copies.
+	CopyBandwidth float64
+}
+
+// DefaultParams matches the paper's framing: multi-day FedEx shipping
+// vs. local copies.
+func DefaultParams() Params {
+	return Params{MailLatency: 3 * 24 * time.Hour, CopyBandwidth: 100e6}
+}
+
+// Service is the simulated AWS side: account registry, S3-style store,
+// import/export processing, and the e-mail endpoint.
+type Service struct {
+	store  storage.Store
+	params Params
+
+	mu       sync.Mutex
+	accounts map[string][]byte    // AccessKeyID → secret key
+	inbox    map[string]*Manifest // JobID → e-mailed manifest
+	sent     []Email              // outbound mail from Amazon
+}
+
+// New creates a service over the given store.
+func New(store storage.Store, params Params) *Service {
+	return &Service{
+		store:    store,
+		params:   params,
+		accounts: make(map[string][]byte),
+		inbox:    make(map[string]*Manifest),
+	}
+}
+
+// CreateAccount provisions an AccessKeyID and returns the secret key.
+func (s *Service) CreateAccount(accessKeyID string) ([]byte, error) {
+	key, err := cryptoutil.Nonce(32)
+	if err != nil {
+		return nil, fmt.Errorf("awssim: generating secret key: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[accessKeyID]; ok {
+		return nil, fmt.Errorf("awssim: AccessKeyID %q exists", accessKeyID)
+	}
+	s.accounts[accessKeyID] = key
+	return append([]byte(nil), key...), nil
+}
+
+// Store exposes the backing store (the insider view for experiments).
+func (s *Service) Store() storage.Store { return s.store }
+
+// SentMail returns a copy of all mail Amazon has sent.
+func (s *Service) SentMail() []Email {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Email(nil), s.sent...)
+}
+
+// ReceiveManifestMail is the provider-side mailbox: the user "e-mails
+// the signed manifest file to Amazon".
+func (s *Service) ReceiveManifestMail(m Email) error {
+	if m.Manifest == nil {
+		return fmt.Errorf("awssim: mail %q carries no manifest", m.Subject)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inbox[m.Manifest.JobID] = m.Manifest
+	return nil
+}
+
+func (s *Service) mail(e Email) {
+	s.mu.Lock()
+	s.sent = append(s.sent, e)
+	s.mu.Unlock()
+}
+
+// validate checks the shipped signature file against the e-mailed
+// manifest ("the service provider will validate the signature in the
+// device with the manifest file obtained through the e-mail").
+func (s *Service) validate(sig *SignatureFile, dev *Device) (*Manifest, error) {
+	s.mu.Lock()
+	manifest, ok := s.inbox[sig.JobID]
+	var key []byte
+	if ok {
+		key = s.accounts[manifest.AccessKeyID]
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: job %q", ErrNoManifest, sig.JobID)
+	}
+	if key == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAccess, manifest.AccessKeyID)
+	}
+	if !cryptoutil.VerifyHMACSHA256(key, manifest.CanonicalBytes(), sig.MAC) {
+		return nil, ErrBadSignature
+	}
+	if dev.ID != manifest.DeviceID {
+		return nil, fmt.Errorf("%w: shipped %q, manifest says %q", ErrDeviceMismatch, dev.ID, manifest.DeviceID)
+	}
+	return manifest, nil
+}
+
+// ProcessImport handles an arrived device for an import job: validate,
+// copy files into the destination, and e-mail the MD5 log back.
+func (s *Service) ProcessImport(sig *SignatureFile, dev *Device) (*JobLog, error) {
+	manifest, err := s.validate(sig, dev)
+	if err != nil {
+		return nil, err
+	}
+	log := &JobLog{JobID: manifest.JobID, Status: "COMPLETE", Location: manifest.Destination + "/AWS-IMPORT-LOG-" + manifest.JobID}
+	for _, name := range dev.SortedNames() {
+		data := dev.Files[name]
+		key := manifest.Destination + "/" + name
+		obj, err := s.store.Put(key, data, cryptoutil.Digest{})
+		if err != nil {
+			log.Status = "FAILED"
+			return log, fmt.Errorf("awssim: loading %q: %w", key, err)
+		}
+		log.Entries = append(log.Entries, JobLogEntry{Key: key, Bytes: len(data), MD5: obj.StoredMD5})
+	}
+	s.mail(Email{From: "aws", To: manifest.AccessKeyID, Subject: "import complete " + manifest.JobID, Log: log})
+	return log, nil
+}
+
+// ProcessExport handles an arrived (empty) device for an export job:
+// validate, copy the destination's objects onto the device, ship it
+// back, and e-mail the status with *recomputed* MD5s of what was
+// copied.
+func (s *Service) ProcessExport(sig *SignatureFile, dev *Device) (*Device, *JobLog, error) {
+	manifest, err := s.validate(sig, dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := dev.Clone()
+	log := &JobLog{JobID: manifest.JobID, Status: "COMPLETE", Location: manifest.Destination + "/AWS-EXPORT-LOG-" + manifest.JobID}
+	prefix := manifest.Destination + "/"
+	for _, key := range s.store.Keys() {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		obj, err := s.store.Get(key)
+		if err != nil {
+			log.Status = "FAILED"
+			return nil, log, fmt.Errorf("awssim: exporting %q: %w", key, err)
+		}
+		name := strings.TrimPrefix(key, prefix)
+		out.Files[name] = obj.Data
+		// Recomputed digest of current content — MD5_2 in §2.4.
+		log.Entries = append(log.Entries, JobLogEntry{Key: key, Bytes: len(obj.Data), MD5: obj.ComputedMD5()})
+	}
+	s.mail(Email{From: "aws", To: manifest.AccessKeyID, Subject: "export complete " + manifest.JobID, Log: log})
+	return out, log, nil
+}
+
+// S3Put is the wire path for small objects. The returned digest is the
+// stored MD5 (ETag analogue).
+func (s *Service) S3Put(accessKeyID string, mac []byte, key string, data []byte) (cryptoutil.Digest, error) {
+	if err := s.authRequest(accessKeyID, mac, "PUT", key); err != nil {
+		return cryptoutil.Digest{}, err
+	}
+	obj, err := s.store.Put(key, data, cryptoutil.Digest{})
+	if err != nil {
+		return cryptoutil.Digest{}, err
+	}
+	return obj.StoredMD5, nil
+}
+
+// S3Get downloads an object; the digest returned is recomputed from
+// current content, matching AWS behaviour (§2.4).
+func (s *Service) S3Get(accessKeyID string, mac []byte, key string) ([]byte, cryptoutil.Digest, error) {
+	if err := s.authRequest(accessKeyID, mac, "GET", key); err != nil {
+		return nil, cryptoutil.Digest{}, err
+	}
+	obj, err := s.store.Get(key)
+	if err != nil {
+		return nil, cryptoutil.Digest{}, err
+	}
+	return obj.Data, obj.ComputedMD5(), nil
+}
+
+// RequestMAC computes the request authenticator a client attaches to
+// S3 calls.
+func RequestMAC(secret []byte, method, key string) []byte {
+	return cryptoutil.HMACSHA256(secret, []byte(method+"\x00"+key))
+}
+
+func (s *Service) authRequest(accessKeyID string, mac []byte, method, key string) error {
+	s.mu.Lock()
+	secret, ok := s.accounts[accessKeyID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAccess, accessKeyID)
+	}
+	if !cryptoutil.VerifyHMACSHA256(secret, []byte(method+"\x00"+key), mac) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// User is the client side of the import/export workflow.
+type User struct {
+	AccessKeyID string
+	Secret      []byte
+}
+
+// BuildManifest assembles and signs a job manifest, returning manifest
+// and signature file.
+func (u *User) BuildManifest(jobID, deviceID, destination, operation string) (*Manifest, *SignatureFile) {
+	m := &Manifest{JobID: jobID, AccessKeyID: u.AccessKeyID, DeviceID: deviceID, Destination: destination, Operation: operation}
+	sig := &SignatureFile{JobID: jobID, Cipher: "HMAC-SHA256", MAC: cryptoutil.HMACSHA256(u.Secret, m.CanonicalBytes())}
+	return m, sig
+}
+
+// Timeline simulates the Fig. 2 flow end-to-end and returns the step
+// transcript plus total simulated elapsed time. No real time passes;
+// the latency model advances a virtual timestamp. deviceBytes is the
+// total payload size (drives the copy-time term).
+func Timeline(params Params, start time.Time, deviceBytes int64, operation string) ([]Step, time.Duration) {
+	now := start
+	var steps []Step
+	add := func(actor, action string, d time.Duration) {
+		steps = append(steps, Step{At: now, Actor: actor, Action: action})
+		now = now.Add(d)
+	}
+	copyTime := time.Duration(float64(deviceBytes) / params.CopyBandwidth * float64(time.Second))
+	add("user", "create manifest file (AccessKeyID, DeviceID, Destination)", 0)
+	add("user", "sign manifest; e-mail signed manifest to Amazon", 0)
+	add("user", "attach signature file to device; ship device", params.MailLatency)
+	add("aws", "receive device; validate signature file against manifest", 0)
+	add("aws", fmt.Sprintf("%s data (%d bytes) between device and cloud", operation, deviceBytes), copyTime)
+	add("aws", "e-mail job log: bytes saved, MD5 of bytes, status, log location", 0)
+	if operation == "export" {
+		add("aws", "ship device back to user", params.MailLatency)
+		add("user", "receive device; check files against e-mailed MD5 log", 0)
+	}
+	return steps, now.Sub(start)
+}

@@ -1,0 +1,211 @@
+package awssim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/storage"
+)
+
+func newService(t *testing.T) (*Service, *User) {
+	t.Helper()
+	svc := New(storage.NewMem(nil), DefaultParams())
+	secret, err := svc.CreateAccount("AKIAALICE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, &User{AccessKeyID: "AKIAALICE", Secret: secret}
+}
+
+// runImport walks the full Fig. 2 import flow.
+func runImport(t *testing.T, svc *Service, u *User, files map[string][]byte) *JobLog {
+	t.Helper()
+	manifest, sig := u.BuildManifest("JOB-1", "DEV-7", "bucket/backups", "import")
+	if err := svc.ReceiveManifestMail(Email{From: u.AccessKeyID, To: "aws", Subject: "manifest JOB-1", Manifest: manifest}); err != nil {
+		t.Fatal(err)
+	}
+	dev := NewDevice("DEV-7")
+	for k, v := range files {
+		dev.Files[k] = v
+	}
+	log, err := svc.ProcessImport(sig, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestImportFlow(t *testing.T) {
+	svc, u := newService(t)
+	files := map[string][]byte{
+		"q1.db": []byte("first quarter"),
+		"q2.db": []byte("second quarter"),
+	}
+	log := runImport(t, svc, u, files)
+
+	if log.Status != "COMPLETE" || len(log.Entries) != 2 {
+		t.Fatalf("log = %+v", log)
+	}
+	for _, e := range log.Entries {
+		name := e.Key[len("bucket/backups/"):]
+		want := cryptoutil.Sum(cryptoutil.MD5, files[name])
+		if !e.MD5.Equal(want) {
+			t.Errorf("%s: log MD5 %v, want %v", e.Key, e.MD5, want)
+		}
+		if e.Bytes != len(files[name]) {
+			t.Errorf("%s: %d bytes, want %d", e.Key, e.Bytes, len(files[name]))
+		}
+	}
+	obj, err := svc.Store().Get("bucket/backups/q1.db")
+	if err != nil || !bytes.Equal(obj.Data, files["q1.db"]) {
+		t.Fatalf("stored object: %v %q", err, obj.Data)
+	}
+	mail := svc.SentMail()
+	if len(mail) != 1 || mail[0].Log == nil || mail[0].Log.JobID != "JOB-1" {
+		t.Fatalf("mail = %+v", mail)
+	}
+}
+
+func TestExportFlowRecomputesMD5(t *testing.T) {
+	svc, u := newService(t)
+	runImport(t, svc, u, map[string][]byte{"data.bin": []byte("original bytes")})
+
+	// The insider tampers in storage, fixing nothing — AWS export
+	// recomputes MD5 from current content, so the log is
+	// self-consistent with the tampered data (the §2.4 MD5_2 problem).
+	tam := svc.Store().(storage.Tamperer)
+	if err := tam.Tamper("bucket/backups/data.bin", false, func(b []byte) []byte {
+		return []byte("tampered bytes!")
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	manifest, sig := u.BuildManifest("JOB-2", "DEV-8", "bucket/backups", "export")
+	svc.ReceiveManifestMail(Email{Manifest: manifest})
+	dev, log, err := svc.ProcessExport(sig, NewDevice("DEV-8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dev.Files["data.bin"]
+	if string(got) != "tampered bytes!" {
+		t.Fatalf("exported %q", got)
+	}
+	// The e-mailed MD5 matches the *tampered* content: transfer check
+	// passes, tampering invisible.
+	if !log.Entries[0].MD5.Equal(cryptoutil.Sum(cryptoutil.MD5, got)) {
+		t.Fatal("export log MD5 is not the recomputed digest")
+	}
+}
+
+func TestValidateRejectsForgedSignature(t *testing.T) {
+	svc, u := newService(t)
+	manifest, _ := u.BuildManifest("JOB-3", "DEV-9", "bucket/x", "import")
+	svc.ReceiveManifestMail(Email{Manifest: manifest})
+	forged := &SignatureFile{JobID: "JOB-3", Cipher: "HMAC-SHA256", MAC: []byte("not a real mac")}
+	if _, err := svc.ProcessImport(forged, NewDevice("DEV-9")); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestValidateRejectsUnknownJob(t *testing.T) {
+	svc, u := newService(t)
+	_, sig := u.BuildManifest("JOB-GHOST", "DEV-9", "bucket/x", "import")
+	if _, err := svc.ProcessImport(sig, NewDevice("DEV-9")); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("err = %v, want ErrNoManifest", err)
+	}
+}
+
+func TestValidateRejectsWrongDevice(t *testing.T) {
+	svc, u := newService(t)
+	manifest, sig := u.BuildManifest("JOB-4", "DEV-EXPECTED", "bucket/x", "import")
+	svc.ReceiveManifestMail(Email{Manifest: manifest})
+	if _, err := svc.ProcessImport(sig, NewDevice("DEV-OTHER")); !errors.Is(err, ErrDeviceMismatch) {
+		t.Fatalf("err = %v, want ErrDeviceMismatch", err)
+	}
+}
+
+func TestManifestMailRequired(t *testing.T) {
+	svc, _ := newService(t)
+	if err := svc.ReceiveManifestMail(Email{Subject: "empty"}); err == nil {
+		t.Fatal("mail without manifest accepted")
+	}
+}
+
+func TestDuplicateAccount(t *testing.T) {
+	svc, _ := newService(t)
+	if _, err := svc.CreateAccount("AKIAALICE"); err == nil {
+		t.Fatal("duplicate AccessKeyID accepted")
+	}
+}
+
+func TestS3PutGet(t *testing.T) {
+	svc, u := newService(t)
+	data := []byte("small object")
+	putMAC := RequestMAC(u.Secret, "PUT", "bucket/small")
+	etag, err := svc.S3Put(u.AccessKeyID, putMAC, "bucket/small", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !etag.Equal(cryptoutil.Sum(cryptoutil.MD5, data)) {
+		t.Error("PUT etag is not content MD5")
+	}
+	getMAC := RequestMAC(u.Secret, "GET", "bucket/small")
+	got, md5d, err := svc.S3Get(u.AccessKeyID, getMAC, "bucket/small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) || !md5d.Equal(etag) {
+		t.Fatal("S3 round trip mismatch")
+	}
+}
+
+func TestS3AuthFailures(t *testing.T) {
+	svc, u := newService(t)
+	if _, err := svc.S3Put("AKIANOBODY", []byte("m"), "k", []byte("d")); !errors.Is(err, ErrUnknownAccess) {
+		t.Errorf("unknown access key: %v", err)
+	}
+	wrongMAC := RequestMAC([]byte("wrong secret"), "PUT", "k")
+	if _, err := svc.S3Put(u.AccessKeyID, wrongMAC, "k", []byte("d")); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("wrong mac: %v", err)
+	}
+	// MAC for a different key must not authorize this key.
+	otherMAC := RequestMAC(u.Secret, "PUT", "other")
+	if _, err := svc.S3Put(u.AccessKeyID, otherMAC, "k", []byte("d")); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("mac for other key: %v", err)
+	}
+}
+
+func TestTimelineShippingDominates(t *testing.T) {
+	params := DefaultParams()
+	start := time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
+	steps, total := Timeline(params, start, 1<<40, "export") // 1 TiB
+	if len(steps) < 6 {
+		t.Fatalf("timeline has %d steps", len(steps))
+	}
+	// Export ships both ways: total must include 2× mail latency.
+	if total < 2*params.MailLatency {
+		t.Fatalf("total %v < 2× mail latency", total)
+	}
+	copyTime := total - 2*params.MailLatency
+	if copyTime >= params.MailLatency {
+		t.Fatalf("copy time %v should be far below mail latency %v", copyTime, params.MailLatency)
+	}
+	// Import ships one way only.
+	_, importTotal := Timeline(params, start, 1<<30, "import")
+	if importTotal >= total {
+		t.Fatal("import (one-way) should take less than export (two-way)")
+	}
+}
+
+func TestDeviceClone(t *testing.T) {
+	d := NewDevice("D")
+	d.Files["a"] = []byte("x")
+	c := d.Clone()
+	c.Files["a"][0] = 'y'
+	if d.Files["a"][0] != 'x' {
+		t.Fatal("Clone shares file memory")
+	}
+}

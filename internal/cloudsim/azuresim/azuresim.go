@@ -1,0 +1,275 @@
+// Package azuresim simulates the Windows Azure blob storage service as
+// the paper describes it (§2.2, Fig. 3, Table 1): account holders get a
+// 256-bit secret key, every REST request carries a SharedKey
+// HMAC-SHA256 authorization header computed over a canonical
+// string-to-sign, PUT requests carry a Content-MD5 that the server
+// verifies before storing, and GET responses return the *stored*
+// Content-MD5 ("the original MD5_1 will be sent", §2.4).
+//
+// The simulator reproduces exactly the integrity properties the paper
+// analyzes: per-request authentication and per-session transfer
+// integrity are solid, but nothing binds the downloaded bytes to the
+// uploaded bytes across the storage dwell — an insider who rewrites
+// both blob and metadata (storage.Tamperer with fixDigest=true) passes
+// every check.
+package azuresim
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/storage"
+)
+
+// Service errors.
+var (
+	ErrNoSuchAccount = errors.New("azuresim: unknown account")
+	ErrAuth          = errors.New("azuresim: authorization failed")
+	ErrContentMD5    = errors.New("azuresim: Content-MD5 mismatch")
+	ErrStaleDate     = errors.New("azuresim: request date outside tolerance")
+	ErrBadRequest    = errors.New("azuresim: malformed request")
+)
+
+// APIVersion mirrors the x-ms-version the paper's Table 1 shows.
+const APIVersion = "2009-09-19"
+
+// Request is a REST request to the blob service, reduced to the fields
+// the paper's Table 1 exercises.
+type Request struct {
+	// Method is "PUT" or "GET".
+	Method string
+	// Resource is the blob path, e.g. "/jerry/pics/block?comp=block".
+	Resource string
+	// Account is the account name ("jerry" in Table 1).
+	Account string
+	// Date is the x-ms-date header value's time.
+	Date time.Time
+	// ContentMD5 is the base64 MD5 of Body; required on PUT.
+	ContentMD5 string
+	// Body is the block content (PUT only).
+	Body []byte
+	// Authorization is "SharedKey <account>:<base64 HMAC-SHA256>".
+	Authorization string
+}
+
+// Response is the service's reply.
+type Response struct {
+	// Status is an HTTP-ish status code.
+	Status int
+	// ContentMD5 echoes the stored Content-MD5 on GET (and on PUT,
+	// confirming what was recorded).
+	ContentMD5 string
+	// Body is the blob content on GET.
+	Body []byte
+	// ErrMsg carries the error condition for non-2xx statuses.
+	ErrMsg string
+}
+
+// StringToSign builds the canonical string covered by the SharedKey
+// signature: method, MD5, date, version and resource, newline-joined.
+// (The real service's canonicalization is longer; the fields the paper
+// discusses are all covered.)
+func (r *Request) StringToSign() string {
+	return strings.Join([]string{
+		r.Method,
+		strconv.Itoa(len(r.Body)),
+		r.ContentMD5,
+		"x-ms-date:" + r.Date.UTC().Format(time.RFC1123),
+		"x-ms-version:" + APIVersion,
+		"/" + r.Account + r.Resource,
+	}, "\n")
+}
+
+// Sign computes and installs the Authorization header for the account's
+// secret key. Clients call this as the last step of request building
+// (Fig. 3: "uses the secret key to create a HMAC SHA256 signature for
+// each individual request").
+func (r *Request) Sign(key []byte) {
+	mac := cryptoutil.HMACSHA256(key, []byte(r.StringToSign()))
+	r.Authorization = "SharedKey " + r.Account + ":" + cryptoutil.Digest{Alg: cryptoutil.SHA256, Sum: mac}.Base64()
+}
+
+// Render prints the request in the Table 1 REST style, used by the E1
+// experiment to regenerate the paper's table.
+func (r *Request) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s http://%s.blob.core.windows.net%s HTTP/1.1\n", r.Method, r.Account, r.Resource)
+	if r.Method == "PUT" {
+		fmt.Fprintf(&b, "Content-Length: %d\n", len(r.Body))
+		fmt.Fprintf(&b, "Content-MD5: %s\n", r.ContentMD5)
+	}
+	fmt.Fprintf(&b, "Authorization: %s\n", r.Authorization)
+	fmt.Fprintf(&b, "x-ms-date: %s\n", r.Date.UTC().Format(time.RFC1123))
+	fmt.Fprintf(&b, "x-ms-version: %s\n", APIVersion)
+	return b.String()
+}
+
+// Service is the simulated blob endpoint.
+type Service struct {
+	store storage.Store
+	now   func() time.Time
+
+	mu       sync.RWMutex
+	accounts map[string][]byte // account name → 256-bit secret key
+
+	// blocks holds staged (uncommitted) blocks for the two-phase block
+	// blob API (blocklist.go).
+	blocks *blockStore
+
+	// tableSvc and queueSvc are the lazily created Tables and Queues
+	// endpoints (tablequeue.go) — the paper's other two data items.
+	tableSvc *TableService
+	queueSvc *QueueService
+
+	// DateTolerance bounds |now - x-ms-date|; stale-dated requests are
+	// rejected, the service's (weak) replay mitigation.
+	DateTolerance time.Duration
+}
+
+// New creates a service over the given store. now==nil means time.Now.
+func New(store storage.Store, now func() time.Time) *Service {
+	if now == nil {
+		now = time.Now
+	}
+	return &Service{
+		store:         store,
+		now:           now,
+		accounts:      make(map[string][]byte),
+		blocks:        newBlockStore(),
+		DateTolerance: 15 * time.Minute,
+	}
+}
+
+// CreateAccount provisions an account and returns its fresh 256-bit
+// secret key (Fig. 3: "After creating an account, the user will
+// receive a 256-bit secret key").
+func (s *Service) CreateAccount(name string) ([]byte, error) {
+	key, err := cryptoutil.Nonce(32)
+	if err != nil {
+		return nil, fmt.Errorf("azuresim: generating account key: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[name]; ok {
+		return nil, fmt.Errorf("azuresim: account %q exists", name)
+	}
+	s.accounts[name] = key
+	return append([]byte(nil), key...), nil
+}
+
+// Store exposes the backing store (the provider's inside view; tests
+// and experiments use it to act as the malicious insider).
+func (s *Service) Store() storage.Store { return s.store }
+
+// Handle authenticates and executes one request.
+func (s *Service) Handle(req *Request) *Response {
+	s.mu.RLock()
+	key, ok := s.accounts[req.Account]
+	s.mu.RUnlock()
+	if !ok {
+		return &Response{Status: 404, ErrMsg: ErrNoSuchAccount.Error()}
+	}
+	// Authenticate: recompute the SharedKey MAC over the string-to-sign
+	// (constant-time comparison; MAC checks must not leak prefixes).
+	if !s.authorized(req, key) {
+		return &Response{Status: 403, ErrMsg: ErrAuth.Error()}
+	}
+	if tol := s.DateTolerance; tol > 0 {
+		if d := s.now().Sub(req.Date); d > tol || d < -tol {
+			return &Response{Status: 403, ErrMsg: ErrStaleDate.Error()}
+		}
+	}
+	switch req.Method {
+	case "PUT":
+		return s.put(req)
+	case "GET":
+		return s.get(req)
+	default:
+		return &Response{Status: 400, ErrMsg: ErrBadRequest.Error() + ": method " + req.Method}
+	}
+}
+
+func (s *Service) put(req *Request) *Response {
+	if req.ContentMD5 == "" {
+		return &Response{Status: 400, ErrMsg: ErrBadRequest.Error() + ": PUT requires Content-MD5"}
+	}
+	actual := cryptoutil.Sum(cryptoutil.MD5, req.Body)
+	if actual.Base64() != req.ContentMD5 {
+		// "The MD5 checksum is checked by the server. If it does not
+		// match, an error is returned." (§2.2)
+		return &Response{Status: 400, ErrMsg: ErrContentMD5.Error()}
+	}
+	obj, err := s.store.Put(req.Account+req.Resource, req.Body, actual)
+	if err != nil {
+		return &Response{Status: 500, ErrMsg: err.Error()}
+	}
+	return &Response{Status: 201, ContentMD5: obj.StoredMD5.Base64()}
+}
+
+func (s *Service) get(req *Request) *Response {
+	obj, err := s.store.Get(req.Account + req.Resource)
+	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) {
+			return &Response{Status: 404, ErrMsg: err.Error()}
+		}
+		return &Response{Status: 500, ErrMsg: err.Error()}
+	}
+	// Azure returns the digest recorded at upload time — the database
+	// copy, NOT a recomputation (§2.4: "the original MD5_1 will be
+	// sent"). This is the behaviour E5 contrasts with AWS.
+	return &Response{Status: 200, ContentMD5: obj.StoredMD5.Base64(), Body: obj.Data}
+}
+
+// Client is an account-holder's view of the service.
+type Client struct {
+	Account string
+	Key     []byte
+	Service *Service
+	Now     func() time.Time
+}
+
+// NewClient binds an account and key to a service endpoint.
+func NewClient(svc *Service, account string, key []byte) *Client {
+	return &Client{Account: account, Key: key, Service: svc, Now: svc.now}
+}
+
+// PutBlock uploads a block with Content-MD5 protection and returns the
+// signed request (for transcripts) along with the response.
+func (c *Client) PutBlock(resource string, body []byte) (*Request, *Response) {
+	req := &Request{
+		Method:     "PUT",
+		Resource:   resource,
+		Account:    c.Account,
+		Date:       c.Now(),
+		ContentMD5: cryptoutil.Sum(cryptoutil.MD5, body).Base64(),
+		Body:       body,
+	}
+	req.Sign(c.Key)
+	return req, c.Service.Handle(req)
+}
+
+// GetBlock downloads a block. VerifyMD5 on the result reproduces the
+// client-side "check for message content integrity" step.
+func (c *Client) GetBlock(resource string) (*Request, *Response) {
+	req := &Request{
+		Method:   "GET",
+		Resource: resource,
+		Account:  c.Account,
+		Date:     c.Now(),
+	}
+	req.Sign(c.Key)
+	return req, c.Service.Handle(req)
+}
+
+// VerifyMD5 performs the client-side integrity check on a GET response:
+// does the body hash to the returned Content-MD5 header? Note this only
+// proves the *transfer* was clean; if the provider tampered and fixed
+// the metadata, this check passes (the §2.4 gap).
+func VerifyMD5(resp *Response) bool {
+	return cryptoutil.Sum(cryptoutil.MD5, resp.Body).Base64() == resp.ContentMD5
+}

@@ -1,0 +1,222 @@
+package azuresim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/storage"
+)
+
+var testNow = time.Date(2009, 9, 13, 17, 30, 25, 0, time.UTC)
+
+func newService() (*Service, *Client) {
+	svc := New(storage.NewMem(nil), func() time.Time { return testNow })
+	key, err := svc.CreateAccount("jerry")
+	if err != nil {
+		panic(err)
+	}
+	return svc, NewClient(svc, "jerry", key)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	_, c := newService()
+	body := []byte("block-1 contents")
+	_, put := c.PutBlock("/pics/block?comp=block&blockid=blockid1", body)
+	if put.Status != 201 {
+		t.Fatalf("PUT status %d: %s", put.Status, put.ErrMsg)
+	}
+	_, get := c.GetBlock("/pics/block?comp=block&blockid=blockid1")
+	if get.Status != 200 {
+		t.Fatalf("GET status %d: %s", get.Status, get.ErrMsg)
+	}
+	if !bytes.Equal(get.Body, body) {
+		t.Fatal("downloaded body differs")
+	}
+	if !VerifyMD5(get) {
+		t.Fatal("client-side MD5 verification failed on clean round trip")
+	}
+}
+
+func TestPutRejectsWrongContentMD5(t *testing.T) {
+	_, c := newService()
+	req := &Request{
+		Method:     "PUT",
+		Resource:   "/x",
+		Account:    "jerry",
+		Date:       testNow,
+		ContentMD5: cryptoutil.Sum(cryptoutil.MD5, []byte("other data")).Base64(),
+		Body:       []byte("actual data"),
+	}
+	req.Sign(c.Key)
+	resp := c.Service.Handle(req)
+	if resp.Status != 400 || !strings.Contains(resp.ErrMsg, "Content-MD5") {
+		t.Fatalf("status %d msg %q, want 400 Content-MD5 error", resp.Status, resp.ErrMsg)
+	}
+}
+
+func TestPutRequiresContentMD5(t *testing.T) {
+	_, c := newService()
+	req := &Request{Method: "PUT", Resource: "/x", Account: "jerry", Date: testNow, Body: []byte("d")}
+	req.Sign(c.Key)
+	if resp := c.Service.Handle(req); resp.Status != 400 {
+		t.Fatalf("PUT without Content-MD5: status %d", resp.Status)
+	}
+}
+
+func TestAuthRejectsWrongKey(t *testing.T) {
+	svc, _ := newService()
+	forged := NewClient(svc, "jerry", []byte("wrong key 0123456789 0123456789!"))
+	_, resp := forged.PutBlock("/x", []byte("d"))
+	if resp.Status != 403 {
+		t.Fatalf("forged key: status %d, want 403", resp.Status)
+	}
+}
+
+func TestAuthRejectsTamperedRequest(t *testing.T) {
+	_, c := newService()
+	req := &Request{
+		Method:     "PUT",
+		Resource:   "/x",
+		Account:    "jerry",
+		Date:       testNow,
+		ContentMD5: cryptoutil.Sum(cryptoutil.MD5, []byte("d")).Base64(),
+		Body:       []byte("d"),
+	}
+	req.Sign(c.Key)
+	req.Resource = "/y" // mutate after signing — signature must break
+	if resp := c.Service.Handle(req); resp.Status != 403 {
+		t.Fatalf("tampered resource: status %d, want 403", resp.Status)
+	}
+}
+
+func TestUnknownAccount(t *testing.T) {
+	svc, _ := newService()
+	ghost := NewClient(svc, "ghost", []byte("k"))
+	_, resp := ghost.GetBlock("/x")
+	if resp.Status != 404 {
+		t.Fatalf("unknown account: status %d", resp.Status)
+	}
+}
+
+func TestDuplicateAccount(t *testing.T) {
+	svc, _ := newService()
+	if _, err := svc.CreateAccount("jerry"); err == nil {
+		t.Fatal("duplicate account accepted")
+	}
+}
+
+func TestStaleDateRejected(t *testing.T) {
+	svc, c := newService()
+	svc.DateTolerance = 15 * time.Minute
+	req := &Request{Method: "GET", Resource: "/x", Account: "jerry", Date: testNow.Add(-16 * time.Minute)}
+	req.Sign(c.Key)
+	if resp := svc.Handle(req); resp.Status != 403 {
+		t.Fatalf("stale date: status %d, want 403", resp.Status)
+	}
+}
+
+func TestGetMissingBlob(t *testing.T) {
+	_, c := newService()
+	_, resp := c.GetBlock("/absent")
+	if resp.Status != 404 {
+		t.Fatalf("missing blob: status %d", resp.Status)
+	}
+}
+
+func TestUnsupportedMethod(t *testing.T) {
+	_, c := newService()
+	req := &Request{Method: "DELETE", Resource: "/x", Account: "jerry", Date: testNow}
+	req.Sign(c.Key)
+	if resp := c.Service.Handle(req); resp.Status != 400 {
+		t.Fatalf("DELETE: status %d, want 400", resp.Status)
+	}
+}
+
+// TestAzureReturnsStoredMD5AfterCleanTamper reproduces the §2.4 gap on
+// the Azure behaviour: the provider rewrites blob AND database MD5; the
+// GET returns the new MD5, the client-side check passes, and the
+// tampering is invisible.
+func TestAzureReturnsStoredMD5AfterCleanTamper(t *testing.T) {
+	svc, c := newService()
+	original := []byte("ledger total = 1000")
+	c.PutBlock("/ledger", original)
+
+	tam := svc.Store().(storage.Tamperer)
+	if err := tam.Tamper("jerry/ledger", true, func(b []byte) []byte {
+		return bytes.Replace(b, []byte("1000"), []byte("9999"), 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, get := c.GetBlock("/ledger")
+	if get.Status != 200 {
+		t.Fatalf("GET status %d", get.Status)
+	}
+	if bytes.Equal(get.Body, original) {
+		t.Fatal("tamper did not take effect")
+	}
+	if !VerifyMD5(get) {
+		t.Fatal("platform check caught a digest-fixing insider — it must not be able to")
+	}
+}
+
+// TestAzureStaleDigestTamper shows the contrast: a clumsy insider who
+// forgets the metadata leaves a stored-vs-content mismatch that the
+// client notices — because Azure returns the *stored* MD5.
+func TestAzureStaleDigestTamper(t *testing.T) {
+	svc, c := newService()
+	c.PutBlock("/ledger", []byte("v1"))
+	tam := svc.Store().(storage.Tamperer)
+	if err := tam.Tamper("jerry/ledger", false, func(b []byte) []byte { return []byte("v2") }); err != nil {
+		t.Fatal(err)
+	}
+	_, get := c.GetBlock("/ledger")
+	if VerifyMD5(get) {
+		t.Fatal("stale-digest tamper must be client-detectable on Azure")
+	}
+}
+
+func TestRenderMatchesTable1Shape(t *testing.T) {
+	_, c := newService()
+	req, _ := c.PutBlock("/pics/block?comp=block&blockid=blockid1&timeout=30", []byte("photo bytes"))
+	out := req.Render()
+	for _, want := range []string{
+		"PUT http://jerry.blob.core.windows.net/pics/block?comp=block&blockid=blockid1&timeout=30 HTTP/1.1",
+		"Content-Length: 11",
+		"Content-MD5: ",
+		"Authorization: SharedKey jerry:",
+		"x-ms-date: ",
+		"x-ms-version: 2009-09-19",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered request missing %q:\n%s", want, out)
+		}
+	}
+	getReq, _ := c.GetBlock("/pics/block")
+	if strings.Contains(getReq.Render(), "Content-MD5") {
+		t.Error("GET render must not carry Content-MD5 (Table 1)")
+	}
+}
+
+func TestSignatureCoversBodyLength(t *testing.T) {
+	_, c := newService()
+	req := &Request{
+		Method:     "PUT",
+		Resource:   "/x",
+		Account:    "jerry",
+		Date:       testNow,
+		ContentMD5: cryptoutil.Sum(cryptoutil.MD5, []byte("dd")).Base64(),
+		Body:       []byte("dd"),
+	}
+	req.Sign(c.Key)
+	// Change the body after signing; even with a matching Content-MD5
+	// for the new body, the signature must fail first.
+	req.Body = []byte("ee")
+	req.ContentMD5 = cryptoutil.Sum(cryptoutil.MD5, req.Body).Base64()
+	if resp := c.Service.Handle(req); resp.Status != 403 {
+		t.Fatalf("body swap: status %d, want 403", resp.Status)
+	}
+}

@@ -1,0 +1,128 @@
+package azuresim
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/cryptoutil"
+)
+
+// Two-phase block blob semantics. Table 1's request is a staged block
+// PUT (`comp=block&blockid=blockid1`); the real service assembles a
+// blob only when the client commits an ordered block list
+// (`comp=blocklist`). This file adds that second phase: staged blocks
+// are invisible to GET until committed, commit validates that every
+// named block is staged, and the committed blob's Content-MD5 is
+// computed over the concatenation — preserving the paper's
+// per-session-only integrity semantics across the richer API.
+
+// BlockStore tracks staged (uncommitted) blocks per blob. One lives
+// inside each Service.
+type blockStore struct {
+	mu     sync.Mutex
+	staged map[string]map[string][]byte // blobKey → blockID → data
+}
+
+func newBlockStore() *blockStore {
+	return &blockStore{staged: make(map[string]map[string][]byte)}
+}
+
+func (bs *blockStore) stage(blobKey, blockID string, data []byte) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if bs.staged[blobKey] == nil {
+		bs.staged[blobKey] = make(map[string][]byte)
+	}
+	bs.staged[blobKey][blockID] = append([]byte(nil), data...)
+}
+
+func (bs *blockStore) commit(blobKey string, blockIDs []string) ([]byte, error) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	blocks := bs.staged[blobKey]
+	var out []byte
+	for _, id := range blockIDs {
+		data, ok := blocks[id]
+		if !ok {
+			return nil, fmt.Errorf("azuresim: block %q not staged for %q", id, blobKey)
+		}
+		out = append(out, data...)
+	}
+	delete(bs.staged, blobKey)
+	return out, nil
+}
+
+func (bs *blockStore) stagedCount(blobKey string) int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return len(bs.staged[blobKey])
+}
+
+// StageBlock authenticates and stages one block (PUT with
+// comp=block&blockid=...). Staged blocks do not appear in GET.
+func (s *Service) StageBlock(req *Request, blockID string) *Response {
+	s.mu.RLock()
+	key, ok := s.accounts[req.Account]
+	s.mu.RUnlock()
+	if !ok {
+		return &Response{Status: 404, ErrMsg: ErrNoSuchAccount.Error()}
+	}
+	if !s.authorized(req, key) {
+		return &Response{Status: 403, ErrMsg: ErrAuth.Error()}
+	}
+	if req.ContentMD5 == "" || cryptoutil.Sum(cryptoutil.MD5, req.Body).Base64() != req.ContentMD5 {
+		return &Response{Status: 400, ErrMsg: ErrContentMD5.Error()}
+	}
+	s.blocks.stage(req.Account+blobPath(req.Resource), blockID, req.Body)
+	return &Response{Status: 201, ContentMD5: req.ContentMD5}
+}
+
+// CommitBlockList assembles staged blocks in the given order into the
+// visible blob (PUT with comp=blocklist).
+func (s *Service) CommitBlockList(req *Request, blockIDs []string) *Response {
+	s.mu.RLock()
+	key, ok := s.accounts[req.Account]
+	s.mu.RUnlock()
+	if !ok {
+		return &Response{Status: 404, ErrMsg: ErrNoSuchAccount.Error()}
+	}
+	if !s.authorized(req, key) {
+		return &Response{Status: 403, ErrMsg: ErrAuth.Error()}
+	}
+	data, err := s.blocks.commit(req.Account+blobPath(req.Resource), blockIDs)
+	if err != nil {
+		return &Response{Status: 400, ErrMsg: err.Error()}
+	}
+	obj, err := s.store.Put(req.Account+blobPath(req.Resource), data, cryptoutil.Digest{})
+	if err != nil {
+		return &Response{Status: 500, ErrMsg: err.Error()}
+	}
+	return &Response{Status: 201, ContentMD5: obj.StoredMD5.Base64()}
+}
+
+// StagedBlocks reports how many blocks are staged for a blob (test and
+// experiment introspection).
+func (s *Service) StagedBlocks(account, resource string) int {
+	return s.blocks.stagedCount(account + blobPath(resource))
+}
+
+// authorized runs the SharedKey check shared by every endpoint, in
+// constant time.
+func (s *Service) authorized(req *Request, key []byte) bool {
+	want := "SharedKey " + req.Account + ":" + cryptoutil.Digest{
+		Alg: cryptoutil.SHA256,
+		Sum: cryptoutil.HMACSHA256(key, []byte(req.StringToSign())),
+	}.Base64()
+	return subtle.ConstantTimeCompare([]byte(req.Authorization), []byte(want)) == 1
+}
+
+// blobPath strips the query component so staged blocks and the
+// committed blob share a key regardless of per-request parameters.
+func blobPath(resource string) string {
+	if i := strings.IndexByte(resource, '?'); i >= 0 {
+		return resource[:i]
+	}
+	return resource
+}

@@ -1,0 +1,128 @@
+package azuresim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cryptoutil"
+)
+
+// stageReq builds a signed staging request for one block.
+func stageReq(c *Client, resource string, body []byte) *Request {
+	req := &Request{
+		Method:     "PUT",
+		Resource:   resource,
+		Account:    c.Account,
+		Date:       testNow,
+		ContentMD5: cryptoutil.Sum(cryptoutil.MD5, body).Base64(),
+		Body:       body,
+	}
+	req.Sign(c.Key)
+	return req
+}
+
+func commitReq(c *Client, resource string) *Request {
+	req := &Request{Method: "PUT", Resource: resource, Account: c.Account, Date: testNow}
+	req.Sign(c.Key)
+	return req
+}
+
+func TestBlockListCommitFlow(t *testing.T) {
+	svc, c := newService()
+	blockA, blockB := []byte("first half "), []byte("second half")
+
+	// Stage two blocks; neither is visible yet.
+	if resp := svc.StageBlock(stageReq(c, "/video?comp=block&blockid=A", blockA), "A"); resp.Status != 201 {
+		t.Fatalf("stage A: %d %s", resp.Status, resp.ErrMsg)
+	}
+	if resp := svc.StageBlock(stageReq(c, "/video?comp=block&blockid=B", blockB), "B"); resp.Status != 201 {
+		t.Fatalf("stage B: %d %s", resp.Status, resp.ErrMsg)
+	}
+	if n := svc.StagedBlocks("jerry", "/video"); n != 2 {
+		t.Fatalf("staged = %d", n)
+	}
+	if _, resp := c.GetBlock("/video"); resp.Status != 404 {
+		t.Fatalf("uncommitted blob visible: %d", resp.Status)
+	}
+
+	// Commit in order; the blob becomes the ordered concatenation.
+	if resp := svc.CommitBlockList(commitReq(c, "/video?comp=blocklist"), []string{"A", "B"}); resp.Status != 201 {
+		t.Fatalf("commit: %d %s", resp.Status, resp.ErrMsg)
+	}
+	_, get := c.GetBlock("/video")
+	if get.Status != 200 || !bytes.Equal(get.Body, append(blockA, blockB...)) {
+		t.Fatalf("committed blob: %d %q", get.Status, get.Body)
+	}
+	if !VerifyMD5(get) {
+		t.Fatal("committed blob MD5 wrong")
+	}
+	// Staged blocks are consumed.
+	if n := svc.StagedBlocks("jerry", "/video"); n != 0 {
+		t.Fatalf("staged after commit = %d", n)
+	}
+}
+
+func TestBlockListOrderMatters(t *testing.T) {
+	svc, c := newService()
+	svc.StageBlock(stageReq(c, "/doc", []byte("AAA")), "1")
+	svc.StageBlock(stageReq(c, "/doc", []byte("BBB")), "2")
+	if resp := svc.CommitBlockList(commitReq(c, "/doc"), []string{"2", "1"}); resp.Status != 201 {
+		t.Fatalf("commit: %d", resp.Status)
+	}
+	_, get := c.GetBlock("/doc")
+	if string(get.Body) != "BBBAAA" {
+		t.Fatalf("blob = %q, want BBBAAA", get.Body)
+	}
+}
+
+func TestCommitUnstagedBlockRejected(t *testing.T) {
+	svc, c := newService()
+	svc.StageBlock(stageReq(c, "/doc", []byte("x")), "present")
+	resp := svc.CommitBlockList(commitReq(c, "/doc"), []string{"present", "missing"})
+	if resp.Status != 400 {
+		t.Fatalf("commit with missing block: %d", resp.Status)
+	}
+	if _, get := c.GetBlock("/doc"); get.Status != 404 {
+		t.Fatal("failed commit must not create the blob")
+	}
+}
+
+func TestStageBlockAuthAndMD5(t *testing.T) {
+	svc, c := newService()
+	// Bad MD5.
+	bad := stageReq(c, "/doc", []byte("data"))
+	bad.ContentMD5 = cryptoutil.Sum(cryptoutil.MD5, []byte("other")).Base64()
+	bad.Sign(c.Key)
+	if resp := svc.StageBlock(bad, "B"); resp.Status != 400 {
+		t.Fatalf("bad MD5: %d", resp.Status)
+	}
+	// Bad signature.
+	forged := stageReq(c, "/doc", []byte("data"))
+	forged.Authorization = "SharedKey jerry:AAAA"
+	if resp := svc.StageBlock(forged, "B"); resp.Status != 403 {
+		t.Fatalf("forged: %d", resp.Status)
+	}
+	// Unknown account.
+	ghost := NewClient(svc, "ghost", []byte("k"))
+	if resp := svc.StageBlock(stageReq(ghost, "/doc", []byte("d")), "B"); resp.Status != 404 {
+		t.Fatalf("ghost: %d", resp.Status)
+	}
+	if resp := svc.CommitBlockList(commitReq(ghost, "/doc"), nil); resp.Status != 404 {
+		t.Fatalf("ghost commit: %d", resp.Status)
+	}
+	forgedCommit := commitReq(c, "/doc")
+	forgedCommit.Authorization = "SharedKey jerry:AAAA"
+	if resp := svc.CommitBlockList(forgedCommit, nil); resp.Status != 403 {
+		t.Fatalf("forged commit: %d", resp.Status)
+	}
+}
+
+func TestBlobPathStripsQuery(t *testing.T) {
+	// Blocks staged under different query strings belong to one blob.
+	svc, c := newService()
+	svc.StageBlock(stageReq(c, "/doc?comp=block&blockid=1&timeout=30", []byte("a")), "1")
+	svc.StageBlock(stageReq(c, "/doc?comp=block&blockid=2&timeout=90", []byte("b")), "2")
+	if n := svc.StagedBlocks("jerry", "/doc"); n != 2 {
+		t.Fatalf("staged = %d", n)
+	}
+}

@@ -1,0 +1,218 @@
+package azuresim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The paper's §2.2 lists "three basic data items: Blobs (up to 50GB),
+// Tables, and Queues (<8k)". Blobs live in azuresim.go/blocklist.go;
+// this file adds Tables (entity storage keyed by partition+row) and
+// Queues (visibility-timeout message queues, ≤8 KiB per message), both
+// behind the same SharedKey authorization — and both with the same
+// integrity posture: per-request auth only, no storage-dwell binding.
+
+// MaxQueueMessage is the paper's "<8k" bound.
+const MaxQueueMessage = 8 << 10
+
+// Entity is one table row.
+type Entity struct {
+	PartitionKey string
+	RowKey       string
+	Properties   map[string]string
+}
+
+func (e *Entity) clone() *Entity {
+	c := &Entity{PartitionKey: e.PartitionKey, RowKey: e.RowKey, Properties: make(map[string]string, len(e.Properties))}
+	for k, v := range e.Properties {
+		c.Properties[k] = v
+	}
+	return c
+}
+
+// TableService is the entity store.
+type TableService struct {
+	svc *Service
+	mu  sync.Mutex
+	// tables: table name → "partition\x00row" → entity
+	tables map[string]map[string]*Entity
+}
+
+// Tables returns the service's table endpoint.
+func (s *Service) Tables() *TableService {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tableSvc == nil {
+		s.tableSvc = &TableService{svc: s, tables: make(map[string]map[string]*Entity)}
+	}
+	return s.tableSvc
+}
+
+func entityKey(partition, row string) string { return partition + "\x00" + row }
+
+// InsertEntity authenticates req and upserts the entity into table.
+func (t *TableService) InsertEntity(req *Request, table string, e *Entity) *Response {
+	if resp := t.svc.authOnly(req); resp != nil {
+		return resp
+	}
+	if e.PartitionKey == "" || e.RowKey == "" {
+		return &Response{Status: 400, ErrMsg: "azuresim: entity requires PartitionKey and RowKey"}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tables[table] == nil {
+		t.tables[table] = make(map[string]*Entity)
+	}
+	t.tables[table][entityKey(e.PartitionKey, e.RowKey)] = e.clone()
+	return &Response{Status: 201}
+}
+
+// GetEntity authenticates req and fetches one entity.
+func (t *TableService) GetEntity(req *Request, table, partition, row string) (*Entity, *Response) {
+	if resp := t.svc.authOnly(req); resp != nil {
+		return nil, resp
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.tables[table][entityKey(partition, row)]
+	if !ok {
+		return nil, &Response{Status: 404, ErrMsg: "azuresim: entity not found"}
+	}
+	return e.clone(), &Response{Status: 200}
+}
+
+// QueryPartition returns a partition's entities sorted by row key.
+func (t *TableService) QueryPartition(req *Request, table, partition string) ([]*Entity, *Response) {
+	if resp := t.svc.authOnly(req); resp != nil {
+		return nil, resp
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Entity
+	for _, e := range t.tables[table] {
+		if e.PartitionKey == partition {
+			out = append(out, e.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RowKey < out[j].RowKey })
+	return out, &Response{Status: 200}
+}
+
+// QueueMessage is one queued item.
+type QueueMessage struct {
+	ID   string
+	Body []byte
+	// dequeued marks an in-flight (invisible) message.
+	dequeued bool
+}
+
+// QueueService is the message-queue endpoint.
+type QueueService struct {
+	svc    *Service
+	mu     sync.Mutex
+	queues map[string][]*QueueMessage
+	nextID int
+}
+
+// Queues returns the service's queue endpoint.
+func (s *Service) Queues() *QueueService {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queueSvc == nil {
+		s.queueSvc = &QueueService{svc: s, queues: make(map[string][]*QueueMessage)}
+	}
+	return s.queueSvc
+}
+
+// Put enqueues a message (≤ MaxQueueMessage bytes).
+func (q *QueueService) Put(req *Request, queue string, body []byte) *Response {
+	if resp := q.svc.authOnly(req); resp != nil {
+		return resp
+	}
+	if len(body) > MaxQueueMessage {
+		return &Response{Status: 400, ErrMsg: fmt.Sprintf("azuresim: message %d bytes exceeds %d", len(body), MaxQueueMessage)}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.nextID++
+	q.queues[queue] = append(q.queues[queue], &QueueMessage{
+		ID:   fmt.Sprintf("msg-%d", q.nextID),
+		Body: append([]byte(nil), body...),
+	})
+	return &Response{Status: 201}
+}
+
+// Get dequeues the oldest visible message, making it invisible until
+// deleted (or until Requeue). Returns nil message when the queue is
+// empty.
+func (q *QueueService) Get(req *Request, queue string) (*QueueMessage, *Response) {
+	if resp := q.svc.authOnly(req); resp != nil {
+		return nil, resp
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, m := range q.queues[queue] {
+		if !m.dequeued {
+			m.dequeued = true
+			return &QueueMessage{ID: m.ID, Body: append([]byte(nil), m.Body...)}, &Response{Status: 200}
+		}
+	}
+	return nil, &Response{Status: 204}
+}
+
+// Delete removes a dequeued message permanently.
+func (q *QueueService) Delete(req *Request, queue, msgID string) *Response {
+	if resp := q.svc.authOnly(req); resp != nil {
+		return resp
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	msgs := q.queues[queue]
+	for i, m := range msgs {
+		if m.ID == msgID {
+			q.queues[queue] = append(msgs[:i], msgs[i+1:]...)
+			return &Response{Status: 204}
+		}
+	}
+	return &Response{Status: 404, ErrMsg: "azuresim: message not found"}
+}
+
+// Requeue makes an in-flight message visible again (visibility timeout
+// expiry, compressed to an explicit call in the simulator).
+func (q *QueueService) Requeue(req *Request, queue, msgID string) *Response {
+	if resp := q.svc.authOnly(req); resp != nil {
+		return resp
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, m := range q.queues[queue] {
+		if m.ID == msgID && m.dequeued {
+			m.dequeued = false
+			return &Response{Status: 204}
+		}
+	}
+	return &Response{Status: 404, ErrMsg: "azuresim: in-flight message not found"}
+}
+
+// Len reports visible + in-flight messages.
+func (q *QueueService) Len(queue string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queues[queue])
+}
+
+// authOnly runs account lookup + SharedKey verification for non-blob
+// endpoints, returning a non-nil error Response on failure.
+func (s *Service) authOnly(req *Request) *Response {
+	s.mu.RLock()
+	key, ok := s.accounts[req.Account]
+	s.mu.RUnlock()
+	if !ok {
+		return &Response{Status: 404, ErrMsg: ErrNoSuchAccount.Error()}
+	}
+	if !s.authorized(req, key) {
+		return &Response{Status: 403, ErrMsg: ErrAuth.Error()}
+	}
+	return nil
+}

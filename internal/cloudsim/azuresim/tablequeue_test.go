@@ -1,0 +1,134 @@
+package azuresim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// signedGet builds a signed metadata-style request for table/queue ops.
+func signedGet(c *Client, resource string) *Request {
+	req := &Request{Method: "GET", Resource: resource, Account: c.Account, Date: testNow}
+	req.Sign(c.Key)
+	return req
+}
+
+func TestTableInsertGetRoundTrip(t *testing.T) {
+	svc, c := newService()
+	tbl := svc.Tables()
+	e := &Entity{PartitionKey: "customers", RowKey: "acme", Properties: map[string]string{"balance": "42"}}
+	if resp := tbl.InsertEntity(signedGet(c, "/tables/t1"), "t1", e); resp.Status != 201 {
+		t.Fatalf("insert: %d %s", resp.Status, resp.ErrMsg)
+	}
+	got, resp := tbl.GetEntity(signedGet(c, "/tables/t1"), "t1", "customers", "acme")
+	if resp.Status != 200 || got.Properties["balance"] != "42" {
+		t.Fatalf("get: %d %+v", resp.Status, got)
+	}
+	// The returned entity is a copy.
+	got.Properties["balance"] = "999"
+	again, _ := tbl.GetEntity(signedGet(c, "/tables/t1"), "t1", "customers", "acme")
+	if again.Properties["balance"] != "42" {
+		t.Fatal("GetEntity aliases store memory")
+	}
+}
+
+func TestTableValidationAndAuth(t *testing.T) {
+	svc, c := newService()
+	tbl := svc.Tables()
+	if resp := tbl.InsertEntity(signedGet(c, "/t"), "t", &Entity{RowKey: "r"}); resp.Status != 400 {
+		t.Fatalf("missing partition key: %d", resp.Status)
+	}
+	forged := signedGet(c, "/t")
+	forged.Authorization = "SharedKey jerry:forged"
+	if resp := tbl.InsertEntity(forged, "t", &Entity{PartitionKey: "p", RowKey: "r"}); resp.Status != 403 {
+		t.Fatalf("forged insert: %d", resp.Status)
+	}
+	ghost := NewClient(svc, "ghost", []byte("k"))
+	if _, resp := tbl.GetEntity(signedGet(ghost, "/t"), "t", "p", "r"); resp.Status != 404 {
+		t.Fatalf("ghost account: %d", resp.Status)
+	}
+	if _, resp := tbl.GetEntity(signedGet(c, "/t"), "t", "p", "missing"); resp.Status != 404 {
+		t.Fatalf("missing entity: %d", resp.Status)
+	}
+}
+
+func TestTableQueryPartitionSorted(t *testing.T) {
+	svc, c := newService()
+	tbl := svc.Tables()
+	for _, row := range []string{"c", "a", "b"} {
+		tbl.InsertEntity(signedGet(c, "/t"), "t", &Entity{PartitionKey: "p", RowKey: row})
+	}
+	tbl.InsertEntity(signedGet(c, "/t"), "t", &Entity{PartitionKey: "other", RowKey: "z"})
+	got, resp := tbl.QueryPartition(signedGet(c, "/t"), "t", "p")
+	if resp.Status != 200 || len(got) != 3 {
+		t.Fatalf("query: %d, %d entities", resp.Status, len(got))
+	}
+	if got[0].RowKey != "a" || got[2].RowKey != "c" {
+		t.Fatalf("unsorted: %v %v %v", got[0].RowKey, got[1].RowKey, got[2].RowKey)
+	}
+}
+
+func TestQueuePutGetDeleteLifecycle(t *testing.T) {
+	svc, c := newService()
+	q := svc.Queues()
+	if resp := q.Put(signedGet(c, "/q"), "jobs", []byte("job-1")); resp.Status != 201 {
+		t.Fatalf("put: %d", resp.Status)
+	}
+	q.Put(signedGet(c, "/q"), "jobs", []byte("job-2"))
+
+	m1, resp := q.Get(signedGet(c, "/q"), "jobs")
+	if resp.Status != 200 || !bytes.Equal(m1.Body, []byte("job-1")) {
+		t.Fatalf("get: %d %q", resp.Status, m1.Body)
+	}
+	// In-flight message is invisible; next Get returns job-2.
+	m2, _ := q.Get(signedGet(c, "/q"), "jobs")
+	if !bytes.Equal(m2.Body, []byte("job-2")) {
+		t.Fatalf("second get: %q", m2.Body)
+	}
+	// Queue exhausted.
+	if m3, resp := q.Get(signedGet(c, "/q"), "jobs"); m3 != nil || resp.Status != 204 {
+		t.Fatalf("empty get: %v %d", m3, resp.Status)
+	}
+	// Delete job-1; requeue job-2 and fetch it again.
+	if resp := q.Delete(signedGet(c, "/q"), "jobs", m1.ID); resp.Status != 204 {
+		t.Fatalf("delete: %d", resp.Status)
+	}
+	if resp := q.Requeue(signedGet(c, "/q"), "jobs", m2.ID); resp.Status != 204 {
+		t.Fatalf("requeue: %d", resp.Status)
+	}
+	m2b, _ := q.Get(signedGet(c, "/q"), "jobs")
+	if !bytes.Equal(m2b.Body, []byte("job-2")) {
+		t.Fatalf("requeued get: %q", m2b.Body)
+	}
+	if q.Len("jobs") != 1 {
+		t.Fatalf("Len = %d", q.Len("jobs"))
+	}
+}
+
+func TestQueueMessageSizeLimit(t *testing.T) {
+	svc, c := newService()
+	q := svc.Queues()
+	big := make([]byte, MaxQueueMessage+1)
+	if resp := q.Put(signedGet(c, "/q"), "jobs", big); resp.Status != 400 {
+		t.Fatalf("oversized message: %d", resp.Status)
+	}
+	ok := make([]byte, MaxQueueMessage)
+	if resp := q.Put(signedGet(c, "/q"), "jobs", ok); resp.Status != 201 {
+		t.Fatalf("max-size message: %d", resp.Status)
+	}
+}
+
+func TestQueueErrors(t *testing.T) {
+	svc, c := newService()
+	q := svc.Queues()
+	if resp := q.Delete(signedGet(c, "/q"), "jobs", "msg-99"); resp.Status != 404 {
+		t.Fatalf("delete missing: %d", resp.Status)
+	}
+	if resp := q.Requeue(signedGet(c, "/q"), "jobs", "msg-99"); resp.Status != 404 {
+		t.Fatalf("requeue missing: %d", resp.Status)
+	}
+	forged := signedGet(c, "/q")
+	forged.Authorization = "SharedKey jerry:bad"
+	if resp := q.Put(forged, "jobs", []byte("x")); resp.Status != 403 {
+		t.Fatalf("forged put: %d", resp.Status)
+	}
+}

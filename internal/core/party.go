@@ -1,0 +1,310 @@
+package core
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cryptoutil"
+	"repro/internal/evidence"
+	"repro/internal/metrics"
+	"repro/internal/pki"
+	"repro/internal/session"
+	"repro/internal/transport"
+)
+
+// Protocol errors surfaced to callers.
+var (
+	ErrTimeout         = errors.New("core: timed out waiting for peer response")
+	ErrProtocol        = errors.New("core: protocol violation")
+	ErrPeerRejected    = errors.New("core: peer rejected the request")
+	ErrIntegrity       = errors.New("core: downloaded data fails the agreed digest")
+	ErrUnknownIdentity = errors.New("core: cannot resolve peer identity")
+)
+
+// Directory resolves a party name to its current certificate — the
+// §5.1 requirement that parties "authenticate the validity" of each
+// other's public keys before use.
+type Directory func(name string) (*pki.Certificate, error)
+
+// Options configure a protocol party.
+type Options struct {
+	// Identity is this party's name, key pair and certificate.
+	Identity *pki.Identity
+	// CAKey verifies certificates from the directory.
+	CAKey *rsa.PublicKey
+	// Directory resolves peer certificates.
+	Directory Directory
+	// Clock drives timestamps and timeouts; nil means the real clock.
+	Clock clock.Clock
+	// Counters receives protocol metrics; nil allocates a private set.
+	Counters *metrics.Counters
+	// MessageLifetime is the time-limit window stamped on outbound
+	// messages (§5.5). Zero means DefaultMessageLifetime.
+	MessageLifetime time.Duration
+	// ResponseTimeout bounds waits for peer responses before Resolve
+	// becomes available. Zero means DefaultResponseTimeout.
+	ResponseTimeout time.Duration
+}
+
+// Default protocol timing parameters.
+const (
+	DefaultMessageLifetime = 5 * time.Minute
+	DefaultResponseTimeout = 30 * time.Second
+)
+
+// party is the plumbing shared by Client, Provider and the TTP server:
+// identity, peer authentication, replay guard, evidence archive,
+// sequence allocation and instrumented send/receive.
+type party struct {
+	id    *pki.Identity
+	caKey *rsa.PublicKey
+	dir   Directory
+	clk   clock.Clock
+	ctr   *metrics.Counters
+
+	lifetime time.Duration
+	timeout  time.Duration
+
+	guard   *session.Guard
+	archive *evidence.Store
+	tracker *session.Tracker
+	seqMu   sync.Mutex
+	seqs    map[string]*session.Counter
+
+	pumpMu sync.Mutex
+	pumps  map[transport.Conn]*pump
+}
+
+func newParty(o Options) (*party, error) {
+	if o.Identity == nil {
+		return nil, fmt.Errorf("core: Options.Identity is required")
+	}
+	if o.CAKey == nil {
+		return nil, fmt.Errorf("core: Options.CAKey is required")
+	}
+	if o.Directory == nil {
+		return nil, fmt.Errorf("core: Options.Directory is required")
+	}
+	p := &party{
+		id:       o.Identity,
+		caKey:    o.CAKey,
+		dir:      o.Directory,
+		clk:      o.Clock,
+		ctr:      o.Counters,
+		lifetime: o.MessageLifetime,
+		timeout:  o.ResponseTimeout,
+		guard:    session.NewGuard(0),
+		archive:  evidence.NewStore(),
+		tracker:  session.NewTracker(),
+		seqs:     make(map[string]*session.Counter),
+		pumps:    make(map[transport.Conn]*pump),
+	}
+	if p.clk == nil {
+		p.clk = clock.Real()
+	}
+	if p.ctr == nil {
+		p.ctr = &metrics.Counters{}
+	}
+	if p.lifetime == 0 {
+		p.lifetime = DefaultMessageLifetime
+	}
+	if p.timeout == 0 {
+		p.timeout = DefaultResponseTimeout
+	}
+	return p, nil
+}
+
+// Archive exposes the party's evidence store (for disputes and tests).
+func (p *party) Archive() *evidence.Store { return p.archive }
+
+// Counters exposes the party's metrics.
+func (p *party) Counters() *metrics.Counters { return p.ctr }
+
+// ID returns the party name.
+func (p *party) ID() string { return p.id.Name }
+
+// nextSeq issues the next outbound sequence number for a transaction.
+func (p *party) nextSeq(txn string) uint64 {
+	p.seqMu.Lock()
+	c, ok := p.seqs[txn]
+	if !ok {
+		c = &session.Counter{}
+		p.seqs[txn] = c
+	}
+	p.seqMu.Unlock()
+	return c.Next()
+}
+
+// bumpSeqTo advances the outbound counter past an observed inbound
+// sequence so replies always exceed what the peer sent.
+func (p *party) bumpSeqTo(txn string, seen uint64) uint64 {
+	p.seqMu.Lock()
+	c, ok := p.seqs[txn]
+	if !ok {
+		c = &session.Counter{}
+		p.seqs[txn] = c
+	}
+	p.seqMu.Unlock()
+	c.SkipTo(seen)
+	return c.Next()
+}
+
+// peerKey resolves and authenticates a peer's public key via the
+// directory and CA key.
+func (p *party) peerKey(name string) (*rsa.PublicKey, error) {
+	cert, err := p.dir(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrUnknownIdentity, name, err)
+	}
+	if err := pki.VerifyCertificate(p.caKey, cert, p.clk.Now(), nil); err != nil {
+		p.ctr.Inc(metrics.AuthFailures, 1)
+		return nil, fmt.Errorf("%w: %q: %v", ErrUnknownIdentity, name, err)
+	}
+	p.ctr.Inc(metrics.VerifyOps, 1)
+	return cert.PublicKey()
+}
+
+// newHeader assembles an outbound header with this party as sender.
+func (p *party) newHeader(kind evidence.Kind, txn, recipient, ttp string, seq uint64) *evidence.Header {
+	now := p.clk.Now()
+	return &evidence.Header{
+		Kind:        kind,
+		TxnID:       txn,
+		Seq:         seq,
+		Nonce:       cryptoutil.MustNonce(),
+		SenderID:    p.id.Name,
+		RecipientID: recipient,
+		TTPID:       ttp,
+		Timestamp:   now,
+		TimeLimit:   now.Add(p.lifetime),
+	}
+}
+
+// buildMessage signs and seals evidence for the header and packages it
+// with the payload.
+func (p *party) buildMessage(h *evidence.Header, payload []byte, recipientKey *rsa.PublicKey) (*Message, *evidence.Evidence, error) {
+	ev, sealed, err := evidence.Build(p.id.Key, recipientKey, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.ctr.Inc(metrics.SignOps, 2)
+	p.ctr.Inc(metrics.EncryptOps, 1)
+	return &Message{HeaderBytes: h.Encode(), Payload: payload, Sealed: sealed}, ev, nil
+}
+
+// send transmits a message with instrumentation.
+func (p *party) send(conn transport.Conn, m *Message) error {
+	raw := m.Encode()
+	p.ctr.Inc(metrics.MsgsSent, 1)
+	p.ctr.Inc(metrics.BytesSent, int64(len(raw)))
+	return conn.Send(raw)
+}
+
+// checkInbound runs the generic inbound validation sequence on a
+// received message: decode header, header addressing, replay guard,
+// time limit, open + verify the sealed evidence against the sender's
+// authenticated key. Returns the header and opened evidence.
+func (p *party) checkInbound(m *Message) (*evidence.Header, *evidence.Evidence, error) {
+	h, err := m.Header()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	if h.RecipientID != p.id.Name {
+		return nil, nil, fmt.Errorf("%w: message for %q arrived at %q", ErrProtocol, h.RecipientID, p.id.Name)
+	}
+	// Sequence spaces are per (transaction, sender): Alice, Bob and the
+	// TTP each number their own messages within a transaction.
+	if err := p.guard.Check(h.TxnID+"|"+h.SenderID, h.Seq, h.Nonce, h.TimeLimit, p.clk.Now()); err != nil {
+		p.ctr.Inc(metrics.ReplaysSeen, 1)
+		return nil, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	senderKey, err := p.peerKey(h.SenderID)
+	if err != nil {
+		return nil, nil, err
+	}
+	ev, err := evidence.Open(p.id.Key, senderKey, m.Sealed, h)
+	if err != nil {
+		p.ctr.Inc(metrics.AuthFailures, 1)
+		return nil, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	p.ctr.Inc(metrics.DecryptOps, 1)
+	p.ctr.Inc(metrics.VerifyOps, 2)
+	return h, ev, nil
+}
+
+// pumpFor returns the single pump owning conn's receive side. Repeated
+// operations on one connection share the pump, so no message can be
+// stolen by a stale reader goroutine. When the connection closes, the
+// pump's reader goroutine evicts the cache entry, so long-lived
+// parties (the TTP daemon dials one connection per resolve) do not
+// accumulate dead pumps.
+func (p *party) pumpFor(conn transport.Conn) *pump {
+	p.pumpMu.Lock()
+	defer p.pumpMu.Unlock()
+	pu, ok := p.pumps[conn]
+	if !ok {
+		pu = newPump(conn, func() {
+			p.pumpMu.Lock()
+			delete(p.pumps, conn)
+			p.pumpMu.Unlock()
+		})
+		p.pumps[conn] = pu
+	}
+	return pu
+}
+
+// pumpCount reports cached pumps (tests assert eviction).
+func (p *party) pumpCount() int {
+	p.pumpMu.Lock()
+	defer p.pumpMu.Unlock()
+	return len(p.pumps)
+}
+
+// pump adapts a blocking Conn to timeout-capable receives. One pump
+// owns the connection's receive side.
+type pump struct {
+	ch   chan []byte
+	errc chan error
+}
+
+// newPump starts the reader goroutine; onExit (may be nil) runs when
+// the connection stops delivering.
+func newPump(conn transport.Conn, onExit func()) *pump {
+	pu := &pump{ch: make(chan []byte, 16), errc: make(chan error, 1)}
+	go func() {
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				pu.errc <- err
+				if onExit != nil {
+					onExit()
+				}
+				return
+			}
+			pu.ch <- msg
+		}
+	}()
+	return pu
+}
+
+// recv waits up to d (on clk) for the next message.
+func (pu *pump) recv(clk clock.Clock, d time.Duration) ([]byte, error) {
+	select {
+	case msg := <-pu.ch:
+		return msg, nil
+	case err := <-pu.errc:
+		// Keep the error available for later recv calls on the same
+		// (shared) pump.
+		select {
+		case pu.errc <- err:
+		default:
+		}
+		return nil, err
+	case <-clk.After(d):
+		return nil, ErrTimeout
+	}
+}

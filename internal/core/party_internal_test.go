@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestPumpEviction: closing a connection must evict its cached pump so
+// long-lived parties do not leak one entry per past connection.
+func TestPumpEviction(t *testing.T) {
+	p := &party{pumps: make(map[transport.Conn]*pump)}
+
+	a, b := transport.Pipe(0)
+	pu := p.pumpFor(a)
+	if p.pumpCount() != 1 {
+		t.Fatalf("pumpCount = %d, want 1", p.pumpCount())
+	}
+	// Same conn → same pump, no duplicate entry.
+	if p.pumpFor(a) != pu {
+		t.Fatal("pumpFor returned a different pump for the same conn")
+	}
+	b.Close()
+	a.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.pumpCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pump not evicted after close; pumpCount = %d", p.pumpCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

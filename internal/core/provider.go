@@ -1,0 +1,448 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/auditlog"
+	"repro/internal/evidence"
+	"repro/internal/metrics"
+	"repro/internal/session"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Provider is Bob: the cloud storage service running the TPNR protocol
+// over a blob store. One Provider serves many client connections
+// concurrently.
+type Provider struct {
+	*party
+	store storage.Store
+
+	txnMu sync.Mutex
+	// txnObject remembers which object each upload transaction stored,
+	// for abort and resolve handling.
+	txnObject map[string]string
+
+	// Behaviour switches used by experiments and the attack lab to
+	// model a malicious or broken provider. All default to honest.
+	behaviorMu sync.Mutex
+	behavior   Misbehavior
+
+	// audit, when set, receives a hash-chained record of every protocol
+	// event — the provider's own tamper-evident defense material.
+	audit *auditlog.Log
+}
+
+// Misbehavior flags let experiments instantiate a dishonest Bob — the
+// §2.4 threat analysis and the E7/E9 experiments need an executable
+// adversary, not just an honest implementation.
+type Misbehavior struct {
+	// SilentAfterNRO: accept and store the upload but never send the
+	// NRR — the unfairness scenario that motivates Resolve (§4.1:
+	// "if Bob ... does not respond after he has received the NRO from
+	// Alice, then Alice will be in a disadvantage position").
+	SilentAfterNRO bool
+	// IgnoreResolve: also refuse to answer the TTP (forces the TTP
+	// unresponsiveness statement path).
+	IgnoreResolve bool
+	// TamperOnDownload mutates served bytes (the provider serves
+	// corrupted data but must still sign it — showing the client
+	// catches the digest mismatch against the agreed upload digest).
+	TamperOnDownload func([]byte) []byte
+}
+
+// NewProvider constructs a provider engine over the given store.
+func NewProvider(o Options, store storage.Store) (*Provider, error) {
+	p, err := newParty(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Provider{party: p, store: store, txnObject: make(map[string]string)}, nil
+}
+
+// SetMisbehavior swaps the provider's behaviour at runtime.
+func (b *Provider) SetMisbehavior(m Misbehavior) {
+	b.behaviorMu.Lock()
+	b.behavior = m
+	b.behaviorMu.Unlock()
+}
+
+func (b *Provider) misbehavior() Misbehavior {
+	b.behaviorMu.Lock()
+	defer b.behaviorMu.Unlock()
+	return b.behavior
+}
+
+// Store exposes the provider's blob store (insider view).
+func (b *Provider) Store() storage.Store { return b.store }
+
+// SetAuditLog attaches a tamper-evident event log; every subsequent
+// protocol event is appended to it.
+func (b *Provider) SetAuditLog(l *auditlog.Log) {
+	b.behaviorMu.Lock()
+	b.audit = l
+	b.behaviorMu.Unlock()
+}
+
+// auditAppend records an event if an audit log is attached.
+func (b *Provider) auditAppend(kind, txn, detail string) {
+	b.behaviorMu.Lock()
+	l := b.audit
+	b.behaviorMu.Unlock()
+	if l != nil {
+		l.Append(kind, txn, detail)
+	}
+}
+
+// Serve handles messages on one client connection until it closes.
+// Run it in a goroutine per accepted connection.
+func (b *Provider) Serve(conn transport.Conn) error {
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		b.ctr.Inc(metrics.MsgsRecv, 1)
+		reply, rerr := b.handle(raw)
+		if rerr != nil && reply == nil {
+			// Unverifiable garbage: no reply at all (responding to an
+			// unauthenticated blob would create an oracle).
+			continue
+		}
+		if reply != nil {
+			if err := b.send(conn, reply); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// HandleRaw processes one encoded message and returns the encoded
+// reply (nil when the protocol calls for silence). It is exported for
+// in-process harnesses (the TTP relay and the attack lab) that bypass
+// connection plumbing.
+func (b *Provider) HandleRaw(raw []byte) []byte {
+	reply, _ := b.handle(raw)
+	if reply == nil {
+		return nil
+	}
+	b.ctr.Inc(metrics.MsgsSent, 1)
+	return reply.Encode()
+}
+
+func (b *Provider) handle(raw []byte) (*Message, error) {
+	m, err := DecodeMessage(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	h, ev, err := b.checkInbound(m)
+	if err != nil {
+		// If the header at least decodes we can answer with a signed
+		// error message; otherwise stay silent.
+		if hdr, herr := m.Header(); herr == nil && hdr.SenderID != "" {
+			return b.errorReply(hdr, err.Error())
+		}
+		return nil, err
+	}
+	switch h.Kind {
+	case evidence.KindNRO:
+		return b.handleUpload(h, ev, m.Payload)
+	case evidence.KindDownloadRequest:
+		return b.handleDownload(h, ev)
+	case evidence.KindAbortRequest:
+		return b.handleAbort(h, ev)
+	case evidence.KindResolveRequest:
+		return b.handleResolve(h, ev, m.Payload)
+	default:
+		return b.errorReply(h, fmt.Sprintf("unsupported message kind %s", h.Kind))
+	}
+}
+
+// errorReply builds a signed Error message toward the sender of h.
+//
+// Cost note: answering costs the provider two RSA signatures and one
+// hybrid encryption, so a flood of bogus-but-well-formed messages is an
+// asymmetric-work amplifier. Production deployments should rate-limit
+// error replies per peer; the protocol itself is unaffected (silence is
+// always a safe fallback, and the client treats it as a timeout).
+func (b *Provider) errorReply(h *evidence.Header, note string) (*Message, error) {
+	senderKey, err := b.peerKey(h.SenderID)
+	if err != nil {
+		return nil, err // cannot even address the peer: silence
+	}
+	rh := b.newHeader(evidence.KindError, h.TxnID, h.SenderID, h.TTPID, b.bumpSeqTo(h.TxnID, h.Seq))
+	rh.Note = note
+	rh.SetDigests(nil)
+	msg, _, err := b.buildMessage(rh, nil, senderKey)
+	return msg, err
+}
+
+// handleUpload is step 2 of the Normal uploading session: verify the
+// NRO and data, store the object, archive the NRO, reply with the NRR.
+func (b *Provider) handleUpload(h *evidence.Header, ev *evidence.Evidence, data []byte) (*Message, error) {
+	if !h.MatchesData(data) {
+		b.ctr.Inc(metrics.AuthFailures, 1)
+		return b.errorReply(h, "data does not match NRO digests")
+	}
+	b.ctr.Inc(metrics.HashOps, 2)
+	if _, err := b.store.Put(h.ObjectKey, data, h.DataMD5); err != nil {
+		return b.errorReply(h, "storage error: "+err.Error())
+	}
+	b.archive.Put(h.TxnID, evidence.RolePeer, ev)
+	b.txnMu.Lock()
+	b.txnObject[h.TxnID] = h.ObjectKey
+	b.txnMu.Unlock()
+	b.tracker.Begin(h.TxnID)
+	b.tracker.Transition(h.TxnID, session.StateEvidenceReceived)
+	b.auditAppend("upload", h.TxnID, fmt.Sprintf("stored %q (%d bytes, md5 %s)", h.ObjectKey, len(data), h.DataMD5.Hex()))
+
+	if b.misbehavior().SilentAfterNRO {
+		// Malicious Bob keeps the data and the NRO but withholds the
+		// receipt.
+		return nil, nil
+	}
+	return b.buildNRR(h)
+}
+
+// buildNRR constructs the receipt for an upload header and archives
+// the provider's own copy.
+func (b *Provider) buildNRR(h *evidence.Header) (*Message, error) {
+	senderKey, err := b.peerKey(h.SenderID)
+	if err != nil {
+		return nil, err
+	}
+	rh := b.newHeader(evidence.KindNRR, h.TxnID, h.SenderID, h.TTPID, b.bumpSeqTo(h.TxnID, h.Seq))
+	rh.ObjectKey = h.ObjectKey
+	rh.ObjectLen = h.ObjectLen
+	// The NRR commits to the digests from the NRO: both sides now hold
+	// a signature from the other over the same agreed value.
+	rh.DataMD5 = h.DataMD5.Clone()
+	rh.DataSHA256 = h.DataSHA256.Clone()
+	msg, own, err := b.buildMessage(rh, nil, senderKey)
+	if err != nil {
+		return nil, err
+	}
+	b.archive.Put(h.TxnID, evidence.RoleOwn, own)
+	b.tracker.Transition(h.TxnID, session.StateCompleted)
+	b.ctr.Inc(metrics.Rounds, 1)
+	return msg, nil
+}
+
+// issueNRR (re)creates the receipt evidence for an upload whose NRO we
+// hold, archiving the provider's own copy. Used by the resolve path
+// when the direct NRR was withheld or lost.
+func (b *Provider) issueNRR(nroHeader *evidence.Header) (*evidence.Evidence, error) {
+	clientKey, err := b.peerKey(nroHeader.SenderID)
+	if err != nil {
+		return nil, err
+	}
+	rh := b.newHeader(evidence.KindNRR, nroHeader.TxnID, nroHeader.SenderID, nroHeader.TTPID, b.bumpSeqTo(nroHeader.TxnID, nroHeader.Seq))
+	rh.ObjectKey = nroHeader.ObjectKey
+	rh.ObjectLen = nroHeader.ObjectLen
+	rh.DataMD5 = nroHeader.DataMD5.Clone()
+	rh.DataSHA256 = nroHeader.DataSHA256.Clone()
+	_, own, err := b.buildMessage(rh, nil, clientKey)
+	if err != nil {
+		return nil, err
+	}
+	b.archive.Put(nroHeader.TxnID, evidence.RoleOwn, own)
+	return own, nil
+}
+
+// handleDownload serves the downloading session: return the object
+// with a signed receipt over the served bytes.
+func (b *Provider) handleDownload(h *evidence.Header, ev *evidence.Evidence) (*Message, error) {
+	obj, err := b.store.Get(h.ObjectKey)
+	if err != nil {
+		return b.errorReply(h, "no such object: "+h.ObjectKey)
+	}
+	data := obj.Data
+	if mut := b.misbehavior().TamperOnDownload; mut != nil {
+		data = mut(data)
+	}
+	b.archive.Put(h.TxnID, evidence.RolePeer, ev)
+
+	senderKey, err := b.peerKey(h.SenderID)
+	if err != nil {
+		return nil, err
+	}
+	rh := b.newHeader(evidence.KindDownloadResponse, h.TxnID, h.SenderID, h.TTPID, b.bumpSeqTo(h.TxnID, h.Seq))
+	rh.ObjectKey = h.ObjectKey
+	rh.SetDigests(data)
+	b.ctr.Inc(metrics.HashOps, 2)
+	msg, own, err := b.buildMessage(rh, data, senderKey)
+	if err != nil {
+		return nil, err
+	}
+	b.archive.Put(h.TxnID, evidence.RoleOwn, own)
+	b.ctr.Inc(metrics.Rounds, 1)
+	b.auditAppend("download", h.TxnID, fmt.Sprintf("served %q (%d bytes)", h.ObjectKey, len(data)))
+	return msg, nil
+}
+
+// handleAbort implements §4.2: on a consistent abort request, answer
+// Accept (dropping the transaction's stored object) or Reject (when
+// the transaction already completed); the checkInbound validation
+// failing would instead have produced the Error reply inviting a
+// corrected resubmission.
+func (b *Provider) handleAbort(h *evidence.Header, ev *evidence.Evidence) (*Message, error) {
+	b.archive.Put(h.TxnID, evidence.RolePeer, ev)
+	senderKey, err := b.peerKey(h.SenderID)
+	if err != nil {
+		return nil, err
+	}
+	state, serr := b.tracker.Get(h.TxnID)
+	kind := evidence.KindAbortAccept
+	note := "transaction aborted"
+	switch {
+	case serr != nil:
+		// Unknown transaction: nothing to abort; accepting is safe and
+		// gives Alice her evidence of cancellation.
+		note = "transaction unknown; abort recorded"
+	case state == session.StateCompleted:
+		kind = evidence.KindAbortReject
+		note = "transaction already completed; abort rejected"
+	default:
+		b.txnMu.Lock()
+		objKey := b.txnObject[h.TxnID]
+		b.txnMu.Unlock()
+		if objKey != "" {
+			b.store.Delete(objKey)
+		}
+		b.tracker.Transition(h.TxnID, session.StateAborted)
+	}
+	rh := b.newHeader(kind, h.TxnID, h.SenderID, h.TTPID, b.bumpSeqTo(h.TxnID, h.Seq))
+	rh.Note = note
+	rh.SetDigests(nil)
+	msg, own, err := b.buildMessage(rh, nil, senderKey)
+	if err != nil {
+		return nil, err
+	}
+	b.archive.Put(h.TxnID, evidence.RoleOwn, own)
+	b.ctr.Inc(metrics.Aborts, 1)
+	b.auditAppend("abort", h.TxnID, note)
+	return msg, nil
+}
+
+// handleResolve answers a TTP-forwarded resolve query (§4.3). The
+// payload carries the claimant's original NRO (encoded). The provider
+// responds to the TTP with its NRR for the transaction (re-signed, to
+// be relayed) or asks for a session restart when it never received the
+// data.
+func (b *Provider) handleResolve(h *evidence.Header, ev *evidence.Evidence, payload []byte) (*Message, error) {
+	if mb := b.misbehavior(); mb.IgnoreResolve {
+		return nil, nil
+	}
+	if h.SenderID != h.TTPID {
+		// Resolve queries must come through the TTP.
+		return b.errorReply(h, "resolve not sent by TTP")
+	}
+	b.archive.Put(h.TxnID, evidence.RolePeer, ev)
+	ttpKey, err := b.peerKey(h.SenderID)
+	if err != nil {
+		return nil, err
+	}
+	rh := b.newHeader(evidence.KindResolveResponse, h.TxnID, h.SenderID, h.TTPID, b.bumpSeqTo(h.TxnID, h.Seq))
+	rh.SetDigests(nil)
+
+	var relay []byte
+	if own, err := b.archive.ByKind(h.TxnID, evidence.RoleOwn, evidence.KindNRR); err == nil {
+		// We completed our side before: re-present the receipt; the
+		// transaction can continue.
+		rh.Note = "continue"
+		relay = own.Encode()
+	} else if nro, err := b.archive.ByKind(h.TxnID, evidence.RolePeer, evidence.KindNRO); err == nil {
+		// We hold the claimant's NRO and (if honest storage) the data,
+		// but never issued the NRR — issue it now so the transaction
+		// continues. This is the §4.3 case where Bob's receipt was
+		// withheld or lost.
+		nrr, err := b.issueNRR(nro.Header)
+		if err != nil {
+			return b.errorReply(h, "cannot issue receipt: "+err.Error())
+		}
+		rh.Note = "continue"
+		relay = nrr.Encode()
+	} else if nroBytes := payload; len(nroBytes) > 0 {
+		// We never saw this transaction. Verify the claimant's NRO; if
+		// genuine, the data never arrived (the TTP does not forward
+		// bulk data in the cloud setting, §4.3) — ask for a restart.
+		claimed, derr := evidence.Decode(nroBytes)
+		if derr != nil {
+			return b.errorReply(h, "resolve carries malformed evidence")
+		}
+		claimantKey, kerr := b.peerKey(claimed.Header.SenderID)
+		if kerr != nil || claimed.Verify(claimantKey) != nil {
+			return b.errorReply(h, "resolve evidence does not verify")
+		}
+		b.ctr.Inc(metrics.VerifyOps, 2)
+		rh.Note = "restart"
+	} else {
+		return b.errorReply(h, "resolve without evidence for unknown transaction")
+	}
+	msg, own, err := b.buildMessage(rh, relay, ttpKey)
+	if err != nil {
+		return nil, err
+	}
+	b.archive.Put(h.TxnID, evidence.RoleOwn, own)
+	b.ctr.Inc(metrics.Resolves, 1)
+	b.ctr.Inc(metrics.TTPMsgs, 1)
+	b.auditAppend("resolve", h.TxnID, rh.Note)
+	return msg, nil
+}
+
+// Resolve lets the PROVIDER initiate the §4.3 procedure: "Only when
+// there is no further response or specified following activities after
+// he has sent NRR, Bob needs to initiate the Resolve procedure in case
+// disputation happens." Bob submits his NRR for the transaction; the
+// TTP relays the query to the client or issues a statement (typically
+// "peer-unreachable" for an offline client) that Bob archives as proof
+// he attempted completion.
+func (b *Provider) Resolve(ttpConn transport.Conn, ttpID, txnID, report string) (*ResolveResult, error) {
+	own, err := b.archive.ByKind(txnID, evidence.RoleOwn, evidence.KindNRR)
+	if err != nil {
+		return nil, fmt.Errorf("core: provider has no NRR for %s: %w", txnID, err)
+	}
+	h := b.newHeader(evidence.KindResolveRequest, txnID, ttpID, ttpID, b.nextSeq(txnID))
+	h.Note = report
+	h.SetDigests(nil)
+	ttpKey, err := b.peerKey(ttpID)
+	if err != nil {
+		return nil, err
+	}
+	msg, _, err := b.buildMessage(h, own.Encode(), ttpKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.send(ttpConn, msg); err != nil {
+		return nil, fmt.Errorf("core: sending provider resolve: %w", err)
+	}
+	b.ctr.Inc(metrics.Resolves, 1)
+	b.ctr.Inc(metrics.TTPMsgs, 1)
+
+	pu := b.pumpFor(ttpConn)
+	raw, err := pu.recv(b.clk, 4*b.timeout)
+	if err != nil {
+		return nil, err
+	}
+	m, err := DecodeMessage(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	rh, ev, err := b.checkInbound(m)
+	if err != nil {
+		return nil, err
+	}
+	b.ctr.Inc(metrics.MsgsRecv, 1)
+	if rh.Kind != evidence.KindResolveResponse || rh.SenderID != ttpID {
+		return nil, fmt.Errorf("%w: unexpected resolve answer %s from %s", ErrProtocol, rh.Kind, rh.SenderID)
+	}
+	res := &ResolveResult{TxnID: txnID, Outcome: rh.Note, TTPStatement: ev}
+	b.archive.Put(txnID, evidence.RolePeer, ev)
+	b.auditAppend("resolve-initiated", txnID, rh.Note)
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+)
+
+// TestRandomOperationSequences is a model-based test: a random
+// interleaving of uploads, duplicate uploads, downloads, aborts and
+// overwrites runs against the provider while a simple model tracks
+// what SHOULD be stored. After every operation the store must agree
+// with the model, and no operation may wedge the engines.
+func TestRandomOperationSequences(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runRandomSequence(t, seed)
+		})
+	}
+}
+
+func runRandomSequence(t *testing.T, seed int64) {
+	d, err := deploy.New(deploy.Config{TestKeys: true, ResponseTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	conn, err := d.DialProvider()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	model := map[string][]byte{}     // key → expected stored content
+	uploadTxn := map[string]string{} // key → last successful upload txn
+	txnDone := map[string]bool{}     // txn → completed
+	txnCounter := 0
+
+	newTxn := func() string {
+		txnCounter++
+		return fmt.Sprintf("sm-%d-%d", seed, txnCounter)
+	}
+	keys := []string{"obj/a", "obj/b", "obj/c"}
+
+	const ops = 40
+	for i := 0; i < ops; i++ {
+		key := keys[rng.Intn(len(keys))]
+		switch rng.Intn(5) {
+		case 0, 1: // upload (possibly overwrite)
+			data := make([]byte, 16+rng.Intn(64))
+			rng.Read(data)
+			txn := newTxn()
+			if _, err := d.Client.Upload(conn, txn, key, data); err != nil {
+				t.Fatalf("op %d upload: %v", i, err)
+			}
+			model[key] = data
+			uploadTxn[key] = txn
+			txnDone[txn] = true
+
+		case 2: // download and verify against the model
+			txn := newTxn()
+			res, err := d.Client.Download(conn, txn, key, uploadTxn[key])
+			if model[key] == nil {
+				if !errors.Is(err, core.ErrPeerRejected) {
+					t.Fatalf("op %d download of absent key: %v", i, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d download: %v", i, err)
+			}
+			if !bytes.Equal(res.Data, model[key]) {
+				t.Fatalf("op %d: downloaded %d bytes, model has %d", i, len(res.Data), len(model[key]))
+			}
+
+		case 3: // abort a completed txn → must be rejected, data intact
+			if tk := uploadTxn[key]; tk != "" && txnDone[tk] {
+				res, err := d.Client.Abort(conn, tk, "model test late abort")
+				if err != nil {
+					t.Fatalf("op %d abort: %v", i, err)
+				}
+				if res.Accepted {
+					t.Fatalf("op %d: abort of completed txn %s accepted", i, tk)
+				}
+			}
+
+		case 4: // abort an unknown txn → accepted, no effect
+			res, err := d.Client.Abort(conn, newTxn(), "abort of nothing")
+			if err != nil {
+				t.Fatalf("op %d abort-unknown: %v", i, err)
+			}
+			if !res.Accepted {
+				t.Fatalf("op %d: abort of unknown txn rejected", i)
+			}
+		}
+
+		// Invariant: every modeled object is stored exactly as modeled.
+		for k, want := range model {
+			obj, err := d.Store.Get(k)
+			if err != nil {
+				t.Fatalf("op %d: model has %q but store lost it: %v", i, k, err)
+			}
+			if !bytes.Equal(obj.Data, want) {
+				t.Fatalf("op %d: store diverged from model at %q", i, k)
+			}
+		}
+	}
+	// Final cross-check: no extra keys appeared.
+	storeKeys := d.Store.Keys()
+	if len(storeKeys) != len(model) {
+		t.Fatalf("store has %d keys, model has %d", len(storeKeys), len(model))
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"crypto/rsa"
+	"time"
+
+	"repro/internal/evidence"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// TTPParty exposes the shared party plumbing to the ttp package, which
+// lives outside core but participates in the protocol with the same
+// identity, guard, archive and instrumentation machinery.
+type TTPParty struct {
+	p *party
+}
+
+// NewTTPParty constructs the plumbing for a TTP server.
+func NewTTPParty(o Options) (*TTPParty, error) {
+	p, err := newParty(o)
+	if err != nil {
+		return nil, err
+	}
+	return &TTPParty{p: p}, nil
+}
+
+// ID returns the TTP's party name.
+func (t *TTPParty) ID() string { return t.p.ID() }
+
+// Archive exposes the evidence store.
+func (t *TTPParty) Archive() *evidence.Store { return t.p.Archive() }
+
+// Counters exposes the metrics counters.
+func (t *TTPParty) Counters() *metrics.Counters { return t.p.Counters() }
+
+// PeerKey resolves and authenticates a party's public key.
+func (t *TTPParty) PeerKey(name string) (*rsa.PublicKey, error) { return t.p.peerKey(name) }
+
+// NewHeader assembles an outbound header with the TTP as sender.
+func (t *TTPParty) NewHeader(kind evidence.Kind, txn, recipient, ttp string, seq uint64) *evidence.Header {
+	return t.p.newHeader(kind, txn, recipient, ttp, seq)
+}
+
+// NextSeq issues the next outbound sequence number for a transaction.
+func (t *TTPParty) NextSeq(txn string) uint64 { return t.p.nextSeq(txn) }
+
+// BumpSeqTo advances the outbound counter past an observed inbound
+// sequence.
+func (t *TTPParty) BumpSeqTo(txn string, seen uint64) uint64 { return t.p.bumpSeqTo(txn, seen) }
+
+// BuildMessage signs and seals evidence for a header.
+func (t *TTPParty) BuildMessage(h *evidence.Header, payload []byte, recipientKey *rsa.PublicKey) (*Message, *evidence.Evidence, error) {
+	return t.p.buildMessage(h, payload, recipientKey)
+}
+
+// CheckInbound runs the generic inbound validation sequence.
+func (t *TTPParty) CheckInbound(m *Message) (*evidence.Header, *evidence.Evidence, error) {
+	return t.p.checkInbound(m)
+}
+
+// RecvTimeout waits the party's response timeout for one message on
+// conn.
+func (t *TTPParty) RecvTimeout(conn transport.Conn) ([]byte, error) {
+	return t.p.pumpFor(conn).recv(t.p.clk, t.p.timeout)
+}
+
+// ResponseTimeout reports the configured peer-response deadline.
+func (t *TTPParty) ResponseTimeout() time.Duration { return t.p.timeout }

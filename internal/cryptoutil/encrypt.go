@@ -1,0 +1,106 @@
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Hybrid public-key encryption.
+//
+// The paper requires evidence to be "encrypted with the recipient's
+// public key" (§4.1). Evidence blobs exceed what RSA can encrypt
+// directly, so we use the standard hybrid construction: a fresh AES-256
+// session key encrypts the payload with CTR mode, an HMAC-SHA256 tag
+// (encrypt-then-MAC, key derived from the session key) authenticates
+// the ciphertext, and RSA-OAEP wraps the session key for the recipient.
+//
+// Ciphertext layout (all lengths big-endian uint32):
+//
+//	| keyLen | RSA-OAEP(sessionKey) | iv (16) | tagLen | tag | payload |
+
+const sessionKeyLen = 32
+
+// Encrypt encrypts plaintext for the holder of pub.
+func Encrypt(pub *rsa.PublicKey, plaintext []byte) ([]byte, error) {
+	session := make([]byte, sessionKeyLen)
+	if _, err := io.ReadFull(rand.Reader, session); err != nil {
+		return nil, fmt.Errorf("cryptoutil: generating session key: %w", err)
+	}
+	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pub, session, []byte("tpnr-evidence"))
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: wrapping session key: %w", err)
+	}
+	block, err := aes.NewCipher(session)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: building AES cipher: %w", err)
+	}
+	iv := make([]byte, aes.BlockSize)
+	if _, err := io.ReadFull(rand.Reader, iv); err != nil {
+		return nil, fmt.Errorf("cryptoutil: generating IV: %w", err)
+	}
+	ct := make([]byte, len(plaintext))
+	cipher.NewCTR(block, iv).XORKeyStream(ct, plaintext)
+
+	mac := HMACSHA256(macKey(session), append(append([]byte(nil), iv...), ct...))
+
+	out := make([]byte, 0, 4+len(wrapped)+len(iv)+4+len(mac)+len(ct))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(wrapped)))
+	out = append(out, wrapped...)
+	out = append(out, iv...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(mac)))
+	out = append(out, mac...)
+	out = append(out, ct...)
+	return out, nil
+}
+
+// Decrypt reverses Encrypt using the recipient's key pair. It fails if
+// the ciphertext was not produced for this key or has been modified.
+func Decrypt(key KeyPair, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < 4 {
+		return nil, fmt.Errorf("cryptoutil: ciphertext too short (%d bytes)", len(ciphertext))
+	}
+	keyLen := binary.BigEndian.Uint32(ciphertext)
+	rest := ciphertext[4:]
+	if uint32(len(rest)) < keyLen {
+		return nil, fmt.Errorf("cryptoutil: truncated wrapped key")
+	}
+	wrapped, rest := rest[:keyLen], rest[keyLen:]
+	if len(rest) < aes.BlockSize+4 {
+		return nil, fmt.Errorf("cryptoutil: truncated IV or tag length")
+	}
+	iv, rest := rest[:aes.BlockSize], rest[aes.BlockSize:]
+	tagLen := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint32(len(rest)) < tagLen {
+		return nil, fmt.Errorf("cryptoutil: truncated tag")
+	}
+	tag, ct := rest[:tagLen], rest[tagLen:]
+
+	session, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, key.Private, wrapped, []byte("tpnr-evidence"))
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: unwrapping session key: %w", err)
+	}
+	if !VerifyHMACSHA256(macKey(session), append(append([]byte(nil), iv...), ct...), tag) {
+		return nil, fmt.Errorf("cryptoutil: ciphertext authentication failed")
+	}
+	block, err := aes.NewCipher(session)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: building AES cipher: %w", err)
+	}
+	pt := make([]byte, len(ct))
+	cipher.NewCTR(block, iv).XORKeyStream(pt, ct)
+	return pt, nil
+}
+
+// macKey derives the authentication key from the session key so the
+// same secret is never reused across primitives.
+func macKey(session []byte) []byte {
+	k := sha256.Sum256(append([]byte("tpnr-mac:"), session...))
+	return k[:]
+}

@@ -1,0 +1,156 @@
+// Package cryptoutil wraps the Go standard library cryptography used by
+// the reproduction: the MD5 checksums that the paper's platforms (AWS,
+// Azure, GAE) exchange, HMAC-SHA256 request authentication (Azure
+// SharedKey), RSA signatures for non-repudiation evidence, and the
+// hybrid public-key encryption that protects evidence confidentiality
+// (paper §4.1: "the sender encrypts the evidence with the recipient's
+// public key").
+//
+// The paper standardizes on MD5 because that is what the 2010 platforms
+// exposed; the evidence layer in this repository carries both MD5 (for
+// fidelity) and SHA-256 (the modern recommendation), and experiment E10
+// quantifies the difference.
+package cryptoutil
+
+import (
+	"crypto/hmac"
+	"crypto/md5"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+)
+
+// HashAlg identifies one of the supported digest algorithms.
+type HashAlg uint8
+
+const (
+	// MD5 is the digest the paper's platforms use for content integrity.
+	MD5 HashAlg = iota + 1
+	// SHA256 is the modern digest carried alongside MD5 in evidence.
+	SHA256
+)
+
+// String returns the conventional lowercase name of the algorithm.
+func (a HashAlg) String() string {
+	switch a {
+	case MD5:
+		return "md5"
+	case SHA256:
+		return "sha256"
+	default:
+		return fmt.Sprintf("hashalg(%d)", uint8(a))
+	}
+}
+
+// Size returns the digest length in bytes.
+func (a HashAlg) Size() int {
+	switch a {
+	case MD5:
+		return md5.Size
+	case SHA256:
+		return sha256.Size
+	default:
+		return 0
+	}
+}
+
+// New returns a fresh hash.Hash for the algorithm.
+func (a HashAlg) New() hash.Hash {
+	switch a {
+	case MD5:
+		return md5.New()
+	case SHA256:
+		return sha256.New()
+	default:
+		panic("cryptoutil: unknown hash algorithm")
+	}
+}
+
+// Valid reports whether a names a supported algorithm.
+func (a HashAlg) Valid() bool { return a == MD5 || a == SHA256 }
+
+// Digest is an algorithm-tagged digest value.
+type Digest struct {
+	Alg HashAlg
+	Sum []byte
+}
+
+// Sum computes the digest of data under alg.
+func Sum(alg HashAlg, data []byte) Digest {
+	h := alg.New()
+	h.Write(data)
+	return Digest{Alg: alg, Sum: h.Sum(nil)}
+}
+
+// SumReader computes the digest of everything readable from r.
+func SumReader(alg HashAlg, r io.Reader) (Digest, int64, error) {
+	h := alg.New()
+	n, err := io.Copy(h, r)
+	if err != nil {
+		return Digest{}, n, fmt.Errorf("cryptoutil: hashing stream: %w", err)
+	}
+	return Digest{Alg: alg, Sum: h.Sum(nil)}, n, nil
+}
+
+// Equal reports whether two digests have the same algorithm and value.
+// The comparison of the sums is constant-time.
+func (d Digest) Equal(o Digest) bool {
+	if d.Alg != o.Alg || len(d.Sum) != len(o.Sum) {
+		return false
+	}
+	return subtle.ConstantTimeCompare(d.Sum, o.Sum) == 1
+}
+
+// Hex returns the digest value in lowercase hexadecimal.
+func (d Digest) Hex() string { return hex.EncodeToString(d.Sum) }
+
+// Base64 returns the digest value in standard base64, the encoding the
+// Azure Content-MD5 header uses (paper Table 1).
+func (d Digest) Base64() string { return base64.StdEncoding.EncodeToString(d.Sum) }
+
+// String renders "alg:hex".
+func (d Digest) String() string { return d.Alg.String() + ":" + d.Hex() }
+
+// IsZero reports whether the digest is unset.
+func (d Digest) IsZero() bool { return d.Alg == 0 && len(d.Sum) == 0 }
+
+// Clone returns a deep copy of the digest.
+func (d Digest) Clone() Digest {
+	return Digest{Alg: d.Alg, Sum: append([]byte(nil), d.Sum...)}
+}
+
+// ParseDigest parses the "alg:hex" form produced by Digest.String.
+func ParseDigest(s string) (Digest, error) {
+	for _, alg := range []HashAlg{MD5, SHA256} {
+		prefix := alg.String() + ":"
+		if len(s) > len(prefix) && s[:len(prefix)] == prefix {
+			sum, err := hex.DecodeString(s[len(prefix):])
+			if err != nil {
+				return Digest{}, fmt.Errorf("cryptoutil: parsing digest %q: %w", s, err)
+			}
+			if len(sum) != alg.Size() {
+				return Digest{}, fmt.Errorf("cryptoutil: digest %q has %d bytes, want %d", s, len(sum), alg.Size())
+			}
+			return Digest{Alg: alg, Sum: sum}, nil
+		}
+	}
+	return Digest{}, fmt.Errorf("cryptoutil: unknown digest format %q", s)
+}
+
+// HMACSHA256 computes the HMAC-SHA256 tag of msg under key, the
+// primitive behind Azure's SharedKey authorization (paper §2.2).
+func HMACSHA256(key, msg []byte) []byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(msg)
+	return m.Sum(nil)
+}
+
+// VerifyHMACSHA256 reports whether tag is the HMAC-SHA256 of msg under
+// key, in constant time.
+func VerifyHMACSHA256(key, msg, tag []byte) bool {
+	return hmac.Equal(HMACSHA256(key, msg), tag)
+}

@@ -1,0 +1,152 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"crypto/md5"
+	"crypto/sha256"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMatchesStdlib(t *testing.T) {
+	data := []byte("cloud storage integrity")
+	if got, want := Sum(MD5, data).Sum, md5.Sum(data); !bytes.Equal(got, want[:]) {
+		t.Errorf("MD5 sum = %x, want %x", got, want)
+	}
+	if got, want := Sum(SHA256, data).Sum, sha256.Sum256(data); !bytes.Equal(got, want[:]) {
+		t.Errorf("SHA256 sum = %x, want %x", got, want)
+	}
+}
+
+func TestSumKnownVectors(t *testing.T) {
+	// RFC 1321 test vector.
+	if got := Sum(MD5, []byte("abc")).Hex(); got != "900150983cd24fb0d6963f7d28e17f72" {
+		t.Errorf("MD5(abc) = %s", got)
+	}
+	// FIPS 180-2 test vector.
+	if got := Sum(SHA256, []byte("abc")).Hex(); got != "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" {
+		t.Errorf("SHA256(abc) = %s", got)
+	}
+}
+
+func TestSumReader(t *testing.T) {
+	data := strings.Repeat("x", 1<<16)
+	d, n, err := SumReader(SHA256, strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) {
+		t.Errorf("read %d bytes, want %d", n, len(data))
+	}
+	if !d.Equal(Sum(SHA256, []byte(data))) {
+		t.Error("stream digest differs from one-shot digest")
+	}
+}
+
+func TestDigestEqual(t *testing.T) {
+	a := Sum(MD5, []byte("a"))
+	b := Sum(MD5, []byte("a"))
+	c := Sum(MD5, []byte("b"))
+	d := Sum(SHA256, []byte("a"))
+	if !a.Equal(b) {
+		t.Error("identical digests not equal")
+	}
+	if a.Equal(c) {
+		t.Error("different digests reported equal")
+	}
+	if a.Equal(d) {
+		t.Error("digests of different algorithms reported equal")
+	}
+}
+
+func TestDigestStringRoundTrip(t *testing.T) {
+	for _, alg := range []HashAlg{MD5, SHA256} {
+		d := Sum(alg, []byte("round trip"))
+		parsed, err := ParseDigest(d.String())
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !parsed.Equal(d) {
+			t.Errorf("%v: parsed %v, want %v", alg, parsed, d)
+		}
+	}
+}
+
+func TestParseDigestRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"md5:",
+		"md5:zz",
+		"md5:abcd", // wrong length
+		"sha1:900150983cd24fb0d6963f7d28e17f72",
+		"sha256:900150983cd24fb0d6963f7d28e17f72", // md5-length sum under sha256
+	} {
+		if _, err := ParseDigest(s); err == nil {
+			t.Errorf("ParseDigest(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestDigestBase64(t *testing.T) {
+	// The Azure Content-MD5 header form (paper Table 1) is base64.
+	d := Sum(MD5, []byte("abc"))
+	if got := d.Base64(); got != "kAFQmDzST7DWlj99KOF/cg==" {
+		t.Errorf("base64 = %q", got)
+	}
+}
+
+func TestDigestClone(t *testing.T) {
+	d := Sum(MD5, []byte("clone"))
+	c := d.Clone()
+	c.Sum[0] ^= 0xff
+	if d.Sum[0] == c.Sum[0] {
+		t.Error("Clone shares backing storage with original")
+	}
+}
+
+func TestHashAlgMetadata(t *testing.T) {
+	if MD5.Size() != 16 || SHA256.Size() != 32 {
+		t.Errorf("sizes: md5=%d sha256=%d", MD5.Size(), SHA256.Size())
+	}
+	if MD5.String() != "md5" || SHA256.String() != "sha256" {
+		t.Errorf("names: %q %q", MD5.String(), SHA256.String())
+	}
+	if !MD5.Valid() || !SHA256.Valid() || HashAlg(0).Valid() || HashAlg(9).Valid() {
+		t.Error("Valid() misclassifies an algorithm")
+	}
+}
+
+func TestHMACSHA256RoundTrip(t *testing.T) {
+	key := []byte("256-bit azure account key....")
+	msg := []byte("PUT\n/jerry/pics/block")
+	tag := HMACSHA256(key, msg)
+	if !VerifyHMACSHA256(key, msg, tag) {
+		t.Fatal("valid HMAC rejected")
+	}
+	if VerifyHMACSHA256(key, append(msg, '!'), tag) {
+		t.Error("HMAC accepted for modified message")
+	}
+	if VerifyHMACSHA256([]byte("other key"), msg, tag) {
+		t.Error("HMAC accepted under wrong key")
+	}
+	tag[0] ^= 1
+	if VerifyHMACSHA256(key, msg, tag) {
+		t.Error("corrupted HMAC accepted")
+	}
+}
+
+func TestDigestEqualQuick(t *testing.T) {
+	// Property: Sum is deterministic, and distinct inputs essentially
+	// never collide for either algorithm.
+	f := func(a, b []byte) bool {
+		da, db := Sum(SHA256, a), Sum(SHA256, b)
+		if bytes.Equal(a, b) {
+			return da.Equal(db)
+		}
+		return !da.Equal(db)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package cryptoutil
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/x509"
+	"fmt"
+	"io"
+)
+
+// DefaultRSABits is the key size used for party identities. 2048 is the
+// contemporary recommendation; tests use smaller keys via GenerateKeyBits
+// to stay fast.
+const DefaultRSABits = 2048
+
+// KeyPair carries a party's RSA private key together with its public
+// half. Identities in this repository (Alice, Bob, the TTP, the CA) are
+// each bound to one KeyPair through the pki package.
+type KeyPair struct {
+	Private *rsa.PrivateKey
+}
+
+// Public returns the public half of the pair.
+func (k KeyPair) Public() *rsa.PublicKey { return &k.Private.PublicKey }
+
+// GenerateKey creates a DefaultRSABits RSA key pair.
+func GenerateKey() (KeyPair, error) { return GenerateKeyBits(DefaultRSABits) }
+
+// GenerateKeyBits creates an RSA key pair of the given modulus size.
+func GenerateKeyBits(bits int) (KeyPair, error) {
+	priv, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return KeyPair{}, fmt.Errorf("cryptoutil: generating %d-bit RSA key: %w", bits, err)
+	}
+	return KeyPair{Private: priv}, nil
+}
+
+// MarshalPublicKey serializes a public key to PKIX DER bytes, the
+// canonical form hashed into certificates and evidence.
+func MarshalPublicKey(pub *rsa.PublicKey) ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: marshaling public key: %w", err)
+	}
+	return der, nil
+}
+
+// ParsePublicKey reverses MarshalPublicKey.
+func ParsePublicKey(der []byte) (*rsa.PublicKey, error) {
+	k, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: parsing public key: %w", err)
+	}
+	pub, ok := k.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("cryptoutil: public key is %T, want *rsa.PublicKey", k)
+	}
+	return pub, nil
+}
+
+// PublicKeyFingerprint returns the SHA-256 digest of the PKIX encoding
+// of pub. Fingerprints name keys in certificates and revocation lists.
+func PublicKeyFingerprint(pub *rsa.PublicKey) (Digest, error) {
+	der, err := MarshalPublicKey(pub)
+	if err != nil {
+		return Digest{}, err
+	}
+	return Sum(SHA256, der), nil
+}
+
+// Nonce returns n cryptographically random bytes. The paper's evidence
+// format includes "a random number ... to prevent replay attacks"
+// (§4.1); NonceSize is the size used there.
+func Nonce(n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rand.Reader, b); err != nil {
+		return nil, fmt.Errorf("cryptoutil: reading %d random bytes: %w", n, err)
+	}
+	return b, nil
+}
+
+// NonceSize is the length of protocol nonces in bytes.
+const NonceSize = 16
+
+// MustNonce returns a NonceSize-byte random nonce, panicking if the
+// system randomness source fails (which is unrecoverable anyway).
+func MustNonce() []byte {
+	b, err := Nonce(NonceSize)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package cryptoutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	key := InsecureTestKey(0)
+	msg := []byte("NRO evidence payload")
+	sig, err := Sign(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(key.Public(), msg, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	key := InsecureTestKey(0)
+	msg := []byte("original")
+	sig, err := Sign(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(key.Public(), []byte("tampered"), sig); err == nil {
+		t.Fatal("signature verified for a different message")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	alice, eve := InsecureTestKey(0), InsecureTestKey(1)
+	msg := []byte("claimed to be from alice")
+	sig, err := Sign(eve, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(alice.Public(), msg, sig); err == nil {
+		t.Fatal("signature by eve verified under alice's key")
+	}
+}
+
+func TestVerifyRejectsCorruptedSignature(t *testing.T) {
+	key := InsecureTestKey(0)
+	msg := []byte("msg")
+	sig, err := Sign(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, len(sig) / 2, len(sig) - 1} {
+		bad := append([]byte(nil), sig...)
+		bad[i] ^= 0x80
+		if err := Verify(key.Public(), msg, bad); err == nil {
+			t.Fatalf("signature with bit flipped at byte %d verified", i)
+		}
+	}
+}
+
+func TestSignVerifyQuick(t *testing.T) {
+	key := InsecureTestKey(0)
+	f := func(msg []byte) bool {
+		sig, err := Sign(key, msg)
+		if err != nil {
+			return false
+		}
+		return Verify(key.Public(), msg, sig) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicKeyRoundTrip(t *testing.T) {
+	key := InsecureTestKey(2)
+	der, err := MarshalPublicKey(key.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ParsePublicKey(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.N.Cmp(key.Public().N) != 0 || pub.E != key.Public().E {
+		t.Fatal("public key round trip changed the key")
+	}
+}
+
+func TestParsePublicKeyRejectsGarbage(t *testing.T) {
+	if _, err := ParsePublicKey([]byte("not der")); err == nil {
+		t.Fatal("garbage DER accepted")
+	}
+}
+
+func TestPublicKeyFingerprintStable(t *testing.T) {
+	key := InsecureTestKey(0)
+	a, err := PublicKeyFingerprint(key.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PublicKeyFingerprint(key.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	other, err := PublicKeyFingerprint(InsecureTestKey(1).Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(other) {
+		t.Fatal("distinct keys share a fingerprint")
+	}
+}
+
+func TestNonceUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 256; i++ {
+		n := MustNonce()
+		if len(n) != NonceSize {
+			t.Fatalf("nonce length %d, want %d", len(n), NonceSize)
+		}
+		if seen[string(n)] {
+			t.Fatal("duplicate nonce")
+		}
+		seen[string(n)] = true
+	}
+}

@@ -1,0 +1,64 @@
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// SymmetricKeyLen is the AES-256 key size used by the traditional NR
+// baseline (the Zhou–Gollmann-style commitment C = E_K(M)).
+const SymmetricKeyLen = 32
+
+// NewSymmetricKey samples a fresh AES-256 key.
+func NewSymmetricKey() ([]byte, error) {
+	k := make([]byte, SymmetricKeyLen)
+	if _, err := io.ReadFull(rand.Reader, k); err != nil {
+		return nil, fmt.Errorf("cryptoutil: generating symmetric key: %w", err)
+	}
+	return k, nil
+}
+
+// SymmetricEncrypt encrypts plaintext under key with AES-CTR and an
+// HMAC-SHA256 tag (encrypt-then-MAC). Layout: iv (16) | tag (32) | ct.
+func SymmetricEncrypt(key, plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: symmetric cipher: %w", err)
+	}
+	iv := make([]byte, aes.BlockSize)
+	if _, err := io.ReadFull(rand.Reader, iv); err != nil {
+		return nil, fmt.Errorf("cryptoutil: generating IV: %w", err)
+	}
+	ct := make([]byte, len(plaintext))
+	cipher.NewCTR(block, iv).XORKeyStream(ct, plaintext)
+	tag := HMACSHA256(macKey(key), append(append([]byte(nil), iv...), ct...))
+	out := make([]byte, 0, len(iv)+len(tag)+len(ct))
+	out = append(out, iv...)
+	out = append(out, tag...)
+	out = append(out, ct...)
+	return out, nil
+}
+
+// SymmetricDecrypt reverses SymmetricEncrypt, failing on any
+// modification.
+func SymmetricDecrypt(key, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < aes.BlockSize+32 {
+		return nil, fmt.Errorf("cryptoutil: symmetric ciphertext too short (%d bytes)", len(ciphertext))
+	}
+	iv := ciphertext[:aes.BlockSize]
+	tag := ciphertext[aes.BlockSize : aes.BlockSize+32]
+	ct := ciphertext[aes.BlockSize+32:]
+	if !VerifyHMACSHA256(macKey(key), append(append([]byte(nil), iv...), ct...), tag) {
+		return nil, fmt.Errorf("cryptoutil: symmetric ciphertext authentication failed")
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: symmetric cipher: %w", err)
+	}
+	pt := make([]byte, len(ct))
+	cipher.NewCTR(block, iv).XORKeyStream(pt, ct)
+	return pt, nil
+}

@@ -1,0 +1,73 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymmetricRoundTrip(t *testing.T) {
+	key, err := NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{0, 1, 16, 17, 4096} {
+		pt := bytes.Repeat([]byte{0x3C}, size)
+		ct, err := SymmetricEncrypt(key, pt)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		got, err := SymmetricDecrypt(key, ct)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("size %d: mismatch", size)
+		}
+	}
+}
+
+func TestSymmetricWrongKey(t *testing.T) {
+	k1, _ := NewSymmetricKey()
+	k2, _ := NewSymmetricKey()
+	ct, err := SymmetricEncrypt(k1, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SymmetricDecrypt(k2, ct); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestSymmetricTamperDetected(t *testing.T) {
+	key, _ := NewSymmetricKey()
+	ct, err := SymmetricEncrypt(key, []byte("authenticated payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 20, len(ct) - 1} {
+		bad := append([]byte(nil), ct...)
+		bad[i] ^= 1
+		if _, err := SymmetricDecrypt(key, bad); err == nil {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+	if _, err := SymmetricDecrypt(key, ct[:10]); err == nil {
+		t.Fatal("truncated ciphertext accepted")
+	}
+}
+
+func TestSymmetricQuick(t *testing.T) {
+	key, _ := NewSymmetricKey()
+	f := func(pt []byte) bool {
+		ct, err := SymmetricEncrypt(key, pt)
+		if err != nil {
+			return false
+		}
+		got, err := SymmetricDecrypt(key, ct)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

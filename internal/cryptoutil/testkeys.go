@@ -1,0 +1,28 @@
+package cryptoutil
+
+import "sync"
+
+// InsecureTestKey returns a cached 1024-bit RSA key pair for the given
+// slot. Key generation dominates test time, so tests and benchmarks
+// across the repository share these cached keys instead of generating
+// fresh 2048-bit identities per test. Never use these outside tests,
+// examples, and experiment harnesses: 1024-bit RSA is undersized for
+// production and the cache makes keys process-global.
+func InsecureTestKey(slot int) KeyPair {
+	testKeyMu.Lock()
+	defer testKeyMu.Unlock()
+	if k, ok := testKeys[slot]; ok {
+		return k
+	}
+	k, err := GenerateKeyBits(1024)
+	if err != nil {
+		panic(err)
+	}
+	testKeys[slot] = k
+	return k
+}
+
+var (
+	testKeyMu sync.Mutex
+	testKeys  = map[int]KeyPair{}
+)

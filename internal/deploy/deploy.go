@@ -1,0 +1,207 @@
+// Package deploy wires complete TPNR deployments — CA, client,
+// provider, TTP, in-memory network, and blob store — for examples,
+// experiments, benchmarks and tests. It removes ~80 lines of identical
+// setup from every harness that needs "an Alice, a Bob and a TTP that
+// can talk".
+package deploy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/metrics"
+	"repro/internal/pki"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/ttp"
+)
+
+// Party names used across the repository's deployments.
+const (
+	ClientName   = "alice"
+	ProviderName = "bob"
+	TTPName      = "ttp"
+)
+
+// Config parameterizes a deployment.
+type Config struct {
+	// Clock drives all parties; nil means the real clock.
+	Clock clock.Clock
+	// ResponseTimeout and MessageLifetime set protocol timing on every
+	// party (zero means the package defaults).
+	ResponseTimeout time.Duration
+	MessageLifetime time.Duration
+	// KeyBits sets identity key size; 0 means cryptoutil.DefaultRSABits.
+	// Tests and benchmarks pass a smaller size or use TestKeys.
+	KeyBits int
+	// TestKeys, when true, uses the process-wide cached insecure test
+	// keys instead of generating fresh ones (fast; never production).
+	TestKeys bool
+	// ProviderStore overrides the provider's blob store (default: a
+	// fresh in-memory store).
+	ProviderStore storage.Store
+}
+
+// Deployment is a fully wired TPNR installation.
+type Deployment struct {
+	CA     *pki.Authority
+	Client *core.Client
+	// Provider is Bob's engine; its listener runs until Close.
+	Provider *core.Provider
+	// TTPServer mediates Resolve; its listener runs until Close.
+	TTPServer *ttp.Server
+	// Net is the in-memory address space: ProviderName and TTPName are
+	// listening.
+	Net *transport.Network
+	// Store is the provider's blob store.
+	Store storage.Store
+	// ClientCounters, ProviderCounters, TTPCounters expose per-party
+	// metrics.
+	ClientCounters, ProviderCounters, TTPCounters *metrics.Counters
+
+	Clock clock.Clock
+
+	listeners []transport.Listener
+}
+
+// New builds and starts a deployment.
+func New(cfg Config) (*Deployment, error) {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real()
+	}
+	keys, err := identityKeys(cfg)
+	if err != nil {
+		return nil, err
+	}
+	caKey, aliceKey, bobKey, ttpKey := keys[0], keys[1], keys[2], keys[3]
+
+	ca := pki.NewAuthority("cloud-ca", caKey)
+	notBefore := clk.Now().Add(-time.Hour)
+	notAfter := clk.Now().Add(10 * 365 * 24 * time.Hour)
+	aliceID, err := pki.NewIdentity(ca, ClientName, aliceKey, notBefore, notAfter)
+	if err != nil {
+		return nil, err
+	}
+	bobID, err := pki.NewIdentity(ca, ProviderName, bobKey, notBefore, notAfter)
+	if err != nil {
+		return nil, err
+	}
+	ttpID, err := pki.NewIdentity(ca, TTPName, ttpKey, notBefore, notAfter)
+	if err != nil {
+		return nil, err
+	}
+
+	dir := core.Directory(ca.Lookup)
+	var cCtr, pCtr, tCtr metrics.Counters
+	opts := func(id *pki.Identity, ctr *metrics.Counters) core.Options {
+		return core.Options{
+			Identity:        id,
+			CAKey:           ca.PublicKey(),
+			Directory:       dir,
+			Clock:           clk,
+			Counters:        ctr,
+			ResponseTimeout: cfg.ResponseTimeout,
+			MessageLifetime: cfg.MessageLifetime,
+		}
+	}
+
+	store := cfg.ProviderStore
+	if store == nil {
+		store = storage.NewMem(clk.Now)
+	}
+	provider, err := core.NewProvider(opts(bobID, &pCtr), store)
+	if err != nil {
+		return nil, err
+	}
+	client, err := core.NewClient(opts(aliceID, &cCtr), ProviderName, TTPName)
+	if err != nil {
+		return nil, err
+	}
+
+	net := transport.NewNetwork()
+	ttpServer, err := ttp.New(opts(ttpID, &tCtr), func(partyID string) (transport.Conn, error) {
+		return net.Dial(partyID)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Deployment{
+		CA:               ca,
+		Client:           client,
+		Provider:         provider,
+		TTPServer:        ttpServer,
+		Net:              net,
+		Store:            store,
+		ClientCounters:   &cCtr,
+		ProviderCounters: &pCtr,
+		TTPCounters:      &tCtr,
+		Clock:            clk,
+	}
+	if err := d.listen(ProviderName, func(c transport.Conn) { provider.Serve(c) }); err != nil {
+		return nil, err
+	}
+	if err := d.listen(TTPName, func(c transport.Conn) { ttpServer.Serve(c) }); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func identityKeys(cfg Config) ([]cryptoutil.KeyPair, error) {
+	if cfg.TestKeys {
+		return []cryptoutil.KeyPair{
+			cryptoutil.InsecureTestKey(100),
+			cryptoutil.InsecureTestKey(101),
+			cryptoutil.InsecureTestKey(102),
+			cryptoutil.InsecureTestKey(103),
+		}, nil
+	}
+	bits := cfg.KeyBits
+	if bits == 0 {
+		bits = cryptoutil.DefaultRSABits
+	}
+	keys := make([]cryptoutil.KeyPair, 4)
+	for i := range keys {
+		k, err := cryptoutil.GenerateKeyBits(bits)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: generating identity key: %w", err)
+		}
+		keys[i] = k
+	}
+	return keys, nil
+}
+
+func (d *Deployment) listen(addr string, serve func(transport.Conn)) error {
+	l, err := d.Net.Listen(addr)
+	if err != nil {
+		return err
+	}
+	d.listeners = append(d.listeners, l)
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go serve(conn)
+		}
+	}()
+	return nil
+}
+
+// DialProvider opens a client connection to Bob.
+func (d *Deployment) DialProvider() (transport.Conn, error) { return d.Net.Dial(ProviderName) }
+
+// DialTTP opens a client connection to the TTP.
+func (d *Deployment) DialTTP() (transport.Conn, error) { return d.Net.Dial(TTPName) }
+
+// Close stops all listeners.
+func (d *Deployment) Close() {
+	for _, l := range d.listeners {
+		l.Close()
+	}
+}

@@ -1,0 +1,96 @@
+package deploy_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/deploy"
+	"repro/internal/storage"
+)
+
+func TestNewStartsWorkingDeployment(t *testing.T) {
+	d, err := deploy.New(deploy.Config{TestKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	conn, err := d.DialProvider()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := d.Client.Upload(conn, "t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Store.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if d.ClientCounters.Snapshot()["msgs_sent"] == 0 {
+		t.Error("client counters not wired")
+	}
+}
+
+func TestCloseStopsListeners(t *testing.T) {
+	d, err := deploy.New(deploy.Config{TestKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := d.DialProvider(); err == nil {
+		t.Error("DialProvider succeeded after Close")
+	}
+	if _, err := d.DialTTP(); err == nil {
+		t.Error("DialTTP succeeded after Close")
+	}
+}
+
+func TestCustomStoreAndClock(t *testing.T) {
+	store := storage.NewMem(nil)
+	clk := clock.Real()
+	d, err := deploy.New(deploy.Config{TestKeys: true, ProviderStore: store, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Store != storage.Store(store) {
+		t.Error("custom store not used")
+	}
+	if d.Clock != clk {
+		t.Error("custom clock not wired")
+	}
+}
+
+func TestCertificatesVerifyAgainstDeploymentCA(t *testing.T) {
+	d, err := deploy.New(deploy.Config{TestKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, name := range []string{deploy.ClientName, deploy.ProviderName, deploy.TTPName} {
+		cert, err := d.CA.Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := d.CA.Verify(cert, time.Now()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFreshKeysDeployment(t *testing.T) {
+	// Non-TestKeys path with small keys: everything still wires up.
+	d, err := deploy.New(deploy.Config{KeyBits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	conn, err := d.DialProvider()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := d.Client.Upload(conn, "t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package evidence
+
+import (
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+// Golden vectors pin the canonical encodings. Signatures cover these
+// bytes, so any accidental format change silently invalidates every
+// archived evidence item — these tests make such a change loud.
+
+// goldenHeader is fully deterministic (fixed nonce, fixed times).
+func goldenHeader() *Header {
+	h := &Header{
+		Kind:        KindNRO,
+		TxnID:       "txn-golden",
+		Seq:         7,
+		Nonce:       []byte{0x01, 0x02, 0x03, 0x04},
+		SenderID:    "alice",
+		RecipientID: "bob",
+		TTPID:       "ttp",
+		Timestamp:   time.Unix(1284372625, 0).UTC(), // 2010-09-13T10:30:25-07:00 in stamps
+		TimeLimit:   time.Unix(1284372925, 0).UTC(),
+		ObjectKey:   "finance/q3.xls",
+		Note:        "golden",
+	}
+	h.DataMD5 = cryptoutil.Sum(cryptoutil.MD5, []byte("golden data"))
+	h.DataSHA256 = cryptoutil.Sum(cryptoutil.SHA256, []byte("golden data"))
+	h.ObjectLen = 11
+	return h
+}
+
+const goldenHeaderHex = "0000000e74706e722d6865616465722d763101" + // magic + kind
+	"0000000a74786e2d676f6c64656e" + // txn
+	"0000000000000007" + // seq
+	"0000000401020304" + // nonce
+	"00000005616c696365" + // alice
+	"00000003626f62" + // bob
+	"00000003747470" + // ttp
+	"11d30218f85c6a00" + // timestamp unixnano
+	"11d3025ed1c12200" + // time limit unixnano
+	"0000000e66696e616e63652f71332e786c73" + // object key
+	"000000000000000b" + // object len
+	"00000006676f6c64656e" + // note
+	"01" + "00000010" + "c89e54219c2bedd792715bfb2c1a515c" + // md5
+	"02" + "00000020" + "032ed9315e5fbd50f631992565035491210718c1da2ea14064a5c87f36ff38ab" // sha256
+
+func TestGoldenHeaderEncoding(t *testing.T) {
+	got := hex.EncodeToString(goldenHeader().Encode())
+	if got != goldenHeaderHex {
+		t.Fatalf("canonical header encoding changed:\n got %s\nwant %s", got, goldenHeaderHex)
+	}
+}
+
+func TestGoldenHeaderDecodes(t *testing.T) {
+	raw, err := hex.DecodeString(goldenHeaderHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := DecodeHeader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TxnID != "txn-golden" || h.Seq != 7 || h.SenderID != "alice" || h.Note != "golden" {
+		t.Fatalf("decoded golden header: %+v", h)
+	}
+	if !h.Timestamp.Equal(time.Unix(1284372625, 0)) {
+		t.Fatalf("timestamp = %v", h.Timestamp)
+	}
+}
+
+func TestGoldenDigestValues(t *testing.T) {
+	// Pin the md5/sha256 of the golden data independently.
+	if got := cryptoutil.Sum(cryptoutil.MD5, []byte("golden data")).Hex(); got != "c89e54219c2bedd792715bfb2c1a515c" {
+		t.Fatalf("md5(golden data) = %s", got)
+	}
+	if got := cryptoutil.Sum(cryptoutil.SHA256, []byte("golden data")).Hex(); got != "032ed9315e5fbd50f631992565035491210718c1da2ea14064a5c87f36ff38ab" {
+		t.Fatalf("sha256(golden data) = %s", got)
+	}
+}

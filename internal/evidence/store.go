@@ -1,0 +1,99 @@
+package evidence
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Role distinguishes which side of a transaction a stored evidence
+// item plays for its holder.
+type Role uint8
+
+// Evidence roles: Own is evidence this party generated (its commitment
+// to the peer); Peer is evidence received from the counterparty (what
+// this party shows an arbitrator).
+const (
+	RoleOwn Role = iota + 1
+	RolePeer
+)
+
+// String names the role.
+func (r Role) String() string {
+	if r == RoleOwn {
+		return "own"
+	}
+	return "peer"
+}
+
+// ErrNoEvidence is returned when a transaction has no stored item.
+var ErrNoEvidence = errors.New("evidence: none stored for transaction")
+
+// Store archives evidence per transaction. The paper requires both
+// parties to retain evidence — "MSU is stored at the user side, and MSP
+// is stored at the service provider side" (§3.1) and the NRO/NRR
+// likewise (§4.1) — so a dispute can be arbitrated long after the
+// session. Safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	items map[string]map[Role][]*Evidence // txn → role → items in arrival order
+}
+
+// NewStore returns an empty evidence archive.
+func NewStore() *Store {
+	return &Store{items: make(map[string]map[Role][]*Evidence)}
+}
+
+// Put archives an evidence item for a transaction.
+func (s *Store) Put(txn string, role Role, ev *Evidence) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.items[txn] == nil {
+		s.items[txn] = make(map[Role][]*Evidence)
+	}
+	s.items[txn][role] = append(s.items[txn][role], ev)
+}
+
+// Get returns the latest evidence of the given role for txn.
+func (s *Store) Get(txn string, role Role) (*Evidence, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	list := s.items[txn][role]
+	if len(list) == 0 {
+		return nil, fmt.Errorf("%w: %s (%s)", ErrNoEvidence, txn, role)
+	}
+	return list[len(list)-1], nil
+}
+
+// All returns every item of the given role for txn, oldest first.
+func (s *Store) All(txn string, role Role) []*Evidence {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Evidence(nil), s.items[txn][role]...)
+}
+
+// ByKind returns the latest item of the given role and header kind.
+func (s *Store) ByKind(txn string, role Role, kind Kind) (*Evidence, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	list := s.items[txn][role]
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].Header.Kind == kind {
+			return list[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s (%s, %s)", ErrNoEvidence, txn, role, kind)
+}
+
+// Transactions lists transaction IDs with stored evidence, sorted.
+func (s *Store) Transactions() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.items))
+	for txn := range s.items {
+		out = append(out, txn)
+	}
+	sort.Strings(out)
+	return out
+}

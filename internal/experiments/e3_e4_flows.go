@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cloudsim/azuresim"
+	"repro/internal/cloudsim/gaesim"
+	"repro/internal/cryptoutil"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// E3 regenerates Fig. 3 — the Azure secure data access procedure:
+// account creation, the 256-bit secret key, the per-request HMAC
+// SHA256 signature, server-side verification, and the Content-MD5
+// integrity check, executed live.
+func E3() (Result, error) {
+	var b strings.Builder
+	svc := azuresim.New(storage.NewMem(nil), func() time.Time { return e1Date })
+
+	steps := metrics.NewTable("Fig. 3 — security data access procedure", "step", "actor", "action", "result")
+	key, err := svc.CreateAccount("jerry")
+	if err != nil {
+		return Result{}, err
+	}
+	steps.AddRow(1, "user", "create account at the Azure portal", "account 'jerry'")
+	steps.AddRow(2, "portal", "return 256-bit secret key", fmt.Sprintf("%d-bit key", len(key)*8))
+
+	client := azuresim.NewClient(svc, "jerry", key)
+	body := []byte("blob contents to protect")
+	putReq, putResp := client.PutBlock("/container/blob", body)
+	steps.AddRow(3, "user", "create HMAC-SHA256 signature for the PUT request", putReq.Authorization[:40]+"…")
+	steps.AddRow(4, "server", "verify HMAC signature; check Content-MD5", fmt.Sprintf("status %d", putResp.Status))
+
+	getReq, getResp := client.GetBlock("/container/blob")
+	steps.AddRow(5, "user", "create HMAC-SHA256 signature for the GET request", getReq.Authorization[:40]+"…")
+	steps.AddRow(6, "server", "verify signature; return blob with stored Content-MD5", fmt.Sprintf("status %d, md5 %s", getResp.Status, getResp.ContentMD5))
+	ok := azuresim.VerifyMD5(getResp)
+	steps.AddRow(7, "user", "check message content integrity against Content-MD5", fmt.Sprintf("match=%v", ok))
+	b.WriteString(steps.String())
+
+	return Result{
+		ID:    "E3",
+		Title: "Fig. 3 — Azure secure data access procedure (account → key → HMAC → MD5 check)",
+		Text:  b.String(),
+	}, nil
+}
+
+// E4 regenerates Fig. 4 — the Google Secure Data Connector work flow,
+// executed live through the tunnel/SDC/resource-rule pipeline,
+// including a rejected unauthorized request.
+func E4() (Result, error) {
+	var b strings.Builder
+
+	src := storage.NewMem(nil)
+	if _, err := src.Put("crm/accounts.csv", []byte("acme,42\nglobex,7"), cryptoutil.Digest{}); err != nil {
+		return Result{}, err
+	}
+	tunnel := gaesim.NewTunnelServer()
+	key := cryptoutil.InsecureTestKey(90)
+	der, err := cryptoutil.MarshalPublicKey(key.Public())
+	if err != nil {
+		return Result{}, err
+	}
+	tunnel.RegisterConsumer("consumer-apps", der)
+	token, err := tunnel.IssueToken()
+	if err != nil {
+		return Result{}, err
+	}
+	agent := gaesim.NewAgent(src, []gaesim.Rule{{ViewerID: "alice", ResourcePrefix: "crm/"}})
+	dep := &gaesim.Deployment{Tunnel: tunnel, Agent: agent}
+
+	req, err := gaesim.BuildSignedRequest(key, "owner-corp", "alice", "inst-1", "app-1", "consumer-apps", token, "crm/accounts.csv")
+	if err != nil {
+		return Result{}, err
+	}
+	data, steps, err := dep.Request(req)
+	if err != nil {
+		return Result{}, err
+	}
+	flow := metrics.NewTable("Fig. 4 — SDC work flow (authorized request)", "hop", "detail")
+	for _, s := range steps {
+		flow.AddRow(s.Hop, s.Detail)
+	}
+	flow.AddRow("result", fmt.Sprintf("%d bytes delivered", len(data)))
+	b.WriteString(flow.String())
+	b.WriteString("\n")
+
+	// A second, unauthorized request shows the resource rules working.
+	req2, err := gaesim.BuildSignedRequest(key, "owner-corp", "mallory", "inst-1", "app-1", "consumer-apps", token, "crm/accounts.csv")
+	if err != nil {
+		return Result{}, err
+	}
+	_, steps2, rerr := dep.Request(req2)
+	denied := metrics.NewTable("Fig. 4 — SDC work flow (unauthorized viewer)", "hop", "detail")
+	for _, s := range steps2 {
+		denied.AddRow(s.Hop, s.Detail)
+	}
+	denied.AddRow("result", fmt.Sprintf("rejected: %v", rerr))
+	b.WriteString(denied.String())
+
+	return Result{
+		ID:    "E4",
+		Title: "Fig. 4 — Google Secure Data Connector work flow with signed requests",
+		Text:  b.String(),
+	}, nil
+}

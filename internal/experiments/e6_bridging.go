@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/bridging"
+	"repro/internal/cryptoutil"
+	"repro/internal/metrics"
+	"repro/internal/pki"
+	"repro/internal/storage"
+)
+
+// e6Solutions lists the §3 schemes in paper order.
+var e6Solutions = []bridging.Solution{
+	bridging.S1NoTACNoSKS, bridging.S2SKSOnly, bridging.S3TACOnly, bridging.S4TACAndSKS,
+}
+
+func e6Bridge(sol bridging.Solution) (*bridging.Bridge, error) {
+	ca := pki.NewAuthority("e6-ca", cryptoutil.InsecureTestKey(92))
+	now := time.Now()
+	mk := func(name string, slot int) (*pki.Identity, error) {
+		return pki.NewIdentity(ca, name, cryptoutil.InsecureTestKey(slot), now.Add(-time.Hour), now.Add(24*time.Hour))
+	}
+	user, err := mk("user", 93)
+	if err != nil {
+		return nil, err
+	}
+	provider, err := mk("provider", 94)
+	if err != nil {
+		return nil, err
+	}
+	tac, err := mk("tac", 95)
+	if err != nil {
+		return nil, err
+	}
+	return bridging.New(sol, user, provider, tac, ca.Lookup, storage.NewMem(nil))
+}
+
+// E6 compares the four §3 bridging solutions: upload message cost, and
+// dispute power under three scenarios — provider tampering (digest
+// fixed), user blackmail (false claim), and a malicious user
+// corrupting their own secret share before the dispute.
+func E6() (Result, error) {
+	var b strings.Builder
+
+	cost := metrics.NewTable("§3 solutions — infrastructure and message cost",
+		"solution", "TAC", "SKS", "upload msgs", "dispute msgs (tamper case)")
+	verdicts := metrics.NewTable("§3 solutions — dispute outcomes",
+		"solution", "provider tamper: user proven", "blackmail: provider proven", "corrupted share: agreed MD5 recovered")
+
+	for _, sol := range e6Solutions {
+		// Scenario A: provider tampers (careful insider).
+		bA, err := e6Bridge(sol)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := bA.Upload("doc", []byte("original")); err != nil {
+			return Result{}, err
+		}
+		uploadMsgs := bA.Msgs.Upload
+		if err := bA.Store().(storage.Tamperer).Tamper("doc", true, func([]byte) []byte { return []byte("tampered") }); err != nil {
+			return Result{}, err
+		}
+		outA, err := bA.Dispute("doc")
+		if err != nil {
+			return Result{}, err
+		}
+		disputeMsgs := bA.Msgs.Dispute
+
+		// Scenario B: blackmail (data intact, user claims loss).
+		bB, err := e6Bridge(sol)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := bB.Upload("doc", []byte("original")); err != nil {
+			return Result{}, err
+		}
+		outB, err := bB.Dispute("doc")
+		if err != nil {
+			return Result{}, err
+		}
+
+		// Scenario C: malicious user corrupts their own share (SKS
+		// solutions only; trivially "recovered" for signature schemes).
+		recovered := true
+		if sol.UsesSKS() {
+			bC, err := e6Bridge(sol)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := bC.Upload("doc", []byte("original")); err != nil {
+				return Result{}, err
+			}
+			if err := bC.CorruptUserShare("doc"); err != nil {
+				return Result{}, err
+			}
+			outC, err := bC.Dispute("doc")
+			if err != nil {
+				return Result{}, err
+			}
+			recovered = outC.AgreedMD5Recovered
+		}
+
+		cost.AddRow(sol.String(), sol.UsesTAC(), sol.UsesSKS(), uploadMsgs, disputeMsgs)
+		verdicts.AddRow(sol.String(), outA.UserProven, outB.ProviderProven, recovered)
+	}
+	b.WriteString(cost.String())
+	b.WriteString("\n")
+	b.WriteString(verdicts.String())
+	b.WriteString(`
+Reading: all four solutions bridge the upload-to-download gap (both
+dispute columns true), at increasing message cost. S2's weakness shows
+in the last column: without a TAC, a corrupted share destroys the
+agreed MD5; S4's third share at the TAC survives it. The paper's §6
+notes it "cannot tell which is the most suitable"; the costs here are
+the trade-off it defers.
+`)
+
+	return Result{
+		ID:    "E6",
+		Title: "§3 — the four bridging solutions: cost and dispute power",
+		Text:  b.String(),
+	}, nil
+}

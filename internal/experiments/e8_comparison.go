@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/deploy"
+	"repro/internal/metrics"
+	"repro/internal/pki"
+	"repro/internal/session"
+	"repro/internal/storage"
+	"repro/internal/traditional"
+)
+
+// E8 quantifies the §4.4 claim: "in the Normal and Abort models, it
+// takes Alice and Bob merely two steps without TTP to exchange
+// messages and non-repudiation evidence directly. In contrast, the
+// same operation takes four steps in the traditional non-repudiation
+// protocol."
+//
+// Three tables: (1) per-transaction message/crypto cost for TPNR vs
+// the Zhou–Gollmann-style baseline, (2) latency under simulated RTTs,
+// and (3) the crossover analysis — how TPNR's advantage erodes as the
+// fraction of transactions needing Resolve grows.
+func E8() (Result, error) {
+	var b strings.Builder
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	// --- Table 1: per-transaction cost. ---
+	tpnrClient, tpnrTTP, err := runTPNROnce(payload)
+	if err != nil {
+		return Result{}, err
+	}
+	tradClient, tradTTP, err := runTraditionalOnce(payload)
+	if err != nil {
+		return Result{}, err
+	}
+	cost := metrics.NewTable("§4.4 — per-transaction cost (64 KiB upload)",
+		"protocol", "main steps", "client msgs sent", "ttp msgs", "sign ops (client)", "verify ops (client)")
+	cost.AddRow("TPNR (Normal)", 2,
+		tpnrClient.Get(metrics.MsgsSent), tpnrClient.Get(metrics.TTPMsgs)+tpnrTTP.Get(metrics.MsgsRecv),
+		tpnrClient.Get(metrics.SignOps), tpnrClient.Get(metrics.VerifyOps))
+	cost.AddRow("traditional NR (ZG-style)", 4,
+		tradClient.Get(metrics.MsgsSent), tradClient.Get(metrics.TTPMsgs)+tradTTP.Get(metrics.TTPMsgs),
+		tradClient.Get(metrics.SignOps), tradClient.Get(metrics.VerifyOps))
+	b.WriteString(cost.String())
+	b.WriteString("\n")
+
+	// --- Table 2: latency vs simulated RTT. Message count dominates
+	// when RTT does: TPNR pays 1 RTT, traditional pays 3 (commit,
+	// submit, fetch — B's fetch overlaps). We compute from counted
+	// round trips rather than sleeping.
+	lat := metrics.NewTable("latency model — round trips × RTT",
+		"RTT", "TPNR (1 round trip)", "traditional (3 round trips)", "ratio")
+	for _, rtt := range []time.Duration{time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond} {
+		tp := 1 * rtt
+		tr := 3 * rtt
+		lat.AddRow(rtt, tp, tr, fmt.Sprintf("%.1f×", float64(tr)/float64(tp)))
+	}
+	b.WriteString(lat.String())
+	b.WriteString("\n")
+
+	// --- Table 3: crossover vs Resolve rate. A Resolve costs Alice→TTP,
+	// TTP→Bob, Bob→TTP, TTP→Alice = 4 extra messages. Traditional
+	// always pays its TTP messages. Expected messages per transaction:
+	// TPNR: 2 + r·4; traditional: 6 (4 steps + A's fetch round trip).
+	cross := metrics.NewTable("crossover — expected messages vs Resolve rate",
+		"resolve rate", "TPNR expected msgs", "traditional msgs", "TPNR cheaper")
+	for _, r := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0} {
+		tp := 2 + r*4
+		tr := 6.0
+		cross.AddRow(fmt.Sprintf("%.0f%%", r*100), tp, tr, tp < tr)
+	}
+	b.WriteString(cross.String())
+	b.WriteString(`
+Reading: TPNR completes in 2 messages with zero TTP involvement in the
+common case; the traditional protocol pays 4 main steps plus mandatory
+TTP work on every transaction. Even at a 100% Resolve rate TPNR's
+message count (6) only MATCHES the traditional baseline — it never
+exceeds it — confirming the off-line-TTP design choice for clouds
+where most transactions complete honestly.
+`)
+
+	return Result{
+		ID:    "E8",
+		Title: "§4.4 — TPNR vs traditional four-step NR: steps, messages, TTP load, latency",
+		Text:  b.String(),
+	}, nil
+}
+
+// runTPNROnce executes one Normal-mode upload and returns client and
+// TTP counters.
+func runTPNROnce(payload []byte) (*metrics.Counters, *metrics.Counters, error) {
+	d, err := deploy.New(deploy.Config{TestKeys: true, ResponseTimeout: 10 * time.Second})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer d.Close()
+	conn, err := d.DialProvider()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer conn.Close()
+	if _, err := d.Client.Upload(conn, session.NewTransactionID(), "bench/obj", payload); err != nil {
+		return nil, nil, err
+	}
+	return d.ClientCounters, d.TTPCounters, nil
+}
+
+// runTraditionalOnce executes one Zhou–Gollmann-style run and returns
+// client and TTP counters.
+func runTraditionalOnce(payload []byte) (*metrics.Counters, *metrics.Counters, error) {
+	ca := pki.NewAuthority("e8-ca", cryptoutil.InsecureTestKey(96))
+	now := time.Now()
+	mk := func(name string, slot int) (*pki.Identity, error) {
+		return pki.NewIdentity(ca, name, cryptoutil.InsecureTestKey(slot), now.Add(-time.Hour), now.Add(24*time.Hour))
+	}
+	a, err := mk("alice", 97)
+	if err != nil {
+		return nil, nil, err
+	}
+	bID, err := mk("bob", 98)
+	if err != nil {
+		return nil, nil, err
+	}
+	tID, err := mk("ttp", 99)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cCtr, tCtr metrics.Counters
+	client := traditional.NewClient(a, ca.Lookup, &cCtr)
+	provider := traditional.NewProvider(bID, ca.Lookup, storage.NewMem(nil), &metrics.Counters{})
+	ttp := traditional.NewTTP(tID, ca.Lookup, &tCtr)
+	if _, err := client.Upload("L-e8", "bench/obj", payload, provider, ttp); err != nil {
+		return nil, nil, err
+	}
+	return &cCtr, &tCtr, nil
+}

@@ -1,0 +1,79 @@
+// Package experiments regenerates every table and figure of the paper
+// as an executable artifact (the E1–E10 index in DESIGN.md):
+//
+//	E1  Table 1    Azure REST requests with SharedKey + Content-MD5
+//	E2  Fig. 2     AWS import/export flow + shipping-dominance table
+//	E3  Fig. 3     Azure secure data access procedure
+//	E4  Fig. 4     Google SDC work flow
+//	E5  Fig. 5     the upload-to-download integrity gap, on all three sims
+//	E6  §3         the four bridging solutions compared
+//	E7  Fig. 6     TPNR Normal / Abort / Resolve / Disputation transcripts
+//	E8  §4.4       TPNR vs traditional NR step comparison
+//	E9  §5         attack robustness matrix
+//	E10 §6         performance study the paper defers to future work
+//
+// Each experiment returns a Result with rendered text; cmd/experiments
+// prints them and EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import "fmt"
+
+// Result is one regenerated artifact.
+type Result struct {
+	// ID is the experiment identifier ("E1"…"E10").
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Text is the rendered transcript/table output.
+	Text string
+}
+
+// Runner produces one experiment.
+type Runner func() (Result, error)
+
+// All runs every paper experiment (E1–E10) followed by the extension
+// experiments (X1–X2).
+func All() ([]Result, error) {
+	runners := []Runner{E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, X1, X2}
+	out := make([]Result, 0, len(runners))
+	for _, r := range runners {
+		res, err := r()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ByID returns the runner for an experiment ID, or nil.
+func ByID(id string) Runner {
+	switch id {
+	case "E1":
+		return E1
+	case "E2":
+		return E2
+	case "E3":
+		return E3
+	case "E4":
+		return E4
+	case "E5":
+		return E5
+	case "E6":
+		return E6
+	case "E7":
+		return E7
+	case "E8":
+		return E8
+	case "E9":
+		return E9
+	case "E10":
+		return E10
+	case "X1":
+		return X1
+	case "X2":
+		return X2
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The tests here assert the SHAPES the DESIGN.md experiment index
+// commits to — who wins, what is detected, what is involved — not
+// absolute numbers.
+
+func TestE1Shape(t *testing.T) {
+	res, err := E1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"PUT http://jerry.blob.core.windows.net",
+		"GET http://jerry.blob.core.windows.net",
+		"Content-MD5",
+		"Authorization: SharedKey jerry:",
+		"x-ms-version: 2009-09-19",
+		"correctly signed PUT",
+	} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("E1 missing %q", want)
+		}
+	}
+	// Every forged/tampered variant must be rejected (status >= 400 →
+	// accepted column false).
+	for _, line := range strings.Split(res.Text, "\n") {
+		if strings.Contains(line, "wrong account key") || strings.Contains(line, "altered after signing") ||
+			strings.Contains(line, "does not match the body") || strings.Contains(line, "in the past") {
+			if !strings.Contains(line, "false") {
+				t.Errorf("E1 validation row should be rejected: %q", line)
+			}
+		}
+		if strings.Contains(line, "correctly signed") && !strings.Contains(line, "true") {
+			t.Errorf("E1 valid row should be accepted: %q", line)
+		}
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	res, err := E2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"import job JOB-2010-06: status COMPLETE",
+		"e-mailed AWS Import Log",
+		"Fig. 2 flow timeline",
+		"shipping vs protocol time",
+		"sign manifest; e-mail signed manifest to Amazon",
+	} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("E2 missing %q", want)
+		}
+	}
+	// Shipping dominance: the protocol share must be far below 1%.
+	if !strings.Contains(res.Text, "0.000") {
+		t.Error("E2 protocol share should be a vanishing percentage")
+	}
+}
+
+func TestE3E4Shapes(t *testing.T) {
+	r3, err := E3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"256-bit key", "HMAC-SHA256 signature", "match=true"} {
+		if !strings.Contains(r3.Text, want) {
+			t.Errorf("E3 missing %q", want)
+		}
+	}
+	r4, err := E4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"user→apps", "tunnel", "resource rules", "bytes delivered", "rejected"} {
+		if !strings.Contains(r4.Text, want) {
+			t.Errorf("E4 missing %q", want)
+		}
+	}
+}
+
+// TestE5Shape pins the headline result: all three platforms fail to
+// detect the careful insider, AWS fails to detect even the sloppy one,
+// no platform attributes fault — and TPNR detects and attributes.
+func TestE5Shape(t *testing.T) {
+	res, err := E5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(res.Text, "\n")
+	row := func(prefix string) string {
+		for _, l := range lines {
+			if strings.HasPrefix(strings.TrimSpace(l), prefix) {
+				return l
+			}
+		}
+		t.Fatalf("E5 missing row %q", prefix)
+		return ""
+	}
+	azure := row("Azure")
+	if !strings.Contains(azure, "true") || strings.Count(azure, "false") != 2 {
+		t.Errorf("Azure row: sloppy detected, careful+attribution not: %q", azure)
+	}
+	aws := row("AWS")
+	if strings.Count(aws, "false") != 3 {
+		t.Errorf("AWS row should detect nothing (recomputed MD5): %q", aws)
+	}
+	gae := row("GAE")
+	if strings.Count(gae, "false") != 3 {
+		t.Errorf("GAE row should detect nothing: %q", gae)
+	}
+	tpnr := row("TPNR")
+	if strings.Count(tpnr, "true") != 3 {
+		t.Errorf("TPNR row should detect both and attribute: %q", tpnr)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	res, err := E6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"S1", "S2", "S3", "S4", "upload msgs", "dispute outcomes"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("E6 missing %q", want)
+		}
+	}
+	// The S2 corrupted-share weakness must appear as a lone false in
+	// the recovered column.
+	var s2 string
+	for _, l := range strings.Split(res.Text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(l), "S2") && strings.Contains(l, "true") && strings.Contains(l, "false") {
+			s2 = l
+		}
+	}
+	if s2 == "" {
+		t.Error("E6: S2's corrupted-share failure row not found")
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	res, err := E7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Normal mode (off-line TTP)",
+		"Abort mode (off-line TTP)",
+		"Resolve mode (in-line TTP)",
+		"Disputation",
+		"VERDICT: provider-at-fault",
+		"TTP messages: 0",
+	} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("E7 missing %q", want)
+		}
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	res, err := E8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TPNR (Normal)", "traditional NR", "crossover", "3.0×"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("E8 missing %q", want)
+		}
+	}
+	// The TPNR row must show 2 main steps and 0 TTP messages; the
+	// traditional row must show TTP involvement.
+	for _, l := range strings.Split(res.Text, "\n") {
+		trimmed := strings.TrimSpace(l)
+		if strings.HasPrefix(trimmed, "TPNR (Normal)") {
+			fields := strings.Fields(l)
+			// protocol name occupies two fields ("TPNR" "(Normal)").
+			if fields[2] != "2" {
+				t.Errorf("TPNR main steps = %s, want 2: %q", fields[2], l)
+			}
+		}
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	res, err := E9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, atk := range []string{"man-in-the-middle", "reflection", "interleaving", "replay", "timeliness"} {
+		found := false
+		for _, l := range strings.Split(res.Text, "\n") {
+			if strings.HasPrefix(strings.TrimSpace(l), atk) {
+				found = true
+				if !strings.Contains(l, "prevented") || !strings.Contains(l, "SUCCEEDED") {
+					t.Errorf("E9 %s row should be prevented-vs-SUCCEEDED: %q", atk, l)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("E9 missing attack %s", atk)
+		}
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	res, err := E10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"upload wall time", "primitive costs", "digest ablation", "replay window", "1 KiB", "4 MiB"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("E10 missing %q", want)
+		}
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	results, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("All produced %d results", len(results))
+	}
+	for i, r := range results {
+		if r.ID == "" || r.Title == "" || r.Text == "" {
+			t.Errorf("result %d incomplete: %+v", i, r.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "X1", "X2"} {
+		if ByID(id) == nil {
+			t.Errorf("ByID(%s) = nil", id)
+		}
+	}
+	if ByID("E99") != nil {
+		t.Error("ByID(E99) should be nil")
+	}
+}
+
+func TestX1Shape(t *testing.T) {
+	res, err := X1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mixed workload", "tampers detected", "false claims exposed", "0%"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("X1 missing %q", want)
+		}
+	}
+}
+
+func TestX2Shape(t *testing.T) {
+	res, err := X2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"whole-object", "chunked (16 KiB)", "chunked (4 KiB)", "chunks [0]"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("X2 missing %q", want)
+		}
+	}
+}

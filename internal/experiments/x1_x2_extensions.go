@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bigobject"
+	"repro/internal/deploy"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// X1 is an extension experiment beyond the paper's figures: a
+// population-level workload study. The paper argues its guarantees per
+// scenario; X1 runs mixed workloads at increasing incident rates and
+// checks the guarantees hold as rates, not anecdotes — detection,
+// attribution and blackmail exposure must all be 100%.
+func X1() (Result, error) {
+	var b strings.Builder
+	tb := newExtTable()
+	for i, tc := range []struct {
+		tamper, claim float64
+	}{
+		{0, 0},
+		{0.1, 0.1},
+		{0.3, 0.2},
+		{0.6, 0.3},
+	} {
+		s, err := workload.Run(workload.Params{
+			Objects:        30,
+			MinSize:        64,
+			MaxSize:        512,
+			TamperRate:     tc.tamper,
+			FalseClaimRate: tc.claim,
+			Seed:           int64(100 + i),
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		tb.AddRow(
+			fmt.Sprintf("%.0f%% / %.0f%%", tc.tamper*100, tc.claim*100),
+			s.Uploads,
+			fmt.Sprintf("%d/%d", s.TampersDetected, s.TampersInjected),
+			fmt.Sprintf("%d/%d", s.TampersAttributed, s.TampersInjected),
+			fmt.Sprintf("%d/%d", s.FalseClaimsExposed, s.FalseClaims),
+			s.TTPMsgs,
+		)
+		if s.TampersDetected != s.TampersInjected || s.TampersAttributed != s.TampersInjected ||
+			s.FalseClaimsExposed != s.FalseClaims {
+			return Result{}, fmt.Errorf("experiments: X1 guarantee broken at rates %+v: %+v", tc, s)
+		}
+	}
+	b.WriteString(tb.String())
+	b.WriteString(`
+Reading: detection, attribution and blackmail exposure stay at 100%
+regardless of the incident rate, and the TTP stays idle (0 messages) —
+the guarantees are properties of the evidence, not of luck.
+`)
+	return Result{
+		ID:    "X1",
+		Title: "extension — population workload study: incident rates vs guarantees",
+		Text:  b.String(),
+	}, nil
+}
+
+func newExtTable() *metrics.Table {
+	return metrics.NewTable("X1 — mixed workload (30 objects per row)",
+		"tamper/claim rate", "objects", "tampers detected", "tampers attributed", "false claims exposed", "ttp msgs")
+}
+
+// X2 ablates the chunked-object extension: whole-object evidence
+// detects tampering but cannot localize it; Merkle-manifest chunking
+// names the exact chunks, at the cost of per-chunk transactions.
+func X2() (Result, error) {
+	var b strings.Builder
+	tb := metrics.NewTable("X2 — whole-object vs chunked detection (64 KiB object, 1 chunk tampered)",
+		"mode", "upload txns", "tamper detected", "localized to", "recoverable bytes")
+
+	const size = 64 << 10
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+
+	// Whole-object mode.
+	{
+		d, err := deploy.New(deploy.Config{TestKeys: true, ResponseTimeout: 10 * time.Second})
+		if err != nil {
+			return Result{}, err
+		}
+		conn, err := d.DialProvider()
+		if err != nil {
+			d.Close()
+			return Result{}, err
+		}
+		if _, err := d.Client.Upload(conn, "x2-whole", "obj", data); err != nil {
+			conn.Close()
+			d.Close()
+			return Result{}, err
+		}
+		tam := d.Store.(storage.Tamperer)
+		tam.Tamper("obj", true, func(b []byte) []byte { b[1000] ^= 0xFF; return b })
+		_, derr := d.Client.Download(conn, "x2-whole-dl", "obj", "x2-whole")
+		detected := derr != nil
+		tb.AddRow("whole-object", 1, detected, "entire object", 0)
+		conn.Close()
+		d.Close()
+	}
+
+	// Chunked modes at two chunk sizes.
+	for _, chunkSize := range []int{16 << 10, 4 << 10} {
+		d, err := deploy.New(deploy.Config{TestKeys: true, ResponseTimeout: 10 * time.Second})
+		if err != nil {
+			return Result{}, err
+		}
+		conn, err := d.DialProvider()
+		if err != nil {
+			d.Close()
+			return Result{}, err
+		}
+		up, err := bigobject.Upload(d.Client, conn, "x2", "obj", data, chunkSize)
+		if err != nil {
+			conn.Close()
+			d.Close()
+			return Result{}, err
+		}
+		tam := d.Store.(storage.Tamperer)
+		tam.Tamper(bigobject.ChunkKey("obj", 0), true, func(b []byte) []byte { b[10] ^= 0xFF; return b })
+		down, derr := bigobject.Download(d.Client, conn, "x2-dl", "obj", up.ManifestTxn)
+		detected := errors.Is(derr, bigobject.ErrTampered)
+		recovered := size - chunkSize
+		tb.AddRow(
+			fmt.Sprintf("chunked (%d KiB)", chunkSize>>10),
+			1+len(up.ChunkTxns),
+			detected,
+			fmt.Sprintf("chunks %v", down.BadChunks),
+			recovered,
+		)
+		conn.Close()
+		d.Close()
+	}
+	b.WriteString(tb.String())
+	b.WriteString(`
+Reading: whole-object evidence answers "was it tampered?" but loses the
+entire object; chunking answers "WHICH bytes?", recovering everything
+outside the bad chunks, at the cost of one TPNR transaction per chunk.
+Smaller chunks localize tighter and recover more, but multiply the
+fixed RSA cost — the operator's knob.
+`)
+	return Result{
+		ID:    "X2",
+		Title: "extension — Merkle-chunked objects: tamper localization vs transaction cost",
+		Text:  b.String(),
+	}, nil
+}

@@ -1,0 +1,240 @@
+package integration
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildCLIs compiles the command binaries once per test process.
+var (
+	cliOnce sync.Once
+	cliDir  string
+	cliErr  error
+)
+
+func cliBinaries(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	cliOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "tpnr-cli-*")
+		if err != nil {
+			cliErr = err
+			return
+		}
+		cliDir = dir
+		cmd := exec.Command("go", "build", "-o", dir, "./cmd/...")
+		cmd.Dir = moduleRoot()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			cliErr = err
+			t.Logf("go build output:\n%s", out)
+		}
+	})
+	if cliErr != nil {
+		t.Fatalf("building CLIs: %v", cliErr)
+	}
+	return cliDir
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "."
+		}
+		dir = parent
+	}
+}
+
+// run executes a binary and returns combined output; exit status is
+// checked against wantOK.
+func run(t *testing.T, wantOK bool, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if (err == nil) != wantOK {
+		t.Fatalf("%s %s: err=%v, wantOK=%v\noutput:\n%s", filepath.Base(bin), strings.Join(args, " "), err, wantOK, out)
+	}
+	return string(out)
+}
+
+// TestCLIFullLifecycle drives the binaries exactly as README documents:
+// pkitool init → nrserver + ttpd → upload → download → insider tamper
+// → failed download (exit 3) → arbiterd verdict → resolve.
+func TestCLIFullLifecycle(t *testing.T) {
+	bins := cliBinaries(t)
+	work := t.TempDir()
+	state := filepath.Join(work, "state")
+	blobs := filepath.Join(work, "blobs")
+
+	out := run(t, true, filepath.Join(bins, "pkitool"), "init", "-state", state, "-bits", "1024")
+	if !strings.Contains(out, "initialized") {
+		t.Fatalf("pkitool: %s", out)
+	}
+
+	// Start daemons on dynamic-ish ports (fixed high ports per test
+	// run; loopback).
+	provAddr := "127.0.0.1:29751"
+	ttpAddr := "127.0.0.1:29752"
+	server := exec.Command(filepath.Join(bins, "nrserver"), "-state", state, "-listen", provAddr, "-store", blobs)
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Process.Kill(); server.Wait() })
+	ttpd := exec.Command(filepath.Join(bins, "ttpd"), "-state", state, "-listen", ttpAddr, "-peer", "bob="+provAddr)
+	if err := ttpd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ttpd.Process.Kill(); ttpd.Wait() })
+	time.Sleep(400 * time.Millisecond) // daemels bind
+
+	// Upload.
+	payload := filepath.Join(work, "report.txt")
+	if err := os.WriteFile(payload, []byte("quarterly totals: 1000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run(t, true, filepath.Join(bins, "nrclient"), "upload",
+		"-state", state, "-server", provAddr, "-txn", "t1", "-key", "docs/report", "-file", payload)
+	if !strings.Contains(out, "evidence archived") {
+		t.Fatalf("upload: %s", out)
+	}
+
+	// Clean download.
+	got := filepath.Join(work, "got.txt")
+	out = run(t, true, filepath.Join(bins, "nrclient"), "download",
+		"-state", state, "-server", provAddr, "-txn", "t2", "-key", "docs/report", "-upload-txn", "t1", "-out", got)
+	if !strings.Contains(out, "integrity verified against upload: true") {
+		t.Fatalf("download: %s", out)
+	}
+	gotData, err := os.ReadFile(got)
+	if err != nil || string(gotData) != "quarterly totals: 1000\n" {
+		t.Fatalf("downloaded %q, %v", gotData, err)
+	}
+
+	// Insider tamper: rewrite blob + fix metadata MD5 (the E5 move),
+	// directly against the server's disk store.
+	tamperDiskStore(t, blobs, "1000", "9999")
+
+	// Download now fails with exit status 3.
+	cmd := exec.Command(filepath.Join(bins, "nrclient"), "download",
+		"-state", state, "-server", provAddr, "-txn", "t3", "-key", "docs/report", "-upload-txn", "t1")
+	outB, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("tampered download succeeded:\n%s", outB)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 3 {
+		t.Fatalf("tampered download exit: %v\n%s", err, outB)
+	}
+	if !strings.Contains(string(outB), "INTEGRITY FAILURE") {
+		t.Fatalf("tampered download output:\n%s", outB)
+	}
+
+	// Arbitrate: provider produces the (tampered) blob.
+	blobFile := findBlobFile(t, blobs)
+	out = run(t, true, filepath.Join(bins, "arbiterd"),
+		"-state", state, "-txn", "t1", "-key", "docs/report", "-produced", blobFile)
+	if !strings.Contains(out, "VERDICT: provider-at-fault") {
+		t.Fatalf("arbiterd: %s", out)
+	}
+
+	// Resolve (re-obtains the NRR through the TTP).
+	out = run(t, true, filepath.Join(bins, "nrclient"), "resolve",
+		"-state", state, "-ttp", ttpAddr, "-txn", "t1", "-report", "cli integration")
+	if !strings.Contains(out, "resolve outcome: continue") {
+		t.Fatalf("resolve: %s", out)
+	}
+
+	// pkitool show lists the archived evidence.
+	out = run(t, true, filepath.Join(bins, "pkitool"), "show", "-state", state)
+	for _, want := range []string{"alice", "bob", "ttp", "t1.own.NRO.json", "t1.peer.NRR.json"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pkitool show missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// tamperDiskStore performs the careful-insider rewrite against the
+// nrserver's on-disk store: mutate the blob, recompute the sidecar MD5.
+func tamperDiskStore(t *testing.T, blobDir, old, new string) {
+	t.Helper()
+	entries, err := os.ReadDir(blobDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".blob") {
+			continue
+		}
+		blobPath := filepath.Join(blobDir, e.Name())
+		data, err := os.ReadFile(blobPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutated := strings.Replace(string(data), old, new, 1)
+		if mutated == string(data) {
+			continue
+		}
+		if err := os.WriteFile(blobPath, []byte(mutated), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Fix the metadata sidecar like a careful insider.
+		metaPath := strings.TrimSuffix(blobPath, ".blob") + ".meta"
+		meta, err := os.ReadFile(metaPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := md5hex([]byte(mutated))
+		// The sidecar is JSON {"md5_hex":"..."}; replace the digest.
+		start := strings.Index(string(meta), `"md5_hex":"`)
+		if start < 0 {
+			t.Fatal("no md5_hex in sidecar")
+		}
+		start += len(`"md5_hex":"`)
+		end := strings.Index(string(meta)[start:], `"`)
+		patched := string(meta)[:start] + sum + string(meta)[start+end:]
+		if err := os.WriteFile(metaPath, []byte(patched), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatal("no blob contained the pattern")
+}
+
+func findBlobFile(t *testing.T, blobDir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(blobDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".blob") {
+			return filepath.Join(blobDir, e.Name())
+		}
+	}
+	t.Fatal("no blob file found")
+	return ""
+}
+
+// md5hex is a tiny local helper (kept here to avoid importing the
+// whole cryptoutil package into a test that models an EXTERNAL
+// attacker who has no access to our libraries).
+func md5hex(b []byte) string {
+	sum := md5.Sum(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,247 @@
+// Package integration runs whole-system tests: the TPNR deployment
+// over real TCP sockets, and the command-line binaries driven end to
+// end exactly as an operator would.
+package integration
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/keystore"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/ttp"
+)
+
+// tcpWorld wires client, provider and TTP over real TCP listeners on
+// loopback, sharing a PKI from a keystore directory (the same material
+// the CLIs use).
+type tcpWorld struct {
+	client   *core.Client
+	provider *core.Provider
+	ttpAddr  string
+	provAddr string
+	store    *storage.Mem
+}
+
+func newTCPWorld(t *testing.T) *tcpWorld {
+	t.Helper()
+	dir := t.TempDir()
+	if err := keystore.Init(dir, []string{"alice", "bob", "ttp"}, 1024, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	world, err := keystore.LoadWorld(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caKey, err := world.CAKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := func(name string) core.Options {
+		id, err := keystore.LoadIdentity(dir, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.Options{
+			Identity:        id,
+			CAKey:           caKey,
+			Directory:       world.Lookup,
+			Counters:        &metrics.Counters{},
+			ResponseTimeout: 2 * time.Second,
+		}
+	}
+
+	store := storage.NewMem(nil)
+	provider, err := core.NewProvider(opts("bob"), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	provL, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { provL.Close() })
+	go acceptLoop(provL, func(c transport.Conn) { provider.Serve(c) })
+
+	ttpServer, err := ttp.New(opts("ttp"), func(partyID string) (transport.Conn, error) {
+		if partyID == "bob" {
+			return transport.DialTCP(provL.Addr())
+		}
+		return nil, errors.New("no route to " + partyID)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttpL, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ttpL.Close() })
+	go acceptLoop(ttpL, func(c transport.Conn) { ttpServer.Serve(c) })
+
+	client, err := core.NewClient(opts("alice"), "bob", "ttp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tcpWorld{
+		client:   client,
+		provider: provider,
+		ttpAddr:  ttpL.Addr(),
+		provAddr: provL.Addr(),
+		store:    store,
+	}
+}
+
+func acceptLoop(l transport.Listener, serve func(transport.Conn)) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go serve(c)
+	}
+}
+
+func TestTCPUploadDownload(t *testing.T) {
+	w := newTCPWorld(t)
+	conn, err := transport.DialTCP(w.provAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	data := bytes.Repeat([]byte("tcp payload "), 1000)
+	if _, err := w.client.Upload(conn, "tcp-1", "obj", data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.client.Download(conn, "tcp-2", "obj", "tcp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) || !res.IntegrityOK {
+		t.Fatal("TCP round trip failed integrity")
+	}
+}
+
+func TestTCPTamperDetection(t *testing.T) {
+	w := newTCPWorld(t)
+	conn, err := transport.DialTCP(w.provAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := w.client.Upload(conn, "tcp-t1", "obj", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.store.Tamper("obj", true, func([]byte) []byte { return []byte("v2") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.Download(conn, "tcp-t2", "obj", "tcp-t1"); !errors.Is(err, core.ErrIntegrity) {
+		t.Fatalf("err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestTCPResolveThroughTTP(t *testing.T) {
+	w := newTCPWorld(t)
+	conn, err := transport.DialTCP(w.provAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	w.provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
+	if _, err := w.client.Upload(conn, "tcp-r", "obj", []byte("v")); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("setup: %v", err)
+	}
+	w.provider.SetMisbehavior(core.Misbehavior{})
+
+	ttpConn, err := transport.DialTCP(w.ttpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ttpConn.Close()
+	res, err := w.client.Resolve(ttpConn, "tcp-r", "no NRR over TCP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != "continue" || res.PeerEvidence == nil {
+		t.Fatalf("resolve over TCP: %+v", res)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	w := newTCPWorld(t)
+	const n = 6
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			conn, err := transport.DialTCP(w.provAddr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			txn := cryptoutil.MustNonce()
+			_, err = w.client.Upload(conn, string(rune('a'+i))+"-"+cryptoutil.Digest{Alg: cryptoutil.MD5, Sum: txn}.Hex()[:8], "obj-"+string(rune('a'+i)), bytes.Repeat([]byte{byte(i)}, 2048))
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(w.store.Keys()); got != n {
+		t.Fatalf("stored %d objects, want %d", got, n)
+	}
+}
+
+// TestMixedIdentityRejectedOverTCP: a client using a key from a
+// different keystore (different CA) is rejected by the provider.
+func TestMixedIdentityRejectedOverTCP(t *testing.T) {
+	w := newTCPWorld(t)
+	// Build an impostor with its own CA.
+	otherDir := t.TempDir()
+	if err := keystore.Init(otherDir, []string{"alice", "bob", "ttp"}, 1024, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	otherWorld, err := keystore.LoadWorld(otherDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherCA, err := otherWorld.CAKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := keystore.LoadIdentity(otherDir, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	impostor, err := core.NewClient(core.Options{
+		Identity:        id,
+		CAKey:           otherCA,
+		Directory:       otherWorld.Lookup,
+		ResponseTimeout: 500 * time.Millisecond,
+	}, "bob", "ttp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := transport.DialTCP(w.provAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, err = impostor.Upload(conn, "imp-1", "obj", []byte("v"))
+	if err == nil {
+		t.Fatal("impostor upload accepted")
+	}
+	if _, serr := w.store.Get("obj"); serr == nil {
+		t.Fatal("impostor data stored")
+	}
+}

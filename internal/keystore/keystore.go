@@ -1,0 +1,260 @@
+// Package keystore persists identities, CA material and evidence to
+// disk so the command-line daemons (nrserver, ttpd, nrclient,
+// arbiterd) can share one PKI across processes — the operational glue
+// the paper assumes but a runnable system needs.
+//
+// Layout under a state directory:
+//
+//	ca.json            CA name + private key (kept by the CA operator)
+//	ca.pub.json        CA public key + every issued certificate
+//	<party>.key.json   a party's private key + certificate
+//	evidence/<txn>.<role>.<kind>.json   archived evidence items
+package keystore
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/evidence"
+	"repro/internal/pki"
+)
+
+// certJSON serializes a certificate.
+type certJSON struct {
+	Serial    uint64    `json:"serial"`
+	Subject   string    `json:"subject"`
+	PublicKey string    `json:"public_key_der_b64"`
+	NotBefore time.Time `json:"not_before"`
+	NotAfter  time.Time `json:"not_after"`
+	Signature string    `json:"signature_b64"`
+}
+
+func certToJSON(c *pki.Certificate) certJSON {
+	return certJSON{
+		Serial:    c.Serial,
+		Subject:   c.Subject,
+		PublicKey: base64.StdEncoding.EncodeToString(c.PublicKeyDER),
+		NotBefore: c.NotBefore,
+		NotAfter:  c.NotAfter,
+		Signature: base64.StdEncoding.EncodeToString(c.Signature),
+	}
+}
+
+func certFromJSON(j certJSON) (*pki.Certificate, error) {
+	der, err := base64.StdEncoding.DecodeString(j.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("keystore: decoding certificate key: %w", err)
+	}
+	sig, err := base64.StdEncoding.DecodeString(j.Signature)
+	if err != nil {
+		return nil, fmt.Errorf("keystore: decoding certificate signature: %w", err)
+	}
+	return &pki.Certificate{
+		Serial: j.Serial, Subject: j.Subject, PublicKeyDER: der,
+		NotBefore: j.NotBefore, NotAfter: j.NotAfter, Signature: sig,
+	}, nil
+}
+
+type bundleJSON struct {
+	CAPublicKey string     `json:"ca_public_key_der_b64"`
+	Certs       []certJSON `json:"certificates"`
+}
+
+type partyJSON struct {
+	Name       string   `json:"name"`
+	PrivateKey string   `json:"private_key_der_b64"`
+	Cert       certJSON `json:"certificate"`
+}
+
+// Init creates a state directory with a fresh CA and one identity per
+// name, valid for the given duration.
+func Init(dir string, names []string, keyBits int, validity time.Duration) error {
+	if err := os.MkdirAll(filepath.Join(dir, "evidence"), 0o755); err != nil {
+		return fmt.Errorf("keystore: creating %s: %w", dir, err)
+	}
+	caKey, err := cryptoutil.GenerateKeyBits(keyBits)
+	if err != nil {
+		return err
+	}
+	ca := pki.NewAuthority("repro-ca", caKey)
+	now := time.Now()
+	bundle := bundleJSON{}
+	caPubDER, err := cryptoutil.MarshalPublicKey(ca.PublicKey())
+	if err != nil {
+		return err
+	}
+	bundle.CAPublicKey = base64.StdEncoding.EncodeToString(caPubDER)
+
+	for _, name := range names {
+		key, err := cryptoutil.GenerateKeyBits(keyBits)
+		if err != nil {
+			return err
+		}
+		id, err := pki.NewIdentity(ca, name, key, now.Add(-time.Minute), now.Add(validity))
+		if err != nil {
+			return err
+		}
+		bundle.Certs = append(bundle.Certs, certToJSON(id.Cert))
+		pj := partyJSON{
+			Name:       name,
+			PrivateKey: base64.StdEncoding.EncodeToString(x509.MarshalPKCS1PrivateKey(key.Private)),
+			Cert:       certToJSON(id.Cert),
+		}
+		if err := writeJSON(filepath.Join(dir, name+".key.json"), pj); err != nil {
+			return err
+		}
+	}
+	return writeJSON(filepath.Join(dir, "ca.pub.json"), bundle)
+}
+
+// World is the loaded trust state: the CA public key and a directory
+// of certificates.
+type World struct {
+	CAKeyDER []byte
+	certs    map[string]*pki.Certificate
+}
+
+// LoadWorld reads ca.pub.json from a state directory.
+func LoadWorld(dir string) (*World, error) {
+	var bundle bundleJSON
+	if err := readJSON(filepath.Join(dir, "ca.pub.json"), &bundle); err != nil {
+		return nil, err
+	}
+	der, err := base64.StdEncoding.DecodeString(bundle.CAPublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("keystore: decoding CA key: %w", err)
+	}
+	w := &World{CAKeyDER: der, certs: make(map[string]*pki.Certificate)}
+	for _, cj := range bundle.Certs {
+		cert, err := certFromJSON(cj)
+		if err != nil {
+			return nil, err
+		}
+		w.certs[cert.Subject] = cert
+	}
+	return w, nil
+}
+
+// CAKey parses the CA public key.
+func (w *World) CAKey() (*rsa.PublicKey, error) { return cryptoutil.ParsePublicKey(w.CAKeyDER) }
+
+// Lookup implements the core.Directory contract.
+func (w *World) Lookup(name string) (*pki.Certificate, error) {
+	cert, ok := w.certs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", pki.ErrUnknownIdentity, name)
+	}
+	return cert.Clone(), nil
+}
+
+// Names lists known identities, sorted.
+func (w *World) Names() []string {
+	out := make([]string, 0, len(w.certs))
+	for n := range w.certs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadIdentity reads a party's private key + certificate.
+func LoadIdentity(dir, name string) (*pki.Identity, error) {
+	var pj partyJSON
+	if err := readJSON(filepath.Join(dir, name+".key.json"), &pj); err != nil {
+		return nil, err
+	}
+	der, err := base64.StdEncoding.DecodeString(pj.PrivateKey)
+	if err != nil {
+		return nil, fmt.Errorf("keystore: decoding private key: %w", err)
+	}
+	priv, err := x509.ParsePKCS1PrivateKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("keystore: parsing private key: %w", err)
+	}
+	cert, err := certFromJSON(pj.Cert)
+	if err != nil {
+		return nil, err
+	}
+	return &pki.Identity{Name: pj.Name, Key: cryptoutil.KeyPair{Private: priv}, Cert: cert}, nil
+}
+
+// SaveEvidence archives one evidence item under the state directory.
+func SaveEvidence(dir, txn string, role evidence.Role, ev *evidence.Evidence) error {
+	name := fmt.Sprintf("%s.%s.%s.json", sanitize(txn), role, ev.Header.Kind)
+	payload := map[string]string{
+		"encoded_b64": base64.StdEncoding.EncodeToString(ev.Encode()),
+	}
+	return writeJSON(filepath.Join(dir, "evidence", name), payload)
+}
+
+// LoadEvidence reads one archived evidence item.
+func LoadEvidence(dir, txn string, role evidence.Role, kind evidence.Kind) (*evidence.Evidence, error) {
+	name := fmt.Sprintf("%s.%s.%s.json", sanitize(txn), role, kind)
+	var payload map[string]string
+	if err := readJSON(filepath.Join(dir, "evidence", name), &payload); err != nil {
+		return nil, err
+	}
+	raw, err := base64.StdEncoding.DecodeString(payload["encoded_b64"])
+	if err != nil {
+		return nil, fmt.Errorf("keystore: decoding evidence: %w", err)
+	}
+	return evidence.Decode(raw)
+}
+
+// ListEvidence lists archived evidence file names.
+func ListEvidence(dir string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, "evidence"))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("keystore: encoding %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		return fmt.Errorf("keystore: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("keystore: reading %s: %w", path, err)
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("keystore: parsing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package keystore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/evidence"
+	"repro/internal/pki"
+)
+
+func initDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := Init(dir, []string{"alice", "bob", "ttp"}, 1024, 24*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestInitAndLoadWorld(t *testing.T) {
+	dir := initDir(t)
+	w, err := LoadWorld(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := w.Names()
+	if len(names) != 3 || names[0] != "alice" || names[1] != "bob" || names[2] != "ttp" {
+		t.Fatalf("Names = %v", names)
+	}
+	caKey, err := w.CAKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every certificate must verify under the published CA key.
+	for _, name := range names {
+		cert, err := w.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pki.VerifyCertificate(caKey, cert, time.Now(), nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := w.Lookup("mallory"); !errors.Is(err, pki.ErrUnknownIdentity) {
+		t.Errorf("unknown lookup: %v", err)
+	}
+}
+
+func TestLoadIdentityRoundTrip(t *testing.T) {
+	dir := initDir(t)
+	id, err := LoadIdentity(dir, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Name != "alice" || id.Cert.Subject != "alice" {
+		t.Fatalf("identity: %+v", id)
+	}
+	// The loaded private key must actually sign verifiably under the
+	// certified public key.
+	sig, err := cryptoutil.Sign(id.Key, []byte("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := id.Cert.PublicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cryptoutil.Verify(pub, []byte("probe"), sig); err != nil {
+		t.Fatalf("loaded key does not match certificate: %v", err)
+	}
+	if _, err := LoadIdentity(dir, "nobody"); err == nil {
+		t.Fatal("loading a missing identity succeeded")
+	}
+}
+
+func TestEvidencePersistence(t *testing.T) {
+	dir := initDir(t)
+	alice, err := LoadIdentity(dir, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := LoadIdentity(dir, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobPub, err := bob.Cert.PublicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &evidence.Header{
+		Kind: evidence.KindNRO, TxnID: "txn/with:odd chars", Seq: 1,
+		Nonce: cryptoutil.MustNonce(), SenderID: "alice", RecipientID: "bob",
+		TTPID: "ttp", Timestamp: time.Now(), ObjectKey: "k",
+	}
+	h.SetDigests([]byte("data"))
+	ev, _, err := evidence.Build(alice.Key, bobPub, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveEvidence(dir, h.TxnID, evidence.RoleOwn, ev); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadEvidence(dir, h.TxnID, evidence.RoleOwn, evidence.KindNRO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alicePub, err := alice.Cert.PublicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.VerifyAgainstData(alicePub, []byte("data")); err != nil {
+		t.Fatalf("persisted evidence fails verification: %v", err)
+	}
+	files, err := ListEvidence(dir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("ListEvidence = %v, %v", files, err)
+	}
+	if _, err := LoadEvidence(dir, "ghost", evidence.RoleOwn, evidence.KindNRO); err == nil {
+		t.Fatal("loading missing evidence succeeded")
+	}
+}
+
+func TestLoadWorldMissingDir(t *testing.T) {
+	if _, err := LoadWorld(t.TempDir()); err == nil {
+		t.Fatal("LoadWorld on empty dir succeeded")
+	}
+}

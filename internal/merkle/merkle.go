@@ -1,0 +1,198 @@
+// Package merkle implements a SHA-256 Merkle tree over object chunks.
+//
+// The paper targets terabyte-scale backups ("Cloud storage is only
+// attractive to large volume (TB) data backup", §6) but its evidence
+// covers a whole object with a single digest — so detecting tampering
+// means re-reading the entire object, and a dispute cannot say WHICH
+// part changed. This package is the natural extension: evidence signs
+// the Merkle root, per-chunk inclusion proofs localize tampering, and
+// a downloader can verify chunks incrementally. internal/bigobject
+// builds the chunked TPNR flow on top.
+package merkle
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cryptoutil"
+)
+
+// Domain-separation prefixes: leaf and interior hashes must differ or
+// an attacker could present an interior node as a leaf (the classic
+// second-preimage trick).
+var (
+	leafPrefix     = []byte{0x00}
+	interiorPrefix = []byte{0x01}
+)
+
+// Errors.
+var (
+	ErrNoChunks   = errors.New("merkle: no chunks")
+	ErrBadProof   = errors.New("merkle: inclusion proof verification failed")
+	ErrOutOfRange = errors.New("merkle: chunk index out of range")
+)
+
+// LeafHash hashes one chunk's content as a leaf.
+func LeafHash(chunk []byte) cryptoutil.Digest {
+	return cryptoutil.Sum(cryptoutil.SHA256, append(append([]byte(nil), leafPrefix...), chunk...))
+}
+
+func interiorHash(left, right cryptoutil.Digest) cryptoutil.Digest {
+	buf := make([]byte, 0, 1+len(left.Sum)+len(right.Sum))
+	buf = append(buf, interiorPrefix...)
+	buf = append(buf, left.Sum...)
+	buf = append(buf, right.Sum...)
+	return cryptoutil.Sum(cryptoutil.SHA256, buf)
+}
+
+// Tree is a Merkle tree over a fixed sequence of leaf hashes. Levels
+// are stored bottom-up: levels[0] is the leaves, the last level has
+// one node (the root). An odd node at any level is promoted unpaired
+// (Bitcoin-style duplication is avoided — promotion cannot create
+// ambiguity given domain separation and a fixed leaf count, which the
+// proof carries).
+type Tree struct {
+	levels [][]cryptoutil.Digest
+}
+
+// New builds a tree over the given chunks.
+func New(chunks [][]byte) (*Tree, error) {
+	if len(chunks) == 0 {
+		return nil, ErrNoChunks
+	}
+	leaves := make([]cryptoutil.Digest, len(chunks))
+	for i, c := range chunks {
+		leaves[i] = LeafHash(c)
+	}
+	return FromLeaves(leaves)
+}
+
+// FromLeaves builds a tree over precomputed leaf hashes.
+func FromLeaves(leaves []cryptoutil.Digest) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, ErrNoChunks
+	}
+	t := &Tree{levels: [][]cryptoutil.Digest{append([]cryptoutil.Digest(nil), leaves...)}}
+	for cur := t.levels[0]; len(cur) > 1; {
+		next := make([]cryptoutil.Digest, 0, (len(cur)+1)/2)
+		for i := 0; i < len(cur); i += 2 {
+			if i+1 < len(cur) {
+				next = append(next, interiorHash(cur[i], cur[i+1]))
+			} else {
+				next = append(next, cur[i]) // unpaired node promotes
+			}
+		}
+		t.levels = append(t.levels, next)
+		cur = next
+	}
+	return t, nil
+}
+
+// Root returns the tree root.
+func (t *Tree) Root() cryptoutil.Digest { return t.levels[len(t.levels)-1][0].Clone() }
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return len(t.levels[0]) }
+
+// ProofStep is one sibling on the path from a leaf to the root.
+type ProofStep struct {
+	// Sibling is the neighbouring hash at this level.
+	Sibling cryptoutil.Digest
+	// Left is true when the sibling is on the left of the path node.
+	Left bool
+}
+
+// Proof is an inclusion proof for one leaf.
+type Proof struct {
+	// Index is the leaf position.
+	Index int
+	// LeafCount fixes the tree shape the proof was built for.
+	LeafCount int
+	// Steps are the siblings bottom-up. Levels where the path node is
+	// unpaired contribute no step.
+	Steps []ProofStep
+}
+
+// Prove builds the inclusion proof for leaf index i.
+func (t *Tree) Prove(i int) (*Proof, error) {
+	if i < 0 || i >= t.Leaves() {
+		return nil, fmt.Errorf("%w: %d of %d", ErrOutOfRange, i, t.Leaves())
+	}
+	p := &Proof{Index: i, LeafCount: t.Leaves()}
+	idx := i
+	for level := 0; level < len(t.levels)-1; level++ {
+		nodes := t.levels[level]
+		if idx%2 == 0 {
+			if idx+1 < len(nodes) {
+				p.Steps = append(p.Steps, ProofStep{Sibling: nodes[idx+1].Clone(), Left: false})
+			}
+			// Unpaired: promoted without a step.
+		} else {
+			p.Steps = append(p.Steps, ProofStep{Sibling: nodes[idx-1].Clone(), Left: true})
+		}
+		idx /= 2
+	}
+	return p, nil
+}
+
+// Verify checks that chunk is the proof's leaf under root.
+func (p *Proof) Verify(root cryptoutil.Digest, chunk []byte) error {
+	return p.VerifyLeaf(root, LeafHash(chunk))
+}
+
+// VerifyLeaf checks a precomputed leaf hash against the root.
+func (p *Proof) VerifyLeaf(root, leaf cryptoutil.Digest) error {
+	if p.Index < 0 || p.Index >= p.LeafCount || p.LeafCount <= 0 {
+		return fmt.Errorf("%w: index %d of %d", ErrBadProof, p.Index, p.LeafCount)
+	}
+	cur := leaf
+	idx, width := p.Index, p.LeafCount
+	step := 0
+	for width > 1 {
+		paired := idx%2 == 0 && idx+1 < width || idx%2 == 1
+		if paired {
+			if step >= len(p.Steps) {
+				return fmt.Errorf("%w: proof too short", ErrBadProof)
+			}
+			s := p.Steps[step]
+			if s.Left != (idx%2 == 1) {
+				return fmt.Errorf("%w: step %d on wrong side", ErrBadProof, step)
+			}
+			if s.Left {
+				cur = interiorHash(s.Sibling, cur)
+			} else {
+				cur = interiorHash(cur, s.Sibling)
+			}
+			step++
+		}
+		idx /= 2
+		width = (width + 1) / 2
+	}
+	if step != len(p.Steps) {
+		return fmt.Errorf("%w: %d unused proof steps", ErrBadProof, len(p.Steps)-step)
+	}
+	if !cur.Equal(root) {
+		return fmt.Errorf("%w: computed root %s != %s", ErrBadProof, cur.Hex()[:16], root.Hex()[:16])
+	}
+	return nil
+}
+
+// Split cuts data into chunkSize pieces (the last may be shorter). A
+// non-positive chunkSize panics: the caller owns that policy.
+func Split(data []byte, chunkSize int) [][]byte {
+	if chunkSize <= 0 {
+		panic("merkle: non-positive chunk size")
+	}
+	if len(data) == 0 {
+		return [][]byte{{}}
+	}
+	chunks := make([][]byte, 0, (len(data)+chunkSize-1)/chunkSize)
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunks = append(chunks, data[off:end])
+	}
+	return chunks
+}

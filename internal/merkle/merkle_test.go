@@ -1,0 +1,254 @@
+package merkle
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func chunksOf(n int) [][]byte {
+	chunks := make([][]byte, n)
+	for i := range chunks {
+		chunks[i] = []byte(fmt.Sprintf("chunk-%04d", i))
+	}
+	return chunks
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrNoChunks) {
+		t.Fatalf("err = %v, want ErrNoChunks", err)
+	}
+	if _, err := FromLeaves(nil); !errors.Is(err, ErrNoChunks) {
+		t.Fatalf("FromLeaves: err = %v", err)
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	tr, err := New([][]byte{[]byte("only")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root().Equal(LeafHash([]byte("only"))) {
+		t.Fatal("single-leaf root must equal the leaf hash")
+	}
+	p, err := tr.Prove(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 0 {
+		t.Fatalf("single-leaf proof has %d steps", len(p.Steps))
+	}
+	if err := p.Verify(tr.Root(), []byte("only")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootDeterministicAndContentSensitive(t *testing.T) {
+	a, _ := New(chunksOf(7))
+	b, _ := New(chunksOf(7))
+	if !a.Root().Equal(b.Root()) {
+		t.Fatal("same chunks produced different roots")
+	}
+	mutated := chunksOf(7)
+	mutated[3] = []byte("chunk-XXXX")
+	c, _ := New(mutated)
+	if a.Root().Equal(c.Root()) {
+		t.Fatal("mutated chunk did not change the root")
+	}
+	// Order matters.
+	swapped := chunksOf(7)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	d, _ := New(swapped)
+	if a.Root().Equal(d.Root()) {
+		t.Fatal("swapped chunks did not change the root")
+	}
+}
+
+func TestLeafInteriorDomainSeparation(t *testing.T) {
+	// A leaf whose content equals the concatenation of two hashes must
+	// not hash to their interior node.
+	l, r := LeafHash([]byte("l")), LeafHash([]byte("r"))
+	interior := interiorHash(l, r)
+	fakeLeafContent := append(append([]byte(nil), l.Sum...), r.Sum...)
+	if LeafHash(fakeLeafContent).Equal(interior) {
+		t.Fatal("leaf/interior domains collide")
+	}
+}
+
+func TestProveVerifyAllLeavesAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33} {
+		chunks := chunksOf(n)
+		tr, err := New(chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := tr.Root()
+		for i := 0; i < n; i++ {
+			p, err := tr.Prove(i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if err := p.Verify(root, chunks[i]); err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+		}
+	}
+}
+
+func TestProofRejectsWrongChunk(t *testing.T) {
+	chunks := chunksOf(9)
+	tr, _ := New(chunks)
+	p, _ := tr.Prove(4)
+	if err := p.Verify(tr.Root(), []byte("tampered")); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("err = %v, want ErrBadProof", err)
+	}
+	// A proof for leaf 4 must not verify leaf 5's content.
+	if err := p.Verify(tr.Root(), chunks[5]); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("cross-leaf: err = %v", err)
+	}
+}
+
+func TestProofRejectsWrongRoot(t *testing.T) {
+	chunks := chunksOf(6)
+	tr, _ := New(chunks)
+	p, _ := tr.Prove(2)
+	other, _ := New(chunksOf(5))
+	if err := p.Verify(other.Root(), chunks[2]); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("err = %v, want ErrBadProof", err)
+	}
+}
+
+func TestProofRejectsTamperedSteps(t *testing.T) {
+	chunks := chunksOf(8)
+	tr, _ := New(chunks)
+	p, _ := tr.Prove(3)
+	p.Steps[1].Sibling.Sum[0] ^= 1
+	if err := p.Verify(tr.Root(), chunks[3]); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("err = %v, want ErrBadProof", err)
+	}
+	// Truncated proof.
+	p2, _ := tr.Prove(3)
+	p2.Steps = p2.Steps[:len(p2.Steps)-1]
+	if err := p2.Verify(tr.Root(), chunks[3]); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("truncated: err = %v", err)
+	}
+	// Extended proof.
+	p3, _ := tr.Prove(3)
+	p3.Steps = append(p3.Steps, p3.Steps[0])
+	if err := p3.Verify(tr.Root(), chunks[3]); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("extended: err = %v", err)
+	}
+	// Flipped side bit.
+	p4, _ := tr.Prove(3)
+	p4.Steps[0].Left = !p4.Steps[0].Left
+	if err := p4.Verify(tr.Root(), chunks[3]); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("side flip: err = %v", err)
+	}
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	tr, _ := New(chunksOf(4))
+	for _, i := range []int{-1, 4, 100} {
+		if _, err := tr.Prove(i); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("Prove(%d): %v", i, err)
+		}
+	}
+}
+
+func TestVerifyBadProofMetadata(t *testing.T) {
+	tr, _ := New(chunksOf(4))
+	p, _ := tr.Prove(0)
+	bad := *p
+	bad.LeafCount = 0
+	if err := bad.Verify(tr.Root(), chunksOf(4)[0]); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("zero leaf count: %v", err)
+	}
+	bad2 := *p
+	bad2.Index = 9
+	if err := bad2.Verify(tr.Root(), chunksOf(4)[0]); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("index out of count: %v", err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	data := []byte("abcdefghij")
+	chunks := Split(data, 4)
+	if len(chunks) != 3 || string(chunks[0]) != "abcd" || string(chunks[2]) != "ij" {
+		t.Fatalf("Split = %q", chunks)
+	}
+	if got := Split(nil, 4); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("Split(empty) = %q", got)
+	}
+	// Reassembly is lossless.
+	var re []byte
+	for _, c := range Split(data, 3) {
+		re = append(re, c...)
+	}
+	if !bytes.Equal(re, data) {
+		t.Fatal("Split lost data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split with chunkSize 0 did not panic")
+		}
+	}()
+	Split(data, 0)
+}
+
+func TestQuickSplitTreeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(data []byte) bool {
+		chunkSize := 1 + rng.Intn(64)
+		chunks := Split(data, chunkSize)
+		tr, err := New(chunks)
+		if err != nil {
+			return false
+		}
+		i := rng.Intn(len(chunks))
+		p, err := tr.Prove(i)
+		if err != nil {
+			return false
+		}
+		return p.Verify(tr.Root(), chunks[i]) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTamperAlwaysDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		chunks := make([][]byte, n)
+		for i := range chunks {
+			chunks[i] = []byte(fmt.Sprintf("c%d-%d", i, r.Int63()))
+		}
+		tr, err := New(chunks)
+		if err != nil {
+			return false
+		}
+		i := rng.Intn(n)
+		p, err := tr.Prove(i)
+		if err != nil {
+			return false
+		}
+		tampered := append([]byte(nil), chunks[i]...)
+		tampered[r.Intn(len(tampered))] ^= 1 + byte(r.Intn(255))
+		return p.Verify(tr.Root(), tampered) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeavesCount(t *testing.T) {
+	tr, _ := New(chunksOf(13))
+	if tr.Leaves() != 13 {
+		t.Fatalf("Leaves = %d", tr.Leaves())
+	}
+}

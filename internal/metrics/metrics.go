@@ -1,0 +1,161 @@
+// Package metrics provides the counters and table rendering the
+// experiment harness uses to report protocol costs: message counts
+// (the §4.4 "2 steps vs 4 steps" claim), bytes on the wire, crypto
+// operation counts, and TTP involvement.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counters accumulates protocol-run statistics. Safe for concurrent
+// use. The zero value is ready.
+type Counters struct {
+	mu sync.Mutex
+	n  map[string]int64
+}
+
+// Inc adds delta to the named counter.
+func (c *Counters) Inc(name string, delta int64) {
+	c.mu.Lock()
+	if c.n == nil {
+		c.n = make(map[string]int64)
+	}
+	c.n[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the named counter's value.
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.n))
+	for k, v := range c.n {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	c.n = nil
+	c.mu.Unlock()
+}
+
+// Names returns counter names in sorted order.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.n))
+	for k := range c.n {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Standard counter names used across the protocol engines, so
+// experiment code can compare engines without string drift.
+const (
+	MsgsSent     = "msgs_sent"
+	MsgsRecv     = "msgs_recv"
+	BytesSent    = "bytes_sent"
+	TTPMsgs      = "ttp_msgs"
+	SignOps      = "sign_ops"
+	VerifyOps    = "verify_ops"
+	EncryptOps   = "encrypt_ops"
+	DecryptOps   = "decrypt_ops"
+	HashOps      = "hash_ops"
+	Rounds       = "rounds"
+	Disputes     = "disputes"
+	Aborts       = "aborts"
+	Resolves     = "resolves"
+	ReplaysSeen  = "replays_seen"
+	AuthFailures = "auth_failures"
+)
+
+// Table renders experiment output rows with aligned columns, matching
+// the plain-text tables EXPERIMENTS.md embeds.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the accumulated rows.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == len(cells)-1 {
+				b.WriteString(cell) // no trailing padding
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersBasics(t *testing.T) {
+	var c Counters
+	c.Inc(MsgsSent, 1)
+	c.Inc(MsgsSent, 2)
+	c.Inc(BytesSent, 100)
+	if got := c.Get(MsgsSent); got != 3 {
+		t.Errorf("MsgsSent = %d", got)
+	}
+	if got := c.Get("never-set"); got != 0 {
+		t.Errorf("unset counter = %d", got)
+	}
+	snap := c.Snapshot()
+	if snap[BytesSent] != 100 || len(snap) != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	c.Inc(BytesSent, 1)
+	if snap[BytesSent] != 100 {
+		t.Error("snapshot aliases live counters")
+	}
+	c.Reset()
+	if c.Get(MsgsSent) != 0 {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestCountersNames(t *testing.T) {
+	var c Counters
+	c.Inc("z", 1)
+	c.Inc("a", 1)
+	c.Inc("m", 1)
+	names := c.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "z" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc(MsgsSent, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(MsgsSent); got != 8000 {
+		t.Errorf("concurrent Inc lost updates: %d", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E8: step comparison", "protocol", "messages", "ttp", "latency")
+	tb.AddRow("TPNR (normal)", 2, 0, 20*time.Millisecond)
+	tb.AddRow("traditional NR", 4, 2, 40*time.Millisecond)
+	tb.AddRow("ratio", 2.0, "-", "-")
+	out := tb.String()
+
+	for _, want := range []string{"E8: step comparison", "protocol", "TPNR (normal)", "traditional NR", "2.00", "20ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, blank, header, separator, 3 rows.
+	if len(lines) != 7 {
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+	if len(tb.Rows()) != 3 {
+		t.Errorf("Rows = %d", len(tb.Rows()))
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "long-header")
+	tb.AddRow("xxxxxxxxxx", "y")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The second column must start at the same offset in every line.
+	if idx := strings.Index(lines[0], "long-header"); idx != strings.Index(lines[2], "y") {
+		t.Errorf("misaligned table (col2 at %d vs %d):\n%s", idx, strings.Index(lines[2], "y"), out)
+	}
+}

@@ -1,0 +1,237 @@
+// Package session provides the transaction bookkeeping the TPNR
+// protocol's anti-replay and timeliness mechanisms need (paper §4.1,
+// §5.4, §5.5): transaction IDs, strictly increasing per-transaction
+// sequence numbers, a replay window that rejects reused (transaction,
+// sequence, nonce) triples, and message time limits.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+// Validation errors.
+var (
+	ErrReplay       = errors.New("session: replayed message")
+	ErrOutOfOrder   = errors.New("session: sequence number not increasing")
+	ErrExpired      = errors.New("session: message past its time limit")
+	ErrUnknownTxn   = errors.New("session: unknown transaction")
+	ErrTxncompleted = errors.New("session: transaction already completed")
+)
+
+// NewTransactionID mints a globally unique transaction identifier.
+func NewTransactionID() string {
+	return fmt.Sprintf("txn-%x", cryptoutil.MustNonce())
+}
+
+// Counter issues strictly increasing sequence numbers for outbound
+// messages of one transaction ("The sequence number increases one by
+// one", §4.1).
+type Counter struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+// Next returns the next sequence number, starting at 1.
+func (c *Counter) Next() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	return c.next
+}
+
+// Current returns the last issued number (0 if none).
+func (c *Counter) Current() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.next
+}
+
+// SkipTo advances the counter so the next issued number exceeds n.
+// Constant-time regardless of the gap — a peer-supplied sequence number
+// must never control a loop bound.
+func (c *Counter) SkipTo(n uint64) {
+	c.mu.Lock()
+	if c.next < n {
+		c.next = n
+	}
+	c.mu.Unlock()
+}
+
+// Guard validates inbound messages: per-transaction monotone sequence
+// numbers, globally unique nonces within a bounded window, and time
+// limits. One Guard protects one receiving endpoint.
+//
+// Memory note: lastSeq holds one entry per (transaction, sender) scope
+// for the Guard's lifetime. Calling Forget after a transaction reaches
+// a terminal state reclaims it, at the cost of re-admitting low
+// sequence numbers for that transaction (the nonce window still covers
+// recent replays). The protocol engines keep entries by default —
+// correctness over memory — and leave Forget to deployments that
+// recycle transaction IDs.
+type Guard struct {
+	mu sync.Mutex
+	// lastSeq maps transaction ID → highest sequence number accepted.
+	lastSeq map[string]uint64
+	// nonces remembers recently seen nonces, bounded by window.
+	nonces map[string]struct{}
+	order  []string
+	window int
+}
+
+// NewGuard creates a Guard remembering up to window nonces (0 means a
+// generous default). The window bounds memory; experiment E10 ablates
+// its size.
+func NewGuard(window int) *Guard {
+	if window <= 0 {
+		window = 1 << 16
+	}
+	return &Guard{
+		lastSeq: make(map[string]uint64),
+		nonces:  make(map[string]struct{}),
+		window:  window,
+	}
+}
+
+// Check validates an inbound message's replay-protection fields:
+//   - seq must exceed the highest accepted sequence for txn;
+//   - nonce must be fresh within the window;
+//   - timeLimit (if nonzero) must not be before now (§5.5).
+//
+// On success the guard records seq and nonce. Violations leave state
+// unchanged so a retry with correct fields still succeeds.
+func (g *Guard) Check(txn string, seq uint64, nonce []byte, timeLimit, now time.Time) error {
+	if !timeLimit.IsZero() && now.After(timeLimit) {
+		return fmt.Errorf("%w: limit %v, now %v", ErrExpired, timeLimit, now)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if last, ok := g.lastSeq[txn]; ok && seq <= last {
+		return fmt.Errorf("%w: txn %s seq %d <= last %d", ErrOutOfOrder, txn, seq, last)
+	}
+	if _, seen := g.nonces[string(nonce)]; seen {
+		return fmt.Errorf("%w: nonce reuse in txn %s", ErrReplay, txn)
+	}
+	g.lastSeq[txn] = seq
+	g.remember(string(nonce))
+	return nil
+}
+
+func (g *Guard) remember(nonce string) {
+	g.nonces[nonce] = struct{}{}
+	g.order = append(g.order, nonce)
+	for len(g.order) > g.window {
+		delete(g.nonces, g.order[0])
+		g.order = g.order[1:]
+	}
+}
+
+// Forget drops a transaction's sequence state (after completion).
+func (g *Guard) Forget(txn string) {
+	g.mu.Lock()
+	delete(g.lastSeq, txn)
+	g.mu.Unlock()
+}
+
+// NonceCount reports how many nonces are currently remembered.
+func (g *Guard) NonceCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.nonces)
+}
+
+// State is a transaction's lifecycle position at one party.
+type State int
+
+// Transaction states, in normal progression order.
+const (
+	StateInit State = iota
+	StateEvidenceSent
+	StateEvidenceReceived
+	StateCompleted
+	StateAborted
+	StateResolving
+	StateFailed
+)
+
+// String names the state for transcripts.
+func (s State) String() string {
+	switch s {
+	case StateInit:
+		return "init"
+	case StateEvidenceSent:
+		return "evidence-sent"
+	case StateEvidenceReceived:
+		return "evidence-received"
+	case StateCompleted:
+		return "completed"
+	case StateAborted:
+		return "aborted"
+	case StateResolving:
+		return "resolving"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Tracker records per-transaction state at one party, with legal
+// transition enforcement. Terminal states (completed, aborted, failed)
+// admit no further transitions.
+type Tracker struct {
+	mu     sync.Mutex
+	states map[string]State
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{states: make(map[string]State)}
+}
+
+// Begin registers a new transaction in StateInit.
+func (t *Tracker) Begin(txn string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.states[txn]; ok {
+		return fmt.Errorf("session: transaction %s already begun", txn)
+	}
+	t.states[txn] = StateInit
+	return nil
+}
+
+// Get returns the transaction's current state.
+func (t *Tracker) Get(txn string) (State, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.states[txn]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownTxn, txn)
+	}
+	return s, nil
+}
+
+// Terminal reports whether a state admits no further transitions.
+func Terminal(s State) bool {
+	return s == StateCompleted || s == StateAborted || s == StateFailed
+}
+
+// Transition moves txn to next, rejecting transitions out of terminal
+// states and on unknown transactions.
+func (t *Tracker) Transition(txn string, next State) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.states[txn]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTxn, txn)
+	}
+	if Terminal(cur) {
+		return fmt.Errorf("%w: %s is %s", ErrTxncompleted, txn, cur)
+	}
+	t.states[txn] = next
+	return nil
+}

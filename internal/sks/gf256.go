@@ -1,0 +1,101 @@
+// Package sks implements the "secret key sharing technique (SKS)" that
+// paper §3.2 and §3.4 rely on: after upload, the user and the provider
+// (and optionally the TAC) hold *shares* of the agreed MD5 value, so
+// that neither can unilaterally forge or deny the agreed digest — the
+// digest is recoverable only when the parties "take the shared MD5
+// together; recover it and prove his/her innocence".
+//
+// The paper does not specify the sharing scheme; Shamir secret sharing
+// over GF(2^8) is the standard instantiation and preserves exactly the
+// property the paper uses: any threshold-sized subset of shares
+// reconstructs the secret, and any smaller subset reveals nothing.
+// Shares additionally carry a SHA-256 commitment to the secret so that
+// a corrupted or forged share is detected at reconstruction time.
+package sks
+
+// GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11b),
+// via log/exp tables built at init from generator 3.
+
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		// multiply x by the generator 3 = x ^ (x<<1 mod poly)
+		y := mulNoTable(x, 3)
+		x = y
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// mulNoTable multiplies in GF(2^8) by shift-and-reduce; used only to
+// build the tables.
+func mulNoTable(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 == 1 {
+			p ^= a
+		}
+		carry := a & 0x80
+		a <<= 1
+		if carry != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b; b must be nonzero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("sks: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// evalPoly evaluates the polynomial with the given coefficients
+// (constant term first) at x, by Horner's rule.
+func evalPoly(coeffs []byte, x byte) byte {
+	var y byte
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		y = gfMul(y, x) ^ coeffs[i]
+	}
+	return y
+}
+
+// interpolateAtZero computes the Lagrange interpolation at x=0 of the
+// points (xs[i], ys[i]). All xs must be distinct and nonzero.
+func interpolateAtZero(xs, ys []byte) byte {
+	var secret byte
+	for i := range xs {
+		num, den := byte(1), byte(1)
+		for j := range xs {
+			if i == j {
+				continue
+			}
+			num = gfMul(num, xs[j])
+			den = gfMul(den, xs[i]^xs[j])
+		}
+		secret ^= gfMul(ys[i], gfDiv(num, den))
+	}
+	return secret
+}

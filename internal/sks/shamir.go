@@ -1,0 +1,166 @@
+package sks
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cryptoutil"
+)
+
+// Share is one participant's fragment of a shared secret. X identifies
+// the share (nonzero), Data holds one field element per secret byte,
+// and Commitment is SHA-256 over the whole secret so reconstruction can
+// detect corrupted or substituted shares.
+type Share struct {
+	// X is the evaluation point, unique and nonzero per share.
+	X byte
+	// Threshold is the number of shares required to reconstruct.
+	Threshold int
+	// Data is the per-byte polynomial evaluation at X.
+	Data []byte
+	// Commitment is SHA-256(secret); identical across all shares of one
+	// split, letting Reconstruct verify its output.
+	Commitment cryptoutil.Digest
+}
+
+// Clone deep-copies the share.
+func (s Share) Clone() Share {
+	s.Data = append([]byte(nil), s.Data...)
+	s.Commitment = s.Commitment.Clone()
+	return s
+}
+
+// Errors distinguishable with errors.Is.
+var (
+	ErrTooFewShares   = errors.New("sks: not enough shares to reconstruct")
+	ErrInconsistent   = errors.New("sks: shares are mutually inconsistent")
+	ErrBadCommitment  = errors.New("sks: reconstructed secret fails commitment check")
+	ErrBadParameters  = errors.New("sks: invalid split parameters")
+	ErrDuplicateShare = errors.New("sks: duplicate share point")
+)
+
+// Split divides secret into n shares with reconstruction threshold k.
+// 1 <= k <= n <= 255. The secret must be non-empty.
+//
+// In the paper's use (§3.2), the user and the provider each keep one
+// share of the agreed MD5 with k=2, n=2; with a TAC (§3.4), k=2, n=3 so
+// the TAC can break ties.
+func Split(secret []byte, n, k int) ([]Share, error) {
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("%w: empty secret", ErrBadParameters)
+	}
+	if k < 1 || n < k || n > 255 {
+		return nil, fmt.Errorf("%w: n=%d k=%d", ErrBadParameters, n, k)
+	}
+	commitment := cryptoutil.Sum(cryptoutil.SHA256, secret)
+
+	shares := make([]Share, n)
+	for i := range shares {
+		shares[i] = Share{
+			X:          byte(i + 1),
+			Threshold:  k,
+			Data:       make([]byte, len(secret)),
+			Commitment: commitment.Clone(),
+		}
+	}
+	coeffs := make([]byte, k)
+	for byteIdx, sb := range secret {
+		coeffs[0] = sb
+		if k > 1 {
+			if _, err := io.ReadFull(rand.Reader, coeffs[1:]); err != nil {
+				return nil, fmt.Errorf("sks: sampling polynomial: %w", err)
+			}
+			// The leading coefficient may be zero; that is fine for
+			// security (degree < k-1 still hides with k-1 shares short).
+		}
+		for i := range shares {
+			shares[i].Data[byteIdx] = evalPoly(coeffs, shares[i].X)
+		}
+	}
+	return shares, nil
+}
+
+// Reconstruct recovers the secret from at least Threshold shares and
+// verifies it against the shares' commitment. Extra shares beyond the
+// threshold are used as a consistency check: if any subset disagrees,
+// ErrInconsistent is returned (a share was tampered with).
+func Reconstruct(shares []Share) ([]byte, error) {
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("%w: no shares", ErrTooFewShares)
+	}
+	k := shares[0].Threshold
+	length := len(shares[0].Data)
+	commitment := shares[0].Commitment
+	seen := map[byte]bool{}
+	for _, s := range shares {
+		if s.Threshold != k {
+			return nil, fmt.Errorf("%w: mixed thresholds %d and %d", ErrInconsistent, k, s.Threshold)
+		}
+		if len(s.Data) != length {
+			return nil, fmt.Errorf("%w: mixed lengths %d and %d", ErrInconsistent, length, len(s.Data))
+		}
+		if !s.Commitment.Equal(commitment) {
+			return nil, fmt.Errorf("%w: mixed commitments", ErrInconsistent)
+		}
+		if s.X == 0 {
+			return nil, fmt.Errorf("%w: share point 0", ErrInconsistent)
+		}
+		if seen[s.X] {
+			return nil, fmt.Errorf("%w: x=%d", ErrDuplicateShare, s.X)
+		}
+		seen[s.X] = true
+	}
+	if len(shares) < k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), k)
+	}
+
+	xs := make([]byte, k)
+	ys := make([]byte, k)
+	secret := make([]byte, length)
+	for b := 0; b < length; b++ {
+		for i := 0; i < k; i++ {
+			xs[i] = shares[i].X
+			ys[i] = shares[i].Data[b]
+		}
+		secret[b] = interpolateAtZero(xs, ys)
+	}
+
+	// Cross-check with any surplus shares: every share must lie on the
+	// polynomial defined by the first k.
+	if len(shares) > k {
+		for _, s := range shares[k:] {
+			for b := 0; b < length; b++ {
+				// Interpolate at s.X instead of 0.
+				var y byte
+				for i := 0; i < k; i++ {
+					num, den := byte(1), byte(1)
+					for j := 0; j < k; j++ {
+						if i == j {
+							continue
+						}
+						num = gfMul(num, shares[j].X^s.X)
+						den = gfMul(den, shares[i].X^shares[j].X)
+					}
+					y ^= gfMul(shares[i].Data[b], gfDiv(num, den))
+				}
+				if y != s.Data[b] {
+					return nil, fmt.Errorf("%w: share x=%d off-polynomial at byte %d", ErrInconsistent, s.X, b)
+				}
+			}
+		}
+	}
+
+	if !cryptoutil.Sum(cryptoutil.SHA256, secret).Equal(commitment) {
+		return nil, ErrBadCommitment
+	}
+	return secret, nil
+}
+
+// VerifyShareAgainst checks a single share's commitment against a known
+// candidate secret, without reconstructing. Used during disputes when
+// one party claims a digest value and the other holds a share.
+func VerifyShareAgainst(s Share, candidate []byte) bool {
+	return cryptoutil.Sum(cryptoutil.SHA256, candidate).Equal(s.Commitment)
+}

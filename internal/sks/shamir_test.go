@@ -1,0 +1,212 @@
+package sks
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Spot-check multiplicative structure against the table-free path.
+	for a := 0; a < 256; a += 7 {
+		for b := 0; b < 256; b += 11 {
+			if got, want := gfMul(byte(a), byte(b)), mulNoTable(byte(a), byte(b)); got != want {
+				t.Fatalf("gfMul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	for a := 1; a < 256; a++ {
+		if gfMul(byte(a), gfDiv(1, byte(a))) != 1 {
+			t.Fatalf("inverse of %d wrong", a)
+		}
+		if gfDiv(gfMul(byte(a), 0x53), byte(a)) != 0x53 {
+			t.Fatalf("div does not invert mul for %d", a)
+		}
+	}
+}
+
+func TestGFDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gfDiv(x, 0) did not panic")
+		}
+	}()
+	gfDiv(5, 0)
+}
+
+func TestSplitReconstructRoundTrip(t *testing.T) {
+	secret := []byte("md5:0123456789abcdef")
+	for _, tc := range []struct{ n, k int }{{2, 2}, {3, 2}, {5, 3}, {7, 7}, {10, 1}} {
+		shares, err := Split(secret, tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if len(shares) != tc.n {
+			t.Fatalf("n=%d k=%d: got %d shares", tc.n, tc.k, len(shares))
+		}
+		got, err := Reconstruct(shares[:tc.k])
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if !bytes.Equal(got, secret) {
+			t.Fatalf("n=%d k=%d: reconstructed %q", tc.n, tc.k, got)
+		}
+	}
+}
+
+func TestReconstructAnySubset(t *testing.T) {
+	secret := []byte{0x00, 0xff, 0x5a, 0x01}
+	shares, err := Split(secret, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every 3-subset of 5 shares must reconstruct.
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			for k := j + 1; k < 5; k++ {
+				got, err := Reconstruct([]Share{shares[i], shares[j], shares[k]})
+				if err != nil {
+					t.Fatalf("subset (%d,%d,%d): %v", i, j, k, err)
+				}
+				if !bytes.Equal(got, secret) {
+					t.Fatalf("subset (%d,%d,%d) reconstructed %x", i, j, k, got)
+				}
+			}
+		}
+	}
+}
+
+func TestTooFewShares(t *testing.T) {
+	shares, err := Split([]byte("secret"), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reconstruct(shares[:2]); !errors.Is(err, ErrTooFewShares) {
+		t.Fatalf("err = %v, want ErrTooFewShares", err)
+	}
+	if _, err := Reconstruct(nil); !errors.Is(err, ErrTooFewShares) {
+		t.Fatalf("nil shares: err = %v, want ErrTooFewShares", err)
+	}
+}
+
+func TestTamperedShareDetected(t *testing.T) {
+	secret := []byte("the agreed MD5 value")
+	shares, err := Split(secret, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The malicious provider flips a byte of its share before a dispute.
+	shares[1].Data[3] ^= 0x40
+	_, err = Reconstruct(shares)
+	if !errors.Is(err, ErrBadCommitment) && !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("tampered share: err = %v, want commitment/consistency failure", err)
+	}
+}
+
+func TestSurplusShareConsistencyCheck(t *testing.T) {
+	secret := []byte("x")
+	shares, err := Split(secret, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with a surplus share (beyond the threshold prefix): the
+	// cross-check must catch it even though reconstruction of the first
+	// k shares alone would succeed.
+	shares[3].Data[0] ^= 0x01
+	if _, err := Reconstruct(shares); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("off-polynomial surplus share: err = %v, want ErrInconsistent", err)
+	}
+}
+
+func TestMismatchedSharesRejected(t *testing.T) {
+	a, _ := Split([]byte("secret-a"), 2, 2)
+	b, _ := Split([]byte("secret-b"), 2, 2)
+	if _, err := Reconstruct([]Share{a[0], b[1]}); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("mixed splits: err = %v, want ErrInconsistent", err)
+	}
+	c, _ := Split([]byte("secret-a"), 3, 3)
+	if _, err := Reconstruct([]Share{a[0], c[1]}); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("mixed thresholds: err = %v, want ErrInconsistent", err)
+	}
+	if _, err := Reconstruct([]Share{a[0], a[0].Clone()}); !errors.Is(err, ErrDuplicateShare) {
+		t.Fatalf("duplicate shares: err = %v, want ErrDuplicateShare", err)
+	}
+}
+
+func TestSplitParameterValidation(t *testing.T) {
+	if _, err := Split(nil, 2, 2); !errors.Is(err, ErrBadParameters) {
+		t.Errorf("empty secret: %v", err)
+	}
+	if _, err := Split([]byte("s"), 1, 2); !errors.Is(err, ErrBadParameters) {
+		t.Errorf("n<k: %v", err)
+	}
+	if _, err := Split([]byte("s"), 2, 0); !errors.Is(err, ErrBadParameters) {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := Split([]byte("s"), 256, 2); !errors.Is(err, ErrBadParameters) {
+		t.Errorf("n>255: %v", err)
+	}
+}
+
+func TestSingleShareRevealsNothing(t *testing.T) {
+	// Statistical sanity check of the hiding property: with k=2, a
+	// single share's bytes should be near-uniform across many splits of
+	// the same secret, i.e. not correlated with the secret byte.
+	secret := []byte{0x42}
+	counts := make([]int, 256)
+	const trials = 2048
+	for i := 0; i < trials; i++ {
+		shares, err := Split(secret, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[shares[0].Data[0]]++
+	}
+	// Expect mean 8 per value; fail only on gross non-uniformity (a
+	// value appearing more than 8x expectation) which would indicate
+	// the polynomial coefficients are not random.
+	for v, c := range counts {
+		if c > 64 {
+			t.Fatalf("share byte value %#x appeared %d/%d times — not hiding", v, c, trials)
+		}
+	}
+}
+
+func TestVerifyShareAgainst(t *testing.T) {
+	secret := []byte("agreed digest")
+	shares, _ := Split(secret, 2, 2)
+	if !VerifyShareAgainst(shares[0], secret) {
+		t.Error("true candidate rejected")
+	}
+	if VerifyShareAgainst(shares[0], []byte("forged digest")) {
+		t.Error("forged candidate accepted")
+	}
+}
+
+func TestSplitReconstructQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(secret []byte) bool {
+		if len(secret) == 0 {
+			secret = []byte{0}
+		}
+		n := 2 + rng.Intn(6)
+		k := 1 + rng.Intn(n)
+		shares, err := Split(secret, n, k)
+		if err != nil {
+			return false
+		}
+		// Reconstruct from a random k-subset.
+		perm := rng.Perm(n)[:k]
+		subset := make([]Share, k)
+		for i, p := range perm {
+			subset[i] = shares[p]
+		}
+		got, err := Reconstruct(subset)
+		return err == nil && bytes.Equal(got, secret)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

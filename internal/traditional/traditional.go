@@ -1,0 +1,319 @@
+// Package traditional implements the baseline the paper compares TPNR
+// against: a traditional fair non-repudiation protocol in the
+// Zhou–Gollmann style, which "consist[s] of at least four steps"
+// (§4) and keeps the TTP on-line for every transaction:
+//
+//	step 1  A → B:   L, C = E_K(M), NRO = Sign_A(fNRO ‖ L ‖ H(C))
+//	step 2  B → A:   L, NRR = Sign_B(fNRR ‖ L ‖ H(C))
+//	step 3  A → TTP: L, K, sub_K = Sign_A(fSUB ‖ L ‖ K)
+//	step 4  B → TTP: L        → K, con_K = Sign_TTP(fCON ‖ L ‖ K)
+//	        A → TTP: L        → con_K              (A's evidence fetch)
+//
+// Fairness comes from the TTP: B cannot read M before the key is
+// deposited, and once the key is deposited both parties can always
+// obtain it and the TTP's confirmation con_K. The cost — the §4.4
+// comparison TPNR wins — is four protocol steps plus mandatory TTP
+// participation in every single transaction.
+package traditional
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/metrics"
+	"repro/internal/pki"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// Step flags bound into signatures, mirroring Zhou–Gollmann's f-codes.
+const (
+	flagNRO = "fNRO"
+	flagNRR = "fNRR"
+	flagSUB = "fSUB"
+	flagCON = "fCON"
+)
+
+// Errors.
+var (
+	ErrBadSignature = errors.New("traditional: signature verification failed")
+	ErrNoKey        = errors.New("traditional: key not (yet) deposited")
+	ErrChecksum     = errors.New("traditional: commitment hash mismatch")
+)
+
+func signBytes(flag, label string, body []byte) []byte {
+	e := wire.NewEncoder(64 + len(body))
+	e.String("zg-v1")
+	e.String(flag)
+	e.String(label)
+	e.Bytes32(body)
+	return e.Bytes()
+}
+
+// TTP is the on-line trusted third party: it stores deposited keys and
+// issues signed confirmations.
+type TTP struct {
+	id  *pki.Identity
+	dir func(string) (*pki.Certificate, error)
+	ctr *metrics.Counters
+
+	mu   sync.Mutex
+	keys map[string][]byte // label → deposited key
+	cons map[string][]byte // label → con_K signature
+}
+
+// NewTTP constructs the on-line TTP.
+func NewTTP(id *pki.Identity, dir func(string) (*pki.Certificate, error), ctr *metrics.Counters) *TTP {
+	if ctr == nil {
+		ctr = &metrics.Counters{}
+	}
+	return &TTP{id: id, dir: dir, ctr: ctr, keys: make(map[string][]byte), cons: make(map[string][]byte)}
+}
+
+// Submit is step 3: A deposits the key with sub_K.
+func (t *TTP) Submit(label string, key []byte, subK []byte, submitter string) error {
+	t.ctr.Inc(metrics.MsgsRecv, 1)
+	t.ctr.Inc(metrics.TTPMsgs, 1)
+	cert, err := t.dir(submitter)
+	if err != nil {
+		return err
+	}
+	pub, err := cert.PublicKey()
+	if err != nil {
+		return err
+	}
+	if err := cryptoutil.Verify(pub, signBytes(flagSUB, label, key), subK); err != nil {
+		return fmt.Errorf("%w: sub_K: %v", ErrBadSignature, err)
+	}
+	con, err := cryptoutil.Sign(t.id.Key, signBytes(flagCON, label, key))
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.keys[label] = append([]byte(nil), key...)
+	t.cons[label] = con
+	t.mu.Unlock()
+	return nil
+}
+
+// Fetch is step 4: either party retrieves the key and con_K.
+func (t *TTP) Fetch(label string) (key, conK []byte, err error) {
+	t.ctr.Inc(metrics.MsgsRecv, 1)
+	t.ctr.Inc(metrics.MsgsSent, 1)
+	t.ctr.Inc(metrics.TTPMsgs, 2)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k, ok := t.keys[label]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: label %q", ErrNoKey, label)
+	}
+	return append([]byte(nil), k...), append([]byte(nil), t.cons[label]...), nil
+}
+
+// PublicKeyID returns the TTP identity name (for con_K verification).
+func (t *TTP) PublicKeyID() string { return t.id.Name }
+
+// Provider is B: it receives commitments, issues NRRs, and completes
+// transactions by fetching keys from the TTP.
+type Provider struct {
+	id    *pki.Identity
+	dir   func(string) (*pki.Certificate, error)
+	store storage.Store
+	ctr   *metrics.Counters
+
+	mu      sync.Mutex
+	pending map[string]pendingCommit
+}
+
+type pendingCommit struct {
+	objectKey string
+	c         []byte // E_K(M)
+	hashC     cryptoutil.Digest
+	nro       []byte
+	sender    string
+}
+
+// NewProvider constructs B over its blob store.
+func NewProvider(id *pki.Identity, dir func(string) (*pki.Certificate, error), store storage.Store, ctr *metrics.Counters) *Provider {
+	if ctr == nil {
+		ctr = &metrics.Counters{}
+	}
+	return &Provider{id: id, dir: dir, store: store, ctr: ctr, pending: make(map[string]pendingCommit)}
+}
+
+// ReceiveCommit is step 1→2: B validates the NRO over the commitment
+// and returns the NRR.
+func (p *Provider) ReceiveCommit(label, objectKey string, c []byte, nro []byte, sender string) ([]byte, error) {
+	p.ctr.Inc(metrics.MsgsRecv, 1)
+	cert, err := p.dir(sender)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := cert.PublicKey()
+	if err != nil {
+		return nil, err
+	}
+	hashC := cryptoutil.Sum(cryptoutil.SHA256, c)
+	p.ctr.Inc(metrics.HashOps, 1)
+	if err := cryptoutil.Verify(pub, signBytes(flagNRO, label, hashC.Sum), nro); err != nil {
+		return nil, fmt.Errorf("%w: NRO: %v", ErrBadSignature, err)
+	}
+	p.ctr.Inc(metrics.VerifyOps, 1)
+	nrr, err := cryptoutil.Sign(p.id.Key, signBytes(flagNRR, label, hashC.Sum))
+	if err != nil {
+		return nil, err
+	}
+	p.ctr.Inc(metrics.SignOps, 1)
+	p.mu.Lock()
+	p.pending[label] = pendingCommit{objectKey: objectKey, c: c, hashC: hashC, nro: nro, sender: sender}
+	p.mu.Unlock()
+	p.ctr.Inc(metrics.MsgsSent, 1)
+	return nrr, nil
+}
+
+// Complete is B's half of step 4: fetch the key, verify con_K, decrypt
+// the commitment and store the plaintext object.
+func (p *Provider) Complete(label string, ttp *TTP) error {
+	p.mu.Lock()
+	commit, ok := p.pending[label]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("traditional: no pending commitment for %q", label)
+	}
+	key, conK, err := ttp.Fetch(label)
+	if err != nil {
+		return err
+	}
+	p.ctr.Inc(metrics.MsgsSent, 1) // the fetch request
+	p.ctr.Inc(metrics.MsgsRecv, 1)
+	p.ctr.Inc(metrics.TTPMsgs, 2)
+	ttpCert, err := p.dir(ttp.PublicKeyID())
+	if err != nil {
+		return err
+	}
+	ttpPub, err := ttpCert.PublicKey()
+	if err != nil {
+		return err
+	}
+	if err := cryptoutil.Verify(ttpPub, signBytes(flagCON, label, key), conK); err != nil {
+		return fmt.Errorf("%w: con_K: %v", ErrBadSignature, err)
+	}
+	p.ctr.Inc(metrics.VerifyOps, 1)
+	plain, err := cryptoutil.SymmetricDecrypt(key, commit.c)
+	if err != nil {
+		return fmt.Errorf("traditional: decrypting commitment: %w", err)
+	}
+	if _, err := p.store.Put(commit.objectKey, plain, cryptoutil.Digest{}); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	delete(p.pending, label)
+	p.mu.Unlock()
+	return nil
+}
+
+// Client is A.
+type Client struct {
+	id  *pki.Identity
+	dir func(string) (*pki.Certificate, error)
+	ctr *metrics.Counters
+}
+
+// NewClient constructs A.
+func NewClient(id *pki.Identity, dir func(string) (*pki.Certificate, error), ctr *metrics.Counters) *Client {
+	if ctr == nil {
+		ctr = &metrics.Counters{}
+	}
+	return &Client{id: id, dir: dir, ctr: ctr}
+}
+
+// Result is the evidence set A holds after a completed run.
+type Result struct {
+	Label string
+	NRO   []byte
+	NRR   []byte
+	ConK  []byte
+	Key   []byte
+	HashC cryptoutil.Digest
+}
+
+// Counters exposes A's metrics.
+func (c *Client) Counters() *metrics.Counters { return c.ctr }
+
+// Upload runs the full four-step protocol against B and the TTP.
+func (c *Client) Upload(label, objectKey string, data []byte, provider *Provider, ttp *TTP) (*Result, error) {
+	// Commit: C = E_K(M).
+	key, err := cryptoutil.NewSymmetricKey()
+	if err != nil {
+		return nil, err
+	}
+	commitment, err := cryptoutil.SymmetricEncrypt(key, data)
+	if err != nil {
+		return nil, err
+	}
+	hashC := cryptoutil.Sum(cryptoutil.SHA256, commitment)
+	c.ctr.Inc(metrics.HashOps, 1)
+
+	// Step 1: A → B.
+	nro, err := cryptoutil.Sign(c.id.Key, signBytes(flagNRO, label, hashC.Sum))
+	if err != nil {
+		return nil, err
+	}
+	c.ctr.Inc(metrics.SignOps, 1)
+	c.ctr.Inc(metrics.MsgsSent, 1)
+	c.ctr.Inc(metrics.BytesSent, int64(len(commitment)))
+	c.ctr.Inc(metrics.Rounds, 1)
+
+	// Step 2: B → A.
+	nrr, err := provider.ReceiveCommit(label, objectKey, commitment, nro, c.id.Name)
+	if err != nil {
+		return nil, err
+	}
+	c.ctr.Inc(metrics.MsgsRecv, 1)
+	bCert, err := c.dir(providerName(provider))
+	if err != nil {
+		return nil, err
+	}
+	bPub, err := bCert.PublicKey()
+	if err != nil {
+		return nil, err
+	}
+	if err := cryptoutil.Verify(bPub, signBytes(flagNRR, label, hashC.Sum), nrr); err != nil {
+		return nil, fmt.Errorf("%w: NRR: %v", ErrBadSignature, err)
+	}
+	c.ctr.Inc(metrics.VerifyOps, 1)
+
+	// Step 3: A → TTP.
+	subK, err := cryptoutil.Sign(c.id.Key, signBytes(flagSUB, label, key))
+	if err != nil {
+		return nil, err
+	}
+	c.ctr.Inc(metrics.SignOps, 1)
+	c.ctr.Inc(metrics.MsgsSent, 1)
+	c.ctr.Inc(metrics.TTPMsgs, 1)
+	c.ctr.Inc(metrics.Rounds, 1)
+	if err := ttp.Submit(label, key, subK, c.id.Name); err != nil {
+		return nil, err
+	}
+
+	// Step 4 (B's half): B fetches the key and completes storage.
+	if err := provider.Complete(label, ttp); err != nil {
+		return nil, err
+	}
+
+	// Step 4 (A's half): A fetches con_K as her evidence.
+	_, conK, err := ttp.Fetch(label)
+	if err != nil {
+		return nil, err
+	}
+	c.ctr.Inc(metrics.MsgsSent, 1)
+	c.ctr.Inc(metrics.MsgsRecv, 1)
+	c.ctr.Inc(metrics.TTPMsgs, 2)
+
+	return &Result{Label: label, NRO: nro, NRR: nrr, ConK: conK, Key: key, HashC: hashC}, nil
+}
+
+// providerName extracts B's identity name.
+func providerName(p *Provider) string { return p.id.Name }

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// FaultSpec configures a lossy, slow, duplicating link. Probabilities
+// are in [0,1] and applied per message on Send.
+type FaultSpec struct {
+	// DropProb is the probability a sent message silently vanishes —
+	// the "her request was dropped and Bob has never received" case of
+	// paper §4.3 that the Resolve sub-protocol exists for.
+	DropProb float64
+	// DupProb is the probability a sent message is delivered twice,
+	// which exercises the replay window.
+	DupProb float64
+	// Delay is a fixed latency added to every delivered message.
+	Delay time.Duration
+	// Jitter adds a uniform random extra latency in [0, Jitter).
+	Jitter time.Duration
+	// Seed makes the fault sequence deterministic.
+	Seed int64
+	// Clock provides the delay timers; nil means the real clock.
+	Clock clock.Clock
+}
+
+// Faulty wraps conn so that sends experience the configured faults.
+// Receives are passed through untouched; wrap both ends to make a
+// bidirectional lossy link.
+func Faulty(conn Conn, spec FaultSpec) Conn {
+	c := spec.Clock
+	if c == nil {
+		c = clock.Real()
+	}
+	return &faultyConn{
+		Conn:  conn,
+		spec:  spec,
+		rng:   rand.New(rand.NewSource(spec.Seed)),
+		clock: c,
+	}
+}
+
+type faultyConn struct {
+	Conn
+	spec  FaultSpec
+	mu    sync.Mutex
+	rng   *rand.Rand
+	clock clock.Clock
+}
+
+// Stats counts what the fault layer did, for experiment reporting.
+type Stats struct {
+	Sent, Dropped, Duplicated int
+}
+
+func (c *faultyConn) Send(msg []byte) error {
+	c.mu.Lock()
+	drop := c.rng.Float64() < c.spec.DropProb
+	dup := !drop && c.rng.Float64() < c.spec.DupProb
+	var extra time.Duration
+	if c.spec.Jitter > 0 {
+		extra = time.Duration(c.rng.Int63n(int64(c.spec.Jitter)))
+	}
+	c.mu.Unlock()
+
+	if drop {
+		return nil // silently lost; the sender cannot tell
+	}
+	if d := c.spec.Delay + extra; d > 0 {
+		c.clock.Sleep(d)
+	}
+	if err := c.Conn.Send(msg); err != nil {
+		return err
+	}
+	if dup {
+		return c.Conn.Send(msg)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// tcpConn adapts a net.Conn to the message-oriented Conn interface
+// using wire framing.
+type tcpConn struct {
+	nc      net.Conn
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	closeMu sync.Once
+}
+
+// WrapNetConn frames an arbitrary net.Conn as a message Conn.
+func WrapNetConn(nc net.Conn) Conn { return &tcpConn{nc: nc} }
+
+func (c *tcpConn) Send(msg []byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return wire.Frame(c.nc, msg)
+}
+
+func (c *tcpConn) Recv() ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	return wire.ReadFrame(c.nc)
+}
+
+func (c *tcpConn) Close() error {
+	var err error
+	c.closeMu.Do(func() { err = c.nc.Close() })
+	return err
+}
+
+// DialTCP connects to a TCP address and frames it.
+func DialTCP(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	return WrapNetConn(nc), nil
+}
+
+// tcpListener adapts net.Listener.
+type tcpListener struct{ nl net.Listener }
+
+// ListenTCP listens on a TCP address ("127.0.0.1:0" picks a free port;
+// read the actual address back with Addr).
+func ListenTCP(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening on %s: %w", addr, err)
+	}
+	return &tcpListener{nl: nl}, nil
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapNetConn(nc), nil
+}
+
+func (l *tcpListener) Close() error { return l.nl.Close() }
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }

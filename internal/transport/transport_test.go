@@ -1,0 +1,464 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe(0)
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	// And the reverse direction.
+	if err := b.Send([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = a.Recv()
+	if err != nil || string(got) != "world" {
+		t.Fatalf("reverse: %q, %v", got, err)
+	}
+}
+
+func TestPipePreservesOrder(t *testing.T) {
+	a, b := Pipe(0)
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 100; i++ {
+		if err := a.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("message %d arrived as %d", i, got[0])
+		}
+	}
+}
+
+func TestPipeSendCopiesMessage(t *testing.T) {
+	a, b := Pipe(0)
+	defer a.Close()
+	defer b.Close()
+	msg := []byte("original")
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	msg[0] = 'X'
+	got, _ := b.Recv()
+	if string(got) != "original" {
+		t.Fatalf("message aliased sender buffer: %q", got)
+	}
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	a, b := Pipe(0)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+func TestPipeBackpressure(t *testing.T) {
+	a, b := Pipe(2)
+	defer a.Close()
+	defer b.Close()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10; i++ {
+			if err := a.Send([]byte{byte(i)}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				break
+			}
+		}
+		close(done)
+	}()
+	// Drain slowly; the sender must block rather than grow unboundedly,
+	// and everything must arrive in order.
+	for i := 0; i < 10; i++ {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("out of order: %d at %d", got[0], i)
+		}
+	}
+	<-done
+}
+
+func TestNetworkDialListen(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer c.Close()
+		msg, err := c.Recv()
+		if err != nil {
+			t.Errorf("server recv: %v", err)
+			return
+		}
+		c.Send(append([]byte("echo:"), msg...))
+	}()
+
+	c, err := n.Dial("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil || string(got) != "echo:hi" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	wg.Wait()
+}
+
+func TestNetworkErrors(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Dial("nobody"); err == nil {
+		t.Error("dial to unknown address succeeded")
+	}
+	if _, err := n.Listen("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("x"); err == nil {
+		t.Error("duplicate listen succeeded")
+	}
+}
+
+func TestListenerCloseReleasesAddress(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := n.Dial("svc"); err == nil {
+		t.Error("dial succeeded after listener close")
+	}
+	if _, err := n.Listen("svc"); err != nil {
+		t.Errorf("re-listen after close: %v", err)
+	}
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Errorf("accept on closed listener: %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		for {
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			c.Send(msg)
+		}
+	}()
+
+	c, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := bytes.Repeat([]byte("tcp"), 10000)
+	if err := c.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("TCP round trip corrupted the payload")
+	}
+}
+
+func TestFaultyDropsDeterministically(t *testing.T) {
+	send := func(seed int64) int {
+		a, b := Pipe(0)
+		defer a.Close()
+		defer b.Close()
+		f := Faulty(a, FaultSpec{DropProb: 0.5, Seed: seed})
+		for i := 0; i < 200; i++ {
+			f.Send([]byte{byte(i)})
+		}
+		a.Close()
+		n := 0
+		for {
+			if _, err := b.Recv(); err != nil {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	n1, n2 := send(7), send(7)
+	if n1 != n2 {
+		t.Fatalf("same seed delivered %d then %d messages", n1, n2)
+	}
+	if n1 == 0 || n1 == 200 {
+		t.Fatalf("drop probability 0.5 delivered %d/200", n1)
+	}
+}
+
+func TestFaultyDuplicates(t *testing.T) {
+	a, b := Pipe(0)
+	defer b.Close()
+	f := Faulty(a, FaultSpec{DupProb: 1.0, Seed: 1})
+	f.Send([]byte("once"))
+	a.Close()
+	count := 0
+	for {
+		if _, err := b.Recv(); err != nil {
+			break
+		}
+		count++
+	}
+	if count != 2 {
+		t.Fatalf("DupProb=1 delivered %d copies, want 2", count)
+	}
+}
+
+func TestFaultyPassThrough(t *testing.T) {
+	a, b := Pipe(0)
+	defer a.Close()
+	defer b.Close()
+	f := Faulty(a, FaultSpec{})
+	for i := 0; i < 50; i++ {
+		if err := f.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		got, err := b.Recv()
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("message %d: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestTapPassiveEavesdropping(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("server")
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		msg, _ := c.Recv()
+		c.Send(append([]byte("re:"), msg...))
+	}()
+
+	conn, tap, err := Spliced(func() (Conn, error) { return n.Dial("server") }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tap.Close()
+	conn.Send([]byte("secret"))
+	got, err := conn.Recv()
+	if err != nil || string(got) != "re:secret" {
+		t.Fatalf("through tap: %q, %v", got, err)
+	}
+	log := tap.Log()
+	if len(log) != 2 {
+		t.Fatalf("tap saw %d messages, want 2", len(log))
+	}
+	if log[0].Dir != ClientToServer || string(log[0].Msg) != "secret" {
+		t.Errorf("first record: %v %q", log[0].Dir, log[0].Msg)
+	}
+	if log[1].Dir != ServerToClient || log[0].Dropped || log[0].Rewrote {
+		t.Errorf("unexpected tap records: %+v", log)
+	}
+}
+
+func TestTapRewriteAndDrop(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("server")
+	received := make(chan []byte, 4)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		for {
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			received <- msg
+		}
+	}()
+
+	ic := func(dir Direction, msg []byte) ([]byte, bool) {
+		if bytes.Equal(msg, []byte("drop-me")) {
+			return nil, false
+		}
+		if bytes.Equal(msg, []byte("rewrite-me")) {
+			return []byte("rewritten"), true
+		}
+		return msg, true
+	}
+	conn, tap, err := Spliced(func() (Conn, error) { return n.Dial("server") }, ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tap.Close()
+
+	conn.Send([]byte("drop-me"))
+	conn.Send([]byte("rewrite-me"))
+	conn.Send([]byte("plain"))
+
+	if got := <-received; string(got) != "rewritten" {
+		t.Fatalf("first delivered = %q, want rewritten", got)
+	}
+	if got := <-received; string(got) != "plain" {
+		t.Fatalf("second delivered = %q, want plain", got)
+	}
+	log := tap.Log()
+	if len(log) != 3 || !log[0].Dropped || !log[1].Rewrote {
+		t.Fatalf("tap log: %+v", log)
+	}
+}
+
+func TestTapInject(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("server")
+	received := make(chan []byte, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		msg, err := c.Recv()
+		if err == nil {
+			received <- msg
+		}
+	}()
+	conn, tap, err := Spliced(func() (Conn, error) { return n.Dial("server") }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tap.Close()
+	defer conn.Close()
+	if err := tap.Inject(ClientToServer, []byte("forged")); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-received; string(got) != "forged" {
+		t.Fatalf("server received %q", got)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if fmt.Sprint(ClientToServer) == fmt.Sprint(ServerToClient) {
+		t.Fatal("directions stringify identically")
+	}
+}
+
+// TestTCPHostileFrameHeader: a raw TCP client announcing a 4 GiB frame
+// must be rejected without a giant allocation, and the listener must
+// keep serving other connections.
+func TestTCPHostileFrameHeader(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				for {
+					msg, err := c.Recv()
+					if err != nil {
+						return
+					}
+					c.Send(msg)
+				}
+			}()
+		}
+	}()
+
+	// Hostile client: raw oversized header.
+	raw, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	raw.Close()
+
+	// A well-behaved client still gets service.
+	c, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send([]byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil || string(got) != "still alive" {
+		t.Fatalf("echo after hostile client: %q, %v", got, err)
+	}
+}

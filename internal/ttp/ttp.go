@@ -1,0 +1,191 @@
+// Package ttp implements the Trusted Third Party of the TPNR protocol
+// (paper §4.3, Fig. 6c). The TTP is off-line in the Normal and Abort
+// modes and only participates in Resolve: a party that did not receive
+// its counterparty's evidence before the time limit sends the TTP the
+// transaction ID, its own evidence, and a report of anomalies; the TTP
+// verifies genuineness and consistency, forwards a timestamped Resolve
+// query to the peer, and either relays the peer's evidence back or —
+// when the peer stays silent past the deadline — issues a signed
+// statement that "this session is failed and [the peer] did not
+// respond".
+//
+// The TTP never stores or forwards bulk data: "Normally the size of
+// the data set is very large, which is not feasible to be stored
+// and/or forwarded by the TTP" (§4.3). Only evidence moves through it.
+package ttp
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/evidence"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// Dialer connects the TTP to a named party for the in-line query.
+type Dialer func(partyID string) (transport.Conn, error)
+
+// Server is the TTP daemon.
+type Server struct {
+	*partyAlias
+	dial Dialer
+}
+
+// partyAlias re-exports the shared core plumbing under this package.
+// The TTP is a protocol party like the others: it has an identity, a
+// replay guard and an evidence archive (it must retain what passed
+// through it for later disputes).
+type partyAlias = core.TTPParty
+
+// New constructs a TTP server. dial is used to reach the counterparty
+// of a resolve request.
+func New(o core.Options, dial Dialer) (*Server, error) {
+	p, err := core.NewTTPParty(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{partyAlias: p, dial: dial}, nil
+}
+
+// Serve handles resolve traffic on one connection until it closes.
+func (s *Server) Serve(conn transport.Conn) error {
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.Counters().Inc(metrics.MsgsRecv, 1)
+		reply := s.HandleRaw(raw)
+		if reply == nil {
+			continue
+		}
+		s.Counters().Inc(metrics.MsgsSent, 1)
+		s.Counters().Inc(metrics.BytesSent, int64(len(reply)))
+		if err := conn.Send(reply); err != nil {
+			return err
+		}
+	}
+}
+
+// HandleRaw processes one encoded resolve request and returns the
+// encoded response for the requester (nil for unverifiable garbage).
+func (s *Server) HandleRaw(raw []byte) []byte {
+	m, err := core.DecodeMessage(raw)
+	if err != nil {
+		return nil
+	}
+	resp, err := s.handleResolve(m)
+	if err != nil || resp == nil {
+		return nil
+	}
+	return resp.Encode()
+}
+
+func (s *Server) handleResolve(m *core.Message) (*core.Message, error) {
+	h, ev, err := s.CheckInbound(m)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != evidence.KindResolveRequest {
+		return s.statement(h, "unsupported request kind "+h.Kind.String(), nil)
+	}
+	// Verify the genuineness of the claim: the embedded original
+	// evidence must verify under the claimant's key and belong to the
+	// claimed transaction.
+	if len(m.Payload) == 0 {
+		return s.statement(h, "resolve request carries no evidence", nil)
+	}
+	claimed, err := evidence.Decode(m.Payload)
+	if err != nil {
+		return s.statement(h, "resolve evidence malformed", nil)
+	}
+	claimantKey, err := s.PeerKey(h.SenderID)
+	if err != nil {
+		return nil, err
+	}
+	if claimed.Header.SenderID != h.SenderID || claimed.Header.TxnID != h.TxnID {
+		return s.statement(h, "resolve evidence does not match claim", nil)
+	}
+	if err := claimed.Verify(claimantKey); err != nil {
+		s.Counters().Inc(metrics.AuthFailures, 1)
+		return s.statement(h, "resolve evidence does not verify", nil)
+	}
+	s.Archive().Put(h.TxnID, evidence.RolePeer, ev)
+	s.Counters().Inc(metrics.Resolves, 1)
+
+	// Identify the counterparty from the claimant's evidence.
+	peerID := claimed.Header.RecipientID
+	peerReply, peerEv, note := s.queryPeer(h, peerID, m.Payload)
+	if peerReply == nil {
+		// Peer unresponsive: issue the signed failure statement.
+		return s.statement(h, note, nil)
+	}
+	return s.statement(h, note, peerEv)
+}
+
+// queryPeer forwards a timestamped resolve query to the counterparty
+// and awaits its answer. Returns the raw reply (nil on timeout or
+// failure), the peer's relayed evidence bytes, and the outcome note.
+func (s *Server) queryPeer(h *evidence.Header, peerID string, claimPayload []byte) ([]byte, []byte, string) {
+	conn, err := s.dial(peerID)
+	if err != nil {
+		return nil, nil, "peer-unreachable"
+	}
+	defer conn.Close()
+
+	peerKey, err := s.PeerKey(peerID)
+	if err != nil {
+		return nil, nil, "peer-unknown"
+	}
+	fh := s.NewHeader(evidence.KindResolveRequest, h.TxnID, peerID, s.ID(), s.NextSeq(h.TxnID))
+	fh.Note = "resolve query on behalf of " + h.SenderID
+	fh.SetDigests(nil)
+	fmsg, _, err := s.BuildMessage(fh, claimPayload, peerKey)
+	if err != nil {
+		return nil, nil, "internal-error"
+	}
+	if err := conn.Send(fmsg.Encode()); err != nil {
+		return nil, nil, "peer-unreachable"
+	}
+	s.Counters().Inc(metrics.TTPMsgs, 1)
+
+	raw, err := s.RecvTimeout(conn)
+	if err != nil {
+		s.Counters().Inc(metrics.Disputes, 1)
+		return nil, nil, "peer-unresponsive"
+	}
+	rm, err := core.DecodeMessage(raw)
+	if err != nil {
+		return nil, nil, "peer-malformed-reply"
+	}
+	rh, rev, err := s.CheckInbound(rm)
+	if err != nil || rh.Kind != evidence.KindResolveResponse {
+		return nil, nil, "peer-invalid-reply"
+	}
+	s.Archive().Put(h.TxnID, evidence.RolePeer, rev)
+	// Relay the peer's embedded evidence (its NRR) onward; the peer's
+	// action note travels with the statement.
+	return raw, rm.Payload, rh.Note
+}
+
+// statement builds the TTP's signed response to the requester,
+// optionally relaying peer evidence in the payload.
+func (s *Server) statement(h *evidence.Header, note string, relayed []byte) (*core.Message, error) {
+	requesterKey, err := s.PeerKey(h.SenderID)
+	if err != nil {
+		return nil, err
+	}
+	rh := s.NewHeader(evidence.KindResolveResponse, h.TxnID, h.SenderID, s.ID(), s.BumpSeqTo(h.TxnID, h.Seq))
+	rh.Note = note
+	rh.SetDigests(nil)
+	msg, own, err := s.BuildMessage(rh, relayed, requesterKey)
+	if err != nil {
+		return nil, err
+	}
+	s.Archive().Put(h.TxnID, evidence.RoleOwn, own)
+	return msg, nil
+}

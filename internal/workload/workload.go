@@ -1,0 +1,201 @@
+// Package workload drives statistical experiments over the TPNR
+// deployment: many objects, a configurable rate of insider tampering
+// and of false client claims, full dispute resolution for every
+// incident. Where the paper argues per-scenario ("assume Alice...",
+// §2.4), the workload runs populations and reports rates — detection
+// and attribution must both be 100% for the protocol's promise to
+// hold, and the X1 experiment asserts exactly that.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/arbitrator"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// Params configures one workload run.
+type Params struct {
+	// Objects is the number of objects uploaded.
+	Objects int
+	// MinSize and MaxSize bound the uniform object size distribution.
+	MinSize, MaxSize int
+	// TamperRate is the fraction of stored objects the insider rewrites
+	// (metadata fixed) between upload and download.
+	TamperRate float64
+	// FalseClaimRate is the fraction of UNtampered objects whose owner
+	// nevertheless files a loss claim (the blackmail population).
+	FalseClaimRate float64
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// Stats is the outcome of a run.
+type Stats struct {
+	Uploads, Downloads int
+
+	TampersInjected int
+	// TampersDetected counts tampered objects whose download failed the
+	// agreed-digest check.
+	TampersDetected int
+	// TampersAttributed counts tampered objects whose dispute ended
+	// provider-at-fault.
+	TampersAttributed int
+
+	FalseClaims int
+	// FalseClaimsExposed counts false claims the arbitrator ruled
+	// claim-false.
+	FalseClaimsExposed int
+
+	// CleanDownloadsOK counts untampered objects that downloaded with
+	// integrity verified.
+	CleanDownloadsOK int
+
+	// Verdicts tallies arbitrator rulings by name.
+	Verdicts map[string]int
+
+	// ClientMsgs and TTPMsgs aggregate protocol cost.
+	ClientMsgs, TTPMsgs int64
+}
+
+// Run executes the workload on a fresh deployment.
+func Run(p Params) (*Stats, error) {
+	if p.Objects <= 0 {
+		return nil, fmt.Errorf("workload: Objects must be positive")
+	}
+	if p.MinSize <= 0 {
+		p.MinSize = 64
+	}
+	if p.MaxSize < p.MinSize {
+		p.MaxSize = p.MinSize
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	d, err := deploy.New(deploy.Config{TestKeys: true, ResponseTimeout: 10 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	conn, err := d.DialProvider()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	arb := arbitrator.New(d.CA.PublicKey(), d.CA.Lookup, nil)
+
+	stats := &Stats{Verdicts: make(map[string]int)}
+
+	type object struct {
+		key      string
+		txn      string
+		data     []byte
+		up       *core.UploadResult
+		tampered bool
+	}
+	objects := make([]*object, p.Objects)
+
+	// Phase 1: uploads.
+	for i := range objects {
+		size := p.MinSize + rng.Intn(p.MaxSize-p.MinSize+1)
+		data := make([]byte, size)
+		rng.Read(data)
+		o := &object{
+			key:  fmt.Sprintf("wl/obj-%05d", i),
+			txn:  fmt.Sprintf("wl-up-%05d", i),
+			data: data,
+		}
+		up, err := d.Client.Upload(conn, o.txn, o.key, data)
+		if err != nil {
+			return nil, fmt.Errorf("workload: upload %d: %w", i, err)
+		}
+		o.up = up
+		objects[i] = o
+		stats.Uploads++
+	}
+
+	// Phase 2: the insider tampers a fraction of the stored objects.
+	tam := d.Store.(storage.Tamperer)
+	for _, o := range objects {
+		if rng.Float64() >= p.TamperRate {
+			continue
+		}
+		o.tampered = true
+		stats.TampersInjected++
+		if err := tam.Tamper(o.key, true, func(b []byte) []byte {
+			if len(b) == 0 {
+				return []byte{0xFF}
+			}
+			b[rng.Intn(len(b))] ^= 1 + byte(rng.Intn(255))
+			return b
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 3: downloads + incident handling.
+	for i, o := range objects {
+		dlTxn := fmt.Sprintf("wl-dl-%05d", i)
+		res, err := d.Client.Download(conn, dlTxn, o.key, o.txn)
+		stats.Downloads++
+		switch {
+		case errors.Is(err, core.ErrIntegrity):
+			if o.tampered {
+				stats.TampersDetected++
+			}
+			// Dispute with the provider's current data.
+			obj, _ := d.Store.Get(o.key)
+			dec := arb.Decide(&arbitrator.Case{
+				TxnID:        o.txn,
+				ObjectKey:    o.key,
+				ClaimantID:   deploy.ClientName,
+				RespondentID: deploy.ProviderName,
+				ClaimantNRO:  o.up.NRO,
+				ClaimantNRR:  o.up.NRR,
+				ProducedData: obj.Data,
+			})
+			stats.Verdicts[dec.Verdict.String()]++
+			if o.tampered && dec.Verdict == arbitrator.VerdictProviderFault {
+				stats.TampersAttributed++
+			}
+		case err != nil:
+			return nil, fmt.Errorf("workload: download %d: %w", i, err)
+		default:
+			if o.tampered {
+				// A tampered object downloaded cleanly: detection miss
+				// (must never happen; left uncounted so the rate shows it).
+				continue
+			}
+			if res.IntegrityOK {
+				stats.CleanDownloadsOK++
+			}
+			// A fraction of honest downloads turn into blackmail claims.
+			if rng.Float64() < p.FalseClaimRate {
+				stats.FalseClaims++
+				obj, _ := d.Store.Get(o.key)
+				dec := arb.Decide(&arbitrator.Case{
+					TxnID:        o.txn,
+					ObjectKey:    o.key,
+					ClaimantID:   deploy.ClientName,
+					RespondentID: deploy.ProviderName,
+					ClaimantNRO:  o.up.NRO,
+					ClaimantNRR:  o.up.NRR,
+					ProducedData: obj.Data,
+				})
+				stats.Verdicts[dec.Verdict.String()]++
+				if dec.Verdict == arbitrator.VerdictClaimFalse {
+					stats.FalseClaimsExposed++
+				}
+			}
+		}
+	}
+
+	stats.ClientMsgs = d.ClientCounters.Get(metrics.MsgsSent) + d.ClientCounters.Get(metrics.MsgsRecv)
+	stats.TTPMsgs = d.TTPCounters.Get(metrics.MsgsRecv) + d.TTPCounters.Get(metrics.MsgsSent)
+	return stats, nil
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestRunCleanWorkload(t *testing.T) {
+	s, err := Run(Params{Objects: 20, MinSize: 32, MaxSize: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Uploads != 20 || s.Downloads != 20 {
+		t.Fatalf("uploads=%d downloads=%d", s.Uploads, s.Downloads)
+	}
+	if s.CleanDownloadsOK != 20 {
+		t.Fatalf("clean downloads = %d, want 20", s.CleanDownloadsOK)
+	}
+	if s.TampersInjected != 0 || len(s.Verdicts) != 0 {
+		t.Fatalf("clean run produced incidents: %+v", s)
+	}
+	if s.TTPMsgs != 0 {
+		t.Fatalf("clean run involved the TTP: %d msgs", s.TTPMsgs)
+	}
+}
+
+// TestRunDetectsAllTampers is the protocol's population-level promise:
+// 100% detection AND 100% attribution at any tamper rate.
+func TestRunDetectsAllTampers(t *testing.T) {
+	s, err := Run(Params{Objects: 30, MinSize: 32, MaxSize: 128, TamperRate: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TampersInjected == 0 {
+		t.Fatal("seed produced no tampers; pick another seed")
+	}
+	if s.TampersDetected != s.TampersInjected {
+		t.Fatalf("detected %d of %d tampers", s.TampersDetected, s.TampersInjected)
+	}
+	if s.TampersAttributed != s.TampersInjected {
+		t.Fatalf("attributed %d of %d tampers", s.TampersAttributed, s.TampersInjected)
+	}
+	if got := s.Verdicts["provider-at-fault"]; got != s.TampersInjected {
+		t.Fatalf("provider-at-fault verdicts = %d, want %d", got, s.TampersInjected)
+	}
+}
+
+func TestRunExposesAllFalseClaims(t *testing.T) {
+	s, err := Run(Params{Objects: 30, MinSize: 32, MaxSize: 128, FalseClaimRate: 0.4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FalseClaims == 0 {
+		t.Fatal("seed produced no false claims")
+	}
+	if s.FalseClaimsExposed != s.FalseClaims {
+		t.Fatalf("exposed %d of %d false claims", s.FalseClaimsExposed, s.FalseClaims)
+	}
+}
+
+func TestRunMixedIncidents(t *testing.T) {
+	s, err := Run(Params{Objects: 40, MinSize: 16, MaxSize: 64, TamperRate: 0.25, FalseClaimRate: 0.25, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TampersDetected != s.TampersInjected || s.FalseClaimsExposed != s.FalseClaims {
+		t.Fatalf("mixed run imperfect: %+v", s)
+	}
+	// Every incident got a verdict.
+	total := 0
+	for _, n := range s.Verdicts {
+		total += n
+	}
+	if total != s.TampersInjected+s.FalseClaims {
+		t.Fatalf("verdicts %d != incidents %d", total, s.TampersInjected+s.FalseClaims)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := Params{Objects: 15, MinSize: 16, MaxSize: 64, TamperRate: 0.3, FalseClaimRate: 0.2, Seed: 5}
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TampersInjected != b.TampersInjected || a.FalseClaims != b.FalseClaims {
+		t.Fatalf("same seed, different incidents: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Params{Objects: 0}); err == nil {
+		t.Fatal("Objects=0 accepted")
+	}
+}
