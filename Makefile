@@ -1,0 +1,23 @@
+# Offline stdlib-only Go module; these targets are the whole toolchain.
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# verify is the tier-1 gate: vet, compile everything, then the full
+# suite under the race detector (the concurrency tests depend on it).
+verify: vet build race

@@ -11,7 +11,10 @@
 package repro
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -201,10 +204,10 @@ func benchBridge(b *testing.B, sol bridging.Solution) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := br.Upload("k", data); err != nil {
+		if err := br.Upload(context.Background(), "k", data); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := br.Dispute("k"); err != nil {
+		if _, err := br.Dispute(context.Background(), "k"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -240,7 +243,7 @@ func BenchmarkE7TPNRNormalUpload(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		txn := fmt.Sprintf("bench-n-%d", i)
-		if _, err := d.Client.Upload(conn, txn, "k"+txn, data); err != nil {
+		if _, err := d.Client.Upload(context.Background(), conn, txn, "k"+txn, data); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -254,7 +257,7 @@ func BenchmarkE7TPNRDownload(b *testing.B) {
 	}
 	defer conn.Close()
 	data := make([]byte, 64<<10)
-	if _, err := d.Client.Upload(conn, "bench-up", "obj", data); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "bench-up", "obj", data); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(data)))
@@ -262,7 +265,7 @@ func BenchmarkE7TPNRDownload(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		txn := fmt.Sprintf("bench-d-%d", i)
-		if _, err := d.Client.Download(conn, txn, "obj", "bench-up"); err != nil {
+		if _, err := d.Client.Download(context.Background(), conn, txn, "obj", "bench-up"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -279,7 +282,7 @@ func BenchmarkE7TPNRAbort(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		txn := fmt.Sprintf("bench-a-%d", i)
-		if _, err := d.Client.Abort(conn, txn, "bench"); err != nil {
+		if _, err := d.Client.Abort(context.Background(), conn, txn, "bench"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -310,13 +313,13 @@ func BenchmarkE7TPNRResolve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		txn := fmt.Sprintf("bench-r-%d", i)
-		short.Client.Upload(sconn, txn, "k"+txn, data) // times out
+		short.Client.Upload(context.Background(), sconn, txn, "k"+txn, data) // times out
 		short.Provider.SetMisbehavior(core.Misbehavior{})
 		ttpConn, err := short.DialTTP()
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := short.Client.Resolve(ttpConn, txn, "bench"); err != nil {
+		if _, err := short.Client.Resolve(context.Background(), ttpConn, txn, "bench"); err != nil {
 			b.Fatal(err)
 		}
 		ttpConn.Close()
@@ -342,7 +345,7 @@ func benchTPNRUpload(b *testing.B, size int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		txn := fmt.Sprintf("bench-e8-%d", i)
-		if _, err := d.Client.Upload(conn, txn, "k"+txn, data); err != nil {
+		if _, err := d.Client.Upload(context.Background(), conn, txn, "k"+txn, data); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -367,7 +370,7 @@ func benchTraditionalUpload(b *testing.B, size int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Upload(fmt.Sprintf("L%d", i), "k", data, provider, ttp); err != nil {
+		if _, err := client.Upload(context.Background(), fmt.Sprintf("L%d", i), "k", data, provider, ttp); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -572,7 +575,7 @@ func BenchmarkXBigObjectUpload(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := fmt.Sprintf("big/%d", i)
-		if _, err := bigobject.Upload(d.Client, conn, fmt.Sprintf("bx-%d", i), key, data, 16<<10); err != nil {
+		if _, err := bigobject.Upload(context.Background(), d.Client, conn, fmt.Sprintf("bx-%d", i), key, data, 16<<10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -595,5 +598,109 @@ func BenchmarkE10EvidenceSignOnly(b *testing.B) {
 		if _, err := cryptoutil.Sign(alice, hdr[:64]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- E10 concurrent session engine ------------------------------------------
+//
+// The sweep below measures the tentpole of the concurrent runtime: N
+// client workers multiplex protocol runs through a SessionPool against
+// one core.Server. Every client-side send pays a simulated WAN latency
+// (benchWANDelay), which is exactly the cost a session pool exists to
+// overlap; ops/sec should therefore scale with the client count until
+// the single provider's CPU saturates. p50/p99 per-operation latency
+// comes from metrics.Latencies.
+
+// benchWANDelay is the simulated one-way network latency added to each
+// client-side message send.
+const benchWANDelay = 20 * time.Millisecond
+
+// newBenchPool wires a SessionPool whose provider connections model a
+// WAN link.
+func newBenchPool(b *testing.B, d *deploy.Deployment, clients int) *core.SessionPool {
+	b.Helper()
+	return core.NewSessionPool(d.Client, func(ctx context.Context) (transport.Conn, error) {
+		conn, err := d.Net.DialContext(ctx, deploy.ProviderName)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Faulty(conn, transport.FaultSpec{Delay: benchWANDelay}), nil
+	}, core.PoolMaxConns(clients))
+}
+
+// runConcurrent distributes b.N operations over `clients` workers via
+// an atomic iteration counter and reports ops/sec plus p50/p99
+// operation latency.
+func runConcurrent(b *testing.B, clients int, op func(worker, iter int) error) {
+	b.Helper()
+	var lat metrics.Latencies
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i > b.N {
+					return
+				}
+				t0 := time.Now()
+				if err := op(w, i); err != nil {
+					b.Error(err)
+					return
+				}
+				lat.Record(time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if s := elapsed.Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "ops/s")
+	}
+	b.ReportMetric(float64(lat.Percentile(50))/1e6, "p50-ms")
+	b.ReportMetric(float64(lat.Percentile(99))/1e6, "p99-ms")
+}
+
+func BenchmarkE10ConcurrentUpload(b *testing.B) {
+	for _, clients := range []int{1, 2, 4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			d := newBenchDeploy(b)
+			pool := newBenchPool(b, d, clients)
+			defer pool.Close()
+			data := make([]byte, 4<<10)
+			runConcurrent(b, clients, func(w, i int) error {
+				txn := fmt.Sprintf("bcu-%d-%d", w, i)
+				_, err := pool.Upload(context.Background(), txn, "k/"+txn, data)
+				return err
+			})
+		})
+	}
+}
+
+func BenchmarkE10ConcurrentDownload(b *testing.B) {
+	for _, clients := range []int{1, 2, 4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			d := newBenchDeploy(b)
+			conn, err := d.DialProvider()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := d.Client.Upload(context.Background(), conn, "bench-seed", "obj", make([]byte, 4<<10)); err != nil {
+				b.Fatal(err)
+			}
+			pool := newBenchPool(b, d, clients)
+			defer pool.Close()
+			runConcurrent(b, clients, func(w, i int) error {
+				txn := fmt.Sprintf("bcd-%d-%d", w, i)
+				_, err := pool.Download(context.Background(), txn, "obj", "bench-seed")
+				return err
+			})
+		})
 	}
 }

@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -57,6 +60,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	switch op {
 	case "upload":
@@ -66,7 +71,7 @@ func main() {
 		}
 		conn := dial(*server)
 		defer conn.Close()
-		res, err := client.Upload(conn, *txn, *key, data)
+		res, err := client.Upload(ctx, conn, *txn, *key, data)
 		if err != nil {
 			fail(err)
 		}
@@ -85,7 +90,7 @@ func main() {
 				client.Archive().Put(*uploadTxn, evidence.RolePeer, nrr)
 			}
 		}
-		res, err := client.Download(conn, *txn, *key, *uploadTxn)
+		res, err := client.Download(ctx, conn, *txn, *key, *uploadTxn)
 		if err != nil {
 			if errors.Is(err, core.ErrIntegrity) && res != nil {
 				saveEvidence(*state, *txn, evidence.RolePeer, res.Receipt)
@@ -107,7 +112,7 @@ func main() {
 	case "abort":
 		conn := dial(*server)
 		defer conn.Close()
-		res, err := client.Abort(conn, *txn, *reason)
+		res, err := client.Abort(ctx, conn, *txn, *reason)
 		if err != nil {
 			fail(err)
 		}
@@ -123,7 +128,7 @@ func main() {
 		}
 		conn := dial(*ttpAddr)
 		defer conn.Close()
-		res, err := client.Resolve(conn, *txn, *report)
+		res, err := client.Resolve(ctx, conn, *txn, *report)
 		if err != nil {
 			fail(err)
 		}
@@ -173,13 +178,13 @@ func buildClient(state, name, providerName, ttpName string, timeout time.Duratio
 	if err != nil {
 		return nil, err
 	}
-	return core.NewClient(core.Options{
-		Identity:        id,
-		CAKey:           caKey,
-		Directory:       world.Lookup,
-		Counters:        &metrics.Counters{},
-		ResponseTimeout: timeout,
-	}, providerName, ttpName)
+	return core.NewClient(providerName, ttpName,
+		core.WithIdentity(id),
+		core.WithCAKey(caKey),
+		core.WithDirectory(world.Lookup),
+		core.WithCounters(&metrics.Counters{}),
+		core.WithResponseTimeout(timeout),
+	)
 }
 
 func saveEvidence(state, txn string, role evidence.Role, ev *evidence.Evidence) {

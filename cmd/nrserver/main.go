@@ -4,13 +4,20 @@
 //	nrserver -state ./state -name bob -listen 127.0.0.1:9000 -store ./blobs
 //
 // The state directory must have been provisioned with pkitool init.
+// SIGINT/SIGTERM triggers a graceful shutdown: the accept loop stops,
+// in-flight protocol steps drain (bounded by -drain), then connections
+// close.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/keystore"
@@ -24,6 +31,7 @@ func main() {
 	name := flag.String("name", "bob", "this provider's identity name")
 	listen := flag.String("listen", "127.0.0.1:9000", "TCP listen address")
 	storeDir := flag.String("store", "./blobs", "blob store directory")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	flag.Parse()
 
 	provider, err := buildProvider(*state, *name, *storeDir)
@@ -37,18 +45,29 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("nrserver: provider %q listening on %s, store %s", *name, l.Addr(), *storeDir)
-	for {
-		conn, err := l.Accept()
+
+	srv := core.NewServer(provider)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(context.Background(), l) }()
+
+	select {
+	case err := <-done:
 		if err != nil {
-			log.Printf("nrserver: accept: %v", err)
-			return
+			log.Printf("nrserver: serve: %v", err)
+			os.Exit(1)
 		}
-		go func() {
-			if err := provider.Serve(conn); err != nil {
-				log.Printf("nrserver: connection: %v", err)
-			}
-		}()
+	case <-ctx.Done():
+		log.Printf("nrserver: signal received, draining for up to %v", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("nrserver: shutdown: %v", err)
+		}
 	}
+	log.Printf("nrserver: stopped")
 }
 
 func buildProvider(state, name, storeDir string) (*core.Provider, error) {
@@ -68,10 +87,11 @@ func buildProvider(state, name, storeDir string) (*core.Provider, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewProvider(core.Options{
-		Identity:  id,
-		CAKey:     caKey,
-		Directory: world.Lookup,
-		Counters:  &metrics.Counters{},
-	}, store)
+	return core.NewProvider(
+		core.WithIdentity(id),
+		core.WithCAKey(caKey),
+		core.WithDirectory(world.Lookup),
+		core.WithCounters(&metrics.Counters{}),
+		core.WithStore(store),
+	)
 }

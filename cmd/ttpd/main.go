@@ -3,14 +3,21 @@
 // peers are given as repeated -peer name=addr flags.
 //
 //	ttpd -state ./state -name ttp -listen 127.0.0.1:9001 -peer bob=127.0.0.1:9000
+//
+// SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
+// resolutions before closing connections.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/keystore"
@@ -37,6 +44,7 @@ func main() {
 	state := flag.String("state", "./state", "PKI state directory")
 	name := flag.String("name", "ttp", "this TTP's identity name")
 	listen := flag.String("listen", "127.0.0.1:9001", "TCP listen address")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer address mapping name=host:port (repeatable)")
 	flag.Parse()
@@ -56,18 +64,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ttpd:", err)
 		os.Exit(1)
 	}
-	server, err := ttp.New(core.Options{
-		Identity:  id,
-		CAKey:     caKey,
-		Directory: world.Lookup,
-		Counters:  &metrics.Counters{},
-	}, func(partyID string) (transport.Conn, error) {
+	server, err := ttp.New(func(ctx context.Context, partyID string) (transport.Conn, error) {
 		addr, ok := peers[partyID]
 		if !ok {
 			return nil, fmt.Errorf("ttpd: no -peer mapping for %q", partyID)
 		}
-		return transport.DialTCP(addr)
-	})
+		return transport.DialTCPContext(ctx, addr)
+	},
+		core.WithIdentity(id),
+		core.WithCAKey(caKey),
+		core.WithDirectory(world.Lookup),
+		core.WithCounters(&metrics.Counters{}),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ttpd:", err)
 		os.Exit(1)
@@ -79,16 +87,27 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("ttpd: TTP %q listening on %s, peers %v", *name, l.Addr(), peers)
-	for {
-		conn, err := l.Accept()
+
+	srv := core.NewServer(server)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(context.Background(), l) }()
+
+	select {
+	case err := <-done:
 		if err != nil {
-			log.Printf("ttpd: accept: %v", err)
-			return
+			log.Printf("ttpd: serve: %v", err)
+			os.Exit(1)
 		}
-		go func() {
-			if err := server.Serve(conn); err != nil {
-				log.Printf("ttpd: connection: %v", err)
-			}
-		}()
+	case <-ctx.Done():
+		log.Printf("ttpd: signal received, draining for up to %v", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("ttpd: shutdown: %v", err)
+		}
 	}
+	log.Printf("ttpd: stopped")
 }

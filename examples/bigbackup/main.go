@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -35,7 +36,7 @@ func main() {
 	for i := range backup {
 		backup[i] = byte(i * 13)
 	}
-	up, err := bigobject.Upload(d.Client, conn, "bk-2010", "backups/full", backup, 4<<10)
+	up, err := bigobject.Upload(context.Background(), d.Client, conn, "bk-2010", "backups/full", backup, 4<<10)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func main() {
 	}
 	fmt.Println("insider corrupted chunks 3 and 11 (metadata fixed)")
 
-	down, err := bigobject.Download(d.Client, conn, "bk-2010-restore", "backups/full", up.ManifestTxn)
+	down, err := bigobject.Download(context.Background(), d.Client, conn, "bk-2010-restore", "backups/full", up.ManifestTxn)
 	if !errors.Is(err, bigobject.ErrTampered) {
 		log.Fatalf("expected tamper detection, got %v", err)
 	}

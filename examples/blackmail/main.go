@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,11 +34,11 @@ func main() {
 	// 1. Alice uploads and later downloads her data — everything is
 	// intact.
 	data := []byte("backup archive, perfectly intact")
-	up, err := d.Client.Upload(conn, "txn-bk", "backups/archive", data)
+	up, err := d.Client.Upload(context.Background(), conn, "txn-bk", "backups/archive", data)
 	if err != nil {
 		log.Fatal(err)
 	}
-	down, err := d.Client.Download(conn, "txn-bk-dl", "backups/archive", "txn-bk")
+	down, err := d.Client.Download(context.Background(), conn, "txn-bk-dl", "backups/archive", "txn-bk")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -41,7 +42,7 @@ func main() {
 	// 1. The CFO uploads the books. (deploy names the client "alice"
 	// and the provider "bob"; read them as the paper's Alice and Eve.)
 	books := []byte("FY2010 ledger: revenue=1,000,000 expenses=900,000 profit=100,000")
-	up, err := d.Client.Upload(conn, "txn-books", "finance/fy2010", books)
+	up, err := d.Client.Upload(context.Background(), conn, "txn-books", "finance/fy2010", books)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func main() {
 	// 3. The chairman downloads. The platform-style check (data vs
 	// provider-reported digest) would pass — but the TPNR client
 	// compares against the digest signed by BOTH parties at upload.
-	res, err := d.Client.Download(conn, "txn-audit", "finance/fy2010", "txn-books")
+	res, err := d.Client.Download(context.Background(), conn, "txn-audit", "finance/fy2010", "txn-books")
 	if !errors.Is(err, core.ErrIntegrity) {
 		log.Fatalf("expected integrity failure, got %v", err)
 	}

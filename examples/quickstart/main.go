@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 	// Upload: 2 protocol messages, no TTP. Alice gets Bob's signed
 	// receipt (NRR); Bob gets Alice's signed origin evidence (NRO).
 	data := []byte("hello, non-repudiated cloud storage")
-	up, err := d.Client.Upload(conn, "txn-quickstart", "hello.txt", data)
+	up, err := d.Client.Upload(context.Background(), conn, "txn-quickstart", "hello.txt", data)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func main() {
 
 	// Download: the client automatically checks the served bytes
 	// against the digest BOTH parties signed at upload time.
-	down, err := d.Client.Download(conn, "txn-quickstart-dl", "hello.txt", "txn-quickstart")
+	down, err := d.Client.Download(context.Background(), conn, "txn-quickstart-dl", "hello.txt", "txn-quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package arbitrator_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -38,7 +39,7 @@ func newFixture(t *testing.T) *fixture {
 	t.Cleanup(func() { conn.Close() })
 
 	data := []byte("company financial records: total = 1000")
-	up, err := d.Client.Upload(conn, "txn-dispute", "finance/records", data)
+	up, err := d.Client.Upload(context.Background(), conn, "txn-dispute", "finance/records", data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,9 +179,9 @@ func TestAbortedTransaction(t *testing.T) {
 
 	// Stall the upload, then abort it.
 	d.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
-	d.Client.Upload(conn, "txn-ab", "k", []byte("v"))
+	d.Client.Upload(context.Background(), conn, "txn-ab", "k", []byte("v"))
 	d.Provider.SetMisbehavior(core.Misbehavior{})
-	ab, err := d.Client.Abort(conn, "txn-ab", "peer silent")
+	ab, err := d.Client.Abort(context.Background(), conn, "txn-ab", "peer silent")
 	if err != nil || !ab.Accepted {
 		t.Fatalf("abort: %+v, %v", ab, err)
 	}
@@ -217,7 +218,7 @@ func TestProviderUnresponsiveWithTTPStatement(t *testing.T) {
 	defer conn.Close()
 
 	d.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true, IgnoreResolve: true})
-	if _, err := d.Client.Upload(conn, "txn-ttp", "k", []byte("v")); !errors.Is(err, core.ErrTimeout) {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-ttp", "k", []byte("v")); !errors.Is(err, core.ErrTimeout) {
 		t.Fatalf("setup: %v", err)
 	}
 	ttpConn, err := d.DialTTP()
@@ -225,7 +226,7 @@ func TestProviderUnresponsiveWithTTPStatement(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ttpConn.Close()
-	res, err := d.Client.Resolve(ttpConn, "txn-ttp", "no NRR")
+	res, err := d.Client.Resolve(context.Background(), ttpConn, "txn-ttp", "no NRR")
 	if err != nil || res.TTPStatement == nil {
 		t.Fatalf("resolve: %+v, %v", res, err)
 	}

@@ -2,6 +2,7 @@ package attack
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -153,7 +154,7 @@ func mitmTPNR() (Outcome, error) {
 	}
 	defer tap.Close()
 
-	_, upErr := d.Client.Upload(conn, "txn-mitm", "k", []byte("genuine"))
+	_, upErr := d.Client.Upload(context.Background(), conn, "txn-mitm", "k", []byte("genuine"))
 	stored, getErr := d.Store.Get("k")
 	tamperedStored := getErr == nil && bytes.Contains(stored.Data, []byte("TAMPERED"))
 	clientFooled := upErr == nil
@@ -229,7 +230,7 @@ func reflectionTPNR() (Outcome, error) {
 	tapRef = tap
 	defer tap.Close()
 
-	_, upErr := d.Client.Upload(conn, "txn-refl", "k", []byte("v"))
+	_, upErr := d.Client.Upload(context.Background(), conn, "txn-refl", "k", []byte("v"))
 	// Success for the attacker = the client accepted its own message as
 	// a receipt (upErr == nil). TPNR rejects: the reflected header
 	// names Bob as recipient and Alice as sender.
@@ -298,7 +299,7 @@ func interleavingTPNR() (Outcome, error) {
 		return Outcome{}, err
 	}
 	defer tap.Close()
-	if _, err := d.Client.Upload(conn, "txn-session-A", "k", []byte("v")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-session-A", "k", []byte("v")); err != nil {
 		return Outcome{}, err
 	}
 
@@ -318,7 +319,7 @@ func interleavingTPNR() (Outcome, error) {
 	h.Nonce[0] ^= 1 // fresh-looking nonce
 	m.HeaderBytes = h.Encode()
 
-	reply := d.Provider.HandleRaw(m.Encode())
+	reply, _ := d.Provider.Handle(m.Encode())
 	accepted := replyIsNonError(reply)
 	detail := fmt.Sprintf("provider accepted transplanted NRO=%v — Sign(Plaintext) binds the transaction ID", accepted)
 	return Outcome{Attack: Interleaving, Target: "TPNR", Succeeded: accepted, Detail: detail}, nil
@@ -390,10 +391,10 @@ func replayTPNR() (Outcome, error) {
 		return Outcome{}, err
 	}
 	defer tap.Close()
-	if _, err := d.Client.Upload(conn, "txn-replay", "k", []byte("v")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-replay", "k", []byte("v")); err != nil {
 		return Outcome{}, err
 	}
-	reply := d.Provider.HandleRaw(captured)
+	reply, _ := d.Provider.Handle(captured)
 	accepted := replyIsNonError(reply)
 	versions := versionCount(d, "k")
 	detail := fmt.Sprintf("replayed NRO accepted=%v, object versions=%d — unique sequence number + nonce", accepted, versions)
@@ -437,7 +438,7 @@ func timelinessTPNR() (Outcome, error) {
 	defer tap.Close()
 
 	start := time.Now()
-	_, upErr := d.Client.Upload(conn, "txn-late", "k", []byte("v"))
+	_, upErr := d.Client.Upload(context.Background(), conn, "txn-late", "k", []byte("v"))
 	elapsed := time.Since(start)
 	_, getErr := d.Store.Get("k")
 	staleAccepted := getErr == nil

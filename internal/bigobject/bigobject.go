@@ -11,6 +11,7 @@ package bigobject
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
@@ -142,20 +143,20 @@ type UploadResult struct {
 
 // Upload runs the chunked upload: one TPNR transaction for the
 // manifest, one per chunk. baseTxn prefixes all transaction IDs.
-func Upload(client *core.Client, conn transport.Conn, baseTxn, key string, data []byte, chunkSize int) (*UploadResult, error) {
+func Upload(ctx context.Context, client *core.Client, conn transport.Conn, baseTxn, key string, data []byte, chunkSize int) (*UploadResult, error) {
 	m, chunks, err := BuildManifest(key, data, chunkSize)
 	if err != nil {
 		return nil, err
 	}
 	manifestTxn := baseTxn + "-manifest"
-	up, err := client.Upload(conn, manifestTxn, ManifestKey(key), m.Encode())
+	up, err := client.Upload(ctx, conn, manifestTxn, ManifestKey(key), m.Encode())
 	if err != nil {
 		return nil, fmt.Errorf("bigobject: uploading manifest: %w", err)
 	}
 	res := &UploadResult{Manifest: m, ManifestTxn: manifestTxn, ManifestEvidence: up.NRR}
 	for i, c := range chunks {
 		txn := fmt.Sprintf("%s-chunk-%08d", baseTxn, i)
-		if _, err := client.Upload(conn, txn, ChunkKey(key, i), c); err != nil {
+		if _, err := client.Upload(ctx, conn, txn, ChunkKey(key, i), c); err != nil {
 			return nil, fmt.Errorf("bigobject: uploading chunk %d: %w", i, err)
 		}
 		res.ChunkTxns = append(res.ChunkTxns, txn)
@@ -178,8 +179,8 @@ type DownloadResult struct {
 // upload transaction) and every chunk (each verified against the
 // manifest). It returns ErrTampered, with the full result, when any
 // chunk fails.
-func Download(client *core.Client, conn transport.Conn, baseTxn, key, manifestTxn string) (*DownloadResult, error) {
-	mres, err := client.Download(conn, baseTxn+"-manifest", ManifestKey(key), manifestTxn)
+func Download(ctx context.Context, client *core.Client, conn transport.Conn, baseTxn, key, manifestTxn string) (*DownloadResult, error) {
+	mres, err := client.Download(ctx, conn, baseTxn+"-manifest", ManifestKey(key), manifestTxn)
 	if err != nil {
 		return nil, fmt.Errorf("bigobject: downloading manifest: %w", err)
 	}
@@ -194,7 +195,7 @@ func Download(client *core.Client, conn transport.Conn, baseTxn, key, manifestTx
 	var buf bytes.Buffer
 	for i := range m.Leaves {
 		txn := fmt.Sprintf("%s-chunk-%08d", baseTxn, i)
-		cres, err := client.Download(conn, txn, ChunkKey(key, i), "")
+		cres, err := client.Download(ctx, conn, txn, ChunkKey(key, i), "")
 		switch {
 		case errors.Is(err, core.ErrIntegrity):
 			// The provider served bytes that contradict its own earlier

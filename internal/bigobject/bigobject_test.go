@@ -2,6 +2,7 @@ package bigobject_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -38,7 +39,7 @@ func testData(n int) []byte {
 func TestUploadDownloadRoundTrip(t *testing.T) {
 	d, conn := newDeploy(t)
 	data := testData(10_000)
-	up, err := bigobject.Upload(d.Client, conn, "big-1", "backups/tb", data, 1024)
+	up, err := bigobject.Upload(context.Background(), d.Client, conn, "big-1", "backups/tb", data, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestUploadDownloadRoundTrip(t *testing.T) {
 		t.Fatalf("manifest: %+v", up.Manifest)
 	}
 
-	down, err := bigobject.Download(d.Client, conn, "big-1-dl", "backups/tb", up.ManifestTxn)
+	down, err := bigobject.Download(context.Background(), d.Client, conn, "big-1-dl", "backups/tb", up.ManifestTxn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestUploadDownloadRoundTrip(t *testing.T) {
 func TestTamperLocalization(t *testing.T) {
 	d, conn := newDeploy(t)
 	data := testData(8192)
-	up, err := bigobject.Upload(d.Client, conn, "big-2", "backups/db", data, 1024)
+	up, err := bigobject.Upload(context.Background(), d.Client, conn, "big-2", "backups/db", data, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestTamperLocalization(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	down, err := bigobject.Download(d.Client, conn, "big-2-dl", "backups/db", up.ManifestTxn)
+	down, err := bigobject.Download(context.Background(), d.Client, conn, "big-2-dl", "backups/db", up.ManifestTxn)
 	if !errors.Is(err, bigobject.ErrTampered) {
 		t.Fatalf("err = %v, want ErrTampered", err)
 	}
@@ -94,7 +95,7 @@ func TestTamperLocalization(t *testing.T) {
 func TestManifestTamperDetected(t *testing.T) {
 	d, conn := newDeploy(t)
 	data := testData(4096)
-	up, err := bigobject.Upload(d.Client, conn, "big-3", "backups/m", data, 1024)
+	up, err := bigobject.Upload(context.Background(), d.Client, conn, "big-3", "backups/m", data, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestManifestTamperDetected(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	_, err = bigobject.Download(d.Client, conn, "big-3-dl", "backups/m", up.ManifestTxn)
+	_, err = bigobject.Download(context.Background(), d.Client, conn, "big-3-dl", "backups/m", up.ManifestTxn)
 	if err == nil {
 		t.Fatal("forged manifest accepted")
 	}
@@ -158,14 +159,14 @@ func TestChunkKeys(t *testing.T) {
 func TestSingleChunkObject(t *testing.T) {
 	d, conn := newDeploy(t)
 	data := []byte("small")
-	up, err := bigobject.Upload(d.Client, conn, "big-4", "small", data, 1024)
+	up, err := bigobject.Upload(context.Background(), d.Client, conn, "big-4", "small", data, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(up.ChunkTxns) != 1 {
 		t.Fatalf("chunks = %d", len(up.ChunkTxns))
 	}
-	down, err := bigobject.Download(d.Client, conn, "big-4-dl", "small", up.ManifestTxn)
+	down, err := bigobject.Download(context.Background(), d.Client, conn, "big-4-dl", "small", up.ManifestTxn)
 	if err != nil || !bytes.Equal(down.Data, data) {
 		t.Fatalf("download: %q, %v", down.Data, err)
 	}

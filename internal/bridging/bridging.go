@@ -17,9 +17,11 @@
 package bridging
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/cryptoutil"
 	"repro/internal/pki"
 	"repro/internal/sks"
@@ -157,7 +159,10 @@ func New(sol Solution, user, provider, tac *pki.Identity, dir func(string) (*pki
 }
 
 // Upload runs the solution's uploading session for one object.
-func (b *Bridge) Upload(key string, data []byte) error {
+func (b *Bridge) Upload(ctx context.Context, key string, data []byte) error {
+	if err := core.CheckContext(ctx); err != nil {
+		return err
+	}
 	md5 := cryptoutil.Sum(cryptoutil.MD5, data)
 	rec := &uploadRecord{key: key, agreedMD5: md5.Clone()}
 
@@ -237,7 +242,10 @@ func (b *Bridge) Upload(key string, data []byte) error {
 // response; the user verifies the transfer MD5. The returned bool
 // reports whether the per-session MD5 check passed (it says nothing
 // about upload-to-download integrity — that is the dispute's job).
-func (b *Bridge) Download(key string) ([]byte, bool, error) {
+func (b *Bridge) Download(ctx context.Context, key string) ([]byte, bool, error) {
+	if err := core.CheckContext(ctx); err != nil {
+		return nil, false, err
+	}
 	b.Msgs.Download++ // request with authentication code
 	obj, err := b.store.Get(key)
 	if err != nil {
@@ -269,7 +277,10 @@ type DisputeOutcome struct {
 
 // Dispute runs the solution's dispute procedure for an object,
 // given the data the provider currently serves.
-func (b *Bridge) Dispute(key string) (*DisputeOutcome, error) {
+func (b *Bridge) Dispute(ctx context.Context, key string) (*DisputeOutcome, error) {
+	if err := core.CheckContext(ctx); err != nil {
+		return nil, err
+	}
 	rec, ok := b.records[key]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoRecord, key)

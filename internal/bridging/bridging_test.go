@@ -2,6 +2,7 @@ package bridging
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -76,10 +77,10 @@ func TestUploadDownloadCleanAllSolutions(t *testing.T) {
 	for _, sol := range allSolutions {
 		t.Run(sol.String(), func(t *testing.T) {
 			b := newBridge(t, sol)
-			if err := b.Upload("backup", data); err != nil {
+			if err := b.Upload(context.Background(), "backup", data); err != nil {
 				t.Fatal(err)
 			}
-			got, ok, err := b.Download("backup")
+			got, ok, err := b.Download(context.Background(), "backup")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -97,7 +98,7 @@ func TestDisputeProviderTamper(t *testing.T) {
 	for _, sol := range allSolutions {
 		t.Run(sol.String(), func(t *testing.T) {
 			b := newBridge(t, sol)
-			if err := b.Upload("doc", []byte("original content")); err != nil {
+			if err := b.Upload(context.Background(), "doc", []byte("original content")); err != nil {
 				t.Fatal(err)
 			}
 			tam := b.Store().(storage.Tamperer)
@@ -105,12 +106,12 @@ func TestDisputeProviderTamper(t *testing.T) {
 				t.Fatal(err)
 			}
 			// The per-session download check passes — the gap.
-			_, ok, err := b.Download("doc")
+			_, ok, err := b.Download(context.Background(), "doc")
 			if err != nil || !ok {
 				t.Fatalf("download check should pass after digest-fixing tamper: ok=%v err=%v", ok, err)
 			}
 			// The dispute catches it.
-			out, err := b.Dispute("doc")
+			out, err := b.Dispute(context.Background(), "doc")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -130,10 +131,10 @@ func TestDisputeBlackmail(t *testing.T) {
 	for _, sol := range allSolutions {
 		t.Run(sol.String(), func(t *testing.T) {
 			b := newBridge(t, sol)
-			if err := b.Upload("doc", []byte("intact content")); err != nil {
+			if err := b.Upload(context.Background(), "doc", []byte("intact content")); err != nil {
 				t.Fatal(err)
 			}
-			out, err := b.Dispute("doc")
+			out, err := b.Dispute(context.Background(), "doc")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -149,13 +150,13 @@ func TestDisputeBlackmail(t *testing.T) {
 // unrecoverable.
 func TestS2CorruptedShareBreaksDispute(t *testing.T) {
 	b := newBridge(t, S2SKSOnly)
-	if err := b.Upload("doc", []byte("content")); err != nil {
+	if err := b.Upload(context.Background(), "doc", []byte("content")); err != nil {
 		t.Fatal(err)
 	}
 	if err := b.CorruptUserShare("doc"); err != nil {
 		t.Fatal(err)
 	}
-	out, err := b.Dispute("doc")
+	out, err := b.Dispute(context.Background(), "doc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,13 +169,13 @@ func TestS2CorruptedShareBreaksDispute(t *testing.T) {
 // the dispute still recovers the agreed MD5.
 func TestS4SurvivesCorruptedShare(t *testing.T) {
 	b := newBridge(t, S4TACAndSKS)
-	if err := b.Upload("doc", []byte("content")); err != nil {
+	if err := b.Upload(context.Background(), "doc", []byte("content")); err != nil {
 		t.Fatal(err)
 	}
 	if err := b.CorruptUserShare("doc"); err != nil {
 		t.Fatal(err)
 	}
-	out, err := b.Dispute("doc")
+	out, err := b.Dispute(context.Background(), "doc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestUploadChecksumRejected(t *testing.T) {
 
 func TestDisputeUnknownObject(t *testing.T) {
 	b := newBridge(t, S1NoTACNoSKS)
-	if _, err := b.Dispute("ghost"); !errors.Is(err, ErrNoRecord) {
+	if _, err := b.Dispute(context.Background(), "ghost"); !errors.Is(err, ErrNoRecord) {
 		t.Fatalf("err = %v, want ErrNoRecord", err)
 	}
 }
@@ -216,7 +217,7 @@ func TestMessageCounts(t *testing.T) {
 	}
 	for _, sol := range allSolutions {
 		b := newBridge(t, sol)
-		if err := b.Upload("k", []byte("v")); err != nil {
+		if err := b.Upload(context.Background(), "k", []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 		if got := b.Msgs.Upload; got != want[sol] {
@@ -227,14 +228,14 @@ func TestMessageCounts(t *testing.T) {
 
 func TestS3DisputeUsesTACCopies(t *testing.T) {
 	b := newBridge(t, S3TACOnly)
-	if err := b.Upload("doc", []byte("v")); err != nil {
+	if err := b.Upload(context.Background(), "doc", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	// Even if the parties' own records were lost, the TAC's copies
 	// decide the dispute.
 	delete(b.records, "doc")
 	b.records["doc"] = &uploadRecord{key: "doc", agreedMD5: cryptoutil.Sum(cryptoutil.MD5, []byte("v"))}
-	out, err := b.Dispute("doc")
+	out, err := b.Dispute(context.Background(), "doc")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -20,8 +21,16 @@ type Client struct {
 	TTPID      string
 }
 
-// NewClient constructs a client engine.
-func NewClient(o Options, providerID, ttpID string) (*Client, error) {
+// NewClient constructs a client engine from functional options.
+func NewClient(providerID, ttpID string, opts ...Option) (*Client, error) {
+	return NewClientFromOptions(buildOptions(opts), providerID, ttpID)
+}
+
+// NewClientFromOptions constructs a client engine from a legacy
+// Options struct.
+//
+// Deprecated: use NewClient with functional options.
+func NewClientFromOptions(o Options, providerID, ttpID string) (*Client, error) {
 	p, err := newParty(o)
 	if err != nil {
 		return nil, err
@@ -44,8 +53,14 @@ type UploadResult struct {
 //	step 2  Bob → Alice: sealed NRR
 //
 // On ErrTimeout the caller still holds the transaction (see
-// PendingNRO) and should escalate with Resolve.
-func (c *Client) Upload(conn transport.Conn, txnID, objectKey string, data []byte) (*UploadResult, error) {
+// PendingNRO) and should escalate with Resolve. The context cancels
+// the session mid-protocol (mapped to ErrCancelled) and its deadline
+// propagates onto deadline-capable transports.
+func (c *Client) Upload(ctx context.Context, conn transport.Conn, txnID, objectKey string, data []byte) (*UploadResult, error) {
+	if err := CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	defer applyDeadline(ctx, conn)()
 	h := c.newHeader(evidence.KindNRO, txnID, c.ProviderID, c.TTPID, c.nextSeq(txnID))
 	h.ObjectKey = objectKey
 	h.SetDigests(data)
@@ -68,7 +83,7 @@ func (c *Client) Upload(conn transport.Conn, txnID, objectKey string, data []byt
 	c.ctr.Inc(metrics.Rounds, 1)
 
 	pu := c.pumpFor(conn)
-	nrr, err := c.awaitNRR(pu, txnID, h)
+	nrr, err := c.awaitNRR(ctx, pu, txnID, h)
 	if err != nil {
 		return nil, err
 	}
@@ -78,8 +93,8 @@ func (c *Client) Upload(conn transport.Conn, txnID, objectKey string, data []byt
 
 // awaitNRR waits for and validates the provider's NRR matching the
 // sent NRO header.
-func (c *Client) awaitNRR(pu *pump, txnID string, sent *evidence.Header) (*evidence.Evidence, error) {
-	raw, err := pu.recv(c.clk, c.timeout)
+func (c *Client) awaitNRR(ctx context.Context, pu *pump, txnID string, sent *evidence.Header) (*evidence.Evidence, error) {
+	raw, err := pu.recv(ctx, c.clk, c.timeout)
 	if err != nil {
 		if errors.Is(err, ErrTimeout) {
 			return nil, fmt.Errorf("%w: no NRR for %s", ErrTimeout, txnID)
@@ -132,7 +147,11 @@ type DownloadResult struct {
 // transaction whose agreed digest the data must match; empty means
 // "verify against any archived receipt for the object key, if one
 // exists".
-func (c *Client) Download(conn transport.Conn, txnID, objectKey, uploadTxn string) (*DownloadResult, error) {
+func (c *Client) Download(ctx context.Context, conn transport.Conn, txnID, objectKey, uploadTxn string) (*DownloadResult, error) {
+	if err := CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	defer applyDeadline(ctx, conn)()
 	h := c.newHeader(evidence.KindDownloadRequest, txnID, c.ProviderID, c.TTPID, c.nextSeq(txnID))
 	h.ObjectKey = objectKey
 	h.SetDigests(nil) // request carries no data; digests cover the empty string
@@ -154,7 +173,7 @@ func (c *Client) Download(conn transport.Conn, txnID, objectKey, uploadTxn strin
 	c.ctr.Inc(metrics.Rounds, 1)
 
 	pu := c.pumpFor(conn)
-	raw, err := pu.recv(c.clk, c.timeout)
+	raw, err := pu.recv(ctx, c.clk, c.timeout)
 	if err != nil {
 		if errors.Is(err, ErrTimeout) {
 			return nil, fmt.Errorf("%w: no download response for %s", ErrTimeout, txnID)
@@ -230,7 +249,11 @@ type AbortResult struct {
 // sends the transaction ID with an abort NRO; Bob responds Accept or
 // Reject with an NRR. An Error answer (inconsistent request) surfaces
 // as ErrPeerRejected, inviting the caller to regenerate and resubmit.
-func (c *Client) Abort(conn transport.Conn, txnID, reason string) (*AbortResult, error) {
+func (c *Client) Abort(ctx context.Context, conn transport.Conn, txnID, reason string) (*AbortResult, error) {
+	if err := CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	defer applyDeadline(ctx, conn)()
 	h := c.newHeader(evidence.KindAbortRequest, txnID, c.ProviderID, c.TTPID, c.nextSeq(txnID))
 	h.Note = reason
 	h.SetDigests(nil)
@@ -250,7 +273,7 @@ func (c *Client) Abort(conn transport.Conn, txnID, reason string) (*AbortResult,
 	c.ctr.Inc(metrics.Rounds, 1)
 
 	pu := c.pumpFor(conn)
-	raw, err := pu.recv(c.clk, c.timeout)
+	raw, err := pu.recv(ctx, c.clk, c.timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -293,11 +316,23 @@ type ResolveResult struct {
 	TTPStatement *evidence.Evidence
 }
 
+// Resolver is the unified §4.3 escalation interface: either
+// disadvantaged party — Client or Provider — submits a stalled
+// transaction with its own evidence to the in-line TTP and receives
+// the peer's relayed evidence or a signed TTP statement.
+type Resolver interface {
+	Resolve(ctx context.Context, ttpConn transport.Conn, txnID, report string) (*ResolveResult, error)
+}
+
 // Resolve escalates a stalled transaction to the in-line TTP: Alice
 // sends the transaction ID, her NRO, and a report of anomalies; the
 // TTP queries Bob and relays his evidence, or issues a signed
 // unresponsiveness statement after the timeout.
-func (c *Client) Resolve(ttpConn transport.Conn, txnID, report string) (*ResolveResult, error) {
+func (c *Client) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, report string) (*ResolveResult, error) {
+	if err := CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	defer applyDeadline(ctx, ttpConn)()
 	nro, err := c.archive.Get(txnID, evidence.RoleOwn)
 	if err != nil {
 		return nil, fmt.Errorf("core: no own evidence for %s: %w", txnID, err)
@@ -324,7 +359,7 @@ func (c *Client) Resolve(ttpConn transport.Conn, txnID, report string) (*Resolve
 	c.tracker.Transition(txnID, session.StateResolving)
 
 	pu := c.pumpFor(ttpConn)
-	raw, err := pu.recv(c.clk, 4*c.timeout) // TTP needs its own round to Bob
+	raw, err := pu.recv(ctx, c.clk, 4*c.timeout) // TTP needs its own round to Bob
 	if err != nil {
 		return nil, err
 	}

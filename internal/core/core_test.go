@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -44,7 +45,7 @@ func TestUploadNormalMode(t *testing.T) {
 	conn := mustDial(t, d)
 	data := []byte("company financial data, Q3")
 
-	res, err := d.Client.Upload(conn, "txn-up-1", "finance/q3.xls", data)
+	res, err := d.Client.Upload(context.Background(), conn, "txn-up-1", "finance/q3.xls", data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestUploadNormalMode(t *testing.T) {
 func TestTwoStepClaim(t *testing.T) {
 	d := newDeploy(t, 5*time.Second)
 	conn := mustDial(t, d)
-	if _, err := d.Client.Upload(conn, "txn-steps", "k", []byte("v")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-steps", "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	if got := d.ClientCounters.Get(metrics.MsgsSent); got != 1 {
@@ -101,10 +102,10 @@ func TestUploadDownloadIntegrityLink(t *testing.T) {
 	d := newDeploy(t, 5*time.Second)
 	conn := mustDial(t, d)
 	data := []byte("the agreed content")
-	if _, err := d.Client.Upload(conn, "txn-u", "docs/a", data); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-u", "docs/a", data); err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Client.Download(conn, "txn-d", "docs/a", "txn-u")
+	res, err := d.Client.Download(context.Background(), conn, "txn-d", "docs/a", "txn-u")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestUploadDownloadIntegrityLink(t *testing.T) {
 func TestDownloadDetectsInStorageTamper(t *testing.T) {
 	d := newDeploy(t, 5*time.Second)
 	conn := mustDial(t, d)
-	if _, err := d.Client.Upload(conn, "txn-u", "ledger", []byte("total = 1000")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-u", "ledger", []byte("total = 1000")); err != nil {
 		t.Fatal(err)
 	}
 	tam := d.Store.(storage.Tamperer)
@@ -132,7 +133,7 @@ func TestDownloadDetectsInStorageTamper(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Client.Download(conn, "txn-d", "ledger", "txn-u")
+	res, err := d.Client.Download(context.Background(), conn, "txn-d", "ledger", "txn-u")
 	if !errors.Is(err, core.ErrIntegrity) {
 		t.Fatalf("err = %v, want ErrIntegrity", err)
 	}
@@ -150,13 +151,13 @@ func TestDownloadDetectsInStorageTamper(t *testing.T) {
 func TestProviderTamperOnDownload(t *testing.T) {
 	d := newDeploy(t, 5*time.Second)
 	conn := mustDial(t, d)
-	if _, err := d.Client.Upload(conn, "txn-u", "k", []byte("honest bytes")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-u", "k", []byte("honest bytes")); err != nil {
 		t.Fatal(err)
 	}
 	d.Provider.SetMisbehavior(core.Misbehavior{TamperOnDownload: func(b []byte) []byte {
 		return append(b, []byte(" [altered]")...)
 	}})
-	if _, err := d.Client.Download(conn, "txn-d", "k", "txn-u"); !errors.Is(err, core.ErrIntegrity) {
+	if _, err := d.Client.Download(context.Background(), conn, "txn-d", "k", "txn-u"); !errors.Is(err, core.ErrIntegrity) {
 		t.Fatalf("err = %v, want ErrIntegrity", err)
 	}
 }
@@ -165,7 +166,7 @@ func TestUploadTimeoutOnSilentProvider(t *testing.T) {
 	d := newDeploy(t, 150*time.Millisecond)
 	conn := mustDial(t, d)
 	d.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
-	_, err := d.Client.Upload(conn, "txn-silent", "k", []byte("v"))
+	_, err := d.Client.Upload(context.Background(), conn, "txn-silent", "k", []byte("v"))
 	if !errors.Is(err, core.ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -184,7 +185,7 @@ func TestResolveAfterSilentProvider(t *testing.T) {
 	d := newDeploy(t, 300*time.Millisecond)
 	conn := mustDial(t, d)
 	d.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
-	if _, err := d.Client.Upload(conn, "txn-r", "k", []byte("v")); !errors.Is(err, core.ErrTimeout) {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-r", "k", []byte("v")); !errors.Is(err, core.ErrTimeout) {
 		t.Fatalf("setup: %v", err)
 	}
 	// Bob answers the TTP even though he stonewalled Alice (he has no
@@ -197,7 +198,7 @@ func TestResolveAfterSilentProvider(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ttpConn.Close()
-	res, err := d.Client.Resolve(ttpConn, "txn-r", "no NRR before time limit")
+	res, err := d.Client.Resolve(context.Background(), ttpConn, "txn-r", "no NRR before time limit")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestResolveUnresponsiveProvider(t *testing.T) {
 	d := newDeploy(t, 300*time.Millisecond)
 	conn := mustDial(t, d)
 	d.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true, IgnoreResolve: true})
-	if _, err := d.Client.Upload(conn, "txn-ur", "k", []byte("v")); !errors.Is(err, core.ErrTimeout) {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-ur", "k", []byte("v")); !errors.Is(err, core.ErrTimeout) {
 		t.Fatalf("setup: %v", err)
 	}
 	ttpConn, err := d.DialTTP()
@@ -227,7 +228,7 @@ func TestResolveUnresponsiveProvider(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ttpConn.Close()
-	res, err := d.Client.Resolve(ttpConn, "txn-ur", "no NRR before time limit")
+	res, err := d.Client.Resolve(context.Background(), ttpConn, "txn-ur", "no NRR before time limit")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestResolveUnknownTransactionRestart(t *testing.T) {
 	// drops everything.
 	conn := mustDial(t, d)
 	lossy := transport.Faulty(conn, transport.FaultSpec{DropProb: 1.0, Seed: 42})
-	if _, err := d.Client.Upload(lossy, "txn-lost", "k", []byte("v")); !errors.Is(err, core.ErrTimeout) {
+	if _, err := d.Client.Upload(context.Background(), lossy, "txn-lost", "k", []byte("v")); !errors.Is(err, core.ErrTimeout) {
 		t.Fatalf("setup: %v", err)
 	}
 	if _, err := d.Store.Get("k"); err == nil {
@@ -264,7 +265,7 @@ func TestResolveUnknownTransactionRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ttpConn.Close()
-	res, err := d.Client.Resolve(ttpConn, "txn-lost", "request dropped in transit")
+	res, err := d.Client.Resolve(context.Background(), ttpConn, "txn-lost", "request dropped in transit")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,12 +279,12 @@ func TestAbortPendingTransaction(t *testing.T) {
 	conn := mustDial(t, d)
 	// Bob stores the data but never sends the NRR; Alice aborts.
 	d.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
-	if _, err := d.Client.Upload(conn, "txn-a", "k", []byte("v")); !errors.Is(err, core.ErrTimeout) {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-a", "k", []byte("v")); !errors.Is(err, core.ErrTimeout) {
 		t.Fatalf("setup: %v", err)
 	}
 	d.Provider.SetMisbehavior(core.Misbehavior{})
 
-	res, err := d.Client.Abort(conn, "txn-a", "undesired situation; canceling")
+	res, err := d.Client.Abort(context.Background(), conn, "txn-a", "undesired situation; canceling")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,10 +303,10 @@ func TestAbortPendingTransaction(t *testing.T) {
 func TestAbortCompletedTransactionRejected(t *testing.T) {
 	d := newDeploy(t, 5*time.Second)
 	conn := mustDial(t, d)
-	if _, err := d.Client.Upload(conn, "txn-done", "k", []byte("v")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-done", "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Client.Abort(conn, "txn-done", "changed my mind")
+	res, err := d.Client.Abort(context.Background(), conn, "txn-done", "changed my mind")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func TestAbortCompletedTransactionRejected(t *testing.T) {
 func TestAbortUnknownTransactionAccepted(t *testing.T) {
 	d := newDeploy(t, 5*time.Second)
 	conn := mustDial(t, d)
-	res, err := d.Client.Abort(conn, "txn-never-started", "never sent anything")
+	res, err := d.Client.Abort(context.Background(), conn, "txn-never-started", "never sent anything")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +337,7 @@ func TestAbortUnknownTransactionAccepted(t *testing.T) {
 func TestDownloadMissingObject(t *testing.T) {
 	d := newDeploy(t, 5*time.Second)
 	conn := mustDial(t, d)
-	_, err := d.Client.Download(conn, "txn-miss", "no/such/object", "")
+	_, err := d.Client.Download(context.Background(), conn, "txn-miss", "no/such/object", "")
 	if !errors.Is(err, core.ErrPeerRejected) {
 		t.Fatalf("err = %v, want ErrPeerRejected", err)
 	}
@@ -361,7 +362,7 @@ func TestReplayedNRORejected(t *testing.T) {
 	}
 	defer tap.Close()
 
-	if _, err := d.Client.Upload(conn, "txn-rp", "k", []byte("v")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-rp", "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	if captured == nil {
@@ -403,7 +404,7 @@ func TestCorruptedPayloadRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tap.Close()
-	_, err = d.Client.Upload(conn, "txn-corrupt", "k", []byte("vital data"))
+	_, err = d.Client.Upload(context.Background(), conn, "txn-corrupt", "k", []byte("vital data"))
 	if !errors.Is(err, core.ErrPeerRejected) {
 		t.Fatalf("err = %v, want ErrPeerRejected", err)
 	}
@@ -442,7 +443,7 @@ func TestConcurrentUploads(t *testing.T) {
 			}
 			defer conn.Close()
 			txn := session.NewTransactionID()
-			_, err = d.Client.Upload(conn, txn, "obj/"+txn, bytes.Repeat([]byte{byte(i)}, 512))
+			_, err = d.Client.Upload(context.Background(), conn, txn, "obj/"+txn, bytes.Repeat([]byte{byte(i)}, 512))
 			errs <- err
 		}(i)
 	}
@@ -464,13 +465,13 @@ func TestProviderAuditLog(t *testing.T) {
 	d.Provider.SetAuditLog(log)
 	conn := mustDial(t, d)
 
-	if _, err := d.Client.Upload(conn, "txn-log", "k", []byte("v")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-log", "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Client.Download(conn, "txn-log-dl", "k", "txn-log"); err != nil {
+	if _, err := d.Client.Download(context.Background(), conn, "txn-log-dl", "k", "txn-log"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Client.Abort(conn, "txn-log-2", "never mind"); err != nil {
+	if _, err := d.Client.Abort(context.Background(), conn, "txn-log-2", "never mind"); err != nil {
 		t.Fatal(err)
 	}
 	entries := log.Entries()
@@ -495,7 +496,7 @@ func TestProviderAuditLog(t *testing.T) {
 func TestProviderInitiatedResolve(t *testing.T) {
 	d := newDeploy(t, 400*time.Millisecond)
 	conn := mustDial(t, d)
-	if _, err := d.Client.Upload(conn, "txn-pr", "k", []byte("v")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-pr", "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	ttpConn, err := d.DialTTP()
@@ -503,7 +504,7 @@ func TestProviderInitiatedResolve(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ttpConn.Close()
-	res, err := d.Provider.Resolve(ttpConn, deploy.TTPName, "txn-pr", "no further client activity after NRR")
+	res, err := d.Provider.Resolve(context.Background(), ttpConn, "txn-pr", "no further client activity after NRR")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -524,7 +525,7 @@ func TestProviderResolveWithoutNRR(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ttpConn.Close()
-	if _, err := d.Provider.Resolve(ttpConn, deploy.TTPName, "txn-ghost", "x"); err == nil {
+	if _, err := d.Provider.Resolve(context.Background(), ttpConn, "txn-ghost", "x"); err == nil {
 		t.Fatal("resolve without NRR succeeded")
 	}
 }
@@ -535,7 +536,7 @@ func TestUploadOverDuplicatingLink(t *testing.T) {
 	d := newDeploy(t, 5*time.Second)
 	conn := mustDial(t, d)
 	dup := transport.Faulty(conn, transport.FaultSpec{DupProb: 1.0, Seed: 3})
-	if _, err := d.Client.Upload(dup, "txn-dup", "k", []byte("v")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), dup, "txn-dup", "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	mem := d.Store.(*storage.Mem)
@@ -559,7 +560,7 @@ func TestProviderHandleRawNeverPanics(t *testing.T) {
 			m := &core.Message{HeaderBytes: raw, Payload: raw, Sealed: raw}
 			raw = m.Encode()
 		}
-		d.Provider.HandleRaw(raw) // must not panic
+		d.Provider.Handle(raw) // must not panic
 		return len(d.Store.Keys()) == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -583,7 +584,7 @@ func TestProviderRejectsBitFlippedMessages(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tap.Close()
-	if _, err := d.Client.Upload(conn, "txn-flip", "k", []byte("genuine")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-flip", "k", []byte("genuine")); err != nil {
 		t.Fatal(err)
 	}
 	mem := d.Store.(*storage.Mem)
@@ -596,7 +597,7 @@ func TestProviderRejectsBitFlippedMessages(t *testing.T) {
 	for i := 0; i < len(captured); i += step {
 		mutated := append([]byte(nil), captured...)
 		mutated[i] ^= 0x55
-		reply := d.Provider.HandleRaw(mutated)
+		reply, _ := d.Provider.Handle(mutated)
 		if reply == nil {
 			continue // silence is a rejection
 		}
@@ -648,11 +649,11 @@ func TestAbortErrorThenResubmit(t *testing.T) {
 	defer tap.Close()
 
 	// First attempt: corrupted in flight → signed Error → ErrPeerRejected.
-	if _, err := d.Client.Abort(conn, "txn-ab-retry", "first attempt"); !errors.Is(err, core.ErrPeerRejected) {
+	if _, err := d.Client.Abort(context.Background(), conn, "txn-ab-retry", "first attempt"); !errors.Is(err, core.ErrPeerRejected) {
 		t.Fatalf("corrupted abort: err = %v, want ErrPeerRejected", err)
 	}
 	// Regenerated resubmission sails through.
-	res, err := d.Client.Abort(conn, "txn-ab-retry", "regenerated attempt")
+	res, err := d.Client.Abort(context.Background(), conn, "txn-ab-retry", "regenerated attempt")
 	if err != nil {
 		t.Fatalf("resubmitted abort: %v", err)
 	}

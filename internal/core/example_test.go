@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,7 +23,7 @@ func ExampleClient_Upload() {
 	}
 	defer conn.Close()
 
-	res, err := d.Client.Upload(conn, "txn-example", "docs/hello", []byte("hello"))
+	res, err := d.Client.Upload(context.Background(), conn, "txn-example", "docs/hello", []byte("hello"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,10 +50,10 @@ func ExampleClient_Download() {
 	}
 	defer conn.Close()
 
-	if _, err := d.Client.Upload(conn, "txn-up", "docs/x", []byte("stored once")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "txn-up", "docs/x", []byte("stored once")); err != nil {
 		log.Fatal(err)
 	}
-	res, err := d.Client.Download(conn, "txn-dl", "docs/x", "txn-up")
+	res, err := d.Client.Download(context.Background(), conn, "txn-dl", "docs/x", "txn-up")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func ExampleClient_Abort() {
 	}
 	defer conn.Close()
 
-	res, err := d.Client.Abort(conn, "txn-never-completed", "changed my mind")
+	res, err := d.Client.Abort(context.Background(), conn, "txn-never-completed", "changed my mind")
 	if err != nil {
 		log.Fatal(err)
 	}

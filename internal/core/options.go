@@ -1,0 +1,93 @@
+package core
+
+import (
+	"crypto/rsa"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/pki"
+	"repro/internal/storage"
+)
+
+// Option configures a protocol party. Constructors take a variadic
+// list of options; the legacy Options struct remains available through
+// WithOptions for callers that have not migrated yet.
+type Option func(*Options)
+
+// WithIdentity sets the party's name, key pair and certificate
+// (required).
+func WithIdentity(id *pki.Identity) Option {
+	return func(o *Options) { o.Identity = id }
+}
+
+// WithCAKey sets the CA public key used to verify directory
+// certificates (required).
+func WithCAKey(k *rsa.PublicKey) Option {
+	return func(o *Options) { o.CAKey = k }
+}
+
+// WithDirectory sets the peer-certificate directory (required).
+func WithDirectory(d Directory) Option {
+	return func(o *Options) { o.Directory = d }
+}
+
+// WithClock overrides the clock driving timestamps and timeouts.
+func WithClock(c clock.Clock) Option {
+	return func(o *Options) { o.Clock = c }
+}
+
+// WithCounters directs protocol metrics into an existing counter set.
+func WithCounters(c *metrics.Counters) Option {
+	return func(o *Options) { o.Counters = c }
+}
+
+// WithMessageLifetime sets the §5.5 time-limit window stamped on
+// outbound messages.
+func WithMessageLifetime(d time.Duration) Option {
+	return func(o *Options) { o.MessageLifetime = d }
+}
+
+// WithResponseTimeout bounds waits for peer responses before Resolve
+// becomes available.
+func WithResponseTimeout(d time.Duration) Option {
+	return func(o *Options) { o.ResponseTimeout = d }
+}
+
+// WithStore sets the provider's blob store. Only NewProvider consults
+// it; other constructors ignore it.
+func WithStore(s storage.Store) Option {
+	return func(o *Options) { o.store = s }
+}
+
+// WithTTPID names the TTP the provider escalates to in its own Resolve
+// calls. Only NewProvider consults it.
+func WithTTPID(id string) Option {
+	return func(o *Options) { o.ttpID = id }
+}
+
+// WithOptions applies a legacy Options struct wholesale, preserving
+// any store or TTP id set by earlier options.
+//
+// Deprecated: construct parties with individual With* options instead.
+func WithOptions(legacy Options) Option {
+	return func(o *Options) {
+		store, ttpID := o.store, o.ttpID
+		*o = legacy
+		if o.store == nil {
+			o.store = store
+		}
+		if o.ttpID == "" {
+			o.ttpID = ttpID
+		}
+	}
+}
+
+// buildOptions folds a variadic option list into one Options value.
+func buildOptions(opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}

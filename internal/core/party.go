@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"crypto/rsa"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -13,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pki"
 	"repro/internal/session"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -23,7 +26,50 @@ var (
 	ErrPeerRejected    = errors.New("core: peer rejected the request")
 	ErrIntegrity       = errors.New("core: downloaded data fails the agreed digest")
 	ErrUnknownIdentity = errors.New("core: cannot resolve peer identity")
+	// ErrCancelled wraps context.Canceled / context.DeadlineExceeded (and
+	// transport deadline expiry derived from a context) so callers can
+	// distinguish "the caller gave up" from the protocol-level ErrTimeout
+	// that licenses escalation to Resolve.
+	ErrCancelled = errors.New("core: operation cancelled")
 )
+
+// CheckContext reports ctx cancellation or deadline expiry mapped onto
+// ErrCancelled, or nil when the context is still live. Exported so
+// sibling protocol packages (traditional, bridging) surface the same
+// sentinel for caller-initiated termination.
+func CheckContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCancelled, err)
+	}
+	return nil
+}
+
+// cancelErr maps an error produced by context or deadline machinery
+// onto ErrCancelled; other errors pass through unchanged.
+func cancelErr(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, os.ErrDeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrCancelled, err)
+	}
+	return err
+}
+
+// applyDeadline maps the context deadline onto the connection when the
+// transport supports absolute deadlines (TCP), so a blocked socket
+// read unblocks when the context expires. The returned restore func
+// clears the deadline again.
+func applyDeadline(ctx context.Context, conn transport.Conn) func() {
+	dc, ok := conn.(transport.DeadlineConn)
+	if !ok {
+		return func() {}
+	}
+	d, ok := ctx.Deadline()
+	if !ok {
+		return func() {}
+	}
+	dc.SetDeadline(d)
+	return func() { dc.SetDeadline(time.Time{}) }
+}
 
 // Directory resolves a party name to its current certificate — the
 // §5.1 requirement that parties "authenticate the validity" of each
@@ -31,6 +77,10 @@ var (
 type Directory func(name string) (*pki.Certificate, error)
 
 // Options configure a protocol party.
+//
+// Deprecated: pass functional options (WithIdentity, WithClock, …) to
+// the constructors instead; an existing struct can be bridged with
+// WithOptions.
 type Options struct {
 	// Identity is this party's name, key pair and certificate.
 	Identity *pki.Identity
@@ -48,6 +98,12 @@ type Options struct {
 	// ResponseTimeout bounds waits for peer responses before Resolve
 	// becomes available. Zero means DefaultResponseTimeout.
 	ResponseTimeout time.Duration
+
+	// store and ttpID are set by WithStore / WithTTPID; only NewProvider
+	// consults them. Unexported so the legacy struct stays source-
+	// compatible.
+	store storage.Store
+	ttpID string
 }
 
 // Default protocol timing parameters.
@@ -291,8 +347,9 @@ func newPump(conn transport.Conn, onExit func()) *pump {
 	return pu
 }
 
-// recv waits up to d (on clk) for the next message.
-func (pu *pump) recv(clk clock.Clock, d time.Duration) ([]byte, error) {
+// recv waits up to d (on clk) for the next message, returning early
+// with ErrCancelled when ctx terminates first.
+func (pu *pump) recv(ctx context.Context, clk clock.Clock, d time.Duration) ([]byte, error) {
 	select {
 	case msg := <-pu.ch:
 		return msg, nil
@@ -303,8 +360,12 @@ func (pu *pump) recv(clk clock.Clock, d time.Duration) ([]byte, error) {
 		case pu.errc <- err:
 		default:
 		}
-		return nil, err
+		// A transport deadline expiry planted by applyDeadline is the
+		// context speaking through the socket.
+		return nil, cancelErr(err)
 	case <-clk.After(d):
 		return nil, ErrTimeout
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %v", ErrCancelled, ctx.Err())
 	}
 }

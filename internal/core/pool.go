@@ -1,0 +1,283 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// DialFunc opens a fresh connection toward a fixed peer, honoring the
+// context while connecting.
+type DialFunc func(ctx context.Context) (transport.Conn, error)
+
+// ErrRetriesExhausted reports that every transport-level retry of an
+// operation failed; it wraps nothing protocol-fatal, so Upload
+// escalates it to Resolve when a TTP dialer is configured.
+var ErrRetriesExhausted = errors.New("core: retries exhausted on transient transport faults")
+
+// PoolOptions tune a SessionPool.
+type PoolOptions struct {
+	// MaxConns bounds concurrently open provider connections (and
+	// therefore concurrent protocol runs). Default 8.
+	MaxConns int
+	// Retries is how many times an operation is retried on transient
+	// transport faults before giving up. Default 3.
+	Retries int
+	// Backoff is the initial retry delay, doubled per attempt.
+	// Default 10ms.
+	Backoff time.Duration
+	// TTPDial, when set, lets Upload escalate a silent provider or
+	// exhausted retries to the in-line TTP per §4.3.
+	TTPDial DialFunc
+}
+
+// PoolOption adjusts PoolOptions.
+type PoolOption func(*PoolOptions)
+
+// PoolMaxConns bounds the pool's concurrently open connections.
+func PoolMaxConns(n int) PoolOption { return func(o *PoolOptions) { o.MaxConns = n } }
+
+// PoolRetries sets the transient-fault retry budget per operation.
+func PoolRetries(n int) PoolOption { return func(o *PoolOptions) { o.Retries = n } }
+
+// PoolBackoff sets the initial retry delay (doubled per attempt).
+func PoolBackoff(d time.Duration) PoolOption { return func(o *PoolOptions) { o.Backoff = d } }
+
+// PoolTTPDial enables §4.3 escalation through the given TTP dialer.
+func PoolTTPDial(d DialFunc) PoolOption { return func(o *PoolOptions) { o.TTPDial = d } }
+
+// SessionPool multiplexes N concurrent TPNR protocol runs over a
+// bounded set of provider connections. Each operation borrows a
+// connection (dialing one when the free list is empty), runs the full
+// protocol exchange on it, and returns it; transient transport faults
+// are retried with exponential backoff on a fresh connection, and an
+// upload whose provider stays silent escalates to Resolve exactly as
+// §4.3 prescribes.
+type SessionPool struct {
+	c    *Client
+	dial DialFunc
+	opt  PoolOptions
+
+	sem chan struct{}
+
+	mu     sync.Mutex
+	idle   []transport.Conn
+	closed bool
+}
+
+// NewSessionPool builds a pool running client's protocol over
+// connections from dial.
+func NewSessionPool(client *Client, dial DialFunc, opts ...PoolOption) *SessionPool {
+	o := PoolOptions{MaxConns: 8, Retries: 3, Backoff: 10 * time.Millisecond}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.MaxConns < 1 {
+		o.MaxConns = 1
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 10 * time.Millisecond
+	}
+	return &SessionPool{c: client, dial: dial, opt: o, sem: make(chan struct{}, o.MaxConns)}
+}
+
+// Client exposes the underlying protocol engine (evidence archive,
+// counters).
+func (p *SessionPool) Client() *Client { return p.c }
+
+// Upload runs an uploading session through the pool. On ErrTimeout
+// (provider went silent after the NRO) or exhausted transport retries,
+// and when a TTP dialer is configured, it escalates to Resolve and —
+// when the TTP relays the provider's NRR — still returns a complete
+// UploadResult.
+func (p *SessionPool) Upload(ctx context.Context, txnID, objectKey string, data []byte) (*UploadResult, error) {
+	var res *UploadResult
+	err := p.do(ctx, func(conn transport.Conn) error {
+		r, err := p.c.Upload(ctx, conn, txnID, objectKey, data)
+		if err == nil {
+			res = r
+		}
+		return err
+	})
+	if err == nil {
+		return res, nil
+	}
+	if p.opt.TTPDial == nil || !(errors.Is(err, ErrTimeout) || errors.Is(err, ErrRetriesExhausted)) {
+		return nil, err
+	}
+	nro, nroErr := p.c.PendingNRO(txnID)
+	if nroErr != nil {
+		// The NRO never left this side; there is no claim to resolve.
+		return nil, err
+	}
+	rr, rerr := p.Resolve(ctx, txnID, "no NRR before time limit: "+err.Error())
+	if rerr != nil {
+		return nil, fmt.Errorf("core: upload failed (%v); resolve also failed: %w", err, rerr)
+	}
+	if rr.PeerEvidence == nil {
+		return nil, fmt.Errorf("%w: TTP outcome %q without provider evidence", ErrTimeout, rr.Outcome)
+	}
+	return &UploadResult{TxnID: txnID, NRO: nro, NRR: rr.PeerEvidence}, nil
+}
+
+// Download runs a downloading session through the pool.
+func (p *SessionPool) Download(ctx context.Context, txnID, objectKey, uploadTxn string) (*DownloadResult, error) {
+	var res *DownloadResult
+	err := p.do(ctx, func(conn transport.Conn) error {
+		r, err := p.c.Download(ctx, conn, txnID, objectKey, uploadTxn)
+		if err == nil {
+			res = r
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Abort cancels a transaction through the pool.
+func (p *SessionPool) Abort(ctx context.Context, txnID, reason string) (*AbortResult, error) {
+	var res *AbortResult
+	err := p.do(ctx, func(conn transport.Conn) error {
+		r, err := p.c.Abort(ctx, conn, txnID, reason)
+		if err == nil {
+			res = r
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Resolve escalates a transaction to the TTP over a dedicated
+// connection from the configured TTP dialer.
+func (p *SessionPool) Resolve(ctx context.Context, txnID, report string) (*ResolveResult, error) {
+	if p.opt.TTPDial == nil {
+		return nil, fmt.Errorf("core: pool has no TTP dialer (use PoolTTPDial)")
+	}
+	conn, err := p.opt.TTPDial(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: dialing TTP: %w", err)
+	}
+	defer conn.Close()
+	return p.c.Resolve(ctx, conn, txnID, report)
+}
+
+// do borrows a connection slot and runs op, retrying transient
+// transport faults on a fresh connection with exponential backoff.
+// Protocol-level outcomes (ErrTimeout, ErrProtocol, ErrPeerRejected,
+// ErrIntegrity, ErrUnknownIdentity) and caller cancellation are never
+// retried — retrying cannot change them.
+func (p *SessionPool) do(ctx context.Context, op func(transport.Conn) error) error {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return CheckContext(ctx)
+	}
+	defer func() { <-p.sem }()
+
+	backoff := p.opt.Backoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := CheckContext(ctx); err != nil {
+			return err
+		}
+		conn, err := p.acquire(ctx)
+		if err == nil {
+			err = op(conn)
+			if err == nil {
+				p.release(conn)
+				return nil
+			}
+			// The connection's protocol state is unknown mid-failure:
+			// discard it rather than poison the free list.
+			conn.Close()
+			if !transientFault(err) {
+				return err
+			}
+		} else if !transientFault(err) {
+			return err
+		}
+		lastErr = err
+		if attempt >= p.opt.Retries {
+			return fmt.Errorf("%w: last error: %v", ErrRetriesExhausted, lastErr)
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return CheckContext(ctx)
+		}
+		backoff *= 2
+	}
+}
+
+// transientFault reports whether an error is worth retrying on a new
+// connection: transport breakage is, definitive protocol outcomes and
+// cancellation are not.
+func transientFault(err error) bool {
+	switch {
+	case errors.Is(err, ErrCancelled),
+		errors.Is(err, ErrTimeout),
+		errors.Is(err, ErrProtocol),
+		errors.Is(err, ErrPeerRejected),
+		errors.Is(err, ErrIntegrity),
+		errors.Is(err, ErrUnknownIdentity):
+		return false
+	}
+	return true
+}
+
+// acquire pops an idle connection or dials a new one.
+func (p *SessionPool) acquire(ctx context.Context) (transport.Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: session pool closed", ErrCancelled)
+	}
+	if n := len(p.idle); n > 0 {
+		conn := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return conn, nil
+	}
+	p.mu.Unlock()
+	return p.dial(ctx)
+}
+
+// release returns a healthy connection to the free list.
+func (p *SessionPool) release(conn transport.Conn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	p.idle = append(p.idle, conn)
+	p.mu.Unlock()
+}
+
+// Close discards the pool's idle connections; operations already in
+// flight finish on their borrowed connections.
+func (p *SessionPool) Close() error {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+	return nil
+}

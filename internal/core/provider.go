@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -19,6 +20,9 @@ import (
 type Provider struct {
 	*party
 	store storage.Store
+	// ttpID names the TTP this provider escalates to in Resolve
+	// (configured with WithTTPID).
+	ttpID string
 
 	txnMu sync.Mutex
 	// txnObject remembers which object each upload transaction stored,
@@ -53,13 +57,36 @@ type Misbehavior struct {
 	TamperOnDownload func([]byte) []byte
 }
 
-// NewProvider constructs a provider engine over the given store.
-func NewProvider(o Options, store storage.Store) (*Provider, error) {
+// NewProvider constructs a provider engine from functional options.
+// The blob store arrives via WithStore (a fresh in-memory store when
+// omitted) and the escalation TTP via WithTTPID.
+func NewProvider(opts ...Option) (*Provider, error) {
+	o := buildOptions(opts)
 	p, err := newParty(o)
 	if err != nil {
 		return nil, err
 	}
-	return &Provider{party: p, store: store, txnObject: make(map[string]string)}, nil
+	store := o.store
+	if store == nil {
+		store = storage.NewMem(p.clk.Now)
+	}
+	return &Provider{party: p, store: store, ttpID: o.ttpID, txnObject: make(map[string]string)}, nil
+}
+
+// NewProviderFromOptions constructs a provider engine over the given
+// store from a legacy Options struct.
+//
+// Deprecated: use NewProvider with WithStore (and WithTTPID for
+// provider-initiated Resolve).
+func NewProviderFromOptions(o Options, store storage.Store) (*Provider, error) {
+	p, err := newParty(o)
+	if err != nil {
+		return nil, err
+	}
+	if store == nil {
+		store = storage.NewMem(p.clk.Now)
+	}
+	return &Provider{party: p, store: store, ttpID: o.ttpID, txnObject: make(map[string]string)}, nil
 }
 
 // SetMisbehavior swaps the provider's behaviour at runtime.
@@ -96,43 +123,72 @@ func (b *Provider) auditAppend(kind, txn, detail string) {
 	}
 }
 
-// Serve handles messages on one client connection until it closes.
-// Run it in a goroutine per accepted connection.
-func (b *Provider) Serve(conn transport.Conn) error {
+// Serve handles messages on one client connection until it closes or
+// ctx terminates (surfacing ErrCancelled). Run it in a goroutine per
+// accepted connection — or hand the Provider to a core.Server, which
+// does that plus per-transaction locking and graceful shutdown.
+func (b *Provider) Serve(ctx context.Context, conn transport.Conn) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close() // unblock the pending Recv
+		case <-done:
+		}
+	}()
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
+			if cerr := CheckContext(ctx); cerr != nil {
+				return cerr
+			}
 			if errors.Is(err, transport.ErrClosed) {
 				return nil
 			}
 			return err
 		}
-		b.ctr.Inc(metrics.MsgsRecv, 1)
-		reply, rerr := b.handle(raw)
-		if rerr != nil && reply == nil {
-			// Unverifiable garbage: no reply at all (responding to an
-			// unauthenticated blob would create an oracle).
+		reply, _ := b.Handle(raw)
+		if reply == nil {
+			// Unverifiable garbage or deliberate silence: no reply at all
+			// (responding to an unauthenticated blob would create an
+			// oracle).
 			continue
 		}
-		if reply != nil {
-			if err := b.send(conn, reply); err != nil {
-				return err
+		if err := conn.Send(reply); err != nil {
+			if cerr := CheckContext(ctx); cerr != nil {
+				return cerr
 			}
+			return err
 		}
 	}
 }
 
-// HandleRaw processes one encoded message and returns the encoded
-// reply (nil when the protocol calls for silence). It is exported for
-// in-process harnesses (the TTP relay and the attack lab) that bypass
-// connection plumbing.
-func (b *Provider) HandleRaw(raw []byte) []byte {
-	reply, _ := b.handle(raw)
+// Handle processes one encoded message and returns the encoded reply
+// (nil when the protocol calls for silence) together with the handling
+// error. A non-nil reply can accompany a non-nil error: the reply is
+// then the signed Error message the peer receives while the error
+// explains the rejection to the embedding server.
+func (b *Provider) Handle(raw []byte) ([]byte, error) {
+	b.ctr.Inc(metrics.MsgsRecv, 1)
+	reply, err := b.handle(raw)
 	if reply == nil {
-		return nil
+		return nil, err
 	}
+	enc := reply.Encode()
 	b.ctr.Inc(metrics.MsgsSent, 1)
-	return reply.Encode()
+	b.ctr.Inc(metrics.BytesSent, int64(len(enc)))
+	return enc, err
+}
+
+// HandleRaw processes one encoded message and returns the encoded
+// reply (nil when the protocol calls for silence), swallowing the
+// handling error.
+//
+// Deprecated: use Handle, which reports why a message was rejected.
+func (b *Provider) HandleRaw(raw []byte) []byte {
+	reply, _ := b.Handle(raw)
+	return reply
 }
 
 func (b *Provider) handle(raw []byte) (*Message, error) {
@@ -143,9 +199,14 @@ func (b *Provider) handle(raw []byte) (*Message, error) {
 	h, ev, err := b.checkInbound(m)
 	if err != nil {
 		// If the header at least decodes we can answer with a signed
-		// error message; otherwise stay silent.
+		// error message; otherwise stay silent. The validation error
+		// rides alongside the reply so Handle reports why.
 		if hdr, herr := m.Header(); herr == nil && hdr.SenderID != "" {
-			return b.errorReply(hdr, err.Error())
+			reply, rerr := b.errorReply(hdr, err.Error())
+			if rerr != nil {
+				return nil, err
+			}
+			return reply, err
 		}
 		return nil, err
 	}
@@ -402,7 +463,19 @@ func (b *Provider) handleResolve(h *evidence.Header, ev *evidence.Evidence, payl
 // TTP relays the query to the client or issues a statement (typically
 // "peer-unreachable" for an offline client) that Bob archives as proof
 // he attempted completion.
-func (b *Provider) Resolve(ttpConn transport.Conn, ttpID, txnID, report string) (*ResolveResult, error) {
+//
+// The TTP's identity comes from WithTTPID, making the signature
+// identical to the Client's — both sides satisfy the Resolver
+// interface.
+func (b *Provider) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, report string) (*ResolveResult, error) {
+	if err := CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	ttpID := b.ttpID
+	if ttpID == "" {
+		return nil, fmt.Errorf("core: provider has no TTP configured (construct with WithTTPID)")
+	}
+	defer applyDeadline(ctx, ttpConn)()
 	own, err := b.archive.ByKind(txnID, evidence.RoleOwn, evidence.KindNRR)
 	if err != nil {
 		return nil, fmt.Errorf("core: provider has no NRR for %s: %w", txnID, err)
@@ -425,7 +498,7 @@ func (b *Provider) Resolve(ttpConn transport.Conn, ttpID, txnID, report string) 
 	b.ctr.Inc(metrics.TTPMsgs, 1)
 
 	pu := b.pumpFor(ttpConn)
-	raw, err := pu.recv(b.clk, 4*b.timeout)
+	raw, err := pu.recv(ctx, b.clk, 4*b.timeout)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/transport"
+)
+
+// Handler processes one encoded protocol message and returns the
+// encoded reply (nil for deliberate silence) plus the handling error.
+// Provider and the ttp package's Server both satisfy it, so one
+// Server implementation fronts every daemon in the system.
+type Handler interface {
+	Handle(raw []byte) ([]byte, error)
+}
+
+// txnShards sizes the sharded per-transaction mutex. 64 shards keep
+// lock contention negligible for hundreds of concurrent transactions
+// while bounding memory to a fixed array.
+const txnShards = 64
+
+// Server is the concurrent TPNR runtime: it accepts connections from a
+// transport.Listener, serves each on its own goroutine, serializes
+// messages of the same transaction through a sharded mutex (so
+// independent uploads/downloads/resolves proceed in parallel while
+// same-txn messages never interleave inside the handler), isolates
+// handler panics per connection, and drains in-flight sessions on
+// graceful shutdown.
+type Server struct {
+	h Handler
+
+	shards [txnShards]sync.Mutex
+
+	mu        sync.Mutex
+	draining  bool
+	listeners []transport.Listener
+	conns     map[transport.Conn]struct{}
+
+	// inflight counts message handlings in progress; Shutdown waits for
+	// it before closing connections. Add happens under mu with a
+	// draining check, so no Add can race a Wait.
+	inflight sync.WaitGroup
+	// connWG counts per-connection goroutines.
+	connWG sync.WaitGroup
+
+	panics atomic.Int64
+}
+
+// NewServer wraps a message handler in a concurrent server.
+func NewServer(h Handler) *Server {
+	return &Server{h: h, conns: make(map[transport.Conn]struct{})}
+}
+
+// Serve accepts connections on l until the listener closes, Shutdown
+// is called (returning nil), or ctx terminates (returning
+// ErrCancelled; connections then close as their in-flight message
+// completes). Serve may be called on several listeners concurrently —
+// one Server can front an in-memory and a TCP listener at once.
+func (s *Server) Serve(ctx context.Context, l transport.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("core: server is shut down")
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, func() { l.Close() })
+	defer stop()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if cerr := CheckContext(ctx); cerr != nil {
+				return cerr
+			}
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		if !s.register(conn) {
+			conn.Close()
+			return nil
+		}
+		s.connWG.Add(1)
+		go s.serveConn(ctx, conn)
+	}
+}
+
+// register tracks an accepted connection; it refuses (false) while
+// draining so Shutdown never loses a connection it should close.
+func (s *Server) register(conn transport.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) unregister(conn transport.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// serveConn is the per-connection loop: receive, handle under the
+// transaction lock, reply. A handler panic is confined to this
+// connection — it is counted, the connection closes, and every other
+// session proceeds undisturbed.
+func (s *Server) serveConn(ctx context.Context, conn transport.Conn) {
+	defer s.connWG.Done()
+	defer s.unregister(conn)
+	defer conn.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+		}
+	}()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close() // unblock the pending Recv
+		case <-done:
+		}
+	}()
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if !s.beginMsg() {
+			return
+		}
+		reply, _ := s.handleOne(raw)
+		s.inflight.Done()
+		if reply != nil {
+			if err := conn.Send(reply); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// beginMsg registers an in-flight handling unless the server is
+// draining.
+func (s *Server) beginMsg() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// handleOne runs the handler under the message's transaction shard
+// lock, converting a handler panic into an error so the in-flight
+// accounting in serveConn stays balanced.
+func (s *Server) handleOne(raw []byte) (reply []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			reply, err = nil, fmt.Errorf("%w: handler panic: %v", ErrProtocol, r)
+		}
+	}()
+	if txn, ok := txnOf(raw); ok {
+		mu := &s.shards[shardOf(txn)]
+		mu.Lock()
+		defer mu.Unlock()
+	}
+	return s.h.Handle(raw)
+}
+
+// txnOf extracts the transaction ID from an encoded message without
+// any cryptography. Unparseable messages get no lock — the handler
+// rejects them anyway.
+func txnOf(raw []byte) (string, bool) {
+	m, err := DecodeMessage(raw)
+	if err != nil {
+		return "", false
+	}
+	h, err := m.Header()
+	if err != nil {
+		return "", false
+	}
+	return h.TxnID, true
+}
+
+// shardOf maps a transaction ID onto its mutex shard (FNV-1a).
+func shardOf(txn string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(txn))
+	return h.Sum32() % txnShards
+}
+
+// Shutdown gracefully stops the server: new connections and messages
+// are refused, listeners close, in-flight handlings drain (bounded by
+// ctx — an expired ctx abandons the drain and reports ErrCancelled),
+// then every connection closes and the per-connection goroutines are
+// reaped. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ls := s.listeners
+	s.listeners = nil
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = CheckContext(ctx)
+	}
+
+	s.mu.Lock()
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.connWG.Wait()
+	return err
+}
+
+// ActiveConns reports connections currently being served (tests and
+// operational introspection).
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Panics reports how many handler panics the server has absorbed.
+func (s *Server) Panics() int64 { return s.panics.Load() }
+
+// Compile-time wiring checks: the Provider fronts a Server and both
+// parties satisfy the unified Resolver interface.
+var (
+	_ Handler  = (*Provider)(nil)
+	_ Resolver = (*Client)(nil)
+	_ Resolver = (*Provider)(nil)
+)

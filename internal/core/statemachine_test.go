@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -58,7 +59,7 @@ func runRandomSequence(t *testing.T, seed int64) {
 			data := make([]byte, 16+rng.Intn(64))
 			rng.Read(data)
 			txn := newTxn()
-			if _, err := d.Client.Upload(conn, txn, key, data); err != nil {
+			if _, err := d.Client.Upload(context.Background(), conn, txn, key, data); err != nil {
 				t.Fatalf("op %d upload: %v", i, err)
 			}
 			model[key] = data
@@ -67,7 +68,7 @@ func runRandomSequence(t *testing.T, seed int64) {
 
 		case 2: // download and verify against the model
 			txn := newTxn()
-			res, err := d.Client.Download(conn, txn, key, uploadTxn[key])
+			res, err := d.Client.Download(context.Background(), conn, txn, key, uploadTxn[key])
 			if model[key] == nil {
 				if !errors.Is(err, core.ErrPeerRejected) {
 					t.Fatalf("op %d download of absent key: %v", i, err)
@@ -83,7 +84,7 @@ func runRandomSequence(t *testing.T, seed int64) {
 
 		case 3: // abort a completed txn → must be rejected, data intact
 			if tk := uploadTxn[key]; tk != "" && txnDone[tk] {
-				res, err := d.Client.Abort(conn, tk, "model test late abort")
+				res, err := d.Client.Abort(context.Background(), conn, tk, "model test late abort")
 				if err != nil {
 					t.Fatalf("op %d abort: %v", i, err)
 				}
@@ -93,7 +94,7 @@ func runRandomSequence(t *testing.T, seed int64) {
 			}
 
 		case 4: // abort an unknown txn → accepted, no effect
-			res, err := d.Client.Abort(conn, newTxn(), "abort of nothing")
+			res, err := d.Client.Abort(context.Background(), conn, newTxn(), "abort of nothing")
 			if err != nil {
 				t.Fatalf("op %d abort-unknown: %v", i, err)
 			}

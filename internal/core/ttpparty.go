@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rsa"
 	"time"
 
@@ -16,8 +17,17 @@ type TTPParty struct {
 	p *party
 }
 
-// NewTTPParty constructs the plumbing for a TTP server.
-func NewTTPParty(o Options) (*TTPParty, error) {
+// NewTTPParty constructs the plumbing for a TTP server from functional
+// options.
+func NewTTPParty(opts ...Option) (*TTPParty, error) {
+	return NewTTPPartyFromOptions(buildOptions(opts))
+}
+
+// NewTTPPartyFromOptions constructs the plumbing for a TTP server from
+// a legacy Options struct.
+//
+// Deprecated: use NewTTPParty with functional options.
+func NewTTPPartyFromOptions(o Options) (*TTPParty, error) {
 	p, err := newParty(o)
 	if err != nil {
 		return nil, err
@@ -60,9 +70,9 @@ func (t *TTPParty) CheckInbound(m *Message) (*evidence.Header, *evidence.Evidenc
 }
 
 // RecvTimeout waits the party's response timeout for one message on
-// conn.
-func (t *TTPParty) RecvTimeout(conn transport.Conn) ([]byte, error) {
-	return t.p.pumpFor(conn).recv(t.p.clk, t.p.timeout)
+// conn, returning early with ErrCancelled when ctx terminates.
+func (t *TTPParty) RecvTimeout(ctx context.Context, conn transport.Conn) ([]byte, error) {
+	return t.p.pumpFor(conn).recv(ctx, t.p.clk, t.p.timeout)
 }
 
 // ResponseTimeout reports the configured peer-response deadline.

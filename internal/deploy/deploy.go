@@ -6,6 +6,7 @@
 package deploy
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,10 +50,13 @@ type Config struct {
 type Deployment struct {
 	CA     *pki.Authority
 	Client *core.Client
-	// Provider is Bob's engine; its listener runs until Close.
-	Provider *core.Provider
-	// TTPServer mediates Resolve; its listener runs until Close.
-	TTPServer *ttp.Server
+	// Provider is Bob's engine; ProviderServer is the concurrent runtime
+	// fronting it until Close.
+	Provider       *core.Provider
+	ProviderServer *core.Server
+	// TTPServer mediates Resolve; TTPRuntime fronts it until Close.
+	TTPServer  *ttp.Server
+	TTPRuntime *core.Server
 	// Net is the in-memory address space: ProviderName and TTPName are
 	// listening.
 	Net *transport.Network
@@ -64,6 +68,7 @@ type Deployment struct {
 
 	Clock clock.Clock
 
+	cancel    context.CancelFunc
 	listeners []transport.Listener
 }
 
@@ -97,15 +102,15 @@ func New(cfg Config) (*Deployment, error) {
 
 	dir := core.Directory(ca.Lookup)
 	var cCtr, pCtr, tCtr metrics.Counters
-	opts := func(id *pki.Identity, ctr *metrics.Counters) core.Options {
-		return core.Options{
-			Identity:        id,
-			CAKey:           ca.PublicKey(),
-			Directory:       dir,
-			Clock:           clk,
-			Counters:        ctr,
-			ResponseTimeout: cfg.ResponseTimeout,
-			MessageLifetime: cfg.MessageLifetime,
+	opts := func(id *pki.Identity, ctr *metrics.Counters) []core.Option {
+		return []core.Option{
+			core.WithIdentity(id),
+			core.WithCAKey(ca.PublicKey()),
+			core.WithDirectory(dir),
+			core.WithClock(clk),
+			core.WithCounters(ctr),
+			core.WithResponseTimeout(cfg.ResponseTimeout),
+			core.WithMessageLifetime(cfg.MessageLifetime),
 		}
 	}
 
@@ -113,39 +118,46 @@ func New(cfg Config) (*Deployment, error) {
 	if store == nil {
 		store = storage.NewMem(clk.Now)
 	}
-	provider, err := core.NewProvider(opts(bobID, &pCtr), store)
+	provider, err := core.NewProvider(append(opts(bobID, &pCtr),
+		core.WithStore(store), core.WithTTPID(TTPName))...)
 	if err != nil {
 		return nil, err
 	}
-	client, err := core.NewClient(opts(aliceID, &cCtr), ProviderName, TTPName)
+	client, err := core.NewClient(ProviderName, TTPName, opts(aliceID, &cCtr)...)
 	if err != nil {
 		return nil, err
 	}
 
 	net := transport.NewNetwork()
-	ttpServer, err := ttp.New(opts(ttpID, &tCtr), func(partyID string) (transport.Conn, error) {
-		return net.Dial(partyID)
-	})
+	ttpServer, err := ttp.New(func(ctx context.Context, partyID string) (transport.Conn, error) {
+		return net.DialContext(ctx, partyID)
+	}, opts(ttpID, &tCtr)...)
 	if err != nil {
 		return nil, err
 	}
 
+	ctx, cancel := context.WithCancel(context.Background())
 	d := &Deployment{
 		CA:               ca,
 		Client:           client,
 		Provider:         provider,
+		ProviderServer:   core.NewServer(provider),
 		TTPServer:        ttpServer,
+		TTPRuntime:       core.NewServer(ttpServer),
 		Net:              net,
 		Store:            store,
 		ClientCounters:   &cCtr,
 		ProviderCounters: &pCtr,
 		TTPCounters:      &tCtr,
 		Clock:            clk,
+		cancel:           cancel,
 	}
-	if err := d.listen(ProviderName, func(c transport.Conn) { provider.Serve(c) }); err != nil {
+	if err := d.serve(ctx, d.ProviderServer, ProviderName); err != nil {
+		cancel()
 		return nil, err
 	}
-	if err := d.listen(TTPName, func(c transport.Conn) { ttpServer.Serve(c) }); err != nil {
+	if err := d.serve(ctx, d.TTPRuntime, TTPName); err != nil {
+		cancel()
 		return nil, err
 	}
 	return d, nil
@@ -175,21 +187,15 @@ func identityKeys(cfg Config) ([]cryptoutil.KeyPair, error) {
 	return keys, nil
 }
 
-func (d *Deployment) listen(addr string, serve func(transport.Conn)) error {
+// serve registers addr on the in-memory network and runs srv's accept
+// loop in the background.
+func (d *Deployment) serve(ctx context.Context, srv *core.Server, addr string) error {
 	l, err := d.Net.Listen(addr)
 	if err != nil {
 		return err
 	}
 	d.listeners = append(d.listeners, l)
-	go func() {
-		for {
-			conn, err := l.Accept()
-			if err != nil {
-				return
-			}
-			go serve(conn)
-		}
-	}()
+	go srv.Serve(ctx, l)
 	return nil
 }
 
@@ -199,9 +205,29 @@ func (d *Deployment) DialProvider() (transport.Conn, error) { return d.Net.Dial(
 // DialTTP opens a client connection to the TTP.
 func (d *Deployment) DialTTP() (transport.Conn, error) { return d.Net.Dial(TTPName) }
 
-// Close stops all listeners.
+// NewPool builds a SessionPool over this deployment's provider with
+// §4.3 escalation wired to the TTP.
+func (d *Deployment) NewPool(opts ...core.PoolOption) *core.SessionPool {
+	opts = append([]core.PoolOption{core.PoolTTPDial(func(ctx context.Context) (transport.Conn, error) {
+		return d.Net.DialContext(ctx, TTPName)
+	})}, opts...)
+	return core.NewSessionPool(d.Client, func(ctx context.Context) (transport.Conn, error) {
+		return d.Net.DialContext(ctx, ProviderName)
+	}, opts...)
+}
+
+// Close gracefully shuts both servers down, draining in-flight
+// sessions for up to a second each.
 func (d *Deployment) Close() {
+	// Close the listeners here, not just in Shutdown: the Serve
+	// goroutines may not have registered them yet, and a dial must fail
+	// the moment Close returns.
 	for _, l := range d.listeners {
 		l.Close()
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	d.ProviderServer.Shutdown(ctx)
+	d.TTPRuntime.Shutdown(ctx)
+	d.cancel()
 }

@@ -1,6 +1,7 @@
 package deploy_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -20,7 +21,7 @@ func TestNewStartsWorkingDeployment(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := d.Client.Upload(conn, "t", "k", []byte("v")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "t", "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := d.Store.Get("k"); err != nil {
@@ -90,7 +91,7 @@ func TestFreshKeysDeployment(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := d.Client.Upload(conn, "t", "k", []byte("v")); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, "t", "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -170,14 +171,14 @@ func e5TPNR(original []byte, tamper func([]byte) []byte) (bool, bool, error) {
 		return false, false, err
 	}
 	defer conn.Close()
-	up, err := d.Client.Upload(conn, "txn-e5", "ledger", original)
+	up, err := d.Client.Upload(context.Background(), conn, "txn-e5", "ledger", original)
 	if err != nil {
 		return false, false, err
 	}
 	if err := d.Store.(storage.Tamperer).Tamper("ledger", true, tamper); err != nil {
 		return false, false, err
 	}
-	_, derr := d.Client.Download(conn, "txn-e5-dl", "ledger", "txn-e5")
+	_, derr := d.Client.Download(context.Background(), conn, "txn-e5-dl", "ledger", "txn-e5")
 	detected := errors.Is(derr, core.ErrIntegrity)
 
 	// Attribution: submit the evidence to the arbitrator.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"time"
 
@@ -55,14 +56,14 @@ func E6() (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		if err := bA.Upload("doc", []byte("original")); err != nil {
+		if err := bA.Upload(context.Background(), "doc", []byte("original")); err != nil {
 			return Result{}, err
 		}
 		uploadMsgs := bA.Msgs.Upload
 		if err := bA.Store().(storage.Tamperer).Tamper("doc", true, func([]byte) []byte { return []byte("tampered") }); err != nil {
 			return Result{}, err
 		}
-		outA, err := bA.Dispute("doc")
+		outA, err := bA.Dispute(context.Background(), "doc")
 		if err != nil {
 			return Result{}, err
 		}
@@ -73,10 +74,10 @@ func E6() (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		if err := bB.Upload("doc", []byte("original")); err != nil {
+		if err := bB.Upload(context.Background(), "doc", []byte("original")); err != nil {
 			return Result{}, err
 		}
-		outB, err := bB.Dispute("doc")
+		outB, err := bB.Dispute(context.Background(), "doc")
 		if err != nil {
 			return Result{}, err
 		}
@@ -89,13 +90,13 @@ func E6() (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			if err := bC.Upload("doc", []byte("original")); err != nil {
+			if err := bC.Upload(context.Background(), "doc", []byte("original")); err != nil {
 				return Result{}, err
 			}
 			if err := bC.CorruptUserShare("doc"); err != nil {
 				return Result{}, err
 			}
-			outC, err := bC.Dispute("doc")
+			outC, err := bC.Dispute(context.Background(), "doc")
 			if err != nil {
 				return Result{}, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -34,7 +35,7 @@ func E7() (Result, error) {
 	defer conn.Close()
 
 	normal := metrics.NewTable("Fig. 6b — Normal mode (off-line TTP)", "step", "flow", "content")
-	up, err := d.Client.Upload(conn, "txn-normal", "docs/report", []byte("annual report"))
+	up, err := d.Client.Upload(context.Background(), conn, "txn-normal", "docs/report", []byte("annual report"))
 	if err != nil {
 		return Result{}, err
 	}
@@ -57,11 +58,11 @@ func E7() (Result, error) {
 	}
 	defer shortConn.Close()
 	shortD.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
-	if _, err := shortD.Client.Upload(shortConn, "txn-abort", "k", []byte("v")); !errors.Is(err, core.ErrTimeout) {
+	if _, err := shortD.Client.Upload(context.Background(), shortConn, "txn-abort", "k", []byte("v")); !errors.Is(err, core.ErrTimeout) {
 		return Result{}, fmt.Errorf("experiments: abort setup: %v", err)
 	}
 	shortD.Provider.SetMisbehavior(core.Misbehavior{})
-	ab, err := shortD.Client.Abort(shortConn, "txn-abort", "no NRR before time limit; canceling")
+	ab, err := shortD.Client.Abort(context.Background(), shortConn, "txn-abort", "no NRR before time limit; canceling")
 	if err != nil {
 		return Result{}, err
 	}
@@ -84,14 +85,14 @@ func E7() (Result, error) {
 	}
 	defer rConn.Close()
 	rd.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
-	rd.Client.Upload(rConn, "txn-resolve", "k", []byte("v"))
+	rd.Client.Upload(context.Background(), rConn, "txn-resolve", "k", []byte("v"))
 	rd.Provider.SetMisbehavior(core.Misbehavior{})
 	ttpConn, err := rd.DialTTP()
 	if err != nil {
 		return Result{}, err
 	}
 	defer ttpConn.Close()
-	res, err := rd.Client.Resolve(ttpConn, "txn-resolve", "no response from Bob within time limit")
+	res, err := rd.Client.Resolve(context.Background(), ttpConn, "txn-resolve", "no response from Bob within time limit")
 	if err != nil {
 		return Result{}, err
 	}

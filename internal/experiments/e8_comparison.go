@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -106,7 +107,7 @@ func runTPNROnce(payload []byte) (*metrics.Counters, *metrics.Counters, error) {
 		return nil, nil, err
 	}
 	defer conn.Close()
-	if _, err := d.Client.Upload(conn, session.NewTransactionID(), "bench/obj", payload); err != nil {
+	if _, err := d.Client.Upload(context.Background(), conn, session.NewTransactionID(), "bench/obj", payload); err != nil {
 		return nil, nil, err
 	}
 	return d.ClientCounters, d.TTPCounters, nil
@@ -136,7 +137,7 @@ func runTraditionalOnce(payload []byte) (*metrics.Counters, *metrics.Counters, e
 	client := traditional.NewClient(a, ca.Lookup, &cCtr)
 	provider := traditional.NewProvider(bID, ca.Lookup, storage.NewMem(nil), &metrics.Counters{})
 	ttp := traditional.NewTTP(tID, ca.Lookup, &tCtr)
-	if _, err := client.Upload("L-e8", "bench/obj", payload, provider, ttp); err != nil {
+	if _, err := client.Upload(context.Background(), "L-e8", "bench/obj", payload, provider, ttp); err != nil {
 		return nil, nil, err
 	}
 	return &cCtr, &tCtr, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -96,14 +97,14 @@ func X2() (Result, error) {
 			d.Close()
 			return Result{}, err
 		}
-		if _, err := d.Client.Upload(conn, "x2-whole", "obj", data); err != nil {
+		if _, err := d.Client.Upload(context.Background(), conn, "x2-whole", "obj", data); err != nil {
 			conn.Close()
 			d.Close()
 			return Result{}, err
 		}
 		tam := d.Store.(storage.Tamperer)
 		tam.Tamper("obj", true, func(b []byte) []byte { b[1000] ^= 0xFF; return b })
-		_, derr := d.Client.Download(conn, "x2-whole-dl", "obj", "x2-whole")
+		_, derr := d.Client.Download(context.Background(), conn, "x2-whole-dl", "obj", "x2-whole")
 		detected := derr != nil
 		tb.AddRow("whole-object", 1, detected, "entire object", 0)
 		conn.Close()
@@ -121,7 +122,7 @@ func X2() (Result, error) {
 			d.Close()
 			return Result{}, err
 		}
-		up, err := bigobject.Upload(d.Client, conn, "x2", "obj", data, chunkSize)
+		up, err := bigobject.Upload(context.Background(), d.Client, conn, "x2", "obj", data, chunkSize)
 		if err != nil {
 			conn.Close()
 			d.Close()
@@ -129,7 +130,7 @@ func X2() (Result, error) {
 		}
 		tam := d.Store.(storage.Tamperer)
 		tam.Tamper(bigobject.ChunkKey("obj", 0), true, func(b []byte) []byte { b[10] ^= 0xFF; return b })
-		down, derr := bigobject.Download(d.Client, conn, "x2-dl", "obj", up.ManifestTxn)
+		down, derr := bigobject.Download(context.Background(), d.Client, conn, "x2-dl", "obj", up.ManifestTxn)
 		detected := errors.Is(derr, bigobject.ErrTampered)
 		recovered := size - chunkSize
 		tb.AddRow(

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Latencies is a concurrency-safe recorder of operation durations, the
+// companion to Counters for the throughput experiments: workers Record
+// from many goroutines, the harness reads Percentile afterwards. The
+// zero value is ready.
+type Latencies struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// Record appends one sample.
+func (l *Latencies) Record(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.sorted = false
+	l.mu.Unlock()
+}
+
+// Count returns how many samples were recorded.
+func (l *Latencies) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by
+// nearest-rank over the recorded samples, or 0 with no samples.
+func (l *Latencies) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	rank := int(p/100*float64(len(l.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(l.samples) {
+		rank = len(l.samples) - 1
+	}
+	return l.samples[rank]
+}
+
+// Reset drops every sample.
+func (l *Latencies) Reset() {
+	l.mu.Lock()
+	l.samples = nil
+	l.sorted = false
+	l.mu.Unlock()
+}

@@ -17,10 +17,12 @@
 package traditional
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/cryptoutil"
 	"repro/internal/metrics"
 	"repro/internal/pki"
@@ -73,7 +75,10 @@ func NewTTP(id *pki.Identity, dir func(string) (*pki.Certificate, error), ctr *m
 }
 
 // Submit is step 3: A deposits the key with sub_K.
-func (t *TTP) Submit(label string, key []byte, subK []byte, submitter string) error {
+func (t *TTP) Submit(ctx context.Context, label string, key []byte, subK []byte, submitter string) error {
+	if err := core.CheckContext(ctx); err != nil {
+		return err
+	}
 	t.ctr.Inc(metrics.MsgsRecv, 1)
 	t.ctr.Inc(metrics.TTPMsgs, 1)
 	cert, err := t.dir(submitter)
@@ -99,7 +104,10 @@ func (t *TTP) Submit(label string, key []byte, subK []byte, submitter string) er
 }
 
 // Fetch is step 4: either party retrieves the key and con_K.
-func (t *TTP) Fetch(label string) (key, conK []byte, err error) {
+func (t *TTP) Fetch(ctx context.Context, label string) (key, conK []byte, err error) {
+	if err := core.CheckContext(ctx); err != nil {
+		return nil, nil, err
+	}
 	t.ctr.Inc(metrics.MsgsRecv, 1)
 	t.ctr.Inc(metrics.MsgsSent, 1)
 	t.ctr.Inc(metrics.TTPMsgs, 2)
@@ -145,7 +153,10 @@ func NewProvider(id *pki.Identity, dir func(string) (*pki.Certificate, error), s
 
 // ReceiveCommit is step 1→2: B validates the NRO over the commitment
 // and returns the NRR.
-func (p *Provider) ReceiveCommit(label, objectKey string, c []byte, nro []byte, sender string) ([]byte, error) {
+func (p *Provider) ReceiveCommit(ctx context.Context, label, objectKey string, c []byte, nro []byte, sender string) ([]byte, error) {
+	if err := core.CheckContext(ctx); err != nil {
+		return nil, err
+	}
 	p.ctr.Inc(metrics.MsgsRecv, 1)
 	cert, err := p.dir(sender)
 	if err != nil {
@@ -175,14 +186,17 @@ func (p *Provider) ReceiveCommit(label, objectKey string, c []byte, nro []byte, 
 
 // Complete is B's half of step 4: fetch the key, verify con_K, decrypt
 // the commitment and store the plaintext object.
-func (p *Provider) Complete(label string, ttp *TTP) error {
+func (p *Provider) Complete(ctx context.Context, label string, ttp *TTP) error {
+	if err := core.CheckContext(ctx); err != nil {
+		return err
+	}
 	p.mu.Lock()
 	commit, ok := p.pending[label]
 	p.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("traditional: no pending commitment for %q", label)
 	}
-	key, conK, err := ttp.Fetch(label)
+	key, conK, err := ttp.Fetch(ctx, label)
 	if err != nil {
 		return err
 	}
@@ -243,7 +257,10 @@ type Result struct {
 func (c *Client) Counters() *metrics.Counters { return c.ctr }
 
 // Upload runs the full four-step protocol against B and the TTP.
-func (c *Client) Upload(label, objectKey string, data []byte, provider *Provider, ttp *TTP) (*Result, error) {
+func (c *Client) Upload(ctx context.Context, label, objectKey string, data []byte, provider *Provider, ttp *TTP) (*Result, error) {
+	if err := core.CheckContext(ctx); err != nil {
+		return nil, err
+	}
 	// Commit: C = E_K(M).
 	key, err := cryptoutil.NewSymmetricKey()
 	if err != nil {
@@ -267,7 +284,7 @@ func (c *Client) Upload(label, objectKey string, data []byte, provider *Provider
 	c.ctr.Inc(metrics.Rounds, 1)
 
 	// Step 2: B → A.
-	nrr, err := provider.ReceiveCommit(label, objectKey, commitment, nro, c.id.Name)
+	nrr, err := provider.ReceiveCommit(ctx, label, objectKey, commitment, nro, c.id.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -294,17 +311,17 @@ func (c *Client) Upload(label, objectKey string, data []byte, provider *Provider
 	c.ctr.Inc(metrics.MsgsSent, 1)
 	c.ctr.Inc(metrics.TTPMsgs, 1)
 	c.ctr.Inc(metrics.Rounds, 1)
-	if err := ttp.Submit(label, key, subK, c.id.Name); err != nil {
+	if err := ttp.Submit(ctx, label, key, subK, c.id.Name); err != nil {
 		return nil, err
 	}
 
 	// Step 4 (B's half): B fetches the key and completes storage.
-	if err := provider.Complete(label, ttp); err != nil {
+	if err := provider.Complete(ctx, label, ttp); err != nil {
 		return nil, err
 	}
 
 	// Step 4 (A's half): A fetches con_K as her evidence.
-	_, conK, err := ttp.Fetch(label)
+	_, conK, err := ttp.Fetch(ctx, label)
 	if err != nil {
 		return nil, err
 	}

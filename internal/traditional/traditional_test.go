@@ -2,6 +2,7 @@ package traditional
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -45,7 +46,7 @@ func newEnv(t *testing.T) *env {
 func TestFullRun(t *testing.T) {
 	e := newEnv(t)
 	data := []byte("bulk backup payload")
-	res, err := e.client.Upload("L-1", "backups/x", data, e.provider, e.ttp)
+	res, err := e.client.Upload(context.Background(), "L-1", "backups/x", data, e.provider, e.ttp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestFullRun(t *testing.T) {
 // participation in every run — against TPNR's 1 send and 0 TTP.
 func TestFourStepCost(t *testing.T) {
 	e := newEnv(t)
-	if _, err := e.client.Upload("L-2", "k", []byte("v"), e.provider, e.ttp); err != nil {
+	if _, err := e.client.Upload(context.Background(), "L-2", "k", []byte("v"), e.provider, e.ttp); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.client.Counters().Get(metrics.MsgsSent); got < 3 {
@@ -86,11 +87,11 @@ func TestFairnessKeyWithheldUntilDeposit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.provider.ReceiveCommit("L-3", "k", c, nro, "alice"); err != nil {
+	if _, err := e.provider.ReceiveCommit(context.Background(), "L-3", "k", c, nro, "alice"); err != nil {
 		t.Fatal(err)
 	}
 	// Without the key deposit, B cannot complete.
-	if err := e.provider.Complete("L-3", e.ttp); !errors.Is(err, ErrNoKey) {
+	if err := e.provider.Complete(context.Background(), "L-3", e.ttp); !errors.Is(err, ErrNoKey) {
 		t.Fatalf("err = %v, want ErrNoKey", err)
 	}
 	if _, err := e.store.Get("k"); err == nil {
@@ -108,7 +109,7 @@ func TestForgedNRORejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.provider.ReceiveCommit("L-4", "k", c, forged, "alice"); !errors.Is(err, ErrBadSignature) {
+	if _, err := e.provider.ReceiveCommit(context.Background(), "L-4", "k", c, forged, "alice"); !errors.Is(err, ErrBadSignature) {
 		t.Fatalf("err = %v, want ErrBadSignature", err)
 	}
 }
@@ -120,14 +121,14 @@ func TestForgedSubKRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.ttp.Submit("L-5", key, forged, "alice"); !errors.Is(err, ErrBadSignature) {
+	if err := e.ttp.Submit(context.Background(), "L-5", key, forged, "alice"); !errors.Is(err, ErrBadSignature) {
 		t.Fatalf("err = %v, want ErrBadSignature", err)
 	}
 }
 
 func TestFetchUnknownLabel(t *testing.T) {
 	e := newEnv(t)
-	if _, _, err := e.ttp.Fetch("L-ghost"); !errors.Is(err, ErrNoKey) {
+	if _, _, err := e.ttp.Fetch(context.Background(), "L-ghost"); !errors.Is(err, ErrNoKey) {
 		t.Fatalf("err = %v, want ErrNoKey", err)
 	}
 }
@@ -136,7 +137,7 @@ func TestConKVerifiableByThirdParty(t *testing.T) {
 	// The con_K signature must verify against the TTP's certificate —
 	// that is what makes it evidence.
 	e := newEnv(t)
-	res, err := e.client.Upload("L-6", "k", []byte("v"), e.provider, e.ttp)
+	res, err := e.client.Upload(context.Background(), "L-6", "k", []byte("v"), e.provider, e.ttp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -38,9 +40,21 @@ func (c *tcpConn) Close() error {
 	return err
 }
 
+// SetDeadline bounds pending and future Send/Recv calls; tcpConn thus
+// satisfies DeadlineConn so protocol engines can map context deadlines
+// onto the socket.
+func (c *tcpConn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
 // DialTCP connects to a TCP address and frames it.
 func DialTCP(addr string) (Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialTCPContext(context.Background(), addr)
+}
+
+// DialTCPContext connects to a TCP address honoring ctx for
+// cancellation and deadline while the connection is established.
+func DialTCPContext(ctx context.Context, addr string) (Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
 	}

@@ -13,9 +13,11 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned from operations on a closed connection.
@@ -35,6 +37,23 @@ type Conn interface {
 	// ends.
 	Close() error
 }
+
+// DeadlineConn is implemented by Conns whose blocking operations can be
+// bounded by an absolute deadline (TCP). Protocol engines map a
+// context deadline onto the connection through this interface; the
+// in-memory pipe does not implement it because in-memory waits are
+// already interruptible through the engines' context-aware receive.
+type DeadlineConn interface {
+	Conn
+	// SetDeadline bounds pending and future Send/Recv calls. The zero
+	// time clears the deadline.
+	SetDeadline(t time.Time) error
+}
+
+// Dialer opens a connection to a named address, honoring the context
+// for cancellation while connecting. Both the in-memory Network and
+// the TCP transport satisfy this shape via method values / wrappers.
+type Dialer func(ctx context.Context, addr string) (Conn, error)
 
 // pipeEnd is one direction of an in-memory duplex pipe.
 type pipeEnd struct {
@@ -146,6 +165,16 @@ func (n *Network) Listen(addr string) (Listener, error) {
 	l := &memListener{addr: addr, backlog: make(chan Conn, 64), network: n}
 	n.listeners[addr] = l
 	return l, nil
+}
+
+// DialContext connects to a listening address. The in-memory dial is
+// instantaneous, so the context is only consulted for prior
+// cancellation; it exists to satisfy the Dialer shape.
+func (n *Network) DialContext(ctx context.Context, addr string) (Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return n.Dial(addr)
 }
 
 // Dial connects to a listening address.

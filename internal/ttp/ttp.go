@@ -15,6 +15,7 @@
 package ttp
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/core"
@@ -23,10 +24,12 @@ import (
 	"repro/internal/transport"
 )
 
-// Dialer connects the TTP to a named party for the in-line query.
-type Dialer func(partyID string) (transport.Conn, error)
+// Dialer connects the TTP to a named party for the in-line query,
+// honoring the context while connecting.
+type Dialer func(ctx context.Context, partyID string) (transport.Conn, error)
 
-// Server is the TTP daemon.
+// Server is the TTP daemon. It satisfies core.Handler, so a
+// core.Server can front it for concurrent resolve traffic.
 type Server struct {
 	*partyAlias
 	dial Dialer
@@ -38,52 +41,94 @@ type Server struct {
 // through it for later disputes).
 type partyAlias = core.TTPParty
 
-// New constructs a TTP server. dial is used to reach the counterparty
-// of a resolve request.
-func New(o core.Options, dial Dialer) (*Server, error) {
-	p, err := core.NewTTPParty(o)
+// New constructs a TTP server from functional options. dial is used to
+// reach the counterparty of a resolve request.
+func New(dial Dialer, opts ...core.Option) (*Server, error) {
+	p, err := core.NewTTPParty(opts...)
 	if err != nil {
 		return nil, err
 	}
 	return &Server{partyAlias: p, dial: dial}, nil
 }
 
-// Serve handles resolve traffic on one connection until it closes.
-func (s *Server) Serve(conn transport.Conn) error {
+// NewFromOptions constructs a TTP server from a legacy core.Options
+// struct.
+//
+// Deprecated: use New with functional options.
+func NewFromOptions(o core.Options, dial Dialer) (*Server, error) {
+	return New(dial, core.WithOptions(o))
+}
+
+// Serve handles resolve traffic on one connection until it closes or
+// ctx terminates (surfacing core.ErrCancelled).
+func (s *Server) Serve(ctx context.Context, conn transport.Conn) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close() // unblock the pending Recv
+		case <-done:
+		}
+	}()
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
+			if cerr := core.CheckContext(ctx); cerr != nil {
+				return cerr
+			}
 			if errors.Is(err, transport.ErrClosed) {
 				return nil
 			}
 			return err
 		}
-		s.Counters().Inc(metrics.MsgsRecv, 1)
-		reply := s.HandleRaw(raw)
+		reply, _ := s.Handle(raw)
 		if reply == nil {
 			continue
 		}
-		s.Counters().Inc(metrics.MsgsSent, 1)
-		s.Counters().Inc(metrics.BytesSent, int64(len(reply)))
 		if err := conn.Send(reply); err != nil {
+			if cerr := core.CheckContext(ctx); cerr != nil {
+				return cerr
+			}
 			return err
 		}
 	}
 }
 
-// HandleRaw processes one encoded resolve request and returns the
-// encoded response for the requester (nil for unverifiable garbage).
-func (s *Server) HandleRaw(raw []byte) []byte {
+// Handle processes one encoded resolve request and returns the encoded
+// response for the requester (nil for unverifiable garbage, which gets
+// no reply) plus the handling error. The in-line peer query is bounded
+// by the party's response timeout rather than a caller context — the
+// TTP answers the claimant in bounded time regardless of who embeds
+// it.
+func (s *Server) Handle(raw []byte) ([]byte, error) {
+	s.Counters().Inc(metrics.MsgsRecv, 1)
 	m, err := core.DecodeMessage(raw)
 	if err != nil {
-		return nil
+		return nil, err
 	}
 	resp, err := s.handleResolve(m)
-	if err != nil || resp == nil {
-		return nil
+	if resp == nil {
+		return nil, err
 	}
-	return resp.Encode()
+	enc := resp.Encode()
+	s.Counters().Inc(metrics.MsgsSent, 1)
+	s.Counters().Inc(metrics.BytesSent, int64(len(enc)))
+	return enc, err
 }
+
+// HandleRaw processes one encoded resolve request and returns the
+// encoded response, swallowing the handling error.
+//
+// Deprecated: use Handle.
+func (s *Server) HandleRaw(raw []byte) []byte {
+	reply, _ := s.Handle(raw)
+	return reply
+}
+
+// Compile-time check: the TTP daemon plugs into the concurrent
+// core.Server runtime.
+var _ core.Handler = (*Server)(nil)
 
 func (s *Server) handleResolve(m *core.Message) (*core.Message, error) {
 	h, ev, err := s.CheckInbound(m)
@@ -131,7 +176,12 @@ func (s *Server) handleResolve(m *core.Message) (*core.Message, error) {
 // and awaits its answer. Returns the raw reply (nil on timeout or
 // failure), the peer's relayed evidence bytes, and the outcome note.
 func (s *Server) queryPeer(h *evidence.Header, peerID string, claimPayload []byte) ([]byte, []byte, string) {
-	conn, err := s.dial(peerID)
+	// The dial and the peer wait are bounded by the response timeout,
+	// not a caller context: §4.3 requires the TTP to answer the
+	// claimant in bounded time.
+	ctx, cancel := context.WithTimeout(context.Background(), s.ResponseTimeout())
+	defer cancel()
+	conn, err := s.dial(ctx, peerID)
 	if err != nil {
 		return nil, nil, "peer-unreachable"
 	}
@@ -153,7 +203,7 @@ func (s *Server) queryPeer(h *evidence.Header, peerID string, claimPayload []byt
 	}
 	s.Counters().Inc(metrics.TTPMsgs, 1)
 
-	raw, err := s.RecvTimeout(conn)
+	raw, err := s.RecvTimeout(ctx, conn)
 	if err != nil {
 		s.Counters().Inc(metrics.Disputes, 1)
 		return nil, nil, "peer-unresponsive"

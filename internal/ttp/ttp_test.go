@@ -33,11 +33,11 @@ func rawParty(t *testing.T, d *deploy.Deployment, name string, keySlot int) *cor
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := core.NewTTPParty(core.Options{
-		Identity:  id,
-		CAKey:     d.CA.PublicKey(),
-		Directory: core.Directory(d.CA.Lookup),
-	})
+	p, err := core.NewTTPParty(
+		core.WithIdentity(id),
+		core.WithCAKey(d.CA.PublicKey()),
+		core.WithDirectory(core.Directory(d.CA.Lookup)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func ownEvidence(t *testing.T, p *core.TTPParty, txn, recipient string) *evidenc
 func TestResolveWithoutEvidenceRejected(t *testing.T) {
 	d := newDeploy(t)
 	mallory := rawParty(t, d, "mallory", 40)
-	raw := d.TTPServer.HandleRaw(buildResolve(t, d, mallory, "txn-x", nil))
+	raw, _ := d.TTPServer.Handle(buildResolve(t, d, mallory, "txn-x", nil))
 	h := decodeStatement(t, mallory, raw)
 	if !strings.Contains(h.Note, "no evidence") {
 		t.Fatalf("note = %q", h.Note)
@@ -109,7 +109,7 @@ func TestResolveWithoutEvidenceRejected(t *testing.T) {
 func TestResolveMalformedEvidenceRejected(t *testing.T) {
 	d := newDeploy(t)
 	mallory := rawParty(t, d, "mallory2", 41)
-	raw := d.TTPServer.HandleRaw(buildResolve(t, d, mallory, "txn-y", []byte("not evidence")))
+	raw, _ := d.TTPServer.Handle(buildResolve(t, d, mallory, "txn-y", []byte("not evidence")))
 	h := decodeStatement(t, mallory, raw)
 	if !strings.Contains(h.Note, "malformed") {
 		t.Fatalf("note = %q", h.Note)
@@ -121,7 +121,7 @@ func TestResolveMismatchedClaimRejected(t *testing.T) {
 	mallory := rawParty(t, d, "mallory3", 42)
 	// Evidence for a DIFFERENT transaction than the claim.
 	ev := ownEvidence(t, mallory, "txn-other", deploy.ProviderName)
-	raw := d.TTPServer.HandleRaw(buildResolve(t, d, mallory, "txn-claimed", ev.Encode()))
+	raw, _ := d.TTPServer.Handle(buildResolve(t, d, mallory, "txn-claimed", ev.Encode()))
 	h := decodeStatement(t, mallory, raw)
 	if !strings.Contains(h.Note, "does not match claim") {
 		t.Fatalf("note = %q", h.Note)
@@ -135,7 +135,7 @@ func TestResolveStolenEvidenceRejected(t *testing.T) {
 	// Mallory submits the VICTIM's evidence under her own resolve
 	// request: the claimant/evidence-signer mismatch must be caught.
 	stolen := ownEvidence(t, victim, "txn-stolen", deploy.ProviderName)
-	raw := d.TTPServer.HandleRaw(buildResolve(t, d, mallory, "txn-stolen", stolen.Encode()))
+	raw, _ := d.TTPServer.Handle(buildResolve(t, d, mallory, "txn-stolen", stolen.Encode()))
 	h := decodeStatement(t, mallory, raw)
 	if !strings.Contains(h.Note, "does not match claim") {
 		t.Fatalf("note = %q", h.Note)
@@ -148,7 +148,7 @@ func TestResolveTamperedEvidenceRejected(t *testing.T) {
 	ev := ownEvidence(t, mallory, "txn-t", deploy.ProviderName)
 	// Mutate the signed digest: signature must fail at the TTP.
 	ev.Header.DataMD5 = cryptoutil.Sum(cryptoutil.MD5, []byte("forged"))
-	raw := d.TTPServer.HandleRaw(buildResolve(t, d, mallory, "txn-t", ev.Encode()))
+	raw, _ := d.TTPServer.Handle(buildResolve(t, d, mallory, "txn-t", ev.Encode()))
 	h := decodeStatement(t, mallory, raw)
 	if !strings.Contains(h.Note, "does not verify") {
 		t.Fatalf("note = %q", h.Note)
@@ -162,7 +162,7 @@ func TestResolveUnreachablePeer(t *testing.T) {
 	// listener anywhere.
 	rawParty(t, d, "ghost-provider", 47)
 	ev := ownEvidence(t, mallory, "txn-u", "ghost-provider")
-	raw := d.TTPServer.HandleRaw(buildResolve(t, d, mallory, "txn-u", ev.Encode()))
+	raw, _ := d.TTPServer.Handle(buildResolve(t, d, mallory, "txn-u", ev.Encode()))
 	h := decodeStatement(t, mallory, raw)
 	if h.Note != "peer-unreachable" {
 		t.Fatalf("note = %q", h.Note)
@@ -182,7 +182,7 @@ func TestWrongKindRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw := d.TTPServer.HandleRaw(msg.Encode())
+	raw, _ := d.TTPServer.Handle(msg.Encode())
 	rh := decodeStatement(t, mallory, raw)
 	if !strings.Contains(rh.Note, "unsupported request kind") {
 		t.Fatalf("note = %q", rh.Note)
@@ -191,7 +191,7 @@ func TestWrongKindRejected(t *testing.T) {
 
 func TestGarbageSilentlyDropped(t *testing.T) {
 	d := newDeploy(t)
-	if got := d.TTPServer.HandleRaw([]byte("complete garbage")); got != nil {
+	if got, _ := d.TTPServer.Handle([]byte("complete garbage")); got != nil {
 		t.Fatalf("TTP answered garbage with %d bytes", len(got))
 	}
 }
@@ -210,16 +210,16 @@ func TestUnenrolledSenderDropped(t *testing.T) {
 	if _, err := pki.NewIdentity(otherCA, deploy.TTPName, cryptoutil.InsecureTestKey(51), now.Add(-time.Hour), now.Add(time.Hour)); err != nil {
 		t.Fatal(err)
 	}
-	p, err := core.NewTTPParty(core.Options{
-		Identity:  id,
-		CAKey:     otherCA.PublicKey(),
-		Directory: core.Directory(otherCA.Lookup),
-	})
+	p, err := core.NewTTPParty(
+		core.WithIdentity(id),
+		core.WithCAKey(otherCA.PublicKey()),
+		core.WithDirectory(core.Directory(otherCA.Lookup)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
 	msg := buildResolve(t, d, p, "txn-o", nil)
-	if got := d.TTPServer.HandleRaw(msg); got != nil {
+	if got, _ := d.TTPServer.Handle(msg); got != nil {
 		t.Fatal("TTP answered a sender from a foreign CA")
 	}
 }
@@ -229,7 +229,8 @@ func TestUnenrolledSenderDropped(t *testing.T) {
 func TestTTPHandleRawNeverPanics(t *testing.T) {
 	d := newDeploy(t)
 	f := func(raw []byte) bool {
-		return d.TTPServer.HandleRaw(raw) == nil
+		reply, _ := d.TTPServer.Handle(raw)
+		return reply == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

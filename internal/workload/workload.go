@@ -8,6 +8,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -76,6 +77,7 @@ func Run(p Params) (*Stats, error) {
 		p.MaxSize = p.MinSize
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
+	ctx := context.Background()
 
 	d, err := deploy.New(deploy.Config{TestKeys: true, ResponseTimeout: 10 * time.Second})
 	if err != nil {
@@ -110,7 +112,7 @@ func Run(p Params) (*Stats, error) {
 			txn:  fmt.Sprintf("wl-up-%05d", i),
 			data: data,
 		}
-		up, err := d.Client.Upload(conn, o.txn, o.key, data)
+		up, err := d.Client.Upload(ctx, conn, o.txn, o.key, data)
 		if err != nil {
 			return nil, fmt.Errorf("workload: upload %d: %w", i, err)
 		}
@@ -141,7 +143,7 @@ func Run(p Params) (*Stats, error) {
 	// Phase 3: downloads + incident handling.
 	for i, o := range objects {
 		dlTxn := fmt.Sprintf("wl-dl-%05d", i)
-		res, err := d.Client.Download(conn, dlTxn, o.key, o.txn)
+		res, err := d.Client.Download(ctx, conn, dlTxn, o.key, o.txn)
 		stats.Downloads++
 		switch {
 		case errors.Is(err, core.ErrIntegrity):
