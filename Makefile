@@ -1,7 +1,7 @@
 # Offline stdlib-only Go module; these targets are the whole toolchain.
 GO ?= go
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race bench chaos chaos-short verify
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# verify is the tier-1 gate: vet, compile everything, then the full
-# suite under the race detector (the concurrency tests depend on it).
-verify: vet build race
+# chaos runs the crash-fault injection suite: every registered
+# faultpoint plus the randomized crash-restart rounds, always under
+# the race detector and with the fixed seeds baked into the tests.
+chaos:
+	$(GO) test -race -count=1 -v -run 'TestChaos|TestPool' ./internal/chaos/
+
+# chaos-short is the cheap variant (one seed, fewer rounds) used as an
+# early gate inside verify.
+chaos-short:
+	$(GO) test -race -count=1 -short -run 'TestChaos|TestPool' ./internal/chaos/
+
+# verify is the tier-1 gate: vet, compile everything, a quick chaos
+# pass, then the full suite under the race detector (the concurrency
+# tests depend on it; race also reruns chaos with the full seed set).
+verify: vet build chaos-short race

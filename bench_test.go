@@ -616,15 +616,33 @@ func BenchmarkE10EvidenceSignOnly(b *testing.B) {
 const benchWANDelay = 20 * time.Millisecond
 
 // newBenchPool wires a SessionPool whose provider connections model a
-// WAN link.
+// WAN link. The fault layer's Stats feed a wire-msgs metric so the
+// report shows how many messages the WAN actually carried per op.
 func newBenchPool(b *testing.B, d *deploy.Deployment, clients int) *core.SessionPool {
 	b.Helper()
+	var mu sync.Mutex
+	var conns []*transport.FaultyConn
+	b.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		total := 0
+		for _, fc := range conns {
+			total += fc.Stats().Sent
+		}
+		if b.N > 0 {
+			b.ReportMetric(float64(total)/float64(b.N), "wire-msgs/op")
+		}
+	})
 	return core.NewSessionPool(d.Client, func(ctx context.Context) (transport.Conn, error) {
 		conn, err := d.Net.DialContext(ctx, deploy.ProviderName)
 		if err != nil {
 			return nil, err
 		}
-		return transport.Faulty(conn, transport.FaultSpec{Delay: benchWANDelay}), nil
+		fc := transport.Faulty(conn, transport.FaultSpec{Delay: benchWANDelay})
+		mu.Lock()
+		conns = append(conns, fc)
+		mu.Unlock()
+		return fc, nil
 	}, core.PoolMaxConns(clients))
 }
 

@@ -1,9 +1,16 @@
 // Command nrserver runs the TPNR cloud storage provider (Bob) over
 // TCP, backed by a disk blob store.
 //
-//	nrserver -state ./state -name bob -listen 127.0.0.1:9000 -store ./blobs
+//	nrserver -state ./state -name bob -listen 127.0.0.1:9000 -store ./blobs \
+//	         -wal-dir ./wal -fsync always -audit ./audit.log
 //
 // The state directory must have been provisioned with pkitool init.
+// With -wal-dir, every protocol transition is journaled before it is
+// acked, and a restart replays the journal: evidence and session state
+// come back, and any abort the provider acked before the crash is
+// honored by re-deleting the object. With -audit, the hash-chained
+// audit log is persisted (and fsynced per entry) so the trail backing
+// arbitration survives a crash too.
 // SIGINT/SIGTERM triggers a graceful shutdown: the accept loop stops,
 // in-flight protocol steps drain (bounded by -drain), then connections
 // close.
@@ -19,11 +26,13 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/auditlog"
 	"repro/internal/core"
 	"repro/internal/keystore"
 	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -32,13 +41,17 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:9000", "TCP listen address")
 	storeDir := flag.String("store", "./blobs", "blob store directory")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	walDir := flag.String("wal-dir", "", "crash journal directory (empty = no journal)")
+	fsync := flag.String("fsync", "always", "journal fsync policy: always, none, or batch:<n>")
+	auditPath := flag.String("audit", "", "persist the audit log to this file (fsynced per entry)")
 	flag.Parse()
 
-	provider, err := buildProvider(*state, *name, *storeDir)
+	provider, cleanup, err := buildProvider(*state, *name, *storeDir, *walDir, *fsync, *auditPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nrserver:", err)
 		os.Exit(1)
 	}
+	defer cleanup()
 	l, err := transport.ListenTCP(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nrserver:", err)
@@ -57,6 +70,7 @@ func main() {
 	case err := <-done:
 		if err != nil {
 			log.Printf("nrserver: serve: %v", err)
+			cleanup()
 			os.Exit(1)
 		}
 	case <-ctx.Done():
@@ -70,28 +84,74 @@ func main() {
 	log.Printf("nrserver: stopped")
 }
 
-func buildProvider(state, name, storeDir string) (*core.Provider, error) {
+func buildProvider(state, name, storeDir, walDir, fsync, auditPath string) (*core.Provider, func(), error) {
 	id, err := keystore.LoadIdentity(state, name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	world, err := keystore.LoadWorld(state)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	caKey, err := world.CAKey()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	store, err := storage.NewDisk(storeDir, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return core.NewProvider(
+	opts := []core.Option{
 		core.WithIdentity(id),
 		core.WithCAKey(caKey),
 		core.WithDirectory(world.Lookup),
 		core.WithCounters(&metrics.Counters{}),
 		core.WithStore(store),
-	)
+	}
+
+	cleanup := func() {}
+	var journal *wal.WAL
+	if walDir != "" {
+		policy, batch, err := wal.ParsePolicy(fsync)
+		if err != nil {
+			return nil, nil, err
+		}
+		journal, err = wal.Open(walDir, wal.Options{Policy: policy, BatchSize: batch})
+		if err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts, core.WithJournal(journal))
+		cleanup = func() { journal.Close() }
+	}
+
+	provider, err := core.NewProvider(opts...)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+
+	if auditPath != "" {
+		audit, err := auditlog.OpenFile(auditPath, nil, true)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		if audit.Truncated() {
+			log.Printf("nrserver: audit log %s had a torn tail from a crash; truncated", auditPath)
+		}
+		provider.SetAuditLog(audit)
+		prev := cleanup
+		cleanup = func() { audit.Close(); prev() }
+	}
+
+	if journal != nil {
+		rep, err := provider.Recover(context.Background())
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("journal recovery: %w", err)
+		}
+		log.Printf("nrserver: recovered %d journal records across %d txns (%d unfinished, %d aborts honored, torn tail: %v)",
+			rep.Records, len(rep.Transactions), len(rep.NeedsResolve), len(rep.HonoredAborts), rep.TornTail)
+	}
+	return provider, cleanup, nil
 }

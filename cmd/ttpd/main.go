@@ -2,8 +2,14 @@
 // know how to reach the other parties for the in-line Resolve queries;
 // peers are given as repeated -peer name=addr flags.
 //
-//	ttpd -state ./state -name ttp -listen 127.0.0.1:9001 -peer bob=127.0.0.1:9000
+//	ttpd -state ./state -name ttp -listen 127.0.0.1:9001 -peer bob=127.0.0.1:9000 \
+//	     -wal-dir ./wal -fsync always -audit ./audit.log
 //
+// With -wal-dir, every resolve step (evidence received, procedure
+// opened, statement issued) is journaled before the reply goes out; a
+// restart replays the journal and reports resolves left open by the
+// crash. With -audit, resolve open/close events are persisted to a
+// hash-chained file, fsynced per entry.
 // SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
 // resolutions before closing connections.
 package main
@@ -19,11 +25,13 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/auditlog"
 	"repro/internal/core"
 	"repro/internal/keystore"
 	"repro/internal/metrics"
 	"repro/internal/transport"
 	"repro/internal/ttp"
+	"repro/internal/wal"
 )
 
 // peerFlags collects repeated -peer name=addr flags.
@@ -45,6 +53,9 @@ func main() {
 	name := flag.String("name", "ttp", "this TTP's identity name")
 	listen := flag.String("listen", "127.0.0.1:9001", "TCP listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	walDir := flag.String("wal-dir", "", "crash journal directory (empty = no journal)")
+	fsync := flag.String("fsync", "always", "journal fsync policy: always, none, or batch:<n>")
+	auditPath := flag.String("audit", "", "persist the audit log to this file (fsynced per entry)")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer address mapping name=host:port (repeatable)")
 	flag.Parse()
@@ -64,21 +75,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ttpd:", err)
 		os.Exit(1)
 	}
+	opts := []core.Option{
+		core.WithIdentity(id),
+		core.WithCAKey(caKey),
+		core.WithDirectory(world.Lookup),
+		core.WithCounters(&metrics.Counters{}),
+	}
+	cleanup := func() {}
+	var journal *wal.WAL
+	if *walDir != "" {
+		policy, batch, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttpd:", err)
+			os.Exit(1)
+		}
+		journal, err = wal.Open(*walDir, wal.Options{Policy: policy, BatchSize: batch})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttpd:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, core.WithJournal(journal))
+		cleanup = func() { journal.Close() }
+	}
+	// cleanup grows as resources open; defer the variable, not its
+	// current value.
+	defer func() { cleanup() }()
+
 	server, err := ttp.New(func(ctx context.Context, partyID string) (transport.Conn, error) {
 		addr, ok := peers[partyID]
 		if !ok {
 			return nil, fmt.Errorf("ttpd: no -peer mapping for %q", partyID)
 		}
 		return transport.DialTCPContext(ctx, addr)
-	},
-		core.WithIdentity(id),
-		core.WithCAKey(caKey),
-		core.WithDirectory(world.Lookup),
-		core.WithCounters(&metrics.Counters{}),
-	)
+	}, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ttpd:", err)
+		cleanup()
 		os.Exit(1)
+	}
+
+	if *auditPath != "" {
+		audit, err := auditlog.OpenFile(*auditPath, nil, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttpd:", err)
+			cleanup()
+			os.Exit(1)
+		}
+		if audit.Truncated() {
+			log.Printf("ttpd: audit log %s had a torn tail from a crash; truncated", *auditPath)
+		}
+		server.SetAuditLog(audit)
+		prev := cleanup
+		cleanup = func() { audit.Close(); prev() }
+	}
+
+	if journal != nil {
+		rep, err := server.Recover(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttpd: journal recovery:", err)
+			cleanup()
+			os.Exit(1)
+		}
+		log.Printf("ttpd: recovered %d journal records across %d txns (%d resolves left open, torn tail: %v)",
+			rep.Records, len(rep.Transactions), len(rep.OpenResolves), rep.TornTail)
+		for _, txn := range rep.OpenResolves {
+			log.Printf("ttpd: resolve for %s was interrupted; the claimant will retry", txn)
+		}
 	}
 
 	l, err := transport.ListenTCP(*listen)
@@ -99,6 +161,7 @@ func main() {
 	case err := <-done:
 		if err != nil {
 			log.Printf("ttpd: serve: %v", err)
+			cleanup()
 			os.Exit(1)
 		}
 	case <-ctx.Done():

@@ -12,6 +12,7 @@ import (
 	"crypto/rsa"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -57,11 +58,19 @@ func (e *Entry) canonical() []byte {
 	return enc.Bytes()
 }
 
-// Log is the append-only chained log. Safe for concurrent use.
+// Log is the append-only chained log. Safe for concurrent use. A Log
+// opened with OpenFile additionally persists every entry to disk,
+// optionally fsyncing each append (see Sync, Close, Err).
 type Log struct {
 	mu      sync.RWMutex
 	entries []Entry
 	now     func() time.Time
+
+	// File sink state; all nil/zero for a purely in-memory Log.
+	file      *os.File
+	syncEach  bool
+	truncated bool
+	ferr      error
 }
 
 // New creates an empty log stamping entries with now (nil = time.Now).
@@ -90,6 +99,7 @@ func (l *Log) Append(kind, txnID, detail string) Entry {
 	}
 	e.Hash = cryptoutil.Sum(cryptoutil.SHA256, e.canonical())
 	l.entries = append(l.entries, e)
+	l.persist(e)
 	return e
 }
 

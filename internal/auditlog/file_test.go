@@ -1,0 +1,160 @@
+package auditlog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFileSinkRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	l, err := OpenFile(path, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append("upload", "txn-1", "stored x")
+	l.Append("abort", "txn-2", "client abort")
+	if err := l.Err(); err != nil {
+		t.Fatalf("sink error after appends: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenFile(path, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Truncated() {
+		t.Fatal("clean file reported as truncated")
+	}
+	if l2.Len() != 2 {
+		t.Fatalf("reloaded %d entries, want 2", l2.Len())
+	}
+	got := l2.Entries()
+	if got[0].Kind != "upload" || got[0].TxnID != "txn-1" || got[1].Kind != "abort" {
+		t.Fatalf("reloaded entries wrong: %+v", got)
+	}
+	if err := Verify(got); err != nil {
+		t.Fatalf("reloaded chain does not verify: %v", err)
+	}
+	// Appends continue the persisted chain.
+	l2.Append("download", "txn-1", "served x")
+	l2.Close()
+	l3, err := OpenFile(path, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if l3.Len() != 3 {
+		t.Fatalf("after third append reloaded %d entries, want 3", l3.Len())
+	}
+	if err := Verify(l3.Entries()); err != nil {
+		t.Fatalf("extended chain does not verify: %v", err)
+	}
+}
+
+func TestFileSinkTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	l, err := OpenFile(path, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append("upload", "txn-1", "ok")
+	l.Append("upload", "txn-2", "ok")
+	l.Close()
+
+	// A crash mid-append leaves a partial final frame.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := fi.Size()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := OpenFile(path, nil, true)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer l2.Close()
+	if !l2.Truncated() {
+		t.Fatal("torn tail not reported")
+	}
+	if l2.Len() != 2 {
+		t.Fatalf("torn open kept %d entries, want 2", l2.Len())
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != whole {
+		t.Fatalf("file not truncated back to %d bytes: %v %v", whole, fi.Size(), err)
+	}
+}
+
+func TestFileSinkRejectsTamperedInterior(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	l, err := OpenFile(path, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append("upload", "txn-1", "aaaa")
+	l.Append("upload", "txn-2", "bbbb")
+	l.Close()
+
+	// Flip one payload byte in the middle of the file: the rewrite must
+	// break the hash chain, not load silently.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/4] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, nil, true); err == nil {
+		t.Fatal("tampered log opened without error")
+	}
+}
+
+func TestFileSinkSyncAndCloseOnMemoryLog(t *testing.T) {
+	l := New(nil)
+	l.Append("upload", "txn", "x")
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync on memory log: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close on memory log: %v", err)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("Err on memory log: %v", err)
+	}
+}
+
+func TestFileSinkErrSticky(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	l, err := OpenFile(path, func() time.Time { return time.Unix(1, 0) }, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the fd out from under the sink: the next append must record
+	// a sticky sink error while the in-memory chain keeps growing.
+	l.mu.Lock()
+	l.file.Close()
+	l.mu.Unlock()
+	l.Append("upload", "txn", "x")
+	if !errors.Is(l.Err(), ErrFileSink) {
+		t.Fatalf("Err = %v, want ErrFileSink", l.Err())
+	}
+	if l.Len() != 1 {
+		t.Fatal("in-memory chain lost the entry after sink failure")
+	}
+	l.file = nil // avoid double close
+	l.Close()
+}

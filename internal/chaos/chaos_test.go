@@ -1,0 +1,393 @@
+// Package chaos is the crash-fault injection suite: it kills the
+// protocol engines at every registered faultpoint, restarts them from
+// their journals on the same "disk" (WAL directories + blob store),
+// drives the §4.3 recovery procedure, and asserts the dispute
+// invariant — the system is never left half-bound, where the provider
+// holds the client's NRO but the client can obtain neither a receipt,
+// an abort acceptance, nor a TTP statement (or vice versa).
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/arbitrator"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/evidence"
+	"repro/internal/faultpoint"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// chaosTimeout is the protocol response timeout for chaos worlds:
+// short enough that the many deliberate timeouts stay cheap, long
+// enough that honest exchanges never trip it under -race.
+const chaosTimeout = 500 * time.Millisecond
+
+// world is one running deployment plus the durable state a restart
+// reopens: three WAL directories and the shared blob store.
+type world struct {
+	d          *deploy.Deployment
+	store      storage.Store
+	cw, pw, tw *wal.WAL
+}
+
+func openWorld(t *testing.T, dir string, store storage.Store) *world {
+	t.Helper()
+	open := func(sub string) *wal.WAL {
+		w, err := wal.Open(filepath.Join(dir, sub), wal.Options{})
+		if err != nil {
+			t.Fatalf("opening %s journal: %v", sub, err)
+		}
+		return w
+	}
+	cw, pw, tw := open("client"), open("provider"), open("ttp")
+	d, err := deploy.New(deploy.Config{
+		TestKeys:        true,
+		ResponseTimeout: chaosTimeout,
+		ProviderStore:   store,
+		ClientOpts:      []core.Option{core.WithJournal(cw)},
+		ProviderOpts:    []core.Option{core.WithJournal(pw)},
+		TTPOpts:         []core.Option{core.WithJournal(tw)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{d: d, store: store, cw: cw, pw: pw, tw: tw}
+}
+
+// crash tears the world down with no graceful protocol steps — the
+// moral equivalent of SIGKILL.
+func (w *world) crash() {
+	w.d.Close()
+	w.cw.Close()
+	w.pw.Close()
+	w.tw.Close()
+}
+
+// recoverAll replays all three journals on a freshly opened world.
+func (w *world) recoverAll(t *testing.T) (crep, prep, trep *core.RecoveryReport) {
+	t.Helper()
+	ctx := context.Background()
+	var err error
+	if crep, err = w.d.Client.Recover(ctx); err != nil {
+		t.Fatalf("client recover: %v", err)
+	}
+	if prep, err = w.d.Provider.Recover(ctx); err != nil {
+		t.Fatalf("provider recover: %v", err)
+	}
+	if trep, err = w.d.TTPServer.Recover(ctx); err != nil {
+		t.Fatalf("ttp recover: %v", err)
+	}
+	return crep, prep, trep
+}
+
+// runRecovering runs fn, converting a faultpoint kill on this
+// goroutine (a client-side simulated crash) into an error. Provider
+// and TTP kills panic inside their server runtimes, which absorb them;
+// the caller just sees a timeout.
+func runRecovering(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(*faultpoint.Crash)
+			if !ok {
+				panic(r)
+			}
+			err = c
+		}
+	}()
+	return fn()
+}
+
+// runScenario drives the protocol flow in which faultpoint pt fires.
+// wrap, when non-nil, decorates the client→provider connection (the
+// randomized suite injects transport faults through it). Errors from
+// the flow itself are expected — a crash mid-protocol IS the test.
+func runScenario(t *testing.T, w *world, pt, txn, key string, data []byte, wrap func(transport.Conn) transport.Conn) {
+	t.Helper()
+	ctx := context.Background()
+	dialProvider := func() transport.Conn {
+		c, err := w.d.DialProvider()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrap != nil {
+			return wrap(c)
+		}
+		return c
+	}
+	// stallUpload puts the provider in the §4.1 unfairness position:
+	// it holds the NRO (and the data) but withheld the NRR.
+	stallUpload := func(conn transport.Conn) {
+		w.d.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
+		_, err := w.d.Client.Upload(ctx, conn, txn, key, data)
+		w.d.Provider.SetMisbehavior(core.Misbehavior{})
+		if err == nil {
+			t.Fatal("upload to a silent provider succeeded")
+		}
+	}
+	switch {
+	case strings.HasPrefix(pt, "client.upload") || strings.HasPrefix(pt, "provider.upload"):
+		conn := dialProvider()
+		defer conn.Close()
+		runRecovering(func() error {
+			_, err := w.d.Client.Upload(ctx, conn, txn, key, data)
+			return err
+		})
+	case strings.HasPrefix(pt, "provider.abort"):
+		conn := dialProvider()
+		defer conn.Close()
+		stallUpload(conn)
+		runRecovering(func() error {
+			_, err := w.d.Client.Abort(ctx, conn, txn, "chaos abort")
+			return err
+		})
+	case strings.HasPrefix(pt, "client.resolve") || strings.HasPrefix(pt, "ttp.resolve"):
+		conn := dialProvider()
+		stallUpload(conn)
+		conn.Close()
+		tc, err := w.d.DialTTP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tc.Close()
+		runRecovering(func() error {
+			_, err := w.d.Client.Resolve(ctx, tc, txn, "chaos resolve")
+			return err
+		})
+	default:
+		t.Fatalf("no chaos scenario covers faultpoint %q — add one", pt)
+	}
+}
+
+// converge drives one unfinished transaction through §4.3 until it
+// reaches a terminal outcome: Resolve via the TTP, re-uploading over a
+// clean link when the provider answers "restart" (it never received
+// the data).
+func (w *world) converge(t *testing.T, txn, key string, data []byte) {
+	t.Helper()
+	ctx := context.Background()
+	for attempt := 0; attempt < 3; attempt++ {
+		tc, err := w.d.DialTTP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.d.Client.Resolve(ctx, tc, txn, "post-crash escalation")
+		tc.Close()
+		if err != nil {
+			t.Fatalf("resolving %s after restart: %v", txn, err)
+		}
+		if res.Outcome != "restart" {
+			return // continue / aborted / TTP statement — all terminal
+		}
+		pc, err := w.d.DialProvider()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, uerr := w.d.Client.Upload(ctx, pc, txn, key, data)
+		pc.Close()
+		if uerr == nil {
+			return
+		}
+		t.Logf("re-upload of %s failed (%v), retrying", txn, uerr)
+	}
+	t.Fatalf("transaction %s did not converge in 3 attempts", txn)
+}
+
+// assertDisputeInvariant checks that a crash never left a half-bound
+// state: if the provider archived the client's NRO, the client must
+// hold an NRR, an abort acceptance, or a TTP statement for the
+// transaction — something to take to an arbitrator. Conversely an NRR
+// in the client's hands implies the provider holds the NRO it is a
+// receipt for.
+func assertDisputeInvariant(t *testing.T, w *world, txn, key string) {
+	t.Helper()
+	ca, pa := w.d.Client.Archive(), w.d.Provider.Archive()
+	_, bobErr := pa.ByKind(txn, evidence.RolePeer, evidence.KindNRO)
+	_, nrrErr := ca.ByKind(txn, evidence.RolePeer, evidence.KindNRR)
+	_, abortErr := ca.ByKind(txn, evidence.RolePeer, evidence.KindAbortAccept)
+	_, stmtErr := ca.ByKind(txn, evidence.RolePeer, evidence.KindResolveResponse)
+
+	if bobErr != nil {
+		// Provider never bound — then no receipt may exist either.
+		if nrrErr == nil {
+			t.Errorf("half-bound %s: client holds an NRR but provider never archived the NRO", txn)
+		}
+		return
+	}
+	if nrrErr != nil && abortErr != nil && stmtErr != nil {
+		t.Errorf("half-bound %s: provider holds the client's NRO but client has no NRR, abort receipt, or TTP statement", txn)
+	}
+	if abortErr == nil && nrrErr != nil {
+		// Provably aborted: the honored abort must have dropped the blob.
+		if _, err := w.store.Get(key); err == nil {
+			t.Errorf("aborted %s but object %q is still stored", txn, key)
+		}
+	}
+}
+
+// arbitrateCompleted submits a completed transaction to the off-line
+// arbitrator with the data the store currently holds; the verdict must
+// clear the provider (the data matches the agreed digest).
+func arbitrateCompleted(t *testing.T, w *world, txn, key string) {
+	t.Helper()
+	ca := w.d.Client.Archive()
+	nro, err := ca.ByKind(txn, evidence.RoleOwn, evidence.KindNRO)
+	if err != nil {
+		t.Fatalf("completed %s without an own NRO: %v", txn, err)
+	}
+	nrr, err := ca.ByKind(txn, evidence.RolePeer, evidence.KindNRR)
+	if err != nil {
+		t.Fatalf("completed %s without a peer NRR: %v", txn, err)
+	}
+	obj, err := w.store.Get(key)
+	if err != nil {
+		t.Fatalf("completed %s but store lost %q: %v", txn, key, err)
+	}
+	arb := arbitrator.New(w.d.CA.PublicKey(), w.d.CA.Lookup, nil)
+	dec := arb.Decide(&arbitrator.Case{
+		TxnID:        txn,
+		ObjectKey:    key,
+		ClaimantID:   deploy.ClientName,
+		RespondentID: deploy.ProviderName,
+		ClaimantNRO:  nro,
+		ClaimantNRR:  nrr,
+		ProducedData: obj.Data,
+	})
+	if dec.Verdict != arbitrator.VerdictClaimFalse {
+		t.Errorf("arbitration of recovered %s = %s, want %s; findings: %v",
+			txn, dec.Verdict, arbitrator.VerdictClaimFalse, dec.Findings)
+	}
+}
+
+// TestChaosEveryFaultpoint kills the system at each registered
+// faultpoint in turn, restarts from the journals, escalates whatever
+// the crash left unfinished, and asserts the dispute invariant.
+func TestChaosEveryFaultpoint(t *testing.T) {
+	points := faultpoint.List()
+	if len(points) < 8 {
+		t.Fatalf("only %d faultpoints registered; the engines lost their kill sites", len(points))
+	}
+	for _, pt := range points {
+		t.Run(pt, func(t *testing.T) {
+			defer faultpoint.Reset()
+			dir := t.TempDir()
+			store := storage.NewMem(time.Now)
+			txn := "txn-chaos-" + pt
+			key := "chaos/" + pt
+			data := []byte("chaos payload for " + pt)
+
+			var fired atomic.Bool
+			faultpoint.Arm(pt, func() {
+				fired.Store(true)
+				faultpoint.Kill(pt)()
+			})
+			w := openWorld(t, dir, store)
+			runScenario(t, w, pt, txn, key, data, nil)
+			faultpoint.Reset()
+			w.crash()
+			if !fired.Load() {
+				t.Fatalf("faultpoint %q never fired; the scenario does not reach its kill site", pt)
+			}
+
+			w2 := openWorld(t, dir, store)
+			defer w2.crash()
+			crep, _, trep := w2.recoverAll(t)
+			if pt == "ttp.resolve.after-open-before-query" && len(trep.OpenResolves) == 0 {
+				t.Error("TTP died between open and close but recovery reports no open resolves")
+			}
+			for _, needy := range crep.NeedsResolve {
+				w2.converge(t, needy, key, data)
+			}
+			assertDisputeInvariant(t, w2, txn, key)
+			if _, err := w2.d.Client.Archive().ByKind(txn, evidence.RolePeer, evidence.KindNRR); err == nil {
+				arbitrateCompleted(t, w2, txn, key)
+			}
+		})
+	}
+}
+
+// TestChaosRandomized runs multi-round crash-restart sequences with
+// fixed seeds: each round picks a faultpoint at random, runs its
+// scenario over a deliberately lossy link, crashes, restarts on the
+// same disk, converges, and re-checks the dispute invariant for every
+// transaction ever started.
+func TestChaosRandomized(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	rounds := 4
+	if testing.Short() {
+		seeds = seeds[:1]
+		rounds = 2
+	}
+	points := faultpoint.List()
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			defer faultpoint.Reset()
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			store := storage.NewMem(time.Now)
+			w := openWorld(t, dir, store)
+			defer func() { w.crash() }()
+
+			type txnInfo struct {
+				key  string
+				data []byte
+			}
+			txns := make(map[string]*txnInfo)
+			var conns []*transport.FaultyConn
+			wrap := func(c transport.Conn) transport.Conn {
+				fc := transport.Faulty(c, transport.FaultSpec{
+					DropProb: 0.10,
+					DupProb:  0.20,
+					Seed:     rng.Int63(),
+				})
+				conns = append(conns, fc)
+				return fc
+			}
+
+			for round := 0; round < rounds; round++ {
+				pt := points[rng.Intn(len(points))]
+				txn := fmt.Sprintf("txn-s%d-r%d", seed, round)
+				info := &txnInfo{
+					key:  fmt.Sprintf("chaos/obj-s%d-r%d", seed, round),
+					data: []byte(fmt.Sprintf("payload %d/%d", seed, round)),
+				}
+				txns[txn] = info
+
+				faultpoint.Arm(pt, faultpoint.Kill(pt))
+				runScenario(t, w, pt, txn, info.key, info.data, wrap)
+				faultpoint.Reset()
+				w.crash()
+
+				w = openWorld(t, dir, store)
+				crep, _, _ := w.recoverAll(t)
+				for _, needy := range crep.NeedsResolve {
+					ni, ok := txns[needy]
+					if !ok {
+						t.Fatalf("journal resurrected unknown transaction %q", needy)
+					}
+					w.converge(t, needy, ni.key, ni.data)
+				}
+				for txn, ni := range txns {
+					assertDisputeInvariant(t, w, txn, ni.key)
+				}
+			}
+			var st transport.Stats
+			for _, fc := range conns {
+				s := fc.Stats()
+				st.Sent += s.Sent
+				st.Dropped += s.Dropped
+				st.Duplicated += s.Duplicated
+			}
+			t.Logf("fault layer over %d rounds: %d sent, %d dropped, %d duplicated", rounds, st.Sent, st.Dropped, st.Duplicated)
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/evidence"
+	"repro/internal/faultpoint"
 	"repro/internal/metrics"
 	"repro/internal/session"
 	"repro/internal/transport"
@@ -75,19 +76,26 @@ func (c *Client) Upload(ctx context.Context, conn transport.Conn, txnID, objectK
 		return nil, err
 	}
 	c.tracker.Begin(txnID)
-	c.archive.Put(txnID, evidence.RoleOwn, nro)
+	faultpoint.Hit(fpClientUploadBeforeJournal)
+	// Journal the NRO before it leaves: once Bob holds it Alice is
+	// committed, so the commitment must survive an immediate crash.
+	if err := c.putEvidence(txnID, evidence.RoleOwn, nro); err != nil {
+		return nil, err
+	}
+	faultpoint.Hit(fpClientUploadBeforeSend)
 	if err := c.send(conn, msg); err != nil {
 		return nil, fmt.Errorf("core: sending NRO: %w", err)
 	}
-	c.tracker.Transition(txnID, session.StateEvidenceSent)
+	c.setState(txnID, session.StateEvidenceSent)
 	c.ctr.Inc(metrics.Rounds, 1)
+	faultpoint.Hit(fpClientUploadBeforeAck)
 
 	pu := c.pumpFor(conn)
 	nrr, err := c.awaitNRR(ctx, pu, txnID, h)
 	if err != nil {
 		return nil, err
 	}
-	c.tracker.Transition(txnID, session.StateCompleted)
+	c.setState(txnID, session.StateCompleted)
 	return &UploadResult{TxnID: txnID, NRO: nro, NRR: nrr}, nil
 }
 
@@ -124,7 +132,9 @@ func (c *Client) awaitNRR(ctx context.Context, pu *pump, txnID string, sent *evi
 	if !h.DataMD5.Equal(sent.DataMD5) || !h.DataSHA256.Equal(sent.DataSHA256) {
 		return nil, fmt.Errorf("%w: NRR digests differ from uploaded data", ErrProtocol)
 	}
-	c.archive.Put(txnID, evidence.RolePeer, ev)
+	if err := c.putEvidence(txnID, evidence.RolePeer, ev); err != nil {
+		return nil, err
+	}
 	return ev, nil
 }
 
@@ -166,7 +176,9 @@ func (c *Client) Download(ctx context.Context, conn transport.Conn, txnID, objec
 		return nil, err
 	}
 	c.tracker.Begin(txnID)
-	c.archive.Put(txnID, evidence.RoleOwn, own)
+	if err := c.putEvidence(txnID, evidence.RoleOwn, own); err != nil {
+		return nil, err
+	}
 	if err := c.send(conn, msg); err != nil {
 		return nil, fmt.Errorf("core: sending download request: %w", err)
 	}
@@ -201,7 +213,9 @@ func (c *Client) Download(ctx context.Context, conn transport.Conn, txnID, objec
 		return nil, fmt.Errorf("%w: served data does not match provider-signed digests", ErrProtocol)
 	}
 	c.ctr.Inc(metrics.HashOps, 2)
-	c.archive.Put(txnID, evidence.RolePeer, ev)
+	if err := c.putEvidence(txnID, evidence.RolePeer, ev); err != nil {
+		return nil, err
+	}
 
 	res := &DownloadResult{TxnID: txnID, Data: m.Payload, Receipt: ev, IntegrityOK: true}
 	// Upload-to-download integrity: compare against the archived
@@ -211,11 +225,11 @@ func (c *Client) Download(ctx context.Context, conn transport.Conn, txnID, objec
 		res.IntegrityOK = agreed.Header.DataMD5.Equal(rh.DataMD5) &&
 			agreed.Header.DataSHA256.Equal(rh.DataSHA256)
 		if !res.IntegrityOK {
-			c.tracker.Transition(txnID, session.StateFailed)
+			c.setState(txnID, session.StateFailed)
 			return res, fmt.Errorf("%w: object %q, upload txn %s", ErrIntegrity, objectKey, agreed.Header.TxnID)
 		}
 	}
-	c.tracker.Transition(txnID, session.StateCompleted)
+	c.setState(txnID, session.StateCompleted)
 	return res, nil
 }
 
@@ -265,7 +279,9 @@ func (c *Client) Abort(ctx context.Context, conn transport.Conn, txnID, reason s
 	if err != nil {
 		return nil, err
 	}
-	c.archive.Put(txnID, evidence.RoleOwn, own)
+	if err := c.putEvidence(txnID, evidence.RoleOwn, own); err != nil {
+		return nil, err
+	}
 	if err := c.send(conn, msg); err != nil {
 		return nil, fmt.Errorf("core: sending abort: %w", err)
 	}
@@ -288,11 +304,15 @@ func (c *Client) Abort(ctx context.Context, conn transport.Conn, txnID, reason s
 	c.ctr.Inc(metrics.MsgsRecv, 1)
 	switch rh.Kind {
 	case evidence.KindAbortAccept:
-		c.archive.Put(txnID, evidence.RolePeer, ev)
-		c.tracker.Transition(txnID, session.StateAborted)
+		if err := c.putEvidence(txnID, evidence.RolePeer, ev); err != nil {
+			return nil, err
+		}
+		c.setState(txnID, session.StateAborted)
 		return &AbortResult{TxnID: txnID, Accepted: true, Receipt: ev}, nil
 	case evidence.KindAbortReject:
-		c.archive.Put(txnID, evidence.RolePeer, ev)
+		if err := c.putEvidence(txnID, evidence.RolePeer, ev); err != nil {
+			return nil, err
+		}
 		return &AbortResult{TxnID: txnID, Accepted: false, Receipt: ev}, nil
 	case evidence.KindError:
 		return nil, fmt.Errorf("%w: %s", ErrPeerRejected, rh.Note)
@@ -350,13 +370,16 @@ func (c *Client) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, rep
 	if err != nil {
 		return nil, err
 	}
-	c.archive.Put(txnID, evidence.RoleOwn, own)
+	if err := c.putEvidence(txnID, evidence.RoleOwn, own); err != nil {
+		return nil, err
+	}
 	if err := c.send(ttpConn, msg); err != nil {
 		return nil, fmt.Errorf("core: sending resolve request: %w", err)
 	}
 	c.ctr.Inc(metrics.Resolves, 1)
 	c.ctr.Inc(metrics.TTPMsgs, 1)
-	c.tracker.Transition(txnID, session.StateResolving)
+	c.setState(txnID, session.StateResolving)
+	faultpoint.Hit(fpClientResolveBeforeCompletion)
 
 	pu := c.pumpFor(ttpConn)
 	raw, err := pu.recv(ctx, c.clk, 4*c.timeout) // TTP needs its own round to Bob
@@ -380,7 +403,9 @@ func (c *Client) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, rep
 		// TTP's own statement (provider unresponsive, or relayed
 		// verdict).
 		res.TTPStatement = ev
-		c.archive.Put(txnID, evidence.RolePeer, ev)
+		if err := c.putEvidence(txnID, evidence.RolePeer, ev); err != nil {
+			return nil, err
+		}
 		if len(m.Payload) > 0 {
 			// Relayed provider evidence rides in the payload.
 			peer, err := evidence.Decode(m.Payload)
@@ -388,8 +413,17 @@ func (c *Client) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, rep
 				provKey, kerr := c.peerKey(c.ProviderID)
 				if kerr == nil && peer.Verify(provKey) == nil {
 					res.PeerEvidence = peer
-					c.archive.Put(txnID, evidence.RolePeer, peer)
-					c.tracker.Transition(txnID, session.StateCompleted)
+					if err := c.putEvidence(txnID, evidence.RolePeer, peer); err != nil {
+						return nil, err
+					}
+					if peer.Header.Kind == evidence.KindAbortAccept {
+						// The provider honored an abort (possibly during its
+						// own crash recovery): the relayed receipt closes the
+						// transaction as aborted, not completed.
+						c.setState(txnID, session.StateAborted)
+					} else {
+						c.setState(txnID, session.StateCompleted)
+					}
 				}
 			}
 		}
@@ -402,4 +436,13 @@ func (c *Client) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, rep
 // escalating to Resolve after a timeout.
 func (c *Client) PendingNRO(txnID string) (*evidence.Evidence, error) {
 	return c.archive.ByKind(txnID, evidence.RoleOwn, evidence.KindNRO)
+}
+
+// Recover replays the client's journal after a restart, rebuilding the
+// evidence archive, session tracker, replay guard and sequence
+// counters. Transactions the crash left non-terminal (NRO sent but no
+// NRR archived, or a resolve opened but not concluded) are listed in
+// NeedsResolve; the caller escalates each via Resolve, per §4.3.
+func (c *Client) Recover(ctx context.Context) (*RecoveryReport, error) {
+	return c.recoverBase(ctx, nil)
 }

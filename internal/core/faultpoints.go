@@ -1,0 +1,22 @@
+package core
+
+import "repro/internal/faultpoint"
+
+// Faultpoint names at the crash-sensitive instants of the protocol
+// engines. Each marks a boundary the recovery design §4.3 reasoning
+// cares about: before the journal write (crash loses the transition —
+// the message was never acked, peer escalates), between journal and
+// send (transition durable, peer unserved — recovery re-presents it),
+// and after send before the reply lands (both sides hold evidence but
+// neither knows it — resolve reconciles). The chaos suite arms each in
+// turn with faultpoint.Kill and asserts the dispute invariant.
+var (
+	fpClientUploadBeforeJournal     = faultpoint.Register("client.upload.before-journal")
+	fpClientUploadBeforeSend        = faultpoint.Register("client.upload.after-journal-before-send")
+	fpClientUploadBeforeAck         = faultpoint.Register("client.upload.after-send-before-ack")
+	fpProviderUploadBeforeJournal   = faultpoint.Register("provider.upload.after-store-before-journal")
+	fpProviderUploadBeforeNRR       = faultpoint.Register("provider.upload.after-journal-before-nrr")
+	fpProviderUploadNRRBeforeSend   = faultpoint.Register("provider.upload.after-nrr-journal-before-send")
+	fpProviderAbortBeforeAck        = faultpoint.Register("provider.abort.after-journal-before-ack")
+	fpClientResolveBeforeCompletion = faultpoint.Register("client.resolve.after-send-before-outcome")
+)

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/evidence"
+	"repro/internal/session"
+	"repro/internal/wire"
+)
+
+// Journal record kinds. One record per protocol transition; the union
+// of replayed records reconstructs a party's archive, tracker, replay
+// guard and sequence counters after a crash.
+const (
+	jrEvidence uint8 = iota + 1 // an archived evidence item (own or peer)
+	jrState                     // a tracker state transition
+	jrObject                    // provider: txn → stored object key binding
+	jrResolve                   // TTP: a resolve opened (aux=1) or closed (aux=2)
+)
+
+// Resolve phases carried in journalRecord.Aux for jrResolve.
+const (
+	jrResolveOpen   uint8 = 1
+	jrResolveClosed uint8 = 2
+)
+
+// journalRecord is the decoded form of one WAL payload.
+type journalRecord struct {
+	Kind uint8
+	Txn  string
+	// Aux is kind-dependent: the evidence.Role for jrEvidence, the
+	// session.State for jrState, the phase for jrResolve.
+	Aux uint8
+	// Note is kind-dependent: the object key for jrObject, the outcome
+	// note for jrResolve.
+	Note string
+	// Blob is the encoded evidence for jrEvidence.
+	Blob []byte
+}
+
+const journalMagic = "tpnr-journal-v1"
+
+func (r *journalRecord) encode() []byte {
+	e := wire.NewEncoder(64 + len(r.Note) + len(r.Blob))
+	e.String(journalMagic)
+	e.U8(r.Kind)
+	e.String(r.Txn)
+	e.U8(r.Aux)
+	e.String(r.Note)
+	e.Bytes32(r.Blob)
+	return e.Bytes()
+}
+
+func decodeJournalRecord(b []byte) (*journalRecord, error) {
+	d := wire.NewDecoder(b)
+	if magic := d.String(); magic != journalMagic {
+		return nil, fmt.Errorf("core: bad journal record magic %q", magic)
+	}
+	r := &journalRecord{}
+	r.Kind = d.U8()
+	r.Txn = d.String()
+	r.Aux = d.U8()
+	r.Note = d.String()
+	r.Blob = d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("core: malformed journal record: %v", err)
+	}
+	return r, nil
+}
+
+// journalAppend encodes and appends one record; a nil journal is a
+// no-op (parties without a WAL run exactly as before).
+func (p *party) journalAppend(r *journalRecord) error {
+	if p.journal == nil {
+		return nil
+	}
+	if err := p.journal.Append(r.encode()); err != nil {
+		return fmt.Errorf("core: journaling %s transition: %w", p.id.Name, err)
+	}
+	return nil
+}
+
+// putEvidence journals an evidence item and then archives it. The
+// journal write comes FIRST: once the item is in the in-memory archive
+// the engine will act on it (send the ack, issue the receipt), and an
+// acked transition that is not durable is exactly the half-bound state
+// recovery exists to prevent. On journal failure the item is not
+// archived and the caller must not ack.
+func (p *party) putEvidence(txn string, role evidence.Role, ev *evidence.Evidence) error {
+	if err := p.journalAppend(&journalRecord{
+		Kind: jrEvidence, Txn: txn, Aux: uint8(role), Blob: ev.Encode(),
+	}); err != nil {
+		return err
+	}
+	p.archive.Put(txn, role, ev)
+	return nil
+}
+
+// setState journals and applies a tracker transition. The transition is
+// attempted first — an illegal transition (e.g. out of a terminal
+// state) must not be journaled, because replay applies journaled
+// transitions unconditionally. Callers that previously ignored
+// Transition errors keep doing so; the journal mirrors exactly what the
+// tracker accepted.
+func (p *party) setState(txn string, next session.State) error {
+	if _, err := p.tracker.Get(txn); err != nil {
+		p.tracker.Begin(txn)
+	}
+	if err := p.tracker.Transition(txn, next); err != nil {
+		return err
+	}
+	return p.journalAppend(&journalRecord{Kind: jrState, Txn: txn, Aux: uint8(next)})
+}
+
+// RecoveryReport summarizes a journal replay for the operator and the
+// recovery driver.
+type RecoveryReport struct {
+	// Records is how many journal records were replayed.
+	Records int
+	// TornTail is true when the WAL dropped a torn final record — the
+	// crash hit mid-append, so the corresponding message was never
+	// acked.
+	TornTail bool
+	// Transactions is every transaction seen in the journal.
+	Transactions []string
+	// NeedsResolve lists transactions left non-terminal by the crash;
+	// per §4.3 the party should escalate them to the TTP.
+	NeedsResolve []string
+	// HonoredAborts lists aborted transactions whose stored objects were
+	// re-deleted during recovery (provider only).
+	HonoredAborts []string
+	// OpenResolves lists resolve procedures opened but not closed (TTP
+	// only).
+	OpenResolves []string
+}
+
+// recoverBase replays the journal rebuilding the state every party
+// shares: evidence archive, tracker, replay guard and outbound
+// sequence counters. extra (may be nil) sees each record for
+// role-specific state (the provider's object map, the TTP's resolve
+// ledger). Returns the replayed transaction set in journal order.
+func (p *party) recoverBase(ctx context.Context, extra func(*journalRecord) error) (*RecoveryReport, error) {
+	rep := &RecoveryReport{}
+	if p.journal == nil {
+		return rep, nil
+	}
+	seen := make(map[string]bool)
+	err := p.journal.Replay(func(raw []byte) error {
+		if err := CheckContext(ctx); err != nil {
+			return err
+		}
+		r, err := decodeJournalRecord(raw)
+		if err != nil {
+			return err
+		}
+		rep.Records++
+		if r.Txn != "" && !seen[r.Txn] {
+			seen[r.Txn] = true
+			rep.Transactions = append(rep.Transactions, r.Txn)
+		}
+		switch r.Kind {
+		case jrEvidence:
+			ev, err := evidence.Decode(r.Blob)
+			if err != nil {
+				return fmt.Errorf("core: journal evidence for %s: %w", r.Txn, err)
+			}
+			role := evidence.Role(r.Aux)
+			p.archive.Put(r.Txn, role, ev)
+			h := ev.Header
+			if role == evidence.RoleOwn && h.SenderID == p.id.Name {
+				// Our own outbound message: the counter must never reuse
+				// its sequence number.
+				p.seqMu.Lock()
+				c, ok := p.seqs[r.Txn]
+				if !ok {
+					c = &session.Counter{}
+					p.seqs[r.Txn] = c
+				}
+				p.seqMu.Unlock()
+				c.SkipTo(h.Seq)
+			} else if role == evidence.RolePeer {
+				// A peer message we accepted: the guard must keep
+				// rejecting replays of it.
+				p.guard.Observe(h.TxnID+"|"+h.SenderID, h.Seq, h.Nonce)
+			}
+		case jrState:
+			p.tracker.Restore(r.Txn, session.State(r.Aux))
+		}
+		if extra != nil {
+			return extra(r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.TornTail = p.journal.Truncated()
+	for _, txn := range rep.Transactions {
+		st, err := p.tracker.Get(txn)
+		if err != nil {
+			// Evidence without any state transition: the crash hit between
+			// archiving and the first transition — treat as unfinished.
+			rep.NeedsResolve = append(rep.NeedsResolve, txn)
+			continue
+		}
+		if !session.Terminal(st) {
+			rep.NeedsResolve = append(rep.NeedsResolve, txn)
+		}
+	}
+	return rep, nil
+}

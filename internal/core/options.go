@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pki"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Option configures a protocol party. Constructors take a variadic
@@ -66,19 +67,32 @@ func WithTTPID(id string) Option {
 	return func(o *Options) { o.ttpID = id }
 }
 
+// WithJournal attaches a crash-safe write-ahead journal: every protocol
+// transition (evidence archived, state changed, resolve opened/closed)
+// is appended — and made durable per the journal's sync policy — before
+// the corresponding message is acked. After a restart, the party's
+// Recover method replays the journal to rebuild its archive and session
+// state. Without a journal the party runs in-memory only, as before.
+func WithJournal(w *wal.WAL) Option {
+	return func(o *Options) { o.journal = w }
+}
+
 // WithOptions applies a legacy Options struct wholesale, preserving
 // any store or TTP id set by earlier options.
 //
 // Deprecated: construct parties with individual With* options instead.
 func WithOptions(legacy Options) Option {
 	return func(o *Options) {
-		store, ttpID := o.store, o.ttpID
+		store, ttpID, journal := o.store, o.ttpID, o.journal
 		*o = legacy
 		if o.store == nil {
 			o.store = store
 		}
 		if o.ttpID == "" {
 			o.ttpID = ttpID
+		}
+		if o.journal == nil {
+			o.journal = journal
 		}
 	}
 }

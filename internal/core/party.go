@@ -17,6 +17,7 @@ import (
 	"repro/internal/session"
 	"repro/internal/storage"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Protocol errors surfaced to callers.
@@ -104,6 +105,9 @@ type Options struct {
 	// compatible.
 	store storage.Store
 	ttpID string
+	// journal is set by WithJournal: the crash-safe WAL every protocol
+	// transition is appended to before the corresponding ack.
+	journal *wal.WAL
 }
 
 // Default protocol timing parameters.
@@ -128,6 +132,7 @@ type party struct {
 	guard   *session.Guard
 	archive *evidence.Store
 	tracker *session.Tracker
+	journal *wal.WAL
 	seqMu   sync.Mutex
 	seqs    map[string]*session.Counter
 
@@ -156,6 +161,7 @@ func newParty(o Options) (*party, error) {
 		guard:    session.NewGuard(0),
 		archive:  evidence.NewStore(),
 		tracker:  session.NewTracker(),
+		journal:  o.journal,
 		seqs:     make(map[string]*session.Counter),
 		pumps:    make(map[transport.Conn]*pump),
 	}

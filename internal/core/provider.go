@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/auditlog"
 	"repro/internal/evidence"
+	"repro/internal/faultpoint"
 	"repro/internal/metrics"
 	"repro/internal/session"
 	"repro/internal/storage"
@@ -254,13 +255,22 @@ func (b *Provider) handleUpload(h *evidence.Header, ev *evidence.Evidence, data 
 	if _, err := b.store.Put(h.ObjectKey, data, h.DataMD5); err != nil {
 		return b.errorReply(h, "storage error: "+err.Error())
 	}
-	b.archive.Put(h.TxnID, evidence.RolePeer, ev)
+	faultpoint.Hit(fpProviderUploadBeforeJournal)
+	// Journal the NRO and the object binding before anything is acked: a
+	// crash past this line leaves the provider bound (it holds Alice's
+	// NRO durably) and recovery must know which blob that binds.
+	if err := b.putEvidence(h.TxnID, evidence.RolePeer, ev); err != nil {
+		return nil, err // no ack; the client times out and resolves
+	}
+	if err := b.journalObject(h.TxnID, h.ObjectKey); err != nil {
+		return nil, err
+	}
 	b.txnMu.Lock()
 	b.txnObject[h.TxnID] = h.ObjectKey
 	b.txnMu.Unlock()
-	b.tracker.Begin(h.TxnID)
-	b.tracker.Transition(h.TxnID, session.StateEvidenceReceived)
+	b.setState(h.TxnID, session.StateEvidenceReceived)
 	b.auditAppend("upload", h.TxnID, fmt.Sprintf("stored %q (%d bytes, md5 %s)", h.ObjectKey, len(data), h.DataMD5.Hex()))
+	faultpoint.Hit(fpProviderUploadBeforeNRR)
 
 	if b.misbehavior().SilentAfterNRO {
 		// Malicious Bob keeps the data and the NRO but withholds the
@@ -288,9 +298,12 @@ func (b *Provider) buildNRR(h *evidence.Header) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	b.archive.Put(h.TxnID, evidence.RoleOwn, own)
-	b.tracker.Transition(h.TxnID, session.StateCompleted)
+	if err := b.putEvidence(h.TxnID, evidence.RoleOwn, own); err != nil {
+		return nil, err
+	}
+	b.setState(h.TxnID, session.StateCompleted)
 	b.ctr.Inc(metrics.Rounds, 1)
+	faultpoint.Hit(fpProviderUploadNRRBeforeSend)
 	return msg, nil
 }
 
@@ -311,7 +324,9 @@ func (b *Provider) issueNRR(nroHeader *evidence.Header) (*evidence.Evidence, err
 	if err != nil {
 		return nil, err
 	}
-	b.archive.Put(nroHeader.TxnID, evidence.RoleOwn, own)
+	if err := b.putEvidence(nroHeader.TxnID, evidence.RoleOwn, own); err != nil {
+		return nil, err
+	}
 	return own, nil
 }
 
@@ -326,7 +341,9 @@ func (b *Provider) handleDownload(h *evidence.Header, ev *evidence.Evidence) (*M
 	if mut := b.misbehavior().TamperOnDownload; mut != nil {
 		data = mut(data)
 	}
-	b.archive.Put(h.TxnID, evidence.RolePeer, ev)
+	if err := b.putEvidence(h.TxnID, evidence.RolePeer, ev); err != nil {
+		return nil, err
+	}
 
 	senderKey, err := b.peerKey(h.SenderID)
 	if err != nil {
@@ -340,7 +357,9 @@ func (b *Provider) handleDownload(h *evidence.Header, ev *evidence.Evidence) (*M
 	if err != nil {
 		return nil, err
 	}
-	b.archive.Put(h.TxnID, evidence.RoleOwn, own)
+	if err := b.putEvidence(h.TxnID, evidence.RoleOwn, own); err != nil {
+		return nil, err
+	}
 	b.ctr.Inc(metrics.Rounds, 1)
 	b.auditAppend("download", h.TxnID, fmt.Sprintf("served %q (%d bytes)", h.ObjectKey, len(data)))
 	return msg, nil
@@ -352,7 +371,9 @@ func (b *Provider) handleDownload(h *evidence.Header, ev *evidence.Evidence) (*M
 // failing would instead have produced the Error reply inviting a
 // corrected resubmission.
 func (b *Provider) handleAbort(h *evidence.Header, ev *evidence.Evidence) (*Message, error) {
-	b.archive.Put(h.TxnID, evidence.RolePeer, ev)
+	if err := b.putEvidence(h.TxnID, evidence.RolePeer, ev); err != nil {
+		return nil, err
+	}
 	senderKey, err := b.peerKey(h.SenderID)
 	if err != nil {
 		return nil, err
@@ -369,13 +390,18 @@ func (b *Provider) handleAbort(h *evidence.Header, ev *evidence.Evidence) (*Mess
 		kind = evidence.KindAbortReject
 		note = "transaction already completed; abort rejected"
 	default:
+		// Journal the aborted state before dropping the blob: a crash in
+		// between leaves a durable abort that recovery honors by
+		// re-deleting the object, whereas the reverse order would leave a
+		// deleted object behind a transaction recovery still thinks is
+		// live.
+		b.setState(h.TxnID, session.StateAborted)
 		b.txnMu.Lock()
 		objKey := b.txnObject[h.TxnID]
 		b.txnMu.Unlock()
 		if objKey != "" {
 			b.store.Delete(objKey)
 		}
-		b.tracker.Transition(h.TxnID, session.StateAborted)
 	}
 	rh := b.newHeader(kind, h.TxnID, h.SenderID, h.TTPID, b.bumpSeqTo(h.TxnID, h.Seq))
 	rh.Note = note
@@ -384,9 +410,12 @@ func (b *Provider) handleAbort(h *evidence.Header, ev *evidence.Evidence) (*Mess
 	if err != nil {
 		return nil, err
 	}
-	b.archive.Put(h.TxnID, evidence.RoleOwn, own)
+	if err := b.putEvidence(h.TxnID, evidence.RoleOwn, own); err != nil {
+		return nil, err
+	}
 	b.ctr.Inc(metrics.Aborts, 1)
 	b.auditAppend("abort", h.TxnID, note)
+	faultpoint.Hit(fpProviderAbortBeforeAck)
 	return msg, nil
 }
 
@@ -403,7 +432,9 @@ func (b *Provider) handleResolve(h *evidence.Header, ev *evidence.Evidence, payl
 		// Resolve queries must come through the TTP.
 		return b.errorReply(h, "resolve not sent by TTP")
 	}
-	b.archive.Put(h.TxnID, evidence.RolePeer, ev)
+	if err := b.putEvidence(h.TxnID, evidence.RolePeer, ev); err != nil {
+		return nil, err
+	}
 	ttpKey, err := b.peerKey(h.SenderID)
 	if err != nil {
 		return nil, err
@@ -412,7 +443,16 @@ func (b *Provider) handleResolve(h *evidence.Header, ev *evidence.Evidence, payl
 	rh.SetDigests(nil)
 
 	var relay []byte
-	if own, err := b.archive.ByKind(h.TxnID, evidence.RoleOwn, evidence.KindNRR); err == nil {
+	if st, serr := b.tracker.Get(h.TxnID); serr == nil && st == session.StateAborted {
+		// The transaction was aborted — possibly honored again during
+		// crash recovery. Re-presenting (or newly issuing) an NRR here
+		// would re-bind us to a blob we deleted; relay the abort receipt
+		// instead so the claimant gains its counter-evidence.
+		rh.Note = "aborted"
+		if own, err := b.archive.ByKind(h.TxnID, evidence.RoleOwn, evidence.KindAbortAccept); err == nil {
+			relay = own.Encode()
+		}
+	} else if own, err := b.archive.ByKind(h.TxnID, evidence.RoleOwn, evidence.KindNRR); err == nil {
 		// We completed our side before: re-present the receipt; the
 		// transaction can continue.
 		rh.Note = "continue"
@@ -449,7 +489,9 @@ func (b *Provider) handleResolve(h *evidence.Header, ev *evidence.Evidence, payl
 	if err != nil {
 		return nil, err
 	}
-	b.archive.Put(h.TxnID, evidence.RoleOwn, own)
+	if err := b.putEvidence(h.TxnID, evidence.RoleOwn, own); err != nil {
+		return nil, err
+	}
 	b.ctr.Inc(metrics.Resolves, 1)
 	b.ctr.Inc(metrics.TTPMsgs, 1)
 	b.auditAppend("resolve", h.TxnID, rh.Note)
@@ -515,7 +557,60 @@ func (b *Provider) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, r
 		return nil, fmt.Errorf("%w: unexpected resolve answer %s from %s", ErrProtocol, rh.Kind, rh.SenderID)
 	}
 	res := &ResolveResult{TxnID: txnID, Outcome: rh.Note, TTPStatement: ev}
-	b.archive.Put(txnID, evidence.RolePeer, ev)
+	if err := b.putEvidence(txnID, evidence.RolePeer, ev); err != nil {
+		return nil, err
+	}
 	b.auditAppend("resolve-initiated", txnID, rh.Note)
 	return res, nil
+}
+
+// journalObject records the transaction → object-key binding so
+// recovery knows which blob an abort must drop.
+func (b *Provider) journalObject(txn, objectKey string) error {
+	return b.journalAppend(&journalRecord{Kind: jrObject, Txn: txn, Note: objectKey})
+}
+
+// Recover replays the provider's journal after a restart: the evidence
+// archive, session tracker, replay guard, sequence counters and the
+// transaction → object map are rebuilt, and acked aborts are honored by
+// re-deleting their stored objects (a crash may have hit between
+// journaling the abort and dropping the blob). Transactions the crash
+// left non-terminal are listed in NeedsResolve; per §4.3 the provider
+// may escalate them itself (Resolve) or simply wait — its journaled
+// evidence already answers any TTP query about them.
+func (b *Provider) Recover(ctx context.Context) (*RecoveryReport, error) {
+	rep, err := b.recoverBase(ctx, func(r *journalRecord) error {
+		if r.Kind == jrObject {
+			b.txnMu.Lock()
+			b.txnObject[r.Txn] = r.Note
+			b.txnMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, txn := range rep.Transactions {
+		st, serr := b.tracker.Get(txn)
+		if serr != nil || st != session.StateAborted {
+			continue
+		}
+		b.txnMu.Lock()
+		objKey := b.txnObject[txn]
+		b.txnMu.Unlock()
+		if objKey == "" {
+			continue
+		}
+		if err := b.store.Delete(objKey); err == nil {
+			rep.HonoredAborts = append(rep.HonoredAborts, txn)
+		} else if errors.Is(err, storage.ErrNotFound) {
+			// Already gone — the delete landed before the crash.
+			rep.HonoredAborts = append(rep.HonoredAborts, txn)
+		} else {
+			return rep, fmt.Errorf("core: honoring abort of %s: %w", txn, err)
+		}
+	}
+	b.auditAppend("recover", "", fmt.Sprintf("replayed %d records, %d txns, %d unfinished, %d aborts honored, torn tail: %v",
+		rep.Records, len(rep.Transactions), len(rep.NeedsResolve), len(rep.HonoredAborts), rep.TornTail))
+	return rep, nil
 }

@@ -77,3 +77,54 @@ func (t *TTPParty) RecvTimeout(ctx context.Context, conn transport.Conn) ([]byte
 
 // ResponseTimeout reports the configured peer-response deadline.
 func (t *TTPParty) ResponseTimeout() time.Duration { return t.p.timeout }
+
+// PutEvidence journals (when a WAL is attached) and archives an
+// evidence item — the TTP's durable record of what passed through it.
+func (t *TTPParty) PutEvidence(txn string, role evidence.Role, ev *evidence.Evidence) error {
+	return t.p.putEvidence(txn, role, ev)
+}
+
+// JournalResolveOpen durably records that a resolve procedure was
+// accepted for txn, before the peer query goes out.
+func (t *TTPParty) JournalResolveOpen(txn, note string) error {
+	return t.p.journalAppend(&journalRecord{Kind: jrResolve, Txn: txn, Aux: jrResolveOpen, Note: note})
+}
+
+// JournalResolveClosed durably records the resolve outcome, before the
+// statement is sent to the claimant.
+func (t *TTPParty) JournalResolveClosed(txn, note string) error {
+	return t.p.journalAppend(&journalRecord{Kind: jrResolve, Txn: txn, Aux: jrResolveClosed, Note: note})
+}
+
+// Recover replays the TTP's journal after a restart: the evidence
+// archive, replay guard and sequence counters are rebuilt, and resolve
+// procedures that were opened but never closed are listed in
+// OpenResolves — the claimant never got its statement, so it will
+// retry, and the journal guarantees the retry sees the archived
+// evidence from the first attempt.
+func (t *TTPParty) Recover(ctx context.Context) (*RecoveryReport, error) {
+	open := make(map[string]bool)
+	rep, err := t.p.recoverBase(ctx, func(r *journalRecord) error {
+		if r.Kind == jrResolve {
+			switch r.Aux {
+			case jrResolveOpen:
+				open[r.Txn] = true
+			case jrResolveClosed:
+				delete(open, r.Txn)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The TTP holds no sessions of its own: NeedsResolve (derived from
+	// tracker state the TTP never writes) is meaningless here.
+	rep.NeedsResolve = nil
+	for _, txn := range rep.Transactions {
+		if open[txn] {
+			rep.OpenResolves = append(rep.OpenResolves, txn)
+		}
+	}
+	return rep, nil
+}

@@ -44,6 +44,10 @@ type Config struct {
 	// ProviderStore overrides the provider's blob store (default: a
 	// fresh in-memory store).
 	ProviderStore storage.Store
+	// ClientOpts, ProviderOpts and TTPOpts append extra core options to
+	// the respective party constructor — the chaos harness uses them to
+	// attach per-party crash journals (core.WithJournal).
+	ClientOpts, ProviderOpts, TTPOpts []core.Option
 }
 
 // Deployment is a fully wired TPNR installation.
@@ -118,12 +122,13 @@ func New(cfg Config) (*Deployment, error) {
 	if store == nil {
 		store = storage.NewMem(clk.Now)
 	}
-	provider, err := core.NewProvider(append(opts(bobID, &pCtr),
-		core.WithStore(store), core.WithTTPID(TTPName))...)
+	providerOpts := append(opts(bobID, &pCtr), core.WithStore(store), core.WithTTPID(TTPName))
+	provider, err := core.NewProvider(append(providerOpts, cfg.ProviderOpts...)...)
 	if err != nil {
 		return nil, err
 	}
-	client, err := core.NewClient(ProviderName, TTPName, opts(aliceID, &cCtr)...)
+	client, err := core.NewClient(ProviderName, TTPName,
+		append(opts(aliceID, &cCtr), cfg.ClientOpts...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +136,7 @@ func New(cfg Config) (*Deployment, error) {
 	net := transport.NewNetwork()
 	ttpServer, err := ttp.New(func(ctx context.Context, partyID string) (transport.Conn, error) {
 		return net.DialContext(ctx, partyID)
-	}, opts(ttpID, &tCtr)...)
+	}, append(opts(ttpID, &tCtr), cfg.TTPOpts...)...)
 	if err != nil {
 		return nil, err
 	}

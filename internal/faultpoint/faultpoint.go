@@ -1,0 +1,117 @@
+// Package faultpoint is a process-wide registry of named crash points
+// for the chaos harness. Production code calls Hit(name) at the
+// instants the recovery design cares about ("after send, before
+// persist"; "after persist, before ack"); the call is a no-op unless a
+// test has armed that point. Arming installs a function — typically
+// Kill, which panics with a *Crash that the harness catches to simulate
+// the process dying exactly there.
+//
+// The registry is deliberately global: faultpoints live deep inside the
+// protocol engines where threading a test hook through every
+// constructor would distort the API for a facility only tests use.
+// Tests that arm points must Reset when done.
+package faultpoint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Crash is the panic value raised by Kill-armed faultpoints. Harnesses
+// recover it to treat "the process died here" as a normal test step.
+type Crash struct {
+	// Point names the faultpoint that fired.
+	Point string
+}
+
+// Error makes a *Crash usable as an error when recovered.
+func (c *Crash) Error() string { return fmt.Sprintf("faultpoint: simulated crash at %q", c.Point) }
+
+var (
+	mu     sync.Mutex
+	points map[string]func() // registered; nil fn until armed
+	armed  atomic.Int32      // fast-path gate for Hit
+)
+
+// Register declares a faultpoint name at package init time so List can
+// enumerate every kill site without executing the code paths. Multiple
+// registrations of one name are idempotent. Returns name so it can be
+// assigned to a package-level constant-like var.
+func Register(name string) string {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]func())
+	}
+	if _, ok := points[name]; !ok {
+		points[name] = nil
+	}
+	return name
+}
+
+// List returns every registered faultpoint name, sorted.
+func List() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(points))
+	for name := range points {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Arm installs fn to run when Hit(name) is reached. Arming an
+// unregistered name registers it.
+func Arm(name string, fn func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]func())
+	}
+	if points[name] == nil && fn != nil {
+		armed.Add(1)
+	} else if points[name] != nil && fn == nil {
+		armed.Add(-1)
+	}
+	points[name] = fn
+}
+
+// Disarm removes the armed function from name, leaving it registered.
+func Disarm(name string) { Arm(name, nil) }
+
+// Reset disarms every faultpoint (registrations persist).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for name, fn := range points {
+		if fn != nil {
+			points[name] = nil
+		}
+	}
+	armed.Store(0)
+}
+
+// Hit runs the armed function for name, if any. The unarmed fast path
+// is a single atomic load, so production code can call Hit liberally.
+func Hit(name string) {
+	if armed.Load() == 0 {
+		return
+	}
+	mu.Lock()
+	fn := points[name]
+	mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Kill returns an arm function that panics with a *Crash for name —
+// the standard way to simulate dying at a faultpoint:
+//
+//	faultpoint.Arm(pt, faultpoint.Kill(pt))
+func Kill(name string) func() {
+	return func() { panic(&Crash{Point: name}) }
+}

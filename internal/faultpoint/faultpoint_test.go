@@ -1,0 +1,78 @@
+package faultpoint
+
+import (
+	"testing"
+)
+
+func TestRegisterListArm(t *testing.T) {
+	defer Reset()
+	a := Register("test.point.a")
+	Register("test.point.b")
+	Register("test.point.a") // idempotent
+
+	found := map[string]bool{}
+	for _, name := range List() {
+		found[name] = true
+	}
+	if !found["test.point.a"] || !found["test.point.b"] {
+		t.Fatalf("List() = %v, missing registered points", List())
+	}
+
+	fired := 0
+	Arm(a, func() { fired++ })
+	Hit(a)
+	Hit("test.point.b") // unarmed: no-op
+	if fired != 1 {
+		t.Fatalf("armed point fired %d times, want 1", fired)
+	}
+	Disarm(a)
+	Hit(a)
+	if fired != 1 {
+		t.Fatalf("disarmed point fired; count %d", fired)
+	}
+}
+
+func TestKillPanicsWithCrash(t *testing.T) {
+	defer Reset()
+	pt := Register("test.point.kill")
+	Arm(pt, Kill(pt))
+	defer func() {
+		r := recover()
+		c, ok := r.(*Crash)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *Crash", r, r)
+		}
+		if c.Point != pt {
+			t.Fatalf("Crash.Point = %q, want %q", c.Point, pt)
+		}
+		if c.Error() == "" {
+			t.Fatal("Crash.Error() empty")
+		}
+	}()
+	Hit(pt)
+	t.Fatal("Hit on killed point returned")
+}
+
+func TestResetDisarmsAll(t *testing.T) {
+	defer Reset()
+	fired := false
+	Arm("test.point.reset", func() { fired = true })
+	Reset()
+	Hit("test.point.reset")
+	if fired {
+		t.Fatal("point fired after Reset")
+	}
+	// Registration survives Reset.
+	for _, name := range List() {
+		if name == "test.point.reset" {
+			return
+		}
+	}
+	t.Fatal("registration lost after Reset")
+}
+
+func TestUnarmedHitIsCheap(t *testing.T) {
+	// Not a benchmark assertion — just proves the fast path doesn't
+	// require the point to exist.
+	Hit("never.registered")
+}

@@ -130,6 +130,22 @@ func (g *Guard) remember(nonce string) {
 	}
 }
 
+// Observe records a (sequence, nonce) pair without validating it —
+// journal replay feeding the guard what it had already accepted before
+// a crash. Validation would be wrong here: replayed records arrive in
+// arrival order but past their time limits, and rejecting them would
+// leave the guard ready to re-admit the very messages it once consumed.
+func (g *Guard) Observe(txn string, seq uint64, nonce []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if last, ok := g.lastSeq[txn]; !ok || seq > last {
+		g.lastSeq[txn] = seq
+	}
+	if _, seen := g.nonces[string(nonce)]; !seen {
+		g.remember(string(nonce))
+	}
+}
+
 // Forget drops a transaction's sequence state (after completion).
 func (g *Guard) Forget(txn string) {
 	g.mu.Lock()
@@ -218,6 +234,28 @@ func (t *Tracker) Get(txn string) (State, error) {
 // Terminal reports whether a state admits no further transitions.
 func Terminal(s State) bool {
 	return s == StateCompleted || s == StateAborted || s == StateFailed
+}
+
+// Restore force-sets a transaction's state, registering it if unknown.
+// Journal replay uses it: the legality of each transition was already
+// enforced (and journaled) the first time around, so replay must accept
+// the recorded history verbatim — including transitions out of states
+// that Transition would now refuse to leave.
+func (t *Tracker) Restore(txn string, s State) {
+	t.mu.Lock()
+	t.states[txn] = s
+	t.mu.Unlock()
+}
+
+// Transactions lists every known transaction ID (unsorted).
+func (t *Tracker) Transactions() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.states))
+	for txn := range t.states {
+		out = append(out, txn)
+	}
+	return out
 }
 
 // Transition moves txn to next, rejecting transitions out of terminal

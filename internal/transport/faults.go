@@ -3,13 +3,31 @@ package transport
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
 )
 
-// FaultSpec configures a lossy, slow, duplicating link. Probabilities
-// are in [0,1] and applied per message on Send.
+// Partition is a directional blackhole, toggleable at runtime: while
+// engaged, every Send on a FaultyConn carrying it silently vanishes.
+// Share one *Partition across several connections to cut a whole
+// direction of the network at once, then Heal it mid-test.
+type Partition struct {
+	engaged atomic.Bool
+}
+
+// Engage starts dropping every message.
+func (p *Partition) Engage() { p.engaged.Store(true) }
+
+// Heal resumes delivery.
+func (p *Partition) Heal() { p.engaged.Store(false) }
+
+// Engaged reports whether the partition is currently dropping.
+func (p *Partition) Engaged() bool { return p.engaged.Load() }
+
+// FaultSpec configures a lossy, slow, duplicating, corrupting link.
+// Probabilities are in [0,1] and applied per message on Send.
 type FaultSpec struct {
 	// DropProb is the probability a sent message silently vanishes —
 	// the "her request was dropped and Bob has never received" case of
@@ -18,6 +36,13 @@ type FaultSpec struct {
 	// DupProb is the probability a sent message is delivered twice,
 	// which exercises the replay window.
 	DupProb float64
+	// CorruptProb is the probability a sent message is delivered with a
+	// single deterministic bit flip — the in-flight tampering case the
+	// receiver's evidence verification must reject rather than store.
+	CorruptProb float64
+	// Partition, when non-nil and engaged, blackholes every send in this
+	// direction regardless of the probabilities. Toggleable at runtime.
+	Partition *Partition
 	// Delay is a fixed latency added to every delivered message.
 	Delay time.Duration
 	// Jitter adds a uniform random extra latency in [0, Jitter).
@@ -30,13 +55,13 @@ type FaultSpec struct {
 
 // Faulty wraps conn so that sends experience the configured faults.
 // Receives are passed through untouched; wrap both ends to make a
-// bidirectional lossy link.
-func Faulty(conn Conn, spec FaultSpec) Conn {
+// bidirectional lossy link. The concrete *FaultyConn exposes Stats.
+func Faulty(conn Conn, spec FaultSpec) *FaultyConn {
 	c := spec.Clock
 	if c == nil {
 		c = clock.Real()
 	}
-	return &faultyConn{
+	return &FaultyConn{
 		Conn:  conn,
 		spec:  spec,
 		rng:   rand.New(rand.NewSource(spec.Seed)),
@@ -44,31 +69,77 @@ func Faulty(conn Conn, spec FaultSpec) Conn {
 	}
 }
 
-type faultyConn struct {
+// FaultyConn is a Conn whose sends experience the faults of its
+// FaultSpec, counting what it did for experiment reporting.
+type FaultyConn struct {
 	Conn
 	spec  FaultSpec
 	mu    sync.Mutex
 	rng   *rand.Rand
 	clock clock.Clock
+	stats Stats
 }
 
 // Stats counts what the fault layer did, for experiment reporting.
 type Stats struct {
-	Sent, Dropped, Duplicated int
+	// Sent counts Send calls that reached the underlying connection
+	// (duplicates count once).
+	Sent int
+	// Dropped counts messages lost to DropProb.
+	Dropped int
+	// Duplicated counts messages delivered twice.
+	Duplicated int
+	// Corrupted counts messages delivered with a flipped bit.
+	Corrupted int
+	// Blackholed counts messages swallowed by an engaged Partition.
+	Blackholed int
 }
 
-func (c *faultyConn) Send(msg []byte) error {
+// Stats returns a snapshot of the fault counters.
+func (c *FaultyConn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *FaultyConn) Send(msg []byte) error {
+	if p := c.spec.Partition; p != nil && p.Engaged() {
+		c.mu.Lock()
+		c.stats.Blackholed++
+		c.mu.Unlock()
+		return nil // swallowed; the sender cannot tell
+	}
 	c.mu.Lock()
 	drop := c.rng.Float64() < c.spec.DropProb
 	dup := !drop && c.rng.Float64() < c.spec.DupProb
+	corrupt := !drop && c.rng.Float64() < c.spec.CorruptProb
+	var flip int
+	if corrupt && len(msg) > 0 {
+		flip = c.rng.Intn(len(msg) * 8)
+	}
 	var extra time.Duration
 	if c.spec.Jitter > 0 {
 		extra = time.Duration(c.rng.Int63n(int64(c.spec.Jitter)))
 	}
+	if drop {
+		c.stats.Dropped++
+		c.mu.Unlock()
+		return nil // silently lost; the sender cannot tell
+	}
+	c.stats.Sent++
+	if dup {
+		c.stats.Duplicated++
+	}
+	if corrupt && len(msg) > 0 {
+		c.stats.Corrupted++
+	}
 	c.mu.Unlock()
 
-	if drop {
-		return nil // silently lost; the sender cannot tell
+	if corrupt && len(msg) > 0 {
+		// Flip one bit in a copy — the caller's buffer must stay intact.
+		tampered := append([]byte(nil), msg...)
+		tampered[flip/8] ^= 1 << (flip % 8)
+		msg = tampered
 	}
 	if d := c.spec.Delay + extra; d > 0 {
 		c.clock.Sleep(d)

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFaultyStatsCounting(t *testing.T) {
+	a, b := Pipe(0)
+	defer b.Close()
+	f := Faulty(a, FaultSpec{DropProb: 0.5, DupProb: 0.3, Seed: 42})
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := f.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	delivered := 0
+	for {
+		if _, err := b.Recv(); err != nil {
+			break
+		}
+		delivered++
+	}
+	st := f.Stats()
+	if st.Sent+st.Dropped != n {
+		t.Fatalf("Sent %d + Dropped %d != %d sends", st.Sent, st.Dropped, n)
+	}
+	if st.Dropped == 0 || st.Duplicated == 0 {
+		t.Fatalf("DropProb/DupProb produced no events: %+v", st)
+	}
+	if want := st.Sent + st.Duplicated; delivered != want {
+		t.Fatalf("delivered %d messages, stats say %d", delivered, want)
+	}
+}
+
+func TestFaultyCorruptsSingleBit(t *testing.T) {
+	a, b := Pipe(0)
+	defer a.Close()
+	defer b.Close()
+	f := Faulty(a, FaultSpec{CorruptProb: 1.0, Seed: 9})
+	orig := bytes.Repeat([]byte{0xAA}, 32)
+	sent := append([]byte(nil), orig...)
+	if err := f.Send(sent); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sent, orig) {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffBits := 0
+	for i := range got {
+		x := got[i] ^ orig[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("corrupted delivery differs by %d bits, want exactly 1", diffBits)
+	}
+	if f.Stats().Corrupted != 1 {
+		t.Fatalf("Stats().Corrupted = %d, want 1", f.Stats().Corrupted)
+	}
+}
+
+func TestFaultyCorruptionDeterministic(t *testing.T) {
+	deliver := func() []byte {
+		a, b := Pipe(0)
+		defer a.Close()
+		defer b.Close()
+		f := Faulty(a, FaultSpec{CorruptProb: 1.0, Seed: 77})
+		f.Send(bytes.Repeat([]byte{0x55}, 64))
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if !bytes.Equal(deliver(), deliver()) {
+		t.Fatal("same seed flipped different bits")
+	}
+}
+
+func TestPartitionTogglesAtRuntime(t *testing.T) {
+	a, b := Pipe(4)
+	defer a.Close()
+	defer b.Close()
+	part := &Partition{}
+	f := Faulty(a, FaultSpec{Partition: part})
+
+	if err := f.Send([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	part.Engage()
+	if !part.Engaged() {
+		t.Fatal("Engaged() false after Engage")
+	}
+	if err := f.Send([]byte("during")); err != nil {
+		t.Fatal(err) // blackholed, not an error: the sender cannot tell
+	}
+	part.Heal()
+	if err := f.Send([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+
+	got1, err := b.Recv()
+	if err != nil || string(got1) != "before" {
+		t.Fatalf("first delivery = %q, %v", got1, err)
+	}
+	got2, err := b.Recv()
+	if err != nil || string(got2) != "after" {
+		t.Fatalf("second delivery = %q, %v (partitioned message leaked?)", got2, err)
+	}
+	st := f.Stats()
+	if st.Blackholed != 1 || st.Sent != 2 {
+		t.Fatalf("stats = %+v, want Blackholed 1, Sent 2", st)
+	}
+}

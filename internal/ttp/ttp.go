@@ -17,11 +17,21 @@ package ttp
 import (
 	"context"
 	"errors"
+	"sync"
 
+	"repro/internal/auditlog"
 	"repro/internal/core"
 	"repro/internal/evidence"
+	"repro/internal/faultpoint"
 	"repro/internal/metrics"
 	"repro/internal/transport"
+)
+
+// Faultpoints at the TTP's crash-sensitive instants; the chaos suite
+// kills the daemon at each and asserts the claimant still converges.
+var (
+	fpResolveAfterOpen  = faultpoint.Register("ttp.resolve.after-open-before-query")
+	fpResolveAfterClose = faultpoint.Register("ttp.resolve.after-close-before-reply")
 )
 
 // Dialer connects the TTP to a named party for the in-line query,
@@ -33,6 +43,11 @@ type Dialer func(ctx context.Context, partyID string) (transport.Conn, error)
 type Server struct {
 	*partyAlias
 	dial Dialer
+
+	// audit, when set, receives a hash-chained record of every resolve —
+	// the material the TTP shows when its own conduct is questioned.
+	auditMu sync.Mutex
+	audit   *auditlog.Log
 }
 
 // partyAlias re-exports the shared core plumbing under this package.
@@ -57,6 +72,24 @@ func New(dial Dialer, opts ...core.Option) (*Server, error) {
 // Deprecated: use New with functional options.
 func NewFromOptions(o core.Options, dial Dialer) (*Server, error) {
 	return New(dial, core.WithOptions(o))
+}
+
+// SetAuditLog attaches a tamper-evident event log; every subsequent
+// resolve event is appended to it.
+func (s *Server) SetAuditLog(l *auditlog.Log) {
+	s.auditMu.Lock()
+	s.audit = l
+	s.auditMu.Unlock()
+}
+
+// auditAppend records an event if an audit log is attached.
+func (s *Server) auditAppend(kind, txn, detail string) {
+	s.auditMu.Lock()
+	l := s.audit
+	s.auditMu.Unlock()
+	if l != nil {
+		l.Append(kind, txn, detail)
+	}
 }
 
 // Serve handles resolve traffic on one connection until it closes or
@@ -159,8 +192,19 @@ func (s *Server) handleResolve(m *core.Message) (*core.Message, error) {
 		s.Counters().Inc(metrics.AuthFailures, 1)
 		return s.statement(h, "resolve evidence does not verify", nil)
 	}
-	s.Archive().Put(h.TxnID, evidence.RolePeer, ev)
+	// Journal the accepted claim and the opened resolve before the peer
+	// query: if the TTP dies mid-resolve, the restarted daemon knows the
+	// claimant is owed a statement and holds the evidence to answer a
+	// retry.
+	if err := s.PutEvidence(h.TxnID, evidence.RolePeer, ev); err != nil {
+		return nil, err // no reply; the claimant retries
+	}
+	if err := s.JournalResolveOpen(h.TxnID, "claim by "+h.SenderID); err != nil {
+		return nil, err
+	}
 	s.Counters().Inc(metrics.Resolves, 1)
+	s.auditAppend("resolve-open", h.TxnID, "claim by "+h.SenderID)
+	faultpoint.Hit(fpResolveAfterOpen)
 
 	// Identify the counterparty from the claimant's evidence.
 	peerID := claimed.Header.RecipientID
@@ -216,7 +260,9 @@ func (s *Server) queryPeer(h *evidence.Header, peerID string, claimPayload []byt
 	if err != nil || rh.Kind != evidence.KindResolveResponse {
 		return nil, nil, "peer-invalid-reply"
 	}
-	s.Archive().Put(h.TxnID, evidence.RolePeer, rev)
+	if err := s.PutEvidence(h.TxnID, evidence.RolePeer, rev); err != nil {
+		return nil, nil, "internal-error"
+	}
 	// Relay the peer's embedded evidence (its NRR) onward; the peer's
 	// action note travels with the statement.
 	return raw, rm.Payload, rh.Note
@@ -236,6 +282,15 @@ func (s *Server) statement(h *evidence.Header, note string, relayed []byte) (*co
 	if err != nil {
 		return nil, err
 	}
-	s.Archive().Put(h.TxnID, evidence.RoleOwn, own)
+	// Journal the statement and the close before replying: once the
+	// claimant holds the statement the TTP must be able to reproduce it.
+	if err := s.PutEvidence(h.TxnID, evidence.RoleOwn, own); err != nil {
+		return nil, err
+	}
+	if err := s.JournalResolveClosed(h.TxnID, note); err != nil {
+		return nil, err
+	}
+	s.auditAppend("resolve-close", h.TxnID, note)
+	faultpoint.Hit(fpResolveAfterClose)
 	return msg, nil
 }

@@ -1,0 +1,459 @@
+// Package wal is the durable write-ahead journal under the protocol
+// engines' crash recovery. The TPNR dispute story only works if NRO/NRR
+// evidence survives until an Arbitrator can see it (§4.4); evidence
+// that lives in an in-process map dies with the process, silently
+// unbinding both parties. Every protocol transition is therefore
+// appended here — length-prefixed, CRC-checksummed, fsynced per the
+// configured policy — BEFORE the corresponding message is acked, and
+// replayed on startup to rebuild the party's archive and session state.
+//
+// On-disk layout: dir/wal-%08d.seg, each segment an 8-byte magic header
+// followed by records of the form
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// Appends go to the highest-numbered segment and roll to a new one past
+// SegmentSize. A crash mid-append leaves a torn record at the tail of
+// the last segment; Open detects it (short read or CRC mismatch) and
+// truncates the file back to the last intact record — a torn tail means
+// the corresponding message was never acked, so dropping it is exactly
+// the §4.3 semantics (the peer escalates to Resolve). Corruption
+// anywhere BEFORE the tail is not survivable and surfaces as
+// ErrCorrupt: silently skipping interior records could un-bind a party
+// that was already acked.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Errors.
+var (
+	// ErrCorrupt reports a damaged record before the journal tail —
+	// unlike a torn tail, interior corruption cannot be safely dropped.
+	ErrCorrupt = errors.New("wal: corrupt record before journal tail")
+	// ErrClosed is returned from operations on a closed journal.
+	ErrClosed = errors.New("wal: journal closed")
+	// ErrTooLarge rejects records beyond MaxRecordSize.
+	ErrTooLarge = errors.New("wal: record exceeds maximum size")
+)
+
+const (
+	segMagic = "TPNRWAL1" // 8 bytes at the head of every segment
+	segFmt   = "wal-%08d.seg"
+
+	// MaxRecordSize bounds one journal record (evidence plus framing;
+	// bulk blob data never enters the journal).
+	MaxRecordSize = 16 << 20
+
+	// DefaultSegmentSize is the rotation threshold when Options leaves
+	// SegmentSize zero.
+	DefaultSegmentSize = 4 << 20
+
+	recHeaderLen = 8 // u32 length + u32 crc
+)
+
+// SyncPolicy selects when appended records reach stable storage.
+type SyncPolicy int
+
+// Policies, strongest first. SyncAlways is the default: the journal
+// exists to survive crashes, so opting OUT of durability is the
+// explicit choice.
+const (
+	// SyncAlways fsyncs after every append — no acked transition can be
+	// lost to a crash.
+	SyncAlways SyncPolicy = iota
+	// SyncBatch fsyncs every Options.BatchSize appends (and on rotation
+	// and Close). A crash can lose up to BatchSize-1 acked records.
+	SyncBatch
+	// SyncNever leaves flushing to the OS. Tests and benchmarks only.
+	SyncNever
+)
+
+// String names the policy for flags and logs.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncBatch:
+		return "batch"
+	case SyncNever:
+		return "none"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Options tune a journal. The zero value is a safe production default:
+// fsync on every append, 4 MiB segments.
+type Options struct {
+	// SegmentSize is the rotation threshold in bytes (0 means
+	// DefaultSegmentSize).
+	SegmentSize int64
+	// Policy selects the fsync schedule.
+	Policy SyncPolicy
+	// BatchSize is the append count between fsyncs under SyncBatch
+	// (0 means 16).
+	BatchSize int
+}
+
+// WAL is an append-only crash-safe record journal. Safe for concurrent
+// use.
+type WAL struct {
+	mu  sync.Mutex
+	dir string
+	opt Options
+
+	f        *os.File // current (highest) segment, positioned at its end
+	segIndex int      // index of the current segment
+	segSize  int64    // bytes written to the current segment
+
+	records   int // records appended + replayed-intact at Open
+	sinceSync int
+	truncated bool
+	closed    bool
+}
+
+// Open creates dir if needed, scans existing segments, truncates a torn
+// final record, and positions the journal for appending.
+func Open(dir string, opt Options) (*WAL, error) {
+	if opt.SegmentSize <= 0 {
+		opt.SegmentSize = DefaultSegmentSize
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 16
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	w := &WAL{dir: dir, opt: opt}
+
+	segs, err := w.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := w.newSegment(1); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	for i, idx := range segs {
+		last := i == len(segs)-1
+		n, end, err := scanSegment(w.segPath(idx), last)
+		if err != nil {
+			return nil, err
+		}
+		w.records += n
+		if last {
+			fi, err := os.Stat(w.segPath(idx))
+			if err != nil {
+				return nil, fmt.Errorf("wal: stat segment: %w", err)
+			}
+			if end < fi.Size() {
+				if err := os.Truncate(w.segPath(idx), end); err != nil {
+					return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+				}
+				w.truncated = true
+			}
+			f, err := os.OpenFile(w.segPath(idx), os.O_RDWR, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("wal: opening segment: %w", err)
+			}
+			if _, err := f.Seek(end, io.SeekStart); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: seeking segment end: %w", err)
+			}
+			w.f, w.segIndex, w.segSize = f, idx, end
+		}
+	}
+	return w, nil
+}
+
+// segments lists existing segment indices in ascending order.
+func (w *WAL) segments() ([]int, error) {
+	ents, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %w", w.dir, err)
+	}
+	var out []int
+	for _, e := range ents {
+		var idx int
+		if _, err := fmt.Sscanf(e.Name(), segFmt, &idx); err == nil {
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func (w *WAL) segPath(idx int) string {
+	return filepath.Join(w.dir, fmt.Sprintf(segFmt, idx))
+}
+
+// newSegment creates segment idx with its header and makes it current.
+func (w *WAL) newSegment(idx int) error {
+	f, err := os.OpenFile(w.segPath(idx), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing segment header: %w", err)
+	}
+	// Persist the directory entry so the segment itself survives a
+	// crash right after rotation.
+	if d, err := os.Open(w.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	w.f, w.segIndex, w.segSize = f, idx, int64(len(segMagic))
+	return nil
+}
+
+// scanSegment validates one segment, returning its intact record count
+// and the byte offset just past the last intact record. In the last
+// segment a damaged tail is reported via end < file size; anywhere else
+// it is ErrCorrupt. A last segment whose header itself is torn scans as
+// zero records ending at offset 0, so Open truncates it to empty and
+// rewrites nothing (the next append recreates the header path via the
+// existing file — handled by treating end 0 as "rewrite header").
+func scanSegment(path string, last bool) (n int, end int64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: reading segment: %w", err)
+	}
+	if len(b) < len(segMagic) || string(b[:len(segMagic)]) != segMagic {
+		if last && len(b) < len(segMagic) {
+			return 0, 0, nil // torn during creation; truncated + rebuilt by Open
+		}
+		return 0, 0, fmt.Errorf("%w: %s: bad segment header", ErrCorrupt, filepath.Base(path))
+	}
+	off := int64(len(segMagic))
+	for int64(len(b))-off >= recHeaderLen {
+		length := binary.BigEndian.Uint32(b[off:])
+		crc := binary.BigEndian.Uint32(b[off+4:])
+		if length > MaxRecordSize {
+			if last {
+				return n, off, nil // garbage length: torn tail
+			}
+			return 0, 0, fmt.Errorf("%w: %s: record length %d at offset %d", ErrCorrupt, filepath.Base(path), length, off)
+		}
+		body := off + recHeaderLen
+		if body+int64(length) > int64(len(b)) {
+			if last {
+				return n, off, nil // short payload: torn tail
+			}
+			return 0, 0, fmt.Errorf("%w: %s: short record at offset %d", ErrCorrupt, filepath.Base(path), off)
+		}
+		if crc32.ChecksumIEEE(b[body:body+int64(length)]) != crc {
+			if last {
+				return n, off, nil // checksum mismatch: torn tail
+			}
+			return 0, 0, fmt.Errorf("%w: %s: checksum mismatch at offset %d", ErrCorrupt, filepath.Base(path), off)
+		}
+		off = body + int64(length)
+		n++
+	}
+	if off < int64(len(b)) {
+		if last {
+			return n, off, nil // trailing partial header: torn tail
+		}
+		return 0, 0, fmt.Errorf("%w: %s: trailing bytes at offset %d", ErrCorrupt, filepath.Base(path), off)
+	}
+	return n, off, nil
+}
+
+// Append writes one record and applies the sync policy. The record is
+// durable (per the policy) when Append returns — callers ack the
+// corresponding protocol message only after that.
+func (w *WAL) Append(payload []byte) error {
+	if len(payload) > MaxRecordSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	// A last segment whose header was torn scans to size 0; lazily
+	// rewrite the header before the first append lands in it.
+	if w.segSize == 0 {
+		if _, err := w.f.Write([]byte(segMagic)); err != nil {
+			return fmt.Errorf("wal: rewriting segment header: %w", err)
+		}
+		w.segSize = int64(len(segMagic))
+	}
+	var hdr [recHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: appending record header: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("wal: appending record: %w", err)
+	}
+	w.segSize += recHeaderLen + int64(len(payload))
+	w.records++
+	w.sinceSync++
+
+	switch w.opt.Policy {
+	case SyncAlways:
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		w.sinceSync = 0
+	case SyncBatch:
+		if w.sinceSync >= w.opt.BatchSize {
+			if err := w.f.Sync(); err != nil {
+				return fmt.Errorf("wal: fsync: %w", err)
+			}
+			w.sinceSync = 0
+		}
+	}
+
+	if w.segSize >= w.opt.SegmentSize {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync before rotation: %w", err)
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("wal: closing rotated segment: %w", err)
+		}
+		if err := w.newSegment(w.segIndex + 1); err != nil {
+			return err
+		}
+		w.sinceSync = 0
+	}
+	return nil
+}
+
+// Replay reads every intact record oldest-first and passes it to fn;
+// a non-nil fn error stops the replay and is returned. Replay reads
+// from disk with fresh handles, so it sees exactly what a restarted
+// process would.
+func (w *WAL) Replay(fn func(rec []byte) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	// Flush buffered appends so the read-back below sees them.
+	if w.f != nil && w.opt.Policy != SyncNever {
+		w.f.Sync()
+	}
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	for i, idx := range segs {
+		last := i == len(segs)-1
+		b, err := os.ReadFile(w.segPath(idx))
+		if err != nil {
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		_, end, err := scanSegment(w.segPath(idx), last)
+		if err != nil {
+			return err
+		}
+		off := int64(len(segMagic))
+		if end < off {
+			continue // empty torn segment
+		}
+		for off < end {
+			length := int64(binary.BigEndian.Uint32(b[off:]))
+			body := off + recHeaderLen
+			if err := fn(b[body : body+length : body+length]); err != nil {
+				return err
+			}
+			off = body + length
+		}
+	}
+	return nil
+}
+
+// Sync forces buffered appends to stable storage regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	w.sinceSync = 0
+	return nil
+}
+
+// Close syncs and releases the journal. Further operations return
+// ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("wal: fsync on close: %w", err)
+	}
+	return w.f.Close()
+}
+
+// Truncated reports whether Open dropped a torn final record.
+func (w *WAL) Truncated() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.truncated
+}
+
+// Records reports intact records currently in the journal.
+func (w *WAL) Records() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Segments reports how many segment files exist.
+func (w *WAL) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := w.segments()
+	if err != nil {
+		return 0
+	}
+	return len(segs)
+}
+
+// Dir returns the journal directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// ParsePolicy maps a -fsync flag value onto Options fields:
+// "always", "none", or "batch:<n>".
+func ParsePolicy(s string) (SyncPolicy, int, error) {
+	switch {
+	case s == "always" || s == "":
+		return SyncAlways, 0, nil
+	case s == "none":
+		return SyncNever, 0, nil
+	default:
+		var n int
+		if _, err := fmt.Sscanf(s, "batch:%d", &n); err == nil && n > 0 {
+			return SyncBatch, n, nil
+		}
+		return 0, 0, fmt.Errorf("wal: bad fsync policy %q (want always, none, or batch:<n>)", s)
+	}
+}
