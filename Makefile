@@ -1,7 +1,7 @@
 # Offline stdlib-only Go module; these targets are the whole toolchain.
 GO ?= go
 
-.PHONY: build vet test race bench chaos chaos-short verify
+.PHONY: build vet test race bench bench-smoke bench-json chaos chaos-short verify
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# bench-smoke compiles and runs every benchmark exactly once — a cheap
+# guard against benchmark rot that rides inside verify.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# bench-json runs the PR 3 hot-path families (E11 + transport pipe)
+# and writes BENCH_PR3.json with the raw numbers, the acceptance
+# ratios, and the environment (GOMAXPROCS matters: the parallel hash
+# paths fall back to serial on one core).
+bench-json:
+	$(GO) run ./cmd/benchreport -o BENCH_PR3.json
+
 # chaos runs the crash-fault injection suite: every registered
 # faultpoint plus the randomized crash-restart rounds, always under
 # the race detector and with the fixed seeds baked into the tests.
@@ -30,6 +42,7 @@ chaos-short:
 	$(GO) test -race -count=1 -short -run 'TestChaos|TestPool' ./internal/chaos/
 
 # verify is the tier-1 gate: vet, compile everything, a quick chaos
-# pass, then the full suite under the race detector (the concurrency
-# tests depend on it; race also reruns chaos with the full seed set).
-verify: vet build chaos-short race
+# pass, the full suite under the race detector (the concurrency tests
+# depend on it; race also reruns chaos with the full seed set), and a
+# one-iteration benchmark smoke so the benchmark suite cannot rot.
+verify: vet build chaos-short race bench-smoke

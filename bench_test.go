@@ -1,5 +1,5 @@
 // Package repro holds the top-level benchmark harness: one benchmark
-// family per experiment in DESIGN.md's E1–E10 index. Run with
+// family per experiment in DESIGN.md's E1–E11 index. Run with
 //
 //	go test -bench=. -benchmem
 //
@@ -36,6 +36,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/traditional"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // --- E1: Azure SharedKey authorization ---------------------------------
@@ -480,9 +481,13 @@ func BenchmarkE10TransportPipe(b *testing.B) {
 	msg := make([]byte, 4096)
 	go func() {
 		for {
-			if _, err := y.Recv(); err != nil {
+			buf, err := y.Recv()
+			if err != nil {
 				return
 			}
+			// Recv transfers ownership; returning the buffer to the
+			// transport pool is what keeps the steady state alloc-free.
+			transport.Recycle(buf)
 		}
 	}()
 	b.SetBytes(int64(len(msg)))
@@ -654,6 +659,7 @@ func runConcurrent(b *testing.B, clients int, op func(worker, iter int) error) {
 	var lat metrics.Latencies
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for w := 0; w < clients; w++ {
@@ -691,6 +697,7 @@ func BenchmarkE10ConcurrentUpload(b *testing.B) {
 			pool := newBenchPool(b, d, clients)
 			defer pool.Close()
 			data := make([]byte, 4<<10)
+			b.SetBytes(int64(len(data)))
 			runConcurrent(b, clients, func(w, i int) error {
 				txn := fmt.Sprintf("bcu-%d-%d", w, i)
 				_, err := pool.Upload(context.Background(), txn, "k/"+txn, data)
@@ -714,6 +721,7 @@ func BenchmarkE10ConcurrentDownload(b *testing.B) {
 			}
 			pool := newBenchPool(b, d, clients)
 			defer pool.Close()
+			b.SetBytes(4 << 10)
 			runConcurrent(b, clients, func(w, i int) error {
 				txn := fmt.Sprintf("bcd-%d-%d", w, i)
 				_, err := pool.Download(context.Background(), txn, "obj", "bench-seed")
@@ -721,4 +729,141 @@ func BenchmarkE10ConcurrentDownload(b *testing.B) {
 			})
 		})
 	}
+}
+
+// --- E11: hot-path throughput (PR 3) -----------------------------------------
+//
+// The four families below back EXPERIMENTS.md E11 and BENCH_PR3.json:
+// WAL group commit vs per-append fsync, multi-algorithm hashing,
+// Merkle tree construction after the streamed leaf hash, and the
+// evidence verification cache. cmd/benchreport runs them and computes
+// the acceptance ratios.
+
+// BenchmarkE11WALAppend measures journal append throughput under the
+// per-append-fsync policy (always) and group commit, at 1 and 16
+// concurrent appenders. fsyncs/op makes the coalescing visible: group
+// mode at 16 appenders should show a small fraction of one fsync per
+// record while keeping the acked ⇒ synced guarantee.
+func BenchmarkE11WALAppend(b *testing.B) {
+	rec := make([]byte, 256)
+	for _, pol := range []struct {
+		name string
+		opt  wal.Options
+	}{
+		{"always", wal.Options{Policy: wal.SyncAlways}},
+		{"group", wal.Options{Policy: wal.SyncGroup}},
+	} {
+		for _, appenders := range []int{1, 16} {
+			b.Run(fmt.Sprintf("policy=%s/appenders=%d", pol.name, appenders), func(b *testing.B) {
+				w, err := wal.Open(b.TempDir(), pol.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer w.Close()
+				b.SetBytes(int64(len(rec)))
+				b.ReportAllocs()
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for g := 0; g < appenders; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for next.Add(1) <= int64(b.N) {
+							if err := w.Append(rec); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				if b.N > 0 {
+					b.ReportMetric(float64(w.Syncs())/float64(b.N), "fsyncs/op")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE11ParallelHash compares computing the evidence digest pair
+// (MD5 + SHA256 over the same payload) sequentially vs via
+// cryptoutil.SumParallel, which runs the two sequential hash chains on
+// separate goroutines. At GOMAXPROCS=1 SumParallel deliberately falls
+// back to the serial path, so the ratio honestly reports ~1.0 there.
+func BenchmarkE11ParallelHash(b *testing.B) {
+	data := make([]byte, 4<<20)
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cryptoutil.Sum(cryptoutil.MD5, data)
+			cryptoutil.Sum(cryptoutil.SHA256, data)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cryptoutil.SumParallel(data, cryptoutil.MD5, cryptoutil.SHA256)
+		}
+	})
+}
+
+// BenchmarkE11MerkleBuild measures tree construction over a 16 MiB
+// object in 4 KiB chunks — the bigobject upload shape. The streamed
+// leaf hash (no per-leaf prefix+chunk copy) is the allocation win
+// visible against the pre-PR XMerkleTree numbers; level-parallel
+// construction engages when GOMAXPROCS allows.
+func BenchmarkE11MerkleBuild(b *testing.B) {
+	chunks := make([][]byte, 4096)
+	for i := range chunks {
+		chunks[i] = make([]byte, 4096)
+		chunks[i][0] = byte(i)
+	}
+	b.SetBytes(int64(len(chunks)) * 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := merkle.New(chunks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11VerifyCache measures evidence signature verification
+// cold (two RSA verifies per call) vs warm (repeat verification of the
+// same evidence through the VerifyCache — two hash lookups). The warm
+// path is what the TTP resolve handler and the arbitrator hit when the
+// same evidence is resubmitted.
+func BenchmarkE11VerifyCache(b *testing.B) {
+	signer := cryptoutil.InsecureTestKey(123)
+	peer := cryptoutil.InsecureTestKey(124)
+	h := &evidence.Header{Kind: evidence.KindNRO, TxnID: "t", SenderID: "alice", RecipientID: "bob"}
+	h.SetDigests(make([]byte, 4096))
+	ev, _, err := evidence.Build(signer, peer.Public(), h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ev.Verify(signer.Public()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := evidence.NewVerifyCache(64)
+		if err := ev.VerifyCached(signer.Public(), c); err != nil {
+			b.Fatal(err) // prime
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ev.VerifyCached(signer.Public(), c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

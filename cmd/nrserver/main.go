@@ -42,7 +42,7 @@ func main() {
 	storeDir := flag.String("store", "./blobs", "blob store directory")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	walDir := flag.String("wal-dir", "", "crash journal directory (empty = no journal)")
-	fsync := flag.String("fsync", "always", "journal fsync policy: always, none, or batch:<n>")
+	fsync := flag.String("fsync", "always", "journal fsync policy: always, none, batch[:<n>], or group[:<max-batch>]")
 	auditPath := flag.String("audit", "", "persist the audit log to this file (fsynced per entry)")
 	flag.Parse()
 

@@ -54,7 +54,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:9001", "TCP listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	walDir := flag.String("wal-dir", "", "crash journal directory (empty = no journal)")
-	fsync := flag.String("fsync", "always", "journal fsync policy: always, none, or batch:<n>")
+	fsync := flag.String("fsync", "always", "journal fsync policy: always, none, batch[:<n>], or group[:<max-batch>]")
 	auditPath := flag.String("audit", "", "persist the audit log to this file (fsynced per entry)")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer address mapping name=host:port (repeatable)")

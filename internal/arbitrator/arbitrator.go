@@ -111,11 +111,15 @@ type Decision struct {
 
 // Arbitrator validates certificates and signatures against the same CA
 // as the protocol parties. It holds no protocol state: everything it
-// needs arrives in the Case.
+// needs arrives in the Case. (The verification cache is a memo of
+// successful checks, not state a Case outcome depends on — disputed
+// evidence is resubmitted across hearings, and re-ruling on an
+// amended Case re-verifies only what changed.)
 type Arbitrator struct {
-	caKey *rsa.PublicKey
-	dir   func(name string) (*pki.Certificate, error)
-	now   func() time.Time
+	caKey  *rsa.PublicKey
+	dir    func(name string) (*pki.Certificate, error)
+	now    func() time.Time
+	vcache *evidence.VerifyCache
 }
 
 // New constructs an arbitrator.
@@ -123,7 +127,7 @@ func New(caKey *rsa.PublicKey, dir func(string) (*pki.Certificate, error), now f
 	if now == nil {
 		now = time.Now
 	}
-	return &Arbitrator{caKey: caKey, dir: dir, now: now}
+	return &Arbitrator{caKey: caKey, dir: dir, now: now, vcache: evidence.NewVerifyCache(256)}
 }
 
 // partyKey resolves and validates a party's public key. The
@@ -166,7 +170,7 @@ func (a *Arbitrator) verify(ev *evidence.Evidence, signer, txn string, findings 
 		*findings = append(*findings, fmt.Sprintf("%s: evidence concerns transaction %q, claim is about %q", label, ev.Header.TxnID, txn))
 		return false
 	}
-	if err := ev.Verify(key); err != nil {
+	if err := ev.VerifyCached(key, a.vcache); err != nil {
 		*findings = append(*findings, fmt.Sprintf("%s: signature verification FAILED: %v", label, err))
 		return false
 	}
@@ -240,8 +244,9 @@ func (a *Arbitrator) Decide(c *Case) *Decision {
 		d.Verdict = VerdictProviderFault
 		return d
 	}
-	md5Match := cryptoutil.Sum(cryptoutil.MD5, c.ProducedData).Equal(nro.Header.DataMD5)
-	shaMatch := cryptoutil.Sum(cryptoutil.SHA256, c.ProducedData).Equal(nro.Header.DataSHA256)
+	ds := cryptoutil.SumParallel(c.ProducedData, cryptoutil.MD5, cryptoutil.SHA256)
+	md5Match := ds[0].Equal(nro.Header.DataMD5)
+	shaMatch := ds[1].Equal(nro.Header.DataSHA256)
 	switch {
 	case md5Match && shaMatch:
 		*f = append(*f, "produced data matches the agreed digest: storage obligation met")

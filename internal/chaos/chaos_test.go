@@ -43,7 +43,9 @@ type world struct {
 func openWorld(t *testing.T, dir string, store storage.Store) *world {
 	t.Helper()
 	open := func(sub string) *wal.WAL {
-		w, err := wal.Open(filepath.Join(dir, sub), wal.Options{})
+		// Group commit is the production fsync policy; running the whole
+		// chaos suite in it re-proves "acked ⇒ synced" under coalescing.
+		w, err := wal.Open(filepath.Join(dir, sub), wal.Options{Policy: wal.SyncGroup})
 		if err != nil {
 			t.Fatalf("opening %s journal: %v", sub, err)
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/evidence"
 	"repro/internal/metrics"
 	"repro/internal/pki"
 	"repro/internal/storage"
@@ -77,13 +78,22 @@ func WithJournal(w *wal.WAL) Option {
 	return func(o *Options) { o.journal = w }
 }
 
+// WithVerifyCache shares a bounded evidence-verification cache across
+// parties (or sizes it differently from the default). Every party gets
+// a private cache when this option is absent; pass a common cache to
+// co-located daemons so the TTP's resolve path and the serving party
+// hit each other's verifications.
+func WithVerifyCache(c *evidence.VerifyCache) Option {
+	return func(o *Options) { o.verifyCache = c }
+}
+
 // WithOptions applies a legacy Options struct wholesale, preserving
 // any store or TTP id set by earlier options.
 //
 // Deprecated: construct parties with individual With* options instead.
 func WithOptions(legacy Options) Option {
 	return func(o *Options) {
-		store, ttpID, journal := o.store, o.ttpID, o.journal
+		store, ttpID, journal, vcache := o.store, o.ttpID, o.journal, o.verifyCache
 		*o = legacy
 		if o.store == nil {
 			o.store = store
@@ -93,6 +103,9 @@ func WithOptions(legacy Options) Option {
 		}
 		if o.journal == nil {
 			o.journal = journal
+		}
+		if o.verifyCache == nil {
+			o.verifyCache = vcache
 		}
 	}
 }

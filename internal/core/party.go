@@ -108,12 +108,19 @@ type Options struct {
 	// journal is set by WithJournal: the crash-safe WAL every protocol
 	// transition is appended to before the corresponding ack.
 	journal *wal.WAL
+	// verifyCache is set by WithVerifyCache; nil means a private
+	// default-sized cache per party.
+	verifyCache *evidence.VerifyCache
 }
 
 // Default protocol timing parameters.
 const (
 	DefaultMessageLifetime = 5 * time.Minute
 	DefaultResponseTimeout = 30 * time.Second
+
+	// defaultVerifyCacheSize bounds each party's private verification
+	// cache (entries, not bytes; an entry is a 32-byte key).
+	defaultVerifyCacheSize = 1024
 )
 
 // party is the plumbing shared by Client, Provider and the TTP server:
@@ -133,6 +140,7 @@ type party struct {
 	archive *evidence.Store
 	tracker *session.Tracker
 	journal *wal.WAL
+	vcache  *evidence.VerifyCache
 	seqMu   sync.Mutex
 	seqs    map[string]*session.Counter
 
@@ -162,8 +170,14 @@ func newParty(o Options) (*party, error) {
 		archive:  evidence.NewStore(),
 		tracker:  session.NewTracker(),
 		journal:  o.journal,
+		vcache:   o.verifyCache,
 		seqs:     make(map[string]*session.Counter),
 		pumps:    make(map[transport.Conn]*pump),
+	}
+	if p.vcache == nil {
+		// Re-verifications cluster on resolve/dispute traffic; a modest
+		// bound keeps the win without letting the cache grow with load.
+		p.vcache = evidence.NewVerifyCache(defaultVerifyCacheSize)
 	}
 	if p.clk == nil {
 		p.clk = clock.Real()
@@ -288,7 +302,7 @@ func (p *party) checkInbound(m *Message) (*evidence.Header, *evidence.Evidence, 
 	if err != nil {
 		return nil, nil, err
 	}
-	ev, err := evidence.Open(p.id.Key, senderKey, m.Sealed, h)
+	ev, err := evidence.OpenCached(p.id.Key, senderKey, m.Sealed, h, p.vcache)
 	if err != nil {
 		p.ctr.Inc(metrics.AuthFailures, 1)
 		return nil, nil, fmt.Errorf("%w: %v", ErrProtocol, err)

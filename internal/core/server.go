@@ -7,7 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/evidence"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Handler processes one encoded protocol message and returns the
@@ -146,6 +148,9 @@ func (s *Server) serveConn(ctx context.Context, conn transport.Conn) {
 		}
 		reply, _ := s.handleOne(raw)
 		s.inflight.Done()
+		// The handler decoded (copied) what it needed; the inbound
+		// buffer can go back to the transport pool.
+		transport.Recycle(raw)
 		if reply != nil {
 			if err := conn.Send(reply); err != nil {
 				return
@@ -185,18 +190,21 @@ func (s *Server) handleOne(raw []byte) (reply []byte, err error) {
 }
 
 // txnOf extracts the transaction ID from an encoded message without
-// any cryptography. Unparseable messages get no lock — the handler
+// any cryptography — and without the full decode: a zero-copy peek at
+// the header's routing field, so picking the lock shard costs one
+// small string allocation rather than copying header, payload and
+// sealed evidence. Unparseable messages get no lock — the handler
 // rejects them anyway.
 func txnOf(raw []byte) (string, bool) {
-	m, err := DecodeMessage(raw)
-	if err != nil {
+	d := wire.NewDecoder(raw)
+	if string(d.View32()) != "tpnr-msg-v1" {
 		return "", false
 	}
-	h, err := m.Header()
-	if err != nil {
+	headerBytes := d.View32()
+	if d.Err() != nil {
 		return "", false
 	}
-	return h.TxnID, true
+	return evidence.PeekTxnID(headerBytes)
 }
 
 // shardOf maps a transaction ID onto its mutex shard (FNV-1a).

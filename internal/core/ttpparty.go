@@ -69,6 +69,11 @@ func (t *TTPParty) CheckInbound(m *Message) (*evidence.Header, *evidence.Evidenc
 	return t.p.checkInbound(m)
 }
 
+// VerifyCache exposes the party's verification cache so the ttp
+// package can route its own explicit evidence checks (the resolve
+// claim verification) through the same memo the inbound path uses.
+func (t *TTPParty) VerifyCache() *evidence.VerifyCache { return t.p.vcache }
+
 // RecvTimeout waits the party's response timeout for one message on
 // conn, returning early with ErrCancelled when ctx terminates.
 func (t *TTPParty) RecvTimeout(ctx context.Context, conn transport.Conn) ([]byte, error) {

@@ -1,0 +1,42 @@
+package cryptoutil
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelThreshold is the payload size below which SumParallel runs
+// serially. MD5 and SHA-256 are sequential chains — a single digest
+// cannot be sharded across workers and still match Sum byte-for-byte —
+// so the parallelism here is ACROSS algorithms: evidence headers carry
+// both an MD5 and a SHA-256 of the same payload (§4.1 fidelity +
+// modern digest), and those two independent passes over the data can
+// overlap. Below the threshold goroutine handoff costs more than the
+// second hash pass saves.
+const ParallelThreshold = 256 << 10
+
+// SumParallel computes the digest of data under every requested
+// algorithm, running the passes concurrently when the payload is large
+// enough and spare cores exist. Each returned Digest is byte-identical
+// to Sum(alg, data); results are in the order algs were given. With a
+// single algorithm, a small payload, or GOMAXPROCS=1 it degrades to
+// plain sequential Sum calls with no goroutines spawned.
+func SumParallel(data []byte, algs ...HashAlg) []Digest {
+	out := make([]Digest, len(algs))
+	if len(algs) < 2 || len(data) < ParallelThreshold || runtime.GOMAXPROCS(0) < 2 {
+		for i, alg := range algs {
+			out[i] = Sum(alg, data)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i, alg := range algs {
+		wg.Add(1)
+		go func(i int, alg HashAlg) {
+			defer wg.Done()
+			out[i] = Sum(alg, data)
+		}(i, alg)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,97 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// chunkedReader yields at most chunk bytes per Read, forcing SumReader
+// through many partial writes the way a network stream would.
+type chunkedReader struct {
+	data  []byte
+	chunk int
+}
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.chunk
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+// TestSumParallelMatchesSum is the property test: for every size around
+// the interesting boundaries and both algorithms, SumParallel and a
+// chunked SumReader must match Sum byte-for-byte.
+func TestSumParallelMatchesSum(t *testing.T) {
+	sizes := []int{
+		0,
+		1,
+		ParallelThreshold - 1,
+		ParallelThreshold,
+		ParallelThreshold + 1,
+		4 << 20, // multi-MiB: the bigobject upload shape
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, size := range sizes {
+		data := make([]byte, size)
+		rng.Read(data)
+
+		want := map[HashAlg]Digest{
+			MD5:    Sum(MD5, data),
+			SHA256: Sum(SHA256, data),
+		}
+
+		// Both algorithms at once — the shape SetDigests uses.
+		both := SumParallel(data, MD5, SHA256)
+		if len(both) != 2 {
+			t.Fatalf("size %d: SumParallel returned %d digests, want 2", size, len(both))
+		}
+		for i, alg := range []HashAlg{MD5, SHA256} {
+			if both[i].Alg != alg || !bytes.Equal(both[i].Sum, want[alg].Sum) {
+				t.Fatalf("size %d alg %v: SumParallel = %v, want %v", size, alg, both[i], want[alg])
+			}
+		}
+
+		for _, alg := range []HashAlg{MD5, SHA256} {
+			// Single-algorithm call must also match (serial fallback path).
+			one := SumParallel(data, alg)
+			if len(one) != 1 || !bytes.Equal(one[0].Sum, want[alg].Sum) {
+				t.Fatalf("size %d alg %v: single-alg SumParallel mismatch", size, alg)
+			}
+
+			// Chunked streaming hash must agree with the one-shot hash.
+			for _, chunk := range []int{1, 7, 4096} {
+				if size > 1<<20 && chunk < 4096 {
+					continue // byte-at-a-time over 4 MiB is just slow
+				}
+				d, n, err := SumReader(alg, &chunkedReader{data: data, chunk: chunk})
+				if err != nil {
+					t.Fatalf("size %d alg %v chunk %d: SumReader: %v", size, alg, chunk, err)
+				}
+				if n != int64(size) {
+					t.Fatalf("size %d alg %v chunk %d: SumReader read %d bytes", size, alg, chunk, n)
+				}
+				if !bytes.Equal(d.Sum, want[alg].Sum) {
+					t.Fatalf("size %d alg %v chunk %d: SumReader digest mismatch", size, alg, chunk)
+				}
+			}
+		}
+	}
+}
+
+func TestSumParallelEmptyAlgs(t *testing.T) {
+	if out := SumParallel([]byte("data")); len(out) != 0 {
+		t.Fatalf("SumParallel with no algs = %v, want empty", out)
+	}
+}

@@ -1,0 +1,161 @@
+package evidence
+
+import (
+	"container/list"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cryptoutil"
+)
+
+// VerifyCache memoizes SUCCESSFUL RSA signature verifications. The TTP
+// resolve path and the arbitrator re-verify the same NRO/NRR evidence
+// on every dispute round; an RSA verify costs tens of microseconds
+// while a cache hit costs one SHA-256 over the key material.
+//
+// Entries are keyed by SHA-256 over (signer key fingerprint, message
+// digest, signature) — all three, so a hit proves exactly "this key
+// verified this signature over this message" and nothing weaker.
+//
+// Negative results are NEVER cached: a failed verification is
+// attacker-controlled input (any garbage signature mints a fresh key),
+// so caching failures would let an adversary flush legitimate entries
+// out of the bounded LRU at will — and a transient mismatch must not
+// stick to a message that a later, correctly-supplied key would verify.
+//
+// The cache is sharded to keep concurrent verifiers (32+ server
+// goroutines) off a single mutex; each shard is an independent LRU.
+type VerifyCache struct {
+	shards [verifyShards]verifyShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+const verifyShards = 16
+
+type verifyShard struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // front = most recent; values are [32]byte keys
+	keys map[[32]byte]*list.Element
+}
+
+// NewVerifyCache returns a cache bounded to roughly `capacity` entries
+// total across shards. Capacities below one entry per shard are
+// rounded up so every shard can hold something.
+func NewVerifyCache(capacity int) *VerifyCache {
+	per := capacity / verifyShards
+	if per < 1 {
+		per = 1
+	}
+	c := &VerifyCache{}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].ll = list.New()
+		c.shards[i].keys = make(map[[32]byte]*list.Element, per)
+	}
+	return c
+}
+
+// Stats reports cache hits and misses so far.
+func (c *VerifyCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the number of cached verifications.
+func (c *VerifyCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.keys)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// cacheKey binds signer, message, and signature into one lookup key.
+func cacheKey(pub *rsa.PublicKey, msg, sig []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("tpnr-verify-cache-v1"))
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], uint64(pub.E))
+	h.Write(e[:])
+	h.Write(pub.N.Bytes())
+	md := sha256.Sum256(msg)
+	h.Write(md[:])
+	h.Write(sig)
+	var k [32]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// verify checks one signature, consulting the cache first and caching
+// only success. A nil cache degrades to a plain verification.
+func (c *VerifyCache) verify(pub *rsa.PublicKey, msg, sig []byte) error {
+	if c == nil {
+		return cryptoutil.Verify(pub, msg, sig)
+	}
+	k := cacheKey(pub, msg, sig)
+	s := &c.shards[k[0]%verifyShards]
+	s.mu.Lock()
+	if el, ok := s.keys[k]; ok {
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return nil
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+	if err := cryptoutil.Verify(pub, msg, sig); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, ok := s.keys[k]; !ok {
+		s.keys[k] = s.ll.PushFront(k)
+		for s.ll.Len() > s.cap {
+			old := s.ll.Back()
+			s.ll.Remove(old)
+			delete(s.keys, old.Value.([32]byte))
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// VerifyCached checks both evidence signatures like Verify, but
+// consults the cache so repeat verifications of the same evidence
+// under the same key cost two hash lookups instead of two RSA
+// operations. A nil cache is allowed and means no caching.
+func (ev *Evidence) VerifyCached(senderPub *rsa.PublicKey, c *VerifyCache) error {
+	if c == nil {
+		return ev.Verify(senderPub)
+	}
+	if err := c.verify(senderPub, ev.Header.Encode(), ev.HeaderSig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadHeaderSig, err)
+	}
+	if err := c.verify(senderPub, ev.Header.digestBytes(), ev.DataSig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadDataSig, err)
+	}
+	return nil
+}
+
+// OpenCached is Open with the signature checks routed through the
+// cache. Decryption is never cached (the ciphertext is fresh per seal).
+func OpenCached(recipient cryptoutil.KeyPair, senderPub *rsa.PublicKey, sealed []byte, plainHeader *Header, c *VerifyCache) (*Evidence, error) {
+	if c == nil {
+		return Open(recipient, senderPub, sealed, plainHeader)
+	}
+	ev, err := open(recipient, sealed, plainHeader)
+	if err != nil {
+		return nil, err
+	}
+	if err := ev.VerifyCached(senderPub, c); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}

@@ -1,0 +1,168 @@
+package evidence
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestVerifyCachedHitsOnRepeat(t *testing.T) {
+	h := testHeader([]byte("cached object"))
+	ev, _, err := Build(alice, bob.Public(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewVerifyCache(64)
+	for i := 0; i < 5; i++ {
+		if err := ev.VerifyCached(alice.Public(), c); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	hits, misses := c.Stats()
+	// Two signatures per evidence: first round misses both, the other
+	// four rounds hit both.
+	if misses != 2 {
+		t.Fatalf("misses = %d, want 2", misses)
+	}
+	if hits != 8 {
+		t.Fatalf("hits = %d, want 8", hits)
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("Len() = %d, want 2", n)
+	}
+}
+
+func TestVerifyCachedNilCache(t *testing.T) {
+	h := testHeader([]byte("d"))
+	ev, _, err := Build(alice, bob.Public(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.VerifyCached(alice.Public(), nil); err != nil {
+		t.Fatalf("nil cache: %v", err)
+	}
+}
+
+// TestVerifyCacheNeverCachesFailures checks the security property: a
+// failed verification leaves no trace, so repeat failures re-verify
+// every time and the bounded LRU cannot be flushed by garbage.
+func TestVerifyCacheNeverCachesFailures(t *testing.T) {
+	h := testHeader([]byte("d"))
+	ev, _, err := Build(alice, bob.Public(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewVerifyCache(64)
+	// Wrong sender key: both attempts must fail and cache nothing.
+	for i := 0; i < 2; i++ {
+		if err := ev.VerifyCached(eve.Public(), c); err == nil {
+			t.Fatal("verified under the wrong key")
+		}
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("failed verifications cached %d entries", n)
+	}
+	hits, _ := c.Stats()
+	if hits != 0 {
+		t.Fatalf("failed verifications produced %d hits", hits)
+	}
+	// The right key must still verify (no poisoned negative entry).
+	if err := ev.VerifyCached(alice.Public(), c); err != nil {
+		t.Fatalf("correct key after failures: %v", err)
+	}
+}
+
+func TestVerifyCacheBounded(t *testing.T) {
+	const capacity = 32
+	c := NewVerifyCache(capacity)
+	for i := 0; i < 3*capacity; i++ {
+		h := testHeader([]byte(fmt.Sprintf("object-%d", i)))
+		ev, _, err := Build(alice, bob.Public(), h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.VerifyCached(alice.Public(), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sharding rounds capacity up to shard granularity; the bound to
+	// enforce is "capacity-ish, far below everything inserted".
+	if n := c.Len(); n > 2*capacity {
+		t.Fatalf("Len() = %d after %d inserts, cap %d: LRU not evicting", n, 6*capacity, capacity)
+	}
+}
+
+// TestVerifyCacheConcurrent is the race test from the issue: 32
+// goroutines hammering a shared cache with a mix of repeat evidence
+// (hits), distinct evidence (inserts + eviction), and bad keys
+// (failures that must not cache), under -race.
+func TestVerifyCacheConcurrent(t *testing.T) {
+	const verifiers = 32
+	shared := make([]*Evidence, 4)
+	for i := range shared {
+		h := testHeader([]byte(fmt.Sprintf("shared-%d", i)))
+		ev, _, err := Build(alice, bob.Public(), h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared[i] = ev
+	}
+	c := NewVerifyCache(16) // small: force concurrent eviction too
+	var wg sync.WaitGroup
+	for g := 0; g < verifiers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ev := shared[(g+i)%len(shared)]
+				if err := ev.VerifyCached(alice.Public(), c); err != nil {
+					t.Errorf("g%d round %d: %v", g, i, err)
+					return
+				}
+				if err := ev.VerifyCached(eve.Public(), c); err == nil {
+					t.Errorf("g%d round %d: wrong key verified", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits == 0 {
+		t.Fatal("no cache hits under concurrent repeat verification")
+	}
+	if misses == 0 {
+		t.Fatal("no misses recorded")
+	}
+}
+
+func TestOpenCachedMatchesOpen(t *testing.T) {
+	data := []byte("the stored object")
+	h := testHeader(data)
+	_, sealed, err := Build(alice, bob.Public(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewVerifyCache(64)
+	for i := 0; i < 3; i++ {
+		ev, err := OpenCached(bob, alice.Public(), sealed, h, c)
+		if err != nil {
+			t.Fatalf("OpenCached round %d: %v", i, err)
+		}
+		if err := ev.VerifyAgainstData(alice.Public(), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, _ := c.Stats()
+	if hits == 0 {
+		t.Fatal("repeat OpenCached produced no cache hits")
+	}
+	// Wrong sender key must still fail through the cached path.
+	if _, err := OpenCached(bob, eve.Public(), sealed, h, c); err == nil {
+		t.Fatal("OpenCached verified under the wrong key")
+	}
+	// Nil cache must behave exactly like Open.
+	if _, err := OpenCached(bob, alice.Public(), sealed, h, nil); err != nil {
+		t.Fatalf("OpenCached nil cache: %v", err)
+	}
+}

@@ -161,10 +161,30 @@ func DecodeHeader(b []byte) (*Header, error) {
 	return h, nil
 }
 
+// PeekTxnID extracts just the transaction ID from an encoded header
+// without decoding (or copying) the rest — the server's routing path
+// needs only this one field to pick a transaction lock. Returns false
+// on anything unparseable.
+func PeekTxnID(headerBytes []byte) (string, bool) {
+	d := wire.NewDecoder(headerBytes)
+	if string(d.View32()) != "tpnr-header-v1" {
+		return "", false
+	}
+	d.U8() // kind
+	txn := d.String()
+	if d.Err() != nil {
+		return "", false
+	}
+	return txn, true
+}
+
 // SetDigests computes and installs both data digests and the length.
+// The two hash passes run concurrently for large payloads (SumParallel
+// degrades to sequential below its threshold or on one core).
 func (h *Header) SetDigests(data []byte) {
-	h.DataMD5 = cryptoutil.Sum(cryptoutil.MD5, data)
-	h.DataSHA256 = cryptoutil.Sum(cryptoutil.SHA256, data)
+	ds := cryptoutil.SumParallel(data, cryptoutil.MD5, cryptoutil.SHA256)
+	h.DataMD5 = ds[0]
+	h.DataSHA256 = ds[1]
 	h.ObjectLen = uint64(len(data))
 }
 
@@ -231,6 +251,19 @@ func Build(sender cryptoutil.KeyPair, recipient *rsa.PublicKey, h *Header) (*Evi
 // check the consistency between the hash of the plaintext and the
 // plaintext at first", §4.1).
 func Open(recipient cryptoutil.KeyPair, senderPub *rsa.PublicKey, sealed []byte, plainHeader *Header) (*Evidence, error) {
+	ev, err := open(recipient, sealed, plainHeader)
+	if err != nil {
+		return nil, err
+	}
+	if err := ev.Verify(senderPub); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// open decrypts and decodes sealed evidence without verifying the
+// signatures; Open and OpenCached layer their verification on top.
+func open(recipient cryptoutil.KeyPair, sealed []byte, plainHeader *Header) (*Evidence, error) {
 	plain, err := cryptoutil.Decrypt(recipient, sealed)
 	if err != nil {
 		return nil, fmt.Errorf("evidence: unsealing: %w", err)
@@ -252,11 +285,7 @@ func Open(recipient cryptoutil.KeyPair, senderPub *rsa.PublicKey, sealed []byte,
 	if plainHeader != nil && !bytes.Equal(plainHeader.Encode(), headerBytes) {
 		return nil, ErrHeaderMismatch
 	}
-	ev := &Evidence{Header: h, DataSig: dataSig, HeaderSig: headerSig}
-	if err := ev.Verify(senderPub); err != nil {
-		return nil, err
-	}
-	return ev, nil
+	return &Evidence{Header: h, DataSig: dataSig, HeaderSig: headerSig}, nil
 }
 
 // Verify checks both signatures under the claimed sender's public key.

@@ -13,6 +13,8 @@ package merkle
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/cryptoutil"
 )
@@ -32,17 +34,22 @@ var (
 	ErrOutOfRange = errors.New("merkle: chunk index out of range")
 )
 
-// LeafHash hashes one chunk's content as a leaf.
+// LeafHash hashes one chunk's content as a leaf. The prefix and chunk
+// are streamed into the hash state separately — copying the chunk just
+// to prepend one byte would double the memory traffic of a tree build.
 func LeafHash(chunk []byte) cryptoutil.Digest {
-	return cryptoutil.Sum(cryptoutil.SHA256, append(append([]byte(nil), leafPrefix...), chunk...))
+	h := cryptoutil.SHA256.New()
+	h.Write(leafPrefix)
+	h.Write(chunk)
+	return cryptoutil.Digest{Alg: cryptoutil.SHA256, Sum: h.Sum(nil)}
 }
 
 func interiorHash(left, right cryptoutil.Digest) cryptoutil.Digest {
-	buf := make([]byte, 0, 1+len(left.Sum)+len(right.Sum))
-	buf = append(buf, interiorPrefix...)
-	buf = append(buf, left.Sum...)
-	buf = append(buf, right.Sum...)
-	return cryptoutil.Sum(cryptoutil.SHA256, buf)
+	h := cryptoutil.SHA256.New()
+	h.Write(interiorPrefix)
+	h.Write(left.Sum)
+	h.Write(right.Sum)
+	return cryptoutil.Digest{Alg: cryptoutil.SHA256, Sum: h.Sum(nil)}
 }
 
 // Tree is a Merkle tree over a fixed sequence of leaf hashes. Levels
@@ -55,16 +62,59 @@ type Tree struct {
 	levels [][]cryptoutil.Digest
 }
 
-// New builds a tree over the given chunks.
+// parallelMinNodes is the per-level node count below which sharding
+// hash work across goroutines costs more than it saves; narrow levels
+// (and everything on a single-core box) build serially.
+const parallelMinNodes = 64
+
+// parallelFor runs fn over contiguous shards of [0, n) on up to
+// `workers` goroutines. With one worker (or small n) it degenerates to
+// a plain loop on the calling goroutine — no spawns, no allocation.
+func parallelFor(n, workers int, fn func(lo, hi int)) {
+	if workers > n/parallelMinNodes {
+		workers = n / parallelMinNodes
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	shard := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += shard {
+		hi := lo + shard
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// New builds a tree over the given chunks. Leaf hashing — the bulk of
+// the work, one SHA-256 pass over the whole object — and each interior
+// level are sharded across GOMAXPROCS workers when the level is wide
+// enough; the resulting tree is bit-identical to a serial build.
 func New(chunks [][]byte) (*Tree, error) {
+	return newWith(chunks, runtime.GOMAXPROCS(0))
+}
+
+// newWith is New with an explicit worker bound so tests can pin the
+// parallel path (or the serial one) regardless of the host's cores.
+func newWith(chunks [][]byte, workers int) (*Tree, error) {
 	if len(chunks) == 0 {
 		return nil, ErrNoChunks
 	}
 	leaves := make([]cryptoutil.Digest, len(chunks))
-	for i, c := range chunks {
-		leaves[i] = LeafHash(c)
-	}
-	return FromLeaves(leaves)
+	parallelFor(len(chunks), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			leaves[i] = LeafHash(chunks[i])
+		}
+	})
+	return fromLeavesOwned(leaves, workers)
 }
 
 // FromLeaves builds a tree over precomputed leaf hashes.
@@ -72,15 +122,27 @@ func FromLeaves(leaves []cryptoutil.Digest) (*Tree, error) {
 	if len(leaves) == 0 {
 		return nil, ErrNoChunks
 	}
-	t := &Tree{levels: [][]cryptoutil.Digest{append([]cryptoutil.Digest(nil), leaves...)}}
+	return fromLeavesOwned(append([]cryptoutil.Digest(nil), leaves...), runtime.GOMAXPROCS(0))
+}
+
+// fromLeavesOwned takes ownership of leaves and builds the levels
+// above it. Pairs within a level are independent, so wide levels hash
+// in parallel shards; the unpaired-promotion rule is applied after.
+func fromLeavesOwned(leaves []cryptoutil.Digest, workers int) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, ErrNoChunks
+	}
+	t := &Tree{levels: [][]cryptoutil.Digest{leaves}}
 	for cur := t.levels[0]; len(cur) > 1; {
-		next := make([]cryptoutil.Digest, 0, (len(cur)+1)/2)
-		for i := 0; i < len(cur); i += 2 {
-			if i+1 < len(cur) {
-				next = append(next, interiorHash(cur[i], cur[i+1]))
-			} else {
-				next = append(next, cur[i]) // unpaired node promotes
+		next := make([]cryptoutil.Digest, (len(cur)+1)/2)
+		pairs := len(cur) / 2
+		parallelFor(pairs, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				next[i] = interiorHash(cur[2*i], cur[2*i+1])
 			}
+		})
+		if len(cur)%2 == 1 {
+			next[len(next)-1] = cur[len(cur)-1] // unpaired node promotes
 		}
 		t.levels = append(t.levels, next)
 		cur = next

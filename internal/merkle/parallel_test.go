@@ -1,0 +1,96 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cryptoutil"
+)
+
+// serialTree is the reference build: plain loops, no sharding.
+func serialTree(t *testing.T, chunks [][]byte) *Tree {
+	t.Helper()
+	leaves := make([]cryptoutil.Digest, len(chunks))
+	for i, c := range chunks {
+		leaves[i] = LeafHash(c)
+	}
+	tr, err := fromLeavesOwned(leaves, 1)
+	if err != nil {
+		t.Fatalf("serial build: %v", err)
+	}
+	return tr
+}
+
+// TestParallelBuildMatchesSerial pins the parallel path with a forced
+// worker count (the host may have one core) and requires every level —
+// not just the root — to match the serial build bit for bit.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 63, 64, 65, 127, 128, 129, 500, 1024} {
+		chunks := make([][]byte, n)
+		for i := range chunks {
+			chunks[i] = make([]byte, 512)
+			rng.Read(chunks[i])
+		}
+		want := serialTree(t, chunks)
+		for _, workers := range []int{2, 4, 16} {
+			got, err := newWith(chunks, workers)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			if len(got.levels) != len(want.levels) {
+				t.Fatalf("n=%d workers=%d: %d levels, want %d", n, workers, len(got.levels), len(want.levels))
+			}
+			for lv := range want.levels {
+				if len(got.levels[lv]) != len(want.levels[lv]) {
+					t.Fatalf("n=%d workers=%d level %d: width %d, want %d", n, workers, lv, len(got.levels[lv]), len(want.levels[lv]))
+				}
+				for i := range want.levels[lv] {
+					if !got.levels[lv][i].Equal(want.levels[lv][i]) {
+						t.Fatalf("n=%d workers=%d: node (%d,%d) differs from serial build", n, workers, lv, i)
+					}
+				}
+			}
+		}
+		// The exported entry point must agree too, whatever GOMAXPROCS is.
+		got, err := New(chunks)
+		if err != nil {
+			t.Fatalf("New n=%d: %v", n, err)
+		}
+		if !got.Root().Equal(want.Root()) {
+			t.Fatalf("n=%d: New root differs from serial build", n)
+		}
+	}
+}
+
+// TestParallelProofsVerify checks proofs from a parallel-built tree
+// verify against a serial-built root and vice versa.
+func TestParallelProofsVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	chunks := make([][]byte, 300)
+	for i := range chunks {
+		chunks[i] = make([]byte, 256)
+		rng.Read(chunks[i])
+	}
+	par, err := newWith(chunks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser := serialTree(t, chunks)
+	for _, i := range []int{0, 1, 149, 298, 299} {
+		p, err := par.Prove(i)
+		if err != nil {
+			t.Fatalf("Prove(%d): %v", i, err)
+		}
+		if err := p.Verify(ser.Root(), chunks[i]); err != nil {
+			t.Fatalf("parallel proof %d against serial root: %v", i, err)
+		}
+		sp, err := ser.Prove(i)
+		if err != nil {
+			t.Fatalf("serial Prove(%d): %v", i, err)
+		}
+		if err := sp.Verify(par.Root(), chunks[i]); err != nil {
+			t.Fatalf("serial proof %d against parallel root: %v", i, err)
+		}
+	}
+}

@@ -26,12 +26,23 @@ var ErrClosed = errors.New("transport: connection closed")
 // Conn is an ordered, reliable, bidirectional message channel.
 // Implementations must be safe for one concurrent sender and one
 // concurrent receiver.
+//
+// Buffer ownership:
+//   - Send never retains msg past its return: the bytes are copied (or
+//     fully written) before Send comes back, so the caller keeps
+//     ownership and may immediately reuse or recycle the slice.
+//   - Recv transfers ownership of the returned slice to the caller. It
+//     stays valid indefinitely; a caller that is done with it MAY hand
+//     it to Recycle to return it to the shared buffer pool (that is
+//     optional — unrecycled buffers are ordinary garbage — but the
+//     slice must not be used after recycling).
 type Conn interface {
-	// Send transmits one message. The message is copied; the caller may
-	// reuse the slice.
+	// Send transmits one message. The message is copied before Send
+	// returns; the caller may reuse the slice.
 	Send(msg []byte) error
 	// Recv blocks until a message arrives or the connection closes, in
-	// which case it returns ErrClosed (or the underlying error).
+	// which case it returns ErrClosed (or the underlying error). The
+	// returned buffer is owned by the caller (see ownership rules above).
 	Recv() ([]byte, error)
 	// Close tears the connection down, unblocking pending Recvs on both
 	// ends.
@@ -72,7 +83,18 @@ func Pipe(capacity int) (Conn, Conn) {
 	return &pipeEnd{in: ba, out: ab}, &pipeEnd{in: ab, out: ba}
 }
 
-func (p *pipeEnd) Send(msg []byte) error { return p.out.push(append([]byte(nil), msg...)) }
+// Send copies msg into a pool-backed buffer (the Conn contract requires
+// a copy — the sender may reuse its slice immediately; the receiver
+// owns the copy and may Recycle it).
+func (p *pipeEnd) Send(msg []byte) error {
+	buf := grab(len(msg))
+	copy(buf, msg)
+	if err := p.out.push(buf); err != nil {
+		Recycle(buf)
+		return err
+	}
+	return nil
+}
 func (p *pipeEnd) Recv() ([]byte, error) { return p.in.pop() }
 func (p *pipeEnd) Close() error {
 	p.in.close()

@@ -116,6 +116,7 @@ func (s *Server) Serve(ctx context.Context, conn transport.Conn) error {
 			return err
 		}
 		reply, _ := s.Handle(raw)
+		transport.Recycle(raw) // Handle copied what it kept
 		if reply == nil {
 			continue
 		}
@@ -188,7 +189,9 @@ func (s *Server) handleResolve(m *core.Message) (*core.Message, error) {
 	if claimed.Header.SenderID != h.SenderID || claimed.Header.TxnID != h.TxnID {
 		return s.statement(h, "resolve evidence does not match claim", nil)
 	}
-	if err := claimed.Verify(claimantKey); err != nil {
+	// Claimants resubmit the same original evidence on every resolve
+	// retry; the cache turns the repeat RSA verifies into hash lookups.
+	if err := claimed.VerifyCached(claimantKey, s.VerifyCache()); err != nil {
 		s.Counters().Inc(metrics.AuthFailures, 1)
 		return s.statement(h, "resolve evidence does not verify", nil)
 	}

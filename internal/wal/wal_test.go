@@ -228,6 +228,8 @@ func TestSyncPolicies(t *testing.T) {
 		{Policy: SyncAlways},
 		{Policy: SyncBatch, BatchSize: 4},
 		{Policy: SyncNever},
+		{Policy: SyncGroup},
+		{Policy: SyncGroup, BatchSize: 4},
 	} {
 		t.Run(opt.Policy.String(), func(t *testing.T) {
 			dir := t.TempDir()
@@ -285,9 +287,17 @@ func TestParsePolicy(t *testing.T) {
 		{"always", SyncAlways, 0, true},
 		{"", SyncAlways, 0, true},
 		{"none", SyncNever, 0, true},
+		{"batch", SyncBatch, 16, true},
 		{"batch:8", SyncBatch, 8, true},
+		{"batch:1", SyncBatch, 1, true},
 		{"batch:0", 0, 0, false},
+		{"batch:-3", 0, 0, false},
+		{"group", SyncGroup, 0, true},
+		{"group:32", SyncGroup, 32, true},
+		{"group:0", 0, 0, false},
+		{"group:-1", 0, 0, false},
 		{"sometimes", 0, 0, false},
+		{"batch:", 0, 0, false},
 	}
 	for _, tc := range cases {
 		p, batch, err := ParsePolicy(tc.in)

@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestAppendFrameMatchesFrame pins the single-write framing to the
+// two-write original byte for byte.
+func TestAppendFrameMatchesFrame(t *testing.T) {
+	for _, msg := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 5000)} {
+		var want bytes.Buffer
+		if err := Frame(&want, msg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := AppendFrame(nil, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("AppendFrame(%d bytes) differs from Frame", len(msg))
+		}
+		// Appending onto an existing prefix must preserve it.
+		withPrefix, err := AppendFrame([]byte("prefix"), msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(withPrefix[:6], []byte("prefix")) || !bytes.Equal(withPrefix[6:], want.Bytes()) {
+			t.Fatal("AppendFrame clobbered its destination prefix")
+		}
+	}
+	if _, err := AppendFrame(nil, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized AppendFrame err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameIntoUsesAlloc(t *testing.T) {
+	frame, err := AppendFrame(nil, []byte("pooled body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var allocated int
+	got, err := ReadFrameInto(bytes.NewReader(frame), func(n int) []byte {
+		allocated = n
+		return make([]byte, n+32) // oversized alloc must be trimmed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocated != len("pooled body") {
+		t.Fatalf("alloc got n=%d, want %d", allocated, len("pooled body"))
+	}
+	if !bytes.Equal(got, []byte("pooled body")) {
+		t.Fatalf("body = %q", got)
+	}
+	if len(got) != allocated {
+		t.Fatalf("returned body len %d, want trimmed to %d", len(got), allocated)
+	}
+}

@@ -196,8 +196,24 @@ func (d *Decoder) Bytes32() []byte {
 	return append([]byte(nil), d.take(int(n), "bytes32 body")...)
 }
 
+// View32 reads a uint32-length-prefixed byte string WITHOUT copying:
+// the result aliases the decoder's buffer and is valid only as long as
+// that buffer is. Hot paths use it to peek at fields (magic strings,
+// routing keys) before committing to a full copying decode.
+func (d *Decoder) View32() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(n) > uint64(d.Remaining()) {
+		d.fail("bytes32 body")
+		return nil
+	}
+	return d.take(int(n), "bytes32 body")
+}
+
 // String reads a length-prefixed string.
-func (d *Decoder) String() string { return string(d.Bytes32()) }
+func (d *Decoder) String() string { return string(d.View32()) }
 
 // Time reads a time encoded by Encoder.Time.
 func (d *Decoder) Time() time.Time {
@@ -224,8 +240,29 @@ func Frame(w io.Writer, msg []byte) error {
 	return nil
 }
 
+// AppendFrame appends the length-prefixed framing of msg to dst and
+// returns the extended slice. Assembling header+body in one buffer lets
+// a transport issue a single write per message (Frame costs two) and
+// reuse a pooled buffer for the assembly.
+func AppendFrame(dst, msg []byte) ([]byte, error) {
+	if len(msg) > MaxFrameSize {
+		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(msg))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(msg)))
+	return append(dst, msg...), nil
+}
+
 // ReadFrame reads one length-prefixed message from r.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameInto(r, func(n int) []byte { return make([]byte, n) })
+}
+
+// ReadFrameInto reads one length-prefixed message from r, obtaining
+// the body buffer from alloc (which receives the exact body length and
+// must return a slice of at least that length). Transports use it to
+// read into pool-backed buffers; ownership of the returned slice
+// follows whatever contract the alloc source defines.
+func ReadFrameInto(r io.Reader, alloc func(n int) []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
@@ -237,7 +274,7 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	msg := make([]byte, n)
+	msg := alloc(int(n))[:n]
 	if _, err := io.ReadFull(r, msg); err != nil {
 		return nil, fmt.Errorf("wire: reading %d-byte frame body: %w", n, err)
 	}
