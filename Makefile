@@ -1,7 +1,7 @@
 # Offline stdlib-only Go module; these targets are the whole toolchain.
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke bench-json chaos chaos-short verify
+.PHONY: build vet test race bench bench-smoke bench-json bench-check chaos chaos-short obs-smoke verify
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/benchreport -o BENCH_PR3.json
 
+# bench-check re-measures the hot-path families and fails if any is
+# more than 5% slower than the committed BENCH_PR3.json baseline — the
+# guard that instrumentation on the hot paths stays free.
+bench-check:
+	$(GO) run ./cmd/benchreport -o /tmp/bench_check.json -baseline BENCH_PR3.json -max-regress 0.05
+
 # chaos runs the crash-fault injection suite: every registered
 # faultpoint plus the randomized crash-restart rounds, always under
 # the race detector and with the fixed seeds baked into the tests.
@@ -40,6 +46,21 @@ chaos:
 # early gate inside verify.
 chaos-short:
 	$(GO) test -race -count=1 -short -run 'TestChaos|TestPool' ./internal/chaos/
+
+# obs-smoke boots a transient nrserver with the observability endpoint
+# and curls /healthz and /metrics — the cheapest end-to-end proof that
+# the operational surface actually serves.
+obs-smoke:
+	@tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp ./cmd/pkitool ./cmd/nrserver && \
+	$$tmp/pkitool init -state $$tmp/state -bits 1024 >/dev/null && \
+	$$tmp/nrserver -state $$tmp/state -listen 127.0.0.1:29771 -store $$tmp/blobs \
+		-wal-dir $$tmp/wal -obs-addr 127.0.0.1:29772 & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:29772/healthz >/dev/null 2>&1 && break; sleep 0.1; done; \
+	curl -fsS http://127.0.0.1:29772/healthz && echo && \
+	curl -fsS http://127.0.0.1:29772/metrics | head -n 5 && \
+	echo "obs-smoke: OK"
 
 # verify is the tier-1 gate: vet, compile everything, a quick chaos
 # pass, the full suite under the race detector (the concurrency tests

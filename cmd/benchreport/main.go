@@ -19,6 +19,13 @@
 // Usage:
 //
 //	go run ./cmd/benchreport [-o BENCH_PR3.json] [-benchtime 1s]
+//	go run ./cmd/benchreport -baseline BENCH_PR3.json -max-regress 0.05
+//
+// With -baseline, the freshly measured ns/op of every family shared
+// with the baseline report is compared against it; any benchmark slower
+// by more than -max-regress (a fraction; 0.05 = 5%) fails the run.
+// This is the instrumentation-overhead gate: metrics threaded through
+// the hot paths must not cost measurable throughput.
 package main
 
 import (
@@ -60,6 +67,9 @@ type Report struct {
 	Results     []Result           `json:"results"`
 	Ratios      map[string]float64 `json:"ratios"`
 	Notes       []string           `json:"notes"`
+	// VsBaseline maps benchmark name to new_ns_per_op / baseline_ns_per_op
+	// when -baseline is given (1.03 = 3% slower than the baseline).
+	VsBaseline map[string]float64 `json:"vs_baseline,omitempty"`
 }
 
 // benchLine matches "BenchmarkName[-P]  <iters>  <value unit>...".
@@ -101,6 +111,8 @@ func parseLine(line string, r *Result) bool {
 func main() {
 	out := flag.String("o", "BENCH_PR3.json", "output path for the JSON report")
 	benchtime := flag.String("benchtime", "1s", "value passed to -benchtime")
+	baseline := flag.String("baseline", "", "prior report to compare ns/op against (empty = no comparison)")
+	maxRegress := flag.Float64("max-regress", 0.05, "fail when any shared benchmark is slower than the baseline by more than this fraction")
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", "-run", "^$",
@@ -170,6 +182,11 @@ func main() {
 		"wal ratios compare wall time per acked-durable append; fsyncs/op in the WAL results shows the group-commit coalescing directly",
 		"verify_cache_speedup compares two RSA verifies (cold) against two memo lookups (warm) for the same evidence item")
 
+	failed := false
+	if *baseline != "" {
+		failed = checkBaseline(rep, byName, *baseline, *maxRegress)
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
@@ -185,4 +202,43 @@ func main() {
 	for k, v := range rep.Ratios {
 		fmt.Printf("  %-34s %.2f\n", k, v)
 	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkBaseline compares the fresh results against a prior report and
+// records the per-benchmark slowdown factors. It returns true when any
+// shared family regressed past the budget.
+func checkBaseline(rep *Report, byName map[string]Result, path string, maxRegress float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: reading baseline: %v\n", err)
+		os.Exit(1)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: parsing baseline %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	rep.VsBaseline = map[string]float64{}
+	failed := false
+	for _, old := range base.Results {
+		cur, ok := byName[old.Name]
+		if !ok || old.NsPerOp <= 0 {
+			continue
+		}
+		f := cur.NsPerOp / old.NsPerOp
+		rep.VsBaseline[old.Name] = f
+		status := "ok"
+		if f > 1+maxRegress {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  vs baseline %-55s %.3fx  %s\n", old.Name, f, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchreport: regression beyond %.0f%% against %s\n", maxRegress*100, path)
+	}
+	return failed
 }

@@ -30,6 +30,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/keystore"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -44,7 +46,16 @@ func main() {
 	walDir := flag.String("wal-dir", "", "crash journal directory (empty = no journal)")
 	fsync := flag.String("fsync", "always", "journal fsync policy: always, none, batch[:<n>], or group[:<max-batch>]")
 	auditPath := flag.String("audit", "", "persist the audit log to this file (fsynced per entry)")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "structured event log level: debug, info, warn, or error")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nrserver:", err)
+		os.Exit(1)
+	}
+	events := obs.NewLogger(os.Stderr, lvl)
 
 	provider, cleanup, err := buildProvider(*state, *name, *storeDir, *walDir, *fsync, *auditPath)
 	if err != nil {
@@ -59,7 +70,18 @@ func main() {
 	}
 	log.Printf("nrserver: provider %q listening on %s, store %s", *name, l.Addr(), *storeDir)
 
-	srv := core.NewServer(provider)
+	var obsSrv *obshttp.Server
+	if *obsAddr != "" {
+		obsSrv, err = obshttp.Start(*obsAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nrserver:", err)
+			cleanup()
+			os.Exit(1)
+		}
+		log.Printf("nrserver: observability endpoint on http://%s/metrics", obsSrv.Addr())
+	}
+
+	srv := core.NewServer(provider, core.ServerLogger(events))
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -79,6 +101,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Printf("nrserver: shutdown: %v", err)
+		}
+		if obsSrv != nil {
+			if err := obsSrv.Shutdown(sctx); err != nil {
+				log.Printf("nrserver: observability shutdown: %v", err)
+			}
 		}
 	}
 	log.Printf("nrserver: stopped")
@@ -105,7 +132,9 @@ func buildProvider(state, name, storeDir, walDir, fsync, auditPath string) (*cor
 		core.WithIdentity(id),
 		core.WithCAKey(caKey),
 		core.WithDirectory(world.Lookup),
-		core.WithCounters(&metrics.Counters{}),
+		// Protocol counters share the default registry so they show up on
+		// /metrics next to the runtime metrics, prefixed tpnr_.
+		core.WithCounters(metrics.CountersOn(obs.Default(), "tpnr_")),
 		core.WithStore(store),
 	}
 

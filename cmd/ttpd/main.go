@@ -29,6 +29,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/keystore"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 	"repro/internal/transport"
 	"repro/internal/ttp"
 	"repro/internal/wal"
@@ -56,9 +58,18 @@ func main() {
 	walDir := flag.String("wal-dir", "", "crash journal directory (empty = no journal)")
 	fsync := flag.String("fsync", "always", "journal fsync policy: always, none, batch[:<n>], or group[:<max-batch>]")
 	auditPath := flag.String("audit", "", "persist the audit log to this file (fsynced per entry)")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "structured event log level: debug, info, warn, or error")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer address mapping name=host:port (repeatable)")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttpd:", err)
+		os.Exit(1)
+	}
+	events := obs.NewLogger(os.Stderr, lvl)
 
 	id, err := keystore.LoadIdentity(*state, *name)
 	if err != nil {
@@ -79,7 +90,9 @@ func main() {
 		core.WithIdentity(id),
 		core.WithCAKey(caKey),
 		core.WithDirectory(world.Lookup),
-		core.WithCounters(&metrics.Counters{}),
+		// Protocol counters share the default registry so they show up on
+		// /metrics next to the runtime metrics, prefixed tpnr_.
+		core.WithCounters(metrics.CountersOn(obs.Default(), "tpnr_")),
 	}
 	cleanup := func() {}
 	var journal *wal.WAL
@@ -150,7 +163,18 @@ func main() {
 	}
 	log.Printf("ttpd: TTP %q listening on %s, peers %v", *name, l.Addr(), peers)
 
-	srv := core.NewServer(server)
+	var obsSrv *obshttp.Server
+	if *obsAddr != "" {
+		obsSrv, err = obshttp.Start(*obsAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttpd:", err)
+			cleanup()
+			os.Exit(1)
+		}
+		log.Printf("ttpd: observability endpoint on http://%s/metrics", obsSrv.Addr())
+	}
+
+	srv := core.NewServer(server, core.ServerLogger(events))
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -170,6 +194,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Printf("ttpd: shutdown: %v", err)
+		}
+		if obsSrv != nil {
+			if err := obsSrv.Shutdown(sctx); err != nil {
+				log.Printf("ttpd: observability shutdown: %v", err)
+			}
 		}
 	}
 	log.Printf("ttpd: stopped")

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+// Metric names the core runtime reports (DESIGN.md §9). Error classes
+// are a small fixed set encoded into the counter name with
+// obs.Labeled, so each class is one atomic add on the error path.
+const (
+	metricServerMsgs      = "server_msgs_total"
+	metricServerErrors    = "server_handler_errors_total"
+	metricServerPanics    = "server_panics_total"
+	metricServerActive    = "server_active_conns"
+	metricServerLatency   = "server_handle_latency_ns"
+	metricPoolRetries     = "pool_retries_total"
+	metricPoolEscalations = "pool_escalations_total"
+	metricPoolIdleHits    = "pool_idle_hits_total"
+	metricPoolIdleMisses  = "pool_idle_misses_total"
+)
+
+// errorClasses is the closed set of handler-error classes; "other"
+// catches anything outside the protocol sentinels.
+var errorClasses = []string{
+	"panic", "protocol", "timeout", "peer_rejected", "integrity",
+	"unknown_identity", "cancelled", "other",
+}
+
+// errHandlerPanic tags errors synthesized from a recovered handler
+// panic so they classify as "panic" rather than the generic protocol
+// violation they also wrap.
+var errHandlerPanic = errors.New("handler panic")
+
+// errorClass buckets a handler error for the per-class counters.
+// Order matters: a recovered panic wraps ErrProtocol too, so the panic
+// tag is checked first.
+func errorClass(err error) string {
+	switch {
+	case errors.Is(err, errHandlerPanic):
+		return "panic"
+	case errors.Is(err, ErrProtocol):
+		return "protocol"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrPeerRejected):
+		return "peer_rejected"
+	case errors.Is(err, ErrIntegrity):
+		return "integrity"
+	case errors.Is(err, ErrUnknownIdentity):
+		return "unknown_identity"
+	case errors.Is(err, ErrCancelled):
+		return "cancelled"
+	default:
+		return "other"
+	}
+}
+
+// serverMetrics holds the Server's pre-resolved metric handles: one
+// registry lookup at construction, one atomic op per event on the hot
+// path.
+type serverMetrics struct {
+	msgs       *obs.Counter
+	errs       *obs.Counter
+	errByClass map[string]*obs.Counter
+	panics     *obs.Counter
+	active     *obs.Gauge
+	latency    *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	m := &serverMetrics{
+		msgs:       reg.Counter(metricServerMsgs),
+		errs:       reg.Counter(metricServerErrors),
+		errByClass: make(map[string]*obs.Counter, len(errorClasses)),
+		panics:     reg.Counter(metricServerPanics),
+		active:     reg.Gauge(metricServerActive),
+		latency:    reg.Histogram(metricServerLatency, obs.DurationBuckets),
+	}
+	for _, class := range errorClasses {
+		m.errByClass[class] = reg.Counter(obs.Labeled(metricServerErrors, "class", class))
+	}
+	return m
+}
+
+// poolMetrics is the SessionPool counterpart.
+type poolMetrics struct {
+	retries     *obs.Counter
+	escalations *obs.Counter
+	idleHits    *obs.Counter
+	idleMisses  *obs.Counter
+}
+
+func newPoolMetrics(reg *obs.Registry) *poolMetrics {
+	return &poolMetrics{
+		retries:     reg.Counter(metricPoolRetries),
+		escalations: reg.Counter(metricPoolEscalations),
+		idleHits:    reg.Counter(metricPoolIdleHits),
+		idleMisses:  reg.Counter(metricPoolIdleMisses),
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -30,9 +32,23 @@ type PoolOptions struct {
 	// Backoff is the initial retry delay, doubled per attempt.
 	// Default 10ms.
 	Backoff time.Duration
+	// MaxBackoff caps the doubled delay. Without a cap the delay both
+	// overflows int64 after ~45 doublings and grows absurd long before
+	// that; with one, retries settle into a steady jittered cadence.
+	// Default 2s.
+	MaxBackoff time.Duration
+	// BackoffSeed fixes the jitter randomness for deterministic tests;
+	// 0 (the default) seeds from the global random source. Every delay
+	// is jittered ±50% around the capped base so N clients retrying a
+	// flapped provider spread out instead of synchronizing into retry
+	// storms.
+	BackoffSeed int64
 	// TTPDial, when set, lets Upload escalate a silent provider or
 	// exhausted retries to the in-line TTP per §4.3.
 	TTPDial DialFunc
+	// Registry receives the pool's operational metrics (retries,
+	// escalations, idle hits/misses); nil means the process default.
+	Registry *obs.Registry
 }
 
 // PoolOption adjusts PoolOptions.
@@ -47,8 +63,18 @@ func PoolRetries(n int) PoolOption { return func(o *PoolOptions) { o.Retries = n
 // PoolBackoff sets the initial retry delay (doubled per attempt).
 func PoolBackoff(d time.Duration) PoolOption { return func(o *PoolOptions) { o.Backoff = d } }
 
+// PoolMaxBackoff caps the doubled retry delay.
+func PoolMaxBackoff(d time.Duration) PoolOption { return func(o *PoolOptions) { o.MaxBackoff = d } }
+
+// PoolBackoffSeed makes the retry jitter deterministic (tests).
+func PoolBackoffSeed(seed int64) PoolOption { return func(o *PoolOptions) { o.BackoffSeed = seed } }
+
 // PoolTTPDial enables §4.3 escalation through the given TTP dialer.
 func PoolTTPDial(d DialFunc) PoolOption { return func(o *PoolOptions) { o.TTPDial = d } }
+
+// PoolRegistry directs the pool's metrics into r instead of the
+// process-wide default registry.
+func PoolRegistry(r *obs.Registry) PoolOption { return func(o *PoolOptions) { o.Registry = r } }
 
 // SessionPool multiplexes N concurrent TPNR protocol runs over a
 // bounded set of provider connections. Each operation borrows a
@@ -61,8 +87,12 @@ type SessionPool struct {
 	c    *Client
 	dial DialFunc
 	opt  PoolOptions
+	met  *poolMetrics
 
 	sem chan struct{}
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter
 
 	mu     sync.Mutex
 	idle   []transport.Conn
@@ -72,7 +102,7 @@ type SessionPool struct {
 // NewSessionPool builds a pool running client's protocol over
 // connections from dial.
 func NewSessionPool(client *Client, dial DialFunc, opts ...PoolOption) *SessionPool {
-	o := PoolOptions{MaxConns: 8, Retries: 3, Backoff: 10 * time.Millisecond}
+	o := PoolOptions{MaxConns: 8, Retries: 3, Backoff: 10 * time.Millisecond, MaxBackoff: 2 * time.Second}
 	for _, fn := range opts {
 		fn(&o)
 	}
@@ -85,7 +115,25 @@ func NewSessionPool(client *Client, dial DialFunc, opts ...PoolOption) *SessionP
 	if o.Backoff <= 0 {
 		o.Backoff = 10 * time.Millisecond
 	}
-	return &SessionPool{c: client, dial: dial, opt: o, sem: make(chan struct{}, o.MaxConns)}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	seed := o.BackoffSeed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	reg := o.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &SessionPool{
+		c:    client,
+		dial: dial,
+		opt:  o,
+		met:  newPoolMetrics(reg),
+		sem:  make(chan struct{}, o.MaxConns),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
 }
 
 // Client exposes the underlying protocol engine (evidence archive,
@@ -117,6 +165,7 @@ func (p *SessionPool) Upload(ctx context.Context, txnID, objectKey string, data 
 		// The NRO never left this side; there is no claim to resolve.
 		return nil, err
 	}
+	p.met.escalations.Inc()
 	rr, rerr := p.Resolve(ctx, txnID, "no NRR before time limit: "+err.Error())
 	if rerr != nil {
 		return nil, fmt.Errorf("core: upload failed (%v); resolve also failed: %w", err, rerr)
@@ -174,10 +223,10 @@ func (p *SessionPool) Resolve(ctx context.Context, txnID, report string) (*Resol
 }
 
 // do borrows a connection slot and runs op, retrying transient
-// transport faults on a fresh connection with exponential backoff.
-// Protocol-level outcomes (ErrTimeout, ErrProtocol, ErrPeerRejected,
-// ErrIntegrity, ErrUnknownIdentity) and caller cancellation are never
-// retried — retrying cannot change them.
+// transport faults on a fresh connection with capped, jittered
+// exponential backoff. Protocol-level outcomes (ErrTimeout,
+// ErrProtocol, ErrPeerRejected, ErrIntegrity, ErrUnknownIdentity) and
+// caller cancellation are never retried — retrying cannot change them.
 func (p *SessionPool) do(ctx context.Context, op func(transport.Conn) error) error {
 	select {
 	case p.sem <- struct{}{}:
@@ -212,15 +261,47 @@ func (p *SessionPool) do(ctx context.Context, op func(transport.Conn) error) err
 		if attempt >= p.opt.Retries {
 			return fmt.Errorf("%w: last error: %v", ErrRetriesExhausted, lastErr)
 		}
-		t := time.NewTimer(backoff)
+		p.met.retries.Inc()
+		var delay time.Duration
+		delay, backoff = jitterBackoff(backoff, p.opt.MaxBackoff, p.randInt63n)
+		t := time.NewTimer(delay)
 		select {
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
 			return CheckContext(ctx)
 		}
-		backoff *= 2
 	}
+}
+
+// randInt63n draws from the pool's jitter source (do runs on many
+// goroutines; math/rand.Rand is not concurrency-safe).
+func (p *SessionPool) randInt63n(n int64) int64 {
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	return p.rng.Int63n(n)
+}
+
+// jitterBackoff turns the current backoff base into the actual sleep
+// and the next base. The base is capped at max BEFORE jittering, the
+// sleep is drawn uniformly from [base/2, 3*base/2) — ±50%, so clients
+// that failed together desynchronize — and the next base doubles with
+// an overflow-proof clamp (the old unbounded doubling overflowed int64
+// after ~45 attempts and produced negative timer values).
+func jitterBackoff(cur, max time.Duration, randInt63n func(int64) int64) (delay, next time.Duration) {
+	if cur > max {
+		cur = max
+	}
+	if cur <= 0 {
+		cur = time.Millisecond
+	}
+	delay = cur/2 + time.Duration(randInt63n(int64(cur)))
+	if cur > max/2 {
+		next = max
+	} else {
+		next = cur * 2
+	}
+	return delay, next
 }
 
 // transientFault reports whether an error is worth retrying on a new
@@ -250,9 +331,11 @@ func (p *SessionPool) acquire(ctx context.Context) (transport.Conn, error) {
 		conn := p.idle[n-1]
 		p.idle = p.idle[:n-1]
 		p.mu.Unlock()
+		p.met.idleHits.Inc()
 		return conn, nil
 	}
 	p.mu.Unlock()
+	p.met.idleMisses.Inc()
 	return p.dial(ctx)
 }
 

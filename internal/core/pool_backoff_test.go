@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestJitterBackoffCapAndSpread is the regression test for the
+// unbounded doubling: the base must saturate at MaxBackoff instead of
+// overflowing, and every delay must be jittered ±50% around the capped
+// base with real spread (no retry-storm synchronization).
+func TestJitterBackoffCapAndSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	max := 2 * time.Second
+
+	// Doubling sequence: 10ms → 20ms → ... must clamp at max and stay
+	// there; 100 further rounds would have overflowed the old code.
+	cur := 10 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		var delay time.Duration
+		delay, cur = jitterBackoff(cur, max, rng.Int63n)
+		if delay <= 0 {
+			t.Fatalf("round %d: non-positive delay %v (overflow?)", i, delay)
+		}
+		if delay >= 3*max/2 {
+			t.Fatalf("round %d: delay %v above the jittered cap %v", i, delay, 3*max/2)
+		}
+		if cur > max {
+			t.Fatalf("round %d: base %v exceeds cap %v", i, cur, max)
+		}
+	}
+	if cur != max {
+		t.Fatalf("base did not saturate at the cap: %v", cur)
+	}
+
+	// At saturation every delay lands in [max/2, 3*max/2) and the draws
+	// actually spread across that window.
+	lo, hi := max, time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		delay, next := jitterBackoff(max, max, rng.Int63n)
+		if next != max {
+			t.Fatalf("saturated base moved to %v", next)
+		}
+		if delay < max/2 || delay >= 3*max/2 {
+			t.Fatalf("delay %v outside [%v, %v)", delay, max/2, 3*max/2)
+		}
+		if delay < lo {
+			lo = delay
+		}
+		if delay > hi {
+			hi = delay
+		}
+	}
+	if lo > 3*max/4 {
+		t.Errorf("jitter never went low: min delay %v", lo)
+	}
+	if hi < 5*max/4 {
+		t.Errorf("jitter never went high: max delay %v", hi)
+	}
+}
+
+// TestJitterBackoffDeterministicSeed checks the jitter sequence is
+// reproducible under a fixed seed.
+func TestJitterBackoffDeterministicSeed(t *testing.T) {
+	draw := func() []time.Duration {
+		rng := rand.New(rand.NewSource(42))
+		cur := 10 * time.Millisecond
+		var out []time.Duration
+		for i := 0; i < 10; i++ {
+			var d time.Duration
+			d, cur = jitterBackoff(cur, time.Second, rng.Int63n)
+			out = append(out, d)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/evidence"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -33,7 +35,9 @@ const txnShards = 64
 // handler panics per connection, and drains in-flight sessions on
 // graceful shutdown.
 type Server struct {
-	h Handler
+	h   Handler
+	met *serverMetrics
+	log *obs.Logger
 
 	shards [txnShards]sync.Mutex
 
@@ -52,9 +56,39 @@ type Server struct {
 	panics atomic.Int64
 }
 
+// ServerOption adjusts a Server's observability wiring.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	reg *obs.Registry
+	log *obs.Logger
+}
+
+// ServerRegistry directs the server's metrics (messages handled,
+// handler errors by class, panics, active connections, per-message
+// latency histogram) into reg instead of the process-wide default.
+func ServerRegistry(r *obs.Registry) ServerOption {
+	return func(c *serverConfig) { c.reg = r }
+}
+
+// ServerLogger attaches a structured-event logger; handler errors and
+// panics emit events through it. Nil (the default) logs nothing.
+func ServerLogger(l *obs.Logger) ServerOption {
+	return func(c *serverConfig) { c.log = l }
+}
+
 // NewServer wraps a message handler in a concurrent server.
-func NewServer(h Handler) *Server {
-	return &Server{h: h, conns: make(map[transport.Conn]struct{})}
+func NewServer(h Handler, opts ...ServerOption) *Server {
+	cfg := serverConfig{reg: obs.Default()}
+	for _, fn := range opts {
+		fn(&cfg)
+	}
+	return &Server{
+		h:     h,
+		met:   newServerMetrics(cfg.reg),
+		log:   cfg.log,
+		conns: make(map[transport.Conn]struct{}),
+	}
 }
 
 // Serve accepts connections on l until the listener closes, Shutdown
@@ -107,6 +141,7 @@ func (s *Server) register(conn transport.Conn) bool {
 		return false
 	}
 	s.conns[conn] = struct{}{}
+	s.met.active.Inc()
 	return true
 }
 
@@ -114,6 +149,7 @@ func (s *Server) unregister(conn transport.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
+	s.met.active.Dec()
 }
 
 // serveConn is the per-connection loop: receive, handle under the
@@ -127,6 +163,8 @@ func (s *Server) serveConn(ctx context.Context, conn transport.Conn) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
+			s.met.panics.Inc()
+			s.log.Error("conn_panic", obs.F("panic", r))
 		}
 	}()
 	done := make(chan struct{})
@@ -146,8 +184,19 @@ func (s *Server) serveConn(ctx context.Context, conn transport.Conn) {
 		if !s.beginMsg() {
 			return
 		}
-		reply, _ := s.handleOne(raw)
+		start := time.Now()
+		reply, err := s.handleOne(raw)
+		s.met.latency.ObserveSince(start)
+		s.met.msgs.Inc()
 		s.inflight.Done()
+		if err != nil {
+			// Handler errors used to be dropped on the floor here,
+			// leaving protocol rejections, auth failures and recovered
+			// panics invisible to operators. Count them by class and emit
+			// a structured event; the wire behavior (reply or deliberate
+			// silence) is unchanged.
+			s.recordHandlerError(err)
+		}
 		// The handler decoded (copied) what it needed; the inbound
 		// buffer can go back to the transport pool.
 		transport.Recycle(raw)
@@ -178,7 +227,8 @@ func (s *Server) handleOne(raw []byte) (reply []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
-			reply, err = nil, fmt.Errorf("%w: handler panic: %v", ErrProtocol, r)
+			s.met.panics.Inc()
+			reply, err = nil, fmt.Errorf("%w: %w: %v", ErrProtocol, errHandlerPanic, r)
 		}
 	}()
 	if txn, ok := txnOf(raw); ok {
@@ -187,6 +237,17 @@ func (s *Server) handleOne(raw []byte) (reply []byte, err error) {
 		defer mu.Unlock()
 	}
 	return s.h.Handle(raw)
+}
+
+// recordHandlerError counts a handler error under its class and emits
+// a structured event. Runs off the reply path's critical section (no
+// locks held), so instrumentation never extends a transaction's shard
+// hold time.
+func (s *Server) recordHandlerError(err error) {
+	class := errorClass(err)
+	s.met.errs.Inc()
+	s.met.errByClass[class].Inc()
+	s.log.Warn("handler_error", obs.F("class", class), obs.F("err", err.Error()))
 }
 
 // txnOf extracts the transaction ID from an encoded message without

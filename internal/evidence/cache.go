@@ -10,6 +10,16 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/obs"
+)
+
+// Cache traffic is mirrored onto the process default registry so
+// /metrics shows hit rates without plumbing a registry through every
+// verifier. Handles resolve once at init; a hit stays two atomic adds.
+var (
+	obsCacheHits      = obs.Default().Counter("verify_cache_hits_total")
+	obsCacheMisses    = obs.Default().Counter("verify_cache_misses_total")
+	obsCacheEvictions = obs.Default().Counter("verify_cache_evictions_total")
 )
 
 // VerifyCache memoizes SUCCESSFUL RSA signature verifications. The TTP
@@ -30,9 +40,10 @@ import (
 // The cache is sharded to keep concurrent verifiers (32+ server
 // goroutines) off a single mutex; each shard is an independent LRU.
 type VerifyCache struct {
-	shards [verifyShards]verifyShard
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	shards    [verifyShards]verifyShard
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 const verifyShards = 16
@@ -64,6 +75,12 @@ func NewVerifyCache(capacity int) *VerifyCache {
 // Stats reports cache hits and misses so far.
 func (c *VerifyCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Evictions reports entries displaced by the LRU bound so far — the
+// signal that the configured capacity is too small for the working set.
+func (c *VerifyCache) Evictions() uint64 {
+	return c.evictions.Load()
 }
 
 // Len reports the number of cached verifications.
@@ -107,10 +124,12 @@ func (c *VerifyCache) verify(pub *rsa.PublicKey, msg, sig []byte) error {
 		s.ll.MoveToFront(el)
 		s.mu.Unlock()
 		c.hits.Add(1)
+		obsCacheHits.Inc()
 		return nil
 	}
 	s.mu.Unlock()
 	c.misses.Add(1)
+	obsCacheMisses.Inc()
 	if err := cryptoutil.Verify(pub, msg, sig); err != nil {
 		return err
 	}
@@ -121,6 +140,8 @@ func (c *VerifyCache) verify(pub *rsa.PublicKey, msg, sig []byte) error {
 			old := s.ll.Back()
 			s.ll.Remove(old)
 			delete(s.keys, old.Value.([32]byte))
+			c.evictions.Add(1)
+			obsCacheEvictions.Inc()
 		}
 	}
 	s.mu.Unlock()

@@ -1,38 +1,96 @@
 package metrics
 
 import (
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
 )
 
+// DefaultReservoirSize bounds a zero-value Latencies recorder. 8192
+// samples keep the nearest-rank p99 of any realistic latency
+// distribution within a percent or two of the exact value while
+// capping memory at 64 KiB per recorder.
+const DefaultReservoirSize = 8192
+
 // Latencies is a concurrency-safe recorder of operation durations, the
 // companion to Counters for the throughput experiments: workers Record
 // from many goroutines, the harness reads Percentile afterwards. The
 // zero value is ready.
+//
+// Internally it keeps a bounded uniform reservoir (Vitter's Algorithm
+// R) rather than every sample: a long-lived daemon recording
+// per-message latency holds at most the reservoir capacity, while each
+// recorded duration still has an equal probability of being
+// represented, so percentiles converge on the true distribution.
 type Latencies struct {
 	mu      sync.Mutex
+	capn    int        // reservoir capacity; 0 until first use
+	rng     *rand.Rand // replacement choices; lazily seeded
+	total   int64      // samples ever recorded
 	samples []time.Duration
 	sorted  bool
 }
 
-// Record appends one sample.
+// NewLatencies builds a recorder with the given reservoir capacity
+// (values < 1 mean DefaultReservoirSize).
+func NewLatencies(capacity int) *Latencies {
+	if capacity < 1 {
+		capacity = DefaultReservoirSize
+	}
+	return &Latencies{capn: capacity}
+}
+
+// Seed fixes the reservoir's replacement randomness so tests get a
+// deterministic sample selection.
+func (l *Latencies) Seed(seed int64) {
+	l.mu.Lock()
+	l.rng = rand.New(rand.NewSource(seed))
+	l.mu.Unlock()
+}
+
+// init lazily finishes a zero-value recorder. Called with l.mu held.
+func (l *Latencies) initLocked() {
+	if l.capn == 0 {
+		l.capn = DefaultReservoirSize
+	}
+	if l.rng == nil {
+		l.rng = rand.New(rand.NewSource(rand.Int63()))
+	}
+}
+
+// Record adds one sample to the reservoir.
 func (l *Latencies) Record(d time.Duration) {
 	l.mu.Lock()
-	l.samples = append(l.samples, d)
+	l.initLocked()
+	if len(l.samples) < l.capn {
+		l.samples = append(l.samples, d)
+	} else {
+		// Algorithm R: the incoming sample replaces a uniformly random
+		// reservoir slot with probability cap/total, keeping every sample
+		// ever recorded equally likely to be present. (Percentile sorts
+		// the reservoir in place; a permutation of a uniform sample is
+		// still a uniform sample, so replacing a random index stays
+		// correct afterwards.)
+		if j := l.rng.Int63n(l.total + 1); j < int64(l.capn) {
+			l.samples[j] = d
+		}
+	}
+	l.total++
 	l.sorted = false
 	l.mu.Unlock()
 }
 
-// Count returns how many samples were recorded.
+// Count returns how many samples were recorded (not how many the
+// bounded reservoir currently retains).
 func (l *Latencies) Count() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.samples)
+	return int(l.total)
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) by
-// nearest-rank over the recorded samples, or 0 with no samples.
+// nearest-rank over the retained samples, or 0 with no samples.
 func (l *Latencies) Percentile(p float64) time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -53,10 +111,11 @@ func (l *Latencies) Percentile(p float64) time.Duration {
 	return l.samples[rank]
 }
 
-// Reset drops every sample.
+// Reset drops every sample (capacity and seed are kept).
 func (l *Latencies) Reset() {
 	l.mu.Lock()
 	l.samples = nil
+	l.total = 0
 	l.sorted = false
 	l.mu.Unlock()
 }

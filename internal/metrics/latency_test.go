@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatenciesBasics(t *testing.T) {
+	var l Latencies
+	for _, d := range []time.Duration{30, 10, 20} {
+		l.Record(d * time.Millisecond)
+	}
+	if l.Count() != 3 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	if got := l.Percentile(50); got != 20*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := l.Percentile(100); got != 30*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	l.Reset()
+	if l.Count() != 0 || l.Percentile(50) != 0 {
+		t.Fatal("Reset left samples behind")
+	}
+}
+
+// TestLatenciesMemoryBounded is the regression test for the unbounded
+// recorder: a daemon-lifetime stream of samples must retain at most the
+// reservoir capacity, while Count still reports everything recorded.
+func TestLatenciesMemoryBounded(t *testing.T) {
+	l := NewLatencies(512)
+	l.Seed(1)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		l.Record(time.Duration(i))
+	}
+	if got := len(l.samples); got > 512 {
+		t.Fatalf("reservoir grew to %d samples (cap 512)", got)
+	}
+	if cap(l.samples) > 1024 {
+		t.Fatalf("reservoir backing array grew to %d", cap(l.samples))
+	}
+	if l.Count() != n {
+		t.Fatalf("Count = %d, want %d", l.Count(), n)
+	}
+}
+
+// TestLatenciesZeroValueBounded checks the default capacity applies to
+// the zero value (the form the benchmarks use).
+func TestLatenciesZeroValueBounded(t *testing.T) {
+	var l Latencies
+	for i := 0; i < DefaultReservoirSize+100; i++ {
+		l.Record(time.Duration(i))
+	}
+	if got := len(l.samples); got != DefaultReservoirSize {
+		t.Fatalf("zero-value reservoir holds %d samples, want %d", got, DefaultReservoirSize)
+	}
+}
+
+// TestLatenciesPercentileAccuracy records a known uniform distribution
+// far larger than the reservoir and checks the sampled percentiles stay
+// within tolerance of the exact answer.
+func TestLatenciesPercentileAccuracy(t *testing.T) {
+	l := NewLatencies(8192)
+	l.Seed(42)
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		l.Record(time.Duration(i) * time.Microsecond)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, n / 2 * time.Microsecond},
+		{90, n * 9 / 10 * time.Microsecond},
+		{99, n * 99 / 100 * time.Microsecond},
+	} {
+		got := l.Percentile(tc.p)
+		relErr := math.Abs(float64(got-tc.want)) / float64(tc.want)
+		if relErr > 0.05 {
+			t.Errorf("p%.0f = %v, want %v ±5%% (err %.1f%%)", tc.p, got, tc.want, relErr*100)
+		}
+	}
+}
+
+func TestLatenciesConcurrent(t *testing.T) {
+	l := NewLatencies(128)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.Record(time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != 8000 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	if len(l.samples) > 128 {
+		t.Fatalf("reservoir grew to %d", len(l.samples))
+	}
+}

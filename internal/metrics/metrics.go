@@ -2,6 +2,13 @@
 // experiment harness uses to report protocol costs: message counts
 // (the §4.4 "2 steps vs 4 steps" claim), bytes on the wire, crypto
 // operation counts, and TTP involvement.
+//
+// Since the obs layer landed, Counters is a thin adapter over
+// obs.Registry counters: a zero-value Counters owns a private registry
+// (experiment tables keep working unchanged), while CountersOn directs
+// the same protocol counters into a shared registry — the daemons use
+// it to surface per-party protocol metrics on /metrics without a
+// second bookkeeping path.
 package metrics
 
 import (
@@ -10,56 +17,88 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Counters accumulates protocol-run statistics. Safe for concurrent
-// use. The zero value is ready.
+// use. The zero value is ready and reports into a private registry.
 type Counters struct {
-	mu sync.Mutex
-	n  map[string]int64
+	mu     sync.Mutex
+	reg    *obs.Registry
+	prefix string
+	names  map[string]*obs.Counter // counters this instance has touched
+}
+
+// CountersOn returns a Counters reporting into reg, every counter name
+// prefixed with prefix (e.g. "tpnr_"). Snapshot, Get, Names and Reset
+// see only counters touched through this instance, so sharing a
+// registry with other subsystems is safe; sharing one (registry,
+// prefix) pair between two Counters merges their counts.
+func CountersOn(reg *obs.Registry, prefix string) *Counters {
+	return &Counters{reg: reg, prefix: prefix}
+}
+
+// counter resolves (creating on first use) the backing obs counter.
+func (c *Counters) counter(name string) *obs.Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.names == nil {
+		c.names = make(map[string]*obs.Counter)
+		if c.reg == nil {
+			c.reg = obs.NewRegistry()
+		}
+	}
+	ctr, ok := c.names[name]
+	if !ok {
+		ctr = c.reg.Counter(c.prefix + name)
+		c.names[name] = ctr
+	}
+	return ctr
 }
 
 // Inc adds delta to the named counter.
 func (c *Counters) Inc(name string, delta int64) {
-	c.mu.Lock()
-	if c.n == nil {
-		c.n = make(map[string]int64)
-	}
-	c.n[name] += delta
-	c.mu.Unlock()
+	c.counter(name).Add(delta)
 }
 
 // Get returns the named counter's value.
 func (c *Counters) Get(name string) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.n[name]
+	if ctr, ok := c.names[name]; ok {
+		return ctr.Value()
+	}
+	return 0
 }
 
 // Snapshot returns a copy of all counters.
 func (c *Counters) Snapshot() map[string]int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.n))
-	for k, v := range c.n {
-		out[k] = v
+	out := make(map[string]int64, len(c.names))
+	for k, ctr := range c.names {
+		out[k] = ctr.Value()
 	}
 	return out
 }
 
-// Reset zeroes every counter.
+// Reset zeroes every counter this instance has touched. (With a shared
+// registry the counters stay registered — only their values reset.)
 func (c *Counters) Reset() {
 	c.mu.Lock()
-	c.n = nil
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	for _, ctr := range c.names {
+		ctr.Reset()
+	}
 }
 
 // Names returns counter names in sorted order.
 func (c *Counters) Names() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	names := make([]string, 0, len(c.n))
-	for k := range c.n {
+	names := make([]string, 0, len(c.names))
+	for k := range c.names {
 		names = append(names, k)
 	}
 	sort.Strings(names)

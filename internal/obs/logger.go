@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders structured events by severity.
+type Level int32
+
+// Levels, least severe first.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String names the level for output and flags.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel maps a flag value onto a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: bad log level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// Field is one key=value pair on a structured event.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Logger emits line-oriented structured events:
+//
+//	t=2026-08-05T12:00:00.000Z level=warn event=handler_error class=protocol err="..."
+//
+// A nil *Logger is a valid no-op, so instrumented code logs
+// unconditionally and wiring decides whether anything is written.
+// Writes are serialized; one event is one line.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min atomic.Int32
+	now func() time.Time // test hook; nil means time.Now
+}
+
+// NewLogger writes events at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	l := &Logger{w: w}
+	l.min.Store(int32(min))
+	return l
+}
+
+// SetLevel changes the minimum emitted level at runtime.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Enabled reports whether events at lvl would be written — guard for
+// call sites that pay to build their fields.
+func (l *Logger) Enabled(lvl Level) bool {
+	return l != nil && int32(lvl) >= l.min.Load()
+}
+
+// Event writes one structured event line. Values needing quoting
+// (spaces, quotes, '=') are rendered with %q; everything else with %v.
+func (l *Logger) Event(lvl Level, event string, fields ...Field) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	nowFn := l.now
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	var b strings.Builder
+	b.WriteString("t=")
+	b.WriteString(nowFn().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(lvl.String())
+	b.WriteString(" event=")
+	b.WriteString(event)
+	for _, f := range fields {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		s := fmt.Sprint(f.Value)
+		if strings.ContainsAny(s, " \"'=\n\t") || s == "" {
+			s = fmt.Sprintf("%q", s)
+		}
+		b.WriteString(s)
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// Debug, Info, Warn, Error are level-fixed shorthands for Event.
+func (l *Logger) Debug(event string, fields ...Field) { l.Event(LevelDebug, event, fields...) }
+func (l *Logger) Info(event string, fields ...Field)  { l.Event(LevelInfo, event, fields...) }
+func (l *Logger) Warn(event string, fields ...Field)  { l.Event(LevelWarn, event, fields...) }
+func (l *Logger) Error(event string, fields ...Field) { l.Event(LevelError, event, fields...) }

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("x_active")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %d", got)
+	}
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("gauge after Set = %d", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Lookups and adds race deliberately: first-use creation must
+			// hand every goroutine the same counter.
+			for j := 0; j < 1000; j++ {
+				r.Counter("concurrent_total").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("concurrent_total").Value(); got != 8000 {
+		t.Fatalf("lost updates: %d", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5126 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	s := r.Snapshot().Histograms["lat_ns"]
+	// Buckets: ≤10 gets {5,10}, ≤100 gets {11,100}, ≤1000 none, +Inf {5000}.
+	want := []int64{2, 2, 0, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+}
+
+func TestHistogramMemoryBounded(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bounded_ns", DurationBuckets)
+	for i := 0; i < 200000; i++ {
+		h.Observe(int64(i))
+	}
+	if got := len(h.counts); got != len(DurationBuckets)+1 {
+		t.Fatalf("bucket slots grew to %d", got)
+	}
+	if h.Count() != 200000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("name")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge registration over a counter name did not panic")
+		}
+	}()
+	r.Gauge("name")
+}
+
+func TestWriteTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Gauge("a_active").Set(7)
+	r.Histogram("h_ns", []int64{10, 20}).Observe(15)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"a_active 7\n", "b_total 2\n", "h_ns_count 1\n", "h_ns_sum 15\n", "h_ns_le_10 0\n", "h_ns_le_20 1\n", "h_ns_le_inf 1\n"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+	// Lines are sorted for stable diffing.
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Fatalf("unsorted output at line %d:\n%s", i, text)
+		}
+	}
+
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if snap.Counters["b_total"] != 2 || snap.Gauges["a_active"] != 7 || snap.Histograms["h_ns"].Count != 1 {
+		t.Fatalf("JSON snapshot = %+v", snap)
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	got := Labeled("server_handler_errors_total", "class", "protocol")
+	if got != `server_handler_errors_total{class="protocol"}` {
+		t.Fatalf("Labeled = %s", got)
+	}
+}
+
+func TestLoggerLevelsAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.now = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+	l.Debug("dropped")
+	l.Warn("handler_error", F("class", "protocol"), F("err", "bad seq: replay"))
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("debug event leaked below min level:\n%s", out)
+	}
+	want := "t=2026-08-05T12:00:00.000Z level=warn event=handler_error class=protocol err=\"bad seq: replay\"\n"
+	if out != want {
+		t.Fatalf("event line:\n got %q\nwant %q", out, want)
+	}
+	l.SetLevel(LevelError)
+	l.Warn("now_dropped")
+	if strings.Contains(buf.String(), "now_dropped") {
+		t.Fatal("SetLevel did not raise the threshold")
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	l.Info("nothing", F("k", 1)) // must not panic
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+	l.SetLevel(LevelDebug)
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn, "error": LevelError, "": LevelInfo} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Package obshttp exposes an obs.Registry over HTTP for the daemons:
+//
+//	/metrics      registry snapshot, text key-value (or JSON with
+//	              ?format=json / Accept: application/json)
+//	/healthz      liveness probe, 200 "ok"
+//	/debug/pprof  the standard runtime profiler endpoints
+//
+// The server binds eagerly (so a bad -obs-addr fails at startup, not
+// first scrape) and shuts down gracefully alongside the daemon's
+// signal handling.
+package obshttp
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Handler builds the observability mux over reg.
+func Handler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan error
+}
+
+// Start listens on addr (":0" picks a free port) and serves the
+// observability mux in the background.
+func Start(addr string, reg *obs.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: listening on %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		done: make(chan error, 1),
+	}
+	go func() { s.done <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown stops accepting scrapes and drains in-flight requests,
+// bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if serveErr := <-s.done; serveErr != nil && serveErr != http.ErrServerClosed && err == nil {
+		err = serveErr
+	}
+	return err
+}

@@ -1,0 +1,101 @@
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, url string, header map[string]string) (int, string, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("demo_total").Add(3)
+	reg.Gauge("demo_active").Set(1)
+	reg.Histogram("demo_ns", []int64{100}).Observe(50)
+
+	s, err := Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+
+	code, body, ctype := get(t, base+"/healthz", nil)
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/healthz content-type = %q", ctype)
+	}
+
+	code, body, _ = get(t, base+"/metrics", nil)
+	if code != 200 || !strings.Contains(body, "demo_total 3\n") || !strings.Contains(body, "demo_ns_count 1\n") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+
+	for _, variant := range []struct {
+		url    string
+		header map[string]string
+	}{
+		{base + "/metrics?format=json", nil},
+		{base + "/metrics", map[string]string{"Accept": "application/json"}},
+	} {
+		code, body, ctype = get(t, variant.url, variant.header)
+		if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+			t.Fatalf("JSON metrics (%s) = %d, content-type %q", variant.url, code, ctype)
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("JSON metrics do not parse: %v\n%s", err, body)
+		}
+		if snap.Counters["demo_total"] != 3 || snap.Gauges["demo_active"] != 1 {
+			t.Fatalf("JSON snapshot = %+v", snap)
+		}
+	}
+
+	// pprof index answers (the profile handlers themselves are stdlib).
+	code, body, _ = get(t, base+"/debug/pprof/", nil)
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d:\n%.200s", code, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still serving after Shutdown")
+	}
+}
+
+func TestStartBadAddr(t *testing.T) {
+	if _, err := Start("256.256.256.256:99999", obs.NewRegistry()); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

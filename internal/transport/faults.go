@@ -107,6 +107,7 @@ func (c *FaultyConn) Send(msg []byte) error {
 		c.mu.Lock()
 		c.stats.Blackholed++
 		c.mu.Unlock()
+		obsFaultBlackholed.Inc()
 		return nil // swallowed; the sender cannot tell
 	}
 	c.mu.Lock()
@@ -124,6 +125,7 @@ func (c *FaultyConn) Send(msg []byte) error {
 	if drop {
 		c.stats.Dropped++
 		c.mu.Unlock()
+		obsFaultDropped.Inc()
 		return nil // silently lost; the sender cannot tell
 	}
 	c.stats.Sent++
@@ -134,6 +136,12 @@ func (c *FaultyConn) Send(msg []byte) error {
 		c.stats.Corrupted++
 	}
 	c.mu.Unlock()
+	if dup {
+		obsFaultDuplicated.Inc()
+	}
+	if corrupt && len(msg) > 0 {
+		obsFaultCorrupted.Inc()
+	}
 
 	if corrupt && len(msg) > 0 {
 		// Flip one bit in a copy — the caller's buffer must stay intact.

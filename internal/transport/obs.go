@@ -1,0 +1,22 @@
+package transport
+
+import "repro/internal/obs"
+
+// Package-level metric handles on the process default registry. The
+// transport is the hottest layer in the system (every protocol message
+// crosses it, and BenchmarkE10TransportPipe holds it to zero
+// allocations per message), so handles resolve once at init and each
+// event costs exactly one atomic add — no map lookups, no allocation.
+var (
+	obsPoolGets   = obs.Default().Counter("transport_pool_gets_total")
+	obsPoolPuts   = obs.Default().Counter("transport_pool_puts_total")
+	obsFramesSent = obs.Default().Counter("transport_frames_sent_total")
+	obsFramesRecv = obs.Default().Counter("transport_frames_recv_total")
+	obsBytesSent  = obs.Default().Counter("transport_bytes_sent_total")
+	obsBytesRecv  = obs.Default().Counter("transport_bytes_recv_total")
+
+	obsFaultDropped    = obs.Default().Counter("transport_fault_dropped_total")
+	obsFaultDuplicated = obs.Default().Counter("transport_fault_duplicated_total")
+	obsFaultCorrupted  = obs.Default().Counter("transport_fault_corrupted_total")
+	obsFaultBlackholed = obs.Default().Counter("transport_fault_blackholed_total")
+)

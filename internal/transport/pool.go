@@ -46,6 +46,7 @@ func classFor(n int) int {
 
 // grab returns a buffer of length n, pooled when possible.
 func grab(n int) []byte {
+	obsPoolGets.Inc()
 	c := classFor(n)
 	if c < 0 {
 		return make([]byte, n)
@@ -74,4 +75,5 @@ func Recycle(buf []byte) {
 	box := boxPool.Get().(*[]byte)
 	*box = buf[:0]
 	bufPools[classFor(c)].Put(box)
+	obsPoolPuts.Inc()
 }

@@ -34,11 +34,13 @@ func (c *tcpConn) Send(msg []byte) error {
 		Recycle(buf)
 		return err
 	}
-	_, err = c.nc.Write(frame)
+	n, err := c.nc.Write(frame)
 	Recycle(frame)
 	if err != nil {
 		return fmt.Errorf("wire: writing frame: %w", err)
 	}
+	obsFramesSent.Inc()
+	obsBytesSent.Add(int64(n))
 	return nil
 }
 
@@ -47,7 +49,12 @@ func (c *tcpConn) Send(msg []byte) error {
 func (c *tcpConn) Recv() ([]byte, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
-	return wire.ReadFrameInto(c.nc, grab)
+	msg, err := wire.ReadFrameInto(c.nc, grab)
+	if err == nil {
+		obsFramesRecv.Inc()
+		obsBytesRecv.Add(int64(4 + len(msg)))
+	}
+	return msg, err
 }
 
 func (c *tcpConn) Close() error {

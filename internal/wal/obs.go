@@ -1,0 +1,19 @@
+package wal
+
+import "repro/internal/obs"
+
+// Package-level metric handles on the process default registry,
+// resolved once at init so Append/fsync pay a single atomic add. The
+// WAL is package-instrumented (not per-instance) because a process
+// owns at most a couple of journals and operators care about the
+// aggregate fsync pressure.
+var (
+	walAppends    = obs.Default().Counter("wal_appends_total")
+	walFsyncs     = obs.Default().Counter("wal_fsyncs_total")
+	walGroupBatch = obs.Default().Histogram("wal_group_batch_records", obs.SizeBuckets)
+	walRecoveries = obs.Default().Counter("wal_recoveries_total")
+	walRecovered  = obs.Default().Counter("wal_recovered_records_total")
+	walTornTails  = obs.Default().Counter("wal_torn_tails_total")
+	walSyncErrors = obs.Default().Counter("wal_sync_errors_total")
+	walRotations  = obs.Default().Counter("wal_rotations_total")
+)

@@ -183,6 +183,10 @@ func Open(dir string, opt Options) (*WAL, error) {
 		}
 		return w, nil
 	}
+	// Existing segments mean this Open is a recovery (a restart over a
+	// prior journal), which operators want to see distinctly from a
+	// fresh start.
+	walRecoveries.Inc()
 	for i, idx := range segs {
 		last := i == len(segs)-1
 		n, end, err := scanSegment(w.segPath(idx), last)
@@ -200,6 +204,7 @@ func Open(dir string, opt Options) (*WAL, error) {
 					return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
 				}
 				w.truncated = true
+				walTornTails.Inc()
 			}
 			f, err := os.OpenFile(w.segPath(idx), os.O_RDWR, 0o644)
 			if err != nil {
@@ -212,6 +217,7 @@ func Open(dir string, opt Options) (*WAL, error) {
 			w.f, w.segIndex, w.segSize = f, idx, end
 		}
 	}
+	walRecovered.Add(int64(w.records))
 	return w, nil
 }
 
@@ -372,6 +378,7 @@ func (w *WAL) Append(payload []byte) error {
 	w.records++
 	w.sinceSync++
 	w.appendSeq++
+	walAppends.Inc()
 
 	switch w.opt.Policy {
 	case SyncAlways:
@@ -403,6 +410,7 @@ func (w *WAL) Append(payload []byte) error {
 		if err := w.newSegment(w.segIndex + 1); err != nil {
 			return err
 		}
+		walRotations.Inc()
 	}
 	return nil
 }
@@ -411,9 +419,11 @@ func (w *WAL) Append(payload []byte) error {
 // everything written so far durable. Callers hold w.mu.
 func (w *WAL) fsyncLocked() error {
 	if err := w.f.Sync(); err != nil {
+		walSyncErrors.Inc()
 		return err
 	}
 	w.syncs++
+	walFsyncs.Inc()
 	w.sinceSync = 0
 	if w.appendSeq > w.syncedSeq {
 		w.syncedSeq = w.appendSeq
@@ -441,17 +451,23 @@ func (w *WAL) groupCommit(id uint64) error {
 		}
 		w.flushing = true
 		target := w.appendSeq
+		prevSynced := w.syncedSeq
 		f := w.f
 		w.mu.Unlock()
 		err := f.Sync()
 		w.mu.Lock()
 		w.flushing = false
 		w.syncs++
+		walFsyncs.Inc()
 		if err != nil {
 			// A record that may not be durable must never be reported
 			// synced; poison the journal rather than guess.
+			walSyncErrors.Inc()
 			w.syncErr = fmt.Errorf("wal: group fsync: %w", err)
 		} else if target > w.syncedSeq {
+			// The commit-group size is the fsync amortization SyncGroup
+			// buys; its distribution is the policy's health signal.
+			walGroupBatch.Observe(int64(target - prevSynced))
 			w.syncedSeq = target
 			w.sinceSync = 0
 		}
