@@ -1,6 +1,11 @@
 # Offline stdlib-only Go module; these targets are the whole toolchain.
 GO ?= go
 
+# CHAOS_SEEDS pins the randomized chaos suite's seed matrix so failures
+# reproduce across machines and CI runs. Override to widen the sweep:
+#   make chaos CHAOS_SEEDS="1 7 42 99 123"
+CHAOS_SEEDS ?= 1 7 42
+
 .PHONY: build vet test race bench bench-smoke bench-json bench-check chaos chaos-short obs-smoke verify
 
 build:
@@ -40,12 +45,12 @@ bench-check:
 # faultpoint plus the randomized crash-restart rounds, always under
 # the race detector and with the fixed seeds baked into the tests.
 chaos:
-	$(GO) test -race -count=1 -v -run 'TestChaos|TestPool' ./internal/chaos/
+	CHAOS_SEEDS="$(CHAOS_SEEDS)" $(GO) test -race -count=1 -v -run 'TestChaos|TestPool' ./internal/chaos/
 
 # chaos-short is the cheap variant (one seed, fewer rounds) used as an
 # early gate inside verify.
 chaos-short:
-	$(GO) test -race -count=1 -short -run 'TestChaos|TestPool' ./internal/chaos/
+	CHAOS_SEEDS="$(CHAOS_SEEDS)" $(GO) test -race -count=1 -short -run 'TestChaos|TestPool' ./internal/chaos/
 
 # obs-smoke boots a transient nrserver with the observability endpoint
 # and curls /healthz and /metrics — the cheapest end-to-end proof that

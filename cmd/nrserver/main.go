@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/auditlog"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/keystore"
 	"repro/internal/metrics"
@@ -48,6 +49,10 @@ func main() {
 	auditPath := flag.String("audit", "", "persist the audit log to this file (fsynced per entry)")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "structured event log level: debug, info, warn, or error")
+	stepDeadline := flag.Duration("step-deadline", 0, "per-step protocol deadline; stale sessions are auto-aborted with an expiry receipt (0 = no deadline)")
+	sweepEvery := flag.Duration("sweep-interval", 0, "how often the expiry reaper scans for stale sessions (0 = step-deadline/4, min 10ms)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent protocol handlers before shedding with a retryable overload frame (0 = unlimited)")
+	connPending := flag.Int("conn-pending", 1, "per-connection pipelined request cap (1 = serial)")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -57,7 +62,7 @@ func main() {
 	}
 	events := obs.NewLogger(os.Stderr, lvl)
 
-	provider, cleanup, err := buildProvider(*state, *name, *storeDir, *walDir, *fsync, *auditPath)
+	provider, cleanup, err := buildProvider(*state, *name, *storeDir, *walDir, *fsync, *auditPath, *stepDeadline, *sweepEvery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nrserver:", err)
 		os.Exit(1)
@@ -72,7 +77,10 @@ func main() {
 
 	var obsSrv *obshttp.Server
 	if *obsAddr != "" {
-		obsSrv, err = obshttp.Start(*obsAddr, obs.Default())
+		// /healthz flips to 503 the moment the journal goes read-only, so
+		// an orchestrator stops routing new sessions here while the daemon
+		// keeps draining the ones it has.
+		obsSrv, err = obshttp.Start(*obsAddr, obs.Default(), provider.Health)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nrserver:", err)
 			cleanup()
@@ -81,7 +89,16 @@ func main() {
 		log.Printf("nrserver: observability endpoint on http://%s/metrics", obsSrv.Addr())
 	}
 
-	srv := core.NewServer(provider, core.ServerLogger(events))
+	srvOpts := []core.ServerOption{
+		core.ServerLogger(events),
+		core.ServerMaxInflight(*maxInflight),
+		core.ServerConnPending(*connPending),
+	}
+	if *stepDeadline > 0 {
+		policy := core.DeadlinePolicy{Step: *stepDeadline, Sweep: *sweepEvery}
+		srvOpts = append(srvOpts, core.ServerExpiry(clock.Real(), policy.SweepInterval(), provider.ExpireStale))
+	}
+	srv := core.NewServer(provider, srvOpts...)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -111,7 +128,7 @@ func main() {
 	log.Printf("nrserver: stopped")
 }
 
-func buildProvider(state, name, storeDir, walDir, fsync, auditPath string) (*core.Provider, func(), error) {
+func buildProvider(state, name, storeDir, walDir, fsync, auditPath string, stepDeadline, sweepEvery time.Duration) (*core.Provider, func(), error) {
 	id, err := keystore.LoadIdentity(state, name)
 	if err != nil {
 		return nil, nil, err
@@ -136,6 +153,9 @@ func buildProvider(state, name, storeDir, walDir, fsync, auditPath string) (*cor
 		// /metrics next to the runtime metrics, prefixed tpnr_.
 		core.WithCounters(metrics.CountersOn(obs.Default(), "tpnr_")),
 		core.WithStore(store),
+	}
+	if stepDeadline > 0 {
+		opts = append(opts, core.WithDeadlinePolicy(core.DeadlinePolicy{Step: stepDeadline, Sweep: sweepEvery}))
 	}
 
 	cleanup := func() {}

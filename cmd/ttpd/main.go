@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/auditlog"
+	"repro/internal/breaker"
 	"repro/internal/core"
 	"repro/internal/keystore"
 	"repro/internal/metrics"
@@ -60,6 +61,11 @@ func main() {
 	auditPath := flag.String("audit", "", "persist the audit log to this file (fsynced per entry)")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "structured event log level: debug, info, warn, or error")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent resolve handlers before shedding with a retryable overload frame (0 = unlimited)")
+	connPending := flag.Int("conn-pending", 1, "per-connection pipelined request cap (1 = serial)")
+	brWindow := flag.Int("breaker-window", 16, "peer-dial circuit breaker: outcomes in the sliding window")
+	brRatio := flag.Float64("breaker-ratio", 0.5, "peer-dial circuit breaker: failure ratio that trips the breaker open")
+	brCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "peer-dial circuit breaker: open-state cooldown before a half-open probe (0 = breaker disabled)")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer address mapping name=host:port (repeatable)")
 	flag.Parse()
@@ -114,12 +120,38 @@ func main() {
 	// current value.
 	defer func() { cleanup() }()
 
+	// The peer-dial circuit breaker keeps a flapping counterparty from
+	// dragging every resolve through a full dial-and-wait: once recent
+	// dials fail past -breaker-ratio, further queries fast-fail to the
+	// signed "peer-unreachable" statement until a half-open probe
+	// succeeds. Resolve stays decisive either way.
+	var br *breaker.Breaker
+	if *brCooldown > 0 {
+		br = breaker.New(breaker.Options{
+			Window:       *brWindow,
+			FailureRatio: *brRatio,
+			Cooldown:     *brCooldown,
+			Registry:     obs.Default(),
+			Name:         "ttp_peer_dial",
+		})
+	}
 	server, err := ttp.New(func(ctx context.Context, partyID string) (transport.Conn, error) {
 		addr, ok := peers[partyID]
 		if !ok {
 			return nil, fmt.Errorf("ttpd: no -peer mapping for %q", partyID)
 		}
-		return transport.DialTCPContext(ctx, addr)
+		if br != nil && !br.Allow() {
+			return nil, fmt.Errorf("ttpd: peer dial breaker open for %q", partyID)
+		}
+		conn, err := transport.DialTCPContext(ctx, addr)
+		if br != nil {
+			if err != nil {
+				br.OnFailure()
+			} else {
+				br.OnSuccess()
+			}
+		}
+		return conn, err
 	}, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ttpd:", err)
@@ -165,7 +197,15 @@ func main() {
 
 	var obsSrv *obshttp.Server
 	if *obsAddr != "" {
-		obsSrv, err = obshttp.Start(*obsAddr, obs.Default())
+		// /healthz degrades when the resolve journal can no longer accept
+		// appends — an orchestrator should route claimants elsewhere.
+		health := func() error {
+			if journal != nil {
+				return journal.Healthy()
+			}
+			return nil
+		}
+		obsSrv, err = obshttp.Start(*obsAddr, obs.Default(), health)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ttpd:", err)
 			cleanup()
@@ -174,7 +214,11 @@ func main() {
 		log.Printf("ttpd: observability endpoint on http://%s/metrics", obsSrv.Addr())
 	}
 
-	srv := core.NewServer(server, core.ServerLogger(events))
+	srv := core.NewServer(server,
+		core.ServerLogger(events),
+		core.ServerMaxInflight(*maxInflight),
+		core.ServerConnPending(*connPending),
+	)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 

@@ -1,0 +1,252 @@
+// Package breaker implements a circuit breaker for the TTP escalation
+// path. The paper's §4.3 Resolve sub-protocol assumes the TTP is
+// reachable; when it is not, every stuck transaction would otherwise
+// burn a full dial-and-wait timeout before falling back — under load
+// that turns one dead TTP into thousands of blocked goroutines. The
+// breaker watches the recent outcome window and, once the failure ratio
+// trips it, fails escalations fast (callers queue a retry instead of
+// dialing) until a cooldown passes and a single half-open probe proves
+// the TTP is back.
+//
+// States follow the classic three-state machine:
+//
+//	Closed    — normal operation; outcomes recorded in a sliding window.
+//	Open      — tripped; Allow fails fast until Cooldown elapses.
+//	HalfOpen  — one probe request allowed through; its outcome decides
+//	            whether the breaker closes again or re-opens.
+package breaker
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+)
+
+// State is the breaker's position.
+type State int
+
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+// String names the state for logs and metrics.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a Breaker. Zero values take the documented
+// defaults.
+type Options struct {
+	// Window is the number of recent outcomes considered when deciding
+	// to trip. Default 16.
+	Window int
+	// MinSamples is the minimum number of recorded outcomes before the
+	// failure ratio is consulted — prevents one failure from tripping a
+	// cold breaker. Default 4.
+	MinSamples int
+	// FailureRatio trips the breaker when failures/window ≥ ratio.
+	// Default 0.5.
+	FailureRatio float64
+	// Cooldown is how long the breaker stays Open before allowing a
+	// half-open probe. Default 5s.
+	Cooldown time.Duration
+	// Clock drives the cooldown; defaults to the wall clock.
+	Clock clock.Clock
+	// Registry receives state/trip/fast-fail metrics when non-nil,
+	// prefixed by Name.
+	Registry *obs.Registry
+	// Name prefixes the exported metrics (e.g. "ttp_breaker" →
+	// ttp_breaker_state, ttp_breaker_trips_total). Default "breaker".
+	Name string
+}
+
+// Breaker is a failure-rate circuit breaker. Safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	state    State
+	window   []bool // ring of recent outcomes; true = failure
+	filled   int
+	next     int
+	fails    int
+	openedAt time.Time
+	probing  bool // HalfOpen: a probe is in flight
+
+	minSamples int
+	ratio      float64
+	cooldown   time.Duration
+	clk        clock.Clock
+
+	stateGauge *obs.Gauge
+	trips      *obs.Counter
+	fastFails  *obs.Counter
+	probes     *obs.Counter
+}
+
+// New builds a Breaker from opts.
+func New(opts Options) *Breaker {
+	if opts.Window <= 0 {
+		opts.Window = 16
+	}
+	if opts.MinSamples <= 0 {
+		opts.MinSamples = 4
+	}
+	if opts.FailureRatio <= 0 {
+		opts.FailureRatio = 0.5
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 5 * time.Second
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real()
+	}
+	if opts.Name == "" {
+		opts.Name = "breaker"
+	}
+	b := &Breaker{
+		window:     make([]bool, opts.Window),
+		minSamples: opts.MinSamples,
+		ratio:      opts.FailureRatio,
+		cooldown:   opts.Cooldown,
+		clk:        opts.Clock,
+	}
+	if opts.Registry != nil {
+		b.stateGauge = opts.Registry.Gauge(opts.Name + "_state")
+		b.trips = opts.Registry.Counter(opts.Name + "_trips_total")
+		b.fastFails = opts.Registry.Counter(opts.Name + "_fast_fails_total")
+		b.probes = opts.Registry.Counter(opts.Name + "_probes_total")
+	}
+	return b
+}
+
+// Allow reports whether a request may proceed. False means the caller
+// should fail fast (queue a retry) without touching the protected
+// resource. When the cooldown has elapsed, exactly one caller is let
+// through as the half-open probe; its OnSuccess/OnFailure decides the
+// next state.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.clk.Now().Sub(b.openedAt) >= b.cooldown {
+			b.setStateLocked(HalfOpen)
+			b.probing = true
+			if b.probes != nil {
+				b.probes.Inc()
+			}
+			return true
+		}
+		if b.fastFails != nil {
+			b.fastFails.Inc()
+		}
+		return false
+	case HalfOpen:
+		if b.probing {
+			if b.fastFails != nil {
+				b.fastFails.Inc()
+			}
+			return false
+		}
+		b.probing = true
+		if b.probes != nil {
+			b.probes.Inc()
+		}
+		return true
+	}
+	return true
+}
+
+// OnSuccess records a successful request. In HalfOpen the probe
+// succeeded: the window resets and the breaker closes.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.resetWindowLocked()
+		b.probing = false
+		b.setStateLocked(Closed)
+	case Closed:
+		b.recordLocked(false)
+	}
+}
+
+// OnFailure records a failed request. In HalfOpen the probe failed: the
+// breaker re-opens and the cooldown restarts. In Closed the failure
+// enters the window and may trip the breaker.
+func (b *Breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.probing = false
+		b.tripLocked()
+	case Closed:
+		b.recordLocked(true)
+		if b.filled >= b.minSamples && float64(b.fails)/float64(b.filled) >= b.ratio {
+			b.tripLocked()
+		}
+	}
+}
+
+// State returns the current state (consulting the cooldown does NOT
+// happen here; only Allow transitions Open→HalfOpen).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *Breaker) tripLocked() {
+	b.setStateLocked(Open)
+	b.openedAt = b.clk.Now()
+	b.resetWindowLocked()
+	if b.trips != nil {
+		b.trips.Inc()
+	}
+}
+
+func (b *Breaker) recordLocked(failure bool) {
+	if b.filled == len(b.window) {
+		// Evicting the oldest outcome from the ring.
+		if b.window[b.next] {
+			b.fails--
+		}
+	} else {
+		b.filled++
+	}
+	b.window[b.next] = failure
+	if failure {
+		b.fails++
+	}
+	b.next = (b.next + 1) % len(b.window)
+}
+
+func (b *Breaker) resetWindowLocked() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.filled, b.next, b.fails = 0, 0, 0
+}
+
+func (b *Breaker) setStateLocked(s State) {
+	b.state = s
+	if b.stateGauge != nil {
+		b.stateGauge.Set(int64(s))
+	}
+}

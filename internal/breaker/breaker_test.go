@@ -1,0 +1,200 @@
+package breaker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+)
+
+func newTestBreaker(clk clock.Clock, reg *obs.Registry) *Breaker {
+	return New(Options{
+		Window:       8,
+		MinSamples:   4,
+		FailureRatio: 0.5,
+		Cooldown:     5 * time.Second,
+		Clock:        clk,
+		Registry:     reg,
+		Name:         "test_breaker",
+	})
+}
+
+// TestBreakerTripsOnFailureRate checks the Closed→Open transition:
+// the breaker stays closed below MinSamples, trips once the window
+// failure ratio crosses the threshold, and then fails fast.
+func TestBreakerTripsOnFailureRate(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := newTestBreaker(clk, nil)
+
+	// Three failures: below MinSamples, must not trip.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("Allow()=false before MinSamples (i=%d)", i)
+		}
+		b.OnFailure()
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state=%v after 3 failures, want Closed", got)
+	}
+	// Fourth failure reaches MinSamples with 100% failure rate: trip.
+	b.OnFailure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state=%v after 4 failures, want Open", got)
+	}
+	if b.Allow() {
+		t.Fatal("Allow()=true while Open inside cooldown")
+	}
+}
+
+// TestBreakerStaysClosedUnderRatio checks mixed outcomes below the
+// threshold never trip.
+func TestBreakerStaysClosedUnderRatio(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := newTestBreaker(clk, nil)
+	// 8-slot window, 3 failures / 8 = 0.375 < 0.5.
+	for i := 0; i < 5; i++ {
+		b.OnSuccess()
+	}
+	for i := 0; i < 3; i++ {
+		b.OnFailure()
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state=%v at 37%% failures, want Closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("Allow()=false while Closed")
+	}
+}
+
+// TestBreakerHalfOpenProbe checks the Open→HalfOpen→Closed path: after
+// the cooldown exactly one probe passes, concurrent requests still fail
+// fast, and a successful probe closes the breaker with a clean window.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := newTestBreaker(clk, nil)
+	for i := 0; i < 4; i++ {
+		b.OnFailure()
+	}
+	if b.State() != Open {
+		t.Fatal("breaker did not trip")
+	}
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("Allow()=false after cooldown, want probe admitted")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state=%v after probe admitted, want HalfOpen", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second Allow()=true while probe in flight")
+	}
+	b.OnSuccess()
+	if b.State() != Closed {
+		t.Fatalf("state=%v after probe success, want Closed", b.State())
+	}
+	// The window was reset: one failure must not immediately re-trip.
+	b.OnFailure()
+	if b.State() != Closed {
+		t.Fatal("breaker re-tripped on first failure after recovery")
+	}
+}
+
+// TestBreakerProbeFailureReopens checks HalfOpen→Open on probe failure
+// and that the cooldown restarts from the re-trip.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := newTestBreaker(clk, nil)
+	for i := 0; i < 4; i++ {
+		b.OnFailure()
+	}
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	b.OnFailure()
+	if b.State() != Open {
+		t.Fatalf("state=%v after probe failure, want Open", b.State())
+	}
+	// Cooldown restarted: 3s in, still fast-failing.
+	clk.Advance(3 * time.Second)
+	if b.Allow() {
+		t.Fatal("Allow()=true 3s into restarted cooldown")
+	}
+	clk.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after restarted cooldown elapsed")
+	}
+}
+
+// TestBreakerWindowSlides checks old outcomes age out of the ring: a
+// burst of early failures followed by enough successes must not trip.
+func TestBreakerWindowSlides(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := newTestBreaker(clk, nil)
+	for i := 0; i < 3; i++ {
+		b.OnFailure()
+	}
+	// 8 successes push all 3 failures out of the 8-slot window.
+	for i := 0; i < 8; i++ {
+		b.OnSuccess()
+	}
+	b.OnFailure() // 1/8 failures — under threshold
+	if b.State() != Closed {
+		t.Fatalf("state=%v, want Closed after failures aged out", b.State())
+	}
+}
+
+// TestBreakerMetrics checks the obs export: state gauge, trip counter,
+// fast-fail counter, probe counter.
+func TestBreakerMetrics(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	reg := obs.NewRegistry()
+	b := newTestBreaker(clk, reg)
+	for i := 0; i < 4; i++ {
+		b.OnFailure()
+	}
+	if got := reg.Gauge("test_breaker_state").Value(); got != int64(Open) {
+		t.Fatalf("state gauge=%d, want %d (open)", got, Open)
+	}
+	if got := reg.Counter("test_breaker_trips_total").Value(); got != 1 {
+		t.Fatalf("trips=%d, want 1", got)
+	}
+	b.Allow() // inside cooldown: fast fail
+	if got := reg.Counter("test_breaker_fast_fails_total").Value(); got != 1 {
+		t.Fatalf("fast fails=%d, want 1", got)
+	}
+	clk.Advance(5 * time.Second)
+	b.Allow() // probe
+	if got := reg.Counter("test_breaker_probes_total").Value(); got != 1 {
+		t.Fatalf("probes=%d, want 1", got)
+	}
+	b.OnSuccess()
+	if got := reg.Gauge("test_breaker_state").Value(); got != int64(Closed) {
+		t.Fatalf("state gauge=%d after recovery, want %d (closed)", got, Closed)
+	}
+}
+
+// TestBreakerConcurrent hammers the breaker from many goroutines to
+// give the race detector a chance at the locking.
+func TestBreakerConcurrent(t *testing.T) {
+	b := New(Options{Cooldown: time.Millisecond})
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 200; j++ {
+				if b.Allow() {
+					if j%3 == 0 {
+						b.OnFailure()
+					} else {
+						b.OnSuccess()
+					}
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

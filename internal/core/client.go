@@ -111,7 +111,7 @@ func (c *Client) awaitNRR(ctx context.Context, pu *pump, txnID string, sent *evi
 	}
 	m, err := DecodeMessage(raw)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		return nil, wrapProto(err)
 	}
 	h, ev, err := c.checkInbound(m)
 	if err != nil {
@@ -119,7 +119,7 @@ func (c *Client) awaitNRR(ctx context.Context, pu *pump, txnID string, sent *evi
 	}
 	c.ctr.Inc(metrics.MsgsRecv, 1)
 	if h.Kind == evidence.KindError {
-		return nil, fmt.Errorf("%w: %s", ErrPeerRejected, h.Note)
+		return nil, peerErr(h.Note)
 	}
 	if h.Kind != evidence.KindNRR {
 		return nil, fmt.Errorf("%w: expected NRR, got %s", ErrProtocol, h.Kind)
@@ -194,7 +194,7 @@ func (c *Client) Download(ctx context.Context, conn transport.Conn, txnID, objec
 	}
 	m, err := DecodeMessage(raw)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		return nil, wrapProto(err)
 	}
 	rh, ev, err := c.checkInbound(m)
 	if err != nil {
@@ -202,7 +202,7 @@ func (c *Client) Download(ctx context.Context, conn transport.Conn, txnID, objec
 	}
 	c.ctr.Inc(metrics.MsgsRecv, 1)
 	if rh.Kind == evidence.KindError {
-		return nil, fmt.Errorf("%w: %s", ErrPeerRejected, rh.Note)
+		return nil, peerErr(rh.Note)
 	}
 	if rh.Kind != evidence.KindDownloadResponse || rh.TxnID != txnID {
 		return nil, fmt.Errorf("%w: expected download response for %s, got %s for %s", ErrProtocol, txnID, rh.Kind, rh.TxnID)
@@ -295,7 +295,7 @@ func (c *Client) Abort(ctx context.Context, conn transport.Conn, txnID, reason s
 	}
 	m, err := DecodeMessage(raw)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		return nil, wrapProto(err)
 	}
 	rh, ev, err := c.checkInbound(m)
 	if err != nil {
@@ -315,7 +315,7 @@ func (c *Client) Abort(ctx context.Context, conn transport.Conn, txnID, reason s
 		}
 		return &AbortResult{TxnID: txnID, Accepted: false, Receipt: ev}, nil
 	case evidence.KindError:
-		return nil, fmt.Errorf("%w: %s", ErrPeerRejected, rh.Note)
+		return nil, peerErr(rh.Note)
 	default:
 		return nil, fmt.Errorf("%w: unexpected %s to abort", ErrProtocol, rh.Kind)
 	}
@@ -388,7 +388,7 @@ func (c *Client) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, rep
 	}
 	m, err := DecodeMessage(raw)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		return nil, wrapProto(err)
 	}
 	rh, ev, err := c.checkInbound(m)
 	if err != nil {

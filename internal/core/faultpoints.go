@@ -19,4 +19,11 @@ var (
 	fpProviderUploadNRRBeforeSend   = faultpoint.Register("provider.upload.after-nrr-journal-before-send")
 	fpProviderAbortBeforeAck        = faultpoint.Register("provider.abort.after-journal-before-ack")
 	fpClientResolveBeforeCompletion = faultpoint.Register("client.resolve.after-send-before-outcome")
+
+	// Resilience sites (PR 5): a handler wedged mid-message (arm with a
+	// sleep for the slow-handler scenario, Kill for the crash sweep) and
+	// the pool's TTP dial (arm with an error for the blackhole/breaker
+	// scenario).
+	fpServerHandleSlow = faultpoint.Register("server.handle.slow")
+	fpPoolTTPBlackhole = faultpoint.Register("pool.ttp.dial-blackhole")
 )

@@ -70,9 +70,18 @@ func decodeJournalRecord(b []byte) (*journalRecord, error) {
 }
 
 // journalAppend encodes and appends one record; a nil journal is a
-// no-op (parties without a WAL run exactly as before).
+// no-op (parties without a WAL run exactly as before). On a journal
+// already poisoned by a sticky I/O error the append is skipped rather
+// than failed: degraded mode refuses NEW bindings at admission
+// (handleUpload), and failing every in-flight transition here would
+// also break the abort/resolve paths that must keep working to drain
+// existing sessions.
 func (p *party) journalAppend(r *journalRecord) error {
 	if p.journal == nil {
+		return nil
+	}
+	if p.journal.Healthy() != nil {
+		coreDegradedSkips.Inc()
 		return nil
 	}
 	if err := p.journal.Append(r.encode()); err != nil {
@@ -109,6 +118,16 @@ func (p *party) setState(txn string, next session.State) error {
 	}
 	if err := p.tracker.Transition(txn, next); err != nil {
 		return err
+	}
+	// Step-deadline bookkeeping: every accepted transition restamps the
+	// transaction's deadline; reaching a terminal state clears it. Only
+	// parties configured with WithDeadlinePolicy pay this.
+	if p.deadline.enabled() {
+		if session.Terminal(next) {
+			p.tracker.ClearDeadline(txn)
+		} else {
+			p.tracker.SetDeadline(txn, p.clk.Now().Add(p.deadline.Step))
+		}
 	}
 	return p.journalAppend(&journalRecord{Kind: jrState, Txn: txn, Aux: uint8(next)})
 }

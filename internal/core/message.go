@@ -60,10 +60,15 @@ func (m *Message) Encode() []byte {
 	return e.Bytes()
 }
 
-// DecodeMessage reverses Encode.
+// DecodeMessage reverses Encode. Unsigned control frames (overload
+// sheds) decode to their typed error so every receive site classifies
+// them without caring about framing.
 func DecodeMessage(b []byte) (*Message, error) {
 	d := wire.NewDecoder(b)
 	if magic := d.String(); magic != "tpnr-msg-v1" {
+		if magic == ctlMagic {
+			return nil, decodeControlErr(d)
+		}
 		return nil, fmt.Errorf("core: bad message magic %q", magic)
 	}
 	m := &Message{

@@ -10,22 +10,26 @@ import (
 // are a small fixed set encoded into the counter name with
 // obs.Labeled, so each class is one atomic add on the error path.
 const (
-	metricServerMsgs      = "server_msgs_total"
-	metricServerErrors    = "server_handler_errors_total"
-	metricServerPanics    = "server_panics_total"
-	metricServerActive    = "server_active_conns"
-	metricServerLatency   = "server_handle_latency_ns"
-	metricPoolRetries     = "pool_retries_total"
-	metricPoolEscalations = "pool_escalations_total"
-	metricPoolIdleHits    = "pool_idle_hits_total"
-	metricPoolIdleMisses  = "pool_idle_misses_total"
+	metricServerMsgs       = "server_msgs_total"
+	metricServerErrors     = "server_handler_errors_total"
+	metricServerPanics     = "server_panics_total"
+	metricServerActive     = "server_active_conns"
+	metricServerLatency    = "server_handle_latency_ns"
+	metricServerShed       = "server_shed_total"
+	metricServerExpired    = "server_expired_sessions_total"
+	metricPoolRetries      = "pool_retries_total"
+	metricPoolEscalations  = "pool_escalations_total"
+	metricPoolIdleHits     = "pool_idle_hits_total"
+	metricPoolIdleMisses   = "pool_idle_misses_total"
+	metricPoolTTPFastFails = "pool_ttp_fast_fails_total"
 )
 
 // errorClasses is the closed set of handler-error classes; "other"
 // catches anything outside the protocol sentinels.
 var errorClasses = []string{
 	"panic", "protocol", "timeout", "peer_rejected", "integrity",
-	"unknown_identity", "cancelled", "other",
+	"unknown_identity", "cancelled", "expired", "overloaded",
+	"degraded", "other",
 }
 
 // errHandlerPanic tags errors synthesized from a recovered handler
@@ -52,10 +56,22 @@ func errorClass(err error) string {
 		return "unknown_identity"
 	case errors.Is(err, ErrCancelled):
 		return "cancelled"
+	case errors.Is(err, ErrExpired):
+		return "expired"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrDegraded):
+		return "degraded"
 	default:
 		return "other"
 	}
 }
+
+// coreDegradedSkips counts journal appends skipped because the journal
+// was already poisoned (degraded mode keeps draining sessions
+// memory-only). Package-level because the skip happens in party
+// plumbing that carries no registry reference.
+var coreDegradedSkips = obs.Default().Counter("core_journal_degraded_skips_total")
 
 // serverMetrics holds the Server's pre-resolved metric handles: one
 // registry lookup at construction, one atomic op per event on the hot
@@ -67,6 +83,8 @@ type serverMetrics struct {
 	panics     *obs.Counter
 	active     *obs.Gauge
 	latency    *obs.Histogram
+	shed       *obs.Counter
+	expired    *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -77,6 +95,8 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		panics:     reg.Counter(metricServerPanics),
 		active:     reg.Gauge(metricServerActive),
 		latency:    reg.Histogram(metricServerLatency, obs.DurationBuckets),
+		shed:       reg.Counter(metricServerShed),
+		expired:    reg.Counter(metricServerExpired),
 	}
 	for _, class := range errorClasses {
 		m.errByClass[class] = reg.Counter(obs.Labeled(metricServerErrors, "class", class))
@@ -86,17 +106,19 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 
 // poolMetrics is the SessionPool counterpart.
 type poolMetrics struct {
-	retries     *obs.Counter
-	escalations *obs.Counter
-	idleHits    *obs.Counter
-	idleMisses  *obs.Counter
+	retries      *obs.Counter
+	escalations  *obs.Counter
+	idleHits     *obs.Counter
+	idleMisses   *obs.Counter
+	ttpFastFails *obs.Counter
 }
 
 func newPoolMetrics(reg *obs.Registry) *poolMetrics {
 	return &poolMetrics{
-		retries:     reg.Counter(metricPoolRetries),
-		escalations: reg.Counter(metricPoolEscalations),
-		idleHits:    reg.Counter(metricPoolIdleHits),
-		idleMisses:  reg.Counter(metricPoolIdleMisses),
+		retries:      reg.Counter(metricPoolRetries),
+		escalations:  reg.Counter(metricPoolEscalations),
+		idleHits:     reg.Counter(metricPoolIdleHits),
+		idleMisses:   reg.Counter(metricPoolIdleMisses),
+		ttpFastFails: reg.Counter(metricPoolTTPFastFails),
 	}
 }

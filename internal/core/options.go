@@ -93,7 +93,7 @@ func WithVerifyCache(c *evidence.VerifyCache) Option {
 // Deprecated: construct parties with individual With* options instead.
 func WithOptions(legacy Options) Option {
 	return func(o *Options) {
-		store, ttpID, journal, vcache := o.store, o.ttpID, o.journal, o.verifyCache
+		store, ttpID, journal, vcache, deadline := o.store, o.ttpID, o.journal, o.verifyCache, o.deadline
 		*o = legacy
 		if o.store == nil {
 			o.store = store
@@ -106,6 +106,9 @@ func WithOptions(legacy Options) Option {
 		}
 		if o.verifyCache == nil {
 			o.verifyCache = vcache
+		}
+		if !o.deadline.enabled() {
+			o.deadline = deadline
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"crypto/rsa"
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"sync"
 	"time"
@@ -46,10 +47,20 @@ func CheckContext(ctx context.Context) error {
 }
 
 // cancelErr maps an error produced by context or deadline machinery
-// onto ErrCancelled; other errors pass through unchanged.
+// onto ErrCancelled; other errors pass through unchanged. Socket
+// deadline expiry surfaces differently per transport — os.Err-
+// DeadlineExceeded wrapped by net.OpError on TCP, or only a net.Error
+// whose Timeout() reports true — so both shapes are checked: a
+// deadline planted by applyDeadline is the context speaking through
+// the socket and must not be mistaken for the protocol-level
+// ErrTimeout that licenses escalation.
 func cancelErr(err error) error {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
 		errors.Is(err, os.ErrDeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrCancelled, err)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
 		return fmt.Errorf("%w: %v", ErrCancelled, err)
 	}
 	return err
@@ -111,6 +122,9 @@ type Options struct {
 	// verifyCache is set by WithVerifyCache; nil means a private
 	// default-sized cache per party.
 	verifyCache *evidence.VerifyCache
+	// deadline is set by WithDeadlinePolicy; only the provider enforces
+	// it (step deadlines + expiry reaper).
+	deadline DeadlinePolicy
 }
 
 // Default protocol timing parameters.
@@ -136,13 +150,14 @@ type party struct {
 	lifetime time.Duration
 	timeout  time.Duration
 
-	guard   *session.Guard
-	archive *evidence.Store
-	tracker *session.Tracker
-	journal *wal.WAL
-	vcache  *evidence.VerifyCache
-	seqMu   sync.Mutex
-	seqs    map[string]*session.Counter
+	guard    *session.Guard
+	archive  *evidence.Store
+	tracker  *session.Tracker
+	journal  *wal.WAL
+	vcache   *evidence.VerifyCache
+	deadline DeadlinePolicy
+	seqMu    sync.Mutex
+	seqs     map[string]*session.Counter
 
 	pumpMu sync.Mutex
 	pumps  map[transport.Conn]*pump
@@ -171,6 +186,7 @@ func newParty(o Options) (*party, error) {
 		tracker:  session.NewTracker(),
 		journal:  o.journal,
 		vcache:   o.verifyCache,
+		deadline: o.deadline,
 		seqs:     make(map[string]*session.Counter),
 		pumps:    make(map[transport.Conn]*pump),
 	}

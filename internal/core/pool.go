@@ -8,6 +8,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/breaker"
+	"repro/internal/evidence"
+	"repro/internal/faultpoint"
 	"repro/internal/obs"
 	"repro/internal/transport"
 )
@@ -46,6 +49,11 @@ type PoolOptions struct {
 	// TTPDial, when set, lets Upload escalate a silent provider or
 	// exhausted retries to the in-line TTP per §4.3.
 	TTPDial DialFunc
+	// Breaker, when set, gates every TTP escalation through a circuit
+	// breaker: while it is open, Resolve fails fast with
+	// ErrTTPUnavailable instead of dialing a TTP known to be down, and
+	// the escalation retry loop backs off until the breaker probes.
+	Breaker *breaker.Breaker
 	// Registry receives the pool's operational metrics (retries,
 	// escalations, idle hits/misses); nil means the process default.
 	Registry *obs.Registry
@@ -71,6 +79,9 @@ func PoolBackoffSeed(seed int64) PoolOption { return func(o *PoolOptions) { o.Ba
 
 // PoolTTPDial enables §4.3 escalation through the given TTP dialer.
 func PoolTTPDial(d DialFunc) PoolOption { return func(o *PoolOptions) { o.TTPDial = d } }
+
+// PoolBreaker gates TTP escalations through b (see PoolOptions.Breaker).
+func PoolBreaker(b *breaker.Breaker) PoolOption { return func(o *PoolOptions) { o.Breaker = b } }
 
 // PoolRegistry directs the pool's metrics into r instead of the
 // process-wide default registry.
@@ -157,7 +168,15 @@ func (p *SessionPool) Upload(ctx context.Context, txnID, objectKey string, data 
 	if err == nil {
 		return res, nil
 	}
-	if p.opt.TTPDial == nil || !(errors.Is(err, ErrTimeout) || errors.Is(err, ErrRetriesExhausted)) {
+	// Escalation policy: a silent provider (ErrTimeout), an expired
+	// session (the provider holds an abort receipt for us to collect),
+	// or exhausted transport retries are §4.3 grounds. Overload and
+	// degraded-mode refusals are NOT — the provider answered; there is
+	// no dispute, only a peer asking us to come back later.
+	escalable := errors.Is(err, ErrTimeout) || errors.Is(err, ErrExpired) ||
+		(errors.Is(err, ErrRetriesExhausted) &&
+			!errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrDegraded))
+	if p.opt.TTPDial == nil || !escalable {
 		return nil, err
 	}
 	nro, nroErr := p.c.PendingNRO(txnID)
@@ -166,12 +185,18 @@ func (p *SessionPool) Upload(ctx context.Context, txnID, objectKey string, data 
 		return nil, err
 	}
 	p.met.escalations.Inc()
-	rr, rerr := p.Resolve(ctx, txnID, "no NRR before time limit: "+err.Error())
+	rr, rerr := p.resolveRetry(ctx, txnID, "no NRR before time limit: "+err.Error())
 	if rerr != nil {
 		return nil, fmt.Errorf("core: upload failed (%v); resolve also failed: %w", err, rerr)
 	}
 	if rr.PeerEvidence == nil {
 		return nil, fmt.Errorf("%w: TTP outcome %q without provider evidence", ErrTimeout, rr.Outcome)
+	}
+	if rr.PeerEvidence.Header.Kind == evidence.KindAbortAccept {
+		// The provider expired (or abort-closed) the session; the relayed
+		// receipt is archived and the transaction is provably aborted —
+		// not a completed upload.
+		return nil, fmt.Errorf("%w: transaction %s closed by provider abort receipt", ErrExpired, txnID)
 	}
 	return &UploadResult{TxnID: txnID, NRO: nro, NRR: rr.PeerEvidence}, nil
 }
@@ -209,17 +234,96 @@ func (p *SessionPool) Abort(ctx context.Context, txnID, reason string) (*AbortRe
 }
 
 // Resolve escalates a transaction to the TTP over a dedicated
-// connection from the configured TTP dialer.
+// connection from the configured TTP dialer, gated by the circuit
+// breaker when one is configured: an open breaker fails fast with
+// ErrTTPUnavailable, and each attempt's outcome feeds the breaker.
 func (p *SessionPool) Resolve(ctx context.Context, txnID, report string) (*ResolveResult, error) {
 	if p.opt.TTPDial == nil {
 		return nil, fmt.Errorf("core: pool has no TTP dialer (use PoolTTPDial)")
 	}
+	if br := p.opt.Breaker; br != nil && !br.Allow() {
+		p.met.ttpFastFails.Inc()
+		return nil, fmt.Errorf("%w: not dialing for txn %s", ErrTTPUnavailable, txnID)
+	}
+	if err := faultpoint.HitErr(fpPoolTTPBlackhole); err != nil {
+		err = fmt.Errorf("core: dialing TTP: %w", err)
+		p.breakerResult(err)
+		return nil, err
+	}
 	conn, err := p.opt.TTPDial(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("core: dialing TTP: %w", err)
+		err = fmt.Errorf("core: dialing TTP: %w", err)
+		p.breakerResult(err)
+		return nil, err
 	}
 	defer conn.Close()
-	return p.c.Resolve(ctx, conn, txnID, report)
+	res, err := p.c.Resolve(ctx, conn, txnID, report)
+	p.breakerResult(err)
+	return res, err
+}
+
+// breakerResult feeds one escalation outcome to the breaker. Caller
+// cancellation says nothing about the TTP and records neither way; a
+// definitive protocol answer (even a rejection) proves the TTP is up.
+func (p *SessionPool) breakerResult(err error) {
+	br := p.opt.Breaker
+	if br == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		br.OnSuccess()
+	case errors.Is(err, ErrCancelled):
+	case errors.Is(err, ErrPeerRejected), errors.Is(err, ErrProtocol):
+		br.OnSuccess()
+	default:
+		br.OnFailure()
+	}
+}
+
+// resolveRetry is the queued-retry escalation loop: a fast-failed
+// (breaker open), timed-out or transport-broken Resolve is retried
+// with the pool's jittered backoff budget rather than abandoned, so a
+// TTP blip does not strand a disputable transaction.
+func (p *SessionPool) resolveRetry(ctx context.Context, txnID, report string) (*ResolveResult, error) {
+	backoff := p.opt.Backoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		res, err := p.Resolve(ctx, txnID, report)
+		if err == nil {
+			return res, nil
+		}
+		if !retryableResolve(err) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= p.opt.Retries {
+			return nil, fmt.Errorf("%w: last error: %w", ErrRetriesExhausted, lastErr)
+		}
+		p.met.retries.Inc()
+		var delay time.Duration
+		delay, backoff = jitterBackoff(backoff, p.opt.MaxBackoff, p.randInt63n)
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, CheckContext(ctx)
+		}
+	}
+}
+
+// retryableResolve classifies escalation errors: breaker fast-fails
+// and TTP timeouts are retried (the whole point of queued retry), on
+// top of the ordinary transient transport faults.
+func retryableResolve(err error) bool {
+	if errors.Is(err, ErrTTPUnavailable) || errors.Is(err, ErrTimeout) {
+		return true
+	}
+	return transientFault(err)
 }
 
 // do borrows a connection slot and runs op, retrying transient
@@ -259,7 +363,9 @@ func (p *SessionPool) do(ctx context.Context, op func(transport.Conn) error) err
 		}
 		lastErr = err
 		if attempt >= p.opt.Retries {
-			return fmt.Errorf("%w: last error: %v", ErrRetriesExhausted, lastErr)
+			// %w on the last error: callers classify the exhausted result
+			// (was it overload? degraded mode?) through the chain.
+			return fmt.Errorf("%w: last error: %w", ErrRetriesExhausted, lastErr)
 		}
 		p.met.retries.Inc()
 		var delay time.Duration
@@ -305,16 +411,26 @@ func jitterBackoff(cur, max time.Duration, randInt63n func(int64) int64) (delay,
 }
 
 // transientFault reports whether an error is worth retrying on a new
-// connection: transport breakage is, definitive protocol outcomes and
-// cancellation are not.
+// connection: transport breakage and overload sheds are, definitive
+// protocol outcomes (including permanent rejections, expiry and
+// degraded-mode refusals) and cancellation are not — retrying cannot
+// change a signed answer.
 func transientFault(err error) bool {
+	if errors.Is(err, ErrOverloaded) {
+		// The peer shed us under admission control: explicitly retryable
+		// (with backoff), and checked first because the control frame
+		// carries no protocol sentinel to trip the list below.
+		return true
+	}
 	switch {
 	case errors.Is(err, ErrCancelled),
 		errors.Is(err, ErrTimeout),
 		errors.Is(err, ErrProtocol),
 		errors.Is(err, ErrPeerRejected),
 		errors.Is(err, ErrIntegrity),
-		errors.Is(err, ErrUnknownIdentity):
+		errors.Is(err, ErrUnknownIdentity),
+		errors.Is(err, ErrExpired),
+		errors.Is(err, ErrDegraded):
 		return false
 	}
 	return true

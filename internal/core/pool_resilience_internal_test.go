@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// TestTransientFaultClassification pins which outcomes the session
+// pool may retry. Permanent protocol rejections must be terminal —
+// retrying a signed rejection just burns the peer's CPU — while
+// overload sheds are the one typed outcome that is explicitly a retry
+// hint.
+func TestTransientFaultClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		transient bool
+	}{
+		{"overload shed", fmt.Errorf("%w: busy", ErrOverloaded), true},
+		{"transport closed", transport.ErrClosed, true},
+		{"plain dial refusal", &net.OpError{Op: "dial", Err: errors.New("connection refused")}, true},
+		{"protocol violation", fmt.Errorf("%w: bad magic", ErrProtocol), false},
+		{"peer rejection", fmt.Errorf("%w: data mismatch", ErrPeerRejected), false},
+		{"integrity failure", fmt.Errorf("%w: md5", ErrIntegrity), false},
+		{"unknown identity", fmt.Errorf("%w: mallory", ErrUnknownIdentity), false},
+		{"timeout (escalate, not retry)", fmt.Errorf("%w: NRR", ErrTimeout), false},
+		{"cancelled", fmt.Errorf("%w: ctx", ErrCancelled), false},
+		{"expired session", fmt.Errorf("%w: txn-1", ErrExpired), false},
+		{"degraded provider", fmt.Errorf("%w: journal", ErrDegraded), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := transientFault(tc.err); got != tc.transient {
+				t.Fatalf("transientFault(%v) = %v, want %v", tc.err, got, tc.transient)
+			}
+		})
+	}
+}
+
+// TestRetryableResolveClassification pins the escalation-path retry
+// set: a breaker fast-fail and a TTP timeout are worth another
+// attempt after backoff; everything else follows the transport rules.
+func TestRetryableResolveClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		retryable bool
+	}{
+		{"breaker open", fmt.Errorf("%w: txn-9", ErrTTPUnavailable), true},
+		{"ttp timeout", fmt.Errorf("%w: statement", ErrTimeout), true},
+		{"overload shed", fmt.Errorf("%w: busy", ErrOverloaded), true},
+		{"peer rejection", fmt.Errorf("%w: bad claim", ErrPeerRejected), false},
+		{"cancelled", fmt.Errorf("%w: ctx", ErrCancelled), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := retryableResolve(tc.err); got != tc.retryable {
+				t.Fatalf("retryableResolve(%v) = %v, want %v", tc.err, got, tc.retryable)
+			}
+		})
+	}
+}
+
+// TestRetriesExhaustedUnwraps checks the S1 fix: the exhaustion error
+// carries the last underlying fault in its %w chain, so callers can
+// see both "we gave up" and "why".
+func TestRetriesExhaustedUnwraps(t *testing.T) {
+	last := fmt.Errorf("%w: busy", ErrOverloaded)
+	err := fmt.Errorf("%w: last error: %w", ErrRetriesExhausted, last)
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatal("lost ErrRetriesExhausted")
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatal("exhaustion chain dropped the underlying cause")
+	}
+}

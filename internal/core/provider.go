@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/auditlog"
 	"repro/internal/evidence"
@@ -211,6 +212,16 @@ func (b *Provider) handle(raw []byte) (*Message, error) {
 		}
 		return nil, err
 	}
+	if b.expireIfStale(h) {
+		// The session blew its step deadline; it has just been driven to
+		// its abort state, so this late message is answered with a signed
+		// expiry rejection the client maps to ErrExpired and resolves.
+		reply, rerr := b.errorReply(h, expiredNotePrefix+"session exceeded its step deadline")
+		if rerr != nil {
+			return nil, fmt.Errorf("%w: %s", ErrExpired, h.TxnID)
+		}
+		return reply, fmt.Errorf("%w: %s", ErrExpired, h.TxnID)
+	}
 	switch h.Kind {
 	case evidence.KindNRO:
 		return b.handleUpload(h, ev, m.Payload)
@@ -247,6 +258,20 @@ func (b *Provider) errorReply(h *evidence.Header, note string) (*Message, error)
 // handleUpload is step 2 of the Normal uploading session: verify the
 // NRO and data, store the object, archive the NRO, reply with the NRR.
 func (b *Provider) handleUpload(h *evidence.Header, ev *evidence.Evidence, data []byte) (*Message, error) {
+	if herr := b.Health(); herr != nil {
+		if _, serr := b.tracker.Get(h.TxnID); serr != nil {
+			// Degraded mode: the journal cannot promise durability, so a
+			// NEW session must not bind evidence here — accepting the NRO
+			// and crashing would leave the client provably bound to an
+			// upload we cannot prove we received. Known transactions (and
+			// downloads, aborts, resolves) keep being served.
+			reply, rerr := b.errorReply(h, degradedNotePrefix+"journal unavailable; not accepting new sessions")
+			if rerr != nil {
+				return nil, fmt.Errorf("%w: %v", ErrDegraded, herr)
+			}
+			return reply, fmt.Errorf("%w: %v", ErrDegraded, herr)
+		}
+	}
 	if !h.MatchesData(data) {
 		b.ctr.Inc(metrics.AuthFailures, 1)
 		return b.errorReply(h, "data does not match NRO digests")
@@ -546,7 +571,7 @@ func (b *Provider) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, r
 	}
 	m, err := DecodeMessage(raw)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		return nil, wrapProto(err)
 	}
 	rh, ev, err := b.checkInbound(m)
 	if err != nil {
@@ -568,6 +593,104 @@ func (b *Provider) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, r
 // recovery knows which blob an abort must drop.
 func (b *Provider) journalObject(txn, objectKey string) error {
 	return b.journalAppend(&journalRecord{Kind: jrObject, Txn: txn, Note: objectKey})
+}
+
+// Health returns nil while the provider is fully serving, or the
+// journal's sticky I/O error while it is degraded (new sessions
+// refused; downloads, aborts and resolves still served). Wire it into
+// the /healthz endpoint.
+func (b *Provider) Health() error {
+	if b.journal == nil {
+		return nil
+	}
+	return b.journal.Healthy()
+}
+
+// Degraded reports whether the provider is refusing new sessions
+// because its journal can no longer accept appends.
+func (b *Provider) Degraded() bool { return b.Health() != nil }
+
+// ExpireStale drives every live transaction whose step deadline is at
+// or before now to its abort state, returning how many were expired.
+// Wire it to a core.Server reaper (ServerExpiry) or call it directly;
+// it is a no-op without WithDeadlinePolicy because no deadlines are
+// ever stamped.
+func (b *Provider) ExpireStale(now time.Time) int {
+	n := 0
+	for _, txn := range b.tracker.ExpireBefore(now) {
+		if err := b.expireTxn(txn); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// expireIfStale lazily expires the transaction behind an inbound
+// message when its deadline has passed but the reaper has not swept
+// yet. Only session-advancing kinds are gated: an abort or resolve on
+// an overdue transaction must still be served — those are exactly the
+// messages that drain it.
+func (b *Provider) expireIfStale(h *evidence.Header) bool {
+	if !b.deadline.enabled() {
+		return false
+	}
+	if h.Kind != evidence.KindNRO && h.Kind != evidence.KindDownloadRequest {
+		return false
+	}
+	dl := b.tracker.Deadline(h.TxnID)
+	if dl.IsZero() || b.clk.Now().Before(dl) {
+		return false
+	}
+	b.tracker.ClearDeadline(h.TxnID)
+	return b.expireTxn(h.TxnID) == nil
+}
+
+// expireTxn drives one overdue transaction to its §4.2 abort outcome:
+// claim the terminal transition (first-wins against a concurrently
+// completing handler — setState refuses transitions out of terminal
+// states), issue and archive the abort receipt the resolve path will
+// relay to the client, and drop the stored blob so the abort means
+// what it says.
+func (b *Provider) expireTxn(txn string) error {
+	if err := b.setState(txn, session.StateAborted); err != nil {
+		return err // lost the race to a completing handler: nothing to expire
+	}
+	note := expiredNotePrefix + "step deadline exceeded"
+	if nro, err := b.archive.ByKind(txn, evidence.RolePeer, evidence.KindNRO); err == nil {
+		if _, rerr := b.issueAbortReceipt(nro.Header, note); rerr != nil {
+			return rerr
+		}
+	}
+	b.txnMu.Lock()
+	objKey := b.txnObject[txn]
+	b.txnMu.Unlock()
+	if objKey != "" {
+		b.store.Delete(objKey)
+	}
+	b.ctr.Inc(metrics.Aborts, 1)
+	b.auditAppend("expire", txn, note)
+	return nil
+}
+
+// issueAbortReceipt creates and archives the signed abort-accept the
+// expiry path issues toward the NRO's sender; the resolve path relays
+// it exactly like a client-requested abort receipt.
+func (b *Provider) issueAbortReceipt(nroHeader *evidence.Header, note string) (*evidence.Evidence, error) {
+	clientKey, err := b.peerKey(nroHeader.SenderID)
+	if err != nil {
+		return nil, err
+	}
+	rh := b.newHeader(evidence.KindAbortAccept, nroHeader.TxnID, nroHeader.SenderID, nroHeader.TTPID, b.bumpSeqTo(nroHeader.TxnID, nroHeader.Seq))
+	rh.Note = note
+	rh.SetDigests(nil)
+	_, own, err := b.buildMessage(rh, nil, clientKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.putEvidence(nroHeader.TxnID, evidence.RoleOwn, own); err != nil {
+		return nil, err
+	}
+	return own, nil
 }
 
 // Recover replays the provider's journal after a restart: the evidence

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Resilience-layer errors. These extend the protocol sentinels in
+// party.go with the bounded-time and partial-failure outcomes the
+// deadline/breaker/degraded machinery produces.
+var (
+	// ErrExpired reports that the provider expired the session under its
+	// step-deadline policy (the server-side enforcement of the paper's
+	// §4 per-step time limits). The provider has issued an abort receipt
+	// for the transaction; the client recovers it through Resolve.
+	ErrExpired = errors.New("core: session expired by step deadline")
+	// ErrOverloaded reports that the peer shed the message under
+	// admission control. Retryable with backoff — and never grounds for
+	// escalation: an overloaded peer is not a misbehaving one.
+	ErrOverloaded = errors.New("core: peer overloaded, retry later")
+	// ErrDegraded reports that the provider refused a NEW session
+	// because its journal can no longer accept appends (disk full,
+	// persistent fsync failure). Existing sessions keep being served.
+	ErrDegraded = errors.New("core: provider degraded, new sessions refused")
+	// ErrTTPUnavailable is the circuit breaker's fast-fail: the TTP has
+	// been failing recently and escalation was not attempted. Callers
+	// queue a retry instead of burning a dial-and-wait timeout.
+	ErrTTPUnavailable = errors.New("core: TTP unavailable, circuit breaker open")
+)
+
+// DeadlinePolicy bounds how long a transaction may sit between protocol
+// steps at the party enforcing it (the provider). Each accepted state
+// transition restamps the transaction's deadline at now+Step; a reaper
+// (core.Server's ServerExpiry, or a direct ExpireStale call) drives
+// overdue transactions to a provable abort, so no session stays pending
+// forever — the liveness half of the paper's §4 timeliness claim.
+type DeadlinePolicy struct {
+	// Step is the maximum time between protocol steps of one
+	// transaction. Zero disables deadline enforcement.
+	Step time.Duration
+	// Sweep is the reaper interval; zero means Step/4 clamped to at
+	// least 10ms.
+	Sweep time.Duration
+}
+
+// enabled reports whether the policy does anything.
+func (d DeadlinePolicy) enabled() bool { return d.Step > 0 }
+
+// SweepInterval returns the effective reaper interval: Sweep if set,
+// else Step/4 clamped to at least 10ms. Daemons pass it to
+// ServerExpiry so flag defaults and the in-process default agree.
+func (d DeadlinePolicy) SweepInterval() time.Duration {
+	if d.Sweep > 0 {
+		return d.Sweep
+	}
+	s := d.Step / 4
+	if s < 10*time.Millisecond {
+		s = 10 * time.Millisecond
+	}
+	return s
+}
+
+// WithDeadlinePolicy enables server-side step deadlines on the party
+// (the provider enforces them; other parties ignore the policy).
+func WithDeadlinePolicy(d DeadlinePolicy) Option {
+	return func(o *Options) { o.deadline = d }
+}
+
+// Error-note prefixes carried in signed KindError replies. The note is
+// the only channel a signed rejection has for typing itself, so the
+// resilience layer prefixes it and peerErr maps the prefix back onto
+// the sentinel on the receiving side.
+const (
+	expiredNotePrefix  = "expired: "
+	degradedNotePrefix = "degraded: "
+)
+
+// peerErr maps a signed KindError note onto the most specific sentinel:
+// deadline expiry and degraded-mode refusals carry their prefix, all
+// other rejections stay ErrPeerRejected.
+func peerErr(note string) error {
+	switch {
+	case strings.HasPrefix(note, expiredNotePrefix):
+		return fmt.Errorf("%w: %s", ErrExpired, note)
+	case strings.HasPrefix(note, degradedNotePrefix):
+		return fmt.Errorf("%w: %s", ErrDegraded, note)
+	}
+	return fmt.Errorf("%w: %s", ErrPeerRejected, note)
+}
+
+// wrapProto wraps a message-decode error as a protocol violation,
+// passing typed control-frame outcomes (ErrOverloaded) through
+// unchanged so the retry classification sees them.
+func wrapProto(err error) error {
+	if errors.Is(err, ErrOverloaded) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrProtocol, err)
+}
+
+// Control frames are the one unsigned message in the system: a shed
+// decision must not cost the overloaded server two RSA signatures (that
+// would turn admission control into an amplifier), so the frame is a
+// bare retry hint. It is deliberately NOT evidence — it binds nobody,
+// and a forged one can at worst make a client back off and retry.
+const ctlMagic = "tpnr-ctl-v1"
+
+// Control codes.
+const ctlOverloaded uint8 = 1
+
+// encodeControl frames a control message.
+func encodeControl(code uint8, note string) []byte {
+	e := wire.NewEncoder(len(ctlMagic) + len(note) + 16)
+	e.String(ctlMagic)
+	e.U8(code)
+	e.String(note)
+	return e.Bytes()
+}
+
+// decodeControlErr turns a control frame (magic already consumed from
+// d) into its typed error.
+func decodeControlErr(d *wire.Decoder) error {
+	code := d.U8()
+	note := d.String()
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("%w: malformed control frame: %v", ErrProtocol, err)
+	}
+	switch code {
+	case ctlOverloaded:
+		return fmt.Errorf("%w: %s", ErrOverloaded, note)
+	default:
+		return fmt.Errorf("%w: unknown control code %d", ErrProtocol, code)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestControlFrameRoundTrip checks that an overload shed frame decodes
+// to the retryable sentinel, note intact, and that unknown control
+// codes surface as protocol violations rather than silent retries.
+func TestControlFrameRoundTrip(t *testing.T) {
+	frame := encodeControl(ctlOverloaded, "server at max in-flight handlers")
+	m, err := DecodeMessage(frame)
+	if m != nil {
+		t.Fatal("control frame decoded as a protocol message")
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if want := "server at max in-flight handlers"; err == nil || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("missing note %q in %v", want, err)
+	}
+
+	if _, err := DecodeMessage(encodeControl(0x7f, "??")); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("unknown control code: want ErrProtocol, got %v", err)
+	}
+
+	// A truncated control frame is malformed, not retryable.
+	trunc := frame[:len(frame)-2]
+	if _, err := DecodeMessage(trunc); err == nil || errors.Is(err, ErrOverloaded) {
+		t.Fatalf("truncated control frame: want non-retryable decode error, got %v", err)
+	}
+}
+
+// TestPeerErrMapping checks the signed KindError note prefixes map back
+// onto their typed sentinels at the receiving side.
+func TestPeerErrMapping(t *testing.T) {
+	cases := []struct {
+		note string
+		want error
+	}{
+		{expiredNotePrefix + "session exceeded its step deadline", ErrExpired},
+		{degradedNotePrefix + "journal unavailable", ErrDegraded},
+		{"data does not match NRO digests", ErrPeerRejected},
+		{"", ErrPeerRejected},
+		// Prefix must be at the start, not merely present.
+		{"note mentions expired: but is a plain rejection", ErrPeerRejected},
+	}
+	for _, tc := range cases {
+		if err := peerErr(tc.note); !errors.Is(err, tc.want) {
+			t.Errorf("peerErr(%q) = %v, want %v", tc.note, err, tc.want)
+		}
+	}
+}
+
+func TestWrapProtoPassesOverloadThrough(t *testing.T) {
+	shed := fmt.Errorf("%w: busy", ErrOverloaded)
+	if err := wrapProto(shed); !errors.Is(err, ErrOverloaded) || errors.Is(err, ErrProtocol) {
+		t.Fatalf("wrapProto(shed) = %v", err)
+	}
+	if err := wrapProto(errors.New("garbled")); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("wrapProto(garbled) = %v", err)
+	}
+}
+
+func TestDeadlinePolicySweepInterval(t *testing.T) {
+	cases := []struct {
+		policy DeadlinePolicy
+		want   time.Duration
+	}{
+		{DeadlinePolicy{Step: time.Second}, 250 * time.Millisecond},
+		{DeadlinePolicy{Step: time.Second, Sweep: 100 * time.Millisecond}, 100 * time.Millisecond},
+		{DeadlinePolicy{Step: 20 * time.Millisecond}, 10 * time.Millisecond}, // clamped floor
+	}
+	for _, tc := range cases {
+		if got := tc.policy.SweepInterval(); got != tc.want {
+			t.Errorf("SweepInterval(%+v) = %v, want %v", tc.policy, got, tc.want)
+		}
+	}
+	if (DeadlinePolicy{}).enabled() {
+		t.Error("zero policy reports enabled")
+	}
+	if !(DeadlinePolicy{Step: time.Millisecond}).enabled() {
+		t.Error("set policy reports disabled")
+	}
+}
+
+// timeoutNetErr fakes a transport-level timeout that is neither a
+// context error nor os.ErrDeadlineExceeded — the shape some net.Conn
+// implementations return from a read past SetDeadline.
+type timeoutNetErr struct{ timeout bool }
+
+func (e timeoutNetErr) Error() string   { return "fake i/o timeout" }
+func (e timeoutNetErr) Timeout() bool   { return e.timeout }
+func (e timeoutNetErr) Temporary() bool { return false }
+
+var _ net.Error = timeoutNetErr{}
+
+// TestCancelErrClassification pins the transport audit: every deadline
+// and cancellation shape a socket can produce must unwrap to
+// ErrCancelled, and genuine failures must pass through untouched.
+func TestCancelErrClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		in        error
+		cancelled bool
+	}{
+		{"context.Canceled", context.Canceled, true},
+		{"context.DeadlineExceeded", context.DeadlineExceeded, true},
+		{"os.ErrDeadlineExceeded", os.ErrDeadlineExceeded, true},
+		{"wrapped context.Canceled", fmt.Errorf("recv: %w", context.Canceled), true},
+		{"wrapped os.ErrDeadlineExceeded", fmt.Errorf("read tcp: %w", os.ErrDeadlineExceeded), true},
+		{"net.Error timeout", timeoutNetErr{timeout: true}, true},
+		{"wrapped net.Error timeout", fmt.Errorf("recv frame: %w", timeoutNetErr{timeout: true}), true},
+		{"net.Error non-timeout", timeoutNetErr{timeout: false}, false},
+		{"plain error", errors.New("connection reset by peer"), false},
+		{"protocol sentinel", ErrProtocol, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := cancelErr(tc.in)
+			if got := errors.Is(out, ErrCancelled); got != tc.cancelled {
+				t.Fatalf("cancelErr(%v): cancelled=%v, want %v", tc.in, got, tc.cancelled)
+			}
+			if !tc.cancelled && out != tc.in {
+				t.Fatalf("cancelErr(%v) rewrote a non-cancellation to %v", tc.in, out)
+			}
+		})
+	}
+}
+
+// TestCancelErrRealSocketDeadline drives cancelErr with the error a
+// real TCP read past its deadline produces, end to end through the
+// OS — the table above uses fakes; this one keeps us honest against
+// the actual net package.
+func TestCancelErrRealSocketDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			defer c.Close()
+			// Hold the conn open, never write: the client read must end
+			// by deadline, not EOF.
+			buf := make([]byte, 1)
+			c.Read(buf)
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	_, rerr := conn.Read(make([]byte, 1))
+	if rerr == nil {
+		t.Fatal("read past deadline succeeded")
+	}
+	if err := cancelErr(rerr); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("real deadline error %v did not classify as ErrCancelled (got %v)", rerr, err)
+	}
+}

@@ -8,7 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/evidence"
+	"repro/internal/faultpoint"
 	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -54,6 +56,22 @@ type Server struct {
 	connWG sync.WaitGroup
 
 	panics atomic.Int64
+
+	// Admission control (ServerMaxInflight / ServerConnPending).
+	// maxInflight==0 means unlimited; pendingCap<=1 keeps the strict
+	// serial per-connection path.
+	maxInflight int64
+	pendingCap  int
+	inflightNow atomic.Int64
+
+	// Expiry reaper (ServerExpiry). The goroutine starts in NewServer
+	// and stops in Shutdown.
+	expClk   clock.Clock
+	expEvery time.Duration
+	expFn    func(now time.Time) int
+	expStop  chan struct{}
+	expDone  chan struct{}
+	expOnce  sync.Once
 }
 
 // ServerOption adjusts a Server's observability wiring.
@@ -62,6 +80,13 @@ type ServerOption func(*serverConfig)
 type serverConfig struct {
 	reg *obs.Registry
 	log *obs.Logger
+
+	maxInflight int64
+	pendingCap  int
+
+	expClk   clock.Clock
+	expEvery time.Duration
+	expFn    func(now time.Time) int
 }
 
 // ServerRegistry directs the server's metrics (messages handled,
@@ -77,18 +102,88 @@ func ServerLogger(l *obs.Logger) ServerOption {
 	return func(c *serverConfig) { c.log = l }
 }
 
+// ServerMaxInflight caps concurrently executing handlers across all
+// connections. A message arriving over the cap is shed with an
+// unsigned overload control frame (the client sees ErrOverloaded and
+// backs off) instead of queueing without bound — bounded work beats
+// unbounded latency under a burst. 0 (the default) means unlimited.
+func ServerMaxInflight(n int) ServerOption {
+	return func(c *serverConfig) { c.maxInflight = int64(n) }
+}
+
+// ServerConnPending sets the per-connection pipeline depth: how many
+// messages from one connection may be handled at once, replies sent as
+// each completes. 1 (the default) preserves the strict serial
+// receive→handle→reply loop; >1 enables pipelining with receive-side
+// backpressure once the depth is reached.
+func ServerConnPending(n int) ServerOption {
+	return func(c *serverConfig) { c.pendingCap = n }
+}
+
+// ServerExpiry runs a reaper goroutine that calls expire with the
+// current time every interval; expire returns how many sessions it
+// expired (counted on server_expired_sessions_total). Wire a
+// Provider's ExpireStale here to enforce its DeadlinePolicy. The
+// reaper starts with the server and stops in Shutdown.
+func ServerExpiry(clk clock.Clock, every time.Duration, expire func(now time.Time) int) ServerOption {
+	return func(c *serverConfig) {
+		c.expClk, c.expEvery, c.expFn = clk, every, expire
+	}
+}
+
 // NewServer wraps a message handler in a concurrent server.
 func NewServer(h Handler, opts ...ServerOption) *Server {
 	cfg := serverConfig{reg: obs.Default()}
 	for _, fn := range opts {
 		fn(&cfg)
 	}
-	return &Server{
-		h:     h,
-		met:   newServerMetrics(cfg.reg),
-		log:   cfg.log,
-		conns: make(map[transport.Conn]struct{}),
+	s := &Server{
+		h:           h,
+		met:         newServerMetrics(cfg.reg),
+		log:         cfg.log,
+		conns:       make(map[transport.Conn]struct{}),
+		maxInflight: cfg.maxInflight,
+		pendingCap:  cfg.pendingCap,
 	}
+	if cfg.expFn != nil {
+		s.expClk, s.expEvery, s.expFn = cfg.expClk, cfg.expEvery, cfg.expFn
+		if s.expClk == nil {
+			s.expClk = clock.Real()
+		}
+		if s.expEvery <= 0 {
+			s.expEvery = time.Second
+		}
+		s.expStop = make(chan struct{})
+		s.expDone = make(chan struct{})
+		go s.reap()
+	}
+	return s
+}
+
+// reap is the expiry reaper loop: every expEvery it hands the current
+// time to the configured expire callback and counts what it reaped.
+func (s *Server) reap() {
+	defer close(s.expDone)
+	for {
+		select {
+		case <-s.expStop:
+			return
+		case <-s.expClk.After(s.expEvery):
+			if n := s.expFn(s.expClk.Now()); n > 0 {
+				s.met.expired.Add(int64(n))
+				s.log.Info("sessions_expired", obs.F("count", n))
+			}
+		}
+	}
+}
+
+// stopReaper halts the expiry goroutine; safe to call repeatedly.
+func (s *Server) stopReaper() {
+	if s.expFn == nil {
+		return
+	}
+	s.expOnce.Do(func() { close(s.expStop) })
+	<-s.expDone
 }
 
 // Serve accepts connections on l until the listener closes, Shutdown
@@ -176,18 +271,28 @@ func (s *Server) serveConn(ctx context.Context, conn transport.Conn) {
 		case <-done:
 		}
 	}()
+	if s.pendingCap > 1 {
+		s.serveConnPipelined(conn)
+		return
+	}
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
 			return
 		}
+		if s.overloaded() {
+			s.shed(conn, nil, raw)
+			continue
+		}
 		if !s.beginMsg() {
 			return
 		}
+		s.inflightNow.Add(1)
 		start := time.Now()
 		reply, err := s.handleOne(raw)
 		s.met.latency.ObserveSince(start)
 		s.met.msgs.Inc()
+		s.inflightNow.Add(-1)
 		s.inflight.Done()
 		if err != nil {
 			// Handler errors used to be dropped on the floor here,
@@ -206,6 +311,82 @@ func (s *Server) serveConn(ctx context.Context, conn transport.Conn) {
 			}
 		}
 	}
+}
+
+// serveConnPipelined is the depth-N variant of the per-connection
+// loop: up to pendingCap messages from this connection are handled
+// concurrently (still serialized per transaction by the shard locks),
+// replies sent as each completes under a per-connection send mutex.
+// The slot channel gives receive-side backpressure — once the depth is
+// reached the loop stops reading, which is TCP's own flow control
+// doing the queueing instead of this process's memory.
+func (s *Server) serveConnPipelined(conn transport.Conn) {
+	var sendMu sync.Mutex
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	slots := make(chan struct{}, s.pendingCap)
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if s.overloaded() {
+			s.shed(conn, &sendMu, raw)
+			continue
+		}
+		slots <- struct{}{}
+		if !s.beginMsg() {
+			<-slots
+			return
+		}
+		s.inflightNow.Add(1)
+		wg.Add(1)
+		go func(raw []byte) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			start := time.Now()
+			reply, err := s.handleOne(raw)
+			s.met.latency.ObserveSince(start)
+			s.met.msgs.Inc()
+			s.inflightNow.Add(-1)
+			s.inflight.Done()
+			if err != nil {
+				s.recordHandlerError(err)
+			}
+			transport.Recycle(raw)
+			if reply != nil {
+				sendMu.Lock()
+				conn.Send(reply)
+				sendMu.Unlock()
+			}
+		}(raw)
+	}
+}
+
+// overloaded reports whether admission control refuses new work right
+// now. The load check is read-then-add, so a burst can briefly exceed
+// the cap by the number of racing connections — an approximate cap is
+// fine; the point is that queue depth stays bounded.
+func (s *Server) overloaded() bool {
+	return s.maxInflight > 0 && s.inflightNow.Load() >= s.maxInflight
+}
+
+// shed refuses one message under overload: the buffer goes straight
+// back to the pool and the client gets an unsigned control frame
+// telling it to back off and retry. Deliberately unsigned — shedding
+// exists to protect the server from work, and two RSA signatures per
+// refusal would make the refusal as expensive as the service (see the
+// cost note on errorReply). The frame is a retry hint, not evidence.
+func (s *Server) shed(conn transport.Conn, sendMu *sync.Mutex, raw []byte) {
+	transport.Recycle(raw)
+	s.met.shed.Inc()
+	s.log.Warn("overload_shed", obs.F("inflight", s.inflightNow.Load()))
+	frame := encodeControl(ctlOverloaded, "server at max in-flight handlers")
+	if sendMu != nil {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+	}
+	conn.Send(frame)
 }
 
 // beginMsg registers an in-flight handling unless the server is
@@ -231,6 +412,7 @@ func (s *Server) handleOne(raw []byte) (reply []byte, err error) {
 			reply, err = nil, fmt.Errorf("%w: %w: %v", ErrProtocol, errHandlerPanic, r)
 		}
 	}()
+	faultpoint.Hit(fpServerHandleSlow)
 	if txn, ok := txnOf(raw); ok {
 		mu := &s.shards[shardOf(txn)]
 		mu.Lock()
@@ -281,6 +463,7 @@ func shardOf(txn string) uint32 {
 // then every connection closes and the per-connection goroutines are
 // reaped. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopReaper()
 	s.mu.Lock()
 	s.draining = true
 	ls := s.listeners

@@ -48,6 +48,10 @@ type Config struct {
 	// the respective party constructor — the chaos harness uses them to
 	// attach per-party crash journals (core.WithJournal).
 	ClientOpts, ProviderOpts, TTPOpts []core.Option
+	// ProviderServerOpts and TTPServerOpts configure the core.Server
+	// runtimes fronting Bob and the TTP (admission control, expiry
+	// reaper, registries).
+	ProviderServerOpts, TTPServerOpts []core.ServerOption
 }
 
 // Deployment is a fully wired TPNR installation.
@@ -146,9 +150,9 @@ func New(cfg Config) (*Deployment, error) {
 		CA:               ca,
 		Client:           client,
 		Provider:         provider,
-		ProviderServer:   core.NewServer(provider),
+		ProviderServer:   core.NewServer(provider, cfg.ProviderServerOpts...),
 		TTPServer:        ttpServer,
-		TTPRuntime:       core.NewServer(ttpServer),
+		TTPRuntime:       core.NewServer(ttpServer, cfg.TTPServerOpts...),
 		Net:              net,
 		Store:            store,
 		ClientCounters:   &cCtr,

@@ -1,0 +1,71 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestHitErrInjectsError checks the error-arm path: ArmErr installs a
+// failure, HitErr returns it, and disarming restores the no-op.
+func TestHitErrInjectsError(t *testing.T) {
+	defer Reset()
+	boom := errors.New("enospc")
+	ArmErr("test.errpoint", func() error { return boom })
+	if err := HitErr("test.errpoint"); !errors.Is(err, boom) {
+		t.Fatalf("HitErr = %v, want %v", err, boom)
+	}
+	ArmErr("test.errpoint", nil)
+	if err := HitErr("test.errpoint"); err != nil {
+		t.Fatalf("HitErr after disarm = %v, want nil", err)
+	}
+}
+
+// TestHitErrRegistersName checks ArmErr makes the point enumerable so
+// the chaos sweep over List() covers HitErr sites.
+func TestHitErrRegistersName(t *testing.T) {
+	defer Reset()
+	ArmErr("test.errpoint.listed", func() error { return nil })
+	found := false
+	for _, name := range List() {
+		if name == "test.errpoint.listed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ArmErr'd point missing from List()")
+	}
+}
+
+// TestHitErrFallsBackToCrashArm checks a plain Arm (e.g. Kill) fires at
+// HitErr sites when no error arm is installed — the chaos sweep relies
+// on this to crash processes at error-injection points.
+func TestHitErrFallsBackToCrashArm(t *testing.T) {
+	defer Reset()
+	fired := false
+	Arm("test.errpoint.crash", func() { fired = true })
+	if err := HitErr("test.errpoint.crash"); err != nil {
+		t.Fatalf("HitErr = %v, want nil from plain arm", err)
+	}
+	if !fired {
+		t.Fatal("plain arm did not fire at HitErr site")
+	}
+	// An error arm takes precedence over the crash arm.
+	boom := errors.New("eio")
+	fired = false
+	ArmErr("test.errpoint.crash", func() error { return boom })
+	if err := HitErr("test.errpoint.crash"); !errors.Is(err, boom) {
+		t.Fatalf("HitErr = %v, want error arm to win", err)
+	}
+	if fired {
+		t.Fatal("crash arm fired despite error arm")
+	}
+}
+
+// TestResetClearsErrArms checks Reset disarms error arms too.
+func TestResetClearsErrArms(t *testing.T) {
+	ArmErr("test.errpoint.reset", func() error { return errors.New("x") })
+	Reset()
+	if err := HitErr("test.errpoint.reset"); err != nil {
+		t.Fatalf("HitErr after Reset = %v, want nil", err)
+	}
+}

@@ -32,7 +32,14 @@ func (c *Crash) Error() string { return fmt.Sprintf("faultpoint: simulated crash
 var (
 	mu     sync.Mutex
 	points map[string]func() // registered; nil fn until armed
-	armed  atomic.Int32      // fast-path gate for Hit
+	// errPoints overlays error-returning arms on the same namespace:
+	// fault sites that model recoverable I/O failures (ENOSPC, EIO,
+	// blackholed dials) call HitErr and propagate the injected error
+	// instead of dying. A name can be error-armed, crash-armed, or both;
+	// HitErr prefers the error arm and falls back to the crash arm so the
+	// kill-everything chaos sweep still reaches every site.
+	errPoints map[string]func() error
+	armed     atomic.Int32 // fast-path gate for Hit and HitErr
 )
 
 // Register declares a faultpoint name at package init time so List can
@@ -79,8 +86,36 @@ func Arm(name string, fn func()) {
 	points[name] = fn
 }
 
-// Disarm removes the armed function from name, leaving it registered.
-func Disarm(name string) { Arm(name, nil) }
+// ArmErr installs fn to run when HitErr(name) is reached; the error it
+// returns is injected into the caller (a simulated ENOSPC, EIO, or
+// blackholed dial). Arming an unregistered name registers it so List
+// still enumerates every site. Pass nil to disarm the error arm.
+func ArmErr(name string, fn func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]func())
+	}
+	if _, ok := points[name]; !ok {
+		points[name] = nil
+	}
+	if errPoints == nil {
+		errPoints = make(map[string]func() error)
+	}
+	if errPoints[name] == nil && fn != nil {
+		armed.Add(1)
+	} else if errPoints[name] != nil && fn == nil {
+		armed.Add(-1)
+	}
+	errPoints[name] = fn
+}
+
+// Disarm removes the armed functions (crash and error) from name,
+// leaving it registered.
+func Disarm(name string) {
+	Arm(name, nil)
+	ArmErr(name, nil)
+}
 
 // Reset disarms every faultpoint (registrations persist).
 func Reset() {
@@ -89,6 +124,11 @@ func Reset() {
 	for name, fn := range points {
 		if fn != nil {
 			points[name] = nil
+		}
+	}
+	for name, fn := range errPoints {
+		if fn != nil {
+			errPoints[name] = nil
 		}
 	}
 	armed.Store(0)
@@ -106,6 +146,29 @@ func Hit(name string) {
 	if fn != nil {
 		fn()
 	}
+}
+
+// HitErr runs the armed function for name and returns its error, for
+// fault sites that model recoverable failures instead of crashes. An
+// error arm (ArmErr) wins; otherwise a crash arm installed with plain
+// Arm still fires — the kill-everything chaos sweep arms every listed
+// point with Kill and must reach HitErr sites too. Unarmed, a single
+// atomic load.
+func HitErr(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	efn := errPoints[name]
+	fn := points[name]
+	mu.Unlock()
+	if efn != nil {
+		return efn()
+	}
+	if fn != nil {
+		fn()
+	}
+	return nil
 }
 
 // Kill returns an arm function that panics with a *Crash for name —

@@ -2,7 +2,8 @@
 //
 //	/metrics      registry snapshot, text key-value (or JSON with
 //	              ?format=json / Accept: application/json)
-//	/healthz      liveness probe, 200 "ok"
+//	/healthz      liveness probe: 200 "ok", or 503 "degraded: <err>"
+//	              when any registered health check fails
 //	/debug/pprof  the standard runtime profiler endpoints
 //
 // The server binds eagerly (so a bad -obs-addr fails at startup, not
@@ -22,8 +23,12 @@ import (
 	"repro/internal/obs"
 )
 
-// Handler builds the observability mux over reg.
-func Handler(reg *obs.Registry) http.Handler {
+// Handler builds the observability mux over reg. Each check is polled
+// on every /healthz hit; the first non-nil error flips the probe to
+// 503 "degraded" — the signal an orchestrator uses to stop routing NEW
+// sessions to a provider whose journal went read-only, while the
+// process itself stays up draining existing ones.
+func Handler(reg *obs.Registry, checks ...func() error) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" ||
@@ -37,6 +42,13 @@ func Handler(reg *obs.Registry) http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, check := range checks {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "degraded: %v\n", err)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -55,8 +67,9 @@ type Server struct {
 }
 
 // Start listens on addr (":0" picks a free port) and serves the
-// observability mux in the background.
-func Start(addr string, reg *obs.Registry) (*Server, error) {
+// observability mux in the background. Optional health checks feed
+// /healthz (see Handler).
+func Start(addr string, reg *obs.Registry, checks ...func() error) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obshttp: listening on %s: %w", addr, err)
@@ -64,7 +77,7 @@ func Start(addr string, reg *obs.Registry) (*Server, error) {
 	s := &Server{
 		ln: ln,
 		srv: &http.Server{
-			Handler:           Handler(reg),
+			Handler:           Handler(reg, checks...),
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 		done: make(chan error, 1),

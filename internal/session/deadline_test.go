@@ -1,0 +1,77 @@
+package session
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTrackerDeadlines covers stamp/restamp/clear and the exactly-once
+// contract of ExpireBefore.
+func TestTrackerDeadlines(t *testing.T) {
+	tr := NewTracker()
+	base := time.Unix(1000, 0)
+
+	if err := tr.Begin("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Begin("b"); err != nil {
+		t.Fatal(err)
+	}
+	tr.SetDeadline("a", base.Add(time.Second))
+	tr.SetDeadline("b", base.Add(3*time.Second))
+
+	if got := tr.Deadline("a"); !got.Equal(base.Add(time.Second)) {
+		t.Fatalf("Deadline(a)=%v", got)
+	}
+	if got := tr.Deadline("missing"); !got.IsZero() {
+		t.Fatalf("Deadline(missing)=%v, want zero", got)
+	}
+
+	// Nothing due yet.
+	if got := tr.ExpireBefore(base); len(got) != 0 {
+		t.Fatalf("ExpireBefore(base)=%v, want empty", got)
+	}
+	// a due (inclusive), b not.
+	got := tr.ExpireBefore(base.Add(time.Second))
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("ExpireBefore=%v, want [a]", got)
+	}
+	// a's entry was consumed: not reported again.
+	if got := tr.ExpireBefore(base.Add(2 * time.Second)); len(got) != 0 {
+		t.Fatalf("second ExpireBefore=%v, want empty", got)
+	}
+
+	// Restamping replaces the deadline.
+	tr.SetDeadline("b", base.Add(10*time.Second))
+	if got := tr.ExpireBefore(base.Add(5 * time.Second)); len(got) != 0 {
+		t.Fatalf("ExpireBefore after restamp=%v, want empty", got)
+	}
+	// Clearing removes it entirely.
+	tr.ClearDeadline("b")
+	if got := tr.ExpireBefore(base.Add(time.Hour)); len(got) != 0 {
+		t.Fatalf("ExpireBefore after clear=%v, want empty", got)
+	}
+}
+
+// TestExpireBeforeSkipsTerminal checks an overdue transaction already
+// in a terminal state is dropped, not reported — expiring it again
+// would double-issue abort evidence.
+func TestExpireBeforeSkipsTerminal(t *testing.T) {
+	tr := NewTracker()
+	base := time.Unix(1000, 0)
+	if err := tr.Begin("done"); err != nil {
+		t.Fatal(err)
+	}
+	tr.SetDeadline("done", base)
+	if err := tr.Transition("done", StateCompleted); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.ExpireBefore(base.Add(time.Second)); len(got) != 0 {
+		t.Fatalf("ExpireBefore=%v, want empty for terminal txn", got)
+	}
+	// Unknown transactions with stale deadlines are dropped too.
+	tr.SetDeadline("ghost", base)
+	if got := tr.ExpireBefore(base.Add(time.Second)); len(got) != 0 {
+		t.Fatalf("ExpireBefore=%v, want empty for unknown txn", got)
+	}
+}

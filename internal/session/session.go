@@ -199,14 +199,25 @@ func (s State) String() string {
 // Tracker records per-transaction state at one party, with legal
 // transition enforcement. Terminal states (completed, aborted, failed)
 // admit no further transitions.
+//
+// A tracker optionally carries per-transaction step deadlines: the
+// instant by which the transaction must make its next state transition
+// before the owner is entitled to expire it (paper §4's per-step time
+// limits, enforced server-side). Deadlines are bookkeeping only — the
+// tracker never acts on them; ExpireBefore hands the overdue set to the
+// protocol engine, which owns issuing the abort evidence.
 type Tracker struct {
-	mu     sync.Mutex
-	states map[string]State
+	mu        sync.Mutex
+	states    map[string]State
+	deadlines map[string]time.Time
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{states: make(map[string]State)}
+	return &Tracker{
+		states:    make(map[string]State),
+		deadlines: make(map[string]time.Time),
+	}
 }
 
 // Begin registers a new transaction in StateInit.
@@ -272,4 +283,48 @@ func (t *Tracker) Transition(txn string, next State) error {
 	}
 	t.states[txn] = next
 	return nil
+}
+
+// SetDeadline stamps the instant by which txn must make its next
+// transition. Restamping replaces the previous deadline — each
+// successful step buys the counterparty a fresh step budget.
+func (t *Tracker) SetDeadline(txn string, at time.Time) {
+	t.mu.Lock()
+	t.deadlines[txn] = at
+	t.mu.Unlock()
+}
+
+// ClearDeadline removes txn's deadline (terminal state reached).
+func (t *Tracker) ClearDeadline(txn string) {
+	t.mu.Lock()
+	delete(t.deadlines, txn)
+	t.mu.Unlock()
+}
+
+// Deadline returns txn's step deadline, or the zero time if none is
+// set.
+func (t *Tracker) Deadline(txn string) time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deadlines[txn]
+}
+
+// ExpireBefore returns the non-terminal transactions whose deadline is
+// at or before now, consuming their deadline entries so each expiry is
+// reported exactly once. The caller (the protocol engine's reaper)
+// drives the transactions to their abort state.
+func (t *Tracker) ExpireBefore(now time.Time) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for txn, at := range t.deadlines {
+		if at.After(now) {
+			continue
+		}
+		delete(t.deadlines, txn)
+		if s, ok := t.states[txn]; ok && !Terminal(s) {
+			out = append(out, txn)
+		}
+	}
+	return out
 }

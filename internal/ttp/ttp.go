@@ -32,6 +32,10 @@ import (
 var (
 	fpResolveAfterOpen  = faultpoint.Register("ttp.resolve.after-open-before-query")
 	fpResolveAfterClose = faultpoint.Register("ttp.resolve.after-close-before-reply")
+	// fpQueryPeerBlackhole simulates an unreachable counterparty (armed
+	// with an error) or crashes the TTP mid-query (armed with Kill): the
+	// resolve must still conclude with a signed statement.
+	fpQueryPeerBlackhole = faultpoint.Register("ttp.resolve.query-peer-blackhole")
 )
 
 // Dialer connects the TTP to a named party for the in-line query,
@@ -228,6 +232,9 @@ func (s *Server) queryPeer(h *evidence.Header, peerID string, claimPayload []byt
 	// claimant in bounded time.
 	ctx, cancel := context.WithTimeout(context.Background(), s.ResponseTimeout())
 	defer cancel()
+	if err := faultpoint.HitErr(fpQueryPeerBlackhole); err != nil {
+		return nil, nil, "peer-unreachable"
+	}
 	conn, err := s.dial(ctx, peerID)
 	if err != nil {
 		return nil, nil, "peer-unreachable"

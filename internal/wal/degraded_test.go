@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+// TestAppendENOSPCPoisonsJournal checks the degraded-mode contract: a
+// simulated disk-full failure makes the sticky error surface on
+// Healthy, every later Append refuses fast, and Replay still reads the
+// records that made it to disk.
+func TestAppendENOSPCPoisonsJournal(t *testing.T) {
+	defer faultpoint.Reset()
+	w, err := Open(t.TempDir(), Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	if err := w.Append([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Healthy(); err != nil {
+		t.Fatalf("Healthy()=%v before fault, want nil", err)
+	}
+
+	enospc := errors.New("no space left on device")
+	faultpoint.ArmErr("wal.append.enospc", func() error { return enospc })
+	if err := w.Append([]byte("lost")); !errors.Is(err, enospc) {
+		t.Fatalf("Append under fault = %v, want wrapped ENOSPC", err)
+	}
+	faultpoint.Reset()
+
+	// Sticky: the fault is gone but the journal stays poisoned.
+	if err := w.Healthy(); !errors.Is(err, enospc) {
+		t.Fatalf("Healthy()=%v, want sticky ENOSPC", err)
+	}
+	if err := w.Append([]byte("after")); !errors.Is(err, enospc) {
+		t.Fatalf("Append after fault = %v, want sticky refusal", err)
+	}
+
+	// Reads survive: degraded mode keeps serving evidence.
+	var got []string
+	if err := w.Replay(func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay on poisoned journal: %v", err)
+	}
+	if len(got) != 1 || got[0] != "before" {
+		t.Fatalf("Replay=%v, want [before]", got)
+	}
+}
+
+// TestHealthySurfacesGroupSyncErr checks Healthy reports the
+// group-commit sticky syncErr path too (it predates ioErr).
+func TestHealthySurfacesGroupSyncErr(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{Policy: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Healthy(); err != nil {
+		t.Fatalf("Healthy()=%v on fresh group journal, want nil", err)
+	}
+	w.mu.Lock()
+	w.syncErr = errors.New("group fsync failed")
+	w.mu.Unlock()
+	if err := w.Healthy(); err == nil {
+		t.Fatal("Healthy()=nil, want group syncErr surfaced")
+	}
+}

@@ -16,4 +16,8 @@ var (
 	walTornTails  = obs.Default().Counter("wal_torn_tails_total")
 	walSyncErrors = obs.Default().Counter("wal_sync_errors_total")
 	walRotations  = obs.Default().Counter("wal_rotations_total")
+	// walDegraded is 1 while any journal in the process is poisoned by a
+	// sticky I/O error (ENOSPC, failed fsync) — the signal /healthz keys
+	// degraded mode off.
+	walDegraded = obs.Default().Gauge("wal_degraded")
 )

@@ -33,7 +33,14 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/faultpoint"
 )
+
+// fpAppendENOSPC injects a disk-full/EIO failure at the head of Append
+// — the chaos harness uses it to prove degraded mode: a poisoned
+// journal refuses new evidence but the provider keeps serving reads.
+var fpAppendENOSPC = faultpoint.Register("wal.append.enospc")
 
 // Errors.
 var (
@@ -146,6 +153,13 @@ type WAL struct {
 	syncedSeq  uint64     // records known durable
 	flushing   bool       // a leader fsync is in flight
 	syncErr    error      // sticky: a failed group fsync poisons the journal
+
+	// ioErr is sticky across ALL policies: once a record write or fsync
+	// fails (ENOSPC, EIO), no further appends are accepted — an append
+	// the journal cannot promise durable must never be acked. Reads
+	// (Replay) still work; Healthy surfaces the state so the provider
+	// can degrade instead of dying.
+	ioErr error
 }
 
 // cond returns the group-commit condition variable, creating it on
@@ -330,6 +344,13 @@ var recBufPool = sync.Pool{New: func() any { return new([]byte) }}
 // concurrent Append calls coalesce under a shared leader fsync; the
 // durability guarantee on return is identical to SyncAlways.
 func (w *WAL) Append(payload []byte) error {
+	if err := faultpoint.HitErr(fpAppendENOSPC); err != nil {
+		err = fmt.Errorf("wal: appending record: %w", err)
+		w.mu.Lock()
+		w.setErrLocked(err)
+		w.mu.Unlock()
+		return err
+	}
 	if len(payload) > MaxRecordSize {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
@@ -344,6 +365,9 @@ func (w *WAL) Append(payload []byte) error {
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrClosed
+	}
+	if w.ioErr != nil {
+		return w.ioErr
 	}
 	if w.opt.Policy == SyncGroup {
 		if w.syncErr != nil {
@@ -372,7 +396,9 @@ func (w *WAL) Append(payload []byte) error {
 		w.segSize = int64(len(segMagic))
 	}
 	if _, err := w.f.Write(buf); err != nil {
-		return fmt.Errorf("wal: appending record: %w", err)
+		err = fmt.Errorf("wal: appending record: %w", err)
+		w.setErrLocked(err)
+		return err
 	}
 	w.segSize += int64(len(buf))
 	w.records++
@@ -420,6 +446,7 @@ func (w *WAL) Append(payload []byte) error {
 func (w *WAL) fsyncLocked() error {
 	if err := w.f.Sync(); err != nil {
 		walSyncErrors.Inc()
+		w.setErrLocked(fmt.Errorf("wal: fsync: %w", err))
 		return err
 	}
 	w.syncs++
@@ -464,6 +491,7 @@ func (w *WAL) groupCommit(id uint64) error {
 			// synced; poison the journal rather than guess.
 			walSyncErrors.Inc()
 			w.syncErr = fmt.Errorf("wal: group fsync: %w", err)
+			walDegraded.Set(1)
 		} else if target > w.syncedSeq {
 			// The commit-group size is the fsync amortization SyncGroup
 			// buys; its distribution is the policy's health signal.
@@ -562,6 +590,28 @@ func (w *WAL) Close() error {
 		return fmt.Errorf("wal: fsync on close: %w", err)
 	}
 	return w.f.Close()
+}
+
+// setErrLocked makes err the journal's sticky I/O error (first failure
+// wins) and raises the process degraded gauge. Callers hold w.mu.
+func (w *WAL) setErrLocked(err error) {
+	if w.ioErr == nil {
+		w.ioErr = err
+		walDegraded.Set(1)
+	}
+}
+
+// Healthy returns nil while the journal can still accept appends, or
+// the sticky error (first write/fsync failure) that poisoned it. A
+// poisoned journal still replays — degraded mode serves evidence reads
+// while refusing new sessions.
+func (w *WAL) Healthy() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ioErr != nil {
+		return w.ioErr
+	}
+	return w.syncErr
 }
 
 // Truncated reports whether Open dropped a torn final record.
