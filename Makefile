@@ -6,6 +6,11 @@ GO ?= go
 #   make chaos CHAOS_SEEDS="1 7 42 99 123"
 CHAOS_SEEDS ?= 1 7 42
 
+# TPNR_SCHEME flips every deployment the chaos suite builds between
+# the RSA (default, paper-fidelity) and Ed25519 signature schemes:
+#   make chaos TPNR_SCHEME=ed25519
+TPNR_SCHEME ?=
+
 .PHONY: build vet test race bench bench-smoke bench-json bench-check chaos chaos-short obs-smoke verify
 
 build:
@@ -45,12 +50,12 @@ bench-check:
 # faultpoint plus the randomized crash-restart rounds, always under
 # the race detector and with the fixed seeds baked into the tests.
 chaos:
-	CHAOS_SEEDS="$(CHAOS_SEEDS)" $(GO) test -race -count=1 -v -run 'TestChaos|TestPool' ./internal/chaos/
+	CHAOS_SEEDS="$(CHAOS_SEEDS)" TPNR_SCHEME="$(TPNR_SCHEME)" $(GO) test -race -count=1 -v -run 'TestChaos|TestPool' ./internal/chaos/
 
 # chaos-short is the cheap variant (one seed, fewer rounds) used as an
 # early gate inside verify.
 chaos-short:
-	CHAOS_SEEDS="$(CHAOS_SEEDS)" $(GO) test -race -count=1 -short -run 'TestChaos|TestPool' ./internal/chaos/
+	CHAOS_SEEDS="$(CHAOS_SEEDS)" TPNR_SCHEME="$(TPNR_SCHEME)" $(GO) test -race -count=1 -short -run 'TestChaos|TestPool' ./internal/chaos/
 
 # obs-smoke boots a transient nrserver with the observability endpoint
 # and curls /healthz and /metrics — the cheapest end-to-end proof that

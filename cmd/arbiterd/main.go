@@ -35,10 +35,6 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	caKey, err := world.CAKey()
-	if err != nil {
-		fail(err)
-	}
 
 	c := &arbitrator.Case{
 		TxnID:        *txn,
@@ -68,7 +64,7 @@ func main() {
 		c.ProducedData = data
 	}
 
-	arb := arbitrator.New(caKey, world.Lookup, nil)
+	arb := arbitrator.NewWithKey(world.CAPublicKey(), world.Lookup, nil)
 	dec := arb.Decide(c)
 	fmt.Printf("dispute over txn %s (object %q)\n", *txn, *objectKey)
 	fmt.Printf("claimant: %s   respondent: %s\n\nfindings:\n", *claimant, *respondent)

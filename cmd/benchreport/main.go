@@ -16,6 +16,12 @@
 //   - verify_cache_speedup: repeat evidence verification through the
 //     VerifyCache relative to cold RSA verification (target ≥ 5×).
 //
+// The E12 crypto-API families ride along with their own ratios:
+// ed25519_cold_open_speedup (Ed25519 vs RSA evidence open, target ≥5×),
+// batch_verify_speedup_n8/n64 (one VerifyBatch round vs n singles), and
+// aggregate_receipt_speedup_k64 (one aggregate session receipt vs 64
+// individual receipt signatures).
+//
 // Usage:
 //
 //	go run ./cmd/benchreport [-o BENCH_PR3.json] [-benchtime 1s]
@@ -42,7 +48,7 @@ import (
 )
 
 // benchPattern selects the families the report covers.
-const benchPattern = `^(BenchmarkE11WALAppend|BenchmarkE11ParallelHash|BenchmarkE11MerkleBuild|BenchmarkE11VerifyCache|BenchmarkE10TransportPipe)$`
+const benchPattern = `^(BenchmarkE11WALAppend|BenchmarkE11ParallelHash|BenchmarkE11MerkleBuild|BenchmarkE11VerifyCache|BenchmarkE10TransportPipe|BenchmarkE12EvidenceColdOpen|BenchmarkE12BatchVerify|BenchmarkE12AggregateReceipt)$`
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -176,11 +182,26 @@ func main() {
 	if r, ok := byName["BenchmarkE10TransportPipe"]; ok {
 		rep.Ratios["transport_pipe_allocs_per_op"] = r.AllocsPerOp
 	}
+	ratio("ed25519_cold_open_speedup",
+		"BenchmarkE12EvidenceColdOpen/scheme=rsa",
+		"BenchmarkE12EvidenceColdOpen/scheme=ed25519")
+	ratio("batch_verify_speedup_n8",
+		"BenchmarkE12BatchVerify/mode=singles/n=8",
+		"BenchmarkE12BatchVerify/mode=batch/n=8")
+	ratio("batch_verify_speedup_n64",
+		"BenchmarkE12BatchVerify/mode=singles/n=64",
+		"BenchmarkE12BatchVerify/mode=batch/n=64")
+	ratio("aggregate_receipt_speedup_k64",
+		"BenchmarkE12AggregateReceipt/mode=singles/k=64",
+		"BenchmarkE12AggregateReceipt/mode=aggregate/k=64")
 
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("GOMAXPROCS=%d; at 1 the SumParallel and Merkle level-parallel paths fall back to serial by design, so parallel_hash_speedup ~1.0 is expected there (the >=1.5x criterion applies on >=4 cores)", rep.GOMAXPROCS),
 		"wal ratios compare wall time per acked-durable append; fsyncs/op in the WAL results shows the group-commit coalescing directly",
-		"verify_cache_speedup compares two RSA verifies (cold) against two memo lookups (warm) for the same evidence item")
+		"verify_cache_speedup compares two RSA verifies (cold) against two memo lookups (warm) for the same evidence item",
+		"ed25519_cold_open_speedup compares a full evidence open (unseal + two signature checks) across schemes; RSA pays a private-key decrypt per message (target >=5x)",
+		"batch_verify_speedup_* compares n single verifications against one VerifyBatch round; the worker fan-out falls back to serial at GOMAXPROCS=1, so the >=1x-at-n=8 criterion applies on multi-core boxes",
+		"aggregate_receipt_speedup_k64 compares 64 individual receipt sign+verify pairs against ONE aggregate signature over a Merkle root of the 64 evidence digests plus one verification")
 
 	failed := false
 	if *baseline != "" {

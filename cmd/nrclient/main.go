@@ -174,13 +174,9 @@ func buildClient(state, name, providerName, ttpName string, timeout time.Duratio
 	if err != nil {
 		return nil, err
 	}
-	caKey, err := world.CAKey()
-	if err != nil {
-		return nil, err
-	}
 	return core.NewClient(providerName, ttpName,
 		core.WithIdentity(id),
-		core.WithCAKey(caKey),
+		core.WithCAPublicKey(world.CAPublicKey()),
 		core.WithDirectory(world.Lookup),
 		core.WithCounters(&metrics.Counters{}),
 		core.WithResponseTimeout(timeout),

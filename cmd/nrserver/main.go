@@ -53,6 +53,7 @@ func main() {
 	sweepEvery := flag.Duration("sweep-interval", 0, "how often the expiry reaper scans for stale sessions (0 = step-deadline/4, min 10ms)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent protocol handlers before shedding with a retryable overload frame (0 = unlimited)")
 	connPending := flag.Int("conn-pending", 1, "per-connection pipelined request cap (1 = serial)")
+	batchVerify := flag.Int("batch-verify", 0, "per-connection batch-drain round cap: queued inbound messages are decrypted individually but signature-verified in one batched call (0/1 = off; overrides -conn-pending)")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -93,6 +94,7 @@ func main() {
 		core.ServerLogger(events),
 		core.ServerMaxInflight(*maxInflight),
 		core.ServerConnPending(*connPending),
+		core.ServerBatchDrain(*batchVerify),
 	}
 	if *stepDeadline > 0 {
 		policy := core.DeadlinePolicy{Step: *stepDeadline, Sweep: *sweepEvery}
@@ -137,17 +139,13 @@ func buildProvider(state, name, storeDir, walDir, fsync, auditPath string, stepD
 	if err != nil {
 		return nil, nil, err
 	}
-	caKey, err := world.CAKey()
-	if err != nil {
-		return nil, nil, err
-	}
 	store, err := storage.NewDisk(storeDir, nil)
 	if err != nil {
 		return nil, nil, err
 	}
 	opts := []core.Option{
 		core.WithIdentity(id),
-		core.WithCAKey(caKey),
+		core.WithCAPublicKey(world.CAPublicKey()),
 		core.WithDirectory(world.Lookup),
 		// Protocol counters share the default registry so they show up on
 		// /metrics next to the runtime metrics, prefixed tpnr_.

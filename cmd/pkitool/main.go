@@ -4,17 +4,19 @@
 //
 // Usage:
 //
-//	pkitool init  -state ./state [-parties alice,bob,ttp] [-bits 2048] [-validity 8760h]
+//	pkitool init  -state ./state [-parties alice,bob,ttp] [-scheme rsa|ed25519] [-bits 2048] [-validity 8760h]
 //	pkitool show  -state ./state
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/cryptoutil"
 	"repro/internal/keystore"
 )
 
@@ -41,19 +43,29 @@ func runInit(args []string) {
 	fs := flag.NewFlagSet("init", flag.ExitOnError)
 	state := fs.String("state", "./state", "state directory to create")
 	parties := fs.String("parties", "alice,bob,ttp", "comma-separated identities to certify")
-	bits := fs.Int("bits", 2048, "RSA key size")
+	schemeName := fs.String("scheme", "rsa", "signature scheme: rsa or ed25519")
+	bits := fs.Int("bits", 2048, "RSA key size (rsa scheme only)")
 	validity := fs.Duration("validity", 365*24*time.Hour, "certificate validity")
 	fs.Parse(args)
 
+	scheme, err := cryptoutil.ParseScheme(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pkitool:", err)
+		os.Exit(2)
+	}
 	names := strings.Split(*parties, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
-	if err := keystore.Init(*state, names, *bits, *validity); err != nil {
+	if err := keystore.InitScheme(*state, names, *bits, *validity, scheme); err != nil {
 		fmt.Fprintln(os.Stderr, "pkitool:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("initialized %s with CA and identities %v (%d-bit RSA)\n", *state, names, *bits)
+	desc := scheme.String()
+	if scheme == cryptoutil.SchemeRSA {
+		desc = fmt.Sprintf("%d-bit %s", *bits, scheme)
+	}
+	fmt.Printf("initialized %s with CA and identities %v (%s)\n", *state, names, desc)
 }
 
 func runShow(args []string) {
@@ -66,14 +78,30 @@ func runShow(args []string) {
 		fmt.Fprintln(os.Stderr, "pkitool:", err)
 		os.Exit(1)
 	}
+	fmt.Printf("ca: scheme=%s fingerprint=%s\n",
+		w.CAPublicKey().Scheme(), shortFP(w.CAPublicKey().Fingerprint()))
 	fmt.Println("identities:")
 	for _, name := range w.Names() {
 		cert, err := w.Lookup(name)
 		if err != nil {
 			continue
 		}
-		fmt.Printf("  %-12s serial=%d  valid %s → %s\n", name, cert.Serial,
+		line := fmt.Sprintf("  %-12s serial=%d  valid %s → %s", name, cert.Serial,
 			cert.NotBefore.Format(time.RFC3339), cert.NotAfter.Format(time.RFC3339))
+		if key, err := w.Key(name); err != nil {
+			// A certificate whose key scheme differs from the CA's (or
+			// that fails under it) is worth flagging, not hiding: the
+			// typed mismatch error tells the operator which it is.
+			if errors.Is(err, cryptoutil.ErrSchemeMismatch) {
+				line += "  MIXED-SCHEME: " + err.Error()
+			} else {
+				line += "  INVALID: " + err.Error()
+			}
+		} else {
+			fp, _ := w.Fingerprint(name)
+			line += fmt.Sprintf("  scheme=%s fingerprint=%s", key.Scheme(), shortFP(fp))
+		}
+		fmt.Println(line)
 	}
 	if files, err := keystore.ListEvidence(*state); err == nil && len(files) > 0 {
 		fmt.Println("archived evidence:")
@@ -81,4 +109,13 @@ func runShow(args []string) {
 			fmt.Println("  " + f)
 		}
 	}
+}
+
+// shortFP renders the first 8 bytes of a key fingerprint.
+func shortFP(d cryptoutil.Digest) string {
+	hex := d.Hex()
+	if len(hex) > 16 {
+		hex = hex[:16]
+	}
+	return hex
 }

@@ -87,14 +87,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ttpd:", err)
 		os.Exit(1)
 	}
-	caKey, err := world.CAKey()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ttpd:", err)
-		os.Exit(1)
-	}
 	opts := []core.Option{
 		core.WithIdentity(id),
-		core.WithCAKey(caKey),
+		core.WithCAPublicKey(world.CAPublicKey()),
 		core.WithDirectory(world.Lookup),
 		// Protocol counters share the default registry so they show up on
 		// /metrics next to the runtime metrics, prefixed tpnr_.

@@ -49,7 +49,7 @@ func main() {
 	// evidence both sides signed.
 	fmt.Println("2. Alice files a false tampering claim")
 	obj, _ := d.Store.Get("backups/archive")
-	arb := arbitrator.New(d.CA.PublicKey(), d.CA.Lookup, nil)
+	arb := arbitrator.NewWithKey(d.CA.Key(), d.CA.Lookup, nil)
 	dec := arb.Decide(&arbitrator.Case{
 		TxnID:        "txn-bk",
 		ObjectKey:    "backups/archive",

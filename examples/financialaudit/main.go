@@ -69,7 +69,7 @@ func main() {
 	fmt.Println("3. download FAILED the agreed-digest check — tampering detected")
 
 	// 4. Dispute: the arbitrator examines the evidence.
-	arb := arbitrator.New(d.CA.PublicKey(), d.CA.Lookup, nil)
+	arb := arbitrator.NewWithKey(d.CA.Key(), d.CA.Lookup, nil)
 	obj, _ := d.Store.Get("finance/fy2010")
 	dec := arb.Decide(&arbitrator.Case{
 		TxnID:        "txn-books",

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/cryptoutil"
 	"repro/internal/evidence"
+	"repro/internal/merkle"
 	"repro/internal/pki"
 )
 
@@ -93,6 +94,14 @@ type Case struct {
 	// TTPStatement, if present, is a TTP-signed resolve outcome.
 	TTPStatement *evidence.Evidence
 
+	// AggReceipt and AggProof, if present, substitute for a per-upload
+	// NRR: the respondent's aggregated session receipt plus the Merkle
+	// inclusion proof placing the claimant's NRO under its signed root.
+	// A valid pair is a respondent acknowledgment of the NRO — digests
+	// included — equivalent to an individual receipt.
+	AggReceipt *evidence.AggregateReceipt
+	AggProof   *merkle.Proof
+
 	// ProducedData is the data the respondent produces at arbitration
 	// (what the store currently holds); nil when the respondent cannot
 	// or will not produce anything.
@@ -116,18 +125,26 @@ type Decision struct {
 // evidence is resubmitted across hearings, and re-ruling on an
 // amended Case re-verifies only what changed.)
 type Arbitrator struct {
-	caKey  *rsa.PublicKey
+	caKey  cryptoutil.PublicKey
 	dir    func(name string) (*pki.Certificate, error)
 	now    func() time.Time
 	vcache *evidence.VerifyCache
 }
 
-// New constructs an arbitrator.
-func New(caKey *rsa.PublicKey, dir func(string) (*pki.Certificate, error), now func() time.Time) *Arbitrator {
+// NewWithKey constructs an arbitrator trusting the given CA key handle
+// (any scheme).
+func NewWithKey(caKey cryptoutil.PublicKey, dir func(string) (*pki.Certificate, error), now func() time.Time) *Arbitrator {
 	if now == nil {
 		now = time.Now
 	}
 	return &Arbitrator{caKey: caKey, dir: dir, now: now, vcache: evidence.NewVerifyCache(256)}
+}
+
+// New constructs an arbitrator from a raw RSA CA key.
+//
+// Deprecated: use NewWithKey, which accepts any signature scheme.
+func New(caKey *rsa.PublicKey, dir func(string) (*pki.Certificate, error), now func() time.Time) *Arbitrator {
+	return NewWithKey(cryptoutil.NewRSAPublicKey(caKey), dir, now)
 }
 
 // partyKey resolves and validates a party's public key. The
@@ -135,7 +152,7 @@ func New(caKey *rsa.PublicKey, dir func(string) (*pki.Certificate, error), now f
 // time: disputes legitimately arrive long after a session — possibly
 // after the signer's certificate expired — and what matters is that
 // the certificate was valid when the evidence was produced.
-func (a *Arbitrator) partyKey(name string, at time.Time) (*rsa.PublicKey, error) {
+func (a *Arbitrator) partyKey(name string, at time.Time) (cryptoutil.PublicKey, error) {
 	cert, err := a.dir(name)
 	if err != nil {
 		return nil, err
@@ -143,10 +160,10 @@ func (a *Arbitrator) partyKey(name string, at time.Time) (*rsa.PublicKey, error)
 	if at.IsZero() {
 		at = a.now()
 	}
-	if err := pki.VerifyCertificate(a.caKey, cert, at, nil); err != nil {
+	if err := pki.VerifyCertificateWith(a.caKey, cert, at, nil); err != nil {
 		return nil, err
 	}
-	return cert.PublicKey()
+	return cert.Key()
 }
 
 // verify checks one evidence item: signatures under the expected
@@ -170,11 +187,46 @@ func (a *Arbitrator) verify(ev *evidence.Evidence, signer, txn string, findings 
 		*findings = append(*findings, fmt.Sprintf("%s: evidence concerns transaction %q, claim is about %q", label, ev.Header.TxnID, txn))
 		return false
 	}
-	if err := ev.VerifyCached(key, a.vcache); err != nil {
+	if err := ev.VerifyCachedWith(key, a.vcache); err != nil {
 		*findings = append(*findings, fmt.Sprintf("%s: signature verification FAILED: %v", label, err))
 		return false
 	}
 	*findings = append(*findings, fmt.Sprintf("%s: signatures valid (signer %s, txn %s)", label, signer, txn))
+	return true
+}
+
+// verifyAggregate checks the aggregated-receipt substitute for an
+// individual NRR: the receipt must be respondent-signed (certificate
+// valid at the receipt's timestamp) and the inclusion proof must bind
+// the claimant's NRO into the signed Merkle root at the leaf naming
+// the disputed transaction.
+func (a *Arbitrator) verifyAggregate(c *Case, nro *evidence.Evidence, f *[]string) bool {
+	if c.AggReceipt == nil {
+		return false
+	}
+	r := c.AggReceipt
+	if r.SignerID != c.RespondentID {
+		*f = append(*f, fmt.Sprintf("aggregate receipt signed by %q, expected respondent %q", r.SignerID, c.RespondentID))
+		return false
+	}
+	key, err := a.partyKey(c.RespondentID, r.Timestamp)
+	if err != nil {
+		*f = append(*f, fmt.Sprintf("aggregate receipt: signer %q has no valid certificate: %v", c.RespondentID, err))
+		return false
+	}
+	if err := r.VerifySig(key); err != nil {
+		*f = append(*f, fmt.Sprintf("aggregate receipt: signature verification FAILED: %v", err))
+		return false
+	}
+	if c.AggProof == nil {
+		*f = append(*f, "aggregate receipt submitted without an inclusion proof")
+		return false
+	}
+	if err := r.VerifyLeaf(nro, c.AggProof); err != nil {
+		*f = append(*f, fmt.Sprintf("aggregate receipt: inclusion proof FAILED: %v", err))
+		return false
+	}
+	*f = append(*f, fmt.Sprintf("aggregate receipt valid: session %s leaf %d covers txn %s", r.SessionID, c.AggProof.Index, c.TxnID))
 	return true
 }
 
@@ -201,14 +253,36 @@ func (a *Arbitrator) Decide(c *Case) *Decision {
 		}
 	}
 
-	// 3. Establish the agreed digest from a respondent-signed receipt.
+	// 3. Establish the agreed digest from a respondent-signed receipt:
+	// an individual NRR, or an aggregated session receipt whose signed
+	// Merkle root provably includes the claimant's NRO.
 	nrr := c.ClaimantNRR
 	label := "claimant-submitted NRR"
 	if nrr == nil {
 		nrr = c.RespondentNRR
 		label = "respondent-submitted NRR"
 	}
-	if nrr == nil || !a.verify(nrr, c.RespondentID, c.TxnID, f, label) {
+	agreed := false
+	if nrr != nil && a.verify(nrr, c.RespondentID, c.TxnID, f, label) {
+		if nrr.Header.Kind != evidence.KindNRR {
+			*f = append(*f, fmt.Sprintf("receipt evidence has kind %s, want NRR", nrr.Header.Kind))
+			d.Verdict = VerdictNoAgreement
+			return d
+		}
+		// 4. NRO and NRR must commit to the same digests — otherwise
+		// there was never an agreement.
+		if !nro.Header.DataMD5.Equal(nrr.Header.DataMD5) || !nro.Header.DataSHA256.Equal(nrr.Header.DataSHA256) {
+			*f = append(*f, "NRO and NRR digests disagree: the parties never agreed on a value")
+			d.Verdict = VerdictNoAgreement
+			return d
+		}
+		agreed = true
+	} else if a.verifyAggregate(c, nro, f) {
+		// The aggregate receipt acknowledges the NRO evidence itself —
+		// digests included — so the NRO's digests ARE the agreed value.
+		agreed = true
+	}
+	if !agreed {
 		// No receipt: check for a TTP statement covering the gap.
 		if c.TTPStatement != nil && a.verify(c.TTPStatement, c.TTPStatement.Header.SenderID, c.TxnID, f, "TTP statement") {
 			if c.TTPStatement.Header.Note == "peer-unresponsive" {
@@ -219,19 +293,6 @@ func (a *Arbitrator) Decide(c *Case) *Decision {
 			*f = append(*f, fmt.Sprintf("TTP statement notes %q; no receipt obligation established", c.TTPStatement.Header.Note))
 		}
 		*f = append(*f, "no mutually signed digest exists for this transaction")
-		d.Verdict = VerdictNoAgreement
-		return d
-	}
-	if nrr.Header.Kind != evidence.KindNRR {
-		*f = append(*f, fmt.Sprintf("receipt evidence has kind %s, want NRR", nrr.Header.Kind))
-		d.Verdict = VerdictNoAgreement
-		return d
-	}
-
-	// 4. NRO and NRR must commit to the same digests — otherwise there
-	// was never an agreement.
-	if !nro.Header.DataMD5.Equal(nrr.Header.DataMD5) || !nro.Header.DataSHA256.Equal(nrr.Header.DataSHA256) {
-		*f = append(*f, "NRO and NRR digests disagree: the parties never agreed on a value")
 		d.Verdict = VerdictNoAgreement
 		return d
 	}

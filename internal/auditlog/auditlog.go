@@ -200,14 +200,22 @@ func (l *Log) Checkpoint(key cryptoutil.KeyPair) (*Checkpoint, error) {
 	return &Checkpoint{At: at, Length: length, HeadHash: head, Signature: sig}, nil
 }
 
-// VerifyCheckpoint checks a checkpoint's signature under the signer's
-// public key, and that entries is a chain consistent with it: the
-// chain verifies, has at least cp.Length entries, and entry
+// VerifyCheckpoint checks a checkpoint under a raw RSA key.
+//
+// Deprecated: use VerifyCheckpointWith, which accepts any signature
+// scheme.
+func VerifyCheckpoint(pub *rsa.PublicKey, cp *Checkpoint, entries []Entry) error {
+	return VerifyCheckpointWith(cryptoutil.NewRSAPublicKey(pub), cp, entries)
+}
+
+// VerifyCheckpointWith checks a checkpoint's signature under the
+// signer's public key, and that entries is a chain consistent with it:
+// the chain verifies, has at least cp.Length entries, and entry
 // cp.Length-1 carries the committed head hash. Extra entries after the
 // checkpoint are fine (append-only); fewer, or a different head, mean
 // history was rewritten.
-func VerifyCheckpoint(pub *rsa.PublicKey, cp *Checkpoint, entries []Entry) error {
-	if err := cryptoutil.Verify(pub, checkpointBytes(cp.At, cp.Length, cp.HeadHash), cp.Signature); err != nil {
+func VerifyCheckpointWith(pub cryptoutil.PublicKey, cp *Checkpoint, entries []Entry) error {
+	if err := pub.Verify(checkpointBytes(cp.At, cp.Length, cp.HeadHash), cp.Signature); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
 	if err := Verify(entries); err != nil {

@@ -271,7 +271,7 @@ func arbitrateCompleted(t *testing.T, w *world, txn, key string) {
 	if err != nil {
 		t.Fatalf("completed %s but store lost %q: %v", txn, key, err)
 	}
-	arb := arbitrator.New(w.d.CA.PublicKey(), w.d.CA.Lookup, nil)
+	arb := arbitrator.NewWithKey(w.d.CA.Key(), w.d.CA.Lookup, nil)
 	dec := arb.Decide(&arbitrator.Case{
 		TxnID:        txn,
 		ObjectKey:    key,

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/evidence"
+	"repro/internal/faultpoint"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// BatchHandler is optionally implemented by handlers that can process
+// a drained round of inbound messages together — decrypting each, then
+// verifying every evidence signature in one batched call instead of
+// message-by-message. Replies align with raws (nil = deliberate
+// silence); errs align likewise (nil = handled cleanly).
+type BatchHandler interface {
+	HandleBatch(raws [][]byte) (replies [][]byte, errs []error)
+}
+
+// HandleBatch processes a round of encoded messages: each is decoded,
+// guarded and decrypted individually, then ALL evidence signatures are
+// verified in one evidence.VerifyBatch call (parallel workers,
+// per-scheme batching, cache peel-off) before the per-kind handlers
+// run in order. One bad item only fails its own slot — the batch
+// verifier falls back to singles to pinpoint it.
+func (b *Provider) HandleBatch(raws [][]byte) ([][]byte, []error) {
+	replies := make([][]byte, len(raws))
+	errs := make([]error, len(raws))
+	msgs := make([]*Message, len(raws))
+	headers := make([]*evidence.Header, len(raws))
+	evs := make([]*evidence.Evidence, len(raws))
+
+	entries := make([]evidence.BatchEntry, 0, len(raws))
+	entryIdx := make([]int, 0, len(raws))
+	for i, raw := range raws {
+		b.ctr.Inc(metrics.MsgsRecv, 1)
+		m, err := DecodeMessage(raw)
+		if err != nil {
+			errs[i] = fmt.Errorf("%w: %v", ErrProtocol, err)
+			continue
+		}
+		msgs[i] = m
+		h, ev, key, err := b.checkInboundNoVerify(m)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		headers[i], evs[i] = h, ev
+		entries = append(entries, evidence.BatchEntry{Ev: ev, Sender: key})
+		entryIdx = append(entryIdx, i)
+	}
+
+	failed := evidence.VerifyBatch(entries, b.vcache)
+	for j, i := range entryIdx {
+		if err, bad := failed[j]; bad {
+			b.ctr.Inc(metrics.AuthFailures, 1)
+			errs[i] = fmt.Errorf("%w: %v", ErrProtocol, err)
+			headers[i] = nil // reroute to the error-reply path below
+			continue
+		}
+		b.ctr.Inc(metrics.VerifyOps, 2)
+	}
+
+	for i := range raws {
+		var reply *Message
+		var err error
+		switch {
+		case headers[i] != nil:
+			reply, err = b.dispatch(headers[i], evs[i], msgs[i].Payload)
+		case errs[i] != nil && msgs[i] != nil:
+			// Same contract as the serial path: answer with a signed
+			// error when the header at least decodes, else stay silent.
+			if hdr, herr := msgs[i].Header(); herr == nil && hdr.SenderID != "" {
+				reply, _ = b.errorReply(hdr, errs[i].Error())
+			}
+			err = errs[i]
+		default:
+			err = errs[i]
+		}
+		errs[i] = err
+		if reply != nil {
+			enc := reply.Encode()
+			b.ctr.Inc(metrics.MsgsSent, 1)
+			b.ctr.Inc(metrics.BytesSent, int64(len(enc)))
+			replies[i] = enc
+		}
+	}
+	return replies, errs
+}
+
+// serveConnBatched is the batch-drain variant of the per-connection
+// loop (ServerBatchDrain): a reader goroutine pumps raw messages into
+// a bounded channel; each round blocks for the first message, then
+// drains whatever else has already arrived (up to the round cap) and
+// hands the whole round to the BatchHandler, which verifies all
+// signatures in one batched call. Replies go back in arrival order, so
+// per-connection request/response ordering is preserved.
+func (s *Server) serveConnBatched(conn transport.Conn, bh BatchHandler) {
+	recvCh := make(chan []byte, s.batchCap)
+	go func() {
+		defer close(recvCh)
+		for {
+			raw, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			recvCh <- raw
+		}
+	}()
+	for {
+		first, ok := <-recvCh
+		if !ok {
+			return
+		}
+		raws := [][]byte{first}
+	drain:
+		for len(raws) < s.batchCap {
+			select {
+			case raw, ok := <-recvCh:
+				if !ok {
+					break drain
+				}
+				raws = append(raws, raw)
+			default:
+				break drain
+			}
+		}
+		if s.overloaded() {
+			for _, raw := range raws {
+				s.shed(conn, nil, raw)
+			}
+			continue
+		}
+		if !s.beginMsg() {
+			return
+		}
+		s.inflightNow.Add(1)
+		replies, errs := s.handleRound(bh, raws)
+		s.inflightNow.Add(-1)
+		s.inflight.Done()
+		for i, raw := range raws {
+			s.met.msgs.Inc()
+			if errs != nil && errs[i] != nil {
+				s.recordHandlerError(errs[i])
+			}
+			transport.Recycle(raw)
+			if replies != nil && replies[i] != nil {
+				if err := conn.Send(replies[i]); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// handleRound runs one drained round under every involved transaction
+// shard lock (acquired in shard order, so concurrent rounds on other
+// connections cannot deadlock), converting a handler panic into
+// per-message errors like handleOne does.
+func (s *Server) handleRound(bh BatchHandler, raws [][]byte) (replies [][]byte, errs []error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.met.panics.Inc()
+			replies = make([][]byte, len(raws))
+			errs = make([]error, len(raws))
+			for i := range errs {
+				errs[i] = fmt.Errorf("%w: %w: %v", ErrProtocol, errHandlerPanic, r)
+			}
+		}
+	}()
+	faultpoint.Hit(fpServerHandleSlow)
+	seen := make(map[uint32]bool, len(raws))
+	shards := make([]int, 0, len(raws))
+	for _, raw := range raws {
+		if txn, ok := txnOf(raw); ok {
+			if sh := shardOf(txn); !seen[sh] {
+				seen[sh] = true
+				shards = append(shards, int(sh))
+			}
+		}
+	}
+	sort.Ints(shards)
+	for _, sh := range shards {
+		s.shards[sh].Lock()
+	}
+	defer func() {
+		for _, sh := range shards {
+			s.shards[sh].Unlock()
+		}
+	}()
+	return bh.HandleBatch(raws)
+}
+
+// Compile-time check: the Provider supports batched verification.
+var _ BatchHandler = (*Provider)(nil)

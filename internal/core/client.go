@@ -411,7 +411,7 @@ func (c *Client) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, rep
 			peer, err := evidence.Decode(m.Payload)
 			if err == nil {
 				provKey, kerr := c.peerKey(c.ProviderID)
-				if kerr == nil && peer.Verify(provKey) == nil {
+				if kerr == nil && peer.VerifyWith(provKey) == nil {
 					res.PeerEvidence = peer
 					if err := c.putEvidence(txnID, evidence.RolePeer, peer); err != nil {
 						return nil, err

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/cryptoutil"
 	"repro/internal/evidence"
 	"repro/internal/metrics"
 	"repro/internal/pki"
@@ -24,9 +25,19 @@ func WithIdentity(id *pki.Identity) Option {
 }
 
 // WithCAKey sets the CA public key used to verify directory
-// certificates (required).
+// certificates.
+//
+// Deprecated: use WithCAPublicKey, which accepts any scheme's key
+// handle. One of the two is required.
 func WithCAKey(k *rsa.PublicKey) Option {
 	return func(o *Options) { o.CAKey = k }
+}
+
+// WithCAPublicKey sets the CA key handle used to verify directory
+// certificates. Either this or WithCAKey is required; this form wins
+// when both are set.
+func WithCAPublicKey(k cryptoutil.PublicKey) Option {
+	return func(o *Options) { o.caPub = k }
 }
 
 // WithDirectory sets the peer-certificate directory (required).
@@ -93,8 +104,11 @@ func WithVerifyCache(c *evidence.VerifyCache) Option {
 // Deprecated: construct parties with individual With* options instead.
 func WithOptions(legacy Options) Option {
 	return func(o *Options) {
-		store, ttpID, journal, vcache, deadline := o.store, o.ttpID, o.journal, o.verifyCache, o.deadline
+		store, ttpID, journal, vcache, deadline, caPub := o.store, o.ttpID, o.journal, o.verifyCache, o.deadline, o.caPub
 		*o = legacy
+		if o.caPub == nil {
+			o.caPub = caPub
+		}
 		if o.store == nil {
 			o.store = store
 		}

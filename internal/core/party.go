@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"crypto/rsa"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"net"
@@ -97,6 +98,9 @@ type Options struct {
 	// Identity is this party's name, key pair and certificate.
 	Identity *pki.Identity
 	// CAKey verifies certificates from the directory.
+	//
+	// Deprecated: use WithCAPublicKey, which accepts any scheme's key.
+	// Setting either field satisfies the constructor.
 	CAKey *rsa.PublicKey
 	// Directory resolves peer certificates.
 	Directory Directory
@@ -125,6 +129,9 @@ type Options struct {
 	// deadline is set by WithDeadlinePolicy; only the provider enforces
 	// it (step deadlines + expiry reaper).
 	deadline DeadlinePolicy
+	// caPub is set by WithCAPublicKey: the scheme-agnostic CA key
+	// handle. Takes precedence over the legacy CAKey field.
+	caPub cryptoutil.PublicKey
 }
 
 // Default protocol timing parameters.
@@ -142,7 +149,7 @@ const (
 // sequence allocation and instrumented send/receive.
 type party struct {
 	id    *pki.Identity
-	caKey *rsa.PublicKey
+	caKey cryptoutil.PublicKey
 	dir   Directory
 	clk   clock.Clock
 	ctr   *metrics.Counters
@@ -159,23 +166,43 @@ type party struct {
 	seqMu    sync.Mutex
 	seqs     map[string]*session.Counter
 
+	// peers memoizes CA-verified peer keys: one CA signature check and
+	// one key parse per distinct certificate, instead of per message.
+	// Entries are invalidated by certificate change (serial or CA
+	// signature differs) and by validity-window expiry at lookup time.
+	peerMu sync.Mutex
+	peers  map[string]*peerEntry
+
 	pumpMu sync.Mutex
 	pumps  map[transport.Conn]*pump
+}
+
+// peerEntry caches one directory certificate's verification outcome.
+type peerEntry struct {
+	serial    uint64
+	sigSum    [32]byte
+	notBefore time.Time
+	notAfter  time.Time
+	key       cryptoutil.PublicKey
 }
 
 func newParty(o Options) (*party, error) {
 	if o.Identity == nil {
 		return nil, fmt.Errorf("core: Options.Identity is required")
 	}
-	if o.CAKey == nil {
-		return nil, fmt.Errorf("core: Options.CAKey is required")
+	caKey := o.caPub
+	if caKey == nil && o.CAKey != nil {
+		caKey = cryptoutil.NewRSAPublicKey(o.CAKey)
+	}
+	if caKey == nil {
+		return nil, fmt.Errorf("core: a CA key is required (WithCAPublicKey or Options.CAKey)")
 	}
 	if o.Directory == nil {
 		return nil, fmt.Errorf("core: Options.Directory is required")
 	}
 	p := &party{
 		id:       o.Identity,
-		caKey:    o.CAKey,
+		caKey:    caKey,
 		dir:      o.Directory,
 		clk:      o.Clock,
 		ctr:      o.Counters,
@@ -188,6 +215,7 @@ func newParty(o Options) (*party, error) {
 		vcache:   o.verifyCache,
 		deadline: o.deadline,
 		seqs:     make(map[string]*session.Counter),
+		peers:    make(map[string]*peerEntry),
 		pumps:    make(map[transport.Conn]*pump),
 	}
 	if p.vcache == nil {
@@ -246,18 +274,42 @@ func (p *party) bumpSeqTo(txn string, seen uint64) uint64 {
 }
 
 // peerKey resolves and authenticates a peer's public key via the
-// directory and CA key.
-func (p *party) peerKey(name string) (*rsa.PublicKey, error) {
+// directory and CA key. Verified certificates are memoized per name:
+// as long as the directory serves the same certificate (serial + CA
+// signature) and the clock sits inside its validity window, the cached
+// handle is returned without re-running the CA signature check or
+// re-parsing the key — the per-message authentication cost the paper's
+// §5.1 step otherwise adds to every inbound/outbound exchange.
+func (p *party) peerKey(name string) (cryptoutil.PublicKey, error) {
 	cert, err := p.dir(name)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %q: %v", ErrUnknownIdentity, name, err)
 	}
-	if err := pki.VerifyCertificate(p.caKey, cert, p.clk.Now(), nil); err != nil {
+	now := p.clk.Now()
+	sigSum := sha256.Sum256(cert.Signature)
+	p.peerMu.Lock()
+	e, ok := p.peers[name]
+	p.peerMu.Unlock()
+	if ok && e.serial == cert.Serial && e.sigSum == sigSum &&
+		!now.Before(e.notBefore) && !now.After(e.notAfter) {
+		return e.key, nil
+	}
+	if err := pki.VerifyCertificateWith(p.caKey, cert, now, nil); err != nil {
 		p.ctr.Inc(metrics.AuthFailures, 1)
 		return nil, fmt.Errorf("%w: %q: %v", ErrUnknownIdentity, name, err)
 	}
 	p.ctr.Inc(metrics.VerifyOps, 1)
-	return cert.PublicKey()
+	key, err := cert.Key()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrUnknownIdentity, name, err)
+	}
+	p.peerMu.Lock()
+	p.peers[name] = &peerEntry{
+		serial: cert.Serial, sigSum: sigSum,
+		notBefore: cert.NotBefore, notAfter: cert.NotAfter, key: key,
+	}
+	p.peerMu.Unlock()
+	return key, nil
 }
 
 // newHeader assembles an outbound header with this party as sender.
@@ -278,8 +330,8 @@ func (p *party) newHeader(kind evidence.Kind, txn, recipient, ttp string, seq ui
 
 // buildMessage signs and seals evidence for the header and packages it
 // with the payload.
-func (p *party) buildMessage(h *evidence.Header, payload []byte, recipientKey *rsa.PublicKey) (*Message, *evidence.Evidence, error) {
-	ev, sealed, err := evidence.Build(p.id.Key, recipientKey, h)
+func (p *party) buildMessage(h *evidence.Header, payload []byte, recipientKey cryptoutil.PublicKey) (*Message, *evidence.Evidence, error) {
+	ev, sealed, err := evidence.BuildFor(p.id.Key.Signer(), recipientKey, h)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -318,7 +370,7 @@ func (p *party) checkInbound(m *Message) (*evidence.Header, *evidence.Evidence, 
 	if err != nil {
 		return nil, nil, err
 	}
-	ev, err := evidence.OpenCached(p.id.Key, senderKey, m.Sealed, h, p.vcache)
+	ev, err := evidence.OpenCachedWith(p.id.Key.Signer(), senderKey, m.Sealed, h, p.vcache)
 	if err != nil {
 		p.ctr.Inc(metrics.AuthFailures, 1)
 		return nil, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
@@ -326,6 +378,37 @@ func (p *party) checkInbound(m *Message) (*evidence.Header, *evidence.Evidence, 
 	p.ctr.Inc(metrics.DecryptOps, 1)
 	p.ctr.Inc(metrics.VerifyOps, 2)
 	return h, ev, nil
+}
+
+// checkInboundNoVerify runs every inbound check EXCEPT the two
+// signature verifications: decode, addressing, replay guard, time
+// limit, peer key resolution and decryption. The sender's key handle is
+// returned so the caller can verify the evidence signatures itself —
+// the batch-drain path collects a round of these and verifies them in
+// one cryptoutil.VerifyBatch call.
+func (p *party) checkInboundNoVerify(m *Message) (*evidence.Header, *evidence.Evidence, cryptoutil.PublicKey, error) {
+	h, err := m.Header()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	if h.RecipientID != p.id.Name {
+		return nil, nil, nil, fmt.Errorf("%w: message for %q arrived at %q", ErrProtocol, h.RecipientID, p.id.Name)
+	}
+	if err := p.guard.Check(h.TxnID+"|"+h.SenderID, h.Seq, h.Nonce, h.TimeLimit, p.clk.Now()); err != nil {
+		p.ctr.Inc(metrics.ReplaysSeen, 1)
+		return nil, nil, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	senderKey, err := p.peerKey(h.SenderID)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ev, err := evidence.OpenNoVerify(p.id.Key.Signer(), m.Sealed, h)
+	if err != nil {
+		p.ctr.Inc(metrics.AuthFailures, 1)
+		return nil, nil, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	p.ctr.Inc(metrics.DecryptOps, 1)
+	return h, ev, senderKey, nil
 }
 
 // pumpFor returns the single pump owning conn's receive side. Repeated

@@ -212,6 +212,13 @@ func (b *Provider) handle(raw []byte) (*Message, error) {
 		}
 		return nil, err
 	}
+	return b.dispatch(h, ev, m.Payload)
+}
+
+// dispatch routes one validated inbound message to its per-kind
+// handler. Both the serial path (handle) and the batch-drain path
+// (HandleBatch) converge here after their respective verification.
+func (b *Provider) dispatch(h *evidence.Header, ev *evidence.Evidence, payload []byte) (*Message, error) {
 	if b.expireIfStale(h) {
 		// The session blew its step deadline; it has just been driven to
 		// its abort state, so this late message is answered with a signed
@@ -224,13 +231,15 @@ func (b *Provider) handle(raw []byte) (*Message, error) {
 	}
 	switch h.Kind {
 	case evidence.KindNRO:
-		return b.handleUpload(h, ev, m.Payload)
+		return b.handleUpload(h, ev, payload)
 	case evidence.KindDownloadRequest:
 		return b.handleDownload(h, ev)
 	case evidence.KindAbortRequest:
 		return b.handleAbort(h, ev)
 	case evidence.KindResolveRequest:
-		return b.handleResolve(h, ev, m.Payload)
+		return b.handleResolve(h, ev, payload)
+	case evidence.KindSettleRequest:
+		return b.handleSettle(h, ev, payload)
 	default:
 		return b.errorReply(h, fmt.Sprintf("unsupported message kind %s", h.Kind))
 	}
@@ -502,7 +511,7 @@ func (b *Provider) handleResolve(h *evidence.Header, ev *evidence.Evidence, payl
 			return b.errorReply(h, "resolve carries malformed evidence")
 		}
 		claimantKey, kerr := b.peerKey(claimed.Header.SenderID)
-		if kerr != nil || claimed.Verify(claimantKey) != nil {
+		if kerr != nil || claimed.VerifyWith(claimantKey) != nil {
 			return b.errorReply(h, "resolve evidence does not verify")
 		}
 		b.ctr.Inc(metrics.VerifyOps, 2)

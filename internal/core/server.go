@@ -62,6 +62,7 @@ type Server struct {
 	// serial per-connection path.
 	maxInflight int64
 	pendingCap  int
+	batchCap    int
 	inflightNow atomic.Int64
 
 	// Expiry reaper (ServerExpiry). The goroutine starts in NewServer
@@ -83,6 +84,7 @@ type serverConfig struct {
 
 	maxInflight int64
 	pendingCap  int
+	batchCap    int
 
 	expClk   clock.Clock
 	expEvery time.Duration
@@ -120,6 +122,17 @@ func ServerConnPending(n int) ServerOption {
 	return func(c *serverConfig) { c.pendingCap = n }
 }
 
+// ServerBatchDrain enables batched inbound verification for handlers
+// that implement BatchHandler (the Provider does): each connection
+// round blocks for one message, drains up to n-1 more that have
+// already arrived, and verifies the whole round's evidence signatures
+// in one batched call. n <= 1 (the default) keeps the serial path.
+// Mutually exclusive with ServerConnPending's pipelining; batch drain
+// wins when both are set.
+func ServerBatchDrain(n int) ServerOption {
+	return func(c *serverConfig) { c.batchCap = n }
+}
+
 // ServerExpiry runs a reaper goroutine that calls expire with the
 // current time every interval; expire returns how many sessions it
 // expired (counted on server_expired_sessions_total). Wire a
@@ -144,6 +157,7 @@ func NewServer(h Handler, opts ...ServerOption) *Server {
 		conns:       make(map[transport.Conn]struct{}),
 		maxInflight: cfg.maxInflight,
 		pendingCap:  cfg.pendingCap,
+		batchCap:    cfg.batchCap,
 	}
 	if cfg.expFn != nil {
 		s.expClk, s.expEvery, s.expFn = cfg.expClk, cfg.expEvery, cfg.expFn
@@ -222,13 +236,16 @@ func (s *Server) Serve(ctx context.Context, l transport.Listener) error {
 			conn.Close()
 			return nil
 		}
-		s.connWG.Add(1)
 		go s.serveConn(ctx, conn)
 	}
 }
 
 // register tracks an accepted connection; it refuses (false) while
-// draining so Shutdown never loses a connection it should close.
+// draining so Shutdown never loses a connection it should close. The
+// connWG.Add must happen here, under the same mutex that Shutdown
+// uses to set draining: a bare Add after register returns could race
+// with Shutdown's Wait when the accepting goroutine deschedules
+// between the two.
 func (s *Server) register(conn transport.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -236,6 +253,7 @@ func (s *Server) register(conn transport.Conn) bool {
 		return false
 	}
 	s.conns[conn] = struct{}{}
+	s.connWG.Add(1)
 	s.met.active.Inc()
 	return true
 }
@@ -271,6 +289,12 @@ func (s *Server) serveConn(ctx context.Context, conn transport.Conn) {
 		case <-done:
 		}
 	}()
+	if s.batchCap > 1 {
+		if bh, ok := s.h.(BatchHandler); ok {
+			s.serveConnBatched(conn, bh)
+			return
+		}
+	}
 	if s.pendingCap > 1 {
 		s.serveConnPipelined(conn)
 		return

@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"crypto/rsa"
+	"fmt"
 	"time"
 
+	"repro/internal/cryptoutil"
 	"repro/internal/evidence"
 	"repro/internal/metrics"
 	"repro/internal/transport"
@@ -44,8 +46,25 @@ func (t *TTPParty) Archive() *evidence.Store { return t.p.Archive() }
 // Counters exposes the metrics counters.
 func (t *TTPParty) Counters() *metrics.Counters { return t.p.Counters() }
 
+// PeerPublicKey resolves and authenticates a party's public key as a
+// scheme handle (cached per certificate).
+func (t *TTPParty) PeerPublicKey(name string) (cryptoutil.PublicKey, error) {
+	return t.p.peerKey(name)
+}
+
 // PeerKey resolves and authenticates a party's public key.
-func (t *TTPParty) PeerKey(name string) (*rsa.PublicKey, error) { return t.p.peerKey(name) }
+//
+// Deprecated: use PeerPublicKey — this fails for non-RSA peers.
+func (t *TTPParty) PeerKey(name string) (*rsa.PublicKey, error) {
+	key, err := t.p.peerKey(name)
+	if err != nil {
+		return nil, err
+	}
+	if pub, ok := cryptoutil.RSAPublicKeyOf(key); ok {
+		return pub, nil
+	}
+	return nil, fmt.Errorf("%w: %q uses %s, not RSA", ErrUnknownIdentity, name, key.Scheme())
+}
 
 // NewHeader assembles an outbound header with the TTP as sender.
 func (t *TTPParty) NewHeader(kind evidence.Kind, txn, recipient, ttp string, seq uint64) *evidence.Header {
@@ -59,9 +78,17 @@ func (t *TTPParty) NextSeq(txn string) uint64 { return t.p.nextSeq(txn) }
 // sequence.
 func (t *TTPParty) BumpSeqTo(txn string, seen uint64) uint64 { return t.p.bumpSeqTo(txn, seen) }
 
-// BuildMessage signs and seals evidence for a header.
-func (t *TTPParty) BuildMessage(h *evidence.Header, payload []byte, recipientKey *rsa.PublicKey) (*Message, *evidence.Evidence, error) {
+// BuildMessageFor signs and seals evidence for a header, addressed to
+// a recipient key handle.
+func (t *TTPParty) BuildMessageFor(h *evidence.Header, payload []byte, recipientKey cryptoutil.PublicKey) (*Message, *evidence.Evidence, error) {
 	return t.p.buildMessage(h, payload, recipientKey)
+}
+
+// BuildMessage signs and seals evidence for a header.
+//
+// Deprecated: use BuildMessageFor with a scheme handle.
+func (t *TTPParty) BuildMessage(h *evidence.Header, payload []byte, recipientKey *rsa.PublicKey) (*Message, *evidence.Evidence, error) {
+	return t.p.buildMessage(h, payload, cryptoutil.NewRSAPublicKey(recipientKey))
 }
 
 // CheckInbound runs the generic inbound validation sequence.

@@ -1,0 +1,185 @@
+package cryptoutil
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Batch signature verification.
+//
+// One inbound protocol round can queue many signatures (a drained
+// connection round on the server, a session settle, an arbitration
+// bundle). Verifying them one call at a time serializes work the
+// machine could run in parallel; VerifyBatch verifies a whole queue in
+// one call, grouping items per scheme and fanning each group across
+// workers.
+//
+// The contract is fault-isolating: each item's verdict is independent,
+// and a failed batch identifies exactly which items failed. Per-scheme
+// backends are free to use an all-or-nothing fast path (an aggregate
+// check that is cheaper than N singles); when such a path fails, the
+// dispatcher falls back to verifying that group's items singly to
+// pinpoint the bad ones.
+
+// BatchItem is one (key, message, signature) triple in a batch.
+type BatchItem struct {
+	Pub PublicKey
+	Msg []byte
+	Sig []byte
+}
+
+// BatchError reports the items of a batch that failed verification.
+type BatchError struct {
+	// Failed maps item index → that item's verification error. Items
+	// absent from the map verified successfully.
+	Failed map[int]error
+}
+
+// Error summarizes the failure; per-item detail is in Failed.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("cryptoutil: batch verification failed for %d item(s)", len(e.Failed))
+}
+
+// batchMinParallel is the batch size below which spawning workers
+// costs more than it saves; smaller batches verify on the caller's
+// goroutine.
+const batchMinParallel = 4
+
+// VerifyBatch verifies every item and returns nil when all pass, or a
+// *BatchError pinpointing each failed index. A nil Pub is itself a
+// verification failure for that item, not a panic.
+func VerifyBatch(items []BatchItem) error {
+	switch len(items) {
+	case 0:
+		return nil
+	case 1:
+		if err := verifyOne(items[0]); err != nil {
+			return &BatchError{Failed: map[int]error{0: err}}
+		}
+		return nil
+	}
+
+	// Group indices by scheme so each backend sees a homogeneous
+	// batch. Both current backends share the parallel fallback, but
+	// the grouping is what lets a future scheme plug in an algebraic
+	// aggregate check without touching callers. The common case — every
+	// item under one scheme, no nil keys — skips the map entirely.
+	var (
+		bySch  map[Scheme][]int
+		failed map[int]error
+	)
+	uniform := true
+	for i, it := range items {
+		if it.Pub == nil || (i > 0 && items[0].Pub != nil && it.Pub.Scheme() != items[0].Pub.Scheme()) {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		all := make([]int, len(items))
+		for i := range items {
+			all[i] = i
+		}
+		bySch = map[Scheme][]int{items[0].Pub.Scheme(): all}
+	} else {
+		bySch = make(map[Scheme][]int, 2)
+		failed = make(map[int]error)
+		for i, it := range items {
+			if it.Pub == nil {
+				failed[i] = fmt.Errorf("cryptoutil: batch item %d has no public key", i)
+				continue
+			}
+			bySch[it.Pub.Scheme()] = append(bySch[it.Pub.Scheme()], i)
+		}
+	}
+
+	var mu sync.Mutex
+	for _, idxs := range bySch {
+		if verifyGroupFast(items, idxs) == nil {
+			continue
+		}
+		// The group's fast path failed somewhere: fall back to singles
+		// to identify the bad item(s).
+		for _, i := range idxs {
+			if err := verifyOne(items[i]); err != nil {
+				mu.Lock()
+				if failed == nil {
+					failed = make(map[int]error)
+				}
+				failed[i] = err
+				mu.Unlock()
+			}
+		}
+	}
+	if len(failed) > 0 {
+		return &BatchError{Failed: failed}
+	}
+	return nil
+}
+
+// verifyOne checks a single item.
+func verifyOne(it BatchItem) error {
+	if it.Pub == nil {
+		return fmt.Errorf("cryptoutil: batch item has no public key")
+	}
+	return it.Pub.Verify(it.Msg, it.Sig)
+}
+
+// verifyGroupFast is the all-or-nothing per-scheme batch check: it
+// reports only whether the whole group verifies, as fast as possible —
+// short-circuiting on the first failure and fanning out across up to
+// GOMAXPROCS workers for larger groups.
+func verifyGroupFast(items []BatchItem, idxs []int) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(idxs)/batchMinParallel {
+		workers = len(idxs) / batchMinParallel
+	}
+	if workers <= 1 {
+		for _, i := range idxs {
+			if err := items[i].Pub.Verify(items[i].Msg, items[i].Sig); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	chunk := (len(idxs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(idxs) {
+			hi = len(idxs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []int) {
+			defer wg.Done()
+			for _, i := range part {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				if err := items[i].Pub.Verify(items[i].Msg, items[i].Sig); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(idxs[lo:hi])
+	}
+	wg.Wait()
+	return firstErr
+}

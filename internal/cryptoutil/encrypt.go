@@ -14,28 +14,26 @@ import (
 // Hybrid public-key encryption.
 //
 // The paper requires evidence to be "encrypted with the recipient's
-// public key" (§4.1). Evidence blobs exceed what RSA can encrypt
-// directly, so we use the standard hybrid construction: a fresh AES-256
-// session key encrypts the payload with CTR mode, an HMAC-SHA256 tag
-// (encrypt-then-MAC, key derived from the session key) authenticates
-// the ciphertext, and RSA-OAEP wraps the session key for the recipient.
+// public key" (§4.1). Evidence blobs exceed what a public-key
+// primitive can encrypt directly, so we use the standard hybrid
+// construction: a fresh AES-256 session key encrypts the payload with
+// CTR mode, an HMAC-SHA256 tag (encrypt-then-MAC, key derived from the
+// session key) authenticates the ciphertext, and the recipient
+// scheme's KEM wraps the session key — RSA-OAEP for SchemeRSA, an
+// ephemeral X25519 agreement for SchemeEd25519 (the ephemeral public
+// key travels in the wrapped-key slot).
 //
-// Ciphertext layout (all lengths big-endian uint32):
+// Ciphertext layout (all lengths big-endian uint32), identical across
+// schemes:
 //
-//	| keyLen | RSA-OAEP(sessionKey) | iv (16) | tagLen | tag | payload |
+//	| keyLen | wrappedKey | iv (16) | tagLen | tag | payload |
 
 const sessionKeyLen = 32
 
-// Encrypt encrypts plaintext for the holder of pub.
-func Encrypt(pub *rsa.PublicKey, plaintext []byte) ([]byte, error) {
-	session := make([]byte, sessionKeyLen)
-	if _, err := io.ReadFull(rand.Reader, session); err != nil {
-		return nil, fmt.Errorf("cryptoutil: generating session key: %w", err)
-	}
-	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pub, session, []byte("tpnr-evidence"))
-	if err != nil {
-		return nil, fmt.Errorf("cryptoutil: wrapping session key: %w", err)
-	}
+// sealWithSession performs the symmetric half of hybrid sealing:
+// AES-256-CTR under session, HMAC-SHA256 over iv+ciphertext, framed
+// after the scheme-specific wrapped key.
+func sealWithSession(session, wrapped, plaintext []byte) ([]byte, error) {
 	block, err := aes.NewCipher(session)
 	if err != nil {
 		return nil, fmt.Errorf("cryptoutil: building AES cipher: %w", err)
@@ -59,18 +57,23 @@ func Encrypt(pub *rsa.PublicKey, plaintext []byte) ([]byte, error) {
 	return out, nil
 }
 
-// Decrypt reverses Encrypt using the recipient's key pair. It fails if
-// the ciphertext was not produced for this key or has been modified.
-func Decrypt(key KeyPair, ciphertext []byte) ([]byte, error) {
+// splitSealed peels the scheme-specific wrapped key off a sealed blob,
+// returning it and the remaining symmetric frame.
+func splitSealed(ciphertext []byte) (wrapped, rest []byte, err error) {
 	if len(ciphertext) < 4 {
-		return nil, fmt.Errorf("cryptoutil: ciphertext too short (%d bytes)", len(ciphertext))
+		return nil, nil, fmt.Errorf("cryptoutil: ciphertext too short (%d bytes)", len(ciphertext))
 	}
 	keyLen := binary.BigEndian.Uint32(ciphertext)
-	rest := ciphertext[4:]
+	rest = ciphertext[4:]
 	if uint32(len(rest)) < keyLen {
-		return nil, fmt.Errorf("cryptoutil: truncated wrapped key")
+		return nil, nil, fmt.Errorf("cryptoutil: truncated wrapped key")
 	}
-	wrapped, rest := rest[:keyLen], rest[keyLen:]
+	return rest[:keyLen], rest[keyLen:], nil
+}
+
+// openWithSession reverses sealWithSession given the recovered session
+// key and the frame remainder returned by splitSealed.
+func openWithSession(session, rest []byte) ([]byte, error) {
 	if len(rest) < aes.BlockSize+4 {
 		return nil, fmt.Errorf("cryptoutil: truncated IV or tag length")
 	}
@@ -82,10 +85,6 @@ func Decrypt(key KeyPair, ciphertext []byte) ([]byte, error) {
 	}
 	tag, ct := rest[:tagLen], rest[tagLen:]
 
-	session, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, key.Private, wrapped, []byte("tpnr-evidence"))
-	if err != nil {
-		return nil, fmt.Errorf("cryptoutil: unwrapping session key: %w", err)
-	}
 	if !VerifyHMACSHA256(macKey(session), append(append([]byte(nil), iv...), ct...), tag) {
 		return nil, fmt.Errorf("cryptoutil: ciphertext authentication failed")
 	}
@@ -96,6 +95,27 @@ func Decrypt(key KeyPair, ciphertext []byte) ([]byte, error) {
 	pt := make([]byte, len(ct))
 	cipher.NewCTR(block, iv).XORKeyStream(pt, ct)
 	return pt, nil
+}
+
+// Encrypt encrypts plaintext for the holder of pub.
+//
+// Deprecated: use PublicKey.Seal on a scheme handle
+// (NewRSAPublicKey(pub).Seal(plaintext) for a raw RSA key).
+func Encrypt(pub *rsa.PublicKey, plaintext []byte) ([]byte, error) {
+	return NewRSAPublicKey(pub).Seal(plaintext)
+}
+
+// Decrypt reverses Encrypt using the recipient's key pair. It fails if
+// the ciphertext was not produced for this key or has been modified.
+//
+// Deprecated: use Signer.Unseal (KeyPair.Signer().Unseal for a legacy
+// key pair).
+func Decrypt(key KeyPair, ciphertext []byte) ([]byte, error) {
+	s := key.Signer()
+	if s == nil {
+		return nil, fmt.Errorf("cryptoutil: key pair holds no private key")
+	}
+	return s.Unseal(ciphertext)
 }
 
 // macKey derives the authentication key from the session key so the

@@ -13,15 +13,74 @@ import (
 // to stay fast.
 const DefaultRSABits = 2048
 
-// KeyPair carries a party's RSA private key together with its public
-// half. Identities in this repository (Alice, Bob, the TTP, the CA) are
-// each bound to one KeyPair through the pki package.
+// KeyPair carries a party's private key together with its public half.
+// Identities in this repository (Alice, Bob, the TTP, the CA) are each
+// bound to one KeyPair through the pki package.
+//
+// Historically a KeyPair was always RSA and exposed the raw
+// *rsa.PrivateKey; it now bridges to the scheme-agnostic Signer world:
+// a KeyPair can carry ANY registered scheme (build one with
+// SignerKeyPair), and Signer() returns the scheme handle all new code
+// signs and unseals through. The Private field remains for RSA pairs —
+// it is nil for other schemes.
 type KeyPair struct {
+	// Private is the raw RSA private key for SchemeRSA pairs, nil
+	// otherwise.
+	//
+	// Deprecated: use Signer() — it works for every scheme.
 	Private *rsa.PrivateKey
+
+	// signer is the scheme handle for non-RSA pairs (and a cache for
+	// RSA pairs built through SignerKeyPair).
+	signer Signer
+}
+
+// SignerKeyPair wraps a scheme-agnostic Signer in a KeyPair so it can
+// flow through APIs that still traffic in KeyPair (pki.Identity,
+// keystore, the legacy constructors). For RSA signers the Private
+// field is populated, so legacy code reading it keeps working.
+func SignerKeyPair(s Signer) KeyPair {
+	if rs, ok := s.(*rsaSigner); ok {
+		return KeyPair{Private: rs.priv, signer: s}
+	}
+	return KeyPair{signer: s}
+}
+
+// Signer returns the scheme handle for this pair: the cached one for
+// pairs built via SignerKeyPair, or a fresh RSA handle for legacy
+// pairs built from a raw Private key. Returns nil for a zero KeyPair.
+func (k KeyPair) Signer() Signer {
+	if k.signer != nil {
+		return k.signer
+	}
+	if k.Private != nil {
+		return newRSASigner(k.Private)
+	}
+	return nil
+}
+
+// Scheme reports the pair's scheme (SchemeRSA for legacy pairs); zero
+// for an empty pair.
+func (k KeyPair) Scheme() Scheme {
+	if k.signer != nil {
+		return k.signer.Scheme()
+	}
+	if k.Private != nil {
+		return SchemeRSA
+	}
+	return 0
 }
 
 // Public returns the public half of the pair.
-func (k KeyPair) Public() *rsa.PublicKey { return &k.Private.PublicKey }
+//
+// Deprecated: only meaningful for RSA pairs (returns nil otherwise);
+// use Signer().Public() for a scheme-agnostic handle.
+func (k KeyPair) Public() *rsa.PublicKey {
+	if k.Private == nil {
+		return nil
+	}
+	return &k.Private.PublicKey
+}
 
 // GenerateKey creates a DefaultRSABits RSA key pair.
 func GenerateKey() (KeyPair, error) { return GenerateKeyBits(DefaultRSABits) }
@@ -35,8 +94,21 @@ func GenerateKeyBits(bits int) (KeyPair, error) {
 	return KeyPair{Private: priv}, nil
 }
 
+// GenerateKeyPair creates a key pair for the given scheme at default
+// strength, wrapped for APIs that still traffic in KeyPair.
+func GenerateKeyPair(s Scheme) (KeyPair, error) {
+	sg, err := GenerateSigner(s)
+	if err != nil {
+		return KeyPair{}, err
+	}
+	return SignerKeyPair(sg), nil
+}
+
 // MarshalPublicKey serializes a public key to PKIX DER bytes, the
 // canonical form hashed into certificates and evidence.
+//
+// Deprecated: use PublicKey.Marshal on a scheme handle; this form only
+// exists for raw RSA keys.
 func MarshalPublicKey(pub *rsa.PublicKey) ([]byte, error) {
 	der, err := x509.MarshalPKIXPublicKey(pub)
 	if err != nil {
@@ -46,6 +118,9 @@ func MarshalPublicKey(pub *rsa.PublicKey) ([]byte, error) {
 }
 
 // ParsePublicKey reverses MarshalPublicKey.
+//
+// Deprecated: use ParseAnyPublicKey, which accepts every scheme's
+// marshal form (including this one).
 func ParsePublicKey(der []byte) (*rsa.PublicKey, error) {
 	k, err := x509.ParsePKIXPublicKey(der)
 	if err != nil {
@@ -60,6 +135,9 @@ func ParsePublicKey(der []byte) (*rsa.PublicKey, error) {
 
 // PublicKeyFingerprint returns the SHA-256 digest of the PKIX encoding
 // of pub. Fingerprints name keys in certificates and revocation lists.
+//
+// Deprecated: use PublicKey.Fingerprint on a scheme handle (identical
+// value for RSA keys, and cached).
 func PublicKeyFingerprint(pub *rsa.PublicKey) (Digest, error) {
 	der, err := MarshalPublicKey(pub)
 	if err != nil {

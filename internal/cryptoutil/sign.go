@@ -1,32 +1,30 @@
 package cryptoutil
 
 import (
-	"crypto"
-	"crypto/rand"
 	"crypto/rsa"
-	"crypto/sha256"
 	"fmt"
 )
 
-// Sign produces an RSA PKCS#1 v1.5 signature over SHA-256(msg). This is
-// the "Sign(...)" operation in the paper's evidence construction
+// Sign produces a signature over msg under the pair's scheme (RSA
+// PKCS#1 v1.5 over SHA-256 for legacy RSA pairs). This is the
+// "Sign(...)" operation in the paper's evidence construction
 // Encrypt{Sign(HashOfData), Sign(Plaintext)} (§4.1): the signer commits
 // to the message under its private key so it cannot later deny having
 // produced it.
+//
+// Deprecated: use Signer.Sign on a scheme handle (KeyPair.Signer()).
 func Sign(key KeyPair, msg []byte) ([]byte, error) {
-	sum := sha256.Sum256(msg)
-	sig, err := rsa.SignPKCS1v15(rand.Reader, key.Private, crypto.SHA256, sum[:])
-	if err != nil {
-		return nil, fmt.Errorf("cryptoutil: signing %d-byte message: %w", len(msg), err)
+	s := key.Signer()
+	if s == nil {
+		return nil, fmt.Errorf("cryptoutil: key pair holds no private key")
 	}
-	return sig, nil
+	return s.Sign(msg)
 }
 
 // Verify checks an RSA PKCS#1 v1.5 signature over SHA-256(msg).
+//
+// Deprecated: use PublicKey.Verify on a scheme handle
+// (NewRSAPublicKey(pub) for a raw RSA key).
 func Verify(pub *rsa.PublicKey, msg, sig []byte) error {
-	sum := sha256.Sum256(msg)
-	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA256, sum[:], sig); err != nil {
-		return fmt.Errorf("cryptoutil: signature verification failed: %w", err)
-	}
-	return nil
+	return NewRSAPublicKey(pub).Verify(msg, sig)
 }

@@ -8,21 +8,41 @@ import "sync"
 // fresh 2048-bit identities per test. Never use these outside tests,
 // examples, and experiment harnesses: 1024-bit RSA is undersized for
 // production and the cache makes keys process-global.
-func InsecureTestKey(slot int) KeyPair {
+func InsecureTestKey(slot int) KeyPair { return InsecureTestKeyScheme(slot, SchemeRSA) }
+
+// InsecureTestKeyScheme is InsecureTestKey with a scheme choice: the
+// same slot yields independent cached keys per scheme, so a test can
+// run its whole harness under either scheme (the chaos suite does,
+// driven by the TPNR_SCHEME env var). RSA test keys are 1024-bit.
+func InsecureTestKeyScheme(slot int, scheme Scheme) KeyPair {
 	testKeyMu.Lock()
 	defer testKeyMu.Unlock()
-	if k, ok := testKeys[slot]; ok {
-		return k
+	k := testKey{slot: slot, scheme: scheme}
+	if kp, ok := testKeys[k]; ok {
+		return kp
 	}
-	k, err := GenerateKeyBits(1024)
+	var (
+		kp  KeyPair
+		err error
+	)
+	if scheme == SchemeRSA {
+		kp, err = GenerateKeyBits(1024)
+	} else {
+		kp, err = GenerateKeyPair(scheme)
+	}
 	if err != nil {
 		panic(err)
 	}
-	testKeys[slot] = k
-	return k
+	testKeys[k] = kp
+	return kp
+}
+
+type testKey struct {
+	slot   int
+	scheme Scheme
 }
 
 var (
 	testKeyMu sync.Mutex
-	testKeys  = map[int]KeyPair{}
+	testKeys  = map[testKey]KeyPair{}
 )

@@ -8,6 +8,7 @@ package deploy
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/clock"
@@ -35,8 +36,15 @@ type Config struct {
 	// party (zero means the package defaults).
 	ResponseTimeout time.Duration
 	MessageLifetime time.Duration
+	// Scheme selects the signature scheme for every identity key
+	// (cryptoutil.SchemeRSA or cryptoutil.SchemeEd25519). Zero resolves
+	// from the TPNR_SCHEME environment variable ("rsa" when unset), so
+	// the chaos matrix and CI can flip an entire deployment without code
+	// changes.
+	Scheme cryptoutil.Scheme
 	// KeyBits sets identity key size; 0 means cryptoutil.DefaultRSABits.
-	// Tests and benchmarks pass a smaller size or use TestKeys.
+	// Tests and benchmarks pass a smaller size or use TestKeys. Only
+	// meaningful for the RSA scheme.
 	KeyBits int
 	// TestKeys, when true, uses the process-wide cached insecure test
 	// keys instead of generating fresh ones (fast; never production).
@@ -113,7 +121,7 @@ func New(cfg Config) (*Deployment, error) {
 	opts := func(id *pki.Identity, ctr *metrics.Counters) []core.Option {
 		return []core.Option{
 			core.WithIdentity(id),
-			core.WithCAKey(ca.PublicKey()),
+			core.WithCAPublicKey(ca.Key()),
 			core.WithDirectory(dir),
 			core.WithClock(clk),
 			core.WithCounters(ctr),
@@ -172,22 +180,44 @@ func New(cfg Config) (*Deployment, error) {
 	return d, nil
 }
 
-func identityKeys(cfg Config) ([]cryptoutil.KeyPair, error) {
-	if cfg.TestKeys {
-		return []cryptoutil.KeyPair{
-			cryptoutil.InsecureTestKey(100),
-			cryptoutil.InsecureTestKey(101),
-			cryptoutil.InsecureTestKey(102),
-			cryptoutil.InsecureTestKey(103),
-		}, nil
+// SchemeOf resolves cfg.Scheme, falling back to the TPNR_SCHEME
+// environment variable ("rsa" when unset or empty).
+func (cfg Config) SchemeOf() (cryptoutil.Scheme, error) {
+	if cfg.Scheme != 0 {
+		return cfg.Scheme, nil
 	}
-	bits := cfg.KeyBits
-	if bits == 0 {
-		bits = cryptoutil.DefaultRSABits
+	s, err := cryptoutil.ParseScheme(os.Getenv("TPNR_SCHEME"))
+	if err != nil {
+		return 0, fmt.Errorf("deploy: TPNR_SCHEME: %w", err)
+	}
+	return s, nil
+}
+
+func identityKeys(cfg Config) ([]cryptoutil.KeyPair, error) {
+	scheme, err := cfg.SchemeOf()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TestKeys {
+		keys := make([]cryptoutil.KeyPair, 4)
+		for i := range keys {
+			keys[i] = cryptoutil.InsecureTestKeyScheme(100+i, scheme)
+		}
+		return keys, nil
 	}
 	keys := make([]cryptoutil.KeyPair, 4)
 	for i := range keys {
-		k, err := cryptoutil.GenerateKeyBits(bits)
+		var k cryptoutil.KeyPair
+		var err error
+		if scheme == cryptoutil.SchemeRSA {
+			bits := cfg.KeyBits
+			if bits == 0 {
+				bits = cryptoutil.DefaultRSABits
+			}
+			k, err = cryptoutil.GenerateKeyBits(bits)
+		} else {
+			k, err = cryptoutil.GenerateKeyPair(scheme)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("deploy: generating identity key: %w", err)
 		}

@@ -4,7 +4,6 @@ import (
 	"container/list"
 	"crypto/rsa"
 	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -22,14 +21,18 @@ var (
 	obsCacheEvictions = obs.Default().Counter("verify_cache_evictions_total")
 )
 
-// VerifyCache memoizes SUCCESSFUL RSA signature verifications. The TTP
+// VerifyCache memoizes SUCCESSFUL signature verifications. The TTP
 // resolve path and the arbitrator re-verify the same NRO/NRR evidence
-// on every dispute round; an RSA verify costs tens of microseconds
-// while a cache hit costs one SHA-256 over the key material.
+// on every dispute round; a public-key verify costs tens of
+// microseconds while a cache hit costs one SHA-256 over the key
+// fingerprint and message.
 //
 // Entries are keyed by SHA-256 over (signer key fingerprint, message
 // digest, signature) — all three, so a hit proves exactly "this key
-// verified this signature over this message" and nothing weaker.
+// verified this signature over this message" and nothing weaker. The
+// fingerprint is the scheme handle's cached Fingerprint(), so keying
+// costs no key re-serialization per lookup (it used to hash the raw
+// RSA modulus every time) and works identically across schemes.
 //
 // Negative results are NEVER cached: a failed verification is
 // attacker-controlled input (any garbage signature mints a fresh key),
@@ -96,13 +99,14 @@ func (c *VerifyCache) Len() int {
 }
 
 // cacheKey binds signer, message, and signature into one lookup key.
-func cacheKey(pub *rsa.PublicKey, msg, sig []byte) [32]byte {
+// The handle's fingerprint is cached inside the handle, so the key
+// costs one SHA-256 over ~100 bytes regardless of key scheme or size.
+func cacheKey(pub cryptoutil.PublicKey, msg, sig []byte) [32]byte {
 	h := sha256.New()
-	h.Write([]byte("tpnr-verify-cache-v1"))
-	var e [8]byte
-	binary.BigEndian.PutUint64(e[:], uint64(pub.E))
-	h.Write(e[:])
-	h.Write(pub.N.Bytes())
+	h.Write([]byte("tpnr-verify-cache-v2"))
+	fp := pub.Fingerprint()
+	h.Write([]byte{byte(pub.Scheme())})
+	h.Write(fp.Sum)
 	md := sha256.Sum256(msg)
 	h.Write(md[:])
 	h.Write(sig)
@@ -111,28 +115,29 @@ func cacheKey(pub *rsa.PublicKey, msg, sig []byte) [32]byte {
 	return k
 }
 
-// verify checks one signature, consulting the cache first and caching
-// only success. A nil cache degrades to a plain verification.
-func (c *VerifyCache) verify(pub *rsa.PublicKey, msg, sig []byte) error {
-	if c == nil {
-		return cryptoutil.Verify(pub, msg, sig)
-	}
-	k := cacheKey(pub, msg, sig)
+// lookup reports whether k is cached, refreshing its LRU position and
+// counting the hit or miss.
+func (c *VerifyCache) lookup(k [32]byte) bool {
 	s := &c.shards[k[0]%verifyShards]
 	s.mu.Lock()
-	if el, ok := s.keys[k]; ok {
+	el, ok := s.keys[k]
+	if ok {
 		s.ll.MoveToFront(el)
-		s.mu.Unlock()
-		c.hits.Add(1)
-		obsCacheHits.Inc()
-		return nil
 	}
 	s.mu.Unlock()
-	c.misses.Add(1)
-	obsCacheMisses.Inc()
-	if err := cryptoutil.Verify(pub, msg, sig); err != nil {
-		return err
+	if ok {
+		c.hits.Add(1)
+		obsCacheHits.Inc()
+	} else {
+		c.misses.Add(1)
+		obsCacheMisses.Inc()
 	}
+	return ok
+}
+
+// insert records a successful verification under k.
+func (c *VerifyCache) insert(k [32]byte) {
+	s := &c.shards[k[0]%verifyShards]
 	s.mu.Lock()
 	if _, ok := s.keys[k]; !ok {
 		s.keys[k] = s.ll.PushFront(k)
@@ -145,16 +150,32 @@ func (c *VerifyCache) verify(pub *rsa.PublicKey, msg, sig []byte) error {
 		}
 	}
 	s.mu.Unlock()
+}
+
+// verify checks one signature, consulting the cache first and caching
+// only success. A nil cache degrades to a plain verification.
+func (c *VerifyCache) verify(pub cryptoutil.PublicKey, msg, sig []byte) error {
+	if c == nil {
+		return pub.Verify(msg, sig)
+	}
+	k := cacheKey(pub, msg, sig)
+	if c.lookup(k) {
+		return nil
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		return err
+	}
+	c.insert(k)
 	return nil
 }
 
-// VerifyCached checks both evidence signatures like Verify, but
-// consults the cache so repeat verifications of the same evidence
-// under the same key cost two hash lookups instead of two RSA
+// VerifyCachedWith checks both evidence signatures like VerifyWith,
+// but consults the cache so repeat verifications of the same evidence
+// under the same key cost two hash lookups instead of two public-key
 // operations. A nil cache is allowed and means no caching.
-func (ev *Evidence) VerifyCached(senderPub *rsa.PublicKey, c *VerifyCache) error {
+func (ev *Evidence) VerifyCachedWith(senderPub cryptoutil.PublicKey, c *VerifyCache) error {
 	if c == nil {
-		return ev.Verify(senderPub)
+		return ev.VerifyWith(senderPub)
 	}
 	if err := c.verify(senderPub, ev.Header.Encode(), ev.HeaderSig); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadHeaderSig, err)
@@ -165,18 +186,123 @@ func (ev *Evidence) VerifyCached(senderPub *rsa.PublicKey, c *VerifyCache) error
 	return nil
 }
 
-// OpenCached is Open with the signature checks routed through the
-// cache. Decryption is never cached (the ciphertext is fresh per seal).
-func OpenCached(recipient cryptoutil.KeyPair, senderPub *rsa.PublicKey, sealed []byte, plainHeader *Header, c *VerifyCache) (*Evidence, error) {
+// VerifyCached is VerifyCachedWith for RSA senders.
+//
+// Deprecated: use VerifyCachedWith with a scheme handle.
+func (ev *Evidence) VerifyCached(senderPub *rsa.PublicKey, c *VerifyCache) error {
+	return ev.VerifyCachedWith(cryptoutil.NewRSAPublicKey(senderPub), c)
+}
+
+// OpenCachedWith is OpenWith with the signature checks routed through
+// the cache. Decryption is never cached (the ciphertext is fresh per
+// seal).
+func OpenCachedWith(recipient cryptoutil.Signer, senderPub cryptoutil.PublicKey, sealed []byte, plainHeader *Header, c *VerifyCache) (*Evidence, error) {
 	if c == nil {
-		return Open(recipient, senderPub, sealed, plainHeader)
+		return OpenWith(recipient, senderPub, sealed, plainHeader)
 	}
 	ev, err := open(recipient, sealed, plainHeader)
 	if err != nil {
 		return nil, err
 	}
-	if err := ev.VerifyCached(senderPub, c); err != nil {
+	if err := ev.VerifyCachedWith(senderPub, c); err != nil {
 		return nil, err
 	}
 	return ev, nil
+}
+
+// OpenCached is OpenCachedWith for RSA key pairs.
+//
+// Deprecated: use OpenCachedWith with scheme handles.
+func OpenCached(recipient cryptoutil.KeyPair, senderPub *rsa.PublicKey, sealed []byte, plainHeader *Header, c *VerifyCache) (*Evidence, error) {
+	return OpenCachedWith(recipient.Signer(), cryptoutil.NewRSAPublicKey(senderPub), sealed, plainHeader, c)
+}
+
+// BatchEntry is one (evidence, claimed sender) pair in a batch
+// verification.
+type BatchEntry struct {
+	Ev     *Evidence
+	Sender cryptoutil.PublicKey
+}
+
+// VerifyBatch verifies many opened evidence items in one call — the
+// server's inbound drain path. Cache hits are peeled off first; the
+// remaining signatures (two per evidence: header and data hash) go
+// through cryptoutil.VerifyBatch, which groups per scheme and fans out
+// across workers, falling back to single verifications to pinpoint
+// failures. Successes are inserted into the cache.
+//
+// The result maps evidence index → verification error for exactly the
+// entries that failed; a nil map means every entry verified. Failures
+// are isolated: one corrupt entry never poisons its batch neighbors.
+func VerifyBatch(entries []BatchEntry, c *VerifyCache) map[int]error {
+	var failed map[int]error
+	fail := func(i int, err error) {
+		if failed == nil {
+			failed = make(map[int]error)
+		}
+		failed[i] = err
+	}
+	type pending struct {
+		entry int      // index into entries
+		key   [32]byte // cache key to insert on success
+		bad   error    // which evidence error class a failure maps to
+	}
+	items := make([]cryptoutil.BatchItem, 0, 2*len(entries))
+	meta := make([]pending, 0, 2*len(entries))
+	for i, en := range entries {
+		if en.Ev == nil || en.Sender == nil {
+			fail(i, fmt.Errorf("%w: missing evidence or sender key", ErrMalformed))
+			continue
+		}
+		sigs := []struct {
+			msg []byte
+			sig []byte
+			bad error
+		}{
+			{en.Ev.Header.Encode(), en.Ev.HeaderSig, ErrBadHeaderSig},
+			{en.Ev.Header.digestBytes(), en.Ev.DataSig, ErrBadDataSig},
+		}
+		for _, sg := range sigs {
+			var k [32]byte
+			if c != nil {
+				k = cacheKey(en.Sender, sg.msg, sg.sig)
+				if c.lookup(k) {
+					continue
+				}
+			}
+			items = append(items, cryptoutil.BatchItem{Pub: en.Sender, Msg: sg.msg, Sig: sg.sig})
+			meta = append(meta, pending{entry: i, key: k, bad: sg.bad})
+		}
+	}
+
+	var batchFail map[int]error
+	if err := cryptoutil.VerifyBatch(items); err != nil {
+		be, ok := err.(*cryptoutil.BatchError)
+		if !ok {
+			// Defensive: treat an untyped error as "everything failed".
+			for j := range items {
+				if batchFail == nil {
+					batchFail = make(map[int]error, len(items))
+				}
+				batchFail[j] = err
+			}
+		} else {
+			batchFail = be.Failed
+		}
+	}
+	for j, m := range meta {
+		if err, bad := batchFail[j]; bad {
+			if _, seen := failed[m.entry]; !seen {
+				fail(m.entry, fmt.Errorf("%w: %v", m.bad, err))
+			}
+			continue
+		}
+		if c != nil {
+			c.insert(m.key)
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	return failed
 }

@@ -43,6 +43,8 @@ const (
 	KindResolveRequest
 	KindResolveResponse
 	KindError
+	KindSettleRequest
+	KindSettleResponse
 )
 
 // String names the kind for transcripts.
@@ -68,6 +70,10 @@ func (k Kind) String() string {
 		return "resolve-response"
 	case KindError:
 		return "error"
+	case KindSettleRequest:
+		return "settle-request"
+	case KindSettleResponse:
+		return "settle-response"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -216,18 +222,22 @@ type Evidence struct {
 	HeaderSig []byte
 }
 
-// Build constructs evidence for header under the sender's key and
-// seals it for the recipient. Returns the evidence (the sender's own
-// copy) and the sealed ciphertext to transmit.
+// BuildFor constructs evidence for header under the sender's signer
+// and seals it for the recipient's public key, whatever scheme either
+// uses. Returns the evidence (the sender's own copy) and the sealed
+// ciphertext to transmit.
 //
 // The header must already carry the data digests (SetDigests).
-func Build(sender cryptoutil.KeyPair, recipient *rsa.PublicKey, h *Header) (*Evidence, []byte, error) {
-	dataSig, err := cryptoutil.Sign(sender, h.digestBytes())
+func BuildFor(sender cryptoutil.Signer, recipient cryptoutil.PublicKey, h *Header) (*Evidence, []byte, error) {
+	if sender == nil {
+		return nil, nil, fmt.Errorf("evidence: nil sender signer")
+	}
+	dataSig, err := sender.Sign(h.digestBytes())
 	if err != nil {
 		return nil, nil, fmt.Errorf("evidence: signing data hash: %w", err)
 	}
 	headerBytes := h.Encode()
-	headerSig, err := cryptoutil.Sign(sender, headerBytes)
+	headerSig, err := sender.Sign(headerBytes)
 	if err != nil {
 		return nil, nil, fmt.Errorf("evidence: signing header: %w", err)
 	}
@@ -238,33 +248,59 @@ func Build(sender cryptoutil.KeyPair, recipient *rsa.PublicKey, h *Header) (*Evi
 	e.Bytes32(headerBytes)
 	e.Bytes32(dataSig)
 	e.Bytes32(headerSig)
-	sealed, err := cryptoutil.Encrypt(recipient, e.Bytes())
+	sealed, err := recipient.Seal(e.Bytes())
 	if err != nil {
 		return nil, nil, fmt.Errorf("evidence: sealing: %w", err)
 	}
 	return ev, sealed, nil
 }
 
-// Open decrypts sealed evidence with the recipient's key and verifies
-// both signatures under the sender's public key. If plainHeader is
-// non-nil, the sealed header must byte-equal it ("The peers should
-// check the consistency between the hash of the plaintext and the
-// plaintext at first", §4.1).
-func Open(recipient cryptoutil.KeyPair, senderPub *rsa.PublicKey, sealed []byte, plainHeader *Header) (*Evidence, error) {
+// Build is BuildFor restricted to RSA recipients.
+//
+// Deprecated: use BuildFor with scheme handles.
+func Build(sender cryptoutil.KeyPair, recipient *rsa.PublicKey, h *Header) (*Evidence, []byte, error) {
+	return BuildFor(sender.Signer(), cryptoutil.NewRSAPublicKey(recipient), h)
+}
+
+// OpenWith decrypts sealed evidence with the recipient's signer and
+// verifies both signatures under the sender's public key. If
+// plainHeader is non-nil, the sealed header must byte-equal it ("The
+// peers should check the consistency between the hash of the plaintext
+// and the plaintext at first", §4.1).
+func OpenWith(recipient cryptoutil.Signer, senderPub cryptoutil.PublicKey, sealed []byte, plainHeader *Header) (*Evidence, error) {
 	ev, err := open(recipient, sealed, plainHeader)
 	if err != nil {
 		return nil, err
 	}
-	if err := ev.Verify(senderPub); err != nil {
+	if err := ev.VerifyWith(senderPub); err != nil {
 		return nil, err
 	}
 	return ev, nil
 }
 
+// Open is OpenWith restricted to RSA senders.
+//
+// Deprecated: use OpenWith with scheme handles.
+func Open(recipient cryptoutil.KeyPair, senderPub *rsa.PublicKey, sealed []byte, plainHeader *Header) (*Evidence, error) {
+	return OpenWith(recipient.Signer(), cryptoutil.NewRSAPublicKey(senderPub), sealed, plainHeader)
+}
+
+// OpenNoVerify decrypts and decodes sealed evidence WITHOUT checking
+// its signatures. The caller must verify (VerifyWith or VerifyBatch)
+// before trusting the result — the server's batch-drain path uses this
+// to decrypt a drained round first, then verifies every signature in
+// one batched call.
+func OpenNoVerify(recipient cryptoutil.Signer, sealed []byte, plainHeader *Header) (*Evidence, error) {
+	return open(recipient, sealed, plainHeader)
+}
+
 // open decrypts and decodes sealed evidence without verifying the
-// signatures; Open and OpenCached layer their verification on top.
-func open(recipient cryptoutil.KeyPair, sealed []byte, plainHeader *Header) (*Evidence, error) {
-	plain, err := cryptoutil.Decrypt(recipient, sealed)
+// signatures; OpenWith and OpenCached layer their verification on top.
+func open(recipient cryptoutil.Signer, sealed []byte, plainHeader *Header) (*Evidence, error) {
+	if recipient == nil {
+		return nil, fmt.Errorf("evidence: nil recipient signer")
+	}
+	plain, err := recipient.Unseal(sealed)
 	if err != nil {
 		return nil, fmt.Errorf("evidence: unsealing: %w", err)
 	}
@@ -288,27 +324,46 @@ func open(recipient cryptoutil.KeyPair, sealed []byte, plainHeader *Header) (*Ev
 	return &Evidence{Header: h, DataSig: dataSig, HeaderSig: headerSig}, nil
 }
 
-// Verify checks both signatures under the claimed sender's public key.
-func (ev *Evidence) Verify(senderPub *rsa.PublicKey) error {
-	if err := cryptoutil.Verify(senderPub, ev.Header.Encode(), ev.HeaderSig); err != nil {
+// VerifyWith checks both signatures under the claimed sender's public
+// key handle, whatever its scheme.
+func (ev *Evidence) VerifyWith(senderPub cryptoutil.PublicKey) error {
+	if senderPub == nil {
+		return fmt.Errorf("%w: nil sender public key", ErrBadHeaderSig)
+	}
+	if err := senderPub.Verify(ev.Header.Encode(), ev.HeaderSig); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadHeaderSig, err)
 	}
-	if err := cryptoutil.Verify(senderPub, ev.Header.digestBytes(), ev.DataSig); err != nil {
+	if err := senderPub.Verify(ev.Header.digestBytes(), ev.DataSig); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadDataSig, err)
 	}
 	return nil
 }
 
-// VerifyAgainstData additionally checks that data matches the header's
-// digests — the full check a downloader runs before accepting content.
-func (ev *Evidence) VerifyAgainstData(senderPub *rsa.PublicKey, data []byte) error {
-	if err := ev.Verify(senderPub); err != nil {
+// Verify checks both signatures under the claimed sender's public key.
+//
+// Deprecated: use VerifyWith with a scheme handle.
+func (ev *Evidence) Verify(senderPub *rsa.PublicKey) error {
+	return ev.VerifyWith(cryptoutil.NewRSAPublicKey(senderPub))
+}
+
+// VerifyAgainstDataWith additionally checks that data matches the
+// header's digests — the full check a downloader runs before accepting
+// content.
+func (ev *Evidence) VerifyAgainstDataWith(senderPub cryptoutil.PublicKey, data []byte) error {
+	if err := ev.VerifyWith(senderPub); err != nil {
 		return err
 	}
 	if !ev.Header.MatchesData(data) {
 		return fmt.Errorf("%w: object %q", ErrDigestMismatch, ev.Header.ObjectKey)
 	}
 	return nil
+}
+
+// VerifyAgainstData is VerifyAgainstDataWith for RSA senders.
+//
+// Deprecated: use VerifyAgainstDataWith with a scheme handle.
+func (ev *Evidence) VerifyAgainstData(senderPub *rsa.PublicKey, data []byte) error {
+	return ev.VerifyAgainstDataWith(cryptoutil.NewRSAPublicKey(senderPub), data)
 }
 
 // Encode serializes opened evidence (for storage and for submission to

@@ -182,7 +182,7 @@ func e5TPNR(original []byte, tamper func([]byte) []byte) (bool, bool, error) {
 	detected := errors.Is(derr, core.ErrIntegrity)
 
 	// Attribution: submit the evidence to the arbitrator.
-	arb := arbitrator.New(d.CA.PublicKey(), d.CA.Lookup, nil)
+	arb := arbitrator.NewWithKey(d.CA.Key(), d.CA.Lookup, nil)
 	obj, _ := d.Store.Get("ledger")
 	dec := arb.Decide(&arbitrator.Case{
 		TxnID:        "txn-e5",

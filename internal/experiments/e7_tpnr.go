@@ -112,7 +112,7 @@ func E7() (Result, error) {
 	}); err != nil {
 		return Result{}, err
 	}
-	arb := arbitrator.New(d.CA.PublicKey(), d.CA.Lookup, nil)
+	arb := arbitrator.NewWithKey(d.CA.Key(), d.CA.Lookup, nil)
 	obj, _ := d.Store.Get("docs/report")
 	dec := arb.Decide(&arbitrator.Case{
 		TxnID:        "txn-normal",

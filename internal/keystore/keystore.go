@@ -13,7 +13,6 @@ package keystore
 
 import (
 	"crypto/rsa"
-	"crypto/x509"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -75,27 +74,41 @@ type partyJSON struct {
 	Cert       certJSON `json:"certificate"`
 }
 
-// Init creates a state directory with a fresh CA and one identity per
-// name, valid for the given duration.
+// Init creates a state directory with a fresh RSA CA and one RSA
+// identity per name, valid for the given duration.
 func Init(dir string, names []string, keyBits int, validity time.Duration) error {
+	return InitScheme(dir, names, keyBits, validity, cryptoutil.SchemeRSA)
+}
+
+// InitScheme is Init with a signature-scheme choice. keyBits applies
+// to RSA only. Private keys are stored in the scheme's MarshalSigner
+// form — for RSA that is the PKCS#1 DER this package has always
+// written, so existing state directories keep loading.
+func InitScheme(dir string, names []string, keyBits int, validity time.Duration, scheme cryptoutil.Scheme) error {
 	if err := os.MkdirAll(filepath.Join(dir, "evidence"), 0o755); err != nil {
 		return fmt.Errorf("keystore: creating %s: %w", dir, err)
 	}
-	caKey, err := cryptoutil.GenerateKeyBits(keyBits)
+	genKey := func() (cryptoutil.KeyPair, error) {
+		if scheme == cryptoutil.SchemeRSA {
+			return cryptoutil.GenerateKeyBits(keyBits)
+		}
+		return cryptoutil.GenerateKeyPair(scheme)
+	}
+	caKey, err := genKey()
 	if err != nil {
 		return err
 	}
 	ca := pki.NewAuthority("repro-ca", caKey)
 	now := time.Now()
 	bundle := bundleJSON{}
-	caPubDER, err := cryptoutil.MarshalPublicKey(ca.PublicKey())
-	if err != nil {
-		return err
+	caPub := ca.Key()
+	if caPub == nil {
+		return fmt.Errorf("keystore: CA has no public key")
 	}
-	bundle.CAPublicKey = base64.StdEncoding.EncodeToString(caPubDER)
+	bundle.CAPublicKey = base64.StdEncoding.EncodeToString(caPub.Marshal())
 
 	for _, name := range names {
-		key, err := cryptoutil.GenerateKeyBits(keyBits)
+		key, err := genKey()
 		if err != nil {
 			return err
 		}
@@ -103,10 +116,14 @@ func Init(dir string, names []string, keyBits int, validity time.Duration) error
 		if err != nil {
 			return err
 		}
+		privDER, err := cryptoutil.MarshalSigner(key.Signer())
+		if err != nil {
+			return err
+		}
 		bundle.Certs = append(bundle.Certs, certToJSON(id.Cert))
 		pj := partyJSON{
 			Name:       name,
-			PrivateKey: base64.StdEncoding.EncodeToString(x509.MarshalPKCS1PrivateKey(key.Private)),
+			PrivateKey: base64.StdEncoding.EncodeToString(privDER),
 			Cert:       certToJSON(id.Cert),
 		}
 		if err := writeJSON(filepath.Join(dir, name+".key.json"), pj); err != nil {
@@ -117,13 +134,19 @@ func Init(dir string, names []string, keyBits int, validity time.Duration) error
 }
 
 // World is the loaded trust state: the CA public key and a directory
-// of certificates.
+// of certificates. Keys are parsed ONCE at load into scheme handles —
+// the old implementation re-parsed DER on every CAKey/per-message
+// lookup, which showed up as per-request allocations on the daemons'
+// hot paths (asserted by TestWorldLookupAllocs).
 type World struct {
 	CAKeyDER []byte
+	caKey    cryptoutil.PublicKey
 	certs    map[string]*pki.Certificate
+	keys     map[string]cryptoutil.PublicKey
 }
 
-// LoadWorld reads ca.pub.json from a state directory.
+// LoadWorld reads ca.pub.json from a state directory, parsing every
+// key into its cached handle up front.
 func LoadWorld(dir string) (*World, error) {
 	var bundle bundleJSON
 	if err := readJSON(filepath.Join(dir, "ca.pub.json"), &bundle); err != nil {
@@ -133,19 +156,63 @@ func LoadWorld(dir string) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("keystore: decoding CA key: %w", err)
 	}
-	w := &World{CAKeyDER: der, certs: make(map[string]*pki.Certificate)}
+	caKey, err := cryptoutil.ParseAnyPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("keystore: parsing CA key: %w", err)
+	}
+	w := &World{
+		CAKeyDER: der,
+		caKey:    caKey,
+		certs:    make(map[string]*pki.Certificate),
+		keys:     make(map[string]cryptoutil.PublicKey),
+	}
 	for _, cj := range bundle.Certs {
 		cert, err := certFromJSON(cj)
 		if err != nil {
 			return nil, err
 		}
+		key, err := cert.Key()
+		if err != nil {
+			return nil, fmt.Errorf("keystore: parsing key for %q: %w", cert.Subject, err)
+		}
 		w.certs[cert.Subject] = cert
+		w.keys[cert.Subject] = key
 	}
 	return w, nil
 }
 
-// CAKey parses the CA public key.
-func (w *World) CAKey() (*rsa.PublicKey, error) { return cryptoutil.ParsePublicKey(w.CAKeyDER) }
+// CAPublicKey returns the CA key handle parsed at load time.
+func (w *World) CAPublicKey() cryptoutil.PublicKey { return w.caKey }
+
+// CAKey returns the CA public key.
+//
+// Deprecated: use CAPublicKey — it is parse-free and scheme-agnostic.
+func (w *World) CAKey() (*rsa.PublicKey, error) {
+	if pub, ok := cryptoutil.RSAPublicKeyOf(w.caKey); ok {
+		return pub, nil
+	}
+	return nil, fmt.Errorf("keystore: CA key is %s, not RSA", w.caKey.Scheme())
+}
+
+// Key returns the cached public key handle for a known identity. The
+// handle (and its fingerprint) is parsed once at LoadWorld, so calling
+// this per inbound message costs a map lookup, not a DER parse.
+func (w *World) Key(name string) (cryptoutil.PublicKey, error) {
+	key, ok := w.keys[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", pki.ErrUnknownIdentity, name)
+	}
+	return key, nil
+}
+
+// Fingerprint returns the cached key fingerprint for a known identity.
+func (w *World) Fingerprint(name string) (cryptoutil.Digest, error) {
+	key, err := w.Key(name)
+	if err != nil {
+		return cryptoutil.Digest{}, err
+	}
+	return key.Fingerprint(), nil
+}
 
 // Lookup implements the core.Directory contract.
 func (w *World) Lookup(name string) (*pki.Certificate, error) {
@@ -166,7 +233,8 @@ func (w *World) Names() []string {
 	return out
 }
 
-// LoadIdentity reads a party's private key + certificate.
+// LoadIdentity reads a party's private key + certificate. Both key
+// encodings load: legacy PKCS#1 RSA files and scheme envelopes.
 func LoadIdentity(dir, name string) (*pki.Identity, error) {
 	var pj partyJSON
 	if err := readJSON(filepath.Join(dir, name+".key.json"), &pj); err != nil {
@@ -176,7 +244,7 @@ func LoadIdentity(dir, name string) (*pki.Identity, error) {
 	if err != nil {
 		return nil, fmt.Errorf("keystore: decoding private key: %w", err)
 	}
-	priv, err := x509.ParsePKCS1PrivateKey(der)
+	signer, err := cryptoutil.ParseSigner(der)
 	if err != nil {
 		return nil, fmt.Errorf("keystore: parsing private key: %w", err)
 	}
@@ -184,7 +252,7 @@ func LoadIdentity(dir, name string) (*pki.Identity, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &pki.Identity{Name: pj.Name, Key: cryptoutil.KeyPair{Private: priv}, Cert: cert}, nil
+	return &pki.Identity{Name: pj.Name, Key: cryptoutil.SignerKeyPair(signer), Cert: cert}, nil
 }
 
 // SaveEvidence archives one evidence item under the state directory.

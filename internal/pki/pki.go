@@ -33,14 +33,17 @@ var (
 	ErrDuplicate       = errors.New("pki: identity already enrolled")
 )
 
-// Certificate binds a party identity to an RSA public key for a
-// validity window, under the CA's signature.
+// Certificate binds a party identity to a public key (of any
+// registered scheme) for a validity window, under the CA's signature.
 type Certificate struct {
 	// Serial is the CA-assigned monotonically increasing serial number.
 	Serial uint64
 	// Subject is the party identity, e.g. "alice" or "provider-eve".
 	Subject string
-	// PublicKeyDER is the PKIX encoding of the subject's public key.
+	// PublicKeyDER is the subject key's stable marshal form: PKIX DER
+	// for RSA (the historical encoding), the magic envelope for
+	// Ed25519. The field name predates schemes and is kept for
+	// compatibility.
 	PublicKeyDER []byte
 	// NotBefore and NotAfter bound the validity window.
 	NotBefore, NotAfter time.Time
@@ -48,7 +51,14 @@ type Certificate struct {
 	Signature []byte
 }
 
+// Key decodes the certified public key as a scheme handle.
+func (c *Certificate) Key() (cryptoutil.PublicKey, error) {
+	return cryptoutil.ParseAnyPublicKey(c.PublicKeyDER)
+}
+
 // PublicKey decodes the certified public key.
+//
+// Deprecated: use Key — it accepts every scheme's encoding.
 func (c *Certificate) PublicKey() (*rsa.PublicKey, error) {
 	return cryptoutil.ParsePublicKey(c.PublicKeyDER)
 }
@@ -102,23 +112,34 @@ func NewAuthority(name string, key cryptoutil.KeyPair) *Authority {
 // Name returns the CA's name.
 func (a *Authority) Name() string { return a.name }
 
+// Key returns the CA verification key handle that relying parties pin.
+func (a *Authority) Key() cryptoutil.PublicKey {
+	if s := a.key.Signer(); s != nil {
+		return s.Public()
+	}
+	return nil
+}
+
 // PublicKey returns the CA verification key that relying parties pin.
+//
+// Deprecated: use Key — this returns nil for a non-RSA CA.
 func (a *Authority) PublicKey() *rsa.PublicKey { return a.key.Public() }
 
-// Enroll certifies subject's public key for the given validity window
-// and records the certificate in the directory. Enrolling an already
-// enrolled subject fails with ErrDuplicate; use Renew to rotate keys.
-func (a *Authority) Enroll(subject string, pub *rsa.PublicKey, notBefore, notAfter time.Time) (*Certificate, error) {
+// EnrollKey certifies subject's public key handle for the given
+// validity window and records the certificate in the directory.
+// Enrolling an already enrolled subject fails with ErrDuplicate; use
+// RenewKey to rotate keys.
+func (a *Authority) EnrollKey(subject string, pub cryptoutil.PublicKey, notBefore, notAfter time.Time) (*Certificate, error) {
 	if subject == "" {
 		return nil, fmt.Errorf("pki: empty subject")
+	}
+	if pub == nil {
+		return nil, fmt.Errorf("pki: nil public key for %q", subject)
 	}
 	if !notAfter.After(notBefore) {
 		return nil, fmt.Errorf("pki: validity window ends (%v) before it begins (%v)", notAfter, notBefore)
 	}
-	der, err := cryptoutil.MarshalPublicKey(pub)
-	if err != nil {
-		return nil, err
-	}
+	der := pub.Marshal()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if _, ok := a.bySubject[subject]; ok {
@@ -132,13 +153,21 @@ func (a *Authority) Enroll(subject string, pub *rsa.PublicKey, notBefore, notAft
 	return cert.Clone(), nil
 }
 
-// Renew issues a fresh certificate for an already enrolled subject,
-// revoking the previous one.
-func (a *Authority) Renew(subject string, pub *rsa.PublicKey, notBefore, notAfter time.Time) (*Certificate, error) {
-	der, err := cryptoutil.MarshalPublicKey(pub)
-	if err != nil {
-		return nil, err
+// Enroll is EnrollKey for a raw RSA key.
+//
+// Deprecated: use EnrollKey with a scheme handle.
+func (a *Authority) Enroll(subject string, pub *rsa.PublicKey, notBefore, notAfter time.Time) (*Certificate, error) {
+	return a.EnrollKey(subject, cryptoutil.NewRSAPublicKey(pub), notBefore, notAfter)
+}
+
+// RenewKey issues a fresh certificate for an already enrolled subject,
+// revoking the previous one. The new key may use a different scheme
+// than the old (that is how a deployment migrates schemes in place).
+func (a *Authority) RenewKey(subject string, pub cryptoutil.PublicKey, notBefore, notAfter time.Time) (*Certificate, error) {
+	if pub == nil {
+		return nil, fmt.Errorf("pki: nil public key for %q", subject)
 	}
+	der := pub.Marshal()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	old, ok := a.bySubject[subject]
@@ -154,6 +183,13 @@ func (a *Authority) Renew(subject string, pub *rsa.PublicKey, notBefore, notAfte
 	return cert.Clone(), nil
 }
 
+// Renew is RenewKey for a raw RSA key.
+//
+// Deprecated: use RenewKey with a scheme handle.
+func (a *Authority) Renew(subject string, pub *rsa.PublicKey, notBefore, notAfter time.Time) (*Certificate, error) {
+	return a.RenewKey(subject, cryptoutil.NewRSAPublicKey(pub), notBefore, notAfter)
+}
+
 func (a *Authority) issueLocked(subject string, der []byte, notBefore, notAfter time.Time) (*Certificate, error) {
 	cert := &Certificate{
 		Serial:       a.nextSerial,
@@ -162,7 +198,11 @@ func (a *Authority) issueLocked(subject string, der []byte, notBefore, notAfter 
 		NotBefore:    notBefore,
 		NotAfter:     notAfter,
 	}
-	sig, err := cryptoutil.Sign(a.key, cert.CanonicalBytes())
+	signer := a.key.Signer()
+	if signer == nil {
+		return nil, fmt.Errorf("pki: authority %q has no signing key", a.name)
+	}
+	sig, err := signer.Sign(cert.CanonicalBytes())
 	if err != nil {
 		return nil, fmt.Errorf("pki: signing certificate for %q: %w", subject, err)
 	}
@@ -205,7 +245,7 @@ func (a *Authority) Subjects() []string {
 // at time now, and the revocation list. This is the §5.1 "authenticate
 // the validity [of the public key]" step.
 func (a *Authority) Verify(cert *Certificate, now time.Time) error {
-	return VerifyCertificate(a.PublicKey(), cert, now, a.isRevoked)
+	return VerifyCertificateWith(a.Key(), cert, now, a.isRevoked)
 }
 
 func (a *Authority) isRevoked(serial uint64, now time.Time) bool {
@@ -215,15 +255,18 @@ func (a *Authority) isRevoked(serial uint64, now time.Time) bool {
 	return ok && !now.Before(at)
 }
 
-// VerifyCertificate validates cert under the given CA public key at
-// time now. revoked may be nil when no revocation source is available.
-// Relying parties that only hold the CA key (no live directory) use
-// this directly.
-func VerifyCertificate(caKey *rsa.PublicKey, cert *Certificate, now time.Time, revoked func(serial uint64, now time.Time) bool) error {
+// VerifyCertificateWith validates cert under the given CA public key
+// handle at time now. revoked may be nil when no revocation source is
+// available. Relying parties that only hold the CA key (no live
+// directory) use this directly.
+func VerifyCertificateWith(caKey cryptoutil.PublicKey, cert *Certificate, now time.Time, revoked func(serial uint64, now time.Time) bool) error {
 	if cert == nil {
 		return fmt.Errorf("pki: nil certificate")
 	}
-	if err := cryptoutil.Verify(caKey, cert.CanonicalBytes(), cert.Signature); err != nil {
+	if caKey == nil {
+		return fmt.Errorf("%w: nil CA key", ErrBadSignature)
+	}
+	if err := caKey.Verify(cert.CanonicalBytes(), cert.Signature); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSignature, err)
 	}
 	if now.Before(cert.NotBefore) || now.After(cert.NotAfter) {
@@ -235,6 +278,13 @@ func VerifyCertificate(caKey *rsa.PublicKey, cert *Certificate, now time.Time, r
 	return nil
 }
 
+// VerifyCertificate is VerifyCertificateWith for a raw RSA CA key.
+//
+// Deprecated: use VerifyCertificateWith with a scheme handle.
+func VerifyCertificate(caKey *rsa.PublicKey, cert *Certificate, now time.Time, revoked func(serial uint64, now time.Time) bool) error {
+	return VerifyCertificateWith(cryptoutil.NewRSAPublicKey(caKey), cert, now, revoked)
+}
+
 // Identity bundles everything one protocol party holds: its name, key
 // pair, and CA-issued certificate.
 type Identity struct {
@@ -243,10 +293,14 @@ type Identity struct {
 	Cert *Certificate
 }
 
-// NewIdentity generates a key pair for name and enrolls it with the CA
-// for the given validity window.
+// NewIdentity enrolls key's public half with the CA for the given
+// validity window. The key may use any registered scheme.
 func NewIdentity(a *Authority, name string, key cryptoutil.KeyPair, notBefore, notAfter time.Time) (*Identity, error) {
-	cert, err := a.Enroll(name, key.Public(), notBefore, notAfter)
+	signer := key.Signer()
+	if signer == nil {
+		return nil, fmt.Errorf("pki: identity %q has no private key", name)
+	}
+	cert, err := a.EnrollKey(name, signer.Public(), notBefore, notAfter)
 	if err != nil {
 		return nil, err
 	}

@@ -186,7 +186,7 @@ func (s *Server) handleResolve(m *core.Message) (*core.Message, error) {
 	if err != nil {
 		return s.statement(h, "resolve evidence malformed", nil)
 	}
-	claimantKey, err := s.PeerKey(h.SenderID)
+	claimantKey, err := s.PeerPublicKey(h.SenderID)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +195,7 @@ func (s *Server) handleResolve(m *core.Message) (*core.Message, error) {
 	}
 	// Claimants resubmit the same original evidence on every resolve
 	// retry; the cache turns the repeat RSA verifies into hash lookups.
-	if err := claimed.VerifyCached(claimantKey, s.VerifyCache()); err != nil {
+	if err := claimed.VerifyCachedWith(claimantKey, s.VerifyCache()); err != nil {
 		s.Counters().Inc(metrics.AuthFailures, 1)
 		return s.statement(h, "resolve evidence does not verify", nil)
 	}
@@ -241,14 +241,14 @@ func (s *Server) queryPeer(h *evidence.Header, peerID string, claimPayload []byt
 	}
 	defer conn.Close()
 
-	peerKey, err := s.PeerKey(peerID)
+	peerKey, err := s.PeerPublicKey(peerID)
 	if err != nil {
 		return nil, nil, "peer-unknown"
 	}
 	fh := s.NewHeader(evidence.KindResolveRequest, h.TxnID, peerID, s.ID(), s.NextSeq(h.TxnID))
 	fh.Note = "resolve query on behalf of " + h.SenderID
 	fh.SetDigests(nil)
-	fmsg, _, err := s.BuildMessage(fh, claimPayload, peerKey)
+	fmsg, _, err := s.BuildMessageFor(fh, claimPayload, peerKey)
 	if err != nil {
 		return nil, nil, "internal-error"
 	}
@@ -281,14 +281,14 @@ func (s *Server) queryPeer(h *evidence.Header, peerID string, claimPayload []byt
 // statement builds the TTP's signed response to the requester,
 // optionally relaying peer evidence in the payload.
 func (s *Server) statement(h *evidence.Header, note string, relayed []byte) (*core.Message, error) {
-	requesterKey, err := s.PeerKey(h.SenderID)
+	requesterKey, err := s.PeerPublicKey(h.SenderID)
 	if err != nil {
 		return nil, err
 	}
 	rh := s.NewHeader(evidence.KindResolveResponse, h.TxnID, h.SenderID, s.ID(), s.BumpSeqTo(h.TxnID, h.Seq))
 	rh.Note = note
 	rh.SetDigests(nil)
-	msg, own, err := s.BuildMessage(rh, relayed, requesterKey)
+	msg, own, err := s.BuildMessageFor(rh, relayed, requesterKey)
 	if err != nil {
 		return nil, err
 	}

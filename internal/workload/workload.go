@@ -89,7 +89,7 @@ func Run(p Params) (*Stats, error) {
 		return nil, err
 	}
 	defer conn.Close()
-	arb := arbitrator.New(d.CA.PublicKey(), d.CA.Lookup, nil)
+	arb := arbitrator.NewWithKey(d.CA.Key(), d.CA.Lookup, nil)
 
 	stats := &Stats{Verdicts: make(map[string]int)}
 
