@@ -22,6 +22,10 @@
 // aggregate_receipt_speedup_k64 (one aggregate session receipt vs 64
 // individual receipt signatures).
 //
+// The E13 recovery family (internal/core) compares full journal replay
+// against checkpoint-snapshot-plus-tail recovery of the same history:
+// recovery_snapshot_speedup_1k/_10k (target ≥5× at 10k sessions).
+//
 // Usage:
 //
 //	go run ./cmd/benchreport [-o BENCH_PR3.json] [-benchtime 1s]
@@ -48,7 +52,7 @@ import (
 )
 
 // benchPattern selects the families the report covers.
-const benchPattern = `^(BenchmarkE11WALAppend|BenchmarkE11ParallelHash|BenchmarkE11MerkleBuild|BenchmarkE11VerifyCache|BenchmarkE10TransportPipe|BenchmarkE12EvidenceColdOpen|BenchmarkE12BatchVerify|BenchmarkE12AggregateReceipt)$`
+const benchPattern = `^(BenchmarkE11WALAppend|BenchmarkE11ParallelHash|BenchmarkE11MerkleBuild|BenchmarkE11VerifyCache|BenchmarkE10TransportPipe|BenchmarkE12EvidenceColdOpen|BenchmarkE12BatchVerify|BenchmarkE12AggregateReceipt|BenchmarkE13Recovery)$`
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -121,8 +125,11 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.05, "fail when any shared benchmark is slower than the baseline by more than this fraction")
 	flag.Parse()
 
+	// The E13 recovery family lives inside internal/core (it fabricates
+	// journal history through unexported helpers); everything else is in
+	// the root harness package.
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", benchPattern, "-benchmem", "-benchtime", *benchtime, ".")
+		"-bench", benchPattern, "-benchmem", "-benchtime", *benchtime, ".", "./internal/core")
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
@@ -194,6 +201,12 @@ func main() {
 	ratio("aggregate_receipt_speedup_k64",
 		"BenchmarkE12AggregateReceipt/mode=singles/k=64",
 		"BenchmarkE12AggregateReceipt/mode=aggregate/k=64")
+	ratio("recovery_snapshot_speedup_1k",
+		"BenchmarkE13Recovery/mode=replay/sessions=1000",
+		"BenchmarkE13Recovery/mode=snapshot/sessions=1000")
+	ratio("recovery_snapshot_speedup_10k",
+		"BenchmarkE13Recovery/mode=replay/sessions=10000",
+		"BenchmarkE13Recovery/mode=snapshot/sessions=10000")
 
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("GOMAXPROCS=%d; at 1 the SumParallel and Merkle level-parallel paths fall back to serial by design, so parallel_hash_speedup ~1.0 is expected there (the >=1.5x criterion applies on >=4 cores)", rep.GOMAXPROCS),
@@ -201,7 +214,8 @@ func main() {
 		"verify_cache_speedup compares two RSA verifies (cold) against two memo lookups (warm) for the same evidence item",
 		"ed25519_cold_open_speedup compares a full evidence open (unseal + two signature checks) across schemes; RSA pays a private-key decrypt per message (target >=5x)",
 		"batch_verify_speedup_* compares n single verifications against one VerifyBatch round; the worker fan-out falls back to serial at GOMAXPROCS=1, so the >=1x-at-n=8 criterion applies on multi-core boxes",
-		"aggregate_receipt_speedup_k64 compares 64 individual receipt sign+verify pairs against ONE aggregate signature over a Merkle root of the 64 evidence digests plus one verification")
+		"aggregate_receipt_speedup_k64 compares 64 individual receipt sign+verify pairs against ONE aggregate signature over a Merkle root of the 64 evidence digests plus one verification",
+		"recovery_snapshot_speedup_* compares full journal replay against snapshot-plus-tail recovery of the SAME history (n terminal sessions + a 16-session tail); the >=5x criterion applies at 10k sessions")
 
 	failed := false
 	if *baseline != "" {

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/auditlog"
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -46,6 +47,8 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	walDir := flag.String("wal-dir", "", "crash journal directory (empty = no journal)")
 	fsync := flag.String("fsync", "always", "journal fsync policy: always, none, batch[:<n>], or group[:<max-batch>]")
+	archiveDir := flag.String("archive-dir", "", "cold evidence archive directory; checkpoints compact terminal sessions into it (empty = keep all evidence hot)")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "journal checkpoint/compaction interval; bounds crash-recovery replay to one interval of traffic (0 = never; requires -wal-dir)")
 	auditPath := flag.String("audit", "", "persist the audit log to this file (fsynced per entry)")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "structured event log level: debug, info, warn, or error")
@@ -63,7 +66,11 @@ func main() {
 	}
 	events := obs.NewLogger(os.Stderr, lvl)
 
-	provider, cleanup, err := buildProvider(*state, *name, *storeDir, *walDir, *fsync, *auditPath, *stepDeadline, *sweepEvery)
+	if *ckptEvery > 0 && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "nrserver: -checkpoint-every requires -wal-dir")
+		os.Exit(1)
+	}
+	provider, cleanup, err := buildProvider(*state, *name, *storeDir, *walDir, *fsync, *archiveDir, *auditPath, *stepDeadline, *sweepEvery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nrserver:", err)
 		os.Exit(1)
@@ -104,6 +111,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if *ckptEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					rep, err := provider.Checkpoint()
+					if err != nil {
+						log.Printf("nrserver: checkpoint: %v", err)
+						continue
+					}
+					log.Printf("nrserver: checkpoint at LSN %d (%d sessions archived, %d live retained)",
+						rep.LSN, rep.Archived, rep.Retained)
+				}
+			}
+		}()
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(context.Background(), l) }()
 
@@ -130,7 +158,7 @@ func main() {
 	log.Printf("nrserver: stopped")
 }
 
-func buildProvider(state, name, storeDir, walDir, fsync, auditPath string, stepDeadline, sweepEvery time.Duration) (*core.Provider, func(), error) {
+func buildProvider(state, name, storeDir, walDir, fsync, archiveDir, auditPath string, stepDeadline, sweepEvery time.Duration) (*core.Provider, func(), error) {
 	id, err := keystore.LoadIdentity(state, name)
 	if err != nil {
 		return nil, nil, err
@@ -170,6 +198,16 @@ func buildProvider(state, name, storeDir, walDir, fsync, auditPath string, stepD
 		opts = append(opts, core.WithJournal(journal))
 		cleanup = func() { journal.Close() }
 	}
+	if archiveDir != "" {
+		cold, err := archive.Open(archiveDir)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		opts = append(opts, core.WithArchive(cold))
+		prev := cleanup
+		cleanup = func() { cold.Close(); prev() }
+	}
 
 	provider, err := core.NewProvider(opts...)
 	if err != nil {
@@ -199,6 +237,8 @@ func buildProvider(state, name, storeDir, walDir, fsync, auditPath string, stepD
 		}
 		log.Printf("nrserver: recovered %d journal records across %d txns (%d unfinished, %d aborts honored, torn tail: %v)",
 			rep.Records, len(rep.Transactions), len(rep.NeedsResolve), len(rep.HonoredAborts), rep.TornTail)
+		log.Printf("nrserver: recovery bounded by snapshot at LSN %d: %d tail records replayed, %d archived sessions untouched (%d tail records skipped as archived)",
+			rep.SnapshotLSN, rep.TailRecords, rep.ArchivedSessions, rep.SkippedArchived)
 	}
 	return provider, cleanup, nil
 }

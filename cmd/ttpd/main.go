@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/auditlog"
 	"repro/internal/breaker"
 	"repro/internal/core"
@@ -58,6 +59,8 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	walDir := flag.String("wal-dir", "", "crash journal directory (empty = no journal)")
 	fsync := flag.String("fsync", "always", "journal fsync policy: always, none, batch[:<n>], or group[:<max-batch>]")
+	archiveDir := flag.String("archive-dir", "", "cold evidence archive directory; checkpoints compact closed resolves into it (empty = keep all evidence hot)")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "journal checkpoint/compaction interval; bounds crash-recovery replay to one interval of traffic (0 = never; requires -wal-dir)")
 	auditPath := flag.String("audit", "", "persist the audit log to this file (fsynced per entry)")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "structured event log level: debug, info, warn, or error")
@@ -110,6 +113,21 @@ func main() {
 		}
 		opts = append(opts, core.WithJournal(journal))
 		cleanup = func() { journal.Close() }
+	}
+	if *ckptEvery > 0 && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "ttpd: -checkpoint-every requires -wal-dir")
+		os.Exit(1)
+	}
+	if *archiveDir != "" {
+		cold, err := archive.Open(*archiveDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttpd:", err)
+			cleanup()
+			os.Exit(1)
+		}
+		opts = append(opts, core.WithArchive(cold))
+		prev := cleanup
+		cleanup = func() { cold.Close(); prev() }
 	}
 	// cleanup grows as resources open; defer the variable, not its
 	// current value.
@@ -178,6 +196,8 @@ func main() {
 		}
 		log.Printf("ttpd: recovered %d journal records across %d txns (%d resolves left open, torn tail: %v)",
 			rep.Records, len(rep.Transactions), len(rep.OpenResolves), rep.TornTail)
+		log.Printf("ttpd: recovery bounded by snapshot at LSN %d: %d tail records replayed, %d archived resolves untouched (%d tail records skipped as archived)",
+			rep.SnapshotLSN, rep.TailRecords, rep.ArchivedSessions, rep.SkippedArchived)
 		for _, txn := range rep.OpenResolves {
 			log.Printf("ttpd: resolve for %s was interrupted; the claimant will retry", txn)
 		}
@@ -216,6 +236,27 @@ func main() {
 	)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *ckptEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					rep, err := server.Checkpoint()
+					if err != nil {
+						log.Printf("ttpd: checkpoint: %v", err)
+						continue
+					}
+					log.Printf("ttpd: checkpoint at LSN %d (%d resolves archived, %d live retained)",
+						rep.LSN, rep.Archived, rep.Retained)
+				}
+			}
+		}()
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(context.Background(), l) }()

@@ -1,0 +1,74 @@
+package arbitrator
+
+import (
+	"fmt"
+
+	"repro/internal/archive"
+	"repro/internal/evidence"
+)
+
+// CaseFromBundles assembles a dispute Case directly from the parties'
+// cold archive bundles — the arbitration read path for sessions long
+// since compacted out of the journal. One indexed archive read per
+// party (O(1) in the number of archived sessions) yields everything
+// the arbitrator needs; the WAL is never touched.
+//
+// The claimant bundle supplies the claimant's own NRO plus whatever
+// counter-evidence it received (NRR, abort acceptance, TTP statement);
+// the respondent bundle (may be nil) supplies the respondent's own
+// receipt copy. produced is the data the respondent produces at
+// arbitration, nil when it cannot produce anything.
+func CaseFromBundles(claimant, respondent *archive.Bundle, produced []byte) (*Case, error) {
+	if claimant == nil {
+		return nil, fmt.Errorf("arbitrator: claimant bundle is required")
+	}
+	nro, err := bundleByKind(claimant, evidence.RoleOwn, evidence.KindNRO)
+	if err != nil {
+		return nil, fmt.Errorf("arbitrator: claimant bundle for %s holds no NRO: %w", claimant.Txn, err)
+	}
+	c := &Case{
+		TxnID:        claimant.Txn,
+		ObjectKey:    nro.Header.ObjectKey,
+		ClaimantID:   nro.Header.SenderID,
+		RespondentID: nro.Header.RecipientID,
+		ClaimantNRO:  nro,
+		ProducedData: produced,
+	}
+	if ev, err := bundleByKind(claimant, evidence.RolePeer, evidence.KindNRR); err == nil {
+		c.ClaimantNRR = ev
+	}
+	if ev, err := bundleByKind(claimant, evidence.RolePeer, evidence.KindAbortAccept); err == nil {
+		c.AbortReceipt = ev
+	}
+	if ev, err := bundleByKind(claimant, evidence.RolePeer, evidence.KindResolveResponse); err == nil {
+		c.TTPStatement = ev
+	}
+	if respondent != nil {
+		if respondent.Txn != claimant.Txn {
+			return nil, fmt.Errorf("arbitrator: bundle mismatch: claimant %s vs respondent %s", claimant.Txn, respondent.Txn)
+		}
+		if ev, err := bundleByKind(respondent, evidence.RoleOwn, evidence.KindNRR); err == nil {
+			c.RespondentNRR = ev
+		}
+	}
+	return c, nil
+}
+
+// bundleByKind returns the latest item of the given role and header
+// kind in an archive bundle (items are stored in arrival order).
+func bundleByKind(b *archive.Bundle, role evidence.Role, kind evidence.Kind) (*evidence.Evidence, error) {
+	for i := len(b.Items) - 1; i >= 0; i-- {
+		it := b.Items[i]
+		if evidence.Role(it.Role) != role {
+			continue
+		}
+		ev, err := evidence.Decode(it.Blob)
+		if err != nil {
+			return nil, fmt.Errorf("arbitrator: decoding archived evidence for %s: %w", b.Txn, err)
+		}
+		if ev.Header.Kind == kind {
+			return ev, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s (%s, %s)", evidence.ErrNoEvidence, b.Txn, role, kind)
+}

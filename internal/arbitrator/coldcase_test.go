@@ -1,0 +1,114 @@
+package arbitrator_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/arbitrator"
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// TestColdCaseDecidesCompactedSession runs a real upload, checkpoints
+// both parties so the session lives only in their cold archives, then
+// arbitrates straight from the archive bundles: the honest provider
+// must be cleared (VerdictClaimFalse) without touching either WAL.
+func TestColdCaseDecidesCompactedSession(t *testing.T) {
+	dir := t.TempDir()
+	store := storage.NewMem(time.Now)
+	ctx := context.Background()
+	data := []byte("cold case payload")
+
+	openWAL := func(sub string) *wal.WAL {
+		w, err := wal.Open(filepath.Join(dir, sub, "wal"), wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	openArc := func(sub string) *archive.Store {
+		s, err := archive.Open(filepath.Join(dir, sub, "archive"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cw, pw := openWAL("client"), openWAL("provider")
+	ca, pa := openArc("client"), openArc("provider")
+	defer func() { cw.Close(); pw.Close(); ca.Close(); pa.Close() }()
+
+	d, err := deploy.New(deploy.Config{
+		TestKeys:      true,
+		ProviderStore: store,
+		ClientOpts:    []core.Option{core.WithJournal(cw), core.WithArchive(ca)},
+		ProviderOpts:  []core.Option{core.WithJournal(pw), core.WithArchive(pa)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	conn, err := d.DialProvider()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Client.Upload(ctx, conn, "txn-cold-arb", "cold/arb", data); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if _, err := d.Client.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Provider.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	cb, err := ca.Get("txn-cold-arb")
+	if err != nil {
+		t.Fatalf("client cold bundle: %v", err)
+	}
+	pb, err := pa.Get("txn-cold-arb")
+	if err != nil {
+		t.Fatalf("provider cold bundle: %v", err)
+	}
+	obj, err := store.Get("cold/arb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := arbitrator.CaseFromBundles(cb, pb, obj.Data)
+	if err != nil {
+		t.Fatalf("building case from bundles: %v", err)
+	}
+	if c.ClaimantID != deploy.ClientName || c.RespondentID != deploy.ProviderName ||
+		c.ObjectKey != "cold/arb" || c.ClaimantNRO == nil || c.ClaimantNRR == nil || c.RespondentNRR == nil {
+		t.Fatalf("incomplete case from bundles: %+v", c)
+	}
+
+	arb := arbitrator.NewWithKey(d.CA.Key(), d.CA.Lookup, nil)
+	dec := arb.Decide(c)
+	if dec.Verdict != arbitrator.VerdictClaimFalse {
+		t.Fatalf("verdict = %s, want %s; findings: %v", dec.Verdict, arbitrator.VerdictClaimFalse, dec.Findings)
+	}
+
+	// Tampered production must still convict — the archived digests keep
+	// their teeth after compaction.
+	tampered := append([]byte(nil), obj.Data...)
+	tampered[0] ^= 0xFF
+	c2, err := arbitrator.CaseFromBundles(cb, pb, tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec := arb.Decide(c2); dec.Verdict != arbitrator.VerdictProviderFault {
+		t.Fatalf("tampered verdict = %s, want %s; findings: %v", dec.Verdict, arbitrator.VerdictProviderFault, dec.Findings)
+	}
+
+	// A bundle without the claimant's NRO cannot seed a case.
+	if _, err := arbitrator.CaseFromBundles(&archive.Bundle{Txn: "txn-empty"}, nil, nil); err == nil {
+		t.Fatal("empty bundle produced a case")
+	}
+}

@@ -1,0 +1,321 @@
+package archive
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+func bundle(txn string, state uint8, blobs ...string) *Bundle {
+	b := &Bundle{Txn: txn, State: state}
+	for i, s := range blobs {
+		b.Items = append(b.Items, Item{Role: uint8(i % 2), Blob: []byte(s)})
+	}
+	return b
+}
+
+func mustAppend(t *testing.T, s *Store, b *Bundle) {
+	t.Helper()
+	if err := s.Append(b); err != nil {
+		t.Fatalf("append %s: %v", b.Txn, err)
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, bundle("txn-1", 3, "nro-blob", "nrr-blob"))
+	mustAppend(t, s, bundle("txn-2", 4, "solo"))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Sessions(); got != 2 {
+		t.Fatalf("sessions = %d, want 2", got)
+	}
+	b, err := s2.Get("txn-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.State != 3 || len(b.Items) != 2 || string(b.Items[0].Blob) != "nro-blob" ||
+		b.Items[0].Role != 0 || b.Items[1].Role != 1 {
+		t.Fatalf("bundle = %+v", b)
+	}
+	if _, err := s2.Get("txn-9"); err == nil {
+		t.Fatal("missing transaction did not error")
+	}
+	if !s2.Has("txn-2") || s2.Has("txn-9") {
+		t.Fatal("Has is wrong")
+	}
+}
+
+func TestArchiveLastWinsReappend(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, bundle("txn-1", 3, "old"))
+	mustAppend(t, s, bundle("txn-1", 4, "new", "newer"))
+	if got := s.Sessions(); got != 1 {
+		t.Fatalf("sessions = %d, want 1 (re-append must supersede)", got)
+	}
+	b, err := s.Get("txn-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.State != 4 || len(b.Items) != 2 {
+		t.Fatalf("got old bundle back: %+v", b)
+	}
+	s.Close()
+
+	// Last-wins must survive a reopen (the index file replays in append
+	// order).
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	b, err = s2.Get("txn-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.State != 4 {
+		t.Fatalf("reopen resurfaced old bundle: %+v", b)
+	}
+}
+
+func TestArchiveCrashBetweenDataAndIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, bundle("txn-1", 3, "safe"))
+	faultpoint.Arm(fpAppendPartial, faultpoint.Kill(fpAppendPartial))
+	defer faultpoint.Reset()
+	func() {
+		defer func() {
+			if _, ok := recover().(*faultpoint.Crash); !ok {
+				t.Fatal("expected faultpoint crash")
+			}
+		}()
+		s.Append(bundle("txn-2", 4, "orphaned"))
+	}()
+	faultpoint.Reset()
+	// The poisoned store refuses further appends.
+	if err := s.Append(bundle("txn-3", 3)); err == nil {
+		t.Fatal("interrupted store accepted another append")
+	}
+	s.Sync() // flush what landed, like the OS would have
+	s.Close()
+
+	// Open re-indexes the orphan data record: the session the crash
+	// interrupted is fully archived afterwards.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Sessions(); got != 2 {
+		t.Fatalf("sessions after heal = %d, want 2", got)
+	}
+	b, err := s2.Get("txn-2")
+	if err != nil {
+		t.Fatalf("orphaned bundle not recovered: %v", err)
+	}
+	if string(b.Items[0].Blob) != "orphaned" {
+		t.Fatalf("recovered bundle = %+v", b)
+	}
+	if err := s2.Healthy(); err != nil {
+		t.Fatalf("healed store unhealthy: %v", err)
+	}
+}
+
+func TestArchiveTornDataTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, bundle("txn-1", 3, "keep"))
+	s.Close()
+
+	// A torn data tail with NO index entry for it: half a record.
+	f, err := os.OpenFile(filepath.Join(dir, dataName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 1, 0, 0xaa, 0xbb}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Sessions(); got != 1 {
+		t.Fatalf("sessions = %d, want 1", got)
+	}
+	// The tear is gone: appends after the heal land on a clean boundary.
+	mustAppend(t, s2, bundle("txn-2", 4, "after-heal"))
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if _, err := s3.Get("txn-2"); err != nil {
+		t.Fatalf("post-heal append unreadable: %v", err)
+	}
+}
+
+func TestArchiveTornIndexTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, bundle("txn-1", 3, "one"))
+	mustAppend(t, s, bundle("txn-2", 3, "two"))
+	s.Close()
+
+	// Tear the index mid-record: drop the last 3 bytes. The data file is
+	// intact, so the damaged entry's record is re-indexed from data.
+	path := filepath.Join(dir, idxName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Sessions(); got != 2 {
+		t.Fatalf("sessions after index heal = %d, want 2", got)
+	}
+	for _, txn := range []string{"txn-1", "txn-2"} {
+		if _, err := s2.Get(txn); err != nil {
+			t.Fatalf("get %s after index heal: %v", txn, err)
+		}
+	}
+}
+
+func TestArchiveIndexPointsPastDataRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, bundle("txn-1", 3, "one"))
+	mustAppend(t, s, bundle("txn-2", 3, "two"))
+	s.Close()
+
+	// Chop the data file so the second index entry dangles; the index is
+	// now a liar and must be rebuilt from what data remains.
+	dataPath := filepath.Join(dir, dataName)
+	b, err := os.ReadFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dataPath, b[:len(b)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Sessions(); got != 1 {
+		t.Fatalf("sessions after rebuild = %d, want 1", got)
+	}
+	if _, err := s2.Get("txn-1"); err != nil {
+		t.Fatalf("surviving bundle unreadable: %v", err)
+	}
+	if s2.Has("txn-2") {
+		t.Fatal("dangling entry survived the rebuild")
+	}
+}
+
+func TestArchiveGetDetectsBitRot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, bundle("txn-1", 3, "precious"))
+	s.Sync()
+
+	// Flip one byte inside the stored bundle body, underneath the open
+	// store (simulating rot after the index was built).
+	dataPath := filepath.Join(dir, dataName)
+	raw, err := os.ReadFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(raw, []byte("precious"))
+	if i < 0 {
+		t.Fatal("blob not found in data file")
+	}
+	raw[i] ^= 0xFF
+	if err := os.WriteFile(dataPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("txn-1"); err == nil {
+		t.Fatal("Get returned a corrupted bundle")
+	}
+	s.Close()
+}
+
+func TestArchiveManySessions(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		mustAppend(t, s, bundle(fmt.Sprintf("txn-%04d", i), 3, "a", "b", "c"))
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Sessions(); got != n {
+		t.Fatalf("sessions = %d, want %d", got, n)
+	}
+	b, err := s2.Get("txn-0042")
+	if err != nil || len(b.Items) != 3 {
+		t.Fatalf("get = %+v, %v", b, err)
+	}
+	if s2.Bytes() <= 0 {
+		t.Fatal("Bytes not reported")
+	}
+}

@@ -1,0 +1,51 @@
+package archive
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+var (
+	archiveAppends = obs.Default().Counter("archive_appends_total")
+	// archiveRecovered counts orphan data records re-indexed at Open —
+	// each one is a crash that landed between the data and index writes.
+	archiveRecovered = obs.Default().Counter("archive_recovered_records_total")
+	// archiveHeals counts torn tails truncated at Open (data or index).
+	archiveHeals = obs.Default().Counter("archive_heals_total")
+	// archiveRebuilds counts full index reconstructions from the data
+	// file — the expensive heal, taken only when the index itself lies.
+	archiveRebuilds = obs.Default().Counter("archive_index_rebuilds_total")
+)
+
+// Open stores are tracked process-wide so the size gauges can be
+// callback gauges summed at scrape time.
+var (
+	storeMu sync.Mutex
+	stores  = make(map[*Store]struct{})
+)
+
+func trackStore(s *Store)   { storeMu.Lock(); stores[s] = struct{}{}; storeMu.Unlock() }
+func untrackStore(s *Store) { storeMu.Lock(); delete(stores, s); storeMu.Unlock() }
+
+func init() {
+	r := obs.Default()
+	r.GaugeFunc("archive_sessions_total", func() int64 {
+		storeMu.Lock()
+		defer storeMu.Unlock()
+		var total int64
+		for s := range stores {
+			total += int64(s.Sessions())
+		}
+		return total
+	})
+	r.GaugeFunc("archive_bytes_total", func() int64 {
+		storeMu.Lock()
+		defer storeMu.Unlock()
+		var total int64
+		for s := range stores {
+			total += s.Bytes()
+		}
+		return total
+	})
+}

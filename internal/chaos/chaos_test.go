@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/arbitrator"
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/evidence"
@@ -35,11 +36,13 @@ import (
 const chaosTimeout = 500 * time.Millisecond
 
 // world is one running deployment plus the durable state a restart
-// reopens: three WAL directories and the shared blob store.
+// reopens: three WAL directories, three cold evidence archives, and
+// the shared blob store.
 type world struct {
 	d          *deploy.Deployment
 	store      storage.Store
 	cw, pw, tw *wal.WAL
+	ca, pa, ta *archive.Store
 }
 
 func openWorld(t *testing.T, dir string, store storage.Store) *world {
@@ -53,19 +56,27 @@ func openWorld(t *testing.T, dir string, store storage.Store) *world {
 		}
 		return w
 	}
+	openArc := func(sub string) *archive.Store {
+		s, err := archive.Open(filepath.Join(dir, sub+"-archive"))
+		if err != nil {
+			t.Fatalf("opening %s archive: %v", sub, err)
+		}
+		return s
+	}
 	cw, pw, tw := open("client"), open("provider"), open("ttp")
+	ca, pa, ta := openArc("client"), openArc("provider"), openArc("ttp")
 	d, err := deploy.New(deploy.Config{
 		TestKeys:        true,
 		ResponseTimeout: chaosTimeout,
 		ProviderStore:   store,
-		ClientOpts:      []core.Option{core.WithJournal(cw)},
-		ProviderOpts:    []core.Option{core.WithJournal(pw)},
-		TTPOpts:         []core.Option{core.WithJournal(tw)},
+		ClientOpts:      []core.Option{core.WithJournal(cw), core.WithArchive(ca)},
+		ProviderOpts:    []core.Option{core.WithJournal(pw), core.WithArchive(pa)},
+		TTPOpts:         []core.Option{core.WithJournal(tw), core.WithArchive(ta)},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &world{d: d, store: store, cw: cw, pw: pw, tw: tw}
+	return &world{d: d, store: store, cw: cw, pw: pw, tw: tw, ca: ca, pa: pa, ta: ta}
 }
 
 // crash tears the world down with no graceful protocol steps — the
@@ -75,6 +86,9 @@ func (w *world) crash() {
 	w.cw.Close()
 	w.pw.Close()
 	w.tw.Close()
+	w.ca.Close()
+	w.pa.Close()
+	w.ta.Close()
 }
 
 // recoverAll replays all three journals on a freshly opened world.
@@ -182,6 +196,32 @@ func runScenario(t *testing.T, w *world, pt, txn, key string, data []byte, wrap 
 			_, err := w.d.Client.Resolve(ctx, tc, txn, "chaos resolve")
 			return err
 		})
+	case strings.HasPrefix(pt, "wal.checkpoint") || strings.HasPrefix(pt, "wal.compact") ||
+		strings.HasPrefix(pt, "archive.append"):
+		// Checkpoint/compaction faults fire AFTER a clean session: the
+		// upload completes, then each party dies somewhere inside its
+		// checkpoint — mid-archive-append, before or after the snapshot
+		// rename, or mid-segment-truncation. The dispute invariant must
+		// hold whichever tier the evidence was in when the power failed.
+		conn := dialProvider()
+		if _, err := w.d.Client.Upload(ctx, conn, txn, key, data); err != nil {
+			// Possible over the randomized suite's lossy link: the session
+			// is then half-finished, which checkpointing must also survive.
+			t.Logf("pre-checkpoint upload failed (%v); checkpointing the unfinished session", err)
+		}
+		conn.Close()
+		runRecovering(func() error {
+			_, err := w.d.Client.Checkpoint()
+			return err
+		})
+		runRecovering(func() error {
+			_, err := w.d.Provider.Checkpoint()
+			return err
+		})
+		runRecovering(func() error {
+			_, err := w.d.TTPServer.Checkpoint()
+			return err
+		})
 	default:
 		t.Fatalf("no chaos scenario covers faultpoint %q — add one", pt)
 	}
@@ -229,11 +269,12 @@ func (w *world) converge(t *testing.T, txn, key string, data []byte) {
 // receipt for.
 func assertDisputeInvariant(t *testing.T, w *world, txn, key string) {
 	t.Helper()
-	ca, pa := w.d.Client.Archive(), w.d.Provider.Archive()
-	_, bobErr := pa.ByKind(txn, evidence.RolePeer, evidence.KindNRO)
-	_, nrrErr := ca.ByKind(txn, evidence.RolePeer, evidence.KindNRR)
-	_, abortErr := ca.ByKind(txn, evidence.RolePeer, evidence.KindAbortAccept)
-	_, stmtErr := ca.ByKind(txn, evidence.RolePeer, evidence.KindResolveResponse)
+	// EvidenceByKind reads hot-then-cold, so the invariant holds no
+	// matter which storage tier a checkpoint left the evidence in.
+	_, bobErr := w.d.Provider.EvidenceByKind(txn, evidence.RolePeer, evidence.KindNRO)
+	_, nrrErr := w.d.Client.EvidenceByKind(txn, evidence.RolePeer, evidence.KindNRR)
+	_, abortErr := w.d.Client.EvidenceByKind(txn, evidence.RolePeer, evidence.KindAbortAccept)
+	_, stmtErr := w.d.Client.EvidenceByKind(txn, evidence.RolePeer, evidence.KindResolveResponse)
 
 	if bobErr != nil {
 		// Provider never bound — then no receipt may exist either.
@@ -258,12 +299,11 @@ func assertDisputeInvariant(t *testing.T, w *world, txn, key string) {
 // clear the provider (the data matches the agreed digest).
 func arbitrateCompleted(t *testing.T, w *world, txn, key string) {
 	t.Helper()
-	ca := w.d.Client.Archive()
-	nro, err := ca.ByKind(txn, evidence.RoleOwn, evidence.KindNRO)
+	nro, err := w.d.Client.EvidenceByKind(txn, evidence.RoleOwn, evidence.KindNRO)
 	if err != nil {
 		t.Fatalf("completed %s without an own NRO: %v", txn, err)
 	}
-	nrr, err := ca.ByKind(txn, evidence.RolePeer, evidence.KindNRR)
+	nrr, err := w.d.Client.EvidenceByKind(txn, evidence.RolePeer, evidence.KindNRR)
 	if err != nil {
 		t.Fatalf("completed %s without a peer NRR: %v", txn, err)
 	}
@@ -292,8 +332,23 @@ func arbitrateCompleted(t *testing.T, w *world, txn, key string) {
 // the crash left unfinished, and asserts the dispute invariant.
 func TestChaosEveryFaultpoint(t *testing.T) {
 	points := faultpoint.List()
-	if len(points) < 8 {
+	if len(points) < 12 {
 		t.Fatalf("only %d faultpoints registered; the engines lost their kill sites", len(points))
+	}
+	for _, want := range []string{
+		"wal.checkpoint.pre-rename", "wal.checkpoint.post-rename",
+		"wal.compact.mid-truncate", "archive.append.partial",
+	} {
+		found := false
+		for _, pt := range points {
+			if pt == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("checkpoint faultpoint %q is not registered", want)
+		}
 	}
 	for _, pt := range points {
 		t.Run(pt, func(t *testing.T) {

@@ -183,7 +183,11 @@ func TestChaosOverloadAndExpiry(t *testing.T) {
 	defer faultpoint.Reset()
 	ctx := context.Background()
 	store := storage.NewMem(time.Now)
-	var d *deploy.Deployment
+	// The reaper goroutine starts inside deploy.New and may tick before
+	// New's result is assigned, so the expiry hook must not read the
+	// deployment variable directly — it loads the provider through an
+	// atomic published after New returns (ticks before that are no-ops).
+	var prov atomic.Pointer[core.Provider]
 	d, err := deploy.New(deploy.Config{
 		TestKeys:        true,
 		ResponseTimeout: chaosTimeout,
@@ -194,13 +198,17 @@ func TestChaosOverloadAndExpiry(t *testing.T) {
 		ProviderServerOpts: []core.ServerOption{
 			core.ServerMaxInflight(1),
 			core.ServerExpiry(clock.Real(), 10*time.Millisecond, func(now time.Time) int {
-				return d.Provider.ExpireStale(now)
+				if p := prov.Load(); p != nil {
+					return p.ExpireStale(now)
+				}
+				return 0
 			}),
 		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	prov.Store(d.Provider)
 	t.Cleanup(d.Close)
 	w := &world{d: d, store: store}
 

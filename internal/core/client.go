@@ -234,10 +234,13 @@ func (c *Client) Download(ctx context.Context, conn transport.Conn, txnID, objec
 }
 
 // agreedReceipt finds the upload NRR fixing the object's agreed
-// digest.
+// digest. Compacted upload sessions are consulted in the cold archive —
+// without the fallback, downloading an object whose upload session was
+// checkpointed away would silently skip the upload-to-download
+// integrity check.
 func (c *Client) agreedReceipt(uploadTxn, objectKey string) *evidence.Evidence {
 	if uploadTxn != "" {
-		if ev, err := c.archive.ByKind(uploadTxn, evidence.RolePeer, evidence.KindNRR); err == nil {
+		if ev, err := c.EvidenceByKind(uploadTxn, evidence.RolePeer, evidence.KindNRR); err == nil {
 			return ev
 		}
 		return nil
@@ -245,6 +248,13 @@ func (c *Client) agreedReceipt(uploadTxn, objectKey string) *evidence.Evidence {
 	for _, txn := range c.archive.Transactions() {
 		if ev, err := c.archive.ByKind(txn, evidence.RolePeer, evidence.KindNRR); err == nil && ev.Header.ObjectKey == objectKey {
 			return ev
+		}
+	}
+	if c.cold != nil {
+		for _, txn := range c.cold.Transactions() {
+			if ev, err := c.coldByKind(txn, evidence.RolePeer, evidence.KindNRR); err == nil && ev.Header.ObjectKey == objectKey {
+				return ev
+			}
 		}
 	}
 	return nil
@@ -433,9 +443,10 @@ func (c *Client) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, rep
 }
 
 // PendingNRO returns the archived own-NRO for a transaction, used when
-// escalating to Resolve after a timeout.
+// escalating to Resolve after a timeout. Reads through to the cold
+// archive for compacted sessions.
 func (c *Client) PendingNRO(txnID string) (*evidence.Evidence, error) {
-	return c.archive.ByKind(txnID, evidence.RoleOwn, evidence.KindNRO)
+	return c.EvidenceByKind(txnID, evidence.RoleOwn, evidence.KindNRO)
 }
 
 // Recover replays the client's journal after a restart, rebuilding the

@@ -96,7 +96,12 @@ func (p *party) journalAppend(r *journalRecord) error {
 // acked transition that is not durable is exactly the half-bound state
 // recovery exists to prevent. On journal failure the item is not
 // archived and the caller must not ack.
+// The journal+archive pair holds ckptMu's read side so a concurrent
+// Checkpoint cannot snapshot between the two: the record would land in
+// the truncated prefix while its effect missed the snapshot.
 func (p *party) putEvidence(txn string, role evidence.Role, ev *evidence.Evidence) error {
+	p.ckptMu.RLock()
+	defer p.ckptMu.RUnlock()
 	if err := p.journalAppend(&journalRecord{
 		Kind: jrEvidence, Txn: txn, Aux: uint8(role), Blob: ev.Encode(),
 	}); err != nil {
@@ -112,7 +117,15 @@ func (p *party) putEvidence(txn string, role evidence.Role, ev *evidence.Evidenc
 // transitions unconditionally. Callers that previously ignored
 // Transition errors keep doing so; the journal mirrors exactly what the
 // tracker accepted.
+//
+// Like putEvidence, the mutate+journal pair is bracketed by ckptMu's
+// read side — a snapshot built mid-pair would capture the transition
+// while the record lands past the checkpoint boundary (harmless), or
+// miss the transition while the record is truncated (lost) depending on
+// interleaving; the bracket forbids both.
 func (p *party) setState(txn string, next session.State) error {
+	p.ckptMu.RLock()
+	defer p.ckptMu.RUnlock()
 	if _, err := p.tracker.Get(txn); err != nil {
 		p.tracker.Begin(txn)
 	}
@@ -152,26 +165,57 @@ type RecoveryReport struct {
 	// OpenResolves lists resolve procedures opened but not closed (TTP
 	// only).
 	OpenResolves []string
+	// SnapshotLSN is the journal position the loaded checkpoint covers;
+	// zero when recovery replayed from genesis (no usable snapshot).
+	SnapshotLSN uint64
+	// TailRecords is how many journal records sat past the snapshot —
+	// the bounded portion recovery actually replayed.
+	TailRecords int
+	// ArchivedSessions counts terminal sessions resident in the cold
+	// archive after recovery.
+	ArchivedSessions int
+	// SkippedArchived counts tail records ignored because their
+	// transaction was already compacted into the cold archive.
+	SkippedArchived int
 }
 
-// recoverBase replays the journal rebuilding the state every party
-// shares: evidence archive, tracker, replay guard and outbound
-// sequence counters. extra (may be nil) sees each record for
+// recoverBase rebuilds the state every party shares — evidence archive,
+// tracker, replay guard and outbound sequence counters — from the
+// newest usable checkpoint snapshot plus the journal tail past it. With
+// no snapshot the tail IS the whole journal, which degrades to the old
+// full-replay behaviour. extra (may be nil) sees each tail record for
 // role-specific state (the provider's object map, the TTP's resolve
-// ledger). Returns the replayed transaction set in journal order.
+// ledger); records for transactions already compacted into the cold
+// archive are skipped — their evidence is served from the archive, not
+// re-materialised hot. Every restore path is idempotent (PutIfAbsent,
+// Restore, SkipTo, Observe), so calling Recover twice yields the state
+// of calling it once.
 func (p *party) recoverBase(ctx context.Context, extra func(*journalRecord) error) (*RecoveryReport, error) {
 	rep := &RecoveryReport{}
 	if p.journal == nil {
 		return rep, nil
 	}
 	seen := make(map[string]bool)
-	err := p.journal.Replay(func(raw []byte) error {
+	if payload, lsn, ok := p.journal.LoadCheckpoint(); ok {
+		if err := p.restoreSnapshot(payload, rep, seen); err != nil {
+			return nil, err
+		}
+		rep.SnapshotLSN = lsn
+	}
+	err := p.journal.ReplayTail(func(raw []byte) error {
 		if err := CheckContext(ctx); err != nil {
 			return err
 		}
 		r, err := decodeJournalRecord(raw)
 		if err != nil {
 			return err
+		}
+		rep.TailRecords++
+		if p.isArchived(r.Txn) {
+			// Post-compaction record for an archived session (late resolve
+			// traffic): the archive already serves this session's evidence.
+			rep.SkippedArchived++
+			return nil
 		}
 		rep.Records++
 		if r.Txn != "" && !seen[r.Txn] {
@@ -185,7 +229,7 @@ func (p *party) recoverBase(ctx context.Context, extra func(*journalRecord) erro
 				return fmt.Errorf("core: journal evidence for %s: %w", r.Txn, err)
 			}
 			role := evidence.Role(r.Aux)
-			p.archive.Put(r.Txn, role, ev)
+			p.archive.PutIfAbsent(r.Txn, role, ev)
 			h := ev.Header
 			if role == evidence.RoleOwn && h.SenderID == p.id.Name {
 				// Our own outbound message: the counter must never reuse
@@ -215,6 +259,7 @@ func (p *party) recoverBase(ctx context.Context, extra func(*journalRecord) erro
 		return nil, err
 	}
 	rep.TornTail = p.journal.Truncated()
+	rep.ArchivedSessions = p.archivedCount()
 	for _, txn := range rep.Transactions {
 		st, err := p.tracker.Get(txn)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"crypto/rsa"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/clock"
 	"repro/internal/cryptoutil"
 	"repro/internal/evidence"
@@ -89,6 +90,16 @@ func WithJournal(w *wal.WAL) Option {
 	return func(o *Options) { o.journal = w }
 }
 
+// WithArchive attaches a cold evidence archive: Checkpoint moves
+// terminal sessions' evidence out of the in-memory store (and, via the
+// journal snapshot, out of the replay path) into this append-only,
+// CRC-protected tier. Dispute reads fall back to it transparently.
+// Without an archive, Checkpoint still snapshots and compacts the
+// journal but keeps all evidence hot.
+func WithArchive(s *archive.Store) Option {
+	return func(o *Options) { o.cold = s }
+}
+
 // WithVerifyCache shares a bounded evidence-verification cache across
 // parties (or sizes it differently from the default). Every party gets
 // a private cache when this option is absent; pass a common cache to
@@ -104,8 +115,12 @@ func WithVerifyCache(c *evidence.VerifyCache) Option {
 // Deprecated: construct parties with individual With* options instead.
 func WithOptions(legacy Options) Option {
 	return func(o *Options) {
-		store, ttpID, journal, vcache, deadline, caPub := o.store, o.ttpID, o.journal, o.verifyCache, o.deadline, o.caPub
+		store, ttpID, journal, vcache, deadline, caPub, cold :=
+			o.store, o.ttpID, o.journal, o.verifyCache, o.deadline, o.caPub, o.cold
 		*o = legacy
+		if o.cold == nil {
+			o.cold = cold
+		}
 		if o.caPub == nil {
 			o.caPub = caPub
 		}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/clock"
 	"repro/internal/cryptoutil"
 	"repro/internal/evidence"
@@ -123,6 +124,9 @@ type Options struct {
 	// journal is set by WithJournal: the crash-safe WAL every protocol
 	// transition is appended to before the corresponding ack.
 	journal *wal.WAL
+	// cold is set by WithArchive: the append-only evidence archive that
+	// Checkpoint compacts terminal sessions into.
+	cold *archive.Store
 	// verifyCache is set by WithVerifyCache; nil means a private
 	// default-sized cache per party.
 	verifyCache *evidence.VerifyCache
@@ -165,6 +169,26 @@ type party struct {
 	deadline DeadlinePolicy
 	seqMu    sync.Mutex
 	seqs     map[string]*session.Counter
+
+	// Tiered evidence storage. cold is the append-only archive terminal
+	// sessions compact into; archived records which transactions have
+	// been moved (and their terminal state) so recovery can skip their
+	// journal records. ckptMu serialises checkpoints against the
+	// journal+mutate pairs: every handler that appends a journal record
+	// and applies its effect holds the read side across BOTH, so a
+	// snapshot can never capture a state the journal boundary splits.
+	cold   *archive.Store
+	archMu sync.Mutex
+	archived map[string]session.State
+	ckptMu sync.RWMutex
+
+	// Per-role hooks into checkpoint/recovery. snapExtra contributes a
+	// (note, flag) pair per live transaction to the snapshot; restore-
+	// Extra replays it; eligible overrides which transactions count as
+	// compactable (nil means "tracker state is terminal").
+	snapExtra    func(txn string) (note string, flag bool)
+	restoreExtra func(txn, note string, flag bool)
+	eligible     func(txn string) (session.State, bool)
 
 	// peers memoizes CA-verified peer keys: one CA signature check and
 	// one key parse per distinct certificate, instead of per message.
@@ -214,6 +238,8 @@ func newParty(o Options) (*party, error) {
 		journal:  o.journal,
 		vcache:   o.verifyCache,
 		deadline: o.deadline,
+		cold:     o.cold,
+		archived: make(map[string]session.State),
 		seqs:     make(map[string]*session.Counter),
 		peers:    make(map[string]*peerEntry),
 		pumps:    make(map[transport.Conn]*pump),

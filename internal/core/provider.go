@@ -72,7 +72,9 @@ func NewProvider(opts ...Option) (*Provider, error) {
 	if store == nil {
 		store = storage.NewMem(p.clk.Now)
 	}
-	return &Provider{party: p, store: store, ttpID: o.ttpID, txnObject: make(map[string]string)}, nil
+	b := &Provider{party: p, store: store, ttpID: o.ttpID, txnObject: make(map[string]string)}
+	b.initCheckpointHooks()
+	return b, nil
 }
 
 // NewProviderFromOptions constructs a provider engine over the given
@@ -88,7 +90,31 @@ func NewProviderFromOptions(o Options, store storage.Store) (*Provider, error) {
 	if store == nil {
 		store = storage.NewMem(p.clk.Now)
 	}
-	return &Provider{party: p, store: store, ttpID: o.ttpID, txnObject: make(map[string]string)}, nil
+	b := &Provider{party: p, store: store, ttpID: o.ttpID, txnObject: make(map[string]string)}
+	b.initCheckpointHooks()
+	return b, nil
+}
+
+// initCheckpointHooks wires the provider's role-specific state — the
+// transaction → object-key map — into the checkpoint snapshot: each
+// live transaction's binding rides the snapshot's note field, so a
+// recovery that never replays the pre-checkpoint journal still knows
+// which blob each session stored.
+func (b *Provider) initCheckpointHooks() {
+	b.snapExtra = func(txn string) (string, bool) {
+		b.txnMu.Lock()
+		key := b.txnObject[txn]
+		b.txnMu.Unlock()
+		return key, false
+	}
+	b.restoreExtra = func(txn, note string, _ bool) {
+		if note == "" {
+			return
+		}
+		b.txnMu.Lock()
+		b.txnObject[txn] = note
+		b.txnMu.Unlock()
+	}
 }
 
 // SetMisbehavior swaps the provider's behaviour at runtime.
@@ -299,9 +325,6 @@ func (b *Provider) handleUpload(h *evidence.Header, ev *evidence.Evidence, data 
 	if err := b.journalObject(h.TxnID, h.ObjectKey); err != nil {
 		return nil, err
 	}
-	b.txnMu.Lock()
-	b.txnObject[h.TxnID] = h.ObjectKey
-	b.txnMu.Unlock()
 	b.setState(h.TxnID, session.StateEvidenceReceived)
 	b.auditAppend("upload", h.TxnID, fmt.Sprintf("stored %q (%d bytes, md5 %s)", h.ObjectKey, len(data), h.DataMD5.Hex()))
 	faultpoint.Hit(fpProviderUploadBeforeNRR)
@@ -483,15 +506,17 @@ func (b *Provider) handleResolve(h *evidence.Header, ev *evidence.Evidence, payl
 		// would re-bind us to a blob we deleted; relay the abort receipt
 		// instead so the claimant gains its counter-evidence.
 		rh.Note = "aborted"
-		if own, err := b.archive.ByKind(h.TxnID, evidence.RoleOwn, evidence.KindAbortAccept); err == nil {
+		if own, err := b.EvidenceByKind(h.TxnID, evidence.RoleOwn, evidence.KindAbortAccept); err == nil {
 			relay = own.Encode()
 		}
-	} else if own, err := b.archive.ByKind(h.TxnID, evidence.RoleOwn, evidence.KindNRR); err == nil {
+	} else if own, err := b.EvidenceByKind(h.TxnID, evidence.RoleOwn, evidence.KindNRR); err == nil {
 		// We completed our side before: re-present the receipt; the
-		// transaction can continue.
+		// transaction can continue. EvidenceByKind reads through to the
+		// cold archive, so a resolve against a checkpointed session still
+		// finds the receipt.
 		rh.Note = "continue"
 		relay = own.Encode()
-	} else if nro, err := b.archive.ByKind(h.TxnID, evidence.RolePeer, evidence.KindNRO); err == nil {
+	} else if nro, err := b.EvidenceByKind(h.TxnID, evidence.RolePeer, evidence.KindNRO); err == nil {
 		// We hold the claimant's NRO and (if honest storage) the data,
 		// but never issued the NRR — issue it now so the transaction
 		// continues. This is the §4.3 case where Bob's receipt was
@@ -552,7 +577,7 @@ func (b *Provider) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, r
 		return nil, fmt.Errorf("core: provider has no TTP configured (construct with WithTTPID)")
 	}
 	defer applyDeadline(ctx, ttpConn)()
-	own, err := b.archive.ByKind(txnID, evidence.RoleOwn, evidence.KindNRR)
+	own, err := b.EvidenceByKind(txnID, evidence.RoleOwn, evidence.KindNRR)
 	if err != nil {
 		return nil, fmt.Errorf("core: provider has no NRR for %s: %w", txnID, err)
 	}
@@ -598,10 +623,20 @@ func (b *Provider) Resolve(ctx context.Context, ttpConn transport.Conn, txnID, r
 	return res, nil
 }
 
-// journalObject records the transaction → object-key binding so
-// recovery knows which blob an abort must drop.
+// journalObject records the transaction → object-key binding — journal
+// record plus in-memory map, bracketed by ckptMu's read side like every
+// journal+mutate pair — so recovery knows which blob an abort must
+// drop.
 func (b *Provider) journalObject(txn, objectKey string) error {
-	return b.journalAppend(&journalRecord{Kind: jrObject, Txn: txn, Note: objectKey})
+	b.ckptMu.RLock()
+	defer b.ckptMu.RUnlock()
+	if err := b.journalAppend(&journalRecord{Kind: jrObject, Txn: txn, Note: objectKey}); err != nil {
+		return err
+	}
+	b.txnMu.Lock()
+	b.txnObject[txn] = objectKey
+	b.txnMu.Unlock()
+	return nil
 }
 
 // Health returns nil while the provider is fully serving, or the
@@ -665,7 +700,7 @@ func (b *Provider) expireTxn(txn string) error {
 		return err // lost the race to a completing handler: nothing to expire
 	}
 	note := expiredNotePrefix + "step deadline exceeded"
-	if nro, err := b.archive.ByKind(txn, evidence.RolePeer, evidence.KindNRO); err == nil {
+	if nro, err := b.EvidenceByKind(txn, evidence.RolePeer, evidence.KindNRO); err == nil {
 		if _, rerr := b.issueAbortReceipt(nro.Header, note); rerr != nil {
 			return rerr
 		}

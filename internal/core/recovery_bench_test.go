@@ -1,0 +1,181 @@
+package core
+
+// BenchmarkE13Recovery measures crash recovery with and without a
+// checkpoint, at two journal sizes. It lives inside the package so the
+// setup can fabricate journal history directly through putEvidence and
+// setState — the records a real workload would have written — without
+// paying for the network round-trips and sealing that produced them.
+// Evidence items are fabricated structurally (Decode never verifies
+// signatures), which keeps setup for the 10k-session shape under a
+// second while replay still decodes every record exactly as it would
+// after a real crash.
+//
+// mode=replay   — no checkpoint was ever taken: recovery replays the
+//                 whole journal from genesis (the pre-E13 behaviour).
+// mode=snapshot — a checkpoint compacted every terminal session into
+//                 the cold archive; recovery loads the snapshot and
+//                 replays only the short tail written after it.
+//
+// Both modes recover the SAME logical history (n terminal sessions
+// plus a small post-checkpoint tail), so the ratio
+// recovery_snapshot_speedup_10k in cmd/benchreport is a like-for-like
+// bound on restart time (target ≥ 5× at 10k sessions).
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/cryptoutil"
+	"repro/internal/evidence"
+	"repro/internal/pki"
+	"repro/internal/session"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// e13TailSessions is the post-checkpoint traffic both modes share: the
+// bounded portion snapshot-mode recovery actually replays.
+const e13TailSessions = 16
+
+func e13Provider(b *testing.B, w *wal.WAL, cold *archive.Store) *Provider {
+	b.Helper()
+	ca := pki.NewAuthority("bench-ca", cryptoutil.InsecureTestKey(30))
+	id, err := pki.NewIdentity(ca, "bob", cryptoutil.InsecureTestKey(31),
+		time.Now().Add(-time.Hour), time.Now().Add(time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []Option{
+		WithIdentity(id),
+		WithCAPublicKey(ca.Key()),
+		WithDirectory(ca.Lookup),
+		WithStore(storage.NewMem(nil)),
+		WithJournal(w),
+	}
+	if cold != nil {
+		opts = append(opts, WithArchive(cold))
+	}
+	p, err := NewProvider(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// e13Evidence fabricates a decodable evidence item. The signatures are
+// placeholders — journal replay decodes, it never verifies — so the
+// benchmark pays the honest decode cost per record and nothing else.
+func e13Evidence(kind evidence.Kind, txn, sender, recipient string, sig []byte) *evidence.Evidence {
+	h := &evidence.Header{
+		Kind: kind, TxnID: txn, Seq: 1, Nonce: []byte(txn),
+		SenderID: sender, RecipientID: recipient,
+		ObjectKey: "bench/" + txn, ObjectLen: 4096,
+		Timestamp: time.Unix(1700000000, 0),
+	}
+	h.SetDigests([]byte(txn))
+	return &evidence.Evidence{Header: h, DataSig: sig, HeaderSig: sig}
+}
+
+// e13Populate journals count completed upload sessions starting at
+// index from: peer NRO, own NRR, two state transitions each — the
+// record mix a provider's journal holds after real traffic.
+func e13Populate(b *testing.B, p *Provider, from, count int) {
+	b.Helper()
+	sig := make([]byte, 256)
+	for i := from; i < from+count; i++ {
+		txn := fmt.Sprintf("txn-%06d", i)
+		if err := p.putEvidence(txn, evidence.RolePeer, e13Evidence(evidence.KindNRO, txn, "alice", "bob", sig)); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.setState(txn, session.StateEvidenceReceived); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.putEvidence(txn, evidence.RoleOwn, e13Evidence(evidence.KindNRR, txn, "bob", "alice", sig)); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.setState(txn, session.StateCompleted); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13Recovery(b *testing.B) {
+	ctx := context.Background()
+	for _, mode := range []string{"replay", "snapshot"} {
+		for _, n := range []int{1000, 10000} {
+			b.Run(fmt.Sprintf("mode=%s/sessions=%d", mode, n), func(b *testing.B) {
+				dir := b.TempDir()
+				walDir := filepath.Join(dir, "wal")
+				arcDir := filepath.Join(dir, "archive")
+
+				// Fabricate the pre-crash history. SyncNever: durability is
+				// not under test, replay cost is.
+				w, err := wal.Open(walDir, wal.Options{Policy: wal.SyncNever})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cold *archive.Store
+				if mode == "snapshot" {
+					if cold, err = archive.Open(arcDir); err != nil {
+						b.Fatal(err)
+					}
+				}
+				p := e13Provider(b, w, cold)
+				e13Populate(b, p, 0, n)
+				if mode == "snapshot" {
+					rep, err := p.Checkpoint()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Archived != n {
+						b.Fatalf("checkpoint archived %d sessions, want %d", rep.Archived, n)
+					}
+				}
+				e13Populate(b, p, n, e13TailSessions)
+				w.Close()
+				if cold != nil {
+					cold.Close()
+				}
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w2, err := wal.Open(walDir, wal.Options{Policy: wal.SyncNever})
+					if err != nil {
+						b.Fatal(err)
+					}
+					var c2 *archive.Store
+					if mode == "snapshot" {
+						if c2, err = archive.Open(arcDir); err != nil {
+							b.Fatal(err)
+						}
+					}
+					p2 := e13Provider(b, w2, c2)
+					rep, err := p2.Recover(ctx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					switch mode {
+					case "replay":
+						if len(rep.Transactions) != n+e13TailSessions {
+							b.Fatalf("replay recovered %d txns, want %d", len(rep.Transactions), n+e13TailSessions)
+						}
+					case "snapshot":
+						if rep.SnapshotLSN == 0 || rep.ArchivedSessions != n || len(rep.Transactions) != e13TailSessions {
+							b.Fatalf("snapshot recovery off: LSN=%d archived=%d live=%d",
+								rep.SnapshotLSN, rep.ArchivedSessions, len(rep.Transactions))
+						}
+					}
+					w2.Close()
+					if c2 != nil {
+						c2.Close()
+					}
+				}
+			})
+		}
+	}
+}

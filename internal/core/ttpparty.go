@@ -4,11 +4,15 @@ import (
 	"context"
 	"crypto/rsa"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/cryptoutil"
 	"repro/internal/evidence"
 	"repro/internal/metrics"
+	"repro/internal/session"
 	"repro/internal/transport"
 )
 
@@ -17,6 +21,14 @@ import (
 // identity, guard, archive and instrumentation machinery.
 type TTPParty struct {
 	p *party
+
+	// openRes tracks resolve procedures opened but not yet closed. It
+	// is the TTP's in-memory mirror of the jrResolve journal records:
+	// Recover rebuilds it, checkpoints snapshot it (per-transaction flag
+	// in the snapshot extras), and compaction refuses to archive a
+	// session while its resolve is still open.
+	resMu   sync.Mutex
+	openRes map[string]bool
 }
 
 // NewTTPParty constructs the plumbing for a TTP server from functional
@@ -34,7 +46,42 @@ func NewTTPPartyFromOptions(o Options) (*TTPParty, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TTPParty{p: p}, nil
+	t := &TTPParty{p: p, openRes: make(map[string]bool)}
+	// The TTP writes no tracker state of its own, so the default
+	// "tracker state is terminal" compaction rule would never fire.
+	// Its rule instead: any session whose evidence has stopped moving
+	// (no open resolve) may be compacted; sessions with an open resolve
+	// stay hot because the claimant's retry will need them.
+	p.eligible = func(txn string) (session.State, bool) {
+		t.resMu.Lock()
+		open := t.openRes[txn]
+		t.resMu.Unlock()
+		if open {
+			return 0, false
+		}
+		if st, err := p.tracker.Get(txn); err == nil {
+			if !session.Terminal(st) {
+				return 0, false
+			}
+			return st, true
+		}
+		return session.StateCompleted, true
+	}
+	p.snapExtra = func(txn string) (string, bool) {
+		t.resMu.Lock()
+		open := t.openRes[txn]
+		t.resMu.Unlock()
+		return "", open
+	}
+	p.restoreExtra = func(txn, _ string, flag bool) {
+		if !flag {
+			return
+		}
+		t.resMu.Lock()
+		t.openRes[txn] = true
+		t.resMu.Unlock()
+	}
+	return t, nil
 }
 
 // ID returns the TTP's party name.
@@ -117,15 +164,46 @@ func (t *TTPParty) PutEvidence(txn string, role evidence.Role, ev *evidence.Evid
 }
 
 // JournalResolveOpen durably records that a resolve procedure was
-// accepted for txn, before the peer query goes out.
+// accepted for txn, before the peer query goes out. Journal record and
+// ledger update are bracketed by the checkpoint read-lock like every
+// journal+mutate pair.
 func (t *TTPParty) JournalResolveOpen(txn, note string) error {
-	return t.p.journalAppend(&journalRecord{Kind: jrResolve, Txn: txn, Aux: jrResolveOpen, Note: note})
+	t.p.ckptMu.RLock()
+	defer t.p.ckptMu.RUnlock()
+	if err := t.p.journalAppend(&journalRecord{Kind: jrResolve, Txn: txn, Aux: jrResolveOpen, Note: note}); err != nil {
+		return err
+	}
+	t.resMu.Lock()
+	t.openRes[txn] = true
+	t.resMu.Unlock()
+	return nil
 }
 
 // JournalResolveClosed durably records the resolve outcome, before the
 // statement is sent to the claimant.
 func (t *TTPParty) JournalResolveClosed(txn, note string) error {
-	return t.p.journalAppend(&journalRecord{Kind: jrResolve, Txn: txn, Aux: jrResolveClosed, Note: note})
+	t.p.ckptMu.RLock()
+	defer t.p.ckptMu.RUnlock()
+	if err := t.p.journalAppend(&journalRecord{Kind: jrResolve, Txn: txn, Aux: jrResolveClosed, Note: note}); err != nil {
+		return err
+	}
+	t.resMu.Lock()
+	delete(t.openRes, txn)
+	t.resMu.Unlock()
+	return nil
+}
+
+// Checkpoint compacts settled sessions into the cold archive (when one
+// is attached) and snapshots the TTP's live state into the journal.
+func (t *TTPParty) Checkpoint() (*CheckpointReport, error) { return t.p.Checkpoint() }
+
+// ColdArchive exposes the attached cold archive (nil when absent).
+func (t *TTPParty) ColdArchive() *archive.Store { return t.p.ColdArchive() }
+
+// EvidenceByKind returns the latest matching evidence, reading through
+// to the cold archive for compacted sessions.
+func (t *TTPParty) EvidenceByKind(txn string, role evidence.Role, kind evidence.Kind) (*evidence.Evidence, error) {
+	return t.p.EvidenceByKind(txn, role, kind)
 }
 
 // Recover replays the TTP's journal after a restart: the evidence
@@ -135,15 +213,16 @@ func (t *TTPParty) JournalResolveClosed(txn, note string) error {
 // retry, and the journal guarantees the retry sees the archived
 // evidence from the first attempt.
 func (t *TTPParty) Recover(ctx context.Context) (*RecoveryReport, error) {
-	open := make(map[string]bool)
 	rep, err := t.p.recoverBase(ctx, func(r *journalRecord) error {
 		if r.Kind == jrResolve {
+			t.resMu.Lock()
 			switch r.Aux {
 			case jrResolveOpen:
-				open[r.Txn] = true
+				t.openRes[r.Txn] = true
 			case jrResolveClosed:
-				delete(open, r.Txn)
+				delete(t.openRes, r.Txn)
 			}
+			t.resMu.Unlock()
 		}
 		return nil
 	})
@@ -153,10 +232,11 @@ func (t *TTPParty) Recover(ctx context.Context) (*RecoveryReport, error) {
 	// The TTP holds no sessions of its own: NeedsResolve (derived from
 	// tracker state the TTP never writes) is meaningless here.
 	rep.NeedsResolve = nil
-	for _, txn := range rep.Transactions {
-		if open[txn] {
-			rep.OpenResolves = append(rep.OpenResolves, txn)
-		}
+	t.resMu.Lock()
+	for txn := range t.openRes {
+		rep.OpenResolves = append(rep.OpenResolves, txn)
 	}
+	t.resMu.Unlock()
+	sort.Strings(rep.OpenResolves)
 	return rep, nil
 }

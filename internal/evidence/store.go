@@ -1,6 +1,7 @@
 package evidence
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -53,6 +54,35 @@ func (s *Store) Put(txn string, role Role, ev *Evidence) {
 		s.items[txn] = make(map[Role][]*Evidence)
 	}
 	s.items[txn][role] = append(s.items[txn][role], ev)
+}
+
+// PutIfAbsent archives an evidence item unless an identical one (same
+// header kind, sequence and nonce) of that role is already stored for
+// the transaction. Recovery uses it so replaying the same history twice
+// — snapshot restore plus tail, or a second Recover call — cannot
+// duplicate items. Reports whether the item was stored.
+func (s *Store) PutIfAbsent(txn string, role Role, ev *Evidence) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, old := range s.items[txn][role] {
+		if old.Header.Kind == ev.Header.Kind && old.Header.Seq == ev.Header.Seq &&
+			bytes.Equal(old.Header.Nonce, ev.Header.Nonce) {
+			return false
+		}
+	}
+	if s.items[txn] == nil {
+		s.items[txn] = make(map[Role][]*Evidence)
+	}
+	s.items[txn][role] = append(s.items[txn][role], ev)
+	return true
+}
+
+// Drop removes every stored item for txn — compaction calls it after
+// the transaction's evidence has been moved to the cold archive.
+func (s *Store) Drop(txn string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.items, txn)
 }
 
 // Get returns the latest evidence of the given role for txn.

@@ -89,6 +89,42 @@ func TestHistogramMemoryBounded(t *testing.T) {
 	}
 }
 
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := int64(3)
+	r.GaugeFunc("pool_depth", func() int64 { return v })
+	if got := r.Snapshot().Gauges["pool_depth"]; got != 3 {
+		t.Fatalf("gauge func snapshot = %d, want 3", got)
+	}
+	v = 9
+	if got := r.Snapshot().Gauges["pool_depth"]; got != 9 {
+		t.Fatalf("gauge func is not re-evaluated per snapshot: got %d, want 9", got)
+	}
+	// Re-registration replaces the callback (instance sets re-register).
+	r.GaugeFunc("pool_depth", func() int64 { return -1 })
+	if got := r.Snapshot().Gauges["pool_depth"]; got != -1 {
+		t.Fatalf("re-registered gauge func not used: got %d", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pool_depth -1\n") {
+		t.Fatalf("text output missing gauge func line:\n%s", buf.String())
+	}
+}
+
+func TestGaugeFuncKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("name", func() int64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("counter registration over a gauge-func name did not panic")
+		}
+	}()
+	r.Counter("name")
+}
+
 func TestKindConflictPanics(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("name")

@@ -128,18 +128,20 @@ var (
 // same name returns the existing metric; a kind conflict panics, since
 // it is always a programming error caught by the first test run).
 type Registry struct {
-	mu     sync.RWMutex
-	counts map[string]*Counter
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
+	mu       sync.RWMutex
+	counts   map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counts: make(map[string]*Counter),
-		gauges: make(map[string]*Gauge),
-		hists:  make(map[string]*Histogram),
+		counts:   make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -191,6 +193,22 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// GaugeFunc registers a callback gauge: fn is invoked at snapshot time
+// and its value reported under name. Callback gauges fit state that
+// already lives behind its own lock (open WAL segments, archive sizes)
+// — polling it at read time beats mirroring every change into a stored
+// Gauge. fn must not call back into the registry. Re-registering a name
+// replaces its callback (packages with process-wide instance sets
+// re-register on instance churn).
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gaugeFns[name]; !ok {
+		r.checkFree(name, "gauge func")
+	}
+	r.gaugeFns[name] = fn
+}
+
 // Histogram returns the named histogram, creating it with the given
 // bucket bounds on first use (bounds must be sorted ascending; they are
 // ignored when the histogram already exists).
@@ -225,6 +243,9 @@ func (r *Registry) checkFree(name, kind string) {
 	}
 	if _, ok := r.gauges[name]; ok {
 		panic(fmt.Sprintf("obs: %q already registered as a gauge, wanted %s", name, kind))
+	}
+	if _, ok := r.gaugeFns[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a gauge func, wanted %s", name, kind))
 	}
 	if _, ok := r.hists[name]; ok {
 		panic(fmt.Sprintf("obs: %q already registered as a histogram, wanted %s", name, kind))
@@ -270,6 +291,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range r.gaugeFns {
+		s.Gauges[name] = fn()
 	}
 	for name, h := range r.hists {
 		hs := HistogramSnapshot{

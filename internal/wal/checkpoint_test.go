@@ -1,0 +1,424 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+// fillSegments appends n records sized so the journal rotates through a
+// few segments, returning the payloads in order.
+func fillSegments(t *testing.T, w *WAL, n int) [][]byte {
+	t.Helper()
+	var recs [][]byte
+	for i := 0; i < n; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d", i))
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func replayAll(t *testing.T, w *WAL) []string {
+	t.Helper()
+	var got []string
+	if err := w.Replay(func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func replayTail(t *testing.T, w *WAL) []string {
+	t.Helper()
+	var got []string
+	if err := w.ReplayTail(func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay tail: %v", err)
+	}
+	return got
+}
+
+func TestCheckpointTruncatesCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSegments(t, w, 50)
+	if w.Segments() < 3 {
+		t.Fatalf("test wants multiple segments, got %d", w.Segments())
+	}
+	lsn, err := w.Checkpoint([]byte("snapshot-state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 50 {
+		t.Fatalf("snapshot LSN = %d, want 50", lsn)
+	}
+	// Everything before the boundary is compacted: one fresh tail
+	// segment remains and a full replay yields nothing.
+	if got := w.Segments(); got != 1 {
+		t.Fatalf("segments after checkpoint = %d, want 1", got)
+	}
+	if got := replayAll(t, w); len(got) != 0 {
+		t.Fatalf("replay after checkpoint returned %d records", len(got))
+	}
+	payload, ckLSN, ok := w.LoadCheckpoint()
+	if !ok || ckLSN != 50 || string(payload) != "snapshot-state" {
+		t.Fatalf("LoadCheckpoint = %q, %d, %v", payload, ckLSN, ok)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRecoverSnapshotPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSegments(t, w, 30)
+	if _, err := w.Checkpoint([]byte("state-at-30")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 30; i < 40; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("record-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	payload, lsn, ok := w2.LoadCheckpoint()
+	if !ok || lsn != 30 || string(payload) != "state-at-30" {
+		t.Fatalf("LoadCheckpoint after reopen = %q, %d, %v", payload, lsn, ok)
+	}
+	if got := w2.TailRecords(); got != 10 {
+		t.Fatalf("TailRecords = %d, want 10", got)
+	}
+	if got := w2.LSN(); got != 40 {
+		t.Fatalf("LSN = %d, want 40", got)
+	}
+	tail := replayTail(t, w2)
+	if len(tail) != 10 || tail[0] != "record-0030" || tail[9] != "record-0039" {
+		t.Fatalf("tail replay = %v", tail)
+	}
+}
+
+func TestCheckpointTornSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSegments(t, w, 20)
+	if _, err := w.Checkpoint([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 40; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("record-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The second checkpoint crashes after rename but before truncation:
+	// its covered segments (the first snapshot's tail) stay on disk.
+	faultpoint.Arm(fpCheckpointPostRename, faultpoint.Kill(fpCheckpointPostRename))
+	defer faultpoint.Reset()
+	func() {
+		defer func() {
+			if _, ok := recover().(*faultpoint.Crash); !ok {
+				t.Fatal("expected faultpoint crash")
+			}
+		}()
+		w.Checkpoint([]byte("second"))
+	}()
+	faultpoint.Reset()
+
+	// Tear the newest snapshot file: flip a payload byte.
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.snap"))
+	if len(files) != 2 {
+		t.Fatalf("want 2 checkpoint files, got %v", files)
+	}
+	newest := files[len(files)-1]
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xFF
+	if err := os.WriteFile(newest, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// And tear the tail of the post-snapshot segment: a partial record.
+	w2, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, lsn, ok := w2.LoadCheckpoint()
+	if !ok || string(payload) != "first" || lsn != 20 {
+		t.Fatalf("fallback snapshot = %q, %d, %v (want first/20)", payload, lsn, ok)
+	}
+	// The discarded file must be gone so the next Open does not retry it.
+	if _, err := os.Stat(newest); !os.IsNotExist(err) {
+		t.Fatalf("torn snapshot not removed: %v", err)
+	}
+	tail := replayTail(t, w2)
+	if len(tail) != 20 || tail[0] != "record-0020" || tail[19] != "record-0039" {
+		t.Fatalf("fallback tail replay: %d records, %v", len(tail), tail)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointTornSnapshotAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSegments(t, w, 10)
+	if _, err := w.Checkpoint([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 15; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("record-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate the combined wreckage a dying disk can leave: a newer
+	// snapshot file whose body did not fully reach the platter (torn
+	// mid-body despite the rename landing) plus a half-written record at
+	// the tail of the post-snapshot segment.
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.snap"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 checkpoint file, got %v", files)
+	}
+	b, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, fmt.Sprintf(ckptFmt, 99))
+	if err := os.WriteFile(torn, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a record header: length claims 64 bytes, nothing follows.
+	if _, err := f.Write([]byte{0, 0, 0, 64, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatalf("torn snapshot not discarded: %v", err)
+	}
+	if !w2.Truncated() {
+		t.Fatal("torn tail record not truncated")
+	}
+	payload, lsn, ok := w2.LoadCheckpoint()
+	if !ok || string(payload) != "good" || lsn != 10 {
+		t.Fatalf("snapshot after double tear = %q, %d, %v", payload, lsn, ok)
+	}
+	tail := replayTail(t, w2)
+	if len(tail) != 5 || tail[0] != "record-0010" || tail[4] != "record-0014" {
+		t.Fatalf("tail after double tear = %v", tail)
+	}
+}
+
+func TestCheckpointCrashPreRenameKeepsOldSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := fillSegments(t, w, 25)
+	if _, err := w.Checkpoint([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 25; i < 35; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("record-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = recs
+	faultpoint.Arm(fpCheckpointPreRename, faultpoint.Kill(fpCheckpointPreRename))
+	defer faultpoint.Reset()
+	func() {
+		defer func() {
+			if _, ok := recover().(*faultpoint.Crash); !ok {
+				t.Fatal("expected faultpoint crash")
+			}
+		}()
+		w.Checkpoint([]byte("two"))
+	}()
+	faultpoint.Reset()
+
+	w2, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	// The rename never happened: the tmp file is swept, the previous
+	// snapshot stands, and its full tail is still replayable.
+	if _, err := os.Stat(filepath.Join(dir, ckptTmp)); !os.IsNotExist(err) {
+		t.Fatalf("stale checkpoint tmp survives Open: %v", err)
+	}
+	payload, lsn, ok := w2.LoadCheckpoint()
+	if !ok || string(payload) != "one" || lsn != 25 {
+		t.Fatalf("snapshot = %q, %d, %v", payload, lsn, ok)
+	}
+	tail := replayTail(t, w2)
+	if len(tail) != 10 || tail[0] != "record-0025" {
+		t.Fatalf("tail = %v", tail)
+	}
+}
+
+func TestCheckpointCrashMidTruncateCompletesAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSegments(t, w, 50)
+	if w.Segments() < 4 {
+		t.Fatalf("test wants >=4 segments, got %d", w.Segments())
+	}
+	// Die after removing the FIRST covered segment, with more covered
+	// segments still on disk.
+	faultpoint.Arm(fpCompactMidTruncate, faultpoint.Kill(fpCompactMidTruncate))
+	defer faultpoint.Reset()
+	func() {
+		defer func() {
+			if _, ok := recover().(*faultpoint.Crash); !ok {
+				t.Fatal("expected faultpoint crash")
+			}
+		}()
+		w.Checkpoint([]byte("mid"))
+	}()
+	faultpoint.Reset()
+	if n, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg")); len(n) < 2 {
+		t.Fatalf("crash scenario degenerate: %d segments left", len(n))
+	}
+
+	w2, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	// Open finishes the truncation: only the snapshot tail remains.
+	if got := w2.Segments(); got != 1 {
+		t.Fatalf("segments after recovery = %d, want 1", got)
+	}
+	payload, lsn, ok := w2.LoadCheckpoint()
+	if !ok || string(payload) != "mid" || lsn != 50 {
+		t.Fatalf("snapshot = %q, %d, %v", payload, lsn, ok)
+	}
+	if got := replayTail(t, w2); len(got) != 0 {
+		t.Fatalf("tail after complete compaction = %v", got)
+	}
+}
+
+func TestCheckpointLSNSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSegments(t, w, 10)
+	if _, err := w.Checkpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	fillSegments(t, w, 10)
+	lsn, err := w.Checkpoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 20 {
+		t.Fatalf("second snapshot LSN = %d, want 20 (LSNs must not reset at compaction)", lsn)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.LSN(); got != 20 {
+		t.Fatalf("LSN after reopen = %d, want 20", got)
+	}
+}
+
+func TestCheckpointRetainsOnlyTwoFiles(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for round := 0; round < 5; round++ {
+		fillSegments(t, w, 10)
+		if _, err := w.Checkpoint([]byte{byte(round)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.snap"))
+	if len(files) != 2 {
+		t.Fatalf("checkpoint retention = %d files (%v), want 2", len(files), files)
+	}
+}
+
+func TestOpenRejectsCompactedJournalWithoutSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSegments(t, w, 30)
+	if _, err := w.Checkpoint([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete every snapshot: now the journal visibly starts past
+	// segment 1 with nothing covering the missing history.
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.snap"))
+	for _, f := range files {
+		os.Remove(f)
+	}
+	if _, err := Open(dir, Options{Policy: SyncNever, SegmentSize: 256}); err == nil {
+		t.Fatal("Open accepted a compacted journal with no usable snapshot")
+	}
+}

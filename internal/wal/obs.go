@@ -1,6 +1,11 @@
 package wal
 
-import "repro/internal/obs"
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Package-level metric handles on the process default registry,
 // resolved once at init so Append/fsync pay a single atomic add. The
@@ -20,4 +25,61 @@ var (
 	// sticky I/O error (ENOSPC, failed fsync) — the signal /healthz keys
 	// degraded mode off.
 	walDegraded = obs.Default().Gauge("wal_degraded")
+
+	// Checkpoint/compaction counters.
+	walCheckpoints = obs.Default().Counter("wal_checkpoints_total")
+	// walCkptDiscarded counts torn or corrupt snapshot files detected and
+	// dropped at Open — each one is a fall-back to the previous snapshot
+	// plus a longer tail replay.
+	walCkptDiscarded = obs.Default().Counter("wal_checkpoint_discarded_total")
+	walCompactedSegs = obs.Default().Counter("wal_compacted_segments_total")
 )
+
+// Open journals are tracked in a process-wide set so the size gauges
+// below can be callback gauges summed at scrape time instead of values
+// mirrored on every append.
+var (
+	instMu    sync.Mutex
+	instances = make(map[*WAL]struct{})
+)
+
+func trackInstance(w *WAL)   { instMu.Lock(); instances[w] = struct{}{}; instMu.Unlock() }
+func untrackInstance(w *WAL) { instMu.Lock(); delete(instances, w); instMu.Unlock() }
+
+func init() {
+	r := obs.Default()
+	r.GaugeFunc("wal_segments", func() int64 {
+		instMu.Lock()
+		defer instMu.Unlock()
+		var total int64
+		for w := range instances {
+			total += int64(w.segmentCount())
+		}
+		return total
+	})
+	r.GaugeFunc("wal_active_bytes", func() int64 {
+		instMu.Lock()
+		defer instMu.Unlock()
+		var total int64
+		for w := range instances {
+			total += w.activeBytes()
+		}
+		return total
+	})
+	// wal_snapshot_age_seconds is the age of the OLDEST live snapshot
+	// across the process's journals — the operator alarm that a
+	// checkpoint loop has stalled. -1 means no journal has a snapshot.
+	r.GaugeFunc("wal_snapshot_age_seconds", func() int64 {
+		instMu.Lock()
+		defer instMu.Unlock()
+		age := int64(-1)
+		for w := range instances {
+			if taken, ok := w.checkpointTime(); ok {
+				if a := int64(time.Since(taken).Seconds()); a > age {
+					age = a
+				}
+			}
+		}
+		return age
+	})
+}

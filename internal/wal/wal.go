@@ -144,6 +144,16 @@ type WAL struct {
 	closed    bool
 	syncs     uint64 // fsync syscalls issued (observability)
 
+	// Checkpoint/compaction state. lsn numbers records since genesis —
+	// unlike records, it survives compaction, so a snapshot can say
+	// exactly which prefix of history it covers. tailRecords counts
+	// records the current snapshot does NOT cover; segBytes mirrors the
+	// size of each live segment for the process gauges.
+	lsn         uint64
+	tailRecords int
+	ckpt        *Checkpoint
+	segBytes    map[int]int64
+
 	// Group-commit state (SyncGroup only), guarded by mu. Appends are
 	// numbered; the leader fsyncs with mu RELEASED so followers keep
 	// appending into the commit window, then advances syncedSeq to
@@ -185,7 +195,10 @@ func Open(dir string, opt Options) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
-	w := &WAL{dir: dir, opt: opt}
+	w := &WAL{dir: dir, opt: opt, segBytes: make(map[int]int64)}
+	// A tmp file here is a checkpoint that never got renamed into place
+	// — the snapshot it staged simply did not happen.
+	os.Remove(filepath.Join(dir, ckptTmp))
 
 	segs, err := w.segments()
 	if err != nil {
@@ -195,12 +208,29 @@ func Open(dir string, opt Options) (*WAL, error) {
 		if err := w.newSegment(1); err != nil {
 			return nil, err
 		}
+		trackInstance(w)
 		return w, nil
 	}
 	// Existing segments mean this Open is a recovery (a restart over a
 	// prior journal), which operators want to see distinctly from a
 	// fresh start.
 	walRecoveries.Inc()
+	w.loadCheckpoint(segs)
+	if w.ckpt != nil {
+		w.lsn = w.ckpt.LSN
+		// Finish a truncation the crash interrupted: segments below the
+		// snapshot boundary are fully covered by the durable snapshot.
+		if err := w.truncateCoveredLocked(w.ckpt.TailSeg); err != nil {
+			return nil, err
+		}
+		if segs, err = w.segments(); err != nil {
+			return nil, err
+		}
+	} else if segs[0] > 1 {
+		// History was compacted away but no snapshot covers it — replay
+		// would silently miss acked records.
+		return nil, fmt.Errorf("%w: journal starts at segment %d with no usable checkpoint", ErrCorrupt, segs[0])
+	}
 	for i, idx := range segs {
 		last := i == len(segs)-1
 		n, end, err := scanSegment(w.segPath(idx), last)
@@ -208,6 +238,7 @@ func Open(dir string, opt Options) (*WAL, error) {
 			return nil, err
 		}
 		w.records += n
+		w.segBytes[idx] = end
 		if last {
 			fi, err := os.Stat(w.segPath(idx))
 			if err != nil {
@@ -231,7 +262,12 @@ func Open(dir string, opt Options) (*WAL, error) {
 			w.f, w.segIndex, w.segSize = f, idx, end
 		}
 	}
+	// After truncation every surviving record is snapshot tail; the LSN
+	// of the last record is the snapshot LSN plus the tail length.
+	w.tailRecords = w.records
+	w.lsn += uint64(w.records)
 	walRecovered.Add(int64(w.records))
+	trackInstance(w)
 	return w, nil
 }
 
@@ -277,6 +313,7 @@ func (w *WAL) newSegment(idx int) error {
 		d.Close()
 	}
 	w.f, w.segIndex, w.segSize = f, idx, int64(len(segMagic))
+	w.segBytes[idx] = w.segSize
 	return nil
 }
 
@@ -401,7 +438,10 @@ func (w *WAL) Append(payload []byte) error {
 		return err
 	}
 	w.segSize += int64(len(buf))
+	w.segBytes[w.segIndex] = w.segSize
 	w.records++
+	w.lsn++
+	w.tailRecords++
 	w.sinceSync++
 	w.appendSeq++
 	walAppends.Inc()
@@ -509,6 +549,13 @@ func (w *WAL) groupCommit(id uint64) error {
 // from disk with fresh handles, so it sees exactly what a restarted
 // process would.
 func (w *WAL) Replay(fn func(rec []byte) error) error {
+	return w.replayFrom(0, fn)
+}
+
+// replayFrom is Replay restricted to segments >= minSeg — the
+// snapshot-tail read path (ReplayTail) shares everything but the lower
+// bound with a full replay.
+func (w *WAL) replayFrom(minSeg int, fn func(rec []byte) error) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -524,6 +571,9 @@ func (w *WAL) Replay(fn func(rec []byte) error) error {
 		return err
 	}
 	for i, idx := range segs {
+		if idx < minSeg {
+			continue
+		}
 		last := i == len(segs)-1
 		b, err := os.ReadFile(w.segPath(idx))
 		if err != nil {
@@ -575,6 +625,9 @@ func (w *WAL) Sync() error {
 // Close syncs and releases the journal. Further operations return
 // ErrClosed.
 func (w *WAL) Close() error {
+	// Before w.mu: the gauge callbacks lock instMu then w.mu, so the
+	// reverse order here would deadlock a Close racing a scrape.
+	untrackInstance(w)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
