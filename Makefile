@@ -11,7 +11,12 @@ CHAOS_SEEDS ?= 1 7 42
 #   make chaos TPNR_SCHEME=ed25519
 TPNR_SCHEME ?=
 
-.PHONY: build vet test race bench bench-smoke bench-json bench-check chaos chaos-short obs-smoke verify
+# TPNR_SHARDS runs the chaos suite against a sharded provider engine
+# (per-shard WALs/archives, consistent-hash routing). Default 1 keeps
+# the classic single-provider world; chaos-sharded pins 4.
+TPNR_SHARDS ?=
+
+.PHONY: build vet test race bench bench-smoke bench-json bench-check chaos chaos-short chaos-sharded obs-smoke verify
 
 build:
 	$(GO) build ./...
@@ -33,29 +38,54 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
-# bench-json runs the PR 3 hot-path families (E11 + transport pipe)
-# and writes BENCH_PR3.json with the raw numbers, the acceptance
-# ratios, and the environment (GOMAXPROCS matters: the parallel hash
-# paths fall back to serial on one core).
+# bench-json runs the hot-path families (E11 + transport pipe, E12
+# crypto API, E13 recovery, E14 sharding) and writes BENCH_PR8.json
+# with the raw numbers, the acceptance ratios, and the environment
+# (GOMAXPROCS matters: the parallel hash paths fall back to serial on
+# one core, and the sharded speedups scale with cores/fsync streams).
+# 2s per benchmark: the E14 sharded-upload family measures fsync
+# streams on a (possibly virtual) disk, and 1s runs are visibly noisy
+# there.
 bench-json:
-	$(GO) run ./cmd/benchreport -o BENCH_PR3.json
+	$(GO) run ./cmd/benchreport -o BENCH_PR8.json -benchtime 2s
 
-# bench-check re-measures the hot-path families and fails if any is
-# more than 5% slower than the committed BENCH_PR3.json baseline — the
-# guard that instrumentation on the hot paths stays free.
+# bench-check re-measures the hot-path families and gates them two
+# ways. The real teeth are the within-run ratio bounds: group commit,
+# verify cache, snapshot recovery, Ed25519 open and the aggregate
+# receipt must keep their structural speedups, and the pooled
+# transport pipe must stay at 0 allocs/op. Both sides of each ratio
+# are measured in the same run, so host drift (CPU steal, virtual-disk
+# fsync latency) cancels out — these floors hold on any hardware.
+# The cross-run ns/op comparison against the committed BENCH_PR8.json
+# is kept only as a catastrophic bound (-max-regress 0.50): measured
+# run-to-run variance on shared virtualized hosts reaches ~1.5x for
+# CPU-bound and ~2.5x for fsync-bound families with identical code, so
+# a tight cross-run budget just gates the weather. The fsync-bound
+# E11 WAL-append and E14 sharded families are advisory there
+# (-regress-skip) — environment, not code.
 bench-check:
-	$(GO) run ./cmd/benchreport -o /tmp/bench_check.json -baseline BENCH_PR3.json -max-regress 0.05
+	$(GO) run ./cmd/benchreport -o /tmp/bench_check.json -baseline BENCH_PR8.json -max-regress 0.50 -benchtime 2s \
+		-regress-skip '^BenchmarkE14Sharded|^BenchmarkE11WALAppend' \
+		-ratio-min 'wal_group_vs_always_16appenders=2,verify_cache_speedup=5,recovery_snapshot_speedup_10k=5,aggregate_receipt_speedup_k64=10,ed25519_cold_open_speedup=3' \
+		-ratio-max 'transport_pipe_allocs_per_op=0'
 
 # chaos runs the crash-fault injection suite: every registered
 # faultpoint plus the randomized crash-restart rounds, always under
 # the race detector and with the fixed seeds baked into the tests.
 chaos:
-	CHAOS_SEEDS="$(CHAOS_SEEDS)" TPNR_SCHEME="$(TPNR_SCHEME)" $(GO) test -race -count=1 -v -run 'TestChaos|TestPool' ./internal/chaos/
+	CHAOS_SEEDS="$(CHAOS_SEEDS)" TPNR_SCHEME="$(TPNR_SCHEME)" TPNR_SHARDS="$(TPNR_SHARDS)" $(GO) test -race -count=1 -v -run 'TestChaos|TestPool' ./internal/chaos/
 
 # chaos-short is the cheap variant (one seed, fewer rounds) used as an
 # early gate inside verify.
 chaos-short:
-	CHAOS_SEEDS="$(CHAOS_SEEDS)" TPNR_SCHEME="$(TPNR_SCHEME)" $(GO) test -race -count=1 -short -run 'TestChaos|TestPool' ./internal/chaos/
+	CHAOS_SEEDS="$(CHAOS_SEEDS)" TPNR_SCHEME="$(TPNR_SCHEME)" TPNR_SHARDS="$(TPNR_SHARDS)" $(GO) test -race -count=1 -short -run 'TestChaos|TestPool' ./internal/chaos/
+
+# chaos-sharded reruns the full chaos suite against a 4-shard provider
+# engine: same faultpoints and crash-restart rounds, but evidence is
+# routed across per-shard WALs/archives and recovery fans out — the
+# dispute invariant must hold regardless of shard count.
+chaos-sharded:
+	$(MAKE) chaos TPNR_SHARDS=4
 
 # obs-smoke boots a transient nrserver with the observability endpoint
 # and curls /healthz and /metrics — the cheapest end-to-end proof that

@@ -1,6 +1,7 @@
-// Command benchreport runs the PR 3 hot-path benchmark families
-// (E11 plus the pooled transport pipe) and writes a machine-readable
-// report, by default BENCH_PR3.json at the repository root.
+// Command benchreport runs the repository's hot-path benchmark
+// families (E11 plus the pooled transport pipe, the E12 crypto API,
+// E13 recovery, E14 sharding) and writes a machine-readable report, by
+// default BENCH_PR8.json at the repository root.
 //
 // The report records the environment honestly — GOMAXPROCS in
 // particular, because the parallel hash and Merkle paths deliberately
@@ -26,16 +27,36 @@
 // against checkpoint-snapshot-plus-tail recovery of the same history:
 // recovery_snapshot_speedup_1k/_10k (target ≥5× at 10k sessions).
 //
+// The E14 sharding family (internal/core) measures the ShardedEngine
+// at 1→2→4→8 shards: sharded_upload_speedup_4x/_8x compare journaled
+// upload throughput under 16 concurrent workers (one fsync stream per
+// shard), and sharded_recovery_speedup_4x/_8x compare parallel
+// fan-out recovery of the same 3000-session history. The ≥3×-at-8-
+// shards and ≥2×-recovery-at-4-shards criteria apply at GOMAXPROCS≥8
+// on storage with independent fsync streams; a single-core VM whose
+// disk serializes flushes reports its own (honest) ceiling.
+//
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR3.json] [-benchtime 1s]
-//	go run ./cmd/benchreport -baseline BENCH_PR3.json -max-regress 0.05
+//	go run ./cmd/benchreport [-o BENCH_PR8.json] [-benchtime 1s]
+//	go run ./cmd/benchreport -baseline BENCH_PR8.json -max-regress 0.05
 //
 // With -baseline, the freshly measured ns/op of every family shared
-// with the baseline report is compared against it; any benchmark slower
+// with the baseline report is compared against it; -regress-skip marks
+// families (by regexp) whose comparison is advisory only — the E14
+// sharded and E11 WAL-append families are gated this way in
+// `make bench-check` because they measure the host's fsync and
+// scheduling behaviour, which drifts far past any code-regression
+// budget on shared virtualized hardware. Any other benchmark slower
 // by more than -max-regress (a fraction; 0.05 = 5%) fails the run.
-// This is the instrumentation-overhead gate: metrics threaded through
-// the hot paths must not cost measurable throughput.
+//
+// Cross-run ns/op comparison is only as stable as the host, so the
+// gate's real teeth are within-run: -ratio-min and -ratio-max take
+// comma-separated name=value bounds on the acceptance ratios above.
+// Both sides of a ratio are measured in the same run on the same host,
+// so CPU steal and disk drift cancel out — a broken group-commit path,
+// a disabled verify cache, or reintroduced transport allocations fail
+// the gate no matter how fast or slow the box happens to be today.
 package main
 
 import (
@@ -52,7 +73,7 @@ import (
 )
 
 // benchPattern selects the families the report covers.
-const benchPattern = `^(BenchmarkE11WALAppend|BenchmarkE11ParallelHash|BenchmarkE11MerkleBuild|BenchmarkE11VerifyCache|BenchmarkE10TransportPipe|BenchmarkE12EvidenceColdOpen|BenchmarkE12BatchVerify|BenchmarkE12AggregateReceipt|BenchmarkE13Recovery)$`
+const benchPattern = `^(BenchmarkE11WALAppend|BenchmarkE11ParallelHash|BenchmarkE11MerkleBuild|BenchmarkE11VerifyCache|BenchmarkE10TransportPipe|BenchmarkE12EvidenceColdOpen|BenchmarkE12BatchVerify|BenchmarkE12AggregateReceipt|BenchmarkE13Recovery|BenchmarkE14ShardedUpload|BenchmarkE14ShardedRecovery)$`
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -65,7 +86,7 @@ type Result struct {
 	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
-// Report is the BENCH_PR3.json schema.
+// Report is the committed bench report (BENCH_PR8.json) schema.
 type Report struct {
 	GeneratedAt string             `json:"generated_at"`
 	GoVersion   string             `json:"go_version"`
@@ -119,11 +140,25 @@ func parseLine(line string, r *Result) bool {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR8.json", "output path for the JSON report")
 	benchtime := flag.String("benchtime", "1s", "value passed to -benchtime")
 	baseline := flag.String("baseline", "", "prior report to compare ns/op against (empty = no comparison)")
 	maxRegress := flag.Float64("max-regress", 0.05, "fail when any shared benchmark is slower than the baseline by more than this fraction")
+	regressSkip := flag.String("regress-skip", "", "regexp of benchmark names whose baseline comparison is advisory only (still measured and recorded, never fails the gate); for families bound to shared-disk fsync behaviour rather than code")
+	ratioMin := flag.String("ratio-min", "", "comma-separated name=value floors on the computed acceptance ratios (fail when a named ratio measures below its floor); within-run, so host speed drift cancels out")
+	ratioMax := flag.String("ratio-max", "", "comma-separated name=value ceilings on the computed acceptance ratios (e.g. transport_pipe_allocs_per_op=0)")
 	flag.Parse()
+
+	minBounds, err := parseBounds(*ratioMin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: -ratio-min: %v\n", err)
+		os.Exit(1)
+	}
+	maxBounds, err := parseBounds(*ratioMax)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: -ratio-max: %v\n", err)
+		os.Exit(1)
+	}
 
 	// The E13 recovery family lives inside internal/core (it fabricates
 	// journal history through unexported helpers); everything else is in
@@ -207,6 +242,18 @@ func main() {
 	ratio("recovery_snapshot_speedup_10k",
 		"BenchmarkE13Recovery/mode=replay/sessions=10000",
 		"BenchmarkE13Recovery/mode=snapshot/sessions=10000")
+	ratio("sharded_upload_speedup_4x",
+		"BenchmarkE14ShardedUpload/shards=1",
+		"BenchmarkE14ShardedUpload/shards=4")
+	ratio("sharded_upload_speedup_8x",
+		"BenchmarkE14ShardedUpload/shards=1",
+		"BenchmarkE14ShardedUpload/shards=8")
+	ratio("sharded_recovery_speedup_4x",
+		"BenchmarkE14ShardedRecovery/shards=1",
+		"BenchmarkE14ShardedRecovery/shards=4")
+	ratio("sharded_recovery_speedup_8x",
+		"BenchmarkE14ShardedRecovery/shards=1",
+		"BenchmarkE14ShardedRecovery/shards=8")
 
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("GOMAXPROCS=%d; at 1 the SumParallel and Merkle level-parallel paths fall back to serial by design, so parallel_hash_speedup ~1.0 is expected there (the >=1.5x criterion applies on >=4 cores)", rep.GOMAXPROCS),
@@ -215,11 +262,21 @@ func main() {
 		"ed25519_cold_open_speedup compares a full evidence open (unseal + two signature checks) across schemes; RSA pays a private-key decrypt per message (target >=5x)",
 		"batch_verify_speedup_* compares n single verifications against one VerifyBatch round; the worker fan-out falls back to serial at GOMAXPROCS=1, so the >=1x-at-n=8 criterion applies on multi-core boxes",
 		"aggregate_receipt_speedup_k64 compares 64 individual receipt sign+verify pairs against ONE aggregate signature over a Merkle root of the 64 evidence digests plus one verification",
-		"recovery_snapshot_speedup_* compares full journal replay against snapshot-plus-tail recovery of the SAME history (n terminal sessions + a 16-session tail); the >=5x criterion applies at 10k sessions")
+		"recovery_snapshot_speedup_* compares full journal replay against snapshot-plus-tail recovery of the SAME history (n terminal sessions + a 16-session tail); the >=5x criterion applies at 10k sessions",
+		"sharded_upload_speedup_* compares journaled upload throughput (SyncAlways, 16 workers) at 1 vs N shards: N independent fsync streams vs one; the >=3x-at-8-shards criterion applies at GOMAXPROCS>=8 on storage with parallel flush queues — a 1-core VM whose virtual disk serializes flushes tops out around the disk's own concurrent-fsync ceiling",
+		"sharded_recovery_speedup_* compares crash recovery of the same 3000-session history replayed by one shard vs N shards in parallel (one goroutine each); replay is decode-bound CPU, so the >=2x-at-4-shards criterion applies at GOMAXPROCS>=4 and ~1.0x is expected at GOMAXPROCS=1")
 
-	failed := false
+	var skipRE *regexp.Regexp
+	if *regressSkip != "" {
+		skipRE, err = regexp.Compile(*regressSkip)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: -regress-skip: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	failed := checkRatios(rep.Ratios, minBounds, maxBounds)
 	if *baseline != "" {
-		failed = checkBaseline(rep, byName, *baseline, *maxRegress)
+		failed = checkBaseline(rep, byName, *baseline, *maxRegress, skipRE) || failed
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -242,10 +299,65 @@ func main() {
 	}
 }
 
+// parseBounds parses a comma-separated "name=value,name=value" bound
+// list. An empty spec yields no bounds.
+func parseBounds(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	bounds := map[string]float64{}
+	for _, pair := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad bound %q (want name=value)", pair)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bound %q: %v", pair, err)
+		}
+		bounds[name] = f
+	}
+	return bounds, nil
+}
+
+// checkRatios enforces within-run floors and ceilings on the computed
+// acceptance ratios. A bound naming a ratio that was not computed
+// fails too — a renamed or vanished benchmark must not silently pass
+// the gate.
+func checkRatios(ratios, min, max map[string]float64) bool {
+	failed := false
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
+		failed = true
+	}
+	for name, floor := range min {
+		v, ok := ratios[name]
+		switch {
+		case !ok:
+			fail("ratio floor %s=%.2f: ratio not computed this run", name, floor)
+		case v < floor:
+			fail("ratio %s measured %.2f, below floor %.2f", name, v, floor)
+		}
+	}
+	for name, ceil := range max {
+		v, ok := ratios[name]
+		switch {
+		case !ok:
+			fail("ratio ceiling %s=%.2f: ratio not computed this run", name, ceil)
+		case v > ceil:
+			fail("ratio %s measured %.2f, above ceiling %.2f", name, v, ceil)
+		}
+	}
+	return failed
+}
+
 // checkBaseline compares the fresh results against a prior report and
 // records the per-benchmark slowdown factors. It returns true when any
-// shared family regressed past the budget.
-func checkBaseline(rep *Report, byName map[string]Result, path string, maxRegress float64) bool {
+// shared family regressed past the budget. Families matching skip are
+// compared and recorded but advisory: they never fail the gate — the
+// escape hatch for benchmarks that measure shared-hardware behaviour
+// (concurrent fsync streams on a virtual disk) rather than code.
+func checkBaseline(rep *Report, byName map[string]Result, path string, maxRegress float64, skip *regexp.Regexp) bool {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: reading baseline: %v\n", err)
@@ -267,8 +379,12 @@ func checkBaseline(rep *Report, byName map[string]Result, path string, maxRegres
 		rep.VsBaseline[old.Name] = f
 		status := "ok"
 		if f > 1+maxRegress {
-			status = "REGRESSION"
-			failed = true
+			if skip != nil && skip.MatchString(old.Name) {
+				status = "slower (advisory, -regress-skip)"
+			} else {
+				status = "REGRESSION"
+				failed = true
+			}
 		}
 		fmt.Printf("  vs baseline %-55s %.3fx  %s\n", old.Name, f, status)
 	}

@@ -11,6 +11,16 @@
 // honored by re-deleting the object. With -audit, the hash-chained
 // audit log is persisted (and fsynced per entry) so the trail backing
 // arbitration survives a crash too.
+//
+// With -shards N (N > 1) the provider runs N independent session
+// shards routed by a pinned consistent hash of the transaction ID:
+// -wal-dir and -archive-dir become roots holding one shard-00,
+// shard-01, … subdirectory each, every shard checkpoints on its own
+// ticker, recovery replays all shards in parallel, and /healthz
+// reports degraded the moment any single shard's journal does. Restart
+// with the same -shards value: the routing is stable, so each shard
+// reopens exactly the journal it wrote.
+//
 // SIGINT/SIGTERM triggers a graceful shutdown: the accept loop stops,
 // in-flight protocol steps drain (bounded by -drain), then connections
 // close.
@@ -23,6 +33,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -34,6 +45,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -45,10 +57,11 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:9000", "TCP listen address")
 	storeDir := flag.String("store", "./blobs", "blob store directory")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
-	walDir := flag.String("wal-dir", "", "crash journal directory (empty = no journal)")
+	walDir := flag.String("wal-dir", "", "crash journal directory (empty = no journal); with -shards > 1, the root holding one shard-NN subdirectory per shard")
 	fsync := flag.String("fsync", "always", "journal fsync policy: always, none, batch[:<n>], or group[:<max-batch>]")
-	archiveDir := flag.String("archive-dir", "", "cold evidence archive directory; checkpoints compact terminal sessions into it (empty = keep all evidence hot)")
-	ckptEvery := flag.Duration("checkpoint-every", 0, "journal checkpoint/compaction interval; bounds crash-recovery replay to one interval of traffic (0 = never; requires -wal-dir)")
+	archiveDir := flag.String("archive-dir", "", "cold evidence archive directory; checkpoints compact terminal sessions into it (empty = keep all evidence hot); with -shards > 1, a root with per-shard subdirectories")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "journal checkpoint/compaction interval; bounds crash-recovery replay to one interval of traffic (0 = never; requires -wal-dir); with -shards > 1 each shard runs its own staggered ticker")
+	shards := flag.Int("shards", 1, "number of independent provider shards; transactions are routed by a pinned consistent hash, so restarts must reuse the same value")
 	auditPath := flag.String("audit", "", "persist the audit log to this file (fsynced per entry)")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "structured event log level: debug, info, warn, or error")
@@ -70,7 +83,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nrserver: -checkpoint-every requires -wal-dir")
 		os.Exit(1)
 	}
-	provider, cleanup, err := buildProvider(*state, *name, *storeDir, *walDir, *fsync, *archiveDir, *auditPath, *stepDeadline, *sweepEvery)
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "nrserver: -shards must be >= 1")
+		os.Exit(1)
+	}
+	engine, cleanup, err := buildEngine(*state, *name, *shards, *storeDir, *walDir, *fsync, *archiveDir, *auditPath, *stepDeadline, *sweepEvery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nrserver:", err)
 		os.Exit(1)
@@ -81,14 +98,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nrserver:", err)
 		os.Exit(1)
 	}
-	log.Printf("nrserver: provider %q listening on %s, store %s", *name, l.Addr(), *storeDir)
+	log.Printf("nrserver: provider %q listening on %s, store %s, %d shard(s)", *name, l.Addr(), *storeDir, *shards)
 
 	var obsSrv *obshttp.Server
 	if *obsAddr != "" {
-		// /healthz flips to 503 the moment the journal goes read-only, so
-		// an orchestrator stops routing new sessions here while the daemon
+		// /healthz flips to 503 the moment any shard's journal goes
+		// read-only, so an orchestrator stops routing new sessions here
+		// (a fresh txn may hash onto the sick shard) while the daemon
 		// keeps draining the ones it has.
-		obsSrv, err = obshttp.Start(*obsAddr, obs.Default(), provider.Health)
+		obsSrv, err = obshttp.Start(*obsAddr, obs.Default(), engine.Health)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nrserver:", err)
 			cleanup()
@@ -105,31 +123,14 @@ func main() {
 	}
 	if *stepDeadline > 0 {
 		policy := core.DeadlinePolicy{Step: *stepDeadline, Sweep: *sweepEvery}
-		srvOpts = append(srvOpts, core.ServerExpiry(clock.Real(), policy.SweepInterval(), provider.ExpireStale))
+		srvOpts = append(srvOpts, core.ServerExpiry(clock.Real(), policy.SweepInterval(), engine.ExpireStale))
 	}
-	srv := core.NewServer(provider, srvOpts...)
+	srv := core.NewServer(engine, srvOpts...)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	if *ckptEvery > 0 {
-		go func() {
-			tick := time.NewTicker(*ckptEvery)
-			defer tick.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-tick.C:
-					rep, err := provider.Checkpoint()
-					if err != nil {
-						log.Printf("nrserver: checkpoint: %v", err)
-						continue
-					}
-					log.Printf("nrserver: checkpoint at LSN %d (%d sessions archived, %d live retained)",
-						rep.LSN, rep.Archived, rep.Retained)
-				}
-			}
-		}()
+		startCheckpointTickers(ctx, engine, *ckptEvery)
 	}
 
 	done := make(chan error, 1)
@@ -158,7 +159,58 @@ func main() {
 	log.Printf("nrserver: stopped")
 }
 
-func buildProvider(state, name, storeDir, walDir, fsync, archiveDir, auditPath string, stepDeadline, sweepEvery time.Duration) (*core.Provider, func(), error) {
+// startCheckpointTickers runs one checkpoint ticker per shard (one
+// total for a single Provider), with start times staggered across the
+// interval so N shards never compact simultaneously — compaction of
+// one shard stalls only that shard's journal+mutate pairs, and the
+// stagger keeps the fsync load flat.
+func startCheckpointTickers(ctx context.Context, engine core.ProviderEngine, every time.Duration) {
+	se, sharded := engine.(*core.ShardedEngine)
+	n := 1
+	if sharded {
+		n = se.N()
+	}
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			offset := every * time.Duration(i) / time.Duration(n)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(offset):
+			}
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					var rep *core.CheckpointReport
+					var err error
+					if sharded {
+						rep, err = se.CheckpointShard(i)
+					} else {
+						rep, err = engine.Checkpoint()
+					}
+					if err != nil {
+						log.Printf("nrserver: shard %d checkpoint: %v", i, err)
+						continue
+					}
+					log.Printf("nrserver: shard %d checkpoint at LSN %d (%d sessions archived, %d live retained)",
+						i, rep.LSN, rep.Archived, rep.Retained)
+				}
+			}
+		}(i)
+	}
+}
+
+// buildEngine assembles the provider engine: a single Provider for
+// shards == 1 (flat -wal-dir/-archive-dir layout, unchanged from
+// earlier releases), or a ShardedEngine whose shard i journals under
+// <wal-dir>/shard-NN and archives under <archive-dir>/shard-NN. The
+// blob store, identity and audit log are shared — blobs are keyed by
+// object, not by txn, and the audit chain is mutex-serialized.
+func buildEngine(state, name string, shards int, storeDir, walDir, fsync, archiveDir, auditPath string, stepDeadline, sweepEvery time.Duration) (core.ProviderEngine, func(), error) {
 	id, err := keystore.LoadIdentity(state, name)
 	if err != nil {
 		return nil, nil, err
@@ -171,74 +223,121 @@ func buildProvider(state, name, storeDir, walDir, fsync, archiveDir, auditPath s
 	if err != nil {
 		return nil, nil, err
 	}
-	opts := []core.Option{
-		core.WithIdentity(id),
-		core.WithCAPublicKey(world.CAPublicKey()),
-		core.WithDirectory(world.Lookup),
-		// Protocol counters share the default registry so they show up on
-		// /metrics next to the runtime metrics, prefixed tpnr_.
-		core.WithCounters(metrics.CountersOn(obs.Default(), "tpnr_")),
-		core.WithStore(store),
-	}
-	if stepDeadline > 0 {
-		opts = append(opts, core.WithDeadlinePolicy(core.DeadlinePolicy{Step: stepDeadline, Sweep: sweepEvery}))
-	}
 
 	cleanup := func() {}
-	var journal *wal.WAL
-	if walDir != "" {
-		policy, batch, err := wal.ParsePolicy(fsync)
-		if err != nil {
-			return nil, nil, err
-		}
-		journal, err = wal.Open(walDir, wal.Options{Policy: policy, BatchSize: batch})
-		if err != nil {
-			return nil, nil, err
-		}
-		opts = append(opts, core.WithJournal(journal))
-		cleanup = func() { journal.Close() }
-	}
-	if archiveDir != "" {
-		cold, err := archive.Open(archiveDir)
-		if err != nil {
-			cleanup()
-			return nil, nil, err
-		}
-		opts = append(opts, core.WithArchive(cold))
-		prev := cleanup
-		cleanup = func() { cold.Close(); prev() }
-	}
-
-	provider, err := core.NewProvider(opts...)
-	if err != nil {
+	fail := func(err error) (core.ProviderEngine, func(), error) {
 		cleanup()
 		return nil, nil, err
+	}
+
+	providers := make([]*core.Provider, shards)
+	anyJournal := false
+	for i := range providers {
+		opts := []core.Option{
+			core.WithIdentity(id),
+			core.WithCAPublicKey(world.CAPublicKey()),
+			core.WithDirectory(world.Lookup),
+			// Protocol counters share the default registry so they show up on
+			// /metrics next to the runtime metrics, prefixed tpnr_.
+			core.WithCounters(metrics.CountersOn(obs.Default(), "tpnr_")),
+			core.WithStore(store),
+		}
+		if stepDeadline > 0 {
+			opts = append(opts, core.WithDeadlinePolicy(core.DeadlinePolicy{Step: stepDeadline, Sweep: sweepEvery}))
+		}
+		if walDir != "" {
+			policy, batch, err := wal.ParsePolicy(fsync)
+			if err != nil {
+				return fail(err)
+			}
+			dir := walDir
+			if shards > 1 {
+				dir = filepath.Join(walDir, shard.DirName(i))
+			}
+			journal, err := wal.Open(dir, wal.Options{Policy: policy, BatchSize: batch})
+			if err != nil {
+				return fail(err)
+			}
+			opts = append(opts, core.WithJournal(journal))
+			prev := cleanup
+			cleanup = func() { journal.Close(); prev() }
+			anyJournal = true
+		}
+		if archiveDir != "" {
+			dir := archiveDir
+			if shards > 1 {
+				dir = filepath.Join(archiveDir, shard.DirName(i))
+			}
+			cold, err := archive.Open(dir)
+			if err != nil {
+				return fail(err)
+			}
+			opts = append(opts, core.WithArchive(cold))
+			prev := cleanup
+			cleanup = func() { cold.Close(); prev() }
+		}
+		if providers[i], err = core.NewProvider(opts...); err != nil {
+			return fail(err)
+		}
+	}
+
+	var engine core.ProviderEngine = providers[0]
+	if shards > 1 {
+		se, err := core.NewShardedEngine(providers)
+		if err != nil {
+			return fail(err)
+		}
+		engine = se
 	}
 
 	if auditPath != "" {
 		audit, err := auditlog.OpenFile(auditPath, nil, true)
 		if err != nil {
-			cleanup()
-			return nil, nil, err
+			return fail(err)
 		}
 		if audit.Truncated() {
 			log.Printf("nrserver: audit log %s had a torn tail from a crash; truncated", auditPath)
 		}
-		provider.SetAuditLog(audit)
+		engine.SetAuditLog(audit)
 		prev := cleanup
 		cleanup = func() { audit.Close(); prev() }
 	}
 
-	if journal != nil {
-		rep, err := provider.Recover(context.Background())
-		if err != nil {
-			cleanup()
-			return nil, nil, fmt.Errorf("journal recovery: %w", err)
+	if anyJournal {
+		if err := recoverEngine(engine); err != nil {
+			return fail(fmt.Errorf("journal recovery: %w", err))
 		}
-		log.Printf("nrserver: recovered %d journal records across %d txns (%d unfinished, %d aborts honored, torn tail: %v)",
-			rep.Records, len(rep.Transactions), len(rep.NeedsResolve), len(rep.HonoredAborts), rep.TornTail)
-		log.Printf("nrserver: recovery bounded by snapshot at LSN %d: %d tail records replayed, %d archived sessions untouched (%d tail records skipped as archived)",
-			rep.SnapshotLSN, rep.TailRecords, rep.ArchivedSessions, rep.SkippedArchived)
 	}
-	return provider, cleanup, nil
+	return engine, cleanup, nil
+}
+
+// recoverEngine replays the journal(s): all shards in parallel for a
+// sharded engine, with a per-shard report line each, then the merged
+// summary either way.
+func recoverEngine(engine core.ProviderEngine) error {
+	var rep *core.RecoveryReport
+	if se, ok := engine.(*core.ShardedEngine); ok {
+		start := time.Now()
+		reps, err := se.RecoverShards(context.Background())
+		if err != nil {
+			return err
+		}
+		for i, r := range reps {
+			log.Printf("nrserver: shard %d recovered %d records across %d txns (%d unfinished, torn tail: %v)",
+				i, r.Records, len(r.Transactions), len(r.NeedsResolve), r.TornTail)
+		}
+		log.Printf("nrserver: %d shards recovered in parallel in %v", se.N(), time.Since(start).Round(time.Millisecond))
+		rep = core.MergeRecoveryReports(reps)
+	} else {
+		r, err := engine.Recover(context.Background())
+		if err != nil {
+			return err
+		}
+		rep = r
+	}
+	log.Printf("nrserver: recovered %d journal records across %d txns (%d unfinished, %d aborts honored, torn tail: %v)",
+		rep.Records, len(rep.Transactions), len(rep.NeedsResolve), len(rep.HonoredAborts), rep.TornTail)
+	log.Printf("nrserver: recovery bounded by snapshot at LSN %d: %d tail records replayed, %d archived sessions untouched (%d tail records skipped as archived)",
+		rep.SnapshotLSN, rep.TailRecords, rep.ArchivedSessions, rep.SkippedArchived)
+	return nil
 }

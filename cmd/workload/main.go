@@ -3,6 +3,12 @@
 // resolution, and a rate report (the X1 experiment, parameterized).
 //
 //	workload -objects 100 -tamper 0.2 -claims 0.1 -seed 7
+//
+// -shards runs the provider as a sharded engine; -arrival-rate
+// switches the upload phase to an open-loop Poisson arrival process
+// (uploads/second) instead of the default closed loop:
+//
+//	workload -objects 200 -shards 4 -arrival-rate 50
 package main
 
 import (
@@ -22,7 +28,17 @@ func main() {
 	tamper := flag.Float64("tamper", 0.2, "insider tamper rate [0,1]")
 	claims := flag.Float64("claims", 0.1, "false-claim rate on clean objects [0,1]")
 	seed := flag.Int64("seed", 1, "RNG seed (deterministic runs)")
+	shards := flag.Int("shards", 1, "provider shard count (>1 runs a sharded engine with consistent-hash routing)")
+	arrival := flag.Float64("arrival-rate", 0, "open-loop Poisson upload arrivals per second (0 = closed loop)")
 	flag.Parse()
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "workload: -shards must be >= 1")
+		os.Exit(2)
+	}
+	if *arrival < 0 {
+		fmt.Fprintln(os.Stderr, "workload: -arrival-rate must be >= 0")
+		os.Exit(2)
+	}
 
 	s, err := workload.Run(workload.Params{
 		Objects:        *objects,
@@ -31,6 +47,8 @@ func main() {
 		TamperRate:     *tamper,
 		FalseClaimRate: *claims,
 		Seed:           *seed,
+		Shards:         *shards,
+		ArrivalRate:    *arrival,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "workload:", err)
@@ -38,8 +56,8 @@ func main() {
 	}
 
 	tb := metrics.NewTable(
-		fmt.Sprintf("workload: %d objects, tamper %.0f%%, false claims %.0f%%, seed %d",
-			*objects, *tamper*100, *claims*100, *seed),
+		fmt.Sprintf("workload: %d objects, tamper %.0f%%, false claims %.0f%%, seed %d, %d shard(s)",
+			*objects, *tamper*100, *claims*100, *seed, *shards),
 		"measure", "value")
 	tb.AddRow("uploads / downloads", fmt.Sprintf("%d / %d", s.Uploads, s.Downloads))
 	tb.AddRow("clean downloads verified", s.CleanDownloadsOK)
@@ -50,6 +68,10 @@ func main() {
 	tb.AddRow("false claims exposed", fmt.Sprintf("%d (%.0f%%)", s.FalseClaimsExposed, rate(s.FalseClaimsExposed, s.FalseClaims)))
 	tb.AddRow("client protocol messages", s.ClientMsgs)
 	tb.AddRow("TTP messages", s.TTPMsgs)
+	if *arrival > 0 && s.UploadElapsed > 0 {
+		achieved := float64(s.Uploads) / s.UploadElapsed.Seconds()
+		tb.AddRow("upload throughput", fmt.Sprintf("%.1f/s achieved vs %.1f/s offered (open loop)", achieved, *arrival))
+	}
 	fmt.Println(tb.String())
 
 	if len(s.Verdicts) > 0 {

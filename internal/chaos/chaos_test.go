@@ -25,6 +25,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/evidence"
 	"repro/internal/faultpoint"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -36,17 +37,39 @@ import (
 const chaosTimeout = 500 * time.Millisecond
 
 // world is one running deployment plus the durable state a restart
-// reopens: three WAL directories, three cold evidence archives, and
-// the shared blob store.
+// reopens: the client and TTP WAL directories, Bob's per-shard WALs
+// (one when TPNR_SHARDS is unset), the matching cold evidence
+// archives, and the shared blob store.
 type world struct {
-	d          *deploy.Deployment
-	store      storage.Store
-	cw, pw, tw *wal.WAL
-	ca, pa, ta *archive.Store
+	d      *deploy.Deployment
+	store  storage.Store
+	cw, tw *wal.WAL
+	ca, ta *archive.Store
+	pw     []*wal.WAL
+	pa     []*archive.Store
+}
+
+// chaosShards resolves the provider shard count for every world the
+// suite builds. Default 1 — the classic single-provider deployment;
+// TPNR_SHARDS=4 (wired through the Makefile's chaos-sharded target and
+// the CI matrix) reruns the whole suite with evidence routed across
+// per-shard journals and archives behind a core.ShardedEngine.
+func chaosShards(t *testing.T) int {
+	t.Helper()
+	env := os.Getenv("TPNR_SHARDS")
+	if env == "" {
+		return 1
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n < 1 {
+		t.Fatalf("TPNR_SHARDS: bad shard count %q", env)
+	}
+	return n
 }
 
 func openWorld(t *testing.T, dir string, store storage.Store) *world {
 	t.Helper()
+	shards := chaosShards(t)
 	open := func(sub string) *wal.WAL {
 		// Group commit is the production fsync policy; running the whole
 		// chaos suite in it re-proves "acked ⇒ synced" under coalescing.
@@ -63,20 +86,36 @@ func openWorld(t *testing.T, dir string, store storage.Store) *world {
 		}
 		return s
 	}
-	cw, pw, tw := open("client"), open("provider"), open("ttp")
-	ca, pa, ta := openArc("client"), openArc("provider"), openArc("ttp")
+	cw, tw := open("client"), open("ttp")
+	ca, ta := openArc("client"), openArc("ttp")
+	// Bob's journals mirror nrserver's on-disk contract: flat
+	// "provider" when unsharded, "provider/shard-NN" per shard
+	// otherwise — a restart MUST reopen the same layout.
+	pw := make([]*wal.WAL, shards)
+	pa := make([]*archive.Store, shards)
+	for i := range pw {
+		sub := "provider"
+		if shards > 1 {
+			sub = filepath.Join("provider", shard.DirName(i))
+		}
+		pw[i] = open(sub)
+		pa[i] = openArc(sub)
+	}
 	d, err := deploy.New(deploy.Config{
 		TestKeys:        true,
 		ResponseTimeout: chaosTimeout,
 		ProviderStore:   store,
 		ClientOpts:      []core.Option{core.WithJournal(cw), core.WithArchive(ca)},
-		ProviderOpts:    []core.Option{core.WithJournal(pw), core.WithArchive(pa)},
-		TTPOpts:         []core.Option{core.WithJournal(tw), core.WithArchive(ta)},
+		ProviderShards:  shards,
+		ProviderShardOpts: func(i int) []core.Option {
+			return []core.Option{core.WithJournal(pw[i]), core.WithArchive(pa[i])}
+		},
+		TTPOpts: []core.Option{core.WithJournal(tw), core.WithArchive(ta)},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &world{d: d, store: store, cw: cw, pw: pw, tw: tw, ca: ca, pa: pa, ta: ta}
+	return &world{d: d, store: store, cw: cw, tw: tw, ca: ca, ta: ta, pw: pw, pa: pa}
 }
 
 // crash tears the world down with no graceful protocol steps — the
@@ -84,11 +123,15 @@ func openWorld(t *testing.T, dir string, store storage.Store) *world {
 func (w *world) crash() {
 	w.d.Close()
 	w.cw.Close()
-	w.pw.Close()
 	w.tw.Close()
 	w.ca.Close()
-	w.pa.Close()
 	w.ta.Close()
+	for _, pw := range w.pw {
+		pw.Close()
+	}
+	for _, pa := range w.pa {
+		pa.Close()
+	}
 }
 
 // recoverAll replays all three journals on a freshly opened world.
@@ -99,7 +142,7 @@ func (w *world) recoverAll(t *testing.T) (crep, prep, trep *core.RecoveryReport)
 	if crep, err = w.d.Client.Recover(ctx); err != nil {
 		t.Fatalf("client recover: %v", err)
 	}
-	if prep, err = w.d.Provider.Recover(ctx); err != nil {
+	if prep, err = w.d.Engine.Recover(ctx); err != nil {
 		t.Fatalf("provider recover: %v", err)
 	}
 	if trep, err = w.d.TTPServer.Recover(ctx); err != nil {
@@ -145,9 +188,9 @@ func runScenario(t *testing.T, w *world, pt, txn, key string, data []byte, wrap 
 	// stallUpload puts the provider in the §4.1 unfairness position:
 	// it holds the NRO (and the data) but withheld the NRR.
 	stallUpload := func(conn transport.Conn) {
-		w.d.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
+		w.d.Engine.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
 		_, err := w.d.Client.Upload(ctx, conn, txn, key, data)
-		w.d.Provider.SetMisbehavior(core.Misbehavior{})
+		w.d.Engine.SetMisbehavior(core.Misbehavior{})
 		if err == nil {
 			t.Fatal("upload to a silent provider succeeded")
 		}
@@ -169,12 +212,12 @@ func runScenario(t *testing.T, w *world, pt, txn, key string, data []byte, wrap 
 		// upload escalates to the TTP and the kill fires at the dial.
 		pool := w.d.NewPool(core.PoolRetries(1), core.PoolBackoff(time.Millisecond))
 		defer pool.Close()
-		w.d.Provider.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
+		w.d.Engine.SetMisbehavior(core.Misbehavior{SilentAfterNRO: true})
 		runRecovering(func() error {
 			_, err := pool.Upload(ctx, txn, key, data)
 			return err
 		})
-		w.d.Provider.SetMisbehavior(core.Misbehavior{})
+		w.d.Engine.SetMisbehavior(core.Misbehavior{})
 	case strings.HasPrefix(pt, "provider.abort"):
 		conn := dialProvider()
 		defer conn.Close()
@@ -196,6 +239,33 @@ func runScenario(t *testing.T, w *world, pt, txn, key string, data []byte, wrap 
 			_, err := w.d.Client.Resolve(ctx, tc, txn, "chaos resolve")
 			return err
 		})
+	case strings.HasPrefix(pt, "shard.route"):
+		// The misroute fault fires inside the sharded engine's routing
+		// step, before any shard handles the frame: the plain upload flow
+		// reaches it on the first routed message. (Unsharded worlds never
+		// route, so the point cannot fire there — the per-point suite
+		// skips it and the randomized suite just gets a clean upload.)
+		conn := dialProvider()
+		defer conn.Close()
+		runRecovering(func() error {
+			_, err := w.d.Client.Upload(ctx, conn, txn, key, data)
+			return err
+		})
+	case strings.HasPrefix(pt, "shard.recover"):
+		// The partial-recovery fault fires at the head of each shard's
+		// recovery goroutine. Journal a session, then recover with the
+		// point armed: the fan-out confines the failure to an error, and
+		// the restart's clean recovery must converge anyway — per-shard
+		// replay is idempotent.
+		conn := dialProvider()
+		if _, err := w.d.Client.Upload(ctx, conn, txn, key, data); err != nil {
+			t.Logf("pre-recovery upload failed (%v); recovering the unfinished session", err)
+		}
+		conn.Close()
+		runRecovering(func() error {
+			_, err := w.d.Engine.Recover(ctx)
+			return err
+		})
 	case strings.HasPrefix(pt, "wal.checkpoint") || strings.HasPrefix(pt, "wal.compact") ||
 		strings.HasPrefix(pt, "archive.append"):
 		// Checkpoint/compaction faults fire AFTER a clean session: the
@@ -215,7 +285,7 @@ func runScenario(t *testing.T, w *world, pt, txn, key string, data []byte, wrap 
 			return err
 		})
 		runRecovering(func() error {
-			_, err := w.d.Provider.Checkpoint()
+			_, err := w.d.Engine.Checkpoint()
 			return err
 		})
 		runRecovering(func() error {
@@ -269,9 +339,10 @@ func (w *world) converge(t *testing.T, txn, key string, data []byte) {
 // receipt for.
 func assertDisputeInvariant(t *testing.T, w *world, txn, key string) {
 	t.Helper()
-	// EvidenceByKind reads hot-then-cold, so the invariant holds no
-	// matter which storage tier a checkpoint left the evidence in.
-	_, bobErr := w.d.Provider.EvidenceByKind(txn, evidence.RolePeer, evidence.KindNRO)
+	// EvidenceByKind reads hot-then-cold (and, sharded, owner-shard-
+	// then-sweep), so the invariant holds no matter which storage tier
+	// or shard a crash left the evidence in.
+	_, bobErr := w.d.Engine.EvidenceByKind(txn, evidence.RolePeer, evidence.KindNRO)
 	_, nrrErr := w.d.Client.EvidenceByKind(txn, evidence.RolePeer, evidence.KindNRR)
 	_, abortErr := w.d.Client.EvidenceByKind(txn, evidence.RolePeer, evidence.KindAbortAccept)
 	_, stmtErr := w.d.Client.EvidenceByKind(txn, evidence.RolePeer, evidence.KindResolveResponse)
@@ -350,8 +421,12 @@ func TestChaosEveryFaultpoint(t *testing.T) {
 			t.Fatalf("checkpoint faultpoint %q is not registered", want)
 		}
 	}
+	shards := chaosShards(t)
 	for _, pt := range points {
 		t.Run(pt, func(t *testing.T) {
+			if strings.HasPrefix(pt, "shard.") && shards < 2 {
+				t.Skipf("faultpoint %q lives in the sharded engine; run with TPNR_SHARDS>=2 (make chaos-sharded)", pt)
+			}
 			defer faultpoint.Reset()
 			dir := t.TempDir()
 			store := storage.NewMem(time.Now)

@@ -26,4 +26,13 @@ var (
 	// scenario).
 	fpServerHandleSlow = faultpoint.Register("server.handle.slow")
 	fpPoolTTPBlackhole = faultpoint.Register("pool.ttp.dial-blackhole")
+
+	// Sharding sites (PR 8): a frame routed to the wrong shard (arm
+	// with an error to force the misroute; the engine's cross-shard
+	// evidence sweep must keep the dispute invariant anyway) and a
+	// shard's recovery goroutine failing partway through the parallel
+	// fan-out (the other shards must still come back, and a retry must
+	// converge because per-shard recovery is idempotent).
+	fpShardRouteWrongShard = faultpoint.Register("shard.route.wrong-shard")
+	fpShardRecoverPartial  = faultpoint.Register("shard.recover.partial")
 )

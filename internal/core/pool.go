@@ -12,12 +12,17 @@ import (
 	"repro/internal/evidence"
 	"repro/internal/faultpoint"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/transport"
 )
 
 // DialFunc opens a fresh connection toward a fixed peer, honoring the
 // context while connecting.
 type DialFunc func(ctx context.Context) (transport.Conn, error)
+
+// ShardDialFunc opens a connection toward a specific provider shard,
+// for deployments where shards answer on distinct endpoints.
+type ShardDialFunc func(ctx context.Context, shard int) (transport.Conn, error)
 
 // ErrRetriesExhausted reports that every transport-level retry of an
 // operation failed; it wraps nothing protocol-fatal, so Upload
@@ -57,6 +62,18 @@ type PoolOptions struct {
 	// Registry receives the pool's operational metrics (retries,
 	// escalations, idle hits/misses); nil means the process default.
 	Registry *obs.Registry
+	// ShardRing, when set, makes the pool shard-aware: each operation
+	// computes its transaction's shard from the same pinned ring the
+	// server-side ShardedEngine routes by, BEFORE borrowing a
+	// connection, and pins the borrowed connection to that shard's idle
+	// list. With a single endpoint this keeps each shard's traffic on
+	// warmed connections of its own; with ShardDial it routes to
+	// per-shard endpoints outright.
+	ShardRing *shard.Ring
+	// ShardDial, when set (requires ShardRing), dials the specific
+	// shard an operation's transaction routes to instead of the pool's
+	// default dialer.
+	ShardDial ShardDialFunc
 }
 
 // PoolOption adjusts PoolOptions.
@@ -87,6 +104,14 @@ func PoolBreaker(b *breaker.Breaker) PoolOption { return func(o *PoolOptions) { 
 // process-wide default registry.
 func PoolRegistry(r *obs.Registry) PoolOption { return func(o *PoolOptions) { o.Registry = r } }
 
+// PoolShardRing makes the pool route operations by transaction shard
+// (see PoolOptions.ShardRing). Pass the same shard count the provider
+// runs with.
+func PoolShardRing(r *shard.Ring) PoolOption { return func(o *PoolOptions) { o.ShardRing = r } }
+
+// PoolShardDial supplies a per-shard dialer (see PoolOptions.ShardDial).
+func PoolShardDial(d ShardDialFunc) PoolOption { return func(o *PoolOptions) { o.ShardDial = d } }
+
 // SessionPool multiplexes N concurrent TPNR protocol runs over a
 // bounded set of provider connections. Each operation borrows a
 // connection (dialing one when the free list is empty), runs the full
@@ -105,8 +130,11 @@ type SessionPool struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand // backoff jitter
 
-	mu     sync.Mutex
-	idle   []transport.Conn
+	mu sync.Mutex
+	// idle holds one free list per shard (a single list when no ring
+	// is configured): a released connection is only reused by
+	// operations routing to the shard it served.
+	idle   [][]transport.Conn
 	closed bool
 }
 
@@ -137,6 +165,10 @@ func NewSessionPool(client *Client, dial DialFunc, opts ...PoolOption) *SessionP
 	if reg == nil {
 		reg = obs.Default()
 	}
+	lists := 1
+	if o.ShardRing != nil {
+		lists = o.ShardRing.N()
+	}
 	return &SessionPool{
 		c:    client,
 		dial: dial,
@@ -144,7 +176,18 @@ func NewSessionPool(client *Client, dial DialFunc, opts ...PoolOption) *SessionP
 		met:  newPoolMetrics(reg),
 		sem:  make(chan struct{}, o.MaxConns),
 		rng:  rand.New(rand.NewSource(seed)),
+		idle: make([][]transport.Conn, lists),
 	}
+}
+
+// ShardOf reports which provider shard txnID's operations route to —
+// 0 always, without a ring. Exposed so callers (and tests) can verify
+// the pool and the server-side engine agree on placement.
+func (p *SessionPool) ShardOf(txnID string) int {
+	if p.opt.ShardRing == nil {
+		return 0
+	}
+	return p.opt.ShardRing.Shard(txnID)
 }
 
 // Client exposes the underlying protocol engine (evidence archive,
@@ -158,7 +201,7 @@ func (p *SessionPool) Client() *Client { return p.c }
 // UploadResult.
 func (p *SessionPool) Upload(ctx context.Context, txnID, objectKey string, data []byte) (*UploadResult, error) {
 	var res *UploadResult
-	err := p.do(ctx, func(conn transport.Conn) error {
+	err := p.do(ctx, txnID, func(conn transport.Conn) error {
 		r, err := p.c.Upload(ctx, conn, txnID, objectKey, data)
 		if err == nil {
 			res = r
@@ -204,7 +247,7 @@ func (p *SessionPool) Upload(ctx context.Context, txnID, objectKey string, data 
 // Download runs a downloading session through the pool.
 func (p *SessionPool) Download(ctx context.Context, txnID, objectKey, uploadTxn string) (*DownloadResult, error) {
 	var res *DownloadResult
-	err := p.do(ctx, func(conn transport.Conn) error {
+	err := p.do(ctx, txnID, func(conn transport.Conn) error {
 		r, err := p.c.Download(ctx, conn, txnID, objectKey, uploadTxn)
 		if err == nil {
 			res = r
@@ -220,7 +263,7 @@ func (p *SessionPool) Download(ctx context.Context, txnID, objectKey, uploadTxn 
 // Abort cancels a transaction through the pool.
 func (p *SessionPool) Abort(ctx context.Context, txnID, reason string) (*AbortResult, error) {
 	var res *AbortResult
-	err := p.do(ctx, func(conn transport.Conn) error {
+	err := p.do(ctx, txnID, func(conn transport.Conn) error {
 		r, err := p.c.Abort(ctx, conn, txnID, reason)
 		if err == nil {
 			res = r
@@ -331,7 +374,10 @@ func retryableResolve(err error) bool {
 // exponential backoff. Protocol-level outcomes (ErrTimeout,
 // ErrProtocol, ErrPeerRejected, ErrIntegrity, ErrUnknownIdentity) and
 // caller cancellation are never retried — retrying cannot change them.
-func (p *SessionPool) do(ctx context.Context, op func(transport.Conn) error) error {
+// The transaction's shard is computed once, up front, so every
+// acquire/release (including retries) pins to the same shard.
+func (p *SessionPool) do(ctx context.Context, txnID string, op func(transport.Conn) error) error {
+	si := p.ShardOf(txnID)
 	select {
 	case p.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -345,11 +391,11 @@ func (p *SessionPool) do(ctx context.Context, op func(transport.Conn) error) err
 		if err := CheckContext(ctx); err != nil {
 			return err
 		}
-		conn, err := p.acquire(ctx)
+		conn, err := p.acquire(ctx, si)
 		if err == nil {
 			err = op(conn)
 			if err == nil {
-				p.release(conn)
+				p.release(conn, si)
 				return nil
 			}
 			// The connection's protocol state is unknown mid-failure:
@@ -436,34 +482,38 @@ func transientFault(err error) bool {
 	return true
 }
 
-// acquire pops an idle connection or dials a new one.
-func (p *SessionPool) acquire(ctx context.Context) (transport.Conn, error) {
+// acquire pops an idle connection from shard si's free list or dials a
+// new one (through the per-shard dialer when configured).
+func (p *SessionPool) acquire(ctx context.Context, si int) (transport.Conn, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, fmt.Errorf("%w: session pool closed", ErrCancelled)
 	}
-	if n := len(p.idle); n > 0 {
-		conn := p.idle[n-1]
-		p.idle = p.idle[:n-1]
+	if n := len(p.idle[si]); n > 0 {
+		conn := p.idle[si][n-1]
+		p.idle[si] = p.idle[si][:n-1]
 		p.mu.Unlock()
 		p.met.idleHits.Inc()
 		return conn, nil
 	}
 	p.mu.Unlock()
 	p.met.idleMisses.Inc()
+	if p.opt.ShardDial != nil {
+		return p.opt.ShardDial(ctx, si)
+	}
 	return p.dial(ctx)
 }
 
-// release returns a healthy connection to the free list.
-func (p *SessionPool) release(conn transport.Conn) {
+// release returns a healthy connection to shard si's free list.
+func (p *SessionPool) release(conn transport.Conn, si int) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		conn.Close()
 		return
 	}
-	p.idle = append(p.idle, conn)
+	p.idle[si] = append(p.idle[si], conn)
 	p.mu.Unlock()
 }
 
@@ -472,11 +522,13 @@ func (p *SessionPool) release(conn transport.Conn) {
 func (p *SessionPool) Close() error {
 	p.mu.Lock()
 	idle := p.idle
-	p.idle = nil
+	p.idle = make([][]transport.Conn, len(p.idle))
 	p.closed = true
 	p.mu.Unlock()
-	for _, c := range idle {
-		c.Close()
+	for _, list := range idle {
+		for _, c := range list {
+			c.Close()
+		}
 	}
 	return nil
 }

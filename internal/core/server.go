@@ -37,7 +37,11 @@ const txnShards = 64
 // handler panics per connection, and drains in-flight sessions on
 // graceful shutdown.
 type Server struct {
-	h   Handler
+	h Handler
+	// th is non-nil when h also routes on the transaction ID (the
+	// ShardedEngine): the txn peeked for lock sharding is passed down
+	// so the handler never parses the frame a second time.
+	th  TxnHandler
 	met *serverMetrics
 	log *obs.Logger
 
@@ -150,8 +154,10 @@ func NewServer(h Handler, opts ...ServerOption) *Server {
 	for _, fn := range opts {
 		fn(&cfg)
 	}
+	th, _ := h.(TxnHandler)
 	s := &Server{
 		h:           h,
+		th:          th,
 		met:         newServerMetrics(cfg.reg),
 		log:         cfg.log,
 		conns:       make(map[transport.Conn]struct{}),
@@ -441,6 +447,9 @@ func (s *Server) handleOne(raw []byte) (reply []byte, err error) {
 		mu := &s.shards[shardOf(txn)]
 		mu.Lock()
 		defer mu.Unlock()
+		if s.th != nil {
+			return s.th.HandleTxn(txn, raw)
+		}
 	}
 	return s.h.Handle(raw)
 }

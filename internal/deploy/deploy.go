@@ -16,6 +16,7 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/metrics"
 	"repro/internal/pki"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/ttp"
@@ -56,6 +57,14 @@ type Config struct {
 	// the respective party constructor — the chaos harness uses them to
 	// attach per-party crash journals (core.WithJournal).
 	ClientOpts, ProviderOpts, TTPOpts []core.Option
+	// ProviderShards > 1 builds that many provider shards behind a
+	// core.ShardedEngine instead of a single Provider. All shards share
+	// the blob store and identity; ProviderOpts applies to every shard.
+	ProviderShards int
+	// ProviderShardOpts, when set with ProviderShards > 1, appends
+	// per-shard options (the chaos harness attaches each shard's own
+	// journal and archive here).
+	ProviderShardOpts func(shard int) []core.Option
 	// ProviderServerOpts and TTPServerOpts configure the core.Server
 	// runtimes fronting Bob and the TTP (admission control, expiry
 	// reaper, registries).
@@ -66,8 +75,14 @@ type Config struct {
 type Deployment struct {
 	CA     *pki.Authority
 	Client *core.Client
-	// Provider is Bob's engine; ProviderServer is the concurrent runtime
-	// fronting it until Close.
+	// Engine is Bob's protocol engine behind the provider-shaped
+	// surface: the single Provider below, or a core.ShardedEngine when
+	// ProviderShards > 1. Code that works for both shapes (dispute
+	// reads, recovery, health) should go through Engine.
+	Engine core.ProviderEngine
+	// Provider is Bob's first (or only) shard, kept for the single-shard
+	// callers; ProviderServer is the concurrent runtime fronting Engine
+	// until Close.
 	Provider       *core.Provider
 	ProviderServer *core.Server
 	// TTPServer mediates Resolve; TTPRuntime fronts it until Close.
@@ -134,10 +149,29 @@ func New(cfg Config) (*Deployment, error) {
 	if store == nil {
 		store = storage.NewMem(clk.Now)
 	}
-	providerOpts := append(opts(bobID, &pCtr), core.WithStore(store), core.WithTTPID(TTPName))
-	provider, err := core.NewProvider(append(providerOpts, cfg.ProviderOpts...)...)
-	if err != nil {
-		return nil, err
+	shardCount := cfg.ProviderShards
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	shards := make([]*core.Provider, shardCount)
+	for i := range shards {
+		providerOpts := append(opts(bobID, &pCtr), core.WithStore(store), core.WithTTPID(TTPName))
+		providerOpts = append(providerOpts, cfg.ProviderOpts...)
+		if cfg.ProviderShardOpts != nil {
+			providerOpts = append(providerOpts, cfg.ProviderShardOpts(i)...)
+		}
+		shards[i], err = core.NewProvider(providerOpts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	provider := shards[0]
+	var engine core.ProviderEngine = provider
+	if shardCount > 1 {
+		engine, err = core.NewShardedEngine(shards)
+		if err != nil {
+			return nil, err
+		}
 	}
 	client, err := core.NewClient(ProviderName, TTPName,
 		append(opts(aliceID, &cCtr), cfg.ClientOpts...)...)
@@ -157,8 +191,9 @@ func New(cfg Config) (*Deployment, error) {
 	d := &Deployment{
 		CA:               ca,
 		Client:           client,
+		Engine:           engine,
 		Provider:         provider,
-		ProviderServer:   core.NewServer(provider, cfg.ProviderServerOpts...),
+		ProviderServer:   core.NewServer(engine, cfg.ProviderServerOpts...),
 		TTPServer:        ttpServer,
 		TTPRuntime:       core.NewServer(ttpServer, cfg.TTPServerOpts...),
 		Net:              net,
@@ -245,11 +280,17 @@ func (d *Deployment) DialProvider() (transport.Conn, error) { return d.Net.Dial(
 func (d *Deployment) DialTTP() (transport.Conn, error) { return d.Net.Dial(TTPName) }
 
 // NewPool builds a SessionPool over this deployment's provider with
-// §4.3 escalation wired to the TTP.
+// §4.3 escalation wired to the TTP. A sharded deployment hands the
+// pool the matching ring, so operations pin connections per shard in
+// lockstep with the server-side routing.
 func (d *Deployment) NewPool(opts ...core.PoolOption) *core.SessionPool {
-	opts = append([]core.PoolOption{core.PoolTTPDial(func(ctx context.Context) (transport.Conn, error) {
+	base := []core.PoolOption{core.PoolTTPDial(func(ctx context.Context) (transport.Conn, error) {
 		return d.Net.DialContext(ctx, TTPName)
-	})}, opts...)
+	})}
+	if se, ok := d.Engine.(*core.ShardedEngine); ok {
+		base = append(base, core.PoolShardRing(shard.New(se.N())))
+	}
+	opts = append(base, opts...)
 	return core.NewSessionPool(d.Client, func(ctx context.Context) (transport.Conn, error) {
 		return d.Net.DialContext(ctx, ProviderName)
 	}, opts...)

@@ -1,0 +1,104 @@
+// Package shard provides deterministic consistent-hash routing of
+// transaction IDs to provider shards.
+//
+// The ring is built from virtual nodes: each shard contributes
+// vnodesPerShard points on a 64-bit hash circle, and a txn ID routes
+// to the shard owning the first point at or after the txn's own hash.
+// The hash is pinned to FNV-64a over fixed label strings — not
+// Go's runtime map hash or anything seeded per-process — so the same
+// txn routes to the same shard across restarts, across binaries, and
+// across the client-side SessionPool and the server-side engine. That
+// stability is load-bearing: a provider restart must find each
+// session's evidence in the same per-shard WAL that wrote it.
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// vnodesPerShard is the number of points each shard contributes to the
+// ring. 128 keeps the max/min shard load ratio under ~1.25 for random
+// txn IDs while the ring still fits in a few KB for 8 shards.
+const vnodesPerShard = 128
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// ringHash is the pinned ring hash: FNV-64a followed by a 64-bit
+// avalanche finalizer. Inlined rather than importing hash/fnv so the
+// zero-allocation property (no hash.Hash64 boxing) and the exact
+// algorithm are both locked down in this file. The finalizer matters:
+// raw FNV over short, similar strings ("tpnr/shard-3/vnode-17") leaves
+// the high bits — the bits that order points on the circle — poorly
+// mixed, which clusters vnodes and unbalances the ring badly.
+func ringHash(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	// fmix64 finalizer (MurmurHash3 constants).
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Ring maps transaction IDs onto n shards. Immutable after New; safe
+// for concurrent use.
+type Ring struct {
+	n      int
+	points []point // sorted by hash
+}
+
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// New builds a ring over n shards. n < 1 is treated as 1 so a
+// zero-configured caller degenerates to the unsharded layout.
+func New(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	r := &Ring{n: n, points: make([]point, 0, n*vnodesPerShard)}
+	for s := 0; s < n; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			// The vnode label format is part of the on-disk contract:
+			// changing it remaps sessions away from their WALs.
+			label := fmt.Sprintf("tpnr/shard-%d/vnode-%d", s, v)
+			r.points = append(r.points, point{hash: ringHash(label), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// N reports the shard count.
+func (r *Ring) N() int { return r.n }
+
+// DirName is the canonical per-shard subdirectory name under a WAL or
+// archive root ("shard-00", "shard-01", …). Shared by the daemon, the
+// deploy harness and the chaos suite so a restart with the same
+// -shards value reopens exactly the directories it wrote.
+func DirName(i int) string { return fmt.Sprintf("shard-%02d", i) }
+
+// Shard returns the shard index in [0, N) owning txn.
+func (r *Ring) Shard(txn string) int {
+	if r.n == 1 {
+		return 0
+	}
+	h := ringHash(txn)
+	// First point at or after h, wrapping to points[0] past the end.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}

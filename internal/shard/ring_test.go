@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The ring hash is pinned: these route targets were computed once and
+// must never change, or a restarted provider looks for sessions in the
+// wrong per-shard WAL. If this test fails the hash or vnode labels
+// changed — that is a data-loss bug, not a test to update.
+func TestRingPinnedRouting(t *testing.T) {
+	r := New(4)
+	got := make(map[string]int)
+	for _, txn := range []string{"txn-000001", "txn-000002", "txn-abc", "d6ae7bl2"} {
+		got[txn] = r.Shard(txn)
+	}
+	// Golden values from the first run of this implementation.
+	want := map[string]int{"txn-000001": 0, "txn-000002": 0, "txn-abc": 1, "d6ae7bl2": 2}
+	for txn, w := range want {
+		if got[txn] != w {
+			t.Errorf("Shard(%q) = %d, want pinned %d", txn, got[txn], w)
+		}
+	}
+}
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	a, b := New(8), New(8)
+	for i := 0; i < 10000; i++ {
+		txn := fmt.Sprintf("txn-%08d", i)
+		if a.Shard(txn) != b.Shard(txn) {
+			t.Fatalf("txn %q routes to %d on one ring, %d on another", txn, a.Shard(txn), b.Shard(txn))
+		}
+	}
+}
+
+func TestRingBounds(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 4, 8} {
+		r := New(n)
+		wantN := n
+		if wantN < 1 {
+			wantN = 1
+		}
+		if r.N() != wantN {
+			t.Fatalf("New(%d).N() = %d, want %d", n, r.N(), wantN)
+		}
+		for i := 0; i < 1000; i++ {
+			s := r.Shard(fmt.Sprintf("txn-%06d", i))
+			if s < 0 || s >= wantN {
+				t.Fatalf("n=%d: shard %d out of range", n, s)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const keys = 50000
+	r := New(8)
+	counts := make([]int, 8)
+	for i := 0; i < keys; i++ {
+		counts[r.Shard(fmt.Sprintf("txn-%08d", i))]++
+	}
+	mean := keys / 8
+	for s, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("shard %d holds %d of %d keys (mean %d): ring badly unbalanced", s, c, keys, mean)
+		}
+	}
+}
+
+// Growing the ring should move roughly 1/(n+1) of the keys, not
+// reshuffle everything — the property that makes consistent hashing
+// worth its ring.
+func TestRingConsistencyUnderGrowth(t *testing.T) {
+	const keys = 20000
+	r4, r5 := New(4), New(5)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		txn := fmt.Sprintf("txn-%08d", i)
+		if r4.Shard(txn) != r5.Shard(txn) {
+			moved++
+		}
+	}
+	// Expect ~20% movement; fail above 40%.
+	if moved > keys*2/5 {
+		t.Errorf("growing 4→5 shards moved %d/%d keys; consistent hashing should move ~%d", moved, keys, keys/5)
+	}
+}
+
+func BenchmarkRingShard(b *testing.B) {
+	r := New(8)
+	txn := "txn-00012345"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Shard(txn)
+	}
+}

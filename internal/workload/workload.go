@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/arbitrator"
@@ -35,6 +36,17 @@ type Params struct {
 	FalseClaimRate float64
 	// Seed makes the run deterministic.
 	Seed int64
+	// Shards > 1 runs the provider as a core.ShardedEngine with that
+	// many shards; uploads route by consistent hash of the txn ID.
+	Shards int
+	// ArrivalRate, when positive, switches the upload phase from
+	// closed-loop (each upload waits for the previous) to open-loop:
+	// uploads arrive as a Poisson process at this many per second,
+	// each on its own pooled session, concurrency bounded only by the
+	// arrivals themselves. Object contents and inter-arrival gaps are
+	// still drawn sequentially from Seed, so runs stay deterministic
+	// in everything but interleaving.
+	ArrivalRate float64
 }
 
 // Stats is the outcome of a run.
@@ -63,6 +75,10 @@ type Stats struct {
 
 	// ClientMsgs and TTPMsgs aggregate protocol cost.
 	ClientMsgs, TTPMsgs int64
+
+	// UploadElapsed is the wall time of the upload phase — with an
+	// ArrivalRate it shows achieved versus offered throughput.
+	UploadElapsed time.Duration
 }
 
 // Run executes the workload on a fresh deployment.
@@ -79,7 +95,11 @@ func Run(p Params) (*Stats, error) {
 	rng := rand.New(rand.NewSource(p.Seed))
 	ctx := context.Background()
 
-	d, err := deploy.New(deploy.Config{TestKeys: true, ResponseTimeout: 10 * time.Second})
+	d, err := deploy.New(deploy.Config{
+		TestKeys:        true,
+		ResponseTimeout: 10 * time.Second,
+		ProviderShards:  p.Shards,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -102,24 +122,63 @@ func Run(p Params) (*Stats, error) {
 	}
 	objects := make([]*object, p.Objects)
 
-	// Phase 1: uploads.
+	// Phase 1: uploads. Contents and (open-loop) inter-arrival gaps
+	// are drawn sequentially from the seeded rng before any upload
+	// runs, so concurrency cannot perturb the population.
+	gaps := make([]time.Duration, len(objects))
 	for i := range objects {
 		size := p.MinSize + rng.Intn(p.MaxSize-p.MinSize+1)
 		data := make([]byte, size)
 		rng.Read(data)
-		o := &object{
+		objects[i] = &object{
 			key:  fmt.Sprintf("wl/obj-%05d", i),
 			txn:  fmt.Sprintf("wl-up-%05d", i),
 			data: data,
 		}
-		up, err := d.Client.Upload(ctx, conn, o.txn, o.key, data)
-		if err != nil {
-			return nil, fmt.Errorf("workload: upload %d: %w", i, err)
+		if p.ArrivalRate > 0 {
+			gaps[i] = time.Duration(rng.ExpFloat64() / p.ArrivalRate * float64(time.Second))
 		}
-		o.up = up
-		objects[i] = o
-		stats.Uploads++
 	}
+	uploadStart := time.Now()
+	if p.ArrivalRate > 0 {
+		// Open loop: each arrival gets its own pooled session (the pool
+		// pins connections per shard when the deployment is sharded) and
+		// runs regardless of how far behind earlier uploads are.
+		pool := d.NewPool()
+		defer pool.Close()
+		var wg sync.WaitGroup
+		errs := make([]error, len(objects))
+		for i, o := range objects {
+			time.Sleep(gaps[i])
+			wg.Add(1)
+			go func(i int, o *object) {
+				defer wg.Done()
+				up, err := pool.Upload(ctx, o.txn, o.key, o.data)
+				if err != nil {
+					errs[i] = fmt.Errorf("workload: upload %d: %w", i, err)
+					return
+				}
+				o.up = up
+			}(i, o)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		stats.Uploads = len(objects)
+	} else {
+		for i, o := range objects {
+			up, err := d.Client.Upload(ctx, conn, o.txn, o.key, o.data)
+			if err != nil {
+				return nil, fmt.Errorf("workload: upload %d: %w", i, err)
+			}
+			o.up = up
+			stats.Uploads++
+		}
+	}
+	stats.UploadElapsed = time.Since(uploadStart)
 
 	// Phase 2: the insider tampers a fraction of the stored objects.
 	tam := d.Store.(storage.Tamperer)

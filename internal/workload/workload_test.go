@@ -95,3 +95,33 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal("Objects=0 accepted")
 	}
 }
+
+// TestRunShardedOpenLoop drives the full incident mix through a
+// 4-shard provider with Poisson arrivals: uploads land on different
+// shards (by txn-ID hash), downloads and disputes still find every
+// piece of evidence, and the population-level guarantees are intact.
+func TestRunShardedOpenLoop(t *testing.T) {
+	s, err := Run(Params{
+		Objects: 30, MinSize: 16, MaxSize: 64,
+		TamperRate: 0.3, FalseClaimRate: 0.2, Seed: 6,
+		Shards: 4, ArrivalRate: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Uploads != 30 || s.Downloads != 30 {
+		t.Fatalf("uploads=%d downloads=%d, want 30/30", s.Uploads, s.Downloads)
+	}
+	if s.TampersInjected == 0 || s.FalseClaims == 0 {
+		t.Fatalf("seed produced no incidents: %+v", s)
+	}
+	if s.TampersDetected != s.TampersInjected || s.TampersAttributed != s.TampersInjected {
+		t.Fatalf("sharded run lost detection/attribution: %+v", s)
+	}
+	if s.FalseClaimsExposed != s.FalseClaims {
+		t.Fatalf("sharded run lost exposure: %+v", s)
+	}
+	if s.UploadElapsed <= 0 {
+		t.Fatal("UploadElapsed not recorded")
+	}
+}
