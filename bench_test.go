@@ -1026,3 +1026,93 @@ func BenchmarkE12AggregateReceipt(b *testing.B) {
 		}
 	})
 }
+
+// --- E15: storage-dwell audit (DESIGN.md §14) --------------------------------
+
+// BenchmarkE15Audit compares the audit sub-protocol against the only
+// other way a client can verify the provider still holds its data:
+// re-downloading the object. mode=download runs a full download
+// session over the 1 MiB object; mode=challenge runs an n-leaf
+// challenge-response round — the provider proves n random 4 KiB
+// chunks against the Merkle root it committed to in the NRR, and the
+// client verifies the inclusion proofs and the response signature.
+// The audit moves O(n log m) hashes instead of the object, so it must
+// win by a growing margin as objects grow; cmd/benchreport pins the
+// audit_vs_download_speedup_n4 floor.
+func BenchmarkE15Audit(b *testing.B) {
+	d := newBenchDeploy(b)
+	conn, err := d.DialProvider()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := d.Client.Upload(context.Background(), conn, "bench-audit", "obj-audit", data); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("mode=download", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			txn := fmt.Sprintf("bench-ad-%d", i)
+			if _, err := d.Client.Download(context.Background(), conn, txn, "obj-audit", "bench-audit"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{4, 16} {
+		b.Run(fmt.Sprintf("mode=challenge/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := d.Client.AuditObject(context.Background(), conn, "bench-audit", n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Response.Entries) != n {
+					b.Fatalf("proved %d leaves, want %d", len(rep.Response.Entries), n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE15AuditArbitrate prices the off-line half of the audit
+// protocol: given an archived challenge and response, how fast can an
+// arbitrator (or any verifier) re-check the response against the
+// committed root? This is the cost of conviction — it runs once per
+// dispute, with no network and no data.
+func BenchmarkE15AuditArbitrate(b *testing.B) {
+	d := newBenchDeploy(b)
+	conn, err := d.DialProvider()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	data := make([]byte, 1<<20)
+	if _, err := d.Client.Upload(context.Background(), conn, "bench-arb", "obj-arb", data); err != nil {
+		b.Fatal(err)
+	}
+	rep, err := d.Client.AuditObject(context.Background(), conn, "bench-arb", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	providerKey, err := d.CA.Lookup(deploy.ProviderName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := providerKey.Key()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rep.Response.Verify(pub, rep.Challenge, rep.Root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -56,6 +56,18 @@ func main() {
 	if ev, err := keystore.LoadEvidence(*state, *txn, evidence.RolePeer, evidence.KindResolveResponse); err == nil {
 		c.TTPStatement = ev
 	}
+	// Storage-dwell audit artifacts (DESIGN.md §14): nrclient audit
+	// persists its latest challenge whatever the outcome, and the
+	// provider's verified answer only when one arrived. An unanswered
+	// (or unanswerable) challenge is what convicts — a stale response
+	// that does not open the committed root for THIS challenge's nonce
+	// fails verification just like no response at all.
+	if ev, err := keystore.LoadEvidence(*state, *txn, evidence.RoleOwn, evidence.KindAuditChallenge); err == nil {
+		c.AuditChallenge = ev
+	}
+	if ev, err := keystore.LoadEvidence(*state, *txn, evidence.RolePeer, evidence.KindAuditResponse); err == nil {
+		c.AuditResponse = ev
+	}
 	if *produced != "" {
 		data, err := os.ReadFile(*produced)
 		if err != nil {

@@ -1,6 +1,9 @@
-// Command attacklab runs the §5 attack gauntlet — man-in-the-middle,
-// reflection, interleaving, replay, timeliness — against both the TPNR
-// deployment and the naive MD5-only baseline, and prints the matrix.
+// Command attacklab runs the attack gauntlet — the §5 adversaries
+// (man-in-the-middle, reflection, interleaving, replay, timeliness)
+// plus the storage-dwell lazy provider of DESIGN.md §14 — against both
+// the TPNR deployment and the naive MD5-only baseline, and prints the
+// matrix. The lazy-provider scenario ends in an off-line arbitrator
+// conviction built from journaled audit evidence alone: no download.
 package main
 
 import (

@@ -1,7 +1,8 @@
 // Command benchreport runs the repository's hot-path benchmark
 // families (E11 plus the pooled transport pipe, the E12 crypto API,
-// E13 recovery, E14 sharding) and writes a machine-readable report, by
-// default BENCH_PR8.json at the repository root.
+// E13 recovery, E14 sharding, E15 storage-dwell audit) and writes a
+// machine-readable report, by default BENCH_PR8.json at the
+// repository root.
 //
 // The report records the environment honestly — GOMAXPROCS in
 // particular, because the parallel hash and Merkle paths deliberately
@@ -73,7 +74,7 @@ import (
 )
 
 // benchPattern selects the families the report covers.
-const benchPattern = `^(BenchmarkE11WALAppend|BenchmarkE11ParallelHash|BenchmarkE11MerkleBuild|BenchmarkE11VerifyCache|BenchmarkE10TransportPipe|BenchmarkE12EvidenceColdOpen|BenchmarkE12BatchVerify|BenchmarkE12AggregateReceipt|BenchmarkE13Recovery|BenchmarkE14ShardedUpload|BenchmarkE14ShardedRecovery)$`
+const benchPattern = `^(BenchmarkE11WALAppend|BenchmarkE11ParallelHash|BenchmarkE11MerkleBuild|BenchmarkE11VerifyCache|BenchmarkE10TransportPipe|BenchmarkE12EvidenceColdOpen|BenchmarkE12BatchVerify|BenchmarkE12AggregateReceipt|BenchmarkE13Recovery|BenchmarkE14ShardedUpload|BenchmarkE14ShardedRecovery|BenchmarkE15Audit|BenchmarkE15AuditArbitrate)$`
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -254,6 +255,12 @@ func main() {
 	ratio("sharded_recovery_speedup_8x",
 		"BenchmarkE14ShardedRecovery/shards=1",
 		"BenchmarkE14ShardedRecovery/shards=8")
+	ratio("audit_vs_download_speedup_n4",
+		"BenchmarkE15Audit/mode=download",
+		"BenchmarkE15Audit/mode=challenge/n=4")
+	ratio("audit_vs_download_speedup_n16",
+		"BenchmarkE15Audit/mode=download",
+		"BenchmarkE15Audit/mode=challenge/n=16")
 
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("GOMAXPROCS=%d; at 1 the SumParallel and Merkle level-parallel paths fall back to serial by design, so parallel_hash_speedup ~1.0 is expected there (the >=1.5x criterion applies on >=4 cores)", rep.GOMAXPROCS),
@@ -264,7 +271,8 @@ func main() {
 		"aggregate_receipt_speedup_k64 compares 64 individual receipt sign+verify pairs against ONE aggregate signature over a Merkle root of the 64 evidence digests plus one verification",
 		"recovery_snapshot_speedup_* compares full journal replay against snapshot-plus-tail recovery of the SAME history (n terminal sessions + a 16-session tail); the >=5x criterion applies at 10k sessions",
 		"sharded_upload_speedup_* compares journaled upload throughput (SyncAlways, 16 workers) at 1 vs N shards: N independent fsync streams vs one; the >=3x-at-8-shards criterion applies at GOMAXPROCS>=8 on storage with parallel flush queues — a 1-core VM whose virtual disk serializes flushes tops out around the disk's own concurrent-fsync ceiling",
-		"sharded_recovery_speedup_* compares crash recovery of the same 3000-session history replayed by one shard vs N shards in parallel (one goroutine each); replay is decode-bound CPU, so the >=2x-at-4-shards criterion applies at GOMAXPROCS>=4 and ~1.0x is expected at GOMAXPROCS=1")
+		"sharded_recovery_speedup_* compares crash recovery of the same 3000-session history replayed by one shard vs N shards in parallel (one goroutine each); replay is decode-bound CPU, so the >=2x-at-4-shards criterion applies at GOMAXPROCS>=4 and ~1.0x is expected at GOMAXPROCS=1",
+		"audit_vs_download_speedup_* (E15) compares a full download session of a 1 MiB object against an n-leaf storage-dwell challenge-response round over the same object: the audit verifies possession by moving O(n log m) hashes instead of the data, so it must stay faster than the download (floor 1.5x at n=4) and the margin grows with object size")
 
 	var skipRE *regexp.Regexp
 	if *regressSkip != "" {

@@ -9,6 +9,14 @@
 //	nrclient -state ./state download -txn t2 -key docs/a -upload-txn t1 -out got.pdf
 //	nrclient -state ./state abort    -txn t1 -reason "peer silent"
 //	nrclient -state ./state resolve  -txn t1 -report "no NRR before deadline"
+//	nrclient -state ./state audit    -txn t1 -audit-challenges 4
+//
+// audit runs a storage-dwell challenge (DESIGN.md §14) against the
+// provider: random Merkle leaves of the upload are challenged and the
+// provider must answer with inclusion proofs under the root it signed
+// into the NRR — without the client re-downloading anything. A failed
+// or ignored challenge exits non-zero; the journaled challenge is
+// itself conviction material for arbitration.
 //
 // Common flags: -name alice -server 127.0.0.1:9000 -ttp 127.0.0.1:9001
 package main
@@ -51,6 +59,7 @@ func main() {
 	uploadTxn := fs.String("upload-txn", "", "upload transaction whose agreed digest the download must match")
 	reason := fs.String("reason", "client requested cancellation", "abort reason")
 	report := fs.String("report", "no response before time limit", "resolve anomaly report")
+	auditN := fs.Int("audit-challenges", core.DefaultAuditChallenges, "random leaves per storage-dwell audit challenge")
 	fs.Parse(os.Args[2:])
 
 	if *txn == "" {
@@ -142,13 +151,52 @@ func main() {
 			fmt.Println("TTP statement archived")
 		}
 
+	case "audit":
+		// The audit verifies responses against the root commitment inside
+		// the archived NRR; reload it from the state directory first.
+		if nrr, err := keystore.LoadEvidence(*state, *txn, evidence.RolePeer, evidence.KindNRR); err == nil {
+			client.Archive().Put(*txn, evidence.RolePeer, nrr)
+		} else {
+			fail(fmt.Errorf("no archived NRR for %s (did the upload run from this state dir?): %w", *txn, err))
+		}
+		// Prior audit rounds too: their headers carry the sequence
+		// numbers this identity already burned against the provider's
+		// replay guard, and AuditObject derives its sequence floor from
+		// whatever the archive holds.
+		if ch, err := keystore.LoadEvidence(*state, *txn, evidence.RoleOwn, evidence.KindAuditChallenge); err == nil {
+			client.Archive().Put(*txn, evidence.RoleOwn, ch)
+		}
+		if resp, err := keystore.LoadEvidence(*state, *txn, evidence.RolePeer, evidence.KindAuditResponse); err == nil {
+			client.Archive().Put(*txn, evidence.RolePeer, resp)
+		}
+		conn := dial(*server)
+		defer conn.Close()
+		rep, err := client.AuditObject(ctx, conn, *txn, *auditN)
+		// Persist the latest challenge whatever the outcome: on failure
+		// it is the conviction material arbiterd reads, and its recorded
+		// sequence keeps the next audit run from reusing numbers the
+		// provider has already seen.
+		if ch, cerr := client.Archive().ByKind(*txn, evidence.RoleOwn, evidence.KindAuditChallenge); cerr == nil {
+			saveEvidence(*state, *txn, evidence.RoleOwn, ch)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nrclient: AUDIT FAILED for %s: %v\n", *txn, err)
+			fmt.Fprintln(os.Stderr, "the journaled unanswered challenge is conviction material for arbitration")
+			os.Exit(3)
+		}
+		if resp, rerr := client.Archive().ByKind(*txn, evidence.RolePeer, evidence.KindAuditResponse); rerr == nil {
+			saveEvidence(*state, *txn, evidence.RolePeer, resp)
+		}
+		fmt.Printf("audit of %s passed: %d/%d leaves proved against committed root %s in %v\n",
+			*txn, len(rep.Response.Entries), len(rep.Challenge.Indices), rep.Root, rep.Latency.Round(time.Millisecond))
+
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: nrclient {upload|download|abort|resolve} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: nrclient {upload|download|abort|resolve|audit} [flags]")
 	os.Exit(2)
 }
 

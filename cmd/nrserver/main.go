@@ -70,6 +70,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent protocol handlers before shedding with a retryable overload frame (0 = unlimited)")
 	connPending := flag.Int("conn-pending", 1, "per-connection pipelined request cap (1 = serial)")
 	batchVerify := flag.Int("batch-verify", 0, "per-connection batch-drain round cap: queued inbound messages are decrypted individually but signature-verified in one batched call (0/1 = off; overrides -conn-pending)")
+	auditEvery := flag.Duration("audit-interval", 0, "storage-dwell self-audit interval: recompute every committed session's Merkle root against the blob store and log divergences (0 = never)")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -131,6 +132,9 @@ func main() {
 
 	if *ckptEvery > 0 {
 		startCheckpointTickers(ctx, engine, *ckptEvery)
+	}
+	if *auditEvery > 0 {
+		startSelfAudit(ctx, engine, *auditEvery)
 	}
 
 	done := make(chan error, 1)
@@ -202,6 +206,37 @@ func startCheckpointTickers(ctx context.Context, engine core.ProviderEngine, eve
 			}
 		}(i)
 	}
+}
+
+// startSelfAudit runs the provider's own storage-dwell sweep
+// (DESIGN.md §14): on each tick every committed session's Merkle root
+// is recomputed from the blob store and compared against the root the
+// provider signed into its NRR. A divergence means this daemon would
+// LOSE an audit challenge — surfacing it here lets an operator repair
+// (or own up) before a client's challenge turns it into a conviction.
+func startSelfAudit(ctx context.Context, engine core.ProviderEngine, every time.Duration) {
+	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				txns := engine.AuditableTxns()
+				bad := 0
+				for _, txn := range txns {
+					if err := engine.VerifyStorage(txn); err != nil {
+						bad++
+						log.Printf("nrserver: self-audit: txn %s DIVERGES from committed root: %v", txn, err)
+					}
+				}
+				if bad == 0 {
+					log.Printf("nrserver: self-audit: %d session(s) verified against committed roots", len(txns))
+				}
+			}
+		}
+	}()
 }
 
 // buildEngine assembles the provider engine: a single Provider for

@@ -69,6 +69,8 @@ func main() {
 	brWindow := flag.Int("breaker-window", 16, "peer-dial circuit breaker: outcomes in the sliding window")
 	brRatio := flag.Float64("breaker-ratio", 0.5, "peer-dial circuit breaker: failure ratio that trips the breaker open")
 	brCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "peer-dial circuit breaker: open-state cooldown before a half-open probe (0 = breaker disabled)")
+	auditEvery := flag.Duration("audit-interval", 0, "public-auditor sweep interval: challenge every provider whose resolve relayed a storage-dwell commitment (0 = never)")
+	auditN := flag.Int("audit-challenges", 4, "random leaves per public-auditor challenge")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer address mapping name=host:port (repeatable)")
 	flag.Parse()
@@ -253,6 +255,30 @@ func main() {
 					}
 					log.Printf("ttpd: checkpoint at LSN %d (%d resolves archived, %d live retained)",
 						rep.LSN, rep.Archived, rep.Retained)
+				}
+			}
+		}()
+	}
+
+	// The public-auditor loop (DESIGN.md §14): every resolve that
+	// relayed an NRR with a root commitment makes that session
+	// auditable by the TTP, and this sweep challenges those providers
+	// on the client's behalf. Failed audits land in the audit log and
+	// leave the TTP holding a journaled unanswered challenge —
+	// conviction material a claimant can subpoena later.
+	if *auditEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*auditEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					ok, failed := server.AuditStored(ctx, *auditN)
+					if ok+failed > 0 {
+						log.Printf("ttpd: public audit sweep: %d session(s) verified, %d FAILED", ok, failed)
+					}
 				}
 			}
 		}()

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cryptoutil"
 	"repro/internal/evidence"
 	"repro/internal/merkle"
@@ -51,6 +52,13 @@ const (
 	// received the data but refused to answer the resolve — the
 	// provider bears the burden.
 	VerdictProviderUnresponsive
+	// VerdictAuditFailed: the respondent committed to a Merkle root
+	// inside its signed NRR, a valid storage-dwell challenge exists,
+	// and no valid response was produced inside the deadline — the
+	// respondent cannot prove it still holds the data (DESIGN.md §14).
+	// Conviction requires no download: the journaled challenge/response
+	// evidence alone settles it.
+	VerdictAuditFailed
 )
 
 // String names the verdict.
@@ -68,6 +76,8 @@ func (v Verdict) String() string {
 		return "no-agreement"
 	case VerdictProviderUnresponsive:
 		return "provider-unresponsive"
+	case VerdictAuditFailed:
+		return "audit-failed"
 	default:
 		return fmt.Sprintf("verdict(%d)", int(v))
 	}
@@ -101,6 +111,15 @@ type Case struct {
 	// included — equivalent to an individual receipt.
 	AggReceipt *evidence.AggregateReceipt
 	AggProof   *merkle.Proof
+
+	// AuditChallenge, if present, is a challenger-signed storage-dwell
+	// challenge (KindAuditChallenge; the challenge parameters ride in
+	// its header Note — see internal/audit). AuditResponse, if present,
+	// is the respondent's signed answer (KindAuditResponse). Together
+	// with the root commitment inside the NRR they let the arbitrator
+	// judge dwell integrity from archived evidence alone.
+	AuditChallenge *evidence.Evidence
+	AuditResponse  *evidence.Evidence
 
 	// ProducedData is the data the respondent produces at arbitration
 	// (what the store currently holds); nil when the respondent cannot
@@ -263,6 +282,10 @@ func (a *Arbitrator) Decide(c *Case) *Decision {
 		label = "respondent-submitted NRR"
 	}
 	agreed := false
+	// committedNRR is the verified receipt whose Note may carry the
+	// storage-dwell root commitment (nil when agreement came via an
+	// aggregated receipt, which acknowledges the NRO, not a root).
+	var committedNRR *evidence.Evidence
 	if nrr != nil && a.verify(nrr, c.RespondentID, c.TxnID, f, label) {
 		if nrr.Header.Kind != evidence.KindNRR {
 			*f = append(*f, fmt.Sprintf("receipt evidence has kind %s, want NRR", nrr.Header.Kind))
@@ -277,6 +300,7 @@ func (a *Arbitrator) Decide(c *Case) *Decision {
 			return d
 		}
 		agreed = true
+		committedNRR = nrr
 	} else if a.verifyAggregate(c, nro, f) {
 		// The aggregate receipt acknowledges the NRO evidence itself —
 		// digests included — so the NRO's digests ARE the agreed value.
@@ -299,6 +323,17 @@ func (a *Arbitrator) Decide(c *Case) *Decision {
 	d.AgreedMD5 = nro.Header.DataMD5.Clone()
 	*f = append(*f, fmt.Sprintf("agreed digest established: %s (and sha256:%s)", d.AgreedMD5, nro.Header.DataSHA256.Hex()))
 
+	// 4a. Storage-dwell audit ruling (DESIGN.md §14). The receipt's
+	// root commitment binds the respondent to answer random leaf
+	// challenges over the dwell time; a valid challenge with no valid
+	// response inside the deadline convicts without any download.
+	if c.AuditChallenge != nil {
+		if v, decided := a.decideAudit(c, committedNRR, f); decided {
+			d.Verdict = v
+			return d
+		}
+	}
+
 	// 5. Judge the produced data against the agreed digest.
 	if c.ProducedData == nil {
 		*f = append(*f, "respondent produced no data for the agreed digest")
@@ -317,4 +352,88 @@ func (a *Arbitrator) Decide(c *Case) *Decision {
 		d.Verdict = VerdictProviderFault
 	}
 	return d
+}
+
+// decideAudit rules on a storage-dwell audit claim. It returns
+// (verdict, true) when the audit evidence settles the case by itself,
+// or (0, false) when the dispute must continue to the produced-data
+// judgment (the audit claim is unusable, or the response is valid and
+// only exonerates the dwell period).
+//
+// The burden allocation mirrors §4.4: the challenge must be
+// challenger-signed and well-formed before it can put the respondent
+// on the hook; once it is, the respondent convicts itself by silence,
+// lateness, or an answer that fails to open the committed root.
+func (a *Arbitrator) decideAudit(c *Case, nrr *evidence.Evidence, f *[]string) (Verdict, bool) {
+	// The challenge may come from the claimant or from the TTP acting
+	// as public auditor; either way it must be signed by whoever it
+	// names as sender and must target the respondent.
+	challenger := c.AuditChallenge.Header.SenderID
+	if challenger == c.RespondentID {
+		*f = append(*f, "audit challenge names the respondent as challenger; audit claim ignored")
+		return 0, false
+	}
+	if !a.verify(c.AuditChallenge, challenger, c.TxnID, f, "audit challenge") {
+		return 0, false
+	}
+	if c.AuditChallenge.Header.Kind != evidence.KindAuditChallenge ||
+		c.AuditChallenge.Header.RecipientID != c.RespondentID {
+		*f = append(*f, "audit challenge evidence is not a challenge addressed to the respondent; ignored")
+		return 0, false
+	}
+	ch, err := audit.ParseChallengeNote(c.AuditChallenge.Header.Note)
+	if err != nil {
+		*f = append(*f, fmt.Sprintf("audit challenge note unparseable: %v; audit claim ignored", err))
+		return 0, false
+	}
+	if nrr == nil {
+		*f = append(*f, "agreement rests on an aggregated receipt with no per-object root commitment; dwell integrity cannot be judged")
+		return 0, false
+	}
+	root, _, err := audit.ParseRootNote(nrr.Header.Note)
+	if err != nil {
+		*f = append(*f, "the NRR carries no storage-dwell commitment; dwell integrity cannot be judged")
+		return 0, false
+	}
+	*f = append(*f, fmt.Sprintf("respondent committed to root %s in its signed NRR; challenge covers %d leaves", root, len(ch.Indices)))
+
+	if c.AuditResponse == nil {
+		*f = append(*f, "NO audit response exists for a valid challenge: the respondent never proved continued possession")
+		return VerdictAuditFailed, true
+	}
+	if !a.verify(c.AuditResponse, c.RespondentID, c.TxnID, f, "audit response") {
+		return VerdictAuditFailed, true
+	}
+	if c.AuditResponse.Header.Kind != evidence.KindAuditResponse {
+		*f = append(*f, fmt.Sprintf("audit response evidence has kind %s, want audit-response", c.AuditResponse.Header.Kind))
+		return VerdictAuditFailed, true
+	}
+	if deadline := c.AuditChallenge.Header.TimeLimit; !deadline.IsZero() &&
+		c.AuditResponse.Header.Timestamp.After(deadline) {
+		*f = append(*f, fmt.Sprintf("audit response came at %s, after the challenge deadline %s",
+			c.AuditResponse.Header.Timestamp.Format(time.RFC3339), deadline.Format(time.RFC3339)))
+		return VerdictAuditFailed, true
+	}
+	resp, err := audit.ParseResponseNote(c.AuditResponse.Header.Note)
+	if err != nil {
+		*f = append(*f, fmt.Sprintf("audit response note unparseable: %v", err))
+		return VerdictAuditFailed, true
+	}
+	respKey, err := a.partyKey(c.RespondentID, c.AuditResponse.Header.Timestamp)
+	if err != nil {
+		*f = append(*f, fmt.Sprintf("audit response: respondent %q has no valid certificate: %v", c.RespondentID, err))
+		return VerdictAuditFailed, true
+	}
+	if err := resp.Verify(respKey, ch, root); err != nil {
+		*f = append(*f, fmt.Sprintf("audit response FAILS against the committed root: %v", err))
+		return VerdictAuditFailed, true
+	}
+	*f = append(*f, fmt.Sprintf("audit response proves all %d challenged leaves against the committed root", len(ch.Indices)))
+	if c.ProducedData == nil {
+		// Audit-only dispute: the respondent proved possession and no
+		// download is in question — the dwell-integrity claim is false.
+		*f = append(*f, "no produced data in dispute; the dwell-integrity claim is disproven")
+		return VerdictClaimFalse, true
+	}
+	return 0, false
 }

@@ -43,12 +43,29 @@ func CaseFromBundles(claimant, respondent *archive.Bundle, produced []byte) (*Ca
 	if ev, err := bundleByKind(claimant, evidence.RolePeer, evidence.KindResolveResponse); err == nil {
 		c.TTPStatement = ev
 	}
+	// Storage-dwell audit material (DESIGN.md §14): the challenger
+	// journals its challenge as own evidence before sending, so an
+	// unanswered challenge survives in the claimant bundle alone —
+	// enough to convict without any download.
+	if ev, err := bundleByKind(claimant, evidence.RoleOwn, evidence.KindAuditChallenge); err == nil {
+		c.AuditChallenge = ev
+	}
+	if ev, err := bundleByKind(claimant, evidence.RolePeer, evidence.KindAuditResponse); err == nil {
+		c.AuditResponse = ev
+	}
 	if respondent != nil {
 		if respondent.Txn != claimant.Txn {
 			return nil, fmt.Errorf("arbitrator: bundle mismatch: claimant %s vs respondent %s", claimant.Txn, respondent.Txn)
 		}
 		if ev, err := bundleByKind(respondent, evidence.RoleOwn, evidence.KindNRR); err == nil {
 			c.RespondentNRR = ev
+		}
+		// The respondent may hold the response copy the claimant never
+		// received (e.g. the send crashed after journaling).
+		if c.AuditResponse == nil {
+			if ev, err := bundleByKind(respondent, evidence.RoleOwn, evidence.KindAuditResponse); err == nil {
+				c.AuditResponse = ev
+			}
 		}
 	}
 	return c, nil

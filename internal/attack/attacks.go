@@ -4,12 +4,17 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
+	"repro/internal/arbitrator"
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/evidence"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Outcome is one cell of the §5 robustness matrix.
@@ -31,10 +36,16 @@ const (
 	Interleaving = "interleaving"
 	Replay       = "replay"
 	Timeliness   = "timeliness"
+	// LazyProvider is the storage-dwell adversary (DESIGN.md §14): a
+	// provider that signs the receipt, then silently discards the data
+	// and ignores every audit challenge, betting nobody can prove the
+	// discard without downloading.
+	LazyProvider = "lazy-provider"
 )
 
-// AllAttacks lists the five §5 adversaries in paper order.
-var AllAttacks = []string{MITM, Reflection, Interleaving, Replay, Timeliness}
+// AllAttacks lists the five §5 adversaries in paper order, plus the
+// storage-dwell lazy provider the audit sub-protocol exists to catch.
+var AllAttacks = []string{MITM, Reflection, Interleaving, Replay, Timeliness, LazyProvider}
 
 // tpnrDeploy builds a fresh TPNR deployment for one attack run.
 func tpnrDeploy(lifetime time.Duration) (*deploy.Deployment, error) {
@@ -85,6 +96,8 @@ func RunTPNR(name string) (Outcome, error) {
 		return replayTPNR()
 	case Timeliness:
 		return timelinessTPNR()
+	case LazyProvider:
+		return lazyProviderTPNR()
 	default:
 		return Outcome{}, fmt.Errorf("attack: unknown attack %q", name)
 	}
@@ -103,6 +116,8 @@ func RunNaive(name string) (Outcome, error) {
 		return replayNaive()
 	case Timeliness:
 		return timelinessNaive()
+	case LazyProvider:
+		return lazyProviderNaive()
 	default:
 		return Outcome{}, fmt.Errorf("attack: unknown attack %q", name)
 	}
@@ -459,6 +474,95 @@ func timelinessNaive() (Outcome, error) {
 	_, getErr := env.server.Store().Get("k")
 	detail := fmt.Sprintf("delayed message answered %q, stored=%v — no deadline exists", m.Op, getErr == nil)
 	return Outcome{Attack: Timeliness, Target: "naive", Succeeded: getErr == nil, Detail: detail}, nil
+}
+
+// --- storage-dwell lazy provider (DESIGN.md §14) -----------------------
+
+// lazyProviderTPNR: the provider completes the upload honestly — signed
+// NRR, root commitment and all — then discards the data and ignores
+// every audit challenge. Goal: escape accountability. TPNR defeats it
+// off-line: the client's journaled unanswered challenge, compacted into
+// its cold archive, convicts the provider at arbitration WITHOUT anyone
+// downloading a byte.
+func lazyProviderTPNR() (Outcome, error) {
+	dir, err := os.MkdirTemp("", "tpnr-lazy-*")
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer os.RemoveAll(dir)
+	cw, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{})
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer cw.Close()
+	ca, err := archive.Open(filepath.Join(dir, "archive"))
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer ca.Close()
+	d, err := deploy.New(deploy.Config{
+		TestKeys:        true,
+		ResponseTimeout: 400 * time.Millisecond,
+		ClientOpts:      []core.Option{core.WithJournal(cw), core.WithArchive(ca)},
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer d.Close()
+	conn, err := d.DialProvider()
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer conn.Close()
+	ctx := context.Background()
+	const txn, key = "txn-lazy", "k"
+	if _, err := d.Client.Upload(ctx, conn, txn, key, []byte("precious archive")); err != nil {
+		return Outcome{}, err
+	}
+
+	// The provider turns lazy: data gone, challenges ignored.
+	d.Engine.SetMisbehavior(core.Misbehavior{IgnoreAudit: true})
+	_ = d.Store.Delete(key)
+	_, auditErr := d.Client.AuditObject(ctx, conn, txn, 4)
+
+	// Compact the client's evidence — NRO, NRR with its root commitment,
+	// and the unanswered challenge — into the cold archive, and
+	// arbitrate from the bundle alone: no produced data, no download.
+	if _, err := d.Client.Checkpoint(); err != nil {
+		return Outcome{}, err
+	}
+	cb, err := ca.Get(txn)
+	if err != nil {
+		return Outcome{}, err
+	}
+	c, err := arbitrator.CaseFromBundles(cb, nil, nil)
+	if err != nil {
+		return Outcome{}, err
+	}
+	arb := arbitrator.NewWithKey(d.CA.Key(), d.CA.Lookup, nil)
+	dec := arb.Decide(c)
+	convicted := dec.Verdict == arbitrator.VerdictAuditFailed
+	detail := fmt.Sprintf("audit err=%v, cold-case verdict=%s — the journaled unanswered challenge convicts without a download", auditErr != nil, dec.Verdict)
+	return Outcome{Attack: LazyProvider, Target: "TPNR", Succeeded: auditErr == nil || !convicted, Detail: detail}, nil
+}
+
+// lazyProviderNaive: the naive server acks the put, then discards the
+// blob. The client only learns on its next read — and holds nothing
+// signed, so there is no one to convict.
+func lazyProviderNaive() (Outcome, error) {
+	env, err := naiveDeployEnv()
+	if err != nil {
+		return Outcome{}, err
+	}
+	resp := env.server.Handle(NaivePut(env.user, env.token, "k", []byte("precious")).Encode())
+	m, _ := DecodeNaive(resp)
+	accepted := m.Op == "ok"
+	_ = env.server.Store().Delete("k")
+	resp = env.server.Handle((&NaiveMsg{Op: "get", User: env.user, Token: env.token, Key: "k"}).Encode())
+	gm, _ := DecodeNaive(resp)
+	gone := gm.Op != "ok"
+	detail := fmt.Sprintf("put answered %q, later get answered %q — no receipt, no commitment, no audit: the discard is unattributable", m.Op, gm.Op)
+	return Outcome{Attack: LazyProvider, Target: "naive", Succeeded: accepted && gone, Detail: detail}, nil
 }
 
 // --- helpers -----------------------------------------------------------

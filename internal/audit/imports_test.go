@@ -1,0 +1,49 @@
+package audit
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoMathRandImport pins the security property that challenge
+// indices and nonces come from crypto/rand only: a provider that can
+// predict which leaves will be challenged can keep just those chunks
+// and discard the rest, which defeats the storage-dwell audit
+// entirely (DESIGN.md §14). Any import of math/rand — including
+// math/rand/v2 — in a non-test file of this package is a bug.
+func TestNoMathRandImport(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	checked := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if path == "math/rand" || strings.HasPrefix(path, "math/rand/") {
+				t.Errorf("%s imports %q: audit challenges must be unpredictable, use crypto/rand", name, path)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no non-test Go files found to check")
+	}
+}

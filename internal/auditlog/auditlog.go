@@ -193,7 +193,11 @@ func (l *Log) Checkpoint(key cryptoutil.KeyPair) (*Checkpoint, error) {
 	at := l.now()
 	l.mu.RUnlock()
 
-	sig, err := cryptoutil.Sign(key, checkpointBytes(at, length, head))
+	signer := key.Signer()
+	if signer == nil {
+		return nil, fmt.Errorf("auditlog: key pair holds no private key")
+	}
+	sig, err := signer.Sign(checkpointBytes(at, length, head))
 	if err != nil {
 		return nil, fmt.Errorf("auditlog: signing checkpoint: %w", err)
 	}

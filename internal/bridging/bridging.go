@@ -77,7 +77,7 @@ type signedMD5 struct {
 }
 
 func signMD5(id *pki.Identity, key string, md5 cryptoutil.Digest) (*signedMD5, error) {
-	sig, err := cryptoutil.Sign(id.Key, md5SignBytes(key, md5))
+	sig, err := id.Key.Signer().Sign(md5SignBytes(key, md5))
 	if err != nil {
 		return nil, err
 	}
@@ -97,11 +97,11 @@ func verifySignedMD5(dir func(string) (*pki.Certificate, error), sm *signedMD5, 
 	if err != nil {
 		return err
 	}
-	pub, err := cert.PublicKey()
+	pub, err := cert.Key()
 	if err != nil {
 		return err
 	}
-	return cryptoutil.Verify(pub, md5SignBytes(key, sm.MD5), sm.Sig)
+	return pub.Verify(md5SignBytes(key, sm.MD5), sm.Sig)
 }
 
 // uploadRecord is everything retained per object by the scheme's

@@ -266,6 +266,26 @@ func runScenario(t *testing.T, w *world, pt, txn, key string, data []byte, wrap 
 			_, err := w.d.Engine.Recover(ctx)
 			return err
 		})
+	case strings.HasPrefix(pt, "provider.audit"):
+		// Audit faults fire inside the provider's challenge handler, so
+		// they need a bound session first: a clean upload plants the root
+		// commitment in the NRR, then a storage-dwell audit on the same
+		// connection walks into the armed point. The audit failing (or
+		// the provider dying mid-answer) IS the test — the journaled
+		// challenge must survive the crash as conviction material.
+		conn := dialProvider()
+		defer conn.Close()
+		if _, err := w.d.Client.Upload(ctx, conn, txn, key, data); err != nil {
+			// Possible over the randomized suite's lossy link: without a
+			// receipt there is nothing to audit, but the armed kill must
+			// still fire for the per-point suite, so fall through and let
+			// AuditObject fail on the missing NRR.
+			t.Logf("pre-audit upload failed (%v); auditing the unfinished session", err)
+		}
+		runRecovering(func() error {
+			_, err := w.d.Client.AuditObject(ctx, conn, txn, core.DefaultAuditChallenges)
+			return err
+		})
 	case strings.HasPrefix(pt, "wal.checkpoint") || strings.HasPrefix(pt, "wal.compact") ||
 		strings.HasPrefix(pt, "archive.append"):
 		// Checkpoint/compaction faults fire AFTER a clean session: the
@@ -403,12 +423,14 @@ func arbitrateCompleted(t *testing.T, w *world, txn, key string) {
 // the crash left unfinished, and asserts the dispute invariant.
 func TestChaosEveryFaultpoint(t *testing.T) {
 	points := faultpoint.List()
-	if len(points) < 12 {
+	if len(points) < 20 {
 		t.Fatalf("only %d faultpoints registered; the engines lost their kill sites", len(points))
 	}
 	for _, want := range []string{
 		"wal.checkpoint.pre-rename", "wal.checkpoint.post-rename",
 		"wal.compact.mid-truncate", "archive.append.partial",
+		"provider.audit.drop-challenge", "provider.audit.stale-proof",
+		"provider.audit.crash-mid-audit",
 	} {
 		found := false
 		for _, pt := range points {

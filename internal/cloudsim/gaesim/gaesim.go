@@ -155,11 +155,11 @@ func (t *TunnelServer) Validate(r *SignedRequest) error {
 	if string(registered) != string(r.PublicKey) {
 		return fmt.Errorf("%w: public key not registered for consumer", ErrBadSignature)
 	}
-	pub, err := cryptoutil.ParsePublicKey(r.PublicKey)
+	pub, err := cryptoutil.ParseAnyPublicKey(r.PublicKey)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSignature, err)
 	}
-	if err := cryptoutil.Verify(pub, r.CanonicalBytes(), r.Signature); err != nil {
+	if err := pub.Verify(r.CanonicalBytes(), r.Signature); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSignature, err)
 	}
 	return nil
@@ -245,10 +245,11 @@ func (d *Deployment) Request(r *SignedRequest) ([]byte, []FlowStep, error) {
 // BuildSignedRequest constructs and signs a request for the given
 // identity key.
 func BuildSignedRequest(key cryptoutil.KeyPair, ownerID, viewerID, instanceID, appID, consumerKey, token, resource string) (*SignedRequest, error) {
-	der, err := cryptoutil.MarshalPublicKey(key.Public())
-	if err != nil {
-		return nil, err
+	signer := key.Signer()
+	if signer == nil {
+		return nil, fmt.Errorf("gaesim: key pair holds no private key")
 	}
+	der := signer.Public().Marshal()
 	r := &SignedRequest{
 		OwnerID:     ownerID,
 		ViewerID:    viewerID,
@@ -260,7 +261,7 @@ func BuildSignedRequest(key cryptoutil.KeyPair, ownerID, viewerID, instanceID, a
 		Token:       token,
 		Resource:    resource,
 	}
-	sig, err := cryptoutil.Sign(key, r.CanonicalBytes())
+	sig, err := signer.Sign(r.CanonicalBytes())
 	if err != nil {
 		return nil, err
 	}

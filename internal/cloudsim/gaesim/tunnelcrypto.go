@@ -31,7 +31,7 @@ func (t *TunnelServer) EstablishTunnel(consumerKey string, conn transport.Conn) 
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: unknown consumer %q", ErrTunnelHandshake, consumerKey)
 	}
-	pub, err := cryptoutil.ParsePublicKey(registered)
+	pub, err := cryptoutil.ParseAnyPublicKey(registered)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrTunnelHandshake, err)
 	}
@@ -39,7 +39,7 @@ func (t *TunnelServer) EstablishTunnel(consumerKey string, conn transport.Conn) 
 	if err != nil {
 		return nil, nil, err
 	}
-	wrapped, err := cryptoutil.Encrypt(pub, session)
+	wrapped, err := pub.Seal(session)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: wrapping session key: %v", ErrTunnelHandshake, err)
 	}
@@ -49,7 +49,11 @@ func (t *TunnelServer) EstablishTunnel(consumerKey string, conn transport.Conn) 
 // AcceptTunnel is the SDC-agent side: unwrap the session key with the
 // consumer's private key.
 func AcceptTunnel(consumerPriv cryptoutil.KeyPair, wrapped []byte, conn transport.Conn) (*SecureChannel, error) {
-	session, err := cryptoutil.Decrypt(consumerPriv, wrapped)
+	signer := consumerPriv.Signer()
+	if signer == nil {
+		return nil, fmt.Errorf("%w: consumer pair holds no private key", ErrTunnelHandshake)
+	}
+	session, err := signer.Unseal(wrapped)
 	if err != nil {
 		return nil, fmt.Errorf("%w: unwrapping session key: %v", ErrTunnelHandshake, err)
 	}

@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/evidence"
+)
+
+// TestAuditSurvivesProcessRestart reproduces the nrclient CLI shape:
+// the process that audits is not the process that uploaded. A fresh
+// client restarts its per-transaction sequence counter at zero while
+// the provider's replay guard remembers the numbers the upload burned,
+// so AuditObject must re-derive its sequence floor from the archived
+// evidence instead of trusting the in-memory counter. Two deployments
+// built with TestKeys share the process-wide cached identity keys, so
+// the second deployment's client IS alice restarted — only its archive
+// seeding differs from the first.
+func TestAuditSurvivesProcessRestart(t *testing.T) {
+	ctx := context.Background()
+	d := newDeploy(t, 5*time.Second)
+	conn := mustDial(t, d)
+
+	data := bytes.Repeat([]byte("dwell-audited bytes "), 1024)
+	const txn = "txn-audit-restart"
+	res, err := d.Client.Upload(ctx, conn, txn, "docs/audited", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 1: a restarted client holding only the reloaded NRR — the
+	// minimum the CLI audit path seeds before calling AuditObject.
+	fresh := newDeploy(t, 5*time.Second)
+	fresh.Client.Archive().Put(txn, evidence.RolePeer, res.NRR)
+	conn1 := mustDial(t, d)
+	if _, err := fresh.Client.AuditObject(ctx, conn1, txn, 4); err != nil {
+		t.Fatalf("fresh-process audit rejected: %v", err)
+	}
+	ch1, err := fresh.Client.Archive().ByKind(txn, evidence.RoleOwn, evidence.KindAuditChallenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch1.Header.Seq <= res.NRR.Header.Seq {
+		t.Errorf("challenge seq %d does not exceed the upload's last seq %d",
+			ch1.Header.Seq, res.NRR.Header.Seq)
+	}
+
+	// Round 2: yet another restart, now reloading the NRR plus the first
+	// round's challenge and response — the floor must keep advancing
+	// past the previous audit, not just past the upload.
+	resp1, err := fresh.Client.Archive().ByKind(txn, evidence.RolePeer, evidence.KindAuditResponse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := newDeploy(t, 5*time.Second)
+	again.Client.Archive().Put(txn, evidence.RolePeer, res.NRR)
+	again.Client.Archive().Put(txn, evidence.RoleOwn, ch1)
+	again.Client.Archive().Put(txn, evidence.RolePeer, resp1)
+	conn2 := mustDial(t, d)
+	if _, err := again.Client.AuditObject(ctx, conn2, txn, 4); err != nil {
+		t.Fatalf("second restarted audit rejected: %v", err)
+	}
+
+	// Note the single-writer assumption this encodes: each restart must
+	// reload ALL prior evidence for the transaction (the CLI's state
+	// directory does), because the provider's replay guard is keyed by
+	// sender identity — two live processes sharing alice's keys without
+	// sharing her archive cannot both stay ahead of it.
+}

@@ -35,4 +35,17 @@ var (
 	// converge because per-shard recovery is idempotent).
 	fpShardRouteWrongShard = faultpoint.Register("shard.route.wrong-shard")
 	fpShardRecoverPartial  = faultpoint.Register("shard.recover.partial")
+
+	// Storage-dwell audit sites (PR 9): the provider silently dropping a
+	// challenge (arm with an error for the lazy-provider scenario, Kill
+	// for the crash sweep — either way the claimant is left holding an
+	// unanswered journaled challenge), the provider answering with
+	// proofs built over a stale copy of the object (arm with an error;
+	// the response root cannot match the NRR commitment, so the verifier
+	// must reject it), and a crash between journaling the response
+	// evidence and sending it (the restarted provider holds proof it
+	// answered; the claimant retries or convicts on the deadline).
+	fpProviderAuditDropChallenge = faultpoint.Register("provider.audit.drop-challenge")
+	fpProviderAuditStaleProof    = faultpoint.Register("provider.audit.stale-proof")
+	fpProviderAuditCrashMid      = faultpoint.Register("provider.audit.crash-mid-audit")
 )

@@ -285,6 +285,25 @@ func (p *party) nextSeq(txn string) uint64 {
 	return c.Next()
 }
 
+// archivedMaxSeq returns the highest header sequence recorded in the
+// party's archive for txn across both roles, or zero when nothing is
+// archived. A process that restarts mid-transaction (the nrclient CLI
+// reloading evidence from its state directory) starts its in-memory
+// counters from scratch, but the peer's replay guard remembers every
+// sequence this party already used — the archived headers are the
+// durable record of that floor.
+func (p *party) archivedMaxSeq(txn string) uint64 {
+	var max uint64
+	for _, role := range []evidence.Role{evidence.RoleOwn, evidence.RolePeer} {
+		for _, ev := range p.archive.All(txn, role) {
+			if ev.Header.Seq > max {
+				max = ev.Header.Seq
+			}
+		}
+	}
+	return max
+}
+
 // bumpSeqTo advances the outbound counter past an observed inbound
 // sequence so replies always exceed what the peer sent.
 func (p *party) bumpSeqTo(txn string, seen uint64) uint64 {

@@ -74,6 +74,14 @@ type PoolOptions struct {
 	// shard an operation's transaction routes to instead of the pool's
 	// default dialer.
 	ShardDial ShardDialFunc
+	// AuditInterval, when positive, starts a background storage-dwell
+	// audit loop (DESIGN.md §14): every completed upload is challenged
+	// on this cadence, and each failure journals conviction-grade
+	// evidence in the client archive.
+	AuditInterval time.Duration
+	// AuditChallenges is how many random leaves each background audit
+	// challenges; <=0 means DefaultAuditChallenges.
+	AuditChallenges int
 }
 
 // PoolOption adjusts PoolOptions.
@@ -112,6 +120,18 @@ func PoolShardRing(r *shard.Ring) PoolOption { return func(o *PoolOptions) { o.S
 // PoolShardDial supplies a per-shard dialer (see PoolOptions.ShardDial).
 func PoolShardDial(d ShardDialFunc) PoolOption { return func(o *PoolOptions) { o.ShardDial = d } }
 
+// PoolAuditInterval starts the background storage-dwell audit loop on
+// the given cadence (see PoolOptions.AuditInterval).
+func PoolAuditInterval(d time.Duration) PoolOption {
+	return func(o *PoolOptions) { o.AuditInterval = d }
+}
+
+// PoolAuditChallenges sets how many leaves each background audit
+// challenges (see PoolOptions.AuditChallenges).
+func PoolAuditChallenges(n int) PoolOption {
+	return func(o *PoolOptions) { o.AuditChallenges = n }
+}
+
 // SessionPool multiplexes N concurrent TPNR protocol runs over a
 // bounded set of provider connections. Each operation borrows a
 // connection (dialing one when the free list is empty), runs the full
@@ -136,6 +156,10 @@ type SessionPool struct {
 	// operations routing to the shard it served.
 	idle   [][]transport.Conn
 	closed bool
+
+	// auditor tracks auditable uploads and the background sweep loop
+	// (poolaudit.go).
+	auditor poolAuditor
 }
 
 // NewSessionPool builds a pool running client's protocol over
@@ -169,7 +193,7 @@ func NewSessionPool(client *Client, dial DialFunc, opts ...PoolOption) *SessionP
 	if o.ShardRing != nil {
 		lists = o.ShardRing.N()
 	}
-	return &SessionPool{
+	p := &SessionPool{
 		c:    client,
 		dial: dial,
 		opt:  o,
@@ -178,6 +202,8 @@ func NewSessionPool(client *Client, dial DialFunc, opts ...PoolOption) *SessionP
 		rng:  rand.New(rand.NewSource(seed)),
 		idle: make([][]transport.Conn, lists),
 	}
+	p.startAuditLoop()
+	return p
 }
 
 // ShardOf reports which provider shard txnID's operations route to —
@@ -209,6 +235,7 @@ func (p *SessionPool) Upload(ctx context.Context, txnID, objectKey string, data 
 		return err
 	})
 	if err == nil {
+		p.auditor.recordAuditable(txnID)
 		return res, nil
 	}
 	// Escalation policy: a silent provider (ErrTimeout), an expired
@@ -241,6 +268,7 @@ func (p *SessionPool) Upload(ctx context.Context, txnID, objectKey string, data 
 		// not a completed upload.
 		return nil, fmt.Errorf("%w: transaction %s closed by provider abort receipt", ErrExpired, txnID)
 	}
+	p.auditor.recordAuditable(txnID)
 	return &UploadResult{TxnID: txnID, NRO: nro, NRR: rr.PeerEvidence}, nil
 }
 
@@ -517,9 +545,11 @@ func (p *SessionPool) release(conn transport.Conn, si int) {
 	p.mu.Unlock()
 }
 
-// Close discards the pool's idle connections; operations already in
-// flight finish on their borrowed connections.
+// Close stops the background audit loop and discards the pool's idle
+// connections; operations already in flight finish on their borrowed
+// connections.
 func (p *SessionPool) Close() error {
+	p.stopAuditLoop()
 	p.mu.Lock()
 	idle := p.idle
 	p.idle = make([][]transport.Conn, len(p.idle))

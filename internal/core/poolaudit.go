@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// DefaultAuditChallenges is how many leaves a sweep challenges per
+// session when the caller does not say (a handful keeps audits cheap
+// while each sweep samples fresh random leaves).
+const DefaultAuditChallenges = 4
+
+// Background storage-dwell auditing for the session pool (DESIGN.md
+// §14). Every successful pool Upload registers its transaction as
+// auditable; when PoolAuditInterval is set, a background loop sweeps
+// the registered sessions on that cadence, borrowing connections
+// through the same shard-pinned free lists the foreground traffic
+// uses. Each failed audit leaves a journaled unanswered (or
+// ill-answered) challenge — conviction material, not just a metric.
+
+// poolAuditor tracks the pool's auditable sessions and the sweep
+// goroutine's lifecycle.
+type poolAuditor struct {
+	mu   sync.Mutex
+	txns []string
+	seen map[string]bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// recordAuditable registers a completed upload for future audit
+// sweeps. Duplicate registrations (e.g. an upload retried through
+// Resolve) collapse.
+func (a *poolAuditor) recordAuditable(txnID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.seen == nil {
+		a.seen = make(map[string]bool)
+	}
+	if a.seen[txnID] {
+		return
+	}
+	a.seen[txnID] = true
+	a.txns = append(a.txns, txnID)
+}
+
+// snapshot returns the current auditable set.
+func (a *poolAuditor) snapshot() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, len(a.txns))
+	copy(out, a.txns)
+	return out
+}
+
+// AuditableTxns lists the sessions the pool will sweep.
+func (p *SessionPool) AuditableTxns() []string { return p.auditor.snapshot() }
+
+// Audit runs one n-leaf challenge-response round for txnID through
+// the pool, with the same shard pinning, retry and backoff policy as
+// the protocol operations. The report's challenge and any response
+// are journaled in the client archive either way.
+func (p *SessionPool) Audit(ctx context.Context, txnID string, n int) (*AuditReport, error) {
+	var rep *AuditReport
+	err := p.do(ctx, txnID, func(conn transport.Conn) error {
+		r, aerr := p.c.AuditObject(ctx, conn, txnID, n)
+		if aerr == nil {
+			rep = r
+		}
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// startAuditLoop launches the periodic sweep when an interval is
+// configured. Challenge content randomness (indices, nonces) comes
+// from crypto/rand inside the audit package; only the sweep cadence
+// lives here.
+func (p *SessionPool) startAuditLoop() {
+	if p.opt.AuditInterval <= 0 {
+		return
+	}
+	p.auditor.stop = make(chan struct{})
+	p.auditor.wg.Add(1)
+	go func() {
+		defer p.auditor.wg.Done()
+		t := time.NewTicker(p.opt.AuditInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.auditor.stop:
+				return
+			case <-t.C:
+				p.auditSweep()
+			}
+		}
+	}()
+}
+
+// auditSweep challenges every registered session once. Failures are
+// already counted and journaled by AuditObject; the sweep keeps going
+// so one lazy session cannot shield the rest.
+func (p *SessionPool) auditSweep() {
+	n := p.opt.AuditChallenges
+	if n <= 0 {
+		n = DefaultAuditChallenges
+	}
+	for _, txn := range p.auditor.snapshot() {
+		select {
+		case <-p.auditor.stop:
+			return
+		default:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.c.timeout)
+		_, _ = p.Audit(ctx, txn, n)
+		cancel()
+	}
+}
+
+// stopAuditLoop terminates the sweep goroutine, if one is running.
+func (p *SessionPool) stopAuditLoop() {
+	if p.auditor.stop == nil {
+		return
+	}
+	close(p.auditor.stop)
+	p.auditor.wg.Wait()
+	p.auditor.stop = nil
+}

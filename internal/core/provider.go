@@ -57,6 +57,16 @@ type Misbehavior struct {
 	// corrupted data but must still sign it — showing the client
 	// catches the digest mismatch against the agreed upload digest).
 	TamperOnDownload func([]byte) []byte
+	// IgnoreAudit: the lazy provider of the storage-dwell threat model.
+	// It completes uploads honestly (and may even have discarded the
+	// data afterwards) but never answers KindAuditChallenge — the
+	// journaled unanswered challenge becomes the claimant's conviction
+	// material.
+	IgnoreAudit bool
+	// CorruptAuditProof: answer audit challenges with proofs built over
+	// a mutated copy of the object — the "stale proof" adversary whose
+	// response root can no longer match the NRR commitment.
+	CorruptAuditProof bool
 }
 
 // NewProvider constructs a provider engine from functional options.
@@ -266,6 +276,8 @@ func (b *Provider) dispatch(h *evidence.Header, ev *evidence.Evidence, payload [
 		return b.handleResolve(h, ev, payload)
 	case evidence.KindSettleRequest:
 		return b.handleSettle(h, ev, payload)
+	case evidence.KindAuditChallenge:
+		return b.handleAuditChallenge(h, ev, payload)
 	default:
 		return b.errorReply(h, fmt.Sprintf("unsupported message kind %s", h.Kind))
 	}
@@ -334,12 +346,14 @@ func (b *Provider) handleUpload(h *evidence.Header, ev *evidence.Evidence, data 
 		// receipt.
 		return nil, nil
 	}
-	return b.buildNRR(h)
+	return b.buildNRR(h, auditRootNote(data))
 }
 
 // buildNRR constructs the receipt for an upload header and archives
-// the provider's own copy.
-func (b *Provider) buildNRR(h *evidence.Header) (*Message, error) {
+// the provider's own copy. auditNote, when non-empty, is the signed
+// storage-dwell commitment (audit.RootNote over the object's chunk
+// tree) that later KindAuditChallenge responses must prove against.
+func (b *Provider) buildNRR(h *evidence.Header, auditNote string) (*Message, error) {
 	senderKey, err := b.peerKey(h.SenderID)
 	if err != nil {
 		return nil, err
@@ -347,6 +361,7 @@ func (b *Provider) buildNRR(h *evidence.Header) (*Message, error) {
 	rh := b.newHeader(evidence.KindNRR, h.TxnID, h.SenderID, h.TTPID, b.bumpSeqTo(h.TxnID, h.Seq))
 	rh.ObjectKey = h.ObjectKey
 	rh.ObjectLen = h.ObjectLen
+	rh.Note = auditNote
 	// The NRR commits to the digests from the NRO: both sides now hold
 	// a signature from the other over the same agreed value.
 	rh.DataMD5 = h.DataMD5.Clone()
@@ -375,6 +390,13 @@ func (b *Provider) issueNRR(nroHeader *evidence.Header) (*evidence.Evidence, err
 	rh := b.newHeader(evidence.KindNRR, nroHeader.TxnID, nroHeader.SenderID, nroHeader.TTPID, b.bumpSeqTo(nroHeader.TxnID, nroHeader.Seq))
 	rh.ObjectKey = nroHeader.ObjectKey
 	rh.ObjectLen = nroHeader.ObjectLen
+	// Recompute the storage-dwell commitment from the stored copy: a
+	// re-issued receipt carries the same auditable root as a direct one
+	// (the upload path verified the bytes against the NRO digests, so
+	// the recomputed root equals the one the direct NRR would carry).
+	if obj, gerr := b.store.Get(nroHeader.ObjectKey); gerr == nil {
+		rh.Note = auditRootNote(obj.Data)
+	}
 	rh.DataMD5 = nroHeader.DataMD5.Clone()
 	rh.DataSHA256 = nroHeader.DataSHA256.Clone()
 	_, own, err := b.buildMessage(rh, nil, clientKey)

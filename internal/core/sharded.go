@@ -53,6 +53,11 @@ type ProviderEngine interface {
 	Health() error
 	Degraded() bool
 	ExpireStale(now time.Time) int
+	// Storage-dwell self-audit surface (DESIGN.md §14): the daemons'
+	// -audit-interval sweep re-verifies stored objects against their
+	// own NRR commitments without any network round.
+	VerifyStorage(txnID string) error
+	AuditableTxns() []string
 }
 
 // Per-shard metric names; each carries an obs.Labeled shard index.

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/cryptoutil"
 	"repro/internal/evidence"
 	"repro/internal/faultpoint"
@@ -291,6 +292,152 @@ func TestShardedHealthDegradedShard(t *testing.T) {
 	for i := 0; i < e.N(); i++ {
 		if i != sick && e.Shard(i).Degraded() {
 			t.Fatalf("healthy shard %d reports degraded", i)
+		}
+	}
+}
+
+// e14ColdEngine is e14Engine plus a per-shard cold archive under
+// dir/shard-NN/cold, so checkpoint compaction has somewhere to move
+// terminal sessions' evidence.
+func e14ColdEngine(tb testing.TB, dir string, n int) (*ShardedEngine, func()) {
+	tb.Helper()
+	ca := pki.NewAuthority("bench-ca", cryptoutil.InsecureTestKey(30))
+	id, err := pki.NewIdentity(ca, "bob", cryptoutil.InsecureTestKey(31),
+		time.Now().Add(-time.Hour), time.Now().Add(time.Hour))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	store := storage.NewMem(nil)
+	providers := make([]*Provider, n)
+	closers := make([]func(), 0, 2*n)
+	for i := range providers {
+		w, err := wal.Open(filepath.Join(dir, shard.DirName(i)), wal.Options{Policy: wal.SyncNever})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cold, err := archive.Open(filepath.Join(dir, shard.DirName(i), "cold"))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		closers = append(closers, func() { w.Close() }, func() { cold.Close() })
+		providers[i], err = NewProvider(
+			WithIdentity(id),
+			WithCAPublicKey(ca.Key()),
+			WithDirectory(ca.Lookup),
+			WithStore(store),
+			WithJournal(w),
+			WithArchive(cold),
+		)
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	e, err := NewShardedEngine(providers)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e, func() {
+		for _, fn := range closers {
+			fn()
+		}
+	}
+}
+
+// e14AuditSession journals a completed upload session WITH storage-dwell
+// audit evidence (challenge as peer, response as own — the provider's
+// view of a round it answered, DESIGN.md §14) directly onto shard p.
+func e14AuditSession(tb testing.TB, p *Provider, txn string) {
+	tb.Helper()
+	sig := make([]byte, 64)
+	put := func(role evidence.Role, kind evidence.Kind, seq uint64) {
+		tb.Helper()
+		ev := e13Evidence(kind, txn, "alice", "bob", sig)
+		if role == evidence.RoleOwn {
+			ev.Header.SenderID, ev.Header.RecipientID = "bob", "alice"
+		}
+		ev.Header.Seq = seq
+		ev.Header.Nonce = []byte(fmt.Sprintf("%s-%d", txn, seq))
+		if err := p.putEvidence(txn, role, ev); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	put(evidence.RolePeer, evidence.KindNRO, 1)
+	if err := p.setState(txn, session.StateEvidenceReceived); err != nil {
+		tb.Fatal(err)
+	}
+	put(evidence.RoleOwn, evidence.KindNRR, 2)
+	if err := p.setState(txn, session.StateCompleted); err != nil {
+		tb.Fatal(err)
+	}
+	put(evidence.RolePeer, evidence.KindAuditChallenge, 3)
+	put(evidence.RoleOwn, evidence.KindAuditResponse, 4)
+}
+
+// Audit evidence compacted into a shard's COLD archive must stay
+// reachable through the engine's dispute read path (owner shard first,
+// then the all-shard sweep) — including when the session was deflected
+// onto the wrong shard by shard.route.wrong-shard. A lazy-provider
+// conviction (DESIGN.md §14) can hinge on a challenge journaled long
+// before arbitration, so hot→cold movement and misrouting must both be
+// invisible to EvidenceByKind.
+func TestShardedColdArchiveAuditEvidence(t *testing.T) {
+	e, closer := e14ColdEngine(t, t.TempDir(), 4)
+	defer closer()
+
+	// Correctly routed session on its owner shard.
+	txnOwned := "txn-audit-cold"
+	owner := e.ShardIndex(txnOwned)
+	e14AuditSession(t, e.Shard(owner), txnOwned)
+
+	// Session deflected by the wrong-shard faultpoint: route through the
+	// engine's own (armed) routing to land on whatever shard a stale
+	// ring would pick, exactly as live traffic would.
+	txnDeflected := "txn-audit-deflected"
+	faultpoint.ArmErr("shard.route.wrong-shard", func() error {
+		return errors.New("injected: stale ring")
+	})
+	deflected := e.routeIndex(txnDeflected)
+	faultpoint.Reset()
+	if deflected == e.ShardIndex(txnDeflected) {
+		t.Fatal("armed wrong-shard faultpoint did not deflect routing")
+	}
+	e14AuditSession(t, e.Shard(deflected), txnDeflected)
+
+	// Compact every shard: both sessions are terminal, so their evidence
+	// moves hot→cold.
+	rep, err := e.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if rep.Archived < 2 {
+		t.Fatalf("checkpoint archived %d sessions, want >= 2", rep.Archived)
+	}
+
+	for _, tc := range []struct {
+		txn   string
+		shard int
+	}{
+		{txnOwned, owner},
+		{txnDeflected, deflected},
+	} {
+		// The hot store really is empty — what follows must come from the
+		// cold archive, not a lingering hot copy.
+		if _, err := e.Shard(tc.shard).archive.ByKind(tc.txn, evidence.RolePeer, evidence.KindAuditChallenge); err == nil {
+			t.Fatalf("%s: audit challenge still hot after checkpoint", tc.txn)
+		}
+		ch, err := e.EvidenceByKind(tc.txn, evidence.RolePeer, evidence.KindAuditChallenge)
+		if err != nil {
+			t.Fatalf("%s: compacted audit challenge unreachable: %v", tc.txn, err)
+		}
+		if ch.Header.Kind != evidence.KindAuditChallenge || ch.Header.TxnID != tc.txn {
+			t.Fatalf("%s: wrong evidence returned: kind=%v txn=%q", tc.txn, ch.Header.Kind, ch.Header.TxnID)
+		}
+		resp, err := e.EvidenceByKind(tc.txn, evidence.RoleOwn, evidence.KindAuditResponse)
+		if err != nil {
+			t.Fatalf("%s: compacted audit response unreachable: %v", tc.txn, err)
+		}
+		if resp.Header.Kind != evidence.KindAuditResponse {
+			t.Fatalf("%s: wrong response kind %v", tc.txn, resp.Header.Kind)
 		}
 	}
 }

@@ -30,8 +30,8 @@ import (
 type Kind uint8
 
 // Protocol message kinds. NRO/NRR are the §4.1 evidence roles; the
-// remaining kinds serve the Abort (§4.2) and Resolve (§4.3)
-// sub-protocols.
+// remaining kinds serve the Abort (§4.2), Resolve (§4.3), settlement
+// and storage-dwell audit sub-protocols.
 const (
 	KindNRO Kind = iota + 1
 	KindNRR
@@ -45,6 +45,8 @@ const (
 	KindError
 	KindSettleRequest
 	KindSettleResponse
+	KindAuditChallenge
+	KindAuditResponse
 )
 
 // String names the kind for transcripts.
@@ -74,6 +76,10 @@ func (k Kind) String() string {
 		return "settle-request"
 	case KindSettleResponse:
 		return "settle-response"
+	case KindAuditChallenge:
+		return "audit-challenge"
+	case KindAuditResponse:
+		return "audit-response"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -54,20 +54,21 @@ func E10() (Result, error) {
 
 	// --- (b) crypto operation costs. ---
 	key := cryptoutil.InsecureTestKey(100)
+	signer := key.Signer()
 	oneMiB := make([]byte, 1<<20)
 	small := make([]byte, 1<<10)
 	ops := metrics.NewTable("(b) primitive costs (median of 5)", "operation", "input", "time")
 	ops.AddRow("MD5", "1 MiB", medianOf(5, func() error { cryptoutil.Sum(cryptoutil.MD5, oneMiB); return nil }).Round(time.Microsecond))
 	ops.AddRow("SHA-256", "1 MiB", medianOf(5, func() error { cryptoutil.Sum(cryptoutil.SHA256, oneMiB); return nil }).Round(time.Microsecond))
-	ops.AddRow("RSA-1024 sign", "digest", medianOf(5, func() error { _, err := cryptoutil.Sign(key, small); return err }).Round(time.Microsecond))
+	ops.AddRow("RSA-1024 sign", "digest", medianOf(5, func() error { _, err := signer.Sign(small); return err }).Round(time.Microsecond))
 	ops.AddRow("RSA-1024 verify", "digest", func() time.Duration {
-		sig, _ := cryptoutil.Sign(key, small)
-		return medianOf(5, func() error { return cryptoutil.Verify(key.Public(), small, sig) }).Round(time.Microsecond)
+		sig, _ := signer.Sign(small)
+		return medianOf(5, func() error { return signer.Public().Verify(small, sig) }).Round(time.Microsecond)
 	}())
-	ops.AddRow("hybrid encrypt", "1 KiB", medianOf(5, func() error { _, err := cryptoutil.Encrypt(key.Public(), small); return err }).Round(time.Microsecond))
+	ops.AddRow("hybrid encrypt", "1 KiB", medianOf(5, func() error { _, err := signer.Public().Seal(small); return err }).Round(time.Microsecond))
 	ops.AddRow("hybrid decrypt", "1 KiB", func() time.Duration {
-		ct, _ := cryptoutil.Encrypt(key.Public(), small)
-		return medianOf(5, func() error { _, err := cryptoutil.Decrypt(key, ct); return err }).Round(time.Microsecond)
+		ct, _ := signer.Public().Seal(small)
+		return medianOf(5, func() error { _, err := signer.Unseal(ct); return err }).Round(time.Microsecond)
 	}())
 	b.WriteString(ops.String())
 	b.WriteString("\n")

@@ -60,10 +60,7 @@ func E4() (Result, error) {
 	}
 	tunnel := gaesim.NewTunnelServer()
 	key := cryptoutil.InsecureTestKey(90)
-	der, err := cryptoutil.MarshalPublicKey(key.Public())
-	if err != nil {
-		return Result{}, err
-	}
+	der := key.Signer().Public().Marshal()
 	tunnel.RegisterConsumer("consumer-apps", der)
 	token, err := tunnel.IssueToken()
 	if err != nil {

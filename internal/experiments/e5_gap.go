@@ -100,10 +100,7 @@ func E5() (Result, error) {
 		src.Put("docs/ledger", original, cryptoutil.Digest{})
 		tunnel := gaesim.NewTunnelServer()
 		key := cryptoutil.InsecureTestKey(91)
-		der, err := cryptoutil.MarshalPublicKey(key.Public())
-		if err != nil {
-			return false, err
-		}
+		der := key.Signer().Public().Marshal()
 		tunnel.RegisterConsumer("c", der)
 		token, err := tunnel.IssueToken()
 		if err != nil {

@@ -85,14 +85,14 @@ func (t *TTP) Submit(ctx context.Context, label string, key []byte, subK []byte,
 	if err != nil {
 		return err
 	}
-	pub, err := cert.PublicKey()
+	pub, err := cert.Key()
 	if err != nil {
 		return err
 	}
-	if err := cryptoutil.Verify(pub, signBytes(flagSUB, label, key), subK); err != nil {
+	if err := pub.Verify(signBytes(flagSUB, label, key), subK); err != nil {
 		return fmt.Errorf("%w: sub_K: %v", ErrBadSignature, err)
 	}
-	con, err := cryptoutil.Sign(t.id.Key, signBytes(flagCON, label, key))
+	con, err := t.id.Key.Signer().Sign(signBytes(flagCON, label, key))
 	if err != nil {
 		return err
 	}
@@ -162,17 +162,17 @@ func (p *Provider) ReceiveCommit(ctx context.Context, label, objectKey string, c
 	if err != nil {
 		return nil, err
 	}
-	pub, err := cert.PublicKey()
+	pub, err := cert.Key()
 	if err != nil {
 		return nil, err
 	}
 	hashC := cryptoutil.Sum(cryptoutil.SHA256, c)
 	p.ctr.Inc(metrics.HashOps, 1)
-	if err := cryptoutil.Verify(pub, signBytes(flagNRO, label, hashC.Sum), nro); err != nil {
+	if err := pub.Verify(signBytes(flagNRO, label, hashC.Sum), nro); err != nil {
 		return nil, fmt.Errorf("%w: NRO: %v", ErrBadSignature, err)
 	}
 	p.ctr.Inc(metrics.VerifyOps, 1)
-	nrr, err := cryptoutil.Sign(p.id.Key, signBytes(flagNRR, label, hashC.Sum))
+	nrr, err := p.id.Key.Signer().Sign(signBytes(flagNRR, label, hashC.Sum))
 	if err != nil {
 		return nil, err
 	}
@@ -207,11 +207,11 @@ func (p *Provider) Complete(ctx context.Context, label string, ttp *TTP) error {
 	if err != nil {
 		return err
 	}
-	ttpPub, err := ttpCert.PublicKey()
+	ttpPub, err := ttpCert.Key()
 	if err != nil {
 		return err
 	}
-	if err := cryptoutil.Verify(ttpPub, signBytes(flagCON, label, key), conK); err != nil {
+	if err := ttpPub.Verify(signBytes(flagCON, label, key), conK); err != nil {
 		return fmt.Errorf("%w: con_K: %v", ErrBadSignature, err)
 	}
 	p.ctr.Inc(metrics.VerifyOps, 1)
@@ -274,7 +274,7 @@ func (c *Client) Upload(ctx context.Context, label, objectKey string, data []byt
 	c.ctr.Inc(metrics.HashOps, 1)
 
 	// Step 1: A → B.
-	nro, err := cryptoutil.Sign(c.id.Key, signBytes(flagNRO, label, hashC.Sum))
+	nro, err := c.id.Key.Signer().Sign(signBytes(flagNRO, label, hashC.Sum))
 	if err != nil {
 		return nil, err
 	}
@@ -293,17 +293,17 @@ func (c *Client) Upload(ctx context.Context, label, objectKey string, data []byt
 	if err != nil {
 		return nil, err
 	}
-	bPub, err := bCert.PublicKey()
+	bPub, err := bCert.Key()
 	if err != nil {
 		return nil, err
 	}
-	if err := cryptoutil.Verify(bPub, signBytes(flagNRR, label, hashC.Sum), nrr); err != nil {
+	if err := bPub.Verify(signBytes(flagNRR, label, hashC.Sum), nrr); err != nil {
 		return nil, fmt.Errorf("%w: NRR: %v", ErrBadSignature, err)
 	}
 	c.ctr.Inc(metrics.VerifyOps, 1)
 
 	// Step 3: A → TTP.
-	subK, err := cryptoutil.Sign(c.id.Key, signBytes(flagSUB, label, key))
+	subK, err := c.id.Key.Signer().Sign(signBytes(flagSUB, label, key))
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 )
 
@@ -82,6 +83,76 @@ func TestFaultyCorruptionDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(deliver(), deliver()) {
 		t.Fatal("same seed flipped different bits")
+	}
+}
+
+// TestFaultyConnConcurrentSenders drives many goroutines through one
+// FaultyConn's Send path (with concurrent Stats readers and a runtime
+// Partition toggle) and checks the fault accounting still balances.
+// The rng and counters share the conn's mutex; this test is the -race
+// regression guard for that invariant — run it under `go test -race`.
+func TestFaultyConnConcurrentSenders(t *testing.T) {
+	a, b := Pipe(1024)
+	defer b.Close()
+	part := &Partition{}
+	f := Faulty(a, FaultSpec{DropProb: 0.2, DupProb: 0.2, Seed: 1, Partition: part})
+
+	const senders = 8
+	const perSender = 100
+	delivered := 0
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for {
+			if _, err := b.Recv(); err != nil {
+				return
+			}
+			delivered++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := f.Send([]byte{byte(g), byte(i)}); err != nil {
+					t.Errorf("sender %d: %v", g, err)
+					return
+				}
+				if i%10 == 0 {
+					_ = f.Stats() // concurrent snapshot reads race the senders
+				}
+			}
+		}(g)
+	}
+	// Flap the partition while sends are in flight: Engage/Heal are
+	// lock-free and must stay safe against the locked Send path.
+	flapDone := make(chan struct{})
+	go func() {
+		defer close(flapDone)
+		for i := 0; i < 50; i++ {
+			part.Engage()
+			part.Heal()
+		}
+	}()
+	wg.Wait()
+	<-flapDone
+	a.Close()
+	<-drained
+
+	st := f.Stats()
+	total := senders * perSender
+	if st.Sent+st.Dropped+st.Blackholed != total {
+		t.Fatalf("Sent %d + Dropped %d + Blackholed %d != %d sends",
+			st.Sent, st.Dropped, st.Blackholed, total)
+	}
+	if want := st.Sent + st.Duplicated; delivered != want {
+		t.Fatalf("delivered %d messages, stats say %d", delivered, want)
+	}
+	if st.Dropped == 0 || st.Duplicated == 0 {
+		t.Fatalf("DropProb/DupProb produced no events under concurrency: %+v", st)
 	}
 }
 

@@ -1,0 +1,166 @@
+package ttp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/evidence"
+	"repro/internal/obs"
+)
+
+// The TTP as public auditor (DESIGN.md §14). Resolve is the TTP's
+// only window into a session, but it is enough: the provider's NRR
+// relayed during Resolve carries the storage-dwell root commitment,
+// so from then on the TTP can challenge the provider on the client's
+// behalf — a neutral party generating conviction-grade audit evidence
+// without ever holding the data. ttpd's -audit-interval loop drives
+// AuditStored.
+
+// TTP-labeled audit metrics, following the per-party convention of
+// the core package.
+var (
+	ttpAuditChallenges = obs.Default().Counter(obs.Labeled("audit_challenges_total", "party", "ttp"))
+	ttpAuditFailures   = obs.Default().Counter(obs.Labeled("audit_failures_total", "party", "ttp"))
+)
+
+// auditTarget is one session the TTP can challenge: who to dial and
+// what commitment to verify against.
+type auditTarget struct {
+	provider  string
+	objectKey string
+	objectLen uint64
+	// note is the relayed NRR's root note (audit.RootNote).
+	note string
+}
+
+// recordAuditable inspects evidence relayed through a resolve and, if
+// it is an NRR with a storage-dwell commitment, remembers the session
+// as a future audit target.
+func (s *Server) recordAuditable(txn string, relayed []byte) {
+	if len(relayed) == 0 {
+		return
+	}
+	ev, err := evidence.Decode(relayed)
+	if err != nil || ev.Header.Kind != evidence.KindNRR {
+		return
+	}
+	if _, _, err := audit.ParseRootNote(ev.Header.Note); err != nil {
+		return
+	}
+	s.targetsMu.Lock()
+	s.targets[txn] = auditTarget{
+		provider:  ev.Header.SenderID,
+		objectKey: ev.Header.ObjectKey,
+		objectLen: ev.Header.ObjectLen,
+		note:      ev.Header.Note,
+	}
+	s.targetsMu.Unlock()
+}
+
+// AuditableTxns lists the sessions the TTP currently knows how to
+// audit.
+func (s *Server) AuditableTxns() []string {
+	s.targetsMu.Lock()
+	defer s.targetsMu.Unlock()
+	out := make([]string, 0, len(s.targets))
+	for txn := range s.targets {
+		out = append(out, txn)
+	}
+	return out
+}
+
+// AuditStored sweeps every known audit target once, issuing an
+// n-leaf challenge to each provider and verifying the response
+// against the relayed commitment. It returns how many sessions were
+// audited successfully and how many failed (unreachable provider,
+// missing or invalid response) — each failure leaves the TTP holding
+// a journaled unanswered challenge, the same conviction material a
+// client's failed audit produces.
+func (s *Server) AuditStored(ctx context.Context, n int) (audited, failed int) {
+	s.targetsMu.Lock()
+	targets := make(map[string]auditTarget, len(s.targets))
+	for txn, t := range s.targets {
+		targets[txn] = t
+	}
+	s.targetsMu.Unlock()
+	for txn, t := range targets {
+		if err := s.auditOne(ctx, txn, t, n); err != nil {
+			ttpAuditFailures.Inc()
+			s.auditAppend("audit-failed", txn, err.Error())
+			failed++
+			continue
+		}
+		audited++
+	}
+	return audited, failed
+}
+
+// auditOne runs one challenge-response round against t's provider.
+// The challenge is journaled before the dial — a provider that never
+// answers leaves the TTP with the same durable claim a client keeps.
+func (s *Server) auditOne(ctx context.Context, txn string, t auditTarget, n int) error {
+	root, chunkSize, err := audit.ParseRootNote(t.note)
+	if err != nil {
+		return fmt.Errorf("ttp: target %s has no commitment: %w", txn, err)
+	}
+	ch, err := audit.NewChallenge(txn, audit.LeafCountFor(t.objectLen, chunkSize), n)
+	if err != nil {
+		return fmt.Errorf("ttp: building challenge for %s: %w", txn, err)
+	}
+	peerKey, err := s.PeerPublicKey(t.provider)
+	if err != nil {
+		return err
+	}
+	fh := s.NewHeader(evidence.KindAuditChallenge, txn, t.provider, s.ID(), s.NextSeq(txn))
+	fh.ObjectKey = t.objectKey
+	fh.Note = ch.Note()
+	fh.SetDigests(nil)
+	msg, own, err := s.BuildMessageFor(fh, nil, peerKey)
+	if err != nil {
+		return err
+	}
+	if err := s.PutEvidence(txn, evidence.RoleOwn, own); err != nil {
+		return err
+	}
+	ttpAuditChallenges.Inc()
+
+	cctx, cancel := context.WithTimeout(ctx, s.ResponseTimeout())
+	defer cancel()
+	conn, err := s.dial(cctx, t.provider)
+	if err != nil {
+		return fmt.Errorf("ttp: dialing %s for audit: %w", t.provider, err)
+	}
+	defer conn.Close()
+	if err := conn.Send(msg.Encode()); err != nil {
+		return fmt.Errorf("ttp: sending audit challenge: %w", err)
+	}
+	raw, err := s.RecvTimeout(cctx, conn)
+	if err != nil {
+		return fmt.Errorf("ttp: provider silent on audit of %s: %w", txn, err)
+	}
+	rm, err := core.DecodeMessage(raw)
+	if err != nil {
+		return fmt.Errorf("ttp: audit reply malformed: %w", err)
+	}
+	rh, rev, err := s.CheckInbound(rm)
+	if err != nil {
+		return err
+	}
+	if rh.Kind != evidence.KindAuditResponse || rh.TxnID != txn || rh.SenderID != t.provider {
+		return fmt.Errorf("ttp: unexpected audit reply %s for %s from %s", rh.Kind, rh.TxnID, rh.SenderID)
+	}
+	resp, err := audit.ParseResponseNote(rh.Note)
+	if err != nil {
+		return fmt.Errorf("ttp: audit response malformed: %w", err)
+	}
+	if err := resp.Verify(peerKey, ch, root); err != nil {
+		return fmt.Errorf("ttp: audit of %s failed verification: %w", txn, err)
+	}
+	if err := s.PutEvidence(txn, evidence.RolePeer, rev); err != nil {
+		return err
+	}
+	s.auditAppend("audit", txn, fmt.Sprintf("provider %s proved %d leaves", t.provider, len(ch.Indices)))
+	return nil
+}

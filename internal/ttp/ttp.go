@@ -52,6 +52,12 @@ type Server struct {
 	// the material the TTP shows when its own conduct is questioned.
 	auditMu sync.Mutex
 	audit   *auditlog.Log
+
+	// targets remembers sessions whose relayed NRR carried a
+	// storage-dwell commitment; the ttpd -audit-interval sweep
+	// (AuditStored) challenges them as a public auditor.
+	targetsMu sync.Mutex
+	targets   map[string]auditTarget
 }
 
 // partyAlias re-exports the shared core plumbing under this package.
@@ -67,7 +73,7 @@ func New(dial Dialer, opts ...core.Option) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{partyAlias: p, dial: dial}, nil
+	return &Server{partyAlias: p, dial: dial, targets: make(map[string]auditTarget)}, nil
 }
 
 // NewFromOptions constructs a TTP server from a legacy core.Options
@@ -273,6 +279,9 @@ func (s *Server) queryPeer(h *evidence.Header, peerID string, claimPayload []byt
 	if err := s.PutEvidence(h.TxnID, evidence.RolePeer, rev); err != nil {
 		return nil, nil, "internal-error"
 	}
+	// A relayed NRR carrying a storage-dwell commitment makes this
+	// session auditable by the TTP from now on (DESIGN.md §14).
+	s.recordAuditable(h.TxnID, rm.Payload)
 	// Relay the peer's embedded evidence (its NRR) onward; the peer's
 	// action note travels with the statement.
 	return raw, rm.Payload, rh.Note
