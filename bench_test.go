@@ -1033,11 +1033,12 @@ func BenchmarkE12AggregateReceipt(b *testing.B) {
 // other way a client can verify the provider still holds its data:
 // re-downloading the object. mode=download runs a full download
 // session over the 1 MiB object; mode=challenge runs an n-leaf
-// challenge-response round — the provider proves n random 4 KiB
-// chunks against the Merkle root it committed to in the NRR, and the
-// client verifies the inclusion proofs and the response signature.
-// The audit moves O(n log m) hashes instead of the object, so it must
-// win by a growing margin as objects grow; cmd/benchreport pins the
+// challenge-response round — the provider returns n random 4 KiB
+// chunks with inclusion proofs against the Merkle root it committed
+// to in the NRR, and the client rehashes the chunks and verifies the
+// proofs and the response signature. The audit moves n chunks plus
+// O(n log m) hashes instead of the whole object, so it must win by a
+// growing margin as objects grow; cmd/benchreport pins the
 // audit_vs_download_speedup_n4 floor.
 func BenchmarkE15Audit(b *testing.B) {
 	d := newBenchDeploy(b)

@@ -5,7 +5,9 @@
 //	arbiterd -state ./state -txn t1 -claimant alice -respondent bob -produced ./blobs/<file>
 //
 // Pass -produced "" (or omit the flag) when the provider cannot
-// produce any data.
+// produce any data; pass -audit-only when the dispute contests only
+// dwell integrity and no production was demanded (otherwise a missing
+// -produced counts against the respondent).
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 	claimant := flag.String("claimant", "alice", "claimant identity")
 	respondent := flag.String("respondent", "bob", "respondent identity")
 	produced := flag.String("produced", "", "file containing the data the respondent produces")
+	auditOnly := flag.Bool("audit-only", false, "the dispute contests only dwell integrity: no production was demanded, so a verified audit response alone can defeat the claim")
 	flag.Parse()
 
 	if *txn == "" {
@@ -41,6 +44,7 @@ func main() {
 		ObjectKey:    *objectKey,
 		ClaimantID:   *claimant,
 		RespondentID: *respondent,
+		AuditOnly:    *auditOnly,
 	}
 	// Gather whatever evidence the archive holds; missing items are
 	// part of the case, not an error.

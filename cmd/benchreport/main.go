@@ -272,7 +272,7 @@ func main() {
 		"recovery_snapshot_speedup_* compares full journal replay against snapshot-plus-tail recovery of the SAME history (n terminal sessions + a 16-session tail); the >=5x criterion applies at 10k sessions",
 		"sharded_upload_speedup_* compares journaled upload throughput (SyncAlways, 16 workers) at 1 vs N shards: N independent fsync streams vs one; the >=3x-at-8-shards criterion applies at GOMAXPROCS>=8 on storage with parallel flush queues — a 1-core VM whose virtual disk serializes flushes tops out around the disk's own concurrent-fsync ceiling",
 		"sharded_recovery_speedup_* compares crash recovery of the same 3000-session history replayed by one shard vs N shards in parallel (one goroutine each); replay is decode-bound CPU, so the >=2x-at-4-shards criterion applies at GOMAXPROCS>=4 and ~1.0x is expected at GOMAXPROCS=1",
-		"audit_vs_download_speedup_* (E15) compares a full download session of a 1 MiB object against an n-leaf storage-dwell challenge-response round over the same object: the audit verifies possession by moving O(n log m) hashes instead of the data, so it must stay faster than the download (floor 1.5x at n=4) and the margin grows with object size")
+		"audit_vs_download_speedup_* (E15) compares a full download session of a 1 MiB object against an n-leaf storage-dwell challenge-response round over the same object: the audit verifies possession by moving n challenged chunks plus O(n log m) hashes instead of the whole object (the chunk bytes are what make it a possession proof — hashes alone are precomputable from a stored tree), so it must stay faster than the download (floor 1.5x at n=4) and the margin grows with object size")
 
 	var skipRE *regexp.Regexp
 	if *regressSkip != "" {

@@ -179,13 +179,16 @@ func main() {
 		if ch, cerr := client.Archive().ByKind(*txn, evidence.RoleOwn, evidence.KindAuditChallenge); cerr == nil {
 			saveEvidence(*state, *txn, evidence.RoleOwn, ch)
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "nrclient: AUDIT FAILED for %s: %v\n", *txn, err)
-			fmt.Fprintln(os.Stderr, "the journaled unanswered challenge is conviction material for arbitration")
-			os.Exit(3)
-		}
+		// The response too, pass or fail: a provider-signed answer that
+		// fails the proof convicts immediately at arbitration — no need
+		// to wait out the challenge deadline the way silence does.
 		if resp, rerr := client.Archive().ByKind(*txn, evidence.RolePeer, evidence.KindAuditResponse); rerr == nil {
 			saveEvidence(*state, *txn, evidence.RolePeer, resp)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nrclient: AUDIT FAILED for %s: %v\n", *txn, err)
+			fmt.Fprintln(os.Stderr, "the journaled audit evidence is conviction material for arbitration")
+			os.Exit(3)
 		}
 		fmt.Printf("audit of %s passed: %d/%d leaves proved against committed root %s in %v\n",
 			*txn, len(rep.Response.Entries), len(rep.Challenge.Indices), rep.Root, rep.Latency.Round(time.Millisecond))

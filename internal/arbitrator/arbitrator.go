@@ -15,6 +15,7 @@
 package arbitrator
 
 import (
+	"bytes"
 	"crypto/rsa"
 	"fmt"
 	"time"
@@ -120,6 +121,13 @@ type Case struct {
 	// judge dwell integrity from archived evidence alone.
 	AuditChallenge *evidence.Evidence
 	AuditResponse  *evidence.Evidence
+	// AuditOnly marks a dispute that contests ONLY dwell integrity: no
+	// production of the object was demanded, so nil ProducedData means
+	// "nobody asked", not "the respondent could not produce". Only an
+	// audit-only case can end at VerdictClaimFalse on the strength of a
+	// valid audit response alone; otherwise a verified response merely
+	// clears the dwell period and the produced-data judgment still runs.
+	AuditOnly bool
 
 	// ProducedData is the data the respondent produces at arbitration
 	// (what the store currently holds); nil when the respondent cannot
@@ -397,26 +405,50 @@ func (a *Arbitrator) decideAudit(c *Case, nrr *evidence.Evidence, f *[]string) (
 	}
 	*f = append(*f, fmt.Sprintf("respondent committed to root %s in its signed NRR; challenge covers %d leaves", root, len(ch.Indices)))
 
-	if c.AuditResponse == nil {
-		*f = append(*f, "NO audit response exists for a valid challenge: the respondent never proved continued possession")
+	// Silence convicts only past a journaled deadline: the claimant
+	// controls when it submits the dispute, so without a deadline — or
+	// before it lapses — an unanswered challenge proves nothing (the
+	// claimant may have journaled a challenge it never sent, or the
+	// answer may still be in flight). A submitted "response" that is
+	// unauthenticated, the wrong kind, or echoes a different nonce is
+	// not an answer to THIS challenge and falls back to the same rule:
+	// otherwise a claimant holding a stale round's response could
+	// bypass the deadline entirely.
+	silence := func(why string) (Verdict, bool) {
+		*f = append(*f, why)
+		deadline := c.AuditChallenge.Header.TimeLimit
+		if deadline.IsZero() {
+			*f = append(*f, "audit challenge carries no response deadline; silence cannot convict — audit claim ignored")
+			return 0, false
+		}
+		if a.now().Before(deadline) {
+			*f = append(*f, fmt.Sprintf("audit challenge response deadline %s has not passed; silence does not yet convict", deadline.Format(time.RFC3339)))
+			return 0, false
+		}
+		*f = append(*f, fmt.Sprintf("no audit response answers a valid challenge whose deadline %s has lapsed: the respondent never proved continued possession", deadline.Format(time.RFC3339)))
 		return VerdictAuditFailed, true
+	}
+	if c.AuditResponse == nil {
+		return silence("NO audit response was submitted")
 	}
 	if !a.verify(c.AuditResponse, c.RespondentID, c.TxnID, f, "audit response") {
-		return VerdictAuditFailed, true
+		return silence("the submitted audit response is not authentically the respondent's; treating the challenge as unanswered")
 	}
 	if c.AuditResponse.Header.Kind != evidence.KindAuditResponse {
-		*f = append(*f, fmt.Sprintf("audit response evidence has kind %s, want audit-response", c.AuditResponse.Header.Kind))
+		return silence(fmt.Sprintf("submitted audit response has kind %s, want audit-response; treating the challenge as unanswered", c.AuditResponse.Header.Kind))
+	}
+	resp, err := audit.ParseResponseNote(c.AuditResponse.Header.Note)
+	if err != nil {
+		*f = append(*f, fmt.Sprintf("audit response note unparseable: %v", err))
 		return VerdictAuditFailed, true
+	}
+	if !bytes.Equal(resp.Nonce, ch.Nonce) {
+		return silence("the submitted audit response echoes a different nonce — it answers some other challenge; treating this challenge as unanswered")
 	}
 	if deadline := c.AuditChallenge.Header.TimeLimit; !deadline.IsZero() &&
 		c.AuditResponse.Header.Timestamp.After(deadline) {
 		*f = append(*f, fmt.Sprintf("audit response came at %s, after the challenge deadline %s",
 			c.AuditResponse.Header.Timestamp.Format(time.RFC3339), deadline.Format(time.RFC3339)))
-		return VerdictAuditFailed, true
-	}
-	resp, err := audit.ParseResponseNote(c.AuditResponse.Header.Note)
-	if err != nil {
-		*f = append(*f, fmt.Sprintf("audit response note unparseable: %v", err))
 		return VerdictAuditFailed, true
 	}
 	respKey, err := a.partyKey(c.RespondentID, c.AuditResponse.Header.Timestamp)
@@ -429,11 +461,16 @@ func (a *Arbitrator) decideAudit(c *Case, nrr *evidence.Evidence, f *[]string) (
 		return VerdictAuditFailed, true
 	}
 	*f = append(*f, fmt.Sprintf("audit response proves all %d challenged leaves against the committed root", len(ch.Indices)))
-	if c.ProducedData == nil {
-		// Audit-only dispute: the respondent proved possession and no
-		// download is in question — the dwell-integrity claim is false.
-		*f = append(*f, "no produced data in dispute; the dwell-integrity claim is disproven")
+	if c.AuditOnly {
+		// The dispute contests only dwell integrity, the respondent
+		// proved possession, and no download is in question — the claim
+		// is false.
+		*f = append(*f, "audit-only dispute; the dwell-integrity claim is disproven")
 		return VerdictClaimFalse, true
 	}
+	// The verified response clears the dwell period but the case also
+	// demands production: a provider that once passed an audit and has
+	// since lost the object must still answer for the data itself, so
+	// the produced-data judgment proceeds.
 	return 0, false
 }

@@ -1,9 +1,11 @@
 package arbitrator
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/archive"
+	"repro/internal/audit"
 	"repro/internal/evidence"
 )
 
@@ -50,9 +52,6 @@ func CaseFromBundles(claimant, respondent *archive.Bundle, produced []byte) (*Ca
 	if ev, err := bundleByKind(claimant, evidence.RoleOwn, evidence.KindAuditChallenge); err == nil {
 		c.AuditChallenge = ev
 	}
-	if ev, err := bundleByKind(claimant, evidence.RolePeer, evidence.KindAuditResponse); err == nil {
-		c.AuditResponse = ev
-	}
 	if respondent != nil {
 		if respondent.Txn != claimant.Txn {
 			return nil, fmt.Errorf("arbitrator: bundle mismatch: claimant %s vs respondent %s", claimant.Txn, respondent.Txn)
@@ -60,15 +59,65 @@ func CaseFromBundles(claimant, respondent *archive.Bundle, produced []byte) (*Ca
 		if ev, err := bundleByKind(respondent, evidence.RoleOwn, evidence.KindNRR); err == nil {
 			c.RespondentNRR = ev
 		}
-		// The respondent may hold the response copy the claimant never
-		// received (e.g. the send crashed after journaling).
-		if c.AuditResponse == nil {
-			if ev, err := bundleByKind(respondent, evidence.RoleOwn, evidence.KindAuditResponse); err == nil {
-				c.AuditResponse = ev
-			}
+	}
+	// Pair the response to the selected challenge BY NONCE, not by
+	// recency: after several audit rounds both bundles hold many
+	// responses, and pairing the newest challenge with the newest
+	// response a bundle happens to hold can cross rounds — a nonce
+	// mismatch that would convict an honest provider. Both bundles are
+	// always scanned: the respondent may hold the only copy answering
+	// this challenge (e.g. its send crashed after journaling) even when
+	// the claimant still holds responses to older rounds.
+	c.AuditResponse = matchAuditResponse(c.AuditChallenge, claimant, respondent)
+	return c, nil
+}
+
+// matchAuditResponse finds the audit response answering chEv's nonce:
+// the claimant's received copy first (RolePeer), then the respondent's
+// own journaled copy (RoleOwn). When the challenge note does not parse
+// the nonce is unknowable and the newest response stands in — Decide
+// ignores the audit claim of an unparseable challenge anyway.
+func matchAuditResponse(chEv *evidence.Evidence, claimant, respondent *archive.Bundle) *evidence.Evidence {
+	if chEv == nil {
+		return nil
+	}
+	var nonce []byte
+	if ch, err := audit.ParseChallengeNote(chEv.Header.Note); err == nil {
+		nonce = ch.Nonce
+	}
+	if ev := scanAuditResponses(claimant, evidence.RolePeer, nonce); ev != nil {
+		return ev
+	}
+	if respondent != nil {
+		if ev := scanAuditResponses(respondent, evidence.RoleOwn, nonce); ev != nil {
+			return ev
 		}
 	}
-	return c, nil
+	return nil
+}
+
+// scanAuditResponses walks a bundle newest-first for an audit response
+// under the given role whose decoded nonce matches; a nil nonce
+// matches the newest response of the role. Undecodable items are
+// skipped — one corrupt archived frame must not mask a valid answer.
+func scanAuditResponses(b *archive.Bundle, role evidence.Role, nonce []byte) *evidence.Evidence {
+	for i := len(b.Items) - 1; i >= 0; i-- {
+		it := b.Items[i]
+		if evidence.Role(it.Role) != role {
+			continue
+		}
+		ev, err := evidence.Decode(it.Blob)
+		if err != nil || ev.Header.Kind != evidence.KindAuditResponse {
+			continue
+		}
+		if nonce == nil {
+			return ev
+		}
+		if resp, err := audit.ParseResponseNote(ev.Header.Note); err == nil && bytes.Equal(resp.Nonce, nonce) {
+			return ev
+		}
+	}
+	return nil
 }
 
 // bundleByKind returns the latest item of the given role and header

@@ -539,7 +539,12 @@ func lazyProviderTPNR() (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	arb := arbitrator.NewWithKey(d.CA.Key(), d.CA.Lookup, nil)
+	// The dispute is heard after the challenge's journaled response
+	// deadline (its header TimeLimit) lapses: silence convicts only once
+	// the provider provably ran out of time to answer, so the arbitrator
+	// sits a day later — the realistic dispute timeline anyway.
+	arb := arbitrator.NewWithKey(d.CA.Key(), d.CA.Lookup,
+		func() time.Time { return time.Now().Add(24 * time.Hour) })
 	dec := arb.Decide(c)
 	convicted := dec.Verdict == arbitrator.VerdictAuditFailed
 	detail := fmt.Sprintf("audit err=%v, cold-case verdict=%s — the journaled unanswered challenge convicts without a download", auditErr != nil, dec.Verdict)

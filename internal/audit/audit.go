@@ -15,8 +15,14 @@
 //     and a fresh nonce (a predictable challenge would let a lazy
 //     provider precompute responses and discard the data).
 //   - The provider answers with KindAuditResponse: the challenged
-//     chunk hashes, their inclusion proofs, and a signature over
-//     (txn, nonce, root, proofs).
+//     chunk BYTES, their inclusion proofs, and a signature over
+//     (txn, nonce, root, chunks, proofs). The response must carry the
+//     data itself, not its leaf hashes: leaf hashes plus proofs are
+//     computable from a stored Merkle tree (~32 bytes per 4 KiB
+//     chunk), so a hash-only response would let a provider discard
+//     the object, keep the tree, and pass every audit. The verifier
+//     recomputes each leaf hash from the returned chunk, which only a
+//     party holding the challenged chunks can produce.
 //
 // Both the challenge and the response ride inside the evidence
 // header's Note field (base64 of their canonical encodings), so the
@@ -57,11 +63,13 @@ const ChunkSize = 4096
 // anything larger before allocating.
 const MaxChallengeIndices = 256
 
-// Encoding magics.
+// Encoding magics. The response codec is v2: v1 carried only leaf
+// hashes, which a provider can precompute and serve without holding
+// the data, so v1 responses are rejected outright.
 const (
 	challengeMagic  = "tpnr-audit-chal-v1"
-	responseMagic   = "tpnr-audit-resp-v1"
-	signedRespMagic = "tpnr-audit-resp-signed-v1"
+	responseMagic   = "tpnr-audit-resp-v2"
+	signedRespMagic = "tpnr-audit-resp-signed-v2"
 )
 
 // Note prefixes: the header Note field distinguishes the three audit
@@ -259,10 +267,14 @@ func ParseChallengeNote(note string) (*Challenge, error) {
 	return DecodeChallenge(raw)
 }
 
-// Entry is one challenged leaf in a response: its hash and the
-// inclusion proof tying it to the committed root.
+// Entry is one challenged leaf in a response: the chunk's BYTES and
+// the inclusion proof tying it to the committed root. Carrying the
+// bytes (not their hash) is what makes the audit a proof of
+// possession — the verifier recomputes merkle.LeafHash over the
+// chunk, and a prover that kept only the tree cannot fabricate the
+// preimage.
 type Entry struct {
-	Leaf  cryptoutil.Digest
+	Chunk []byte
 	Proof *merkle.Proof
 }
 
@@ -279,13 +291,13 @@ type Response struct {
 	Entries   []Entry
 	Timestamp time.Time
 	// Sig is the prover's signature over CanonicalBytes — the §4.1-style
-	// non-repudiable binding of (txn, nonce, root, proofs).
+	// non-repudiable binding of (txn, nonce, root, chunks, proofs).
 	Sig []byte
 }
 
 // CanonicalBytes is what Sig covers.
 func (r *Response) CanonicalBytes() []byte {
-	e := wire.NewEncoder(128 + 128*len(r.Entries))
+	e := wire.NewEncoder(128 + (ChunkSize+128)*len(r.Entries))
 	e.String(responseMagic)
 	e.String(r.TxnID)
 	e.String(r.SignerID)
@@ -294,8 +306,7 @@ func (r *Response) CanonicalBytes() []byte {
 	e.Bytes32(r.Root.Sum)
 	e.U32(uint32(len(r.Entries)))
 	for _, ent := range r.Entries {
-		e.U8(uint8(ent.Leaf.Alg))
-		e.Bytes32(ent.Leaf.Sum)
+		e.Bytes32(ent.Chunk)
 		e.Bytes32(encodeProof(ent.Proof))
 	}
 	e.Time(r.Timestamp)
@@ -349,8 +360,7 @@ func decodeCanonical(b []byte) (*Response, error) {
 	r.Entries = make([]Entry, 0, n)
 	for i := uint32(0); i < n && d.Err() == nil; i++ {
 		var ent Entry
-		ent.Leaf.Alg = cryptoutil.HashAlg(d.U8())
-		ent.Leaf.Sum = append([]byte(nil), d.Bytes32()...)
+		ent.Chunk = append([]byte(nil), d.Bytes32()...)
 		p, err := decodeProof(d.Bytes32())
 		if err != nil {
 			return nil, err
@@ -383,8 +393,8 @@ func ParseResponseNote(note string) (*Response, error) {
 }
 
 // BuildResponse answers ch from the prover's current copy of the
-// object: it rebuilds the tree, proves each challenged leaf, and
-// signs (txn, nonce, root, proofs).
+// object: it rebuilds the tree, returns each challenged chunk with
+// its inclusion proof, and signs (txn, nonce, root, chunks, proofs).
 func BuildResponse(signer cryptoutil.Signer, signerID string, ch *Challenge, tree *merkle.Tree, chunks [][]byte, now time.Time) (*Response, error) {
 	r := &Response{
 		TxnID:     ch.TxnID,
@@ -402,7 +412,7 @@ func BuildResponse(signer cryptoutil.Signer, signerID string, ch *Challenge, tre
 		if err != nil {
 			return nil, err
 		}
-		r.Entries = append(r.Entries, Entry{Leaf: merkle.LeafHash(chunks[idx]), Proof: p})
+		r.Entries = append(r.Entries, Entry{Chunk: append([]byte(nil), chunks[idx]...), Proof: p})
 	}
 	sig, err := signer.Sign(r.CanonicalBytes())
 	if err != nil {
@@ -414,8 +424,11 @@ func BuildResponse(signer cryptoutil.Signer, signerID string, ch *Challenge, tre
 
 // Verify checks a response against the challenge it should answer and
 // the committed root: the nonce must echo, the root must match the
-// commitment, every challenged index must carry a verifying inclusion
+// commitment, every challenged index must carry the chunk bytes whose
+// recomputed leaf hash opens the committed root through its inclusion
 // proof, and the signature must verify under the prover's key.
+// Recomputing the leaf hash from the returned bytes is the possession
+// proof — a prover holding only the tree's hashes cannot pass.
 func (r *Response) Verify(pub cryptoutil.PublicKey, ch *Challenge, committed cryptoutil.Digest) error {
 	if r.TxnID != ch.TxnID {
 		return fmt.Errorf("%w: txn %q answers %q", ErrIndexMismatch, r.TxnID, ch.TxnID)
@@ -433,7 +446,10 @@ func (r *Response) Verify(pub cryptoutil.PublicKey, ch *Challenge, committed cry
 		if ent.Proof == nil || ent.Proof.Index != int(ch.Indices[i]) {
 			return fmt.Errorf("%w: entry %d proves wrong leaf", ErrIndexMismatch, i)
 		}
-		if err := ent.Proof.VerifyLeaf(committed, ent.Leaf); err != nil {
+		if ch.ChunkSize > 0 && uint32(len(ent.Chunk)) > ch.ChunkSize {
+			return fmt.Errorf("%w: entry %d carries %d bytes, chunk size is %d", ErrMalformed, i, len(ent.Chunk), ch.ChunkSize)
+		}
+		if err := ent.Proof.VerifyLeaf(committed, merkle.LeafHash(ent.Chunk)); err != nil {
 			return fmt.Errorf("%w: leaf %d: %v", ErrBadProof, ch.Indices[i], err)
 		}
 	}

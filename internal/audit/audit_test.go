@@ -1,0 +1,147 @@
+package audit
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/merkle"
+)
+
+func testObject(t *testing.T, n int) ([]byte, *merkle.Tree, [][]byte) {
+	t.Helper()
+	data := bytes.Repeat([]byte("storage-dwell audited bytes. "), n)
+	tree, chunks, err := ObjectTree(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, tree, chunks
+}
+
+func testRound(t *testing.T) (cryptoutil.KeyPair, *Challenge, *Response, *merkle.Tree, [][]byte) {
+	t.Helper()
+	_, tree, chunks := testObject(t, 1200) // several ChunkSize leaves
+	key := cryptoutil.InsecureTestKey(0)
+	ch, err := NewChallenge("txn-a", uint32(len(chunks)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := BuildResponse(key.Signer(), "bob", ch, tree, chunks, time.Unix(1700000000, 0).UTC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key, ch, resp, tree, chunks
+}
+
+// TestResponseCarriesChunkBytes pins the proof-of-possession property:
+// a response must carry the challenged chunks' BYTES, which the
+// verifier hashes itself — leaf hashes plus proofs are computable from
+// a stored tree without the data, so a hash-only response format would
+// let a lazy provider discard the object and still pass every audit.
+func TestResponseCarriesChunkBytes(t *testing.T) {
+	key, ch, resp, tree, chunks := testRound(t)
+	for i, ent := range resp.Entries {
+		if !bytes.Equal(ent.Chunk, chunks[ch.Indices[i]]) {
+			t.Fatalf("entry %d does not carry the bytes of challenged chunk %d", i, ch.Indices[i])
+		}
+	}
+	if err := resp.Verify(key.Signer().Public(), ch, tree.Root()); err != nil {
+		t.Fatalf("honest response rejected: %v", err)
+	}
+}
+
+// TestHashOnlyProverFails plays the lazy provider the v1 format let
+// through: it kept the Merkle tree (every leaf hash and proof) but
+// discarded the object, and answers with leaf-hash bytes in place of
+// chunk bytes. The verifier must reject — it recomputes the leaf hash
+// from the returned bytes, and H(H(chunk)) != H(chunk).
+func TestHashOnlyProverFails(t *testing.T) {
+	key, ch, resp, tree, _ := testRound(t)
+	for i := range resp.Entries {
+		leaf := merkle.LeafHash(resp.Entries[i].Chunk)
+		resp.Entries[i].Chunk = leaf.Sum // all the lazy prover still holds
+	}
+	// The lazy prover can still sign its fabricated answer.
+	sig, err := key.Signer().Sign(resp.CanonicalBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Sig = sig
+	if err := resp.Verify(key.Signer().Public(), ch, tree.Root()); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("hash-only response verified (err=%v); the audit no longer proves possession", err)
+	}
+}
+
+// TestTamperedChunkFails: flipping one byte of a returned chunk breaks
+// its recomputed leaf hash against the committed root.
+func TestTamperedChunkFails(t *testing.T) {
+	key, ch, resp, tree, _ := testRound(t)
+	resp.Entries[0].Chunk[0] ^= 0xFF
+	sig, err := key.Signer().Sign(resp.CanonicalBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Sig = sig
+	if err := resp.Verify(key.Signer().Public(), ch, tree.Root()); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("tampered chunk verified: err=%v", err)
+	}
+}
+
+// TestNonceBindsResponse: an answer to a different challenge (stale
+// round) is rejected on its nonce even when every proof verifies.
+func TestNonceBindsResponse(t *testing.T) {
+	key, _, resp, tree, chunks := testRound(t)
+	ch2, err := NewChallenge("txn-a", uint32(len(chunks)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Verify(key.Signer().Public(), ch2, tree.Root()); !errors.Is(err, ErrNonceMismatch) {
+		t.Fatalf("stale response accepted against a fresh challenge: err=%v", err)
+	}
+}
+
+// TestResponseRoundTrip: the signed encoding survives encode/decode
+// with chunk bytes intact and still verifies.
+func TestResponseRoundTrip(t *testing.T) {
+	key, ch, resp, tree, _ := testRound(t)
+	got, err := DecodeResponse(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(resp.Entries) {
+		t.Fatalf("round trip lost entries: %d -> %d", len(resp.Entries), len(got.Entries))
+	}
+	for i := range got.Entries {
+		if !bytes.Equal(got.Entries[i].Chunk, resp.Entries[i].Chunk) {
+			t.Fatalf("entry %d chunk bytes changed across encode/decode", i)
+		}
+	}
+	if err := got.Verify(key.Signer().Public(), ch, tree.Root()); err != nil {
+		t.Fatalf("decoded response rejected: %v", err)
+	}
+	// And through the Note envelope the evidence header carries.
+	noted, err := ParseResponseNote(resp.Note())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noted.Verify(key.Signer().Public(), ch, tree.Root()); err != nil {
+		t.Fatalf("note round trip rejected: %v", err)
+	}
+}
+
+// TestOversizedChunkRejected: an entry longer than the challenge's
+// chunk size is malformed, whatever it hashes to.
+func TestOversizedChunkRejected(t *testing.T) {
+	key, ch, resp, tree, _ := testRound(t)
+	resp.Entries[0].Chunk = make([]byte, ChunkSize+1)
+	sig, err := key.Signer().Sign(resp.CanonicalBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Sig = sig
+	if err := resp.Verify(key.Signer().Public(), ch, tree.Root()); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized chunk entry verified: err=%v", err)
+	}
+}

@@ -20,8 +20,9 @@ import (
 // against that commitment: the client (or TTP) sends a
 // KindAuditChallenge whose header Note carries crypto/rand leaf
 // indices + nonce, and the provider answers with a KindAuditResponse
-// whose Note carries the chunk hashes, inclusion proofs, and a
-// signature over (txn, nonce, root, proofs). Both artifacts are
+// whose Note carries the challenged chunk bytes, inclusion proofs,
+// and a signature over (txn, nonce, root, chunks, proofs). Both
+// artifacts are
 // journaled like any other evidence, so the arbitrator can settle a
 // dwell-integrity dispute from the archives alone — no download.
 
@@ -76,12 +77,16 @@ type AuditReport struct {
 // NRR commitment from the archive (hot or cold), draws n crypto/rand
 // leaf indices and a nonce, journals the challenge as its own
 // evidence BEFORE sending — so a provider that never answers leaves
-// the client holding conviction material — and verifies the response
-// against the committed root before journaling it too.
+// the client holding conviction material — and journals the provider's
+// authenticated response before verifying it against the committed
+// root, so a failing answer is preserved as the provider's own signed
+// admission.
 //
 // A verification failure (or no response) returns an error wrapping
-// ErrIntegrity/ErrTimeout; the journaled challenge stays, and
-// arbitrator.CaseFromBundles turns it into an audit-failure verdict.
+// ErrIntegrity/ErrTimeout; the journaled evidence stays, and
+// arbitrator.CaseFromBundles turns it into an audit-failure verdict —
+// immediately for a journaled bad response, or once the challenge's
+// deadline lapses for silence.
 func (c *Client) AuditObject(ctx context.Context, conn transport.Conn, txnID string, n int) (*AuditReport, error) {
 	if err := CheckContext(ctx); err != nil {
 		return nil, err
@@ -160,6 +165,14 @@ func (c *Client) AuditObject(ctx context.Context, conn transport.Conn, txnID str
 		return nil, fmt.Errorf("%w: expected audit response for %s, got %s for %s from %s",
 			ErrProtocol, txnID, rh.Kind, rh.TxnID, rh.SenderID)
 	}
+	// Journal the provider's authenticated answer BEFORE judging it: a
+	// response that fails the proof is itself conviction material — the
+	// provider non-repudiably answered THIS nonce wrongly, which
+	// convicts at arbitration immediately, with no need to wait out the
+	// challenge deadline the way silence does.
+	if err := c.putEvidence(txnID, evidence.RolePeer, rev); err != nil {
+		return nil, err
+	}
 	resp, err := audit.ParseResponseNote(rh.Note)
 	if err != nil {
 		auditFailuresClient.Inc()
@@ -171,11 +184,6 @@ func (c *Client) AuditObject(ctx context.Context, conn transport.Conn, txnID str
 		return nil, fmt.Errorf("%w: %v", ErrIntegrity, err)
 	}
 	c.ctr.Inc(metrics.VerifyOps, 1)
-	// The verified response is the provider's proof of dwell integrity;
-	// journal it next to the challenge so the pair settles disputes.
-	if err := c.putEvidence(txnID, evidence.RolePeer, rev); err != nil {
-		return nil, err
-	}
 	latency := time.Since(start)
 	auditLatency.Observe(int64(latency))
 	return &AuditReport{TxnID: txnID, Challenge: ch, Root: root, Response: resp, Latency: latency}, nil

@@ -3,9 +3,11 @@ package core_test
 import (
 	"bytes"
 	"context"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/evidence"
 )
 
@@ -68,4 +70,24 @@ func TestAuditSurvivesProcessRestart(t *testing.T) {
 	// directory does), because the provider's replay guard is keyed by
 	// sender identity — two live processes sharing alice's keys without
 	// sharing her archive cannot both stay ahead of it.
+}
+
+// TestPoolConcurrentCloseWithAuditLoop pins the stop-channel teardown:
+// two Close calls racing must not both observe the live audit-loop
+// channel and double-close it (a panic under the old unguarded reads).
+// Run with -race.
+func TestPoolConcurrentCloseWithAuditLoop(t *testing.T) {
+	d := newDeploy(t, 2*time.Second)
+	for i := 0; i < 50; i++ {
+		p := d.NewPool(core.PoolAuditInterval(time.Millisecond))
+		var wg sync.WaitGroup
+		for j := 0; j < 2; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.Close()
+			}()
+		}
+		wg.Wait()
+	}
 }

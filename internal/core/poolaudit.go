@@ -28,6 +28,7 @@ type poolAuditor struct {
 	txns []string
 	seen map[string]bool
 
+	// stop is guarded by mu; the running loop holds its own reference.
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -82,12 +83,16 @@ func (p *SessionPool) Audit(ctx context.Context, txnID string, n int) (*AuditRep
 // startAuditLoop launches the periodic sweep when an interval is
 // configured. Challenge content randomness (indices, nonces) comes
 // from crypto/rand inside the audit package; only the sweep cadence
-// lives here.
+// lives here. The stop channel is captured locally and handed to the
+// goroutine so the loop never races stopAuditLoop's teardown writes.
 func (p *SessionPool) startAuditLoop() {
 	if p.opt.AuditInterval <= 0 {
 		return
 	}
-	p.auditor.stop = make(chan struct{})
+	stop := make(chan struct{})
+	p.auditor.mu.Lock()
+	p.auditor.stop = stop
+	p.auditor.mu.Unlock()
 	p.auditor.wg.Add(1)
 	go func() {
 		defer p.auditor.wg.Done()
@@ -95,10 +100,10 @@ func (p *SessionPool) startAuditLoop() {
 		defer t.Stop()
 		for {
 			select {
-			case <-p.auditor.stop:
+			case <-stop:
 				return
 			case <-t.C:
-				p.auditSweep()
+				p.auditSweep(stop)
 			}
 		}
 	}()
@@ -107,14 +112,14 @@ func (p *SessionPool) startAuditLoop() {
 // auditSweep challenges every registered session once. Failures are
 // already counted and journaled by AuditObject; the sweep keeps going
 // so one lazy session cannot shield the rest.
-func (p *SessionPool) auditSweep() {
+func (p *SessionPool) auditSweep(stop <-chan struct{}) {
 	n := p.opt.AuditChallenges
 	if n <= 0 {
 		n = DefaultAuditChallenges
 	}
 	for _, txn := range p.auditor.snapshot() {
 		select {
-		case <-p.auditor.stop:
+		case <-stop:
 			return
 		default:
 		}
@@ -125,11 +130,16 @@ func (p *SessionPool) auditSweep() {
 }
 
 // stopAuditLoop terminates the sweep goroutine, if one is running.
+// The swap-under-lock makes concurrent Close calls safe: exactly one
+// caller observes the live channel and closes it.
 func (p *SessionPool) stopAuditLoop() {
-	if p.auditor.stop == nil {
+	p.auditor.mu.Lock()
+	stop := p.auditor.stop
+	p.auditor.stop = nil
+	p.auditor.mu.Unlock()
+	if stop == nil {
 		return
 	}
-	close(p.auditor.stop)
+	close(stop)
 	p.auditor.wg.Wait()
-	p.auditor.stop = nil
 }
