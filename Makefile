@@ -16,7 +16,13 @@ TPNR_SCHEME ?=
 # the classic single-provider world; chaos-sharded pins 4.
 TPNR_SHARDS ?=
 
-.PHONY: build vet test race bench bench-smoke bench-json bench-check chaos chaos-short chaos-sharded obs-smoke shim-guard verify
+# TPNR_REPLICAS quorum-replicates every provider journal the chaos
+# suite opens (R replicas, write quorum 2): appends stream to follower
+# journals on the same disk and protocol acks wait for the quorum.
+# Default 1 keeps journals unreplicated; chaos-replicated pins 3.
+TPNR_REPLICAS ?=
+
+.PHONY: build vet test race bench bench-smoke bench-json bench-check chaos chaos-short chaos-sharded chaos-replicated obs-smoke shim-guard verify
 
 build:
 	$(GO) build ./...
@@ -39,7 +45,8 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 # bench-json runs the hot-path families (E11 + transport pipe, E12
-# crypto API, E13 recovery, E14 sharding, E15 storage-dwell audit) and
+# crypto API, E13 recovery, E14 sharding, E15 storage-dwell audit,
+# E16 journal replication) and
 # writes BENCH_PR8.json
 # with the raw numbers, the acceptance ratios, and the environment
 # (GOMAXPROCS matters: the parallel hash paths fall back to serial on
@@ -68,18 +75,18 @@ bench-check:
 	$(GO) run ./cmd/benchreport -o /tmp/bench_check.json -baseline BENCH_PR8.json -max-regress 0.50 -benchtime 2s \
 		-regress-skip '^BenchmarkE14Sharded|^BenchmarkE11WALAppend' \
 		-ratio-min 'wal_group_vs_always_16appenders=2,verify_cache_speedup=5,recovery_snapshot_speedup_10k=5,aggregate_receipt_speedup_k64=10,ed25519_cold_open_speedup=3,audit_vs_download_speedup_n4=1.5' \
-		-ratio-max 'transport_pipe_allocs_per_op=0'
+		-ratio-max 'transport_pipe_allocs_per_op=0,replication_quorum_overhead_r3=5'
 
 # chaos runs the crash-fault injection suite: every registered
 # faultpoint plus the randomized crash-restart rounds, always under
 # the race detector and with the fixed seeds baked into the tests.
 chaos:
-	CHAOS_SEEDS="$(CHAOS_SEEDS)" TPNR_SCHEME="$(TPNR_SCHEME)" TPNR_SHARDS="$(TPNR_SHARDS)" $(GO) test -race -count=1 -v -run 'TestChaos|TestPool' ./internal/chaos/
+	CHAOS_SEEDS="$(CHAOS_SEEDS)" TPNR_SCHEME="$(TPNR_SCHEME)" TPNR_SHARDS="$(TPNR_SHARDS)" TPNR_REPLICAS="$(TPNR_REPLICAS)" $(GO) test -race -count=1 -v -run 'TestChaos|TestPool' ./internal/chaos/
 
 # chaos-short is the cheap variant (one seed, fewer rounds) used as an
 # early gate inside verify.
 chaos-short:
-	CHAOS_SEEDS="$(CHAOS_SEEDS)" TPNR_SCHEME="$(TPNR_SCHEME)" TPNR_SHARDS="$(TPNR_SHARDS)" $(GO) test -race -count=1 -short -run 'TestChaos|TestPool' ./internal/chaos/
+	CHAOS_SEEDS="$(CHAOS_SEEDS)" TPNR_SCHEME="$(TPNR_SCHEME)" TPNR_SHARDS="$(TPNR_SHARDS)" TPNR_REPLICAS="$(TPNR_REPLICAS)" $(GO) test -race -count=1 -short -run 'TestChaos|TestPool' ./internal/chaos/
 
 # chaos-sharded reruns the full chaos suite against a 4-shard provider
 # engine: same faultpoints and crash-restart rounds, but evidence is
@@ -87,6 +94,14 @@ chaos-short:
 # dispute invariant must hold regardless of shard count.
 chaos-sharded:
 	$(MAKE) chaos TPNR_SHARDS=4
+
+# chaos-replicated reruns the full chaos suite with every provider
+# journal quorum-replicated at R=3 (write quorum 2) over a 4-shard
+# engine: the replica.* faultpoints fire for real, and the suite
+# asserts that killing any single replica mid-upload leaves every
+# acked receipt recoverable from the surviving quorum.
+chaos-replicated:
+	$(MAKE) chaos TPNR_SHARDS=4 TPNR_REPLICAS=3
 
 # shim-guard fails when NON-TEST code outside the legacy shim layer
 # calls one of the Deprecated: RSA-only helpers. All in-tree callers

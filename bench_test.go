@@ -13,6 +13,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -1116,4 +1117,67 @@ func BenchmarkE15AuditArbitrate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- E16: quorum-replicated evidence journal (DESIGN.md §15) -----------------
+
+// BenchmarkE16Replication prices journal-on-quorum-before-ack: the
+// same journaled 64 KiB upload with the provider's evidence journal
+// unreplicated (mode=local — acks gate on the leader's own fsync, the
+// pre-PR-10 shape) versus quorum-replicated at R=3 / write quorum 2
+// (mode=quorum — every ack additionally waits for one of two
+// in-process follower journals to fsync the record). The follower
+// appends run in parallel with each other and overlap the protocol's
+// crypto, so the structural claim benchreport pins is an overhead
+// CEILING, not a speedup floor: surviving the loss of any single node
+// must cost less than replication_quorum_overhead_r3 per acked upload.
+func BenchmarkE16Replication(b *testing.B) {
+	run := func(b *testing.B, replicated bool) {
+		dir := b.TempDir()
+		pw, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { pw.Close() })
+		cfg := deploy.Config{
+			TestKeys:        true,
+			ResponseTimeout: 30 * time.Second,
+			ProviderOpts:    []core.Option{core.WithJournal(pw)},
+		}
+		if replicated {
+			cfg.ProviderReplicas = 3
+			cfg.ReplicaWAL = func(s, r int) (*wal.WAL, error) {
+				return wal.Open(filepath.Join(dir, fmt.Sprintf("replica-%02d", r)), wal.Options{})
+			}
+		}
+		d, err := deploy.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { d.Close() })
+		conn, err := d.DialProvider()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		data := make([]byte, 64<<10)
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			txn := fmt.Sprintf("bench-repl-%d", i)
+			if _, err := d.Client.Upload(context.Background(), conn, txn, "k"+txn, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if replicated {
+			// The quorum needs one follower per append; report how far the
+			// slowest replica trails the leader when the run ends — the
+			// anti-entropy backlog the repair loop drains.
+			b.ReportMetric(float64(d.ReplicaGroups[0].Lag()), "lag-records")
+		}
+	}
+	b.Run("mode=local", func(b *testing.B) { run(b, false) })
+	b.Run("mode=quorum/r=3", func(b *testing.B) { run(b, true) })
 }

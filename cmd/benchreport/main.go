@@ -74,7 +74,7 @@ import (
 )
 
 // benchPattern selects the families the report covers.
-const benchPattern = `^(BenchmarkE11WALAppend|BenchmarkE11ParallelHash|BenchmarkE11MerkleBuild|BenchmarkE11VerifyCache|BenchmarkE10TransportPipe|BenchmarkE12EvidenceColdOpen|BenchmarkE12BatchVerify|BenchmarkE12AggregateReceipt|BenchmarkE13Recovery|BenchmarkE14ShardedUpload|BenchmarkE14ShardedRecovery|BenchmarkE15Audit|BenchmarkE15AuditArbitrate)$`
+const benchPattern = `^(BenchmarkE11WALAppend|BenchmarkE11ParallelHash|BenchmarkE11MerkleBuild|BenchmarkE11VerifyCache|BenchmarkE10TransportPipe|BenchmarkE12EvidenceColdOpen|BenchmarkE12BatchVerify|BenchmarkE12AggregateReceipt|BenchmarkE13Recovery|BenchmarkE14ShardedUpload|BenchmarkE14ShardedRecovery|BenchmarkE15Audit|BenchmarkE15AuditArbitrate|BenchmarkE16Replication)$`
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -261,6 +261,9 @@ func main() {
 	ratio("audit_vs_download_speedup_n16",
 		"BenchmarkE15Audit/mode=download",
 		"BenchmarkE15Audit/mode=challenge/n=16")
+	ratio("replication_quorum_overhead_r3",
+		"BenchmarkE16Replication/mode=quorum/r=3",
+		"BenchmarkE16Replication/mode=local")
 
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("GOMAXPROCS=%d; at 1 the SumParallel and Merkle level-parallel paths fall back to serial by design, so parallel_hash_speedup ~1.0 is expected there (the >=1.5x criterion applies on >=4 cores)", rep.GOMAXPROCS),
@@ -272,7 +275,8 @@ func main() {
 		"recovery_snapshot_speedup_* compares full journal replay against snapshot-plus-tail recovery of the SAME history (n terminal sessions + a 16-session tail); the >=5x criterion applies at 10k sessions",
 		"sharded_upload_speedup_* compares journaled upload throughput (SyncAlways, 16 workers) at 1 vs N shards: N independent fsync streams vs one; the >=3x-at-8-shards criterion applies at GOMAXPROCS>=8 on storage with parallel flush queues — a 1-core VM whose virtual disk serializes flushes tops out around the disk's own concurrent-fsync ceiling",
 		"sharded_recovery_speedup_* compares crash recovery of the same 3000-session history replayed by one shard vs N shards in parallel (one goroutine each); replay is decode-bound CPU, so the >=2x-at-4-shards criterion applies at GOMAXPROCS>=4 and ~1.0x is expected at GOMAXPROCS=1",
-		"audit_vs_download_speedup_* (E15) compares a full download session of a 1 MiB object against an n-leaf storage-dwell challenge-response round over the same object: the audit verifies possession by moving n challenged chunks plus O(n log m) hashes instead of the whole object (the chunk bytes are what make it a possession proof — hashes alone are precomputable from a stored tree), so it must stay faster than the download (floor 1.5x at n=4) and the margin grows with object size")
+		"audit_vs_download_speedup_* (E15) compares a full download session of a 1 MiB object against an n-leaf storage-dwell challenge-response round over the same object: the audit verifies possession by moving n challenged chunks plus O(n log m) hashes instead of the whole object (the chunk bytes are what make it a possession proof — hashes alone are precomputable from a stored tree), so it must stay faster than the download (floor 1.5x at n=4) and the margin grows with object size",
+		"replication_quorum_overhead_r3 (E16) compares a journaled 64 KiB upload at R=3/quorum=2 (every ack waits for one of two follower journals to fsync the record) against the same upload acked on leader-local durability alone; the two follower fsyncs run in parallel, so the overhead is a ceiling (<=5x), not a floor — that ceiling is the whole price of surviving the loss of any single node with every acked receipt intact")
 
 	var skipRE *regexp.Regexp
 	if *regressSkip != "" {

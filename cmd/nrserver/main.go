@@ -21,6 +21,18 @@
 // with the same -shards value: the routing is stable, so each shard
 // reopens exactly the journal it wrote.
 //
+// With -replicas R (R > 1) each shard's evidence journal is replicated
+// to R-1 follower journals and a protocol step is only acked — the NRR
+// only signed — once the step's journal record is durable on -quorum
+// copies (leader included; default 2). Followers default to in-process
+// journals under <shard-wal-dir>/replica-0N (separate disks can be
+// mounted there); with -replica-addrs they are remote follower daemons
+// instead, each started as `nrserver -follower -listen <addr> -wal-dir
+// <dir>`. A follower that dies and comes back is backfilled by the
+// anti-entropy loop with no operator action; while the write quorum is
+// unreachable /healthz answers 503 "quorum: …" and new sessions are
+// refused with a retryable (never TTP-escalating) rejection.
+//
 // SIGINT/SIGTERM triggers a graceful shutdown: the accept loop stops,
 // in-flight protocol steps drain (bounded by -drain), then connections
 // close.
@@ -34,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +58,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
+	"repro/internal/replica"
 	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -71,6 +85,10 @@ func main() {
 	connPending := flag.Int("conn-pending", 1, "per-connection pipelined request cap (1 = serial)")
 	batchVerify := flag.Int("batch-verify", 0, "per-connection batch-drain round cap: queued inbound messages are decrypted individually but signature-verified in one batched call (0/1 = off; overrides -conn-pending)")
 	auditEvery := flag.Duration("audit-interval", 0, "storage-dwell self-audit interval: recompute every committed session's Merkle root against the blob store and log divergences (0 = never)")
+	replicas := flag.Int("replicas", 1, "journal replication factor per shard: the leader plus replicas-1 follower journals under <shard-wal-dir>/replica-0N (requires -wal-dir; 1 = no replication)")
+	quorum := flag.Int("quorum", 0, "durable copies (leader included) each journal append must reach before its protocol step is acked (0 = min(2, replicas))")
+	replicaAddrs := flag.String("replica-addrs", "", "comma-separated TCP addresses of remote follower daemons (each run with -follower); overrides the in-process followers of -replicas and requires -shards 1")
+	followerMode := flag.Bool("follower", false, "run as a journal replication follower: serve the replication stream for -wal-dir on -listen and nothing else")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -88,7 +106,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nrserver: -shards must be >= 1")
 		os.Exit(1)
 	}
-	engine, cleanup, err := buildEngine(*state, *name, *shards, *storeDir, *walDir, *fsync, *archiveDir, *auditPath, *stepDeadline, *sweepEvery)
+	if *followerMode {
+		if err := runFollower(*listen, *walDir, *fsync); err != nil {
+			fmt.Fprintln(os.Stderr, "nrserver:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	repl := replConfig{replicas: *replicas, quorum: *quorum}
+	if *replicaAddrs != "" {
+		repl.addrs = strings.Split(*replicaAddrs, ",")
+		repl.replicas = len(repl.addrs) + 1
+	}
+	if repl.replicas > 1 && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "nrserver: -replicas/-replica-addrs require -wal-dir")
+		os.Exit(1)
+	}
+	if len(repl.addrs) > 0 && *shards != 1 {
+		// A remote follower host serves one journal; fanning several
+		// shards into it would interleave their record streams.
+		fmt.Fprintln(os.Stderr, "nrserver: -replica-addrs requires -shards 1 (in-process -replicas supports any shard count)")
+		os.Exit(1)
+	}
+	if repl.quorum > repl.replicas {
+		fmt.Fprintf(os.Stderr, "nrserver: -quorum %d exceeds the %d replicas\n", repl.quorum, repl.replicas)
+		os.Exit(1)
+	}
+	engine, cleanup, err := buildEngine(*state, *name, *shards, *storeDir, *walDir, *fsync, *archiveDir, *auditPath, *stepDeadline, *sweepEvery, repl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nrserver:", err)
 		os.Exit(1)
@@ -239,13 +283,65 @@ func startSelfAudit(ctx context.Context, engine core.ProviderEngine, every time.
 	}()
 }
 
+// replConfig carries the -replicas/-quorum/-replica-addrs settings
+// into buildEngine.
+type replConfig struct {
+	replicas int
+	quorum   int
+	addrs    []string // remote follower daemons; empty = in-process followers
+}
+
+// effectiveQuorum resolves the -quorum default (2: leader + one
+// follower, the paper-recommended 2-of-3 at R=3).
+func effectiveQuorum(r replConfig) int {
+	if r.quorum > 0 {
+		return r.quorum
+	}
+	return 2
+}
+
+// runFollower is the -follower mode: serve the journal replication
+// stream for walDir on the TCP listen address until SIGINT/SIGTERM.
+// The leader dials in, reads our durable high-water mark from the
+// hello, and streams (or snapshots) us the rest.
+func runFollower(listen, walDir, fsync string) error {
+	if walDir == "" {
+		return fmt.Errorf("-follower requires -wal-dir")
+	}
+	policy, batch, err := wal.ParsePolicy(fsync)
+	if err != nil {
+		return err
+	}
+	w, err := wal.Open(walDir, wal.Options{Policy: policy, BatchSize: batch})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	l, err := transport.ListenTCP(listen)
+	if err != nil {
+		return err
+	}
+	host := replica.Serve(l, replica.NewFollower(w))
+	log.Printf("nrserver: replication follower for %s listening on %s (durable LSN %d)", walDir, l.Addr(), w.LSN())
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("nrserver: follower stopping")
+	return host.Close()
+}
+
 // buildEngine assembles the provider engine: a single Provider for
 // shards == 1 (flat -wal-dir/-archive-dir layout, unchanged from
 // earlier releases), or a ShardedEngine whose shard i journals under
 // <wal-dir>/shard-NN and archives under <archive-dir>/shard-NN. The
 // blob store, identity and audit log are shared — blobs are keyed by
 // object, not by txn, and the audit chain is mutex-serialized.
-func buildEngine(state, name string, shards int, storeDir, walDir, fsync, archiveDir, auditPath string, stepDeadline, sweepEvery time.Duration) (core.ProviderEngine, func(), error) {
+//
+// With repl.replicas > 1 each shard also gets a replication group:
+// followers are in-process journals under <shard-wal-dir>/replica-0N,
+// or the remote daemons in repl.addrs, and journal appends wait for
+// repl.quorum durable copies before their protocol step is acked.
+func buildEngine(state, name string, shards int, storeDir, walDir, fsync, archiveDir, auditPath string, stepDeadline, sweepEvery time.Duration, repl replConfig) (core.ProviderEngine, func(), error) {
 	id, err := keystore.LoadIdentity(state, name)
 	if err != nil {
 		return nil, nil, err
@@ -314,6 +410,51 @@ func buildEngine(state, name string, shards int, storeDir, walDir, fsync, archiv
 		if providers[i], err = core.NewProvider(opts...); err != nil {
 			return fail(err)
 		}
+	}
+
+	if repl.replicas > 1 {
+		if !anyJournal {
+			return fail(fmt.Errorf("-replicas requires -wal-dir"))
+		}
+		policy, batch, err := wal.ParsePolicy(fsync)
+		if err != nil {
+			return fail(err)
+		}
+		for i, p := range providers {
+			var dialers []replica.Dialer
+			if len(repl.addrs) > 0 {
+				for _, addr := range repl.addrs {
+					addr := addr
+					dialers = append(dialers, func() (transport.Conn, error) {
+						return transport.DialTCP(addr)
+					})
+				}
+			} else {
+				shardDir := walDir
+				if shards > 1 {
+					shardDir = filepath.Join(walDir, shard.DirName(i))
+				}
+				for r := 1; r < repl.replicas; r++ {
+					fw, err := wal.Open(filepath.Join(shardDir, fmt.Sprintf("replica-%02d", r)),
+						wal.Options{Policy: policy, BatchSize: batch})
+					if err != nil {
+						return fail(err)
+					}
+					prev := cleanup
+					cleanup = func() { fw.Close(); prev() }
+					dialers = append(dialers, replica.Loopback(replica.NewFollower(fw)))
+				}
+			}
+			g := replica.NewGroup(p.Journal(), dialers, replica.Options{
+				Quorum: repl.quorum,
+				Name:   fmt.Sprintf("replica_shard%02d", i),
+			})
+			p.SetReplicator(g)
+			prev := cleanup
+			cleanup = func() { g.Close(); prev() }
+		}
+		log.Printf("nrserver: journal replication on: %d replicas, quorum %d, %d shard group(s)",
+			repl.replicas, effectiveQuorum(repl), shards)
 	}
 
 	var engine core.ProviderEngine = providers[0]

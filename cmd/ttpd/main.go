@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
+	"repro/internal/replica"
 	"repro/internal/transport"
 	"repro/internal/ttp"
 	"repro/internal/wal"
@@ -71,6 +73,8 @@ func main() {
 	brCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "peer-dial circuit breaker: open-state cooldown before a half-open probe (0 = breaker disabled)")
 	auditEvery := flag.Duration("audit-interval", 0, "public-auditor sweep interval: challenge every provider whose resolve relayed a storage-dwell commitment (0 = never)")
 	auditN := flag.Int("audit-challenges", 4, "random leaves per public-auditor challenge")
+	replicas := flag.Int("replicas", 1, "resolve-journal replication factor: the leader plus replicas-1 in-process follower journals under <wal-dir>/replica-0N (requires -wal-dir; 1 = no replication)")
+	quorum := flag.Int("quorum", 0, "durable copies (leader included) each resolve-journal append must reach before the statement is issued (0 = min(2, replicas))")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer address mapping name=host:port (repeatable)")
 	flag.Parse()
@@ -115,6 +119,42 @@ func main() {
 		}
 		opts = append(opts, core.WithJournal(journal))
 		cleanup = func() { journal.Close() }
+	}
+	if *replicas > 1 && journal == nil {
+		fmt.Fprintln(os.Stderr, "ttpd: -replicas requires -wal-dir")
+		os.Exit(1)
+	}
+	if *quorum > *replicas {
+		fmt.Fprintf(os.Stderr, "ttpd: -quorum %d exceeds the %d replicas\n", *quorum, *replicas)
+		os.Exit(1)
+	}
+	// Resolve statements are evidence too: with -replicas the TTP's
+	// journal is quorum-replicated exactly like the provider's, so the
+	// statement a claimant walks away with survives losing this node.
+	var replGroup *replica.Group
+	if *replicas > 1 {
+		policy, batch, _ := wal.ParsePolicy(*fsync)
+		var dialers []replica.Dialer
+		for r := 1; r < *replicas; r++ {
+			fw, err := wal.Open(filepath.Join(*walDir, fmt.Sprintf("replica-%02d", r)),
+				wal.Options{Policy: policy, BatchSize: batch})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ttpd:", err)
+				cleanup()
+				os.Exit(1)
+			}
+			prev := cleanup
+			cleanup = func() { fw.Close(); prev() }
+			dialers = append(dialers, replica.Loopback(replica.NewFollower(fw)))
+		}
+		replGroup = replica.NewGroup(journal, dialers, replica.Options{
+			Quorum: *quorum,
+			Name:   "ttp_replica",
+		})
+		opts = append(opts, core.WithReplicator(replGroup))
+		prev := cleanup
+		cleanup = func() { replGroup.Close(); prev() }
+		log.Printf("ttpd: resolve-journal replication on: %d replicas", *replicas)
 	}
 	if *ckptEvery > 0 && *walDir == "" {
 		fmt.Fprintln(os.Stderr, "ttpd: -checkpoint-every requires -wal-dir")
@@ -215,10 +255,18 @@ func main() {
 	var obsSrv *obshttp.Server
 	if *obsAddr != "" {
 		// /healthz degrades when the resolve journal can no longer accept
-		// appends — an orchestrator should route claimants elsewhere.
+		// appends — or, replicated, can no longer reach its write quorum
+		// — so an orchestrator routes claimants elsewhere.
 		health := func() error {
 			if journal != nil {
-				return journal.Healthy()
+				if err := journal.Healthy(); err != nil {
+					return err
+				}
+			}
+			if replGroup != nil {
+				if err := replGroup.Quorum(); err != nil {
+					return fmt.Errorf("quorum: %w", err)
+				}
 			}
 			return nil
 		}

@@ -67,9 +67,28 @@ func chaosShards(t *testing.T) int {
 	return n
 }
 
+// chaosReplicas resolves the provider journal replication factor.
+// Default 1 — no replication, the classic deployment; TPNR_REPLICAS=3
+// (the Makefile's chaos-replicated target and the CI matrix) reruns
+// the whole suite with every provider journal append quorum-replicated
+// (R=3, write quorum 2) before the protocol step is acked.
+func chaosReplicas(t *testing.T) int {
+	t.Helper()
+	env := os.Getenv("TPNR_REPLICAS")
+	if env == "" {
+		return 1
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n < 1 {
+		t.Fatalf("TPNR_REPLICAS: bad replica count %q", env)
+	}
+	return n
+}
+
 func openWorld(t *testing.T, dir string, store storage.Store) *world {
 	t.Helper()
 	shards := chaosShards(t)
+	replicas := chaosReplicas(t)
 	open := func(sub string) *wal.WAL {
 		// Group commit is the production fsync policy; running the whole
 		// chaos suite in it re-proves "acked ⇒ synced" under coalescing.
@@ -111,6 +130,22 @@ func openWorld(t *testing.T, dir string, store storage.Store) *world {
 			return []core.Option{core.WithJournal(pw[i]), core.WithArchive(pa[i])}
 		},
 		TTPOpts: []core.Option{core.WithJournal(tw), core.WithArchive(ta)},
+		// With TPNR_REPLICAS>1 every provider journal gains followers on
+		// the same "disk" (nrserver's replica-NN layout, reopened across
+		// restarts); the deployment closes what it opens here. The ack
+		// timeout sits under chaosTimeout so a lost quorum surfaces as the
+		// provider's signed refusal, not as client-side silence.
+		ProviderReplicas: replicas,
+		ReplicaWAL: func(s, r int) (*wal.WAL, error) {
+			sub := "provider"
+			if shards > 1 {
+				sub = filepath.Join("provider", shard.DirName(s))
+			}
+			return wal.Open(filepath.Join(dir, sub, fmt.Sprintf("replica-%02d", r)),
+				wal.Options{Policy: wal.SyncGroup})
+		},
+		ReplicaAckTimeout:     300 * time.Millisecond,
+		ReplicaRepairInterval: 25 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -197,10 +232,17 @@ func runScenario(t *testing.T, w *world, pt, txn, key string, data []byte, wrap 
 	}
 	switch {
 	case strings.HasPrefix(pt, "client.upload") || strings.HasPrefix(pt, "provider.upload") ||
-		strings.HasPrefix(pt, "wal.append") || strings.HasPrefix(pt, "server.handle"):
+		strings.HasPrefix(pt, "wal.append") || strings.HasPrefix(pt, "server.handle") ||
+		strings.HasPrefix(pt, "replica."):
 		// A WAL-append fault fires at the first journaled transition of
 		// the upload; a server-handle fault fires inside the provider's
-		// runtime. Both are reached by the plain upload flow.
+		// runtime. Both are reached by the plain upload flow. Replication
+		// faults fire on the follower stream that same first append feeds
+		// (in replicated worlds — unsharded ones have no stream, like
+		// shard.route below): the replication goroutines absorb the kill
+		// and the upload either completes on the surviving quorum
+		// (ack.drop — the record was durable before the ack vanished) or
+		// fails with the provider's quorum-unavailable refusal.
 		conn := dialProvider()
 		defer conn.Close()
 		runRecovering(func() error {
@@ -423,7 +465,7 @@ func arbitrateCompleted(t *testing.T, w *world, txn, key string) {
 // the crash left unfinished, and asserts the dispute invariant.
 func TestChaosEveryFaultpoint(t *testing.T) {
 	points := faultpoint.List()
-	if len(points) < 20 {
+	if len(points) < 23 {
 		t.Fatalf("only %d faultpoints registered; the engines lost their kill sites", len(points))
 	}
 	for _, want := range []string{
@@ -431,6 +473,7 @@ func TestChaosEveryFaultpoint(t *testing.T) {
 		"wal.compact.mid-truncate", "archive.append.partial",
 		"provider.audit.drop-challenge", "provider.audit.stale-proof",
 		"provider.audit.crash-mid-audit",
+		"replica.ack.drop", "replica.follower.crash", "replica.net.partition",
 	} {
 		found := false
 		for _, pt := range points {
@@ -444,10 +487,14 @@ func TestChaosEveryFaultpoint(t *testing.T) {
 		}
 	}
 	shards := chaosShards(t)
+	replicas := chaosReplicas(t)
 	for _, pt := range points {
 		t.Run(pt, func(t *testing.T) {
 			if strings.HasPrefix(pt, "shard.") && shards < 2 {
 				t.Skipf("faultpoint %q lives in the sharded engine; run with TPNR_SHARDS>=2 (make chaos-sharded)", pt)
+			}
+			if strings.HasPrefix(pt, "replica.") && replicas < 2 {
+				t.Skipf("faultpoint %q lives in the replication stream; run with TPNR_REPLICAS>=2 (make chaos-replicated)", pt)
 			}
 			defer faultpoint.Reset()
 			dir := t.TempDir()
@@ -481,6 +528,143 @@ func TestChaosEveryFaultpoint(t *testing.T) {
 			assertDisputeInvariant(t, w2, txn, key)
 			if _, err := w2.d.Client.Archive().ByKind(txn, evidence.RolePeer, evidence.KindNRR); err == nil {
 				arbitrateCompleted(t, w2, txn, key)
+			}
+		})
+	}
+}
+
+// TestChaosReplicaSurvivingQuorum is the headline replication claim at
+// R=3 / write quorum 2: kill any single replica mid-upload — follower
+// crash, dropped ack, or a partitioned leader stream — and the upload
+// MUST still succeed through the surviving quorum; every acked receipt
+// is then recoverable from a surviving follower's journal alone, and a
+// full restart converges the lagging replica by anti-entropy with no
+// operator action.
+func TestChaosReplicaSurvivingQuorum(t *testing.T) {
+	shards := chaosShards(t)
+	replicas := chaosReplicas(t)
+	if replicas < 3 {
+		t.Skipf("kill-one-replica needs a surviving quorum; run with TPNR_REPLICAS>=3 (make chaos-replicated)")
+	}
+	ctx := context.Background()
+	for _, pt := range []string{"replica.follower.crash", "replica.ack.drop", "replica.net.partition"} {
+		t.Run(pt, func(t *testing.T) {
+			defer faultpoint.Reset()
+			dir := t.TempDir()
+			store := storage.NewMem(time.Now)
+			txn := "txn-quorum-" + pt
+			key := "quorum/" + pt
+			data := []byte("surviving quorum payload for " + pt)
+
+			// Arm ONCE-ONLY: the first stream to reach the point dies —
+			// exactly one replica lost mid-upload — and everyone else keeps
+			// running. (The per-point suite above arms every hit, which
+			// takes the whole quorum down; here the claim is that losing
+			// any single node is invisible to the client.)
+			var once atomic.Bool
+			faultpoint.Arm(pt, func() {
+				if once.CompareAndSwap(false, true) {
+					faultpoint.Kill(pt)()
+				}
+			})
+			w := openWorld(t, dir, store)
+			conn, err := w.d.DialProvider()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.d.Client.Upload(ctx, conn, txn, key, data); err != nil {
+				t.Fatalf("upload did not survive a single-replica %s fault: %v", pt, err)
+			}
+			conn.Close()
+			faultpoint.Reset()
+			if !once.Load() {
+				t.Fatalf("faultpoint %q never fired; the upload does not reach its kill site", pt)
+			}
+
+			// Quorum-before-ack means some follower of the shard that
+			// served txn durably holds every record up to the last acked
+			// append; marks only advance, so the max-mark follower's
+			// journal is a prefix that covers the whole receipt. Remember
+			// which one before pulling the plug.
+			si := 0
+			if shards > 1 {
+				si = shard.New(shards).Shard(txn)
+			}
+			g := w.d.ReplicaGroups[si]
+			survivor, survivorHW := 1, uint64(0)
+			for i := 0; i < replicas-1; i++ {
+				if hw := g.FollowerHW(i); hw >= survivorHW {
+					survivor, survivorHW = i+1, hw
+				}
+			}
+			if survivorHW == 0 {
+				t.Fatal("no follower acked anything; quorum accounting is broken")
+			}
+			w.crash()
+
+			// Restart the full world on the same disk: the replica that
+			// took the fault must converge by anti-entropy alone, and the
+			// recovered transaction must arbitrate clean.
+			w2 := openWorld(t, dir, store)
+			crashed := false
+			crash2 := func() {
+				if !crashed {
+					crashed = true
+					w2.crash()
+				}
+			}
+			defer crash2()
+			w2.recoverAll(t)
+			assertDisputeInvariant(t, w2, txn, key)
+			arbitrateCompleted(t, w2, txn, key)
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				all := true
+				for _, rg := range w2.d.ReplicaGroups {
+					if !rg.Converged() {
+						all = false
+					}
+				}
+				if all {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("restarted replicas did not converge by anti-entropy")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			crash2()
+
+			// Leader-loss drill: a provider rebuilt over the surviving
+			// follower's journal alone still holds both halves of the
+			// evidence pair the client walked away with.
+			sub := "provider"
+			if shards > 1 {
+				sub = filepath.Join("provider", shard.DirName(si))
+			}
+			fw, err := wal.Open(filepath.Join(dir, sub, fmt.Sprintf("replica-%02d", survivor)),
+				wal.Options{Policy: wal.SyncGroup})
+			if err != nil {
+				t.Fatalf("reopening survivor journal: %v", err)
+			}
+			defer fw.Close()
+			d3, err := deploy.New(deploy.Config{
+				TestKeys:      true,
+				ProviderStore: store,
+				ProviderOpts:  []core.Option{core.WithJournal(fw)},
+			})
+			if err != nil {
+				t.Fatalf("deploy over survivor journal: %v", err)
+			}
+			defer d3.Close()
+			if _, err := d3.Provider.Recover(ctx); err != nil {
+				t.Fatalf("recover over survivor journal: %v", err)
+			}
+			if _, err := d3.Provider.EvidenceByKind(txn, evidence.RolePeer, evidence.KindNRO); err != nil {
+				t.Errorf("survivor recovery lost the NRO for %s: %v", txn, err)
+			}
+			if _, err := d3.Provider.EvidenceByKind(txn, evidence.RoleOwn, evidence.KindNRR); err != nil {
+				t.Errorf("survivor recovery lost the NRR for %s: %v", txn, err)
 			}
 		})
 	}

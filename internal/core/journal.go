@@ -69,6 +69,19 @@ func decodeJournalRecord(b []byte) (*journalRecord, error) {
 	return r, nil
 }
 
+// Replicator is the evidence-journal replication hook (implemented by
+// replica.Group): after a record lands in the local WAL at lsn,
+// Replicate blocks until a write quorum of followers holds it durably
+// — only then may the party ack the protocol step that journaled it
+// (journal-on-quorum-before-ack). Quorum reports nil while the write
+// quorum is reachable; a non-nil result is folded into the provider's
+// Health so admission refuses NEW sessions until anti-entropy repair
+// restores the quorum.
+type Replicator interface {
+	Replicate(lsn uint64) error
+	Quorum() error
+}
+
 // journalAppend encodes and appends one record; a nil journal is a
 // no-op (parties without a WAL run exactly as before). On a journal
 // already poisoned by a sticky I/O error the append is skipped rather
@@ -76,6 +89,15 @@ func decodeJournalRecord(b []byte) (*journalRecord, error) {
 // (handleUpload), and failing every in-flight transition here would
 // also break the abort/resolve paths that must keep working to drain
 // existing sessions.
+//
+// With a Replicator attached the append only returns once the record
+// is durable on the write quorum, extending journal-before-ack across
+// machines: the NRR at upload-binding is not signed until quorum nodes
+// could each prove the binding after losing any single node. A quorum
+// timeout fails THIS append (its step is correctly not acked) and
+// degrades the group; while degraded, Replicate drains without waiting
+// — mirroring the local degraded-skip policy above — and admission
+// refuses new sessions via Health until repair restores the quorum.
 func (p *party) journalAppend(r *journalRecord) error {
 	if p.journal == nil {
 		return nil
@@ -84,8 +106,15 @@ func (p *party) journalAppend(r *journalRecord) error {
 		coreDegradedSkips.Inc()
 		return nil
 	}
-	if err := p.journal.Append(r.encode()); err != nil {
+	lsn, err := p.journal.AppendLSN(r.encode())
+	if err != nil {
 		return fmt.Errorf("core: journaling %s transition: %w", p.id.Name, err)
+	}
+	if p.repl != nil {
+		if err := p.repl.Replicate(lsn); err != nil {
+			return fmt.Errorf("%w: %s journal LSN %d not on quorum: %v",
+				ErrQuorumUnavailable, p.id.Name, lsn, err)
+		}
 	}
 	return nil
 }

@@ -100,6 +100,16 @@ func WithArchive(s *archive.Store) Option {
 	return func(o *Options) { o.cold = s }
 }
 
+// WithReplicator attaches a quorum replication group to the party's
+// journal: every appended record must reach the group's write quorum
+// before the corresponding protocol step is acked, and quorum
+// unavailability is folded into the provider's Health so admission
+// refuses new sessions while the cluster is below quorum. Requires
+// WithJournal; without a journal the replicator is never consulted.
+func WithReplicator(r Replicator) Option {
+	return func(o *Options) { o.repl = r }
+}
+
 // WithVerifyCache shares a bounded evidence-verification cache across
 // parties (or sizes it differently from the default). Every party gets
 // a private cache when this option is absent; pass a common cache to
@@ -115,9 +125,12 @@ func WithVerifyCache(c *evidence.VerifyCache) Option {
 // Deprecated: construct parties with individual With* options instead.
 func WithOptions(legacy Options) Option {
 	return func(o *Options) {
-		store, ttpID, journal, vcache, deadline, caPub, cold :=
-			o.store, o.ttpID, o.journal, o.verifyCache, o.deadline, o.caPub, o.cold
+		store, ttpID, journal, vcache, deadline, caPub, cold, repl :=
+			o.store, o.ttpID, o.journal, o.verifyCache, o.deadline, o.caPub, o.cold, o.repl
 		*o = legacy
+		if o.repl == nil {
+			o.repl = repl
+		}
 		if o.cold == nil {
 			o.cold = cold
 		}

@@ -136,6 +136,9 @@ type Options struct {
 	// caPub is set by WithCAPublicKey: the scheme-agnostic CA key
 	// handle. Takes precedence over the legacy CAKey field.
 	caPub cryptoutil.PublicKey
+	// repl is set by WithReplicator: the quorum replication group every
+	// journal append must clear before the transition is acked.
+	repl Replicator
 }
 
 // Default protocol timing parameters.
@@ -165,6 +168,7 @@ type party struct {
 	archive  *evidence.Store
 	tracker  *session.Tracker
 	journal  *wal.WAL
+	repl     Replicator
 	vcache   *evidence.VerifyCache
 	deadline DeadlinePolicy
 	seqMu    sync.Mutex
@@ -177,10 +181,10 @@ type party struct {
 	// journal+mutate pairs: every handler that appends a journal record
 	// and applies its effect holds the read side across BOTH, so a
 	// snapshot can never capture a state the journal boundary splits.
-	cold   *archive.Store
-	archMu sync.Mutex
+	cold     *archive.Store
+	archMu   sync.Mutex
 	archived map[string]session.State
-	ckptMu sync.RWMutex
+	ckptMu   sync.RWMutex
 
 	// Per-role hooks into checkpoint/recovery. snapExtra contributes a
 	// (note, flag) pair per live transaction to the snapshot; restore-
@@ -236,6 +240,7 @@ func newParty(o Options) (*party, error) {
 		archive:  evidence.NewStore(),
 		tracker:  session.NewTracker(),
 		journal:  o.journal,
+		repl:     o.repl,
 		vcache:   o.verifyCache,
 		deadline: o.deadline,
 		cold:     o.cold,

@@ -238,15 +238,7 @@ func (p *SessionPool) Upload(ctx context.Context, txnID, objectKey string, data 
 		p.auditor.recordAuditable(txnID)
 		return res, nil
 	}
-	// Escalation policy: a silent provider (ErrTimeout), an expired
-	// session (the provider holds an abort receipt for us to collect),
-	// or exhausted transport retries are §4.3 grounds. Overload and
-	// degraded-mode refusals are NOT — the provider answered; there is
-	// no dispute, only a peer asking us to come back later.
-	escalable := errors.Is(err, ErrTimeout) || errors.Is(err, ErrExpired) ||
-		(errors.Is(err, ErrRetriesExhausted) &&
-			!errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrDegraded))
-	if p.opt.TTPDial == nil || !escalable {
+	if p.opt.TTPDial == nil || !escalableUpload(err) {
 		return nil, err
 	}
 	nro, nroErr := p.c.PendingNRO(txnID)
@@ -484,6 +476,19 @@ func jitterBackoff(cur, max time.Duration, randInt63n func(int64) int64) (delay,
 	return delay, next
 }
 
+// escalableUpload reports whether a failed upload is §4.3 grounds for
+// the TTP escalation path: a silent provider (ErrTimeout), an expired
+// session (the provider holds an abort receipt for us to collect), or
+// exhausted transport retries. Overload, degraded-mode and
+// quorum-unavailable refusals are NOT — the provider answered; there
+// is no dispute, only a peer asking us to come back later.
+func escalableUpload(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrExpired) ||
+		(errors.Is(err, ErrRetriesExhausted) &&
+			!errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrDegraded) &&
+			!errors.Is(err, ErrQuorumUnavailable))
+}
+
 // transientFault reports whether an error is worth retrying on a new
 // connection: transport breakage and overload sheds are, definitive
 // protocol outcomes (including permanent rejections, expiry and
@@ -494,6 +499,13 @@ func transientFault(err error) bool {
 		// The peer shed us under admission control: explicitly retryable
 		// (with backoff), and checked first because the control frame
 		// carries no protocol sentinel to trip the list below.
+		return true
+	}
+	if errors.Is(err, ErrQuorumUnavailable) {
+		// The provider's replication group lost its write quorum — a
+		// transient cluster condition that anti-entropy repairs without
+		// operator action, so retry with backoff (and, above, never
+		// escalate: the provider answered with a signed refusal).
 		return true
 	}
 	switch {

@@ -31,6 +31,7 @@ func TestTransientFaultClassification(t *testing.T) {
 		{"cancelled", fmt.Errorf("%w: ctx", ErrCancelled), false},
 		{"expired session", fmt.Errorf("%w: txn-1", ErrExpired), false},
 		{"degraded provider", fmt.Errorf("%w: journal", ErrDegraded), false},
+		{"quorum unavailable", fmt.Errorf("%w: shard-00", ErrQuorumUnavailable), true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -60,6 +61,39 @@ func TestRetryableResolveClassification(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			if got := retryableResolve(tc.err); got != tc.retryable {
 				t.Fatalf("retryableResolve(%v) = %v, want %v", tc.err, got, tc.retryable)
+			}
+		})
+	}
+}
+
+// TestEscalableUploadClassification pins which upload failures may
+// open a §4.3 dispute at the TTP. A quorum-unavailable refusal is the
+// load-bearing negative case: it is retryable (above) but NEVER
+// escalation grounds — the provider answered with a signed refusal, so
+// there is no silence to dispute — even when wrapped in a
+// retries-exhausted chain.
+func TestEscalableUploadClassification(t *testing.T) {
+	wrapExhausted := func(last error) error {
+		return fmt.Errorf("%w: last error: %w", ErrRetriesExhausted, last)
+	}
+	cases := []struct {
+		name      string
+		err       error
+		escalable bool
+	}{
+		{"silent provider", fmt.Errorf("%w: NRR", ErrTimeout), true},
+		{"expired session", fmt.Errorf("%w: txn-1", ErrExpired), true},
+		{"retries exhausted on transport", wrapExhausted(transport.ErrClosed), true},
+		{"quorum unavailable", fmt.Errorf("%w: shard-00", ErrQuorumUnavailable), false},
+		{"retries exhausted on quorum", wrapExhausted(fmt.Errorf("%w: shard-00", ErrQuorumUnavailable)), false},
+		{"retries exhausted on overload", wrapExhausted(fmt.Errorf("%w: busy", ErrOverloaded)), false},
+		{"retries exhausted on degraded", wrapExhausted(fmt.Errorf("%w: journal", ErrDegraded)), false},
+		{"peer rejection", fmt.Errorf("%w: bad claim", ErrPeerRejected), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := escalableUpload(tc.err); got != tc.escalable {
+				t.Fatalf("escalableUpload(%v) = %v, want %v", tc.err, got, tc.escalable)
 			}
 		})
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/session"
 	"repro/internal/storage"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Provider is Bob: the cloud storage service running the TPNR protocol
@@ -307,16 +308,26 @@ func (b *Provider) errorReply(h *evidence.Header, note string) (*Message, error)
 func (b *Provider) handleUpload(h *evidence.Header, ev *evidence.Evidence, data []byte) (*Message, error) {
 	if herr := b.Health(); herr != nil {
 		if _, serr := b.tracker.Get(h.TxnID); serr != nil {
-			// Degraded mode: the journal cannot promise durability, so a
-			// NEW session must not bind evidence here — accepting the NRO
-			// and crashing would leave the client provably bound to an
-			// upload we cannot prove we received. Known transactions (and
-			// downloads, aborts, resolves) keep being served.
-			reply, rerr := b.errorReply(h, degradedNotePrefix+"journal unavailable; not accepting new sessions")
-			if rerr != nil {
-				return nil, fmt.Errorf("%w: %v", ErrDegraded, herr)
+			// Degraded mode: the journal cannot promise durability (or —
+			// quorum-unavailable — cannot promise it survives losing a
+			// node), so a NEW session must not bind evidence here:
+			// accepting the NRO and crashing would leave the client
+			// provably bound to an upload we cannot prove we received.
+			// Known transactions (and downloads, aborts, resolves) keep
+			// being served. The note prefix types the rejection for the
+			// client's retry classification: quorum loss is transient
+			// (anti-entropy repairs it), a sticky journal fault is not.
+			note := degradedNotePrefix + "journal unavailable; not accepting new sessions"
+			sentinel := ErrDegraded
+			if errors.Is(herr, ErrQuorumUnavailable) {
+				note = quorumNotePrefix + "replication quorum unavailable; not accepting new sessions"
+				sentinel = ErrQuorumUnavailable
 			}
-			return reply, fmt.Errorf("%w: %v", ErrDegraded, herr)
+			reply, rerr := b.errorReply(h, note)
+			if rerr != nil {
+				return nil, fmt.Errorf("%w: %v", sentinel, herr)
+			}
+			return reply, fmt.Errorf("%w: %v", sentinel, herr)
 		}
 	}
 	if !h.MatchesData(data) {
@@ -661,20 +672,43 @@ func (b *Provider) journalObject(txn, objectKey string) error {
 	return nil
 }
 
-// Health returns nil while the provider is fully serving, or the
-// journal's sticky I/O error while it is degraded (new sessions
-// refused; downloads, aborts and resolves still served). Wire it into
-// the /healthz endpoint.
+// Health returns nil while the provider is fully serving, or a named
+// reason while it is degraded (new sessions refused; downloads, aborts
+// and resolves still served): the journal's sticky I/O error, or —
+// wrapped in ErrQuorumUnavailable — the replication group's quorum
+// outage. Wire it into the /healthz endpoint: the handler answers 503
+// with the reason text.
 func (b *Provider) Health() error {
 	if b.journal == nil {
 		return nil
 	}
-	return b.journal.Healthy()
+	if err := b.journal.Healthy(); err != nil {
+		return err
+	}
+	if b.repl != nil {
+		if err := b.repl.Quorum(); err != nil {
+			return fmt.Errorf("%w: %v", ErrQuorumUnavailable, err)
+		}
+	}
+	return nil
 }
 
 // Degraded reports whether the provider is refusing new sessions
-// because its journal can no longer accept appends.
+// because its journal can no longer accept appends (or replicate them
+// to a write quorum).
 func (b *Provider) Degraded() bool { return b.Health() != nil }
+
+// Journal exposes the provider's WAL so a deployment can attach a
+// replication group to it (the group's streamers read the journal by
+// LSN range). Nil without WithJournal.
+func (b *Provider) Journal() *wal.WAL { return b.journal }
+
+// SetReplicator attaches the quorum replication group after
+// construction — deployments build providers first, then the per-shard
+// groups over the providers' journals. Must be called before the
+// provider starts serving; it is not synchronized with in-flight
+// handlers.
+func (b *Provider) SetReplicator(r Replicator) { b.repl = r }
 
 // ExpireStale drives every live transaction whose step deadline is at
 // or before now to its abort state, returning how many were expired.

@@ -30,6 +30,13 @@ var (
 	// been failing recently and escalation was not attempted. Callers
 	// queue a retry instead of burning a dial-and-wait timeout.
 	ErrTTPUnavailable = errors.New("core: TTP unavailable, circuit breaker open")
+	// ErrQuorumUnavailable reports that the provider refused a NEW
+	// session because its evidence-journal replication group cannot
+	// currently reach its write quorum. Unlike ErrDegraded (a sticky
+	// local-disk failure) this is a transient cluster condition: the
+	// anti-entropy loop restores quorum once followers return, so the
+	// rejection is retryable and never grounds for TTP escalation.
+	ErrQuorumUnavailable = errors.New("core: replication quorum unavailable, new sessions refused")
 )
 
 // DeadlinePolicy bounds how long a transaction may sit between protocol
@@ -77,17 +84,20 @@ func WithDeadlinePolicy(d DeadlinePolicy) Option {
 const (
 	expiredNotePrefix  = "expired: "
 	degradedNotePrefix = "degraded: "
+	quorumNotePrefix   = "quorum: "
 )
 
 // peerErr maps a signed KindError note onto the most specific sentinel:
-// deadline expiry and degraded-mode refusals carry their prefix, all
-// other rejections stay ErrPeerRejected.
+// deadline expiry, degraded-mode and quorum-unavailable refusals carry
+// their prefix, all other rejections stay ErrPeerRejected.
 func peerErr(note string) error {
 	switch {
 	case strings.HasPrefix(note, expiredNotePrefix):
 		return fmt.Errorf("%w: %s", ErrExpired, note)
 	case strings.HasPrefix(note, degradedNotePrefix):
 		return fmt.Errorf("%w: %s", ErrDegraded, note)
+	case strings.HasPrefix(note, quorumNotePrefix):
+		return fmt.Errorf("%w: %s", ErrQuorumUnavailable, note)
 	}
 	return fmt.Errorf("%w: %s", ErrPeerRejected, note)
 }

@@ -16,10 +16,12 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/metrics"
 	"repro/internal/pki"
+	"repro/internal/replica"
 	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/ttp"
+	"repro/internal/wal"
 )
 
 // Party names used across the repository's deployments.
@@ -69,6 +71,31 @@ type Config struct {
 	// runtimes fronting Bob and the TTP (admission control, expiry
 	// reaper, registries).
 	ProviderServerOpts, TTPServerOpts []core.ServerOption
+
+	// ProviderReplicas > 1 replicates each provider shard's evidence
+	// journal to ProviderReplicas-1 in-process follower replicas over
+	// the deployment network (one replica.Group per shard): the shard
+	// only acks a protocol step — only signs the NRR — once the step's
+	// journal record is durable on the write quorum. Every shard must
+	// have a journal attached (ProviderOpts / ProviderShardOpts) and
+	// ReplicaWAL must be set.
+	ProviderReplicas int
+	// ProviderQuorum is the total number of durable copies — leader
+	// included — each append must reach before it is acked. Zero means
+	// min(2, ProviderReplicas).
+	ProviderQuorum int
+	// ReplicaWAL opens the journal for follower `replica` (1-based; the
+	// leader is replica 0) of provider shard `shard`. The deployment
+	// closes what it opens. The conventional layout nests followers
+	// under the shard: <walRoot>/<shard.DirName(s)>/replica-0R.
+	ReplicaWAL func(shard, replica int) (*wal.WAL, error)
+	// ReplicaAckTimeout and ReplicaRepairInterval override the
+	// replication group's quorum-wait bound and anti-entropy cadence
+	// (zero keeps the replica package defaults). The chaos harness
+	// tightens both so degraded-mode transitions happen inside test
+	// patience.
+	ReplicaAckTimeout     time.Duration
+	ReplicaRepairInterval time.Duration
 }
 
 // Deployment is a fully wired TPNR installation.
@@ -99,8 +126,15 @@ type Deployment struct {
 
 	Clock clock.Clock
 
-	cancel    context.CancelFunc
-	listeners []transport.Listener
+	// ReplicaGroups holds the per-shard journal replication groups when
+	// ProviderReplicas > 1 (ReplicaGroups[s] replicates shard s); empty
+	// otherwise. Tests poll Converged/Quorum on them.
+	ReplicaGroups []*replica.Group
+
+	cancel       context.CancelFunc
+	listeners    []transport.Listener
+	replicaHosts []*replica.Host
+	replicaWALs  []*wal.WAL
 }
 
 // New builds and starts a deployment.
@@ -187,6 +221,11 @@ func New(cfg Config) (*Deployment, error) {
 		return nil, err
 	}
 
+	groups, rHosts, rWALs, err := wireReplication(cfg, net, shards)
+	if err != nil {
+		return nil, err
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &Deployment{
 		CA:               ca,
@@ -202,7 +241,10 @@ func New(cfg Config) (*Deployment, error) {
 		ProviderCounters: &pCtr,
 		TTPCounters:      &tCtr,
 		Clock:            clk,
+		ReplicaGroups:    groups,
 		cancel:           cancel,
+		replicaHosts:     rHosts,
+		replicaWALs:      rWALs,
 	}
 	if err := d.serve(ctx, d.ProviderServer, ProviderName); err != nil {
 		cancel()
@@ -213,6 +255,80 @@ func New(cfg Config) (*Deployment, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// ReplicaAddr names follower `replica` of provider shard `s` on the
+// deployment network.
+func ReplicaAddr(s, replica int) string {
+	return fmt.Sprintf("%s/%s/replica-%02d", ProviderName, shard.DirName(s), replica)
+}
+
+// wireReplication builds one replication group per provider shard:
+// ProviderReplicas-1 follower hosts listening on the deployment
+// network, a leader group streaming each shard's journal to them, and
+// the group attached to the shard so journal appends wait for the
+// write quorum before the shard acks.
+func wireReplication(cfg Config, net *transport.Network, shards []*core.Provider) (
+	groups []*replica.Group, hosts []*replica.Host, wals []*wal.WAL, err error) {
+	if cfg.ProviderReplicas <= 1 {
+		return nil, nil, nil, nil
+	}
+	cleanup := func() {
+		for _, g := range groups {
+			g.Close()
+		}
+		for _, h := range hosts {
+			h.Close()
+		}
+		for _, w := range wals {
+			w.Close()
+		}
+	}
+	if cfg.ReplicaWAL == nil {
+		return nil, nil, nil, fmt.Errorf("deploy: ProviderReplicas=%d requires ReplicaWAL", cfg.ProviderReplicas)
+	}
+	quorum := cfg.ProviderQuorum
+	if quorum == 0 {
+		quorum = 2
+		if quorum > cfg.ProviderReplicas {
+			quorum = cfg.ProviderReplicas
+		}
+	}
+	if quorum > cfg.ProviderReplicas {
+		return nil, nil, nil, fmt.Errorf("deploy: quorum %d exceeds replicas %d", quorum, cfg.ProviderReplicas)
+	}
+	for si, p := range shards {
+		if p.Journal() == nil {
+			cleanup()
+			return nil, nil, nil, fmt.Errorf("deploy: provider shard %d has no journal to replicate (attach core.WithJournal)", si)
+		}
+		var dialers []replica.Dialer
+		for ri := 1; ri < cfg.ProviderReplicas; ri++ {
+			fw, werr := cfg.ReplicaWAL(si, ri)
+			if werr != nil {
+				cleanup()
+				return nil, nil, nil, fmt.Errorf("deploy: opening shard %d replica %d journal: %w", si, ri, werr)
+			}
+			wals = append(wals, fw)
+			addr := ReplicaAddr(si, ri)
+			ln, lerr := net.Listen(addr)
+			if lerr != nil {
+				cleanup()
+				return nil, nil, nil, lerr
+			}
+			hosts = append(hosts, replica.Serve(ln, replica.NewFollower(fw)))
+			dialers = append(dialers, func() (transport.Conn, error) { return net.Dial(addr) })
+		}
+		g := replica.NewGroup(p.Journal(), dialers, replica.Options{
+			Quorum:         quorum,
+			AckTimeout:     cfg.ReplicaAckTimeout,
+			RepairInterval: cfg.ReplicaRepairInterval,
+			Name:           fmt.Sprintf("replica_shard%02d", si),
+		})
+		groups = append(groups, g)
+		p.SetReplicator(g)
+	}
+	return groups, hosts, wals, nil
 }
 
 // SchemeOf resolves cfg.Scheme, falling back to the TPNR_SCHEME
@@ -310,4 +426,16 @@ func (d *Deployment) Close() {
 	d.ProviderServer.Shutdown(ctx)
 	d.TTPRuntime.Shutdown(ctx)
 	d.cancel()
+	// Replication teardown comes after the servers have drained: groups
+	// first (stop quorum waits and streamers), then follower hosts, then
+	// the follower journals the deployment opened.
+	for _, g := range d.ReplicaGroups {
+		g.Close()
+	}
+	for _, h := range d.replicaHosts {
+		h.Close()
+	}
+	for _, w := range d.replicaWALs {
+		w.Close()
+	}
 }

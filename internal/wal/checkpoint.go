@@ -349,12 +349,12 @@ func (w *WAL) TailRecords() int {
 // this tail. Without a snapshot it replays everything.
 func (w *WAL) ReplayTail(fn func(rec []byte) error) error {
 	w.mu.Lock()
+	defer w.mu.Unlock()
 	minSeg := 0
 	if w.ckpt != nil {
 		minSeg = w.ckpt.TailSeg
 	}
-	w.mu.Unlock()
-	return w.replayFrom(minSeg, fn)
+	return w.replayLocked(minSeg, fn)
 }
 
 // checkpointTime reports when the current snapshot was taken (gauge

@@ -1,0 +1,114 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrCompacted reports an LSN-ranged read that starts below the
+// journal's checkpoint boundary: the records were truncated away and
+// only the snapshot covers them. A replication leader seeing this must
+// ship the snapshot itself (InstallSnapshot on the follower) and then
+// stream the tail.
+var ErrCompacted = errors.New("wal: requested records compacted into the checkpoint")
+
+// ReplayFromLSN passes every record with LSN strictly greater than
+// `after` to fn, oldest first, together with its LSN. It is the
+// replication read path: a leader streams a follower everything past
+// the follower's durable high-water mark, and the same call serves
+// live streaming, restart catch-up and anti-entropy backfill — they
+// differ only in how far behind `after` is.
+//
+// When `after` precedes the checkpoint boundary the requested records
+// no longer exist as records and ErrCompacted is returned; the caller
+// bootstraps the follower from the snapshot instead (LoadCheckpoint +
+// InstallSnapshot) and retries from the snapshot LSN.
+//
+// The checkpoint boundary is pinned and the segments are walked under
+// one lock acquisition, so a concurrent Checkpoint cannot shift the
+// LSN counting mid-read. LSNs are assigned positionally: the first
+// live record has LSN base+1 where base is the checkpoint LSN (0
+// without a snapshot) — valid because Checkpoint rotates segments so
+// the snapshot boundary is always a segment boundary.
+func (w *WAL) ReplayFromLSN(after uint64, fn func(lsn uint64, rec []byte) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	base := uint64(0)
+	minSeg := 0
+	if w.ckpt != nil {
+		base = w.ckpt.LSN
+		minSeg = w.ckpt.TailSeg
+	}
+	if after < base {
+		return fmt.Errorf("%w: tail starts after LSN %d, requested after %d", ErrCompacted, base, after)
+	}
+	lsn := base
+	return w.replayLocked(minSeg, func(rec []byte) error {
+		lsn++
+		if lsn <= after {
+			return nil
+		}
+		return fn(lsn, rec)
+	})
+}
+
+// InstallSnapshot makes state the journal's checkpoint at the given
+// (leader-assigned) LSN, discarding every local record — the follower
+// bootstrap path when its high-water mark fell below the leader's
+// compaction horizon. After it returns, the journal's LSN numbering is
+// aligned with the leader's: the next appended record gets lsn+1, and
+// a recovery over this journal restores the snapshot and replays the
+// replicated tail exactly as the leader itself would.
+func (w *WAL) InstallSnapshot(state []byte, lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.ioErr != nil {
+		return w.ioErr
+	}
+	if w.syncErr != nil {
+		return w.syncErr
+	}
+	w.waitFlush()
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.fsyncLocked(); err != nil {
+		return fmt.Errorf("wal: snapshot-install fsync: %w", err)
+	}
+	// Rotate so the installed boundary is a segment boundary, exactly
+	// like a locally taken checkpoint.
+	if err := w.f.Close(); err != nil {
+		w.setErrLocked(fmt.Errorf("wal: closing segment for snapshot install: %w", err))
+		return w.ioErr
+	}
+	if err := w.newSegment(w.segIndex + 1); err != nil {
+		w.setErrLocked(err)
+		return w.ioErr
+	}
+	walRotations.Inc()
+
+	ck := &Checkpoint{
+		LSN:     lsn,
+		TailSeg: w.segIndex,
+		Taken:   time.Now(),
+		payload: append([]byte(nil), state...),
+	}
+	if err := w.writeCheckpointFile(ck); err != nil {
+		return err
+	}
+	prev := w.ckpt
+	w.ckpt = ck
+	// The local records are all below the installed boundary now; the
+	// truncation below removes them and the counters reset with them.
+	w.lsn = lsn
+	w.records = 0
+	w.tailRecords = 0
+	w.sinceSync = 0
+	walCheckpoints.Inc()
+	w.pruneCheckpoints(ck, prev)
+	return w.truncateCoveredLocked(ck.TailSeg)
+}

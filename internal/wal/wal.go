@@ -381,15 +381,26 @@ var recBufPool = sync.Pool{New: func() any { return new([]byte) }}
 // concurrent Append calls coalesce under a shared leader fsync; the
 // durability guarantee on return is identical to SyncAlways.
 func (w *WAL) Append(payload []byte) error {
+	_, err := w.AppendLSN(payload)
+	return err
+}
+
+// AppendLSN is Append returning the genesis-stable LSN assigned to the
+// record. The assignment happens under the journal lock, so concurrent
+// appenders each learn exactly which position their record occupies —
+// the handle a replication layer needs to wait for a quorum of
+// followers to durably ack THIS record (calling LSN() after Append
+// would race with other appenders).
+func (w *WAL) AppendLSN(payload []byte) (uint64, error) {
 	if err := faultpoint.HitErr(fpAppendENOSPC); err != nil {
 		err = fmt.Errorf("wal: appending record: %w", err)
 		w.mu.Lock()
 		w.setErrLocked(err)
 		w.mu.Unlock()
-		return err
+		return 0, err
 	}
 	if len(payload) > MaxRecordSize {
-		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
 	bp := recBufPool.Get().(*[]byte)
 	buf := append((*bp)[:0], 0, 0, 0, 0, 0, 0, 0, 0)
@@ -401,14 +412,14 @@ func (w *WAL) Append(payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if w.ioErr != nil {
-		return w.ioErr
+		return 0, w.ioErr
 	}
 	if w.opt.Policy == SyncGroup {
 		if w.syncErr != nil {
-			return w.syncErr
+			return 0, w.syncErr
 		}
 		// Max-batch backpressure: while a flush is in flight and the
 		// pending group is full, hold the record back so one fsync never
@@ -417,10 +428,10 @@ func (w *WAL) Append(payload []byte) error {
 			w.appendSeq-w.syncedSeq >= uint64(w.opt.BatchSize) {
 			w.cond().Wait()
 			if w.closed {
-				return ErrClosed
+				return 0, ErrClosed
 			}
 			if w.syncErr != nil {
-				return w.syncErr
+				return 0, w.syncErr
 			}
 		}
 	}
@@ -428,19 +439,20 @@ func (w *WAL) Append(payload []byte) error {
 	// rewrite the header before the first append lands in it.
 	if w.segSize == 0 {
 		if _, err := w.f.Write([]byte(segMagic)); err != nil {
-			return fmt.Errorf("wal: rewriting segment header: %w", err)
+			return 0, fmt.Errorf("wal: rewriting segment header: %w", err)
 		}
 		w.segSize = int64(len(segMagic))
 	}
 	if _, err := w.f.Write(buf); err != nil {
 		err = fmt.Errorf("wal: appending record: %w", err)
 		w.setErrLocked(err)
-		return err
+		return 0, err
 	}
 	w.segSize += int64(len(buf))
 	w.segBytes[w.segIndex] = w.segSize
 	w.records++
 	w.lsn++
+	lsn := w.lsn
 	w.tailRecords++
 	w.sinceSync++
 	w.appendSeq++
@@ -449,17 +461,17 @@ func (w *WAL) Append(payload []byte) error {
 	switch w.opt.Policy {
 	case SyncAlways:
 		if err := w.fsyncLocked(); err != nil {
-			return fmt.Errorf("wal: fsync: %w", err)
+			return 0, fmt.Errorf("wal: fsync: %w", err)
 		}
 	case SyncBatch:
 		if w.sinceSync >= w.opt.BatchSize {
 			if err := w.fsyncLocked(); err != nil {
-				return fmt.Errorf("wal: fsync: %w", err)
+				return 0, fmt.Errorf("wal: fsync: %w", err)
 			}
 		}
 	case SyncGroup:
 		if err := w.groupCommit(w.appendSeq); err != nil {
-			return err
+			return 0, err
 		}
 	}
 
@@ -468,17 +480,17 @@ func (w *WAL) Append(payload []byte) error {
 	// at most a few records and the next append rotates it.
 	if w.segSize >= w.opt.SegmentSize && !w.flushing {
 		if err := w.fsyncLocked(); err != nil {
-			return fmt.Errorf("wal: fsync before rotation: %w", err)
+			return 0, fmt.Errorf("wal: fsync before rotation: %w", err)
 		}
 		if err := w.f.Close(); err != nil {
-			return fmt.Errorf("wal: closing rotated segment: %w", err)
+			return 0, fmt.Errorf("wal: closing rotated segment: %w", err)
 		}
 		if err := w.newSegment(w.segIndex + 1); err != nil {
-			return err
+			return 0, err
 		}
 		walRotations.Inc()
 	}
-	return nil
+	return lsn, nil
 }
 
 // fsyncLocked syncs the current segment with the lock held and marks
@@ -558,6 +570,14 @@ func (w *WAL) Replay(fn func(rec []byte) error) error {
 func (w *WAL) replayFrom(minSeg int, fn func(rec []byte) error) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.replayLocked(minSeg, fn)
+}
+
+// replayLocked is replayFrom with w.mu already held — the LSN-ranged
+// read path must pin the checkpoint boundary and walk the segments
+// under ONE lock acquisition, or a concurrent Checkpoint could move
+// the boundary between the two and shift every counted LSN.
+func (w *WAL) replayLocked(minSeg int, fn func(rec []byte) error) error {
 	if w.closed {
 		return ErrClosed
 	}
