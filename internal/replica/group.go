@@ -432,22 +432,33 @@ func (g *Group) tryConnect(f *follower) (transport.Conn, error) {
 		return nil, fmt.Errorf("replica: reading hello: %w", err)
 	}
 	fr, err := decodeFrame(raw)
-	if err != nil || fr.Kind != frHello {
+	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("replica: bad hello from follower %d: %v", f.idx, err)
+	}
+	if fr.Kind != frHello {
+		conn.Close()
+		return nil, fmt.Errorf("replica: bad hello from follower %d: kind %d", f.idx, fr.Kind)
 	}
 	f.hw.Store(fr.LSN)
 	g.broadcastAck()
 	return conn, nil
 }
 
+// streamBatch bounds how many records one journal read copies out
+// under the WAL lock before the lock is released for the sends.
+const streamBatch = 256
+
 // streamTo pushes the leader journal to f over conn until the stream
 // breaks: catch-up and live tail are the same LSN-ranged read from the
-// follower's acked mark. A mark below the compaction horizon is served
-// by shipping the leader checkpoint (snapshot frame) first. Idle
-// periods are bridged with probes at the repair cadence; records still
-// unacked after a full idle interval re-enter the send window, so a
-// dropped ack can never wedge the stream.
+// follower's acked mark. Records are copied out of the journal in
+// bounded batches (ReadBatchFromLSN) and sent with the WAL lock
+// RELEASED — a stalled follower connection must only wedge this
+// stream, never the leader's own appends. A mark below the compaction
+// horizon is served by shipping the leader checkpoint (snapshot frame)
+// first. Idle periods are bridged with probes at the repair cadence;
+// records still unacked after a full idle interval re-enter the send
+// window, so a dropped ack can never wedge the stream.
 func (g *Group) streamTo(f *follower, conn transport.Conn) {
 	var err error
 	defer recoverCrash(&err)
@@ -457,18 +468,7 @@ func (g *Group) streamTo(f *follower, conn transport.Conn) {
 			sent = hw
 		}
 		if g.w.LSN() > sent {
-			streamed := false
-			err := g.w.ReplayFromLSN(sent, func(lsn uint64, rec []byte) error {
-				if ferr := faultpoint.HitErr(fpNetPartition); ferr != nil {
-					return ferr
-				}
-				if serr := conn.Send(encodeFrame(&frame{Kind: frAppend, LSN: lsn, Payload: rec})); serr != nil {
-					return serr
-				}
-				sent = lsn
-				streamed = true
-				return nil
-			})
+			recs, more, err := g.w.ReadBatchFromLSN(sent, streamBatch)
 			switch {
 			case errors.Is(err, wal.ErrCompacted):
 				payload, ckLSN, ok := g.w.LoadCheckpoint()
@@ -488,7 +488,19 @@ func (g *Group) streamTo(f *follower, conn transport.Conn) {
 				f.errs.Inc()
 				return
 			}
-			if streamed {
+			for i, rec := range recs {
+				lsn := sent + 1 + uint64(i)
+				if ferr := faultpoint.HitErr(fpNetPartition); ferr != nil {
+					f.errs.Inc()
+					return
+				}
+				if serr := conn.Send(encodeFrame(&frame{Kind: frAppend, LSN: lsn, Payload: rec})); serr != nil {
+					f.errs.Inc()
+					return
+				}
+			}
+			sent += uint64(len(recs))
+			if len(recs) > 0 || more {
 				continue // more may have landed while we streamed
 			}
 		}

@@ -10,8 +10,11 @@
 // reaches the same dispute verdicts as the leader would have.
 //
 // The design is pull-from-WAL: the leader's per-follower streamer
-// reads its own journal by LSN range (wal.ReplayFromLSN) starting at
-// the follower's durable high-water mark. Live streaming, restart
+// reads its own journal by LSN range (wal.ReadBatchFromLSN) starting
+// at the follower's durable high-water mark, copying bounded batches
+// out under the journal lock and sending with the lock released — a
+// stalled follower connection can wedge its own stream but never the
+// leader's appends. Live streaming, restart
 // catch-up and anti-entropy backfill are therefore ONE mechanism that
 // differs only in how far behind the follower is — a killed and
 // restarted follower reports its high-water mark in its hello frame
@@ -115,6 +118,15 @@ func recoverCrash(err *error) {
 // that is what makes quorum acks count toward the dispute guarantee.
 type Follower struct {
 	w *wal.WAL
+
+	// mu serializes the apply path (high-water check + Append, and
+	// snapshot installs) across connections: a redialing leader can
+	// briefly leave a displaced ServeConn goroutine racing the new
+	// one, and an unserialized check-then-append would let both
+	// observe hw=N and append the same leader record twice — the
+	// follower journal would silently stop being a prefix of the
+	// leader's history.
+	mu sync.Mutex
 }
 
 // NewFollower wraps a follower journal.
@@ -122,6 +134,36 @@ func NewFollower(w *wal.WAL) *Follower { return &Follower{w: w} }
 
 // HW reports the follower's durable high-water mark (its journal LSN).
 func (f *Follower) HW() uint64 { return f.w.LSN() }
+
+// applyAppend applies one leader append under f.mu — the check of the
+// current mark and the conditional Append are one atomic step — and
+// returns the resulting durable high-water mark. Duplicates (leader
+// resend window) and gaps (out-of-order arrival) are not applied; the
+// returned mark re-acks the current position so the leader resumes
+// from there.
+func (f *Follower) applyAppend(fr *frame) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	hw := f.w.LSN()
+	if fr.LSN == hw+1 {
+		if err := f.w.Append(fr.Payload); err != nil {
+			return hw, fmt.Errorf("replica: applying LSN %d: %w", fr.LSN, err)
+		}
+		return fr.LSN, nil
+	}
+	return hw, nil
+}
+
+// applySnapshot installs a leader checkpoint under f.mu and returns
+// the journal's resulting high-water mark.
+func (f *Follower) applySnapshot(fr *frame) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.w.InstallSnapshot(fr.Payload, fr.LSN); err != nil {
+		return 0, fmt.Errorf("replica: installing snapshot at LSN %d: %w", fr.LSN, err)
+	}
+	return f.w.LSN(), nil
+}
 
 // ServeConn speaks the follower side of the replication protocol on
 // one leader connection until the connection breaks (or a chaos kill
@@ -148,18 +190,9 @@ func (f *Follower) ServeConn(conn transport.Conn) (err error) {
 		switch fr.Kind {
 		case frAppend:
 			faultpoint.Hit(fpFollowerCrash)
-			hw = f.w.LSN()
-			switch {
-			case fr.LSN == hw+1:
-				if err := f.w.Append(fr.Payload); err != nil {
-					return fmt.Errorf("replica: applying LSN %d: %w", fr.LSN, err)
-				}
-				hw = fr.LSN
-			case fr.LSN <= hw:
-				// Duplicate (leader resend window); already durable.
-			default:
-				// Gap: do not apply out of order; the re-ack below tells
-				// the leader where to resume.
+			hw, err = f.applyAppend(fr)
+			if err != nil {
+				return err
 			}
 			if ferr := faultpoint.HitErr(fpAckDrop); ferr != nil {
 				continue // record is durable; the ack is lost in transit
@@ -168,10 +201,11 @@ func (f *Follower) ServeConn(conn transport.Conn) (err error) {
 				return err
 			}
 		case frSnapshot:
-			if err := f.w.InstallSnapshot(fr.Payload, fr.LSN); err != nil {
-				return fmt.Errorf("replica: installing snapshot at LSN %d: %w", fr.LSN, err)
+			hw, err = f.applySnapshot(fr)
+			if err != nil {
+				return err
 			}
-			if err := conn.Send(encodeFrame(&frame{Kind: frAck, LSN: f.w.LSN()})); err != nil {
+			if err := conn.Send(encodeFrame(&frame{Kind: frAck, LSN: hw})); err != nil {
 				return err
 			}
 		case frProbe:

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -314,6 +315,123 @@ func sanitize(s string) string {
 		}
 	}
 	return string(b)
+}
+
+// TestStalledFollowerDoesNotBlockAppends pins the no-network-IO-under-
+// the-WAL-lock rule: a follower connection that accepts the dial, says
+// hello, and then never reads another frame (the black-holed-peer
+// shape — Sends to it block forever once the buffer fills) must wedge
+// only its own stream. Leader appends must keep completing; before the
+// batched read, the streamer sent inside the journal lock and one such
+// follower froze every AppendLSN on the shard.
+func TestStalledFollowerDoesNotBlockAppends(t *testing.T) {
+	leakcheck.At(t)
+	leader := openWAL(t, t.TempDir())
+	// Backlog so the streamer has records to push the moment it connects.
+	for i := 0; i < 8; i++ {
+		if _, err := leader.AppendLSN([]byte(fmt.Sprintf("backlog-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stalled := func() (transport.Conn, error) {
+		local, remote := transport.Pipe(1)
+		go remote.Send(encodeFrame(&frame{Kind: frHello, LSN: 0})) // then never Recv
+		return local, nil
+	}
+	opt := fastOpts("t_stalled")
+	opt.Quorum = 1 // leader-local durability; the follower tails asynchronously
+	g := NewGroup(leader, []Dialer{stalled}, opt)
+	defer g.Close()
+
+	// Wait until the streamer is live (and therefore wedged in Send on
+	// the 1-slot pipe), then prove appends still go through.
+	waitFor(t, "stalled follower connect", func() bool { return g.followers[0].live.Load() })
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 4; i++ {
+			if _, err := leader.AppendLSN([]byte(fmt.Sprintf("live-%d", i))); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("append alongside stalled follower: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("leader appends blocked behind a stalled follower connection")
+	}
+}
+
+// TestConcurrentServeConnSerialized races two connections serving the
+// same Follower — the displaced-plus-fresh window Host's newest-
+// connection-wins policy allows — each streaming the identical record
+// sequence. The per-follower apply mutex must make the mark-check +
+// append atomic, so the journal ends up with each record exactly once
+// and in order; an unserialized follower could double-apply a record
+// and silently stop being a prefix of the leader's history.
+func TestConcurrentServeConnSerialized(t *testing.T) {
+	leakcheck.At(t)
+	// SyncNever keeps each apply tight so the two serving goroutines
+	// interleave as much as possible across many records.
+	fw, err := wal.Open(t.TempDir(), wal.Options{Policy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	f := NewFollower(fw)
+	const n = 500
+
+	var serving sync.WaitGroup
+	conns := make([]transport.Conn, 2)
+	for i := range conns {
+		local, remote := transport.Pipe(0) // default cap holds all acks unread
+		conns[i] = local
+		serving.Add(1)
+		go func() {
+			defer serving.Done()
+			f.ServeConn(remote)
+		}()
+	}
+	var senders sync.WaitGroup
+	for _, c := range conns {
+		senders.Add(1)
+		go func(c transport.Conn) {
+			defer senders.Done()
+			for lsn := 1; lsn <= n; lsn++ {
+				rec := []byte(fmt.Sprintf("rec-%d", lsn))
+				if err := c.Send(encodeFrame(&frame{Kind: frAppend, LSN: uint64(lsn), Payload: rec})); err != nil {
+					t.Errorf("send LSN %d: %v", lsn, err)
+					return
+				}
+			}
+		}(c)
+	}
+	senders.Wait()
+	waitFor(t, "apply drain", func() bool { return f.HW() >= n })
+	for _, c := range conns {
+		c.Close()
+	}
+	serving.Wait()
+
+	var got []string
+	if err := fw.Replay(func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatalf("replaying follower: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("follower journal has %d records, want exactly %d (duplicate apply?)", len(got), n)
+	}
+	for i, r := range got {
+		if want := fmt.Sprintf("rec-%d", i+1); r != want {
+			t.Fatalf("record %d = %q, want %q — journal is not a prefix of the leader's history", i, r, want)
+		}
+	}
 }
 
 // TestAsyncQuorumOne: quorum 1 means the leader alone carries the

@@ -13,25 +13,36 @@ import (
 // stream the tail.
 var ErrCompacted = errors.New("wal: requested records compacted into the checkpoint")
 
-// ReplayFromLSN passes every record with LSN strictly greater than
-// `after` to fn, oldest first, together with its LSN. It is the
-// replication read path: a leader streams a follower everything past
-// the follower's durable high-water mark, and the same call serves
-// live streaming, restart catch-up and anti-entropy backfill — they
-// differ only in how far behind `after` is.
+// errStopReplay is the internal sentinel ReadBatchFromLSN uses to end
+// a replay walk once the batch is full; it never escapes the package.
+var errStopReplay = errors.New("wal: stop replay")
+
+// ReadBatchFromLSN copies up to max records with LSN strictly greater
+// than `after` out of the journal — oldest first, contiguous, so the
+// i-th record returned has LSN after+1+i — and reports whether more
+// records remain past the batch. It is the replication read path: a
+// leader streams a follower everything past the follower's durable
+// high-water mark, and the same call serves live streaming, restart
+// catch-up and anti-entropy backfill — they differ only in how far
+// behind `after` is.
+//
+// The copies are taken under one lock acquisition and the lock is
+// released before the caller touches them: this is the replication
+// send path, and network writes must never happen under the journal
+// lock (a stalled follower connection would otherwise block every
+// concurrent Append). Pinning the checkpoint boundary and walking the
+// segments under the same acquisition also means a concurrent
+// Checkpoint cannot shift the LSN counting mid-read; LSNs are assigned
+// positionally — the first live record has LSN base+1 where base is
+// the checkpoint LSN (0 without a snapshot), valid because Checkpoint
+// rotates segments so the snapshot boundary is always a segment
+// boundary.
 //
 // When `after` precedes the checkpoint boundary the requested records
 // no longer exist as records and ErrCompacted is returned; the caller
 // bootstraps the follower from the snapshot instead (LoadCheckpoint +
 // InstallSnapshot) and retries from the snapshot LSN.
-//
-// The checkpoint boundary is pinned and the segments are walked under
-// one lock acquisition, so a concurrent Checkpoint cannot shift the
-// LSN counting mid-read. LSNs are assigned positionally: the first
-// live record has LSN base+1 where base is the checkpoint LSN (0
-// without a snapshot) — valid because Checkpoint rotates segments so
-// the snapshot boundary is always a segment boundary.
-func (w *WAL) ReplayFromLSN(after uint64, fn func(lsn uint64, rec []byte) error) error {
+func (w *WAL) ReadBatchFromLSN(after uint64, max int) (recs [][]byte, more bool, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	base := uint64(0)
@@ -41,16 +52,25 @@ func (w *WAL) ReplayFromLSN(after uint64, fn func(lsn uint64, rec []byte) error)
 		minSeg = w.ckpt.TailSeg
 	}
 	if after < base {
-		return fmt.Errorf("%w: tail starts after LSN %d, requested after %d", ErrCompacted, base, after)
+		return nil, false, fmt.Errorf("%w: tail starts after LSN %d, requested after %d", ErrCompacted, base, after)
 	}
 	lsn := base
-	return w.replayLocked(minSeg, func(rec []byte) error {
+	err = w.replayLocked(minSeg, func(rec []byte) error {
 		lsn++
 		if lsn <= after {
 			return nil
 		}
-		return fn(lsn, rec)
+		if len(recs) >= max {
+			more = true
+			return errStopReplay
+		}
+		recs = append(recs, append([]byte(nil), rec...))
+		return nil
 	})
+	if err != nil && !errors.Is(err, errStopReplay) {
+		return nil, false, err
+	}
+	return recs, more, nil
 }
 
 // InstallSnapshot makes state the journal's checkpoint at the given
